@@ -1,0 +1,38 @@
+"""Ablation: graceful vs immediate termination.
+
+"The response times significantly reduce on both clusters if the tasks
+are not allowed to terminate gracefully" (§4.4) — at the price of
+killing tasks mid-timestep (in-flight work lost, exit codes > 128).
+"""
+
+import pytest
+
+from repro.experiments import run_gray_scott_experiment
+
+from benchmarks.conftest import emit
+
+
+def test_ablation_graceful_termination(benchmark):
+    def run_both():
+        graceful = run_gray_scott_experiment("summit", use_dyflow=True)
+        immediate = run_gray_scott_experiment("summit", use_dyflow=True, graceful_stops=False)
+        return graceful, immediate
+
+    graceful, immediate = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    g_resp = [p.response_time for p in graceful.plans
+              if any("INC_ON_PACE" in a for a in p.accepted)]
+    i_resp = [p.response_time for p in immediate.plans
+              if any("INC_ON_PACE" in a for a in p.accepted)]
+    emit(
+        "Ablation — graceful vs immediate termination",
+        [
+            f"graceful:  responses {[round(r, 1) for r in g_resp]} s "
+            f"(stop share {graceful.plans[0].stop_share():.0%})",
+            f"immediate: responses {[round(r, 1) for r in i_resp]} s",
+            f"speedup of the first response: {g_resp[0] / i_resp[0]:.1f}×",
+        ],
+    )
+    assert i_resp and g_resp
+    assert i_resp[0] < 0.3 * g_resp[0], "immediate stops must collapse response time"
+    benchmark.extra_info["graceful_first_response"] = round(g_resp[0], 2)
+    benchmark.extra_info["immediate_first_response"] = round(i_resp[0], 2)

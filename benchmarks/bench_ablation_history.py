@@ -1,0 +1,45 @@
+"""Ablation: history window + pre-analysis vs instantaneous evaluation.
+
+DESIGN.md: with window=1 the PACE policies react to single noisy
+timesteps; spurious threshold crossings trigger extra adjustments
+(restarts that lose analysis steps).  The paper's 10-value running
+average "avoid[s] decisions based on a single timestep" (§4.4).
+"""
+
+import pytest
+
+from repro.experiments import run_gray_scott_experiment
+
+from benchmarks.conftest import emit
+
+
+def count_adjustments(result):
+    return sum(1 for p in result.plans if any("INC_ON_PACE" in a or "DEC_ON_PACE" in a
+                                              for a in p.accepted))
+
+
+def test_ablation_history_window(benchmark):
+    def run_both():
+        windowed = run_gray_scott_experiment("summit", use_dyflow=True, seed=3)
+        instant = run_gray_scott_experiment("summit", use_dyflow=True, seed=3,
+                                            history_window=1, settle=30.0)
+        return windowed, instant
+
+    windowed, instant = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    w_n, i_n = count_adjustments(windowed), count_adjustments(instant)
+    w_restarts = sum(windowed.incarnations(t) - 1 for t in ("Isosurface", "Rendering", "FFT", "PDF_Calc"))
+    i_restarts = sum(instant.incarnations(t) - 1 for t in ("Isosurface", "Rendering", "FFT", "PDF_Calc"))
+    emit(
+        "Ablation — history window (10, AVG) vs instantaneous (window=1)",
+        [
+            f"window=10: {w_n} adjustments, {w_restarts} analysis restarts, "
+            f"makespan {windowed.makespan:.0f}s",
+            f"window=1:  {i_n} adjustments, {i_restarts} analysis restarts, "
+            f"makespan {instant.makespan:.0f}s",
+        ],
+    )
+    # Instantaneous evaluation reacts to noise: at least as many plans,
+    # and it must not beat the windowed policy's makespan meaningfully.
+    assert i_n >= w_n
+    benchmark.extra_info["windowed_adjustments"] = w_n
+    benchmark.extra_info["instant_adjustments"] = i_n

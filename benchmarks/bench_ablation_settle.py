@@ -1,0 +1,43 @@
+"""Ablation: the settle-down window after actuation.
+
+"It discards all the suggested actions for 2 mins after the running
+workflow is modified" (§4.4).  Without the window, metric values
+produced under the *old* configuration — still sitting in policy
+windows — immediately retrigger adjustments before the new
+configuration has produced a single clean measurement.
+"""
+
+import pytest
+
+from repro.experiments import run_gray_scott_experiment
+
+from benchmarks.conftest import emit
+
+
+def test_ablation_settle_window(benchmark):
+    def run_both():
+        settled = run_gray_scott_experiment("summit", use_dyflow=True)
+        unsettled = run_gray_scott_experiment("summit", use_dyflow=True, settle=1.0)
+        return settled, unsettled
+
+    settled, unsettled = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    def churn(result):
+        plans = [p for p in result.plans
+                 if any("INC_ON_PACE" in a or "DEC_ON_PACE" in a for a in p.accepted)]
+        restarts = sum(result.incarnations(t) - 1
+                       for t in ("Isosurface", "Rendering", "FFT", "PDF_Calc"))
+        return len(plans), restarts
+
+    s_plans, s_restarts = churn(settled)
+    u_plans, u_restarts = churn(unsettled)
+    emit(
+        "Ablation — settle-down window (120 s) vs none",
+        [
+            f"settle=120s: {s_plans} adjustment plans, {s_restarts} analysis restarts",
+            f"settle=1s:   {u_plans} adjustment plans, {u_restarts} analysis restarts",
+        ],
+    )
+    assert u_plans >= s_plans, "removing the settle window must not reduce churn"
+    benchmark.extra_info["settled_plans"] = s_plans
+    benchmark.extra_info["unsettled_plans"] = u_plans

@@ -1,0 +1,39 @@
+"""Ablation: victim selection (Alg. 1 line 7) vs denying requests.
+
+Without victims, the fully packed Gray-Scott allocation has zero free
+cores: every ADDCPU is denied, the under-provisioning is never
+corrected, and the workflow pace never enters the desired interval.
+"""
+
+import pytest
+
+from repro.experiments import run_gray_scott_experiment
+
+from benchmarks.conftest import emit
+
+
+def test_ablation_victim_selection(benchmark):
+    def run_both():
+        with_victims = run_gray_scott_experiment("summit", use_dyflow=True)
+        without = run_gray_scott_experiment("summit", use_dyflow=True, allow_victims=False)
+        return with_victims, without
+
+    with_victims, without = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    adjusted = [p for p in with_victims.plans if any("INC_ON_PACE" in a for a in p.accepted)]
+    not_adjusted = [p for p in without.plans if any("INC_ON_PACE" in a for a in p.accepted)]
+    emit(
+        "Ablation — victim selection vs request denial",
+        [
+            f"with victims:    {len(adjusted)} adjustments, Isosurface ends at "
+            f"{with_victims.final_nprocs('Isosurface')} procs, makespan {with_victims.makespan:.0f}s "
+            f"(limit {with_victims.meta['time_limit']:.0f}s)",
+            f"without victims: {len(not_adjusted)} adjustments, Isosurface ends at "
+            f"{without.final_nprocs('Isosurface')} procs, makespan {without.makespan:.0f}s",
+        ],
+    )
+    assert len(adjusted) == 2
+    assert len(not_adjusted) == 0, "no victims → growth denied on a packed allocation"
+    assert with_victims.makespan < with_victims.meta["time_limit"]
+    assert without.makespan > with_victims.makespan
+    benchmark.extra_info["makespan_with"] = round(with_victims.makespan, 1)
+    benchmark.extra_info["makespan_without"] = round(without.makespan, 1)

@@ -1,0 +1,74 @@
+"""Micro-benchmark: the arbitration protocol itself (Algorithm 1).
+
+The paper notes "the time spent formulating the plan is low" — this
+bench measures plan formulation over a non-trivial workflow as a real
+hot-loop pytest-benchmark (many rounds), unlike the scenario benches.
+"""
+
+import pytest
+
+from repro.apps import ConstantModel, IterativeApp
+from repro.cluster import Allocation, summit
+from repro.core import ActionType, ArbitrationRules, ArbitrationStage, SuggestedAction
+from repro.sim import SimEngine
+from repro.wms import CouplingType, DependencySpec, Savanna, TaskSpec, WorkflowSpec
+
+
+def make_world(n_tasks=12):
+    eng = SimEngine()
+    m = summit(8)
+    alloc = Allocation("a0", m, m.nodes, walltime_limit=1e9)
+    tasks = [TaskSpec("Sim", lambda: IterativeApp(ConstantModel(60.0), total_steps=10_000), nprocs=64)]
+    deps = []
+    for i in range(n_tasks):
+        name = f"Ana{i}"
+        tasks.append(TaskSpec(name, lambda: IterativeApp(ConstantModel(30.0), total_steps=10_000), nprocs=16))
+        deps.append(DependencySpec(name, "Sim", CouplingType.TIGHT))
+    wf = WorkflowSpec("W", tasks, deps)
+    sav = Savanna(eng, wf, alloc)
+    rules = ArbitrationRules.from_workflow(
+        wf, task_priorities={"Sim": 0, **{f"Ana{i}": i + 1 for i in range(n_tasks)}}
+    )
+    arb = ArbitrationStage(sav, rules, warmup=0.0, settle=0.0)
+    arb.begin(0.0)
+    sav.launch_workflow()
+    eng.run(until=5.0)
+    return eng, sav, arb, n_tasks
+
+
+def test_arbitration_plan_formulation_speed(benchmark):
+    eng, sav, arb, n = make_world()
+    suggestions = [
+        SuggestedAction(policy_id="INC", action=ActionType.ADDCPU, target=f"Ana{i}",
+                        workflow_id="W", params={"adjust-by": 8})
+        for i in range(n)
+    ]
+
+    def formulate():
+        plan = arb.arbitrate(list(suggestions), now=eng.now)
+        # Reset so every round starts from the same state.
+        if plan is not None:
+            arb._in_flight = None
+            arb._gate_until = None
+            arb.waiting.clear()
+            arb.plans.clear()
+        return plan
+
+    plan = benchmark(formulate)
+    assert plan is not None and plan.ops
+    benchmark.extra_info["suggestions"] = n
+    benchmark.extra_info["ops_in_plan"] = len(plan.ops)
+
+
+def test_conflict_resolution_speed(benchmark):
+    eng, sav, arb, n = make_world()
+    suggestions = []
+    for i in range(n):
+        for action in (ActionType.ADDCPU, ActionType.RMCPU, ActionType.STOP):
+            suggestions.append(
+                SuggestedAction(policy_id=f"P-{action.value}", action=action,
+                                target=f"Ana{i}", workflow_id="W")
+            )
+    result = benchmark(lambda: arb._resolve_conflicts(list(suggestions)))
+    assert len(result) <= len(suggestions)
+    benchmark.extra_info["input_suggestions"] = len(suggestions)

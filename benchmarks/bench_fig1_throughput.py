@@ -1,0 +1,68 @@
+"""Figure 1: DYFLOW improves in-situ workflow throughput by rebalancing.
+
+The figure shows average time per timestep falling into the desired
+interval after DYFLOW's response windows (red bars): resources are taken
+from running analysis tasks and used to grow the bottleneck analysis.
+We regenerate the throughput (steps/hour) time series before and after
+each response window from the Gray-Scott run.
+"""
+
+import pytest
+
+from repro.experiments import run_gray_scott_experiment
+
+from benchmarks.conftest import emit
+
+
+def throughput_series(result, bucket=120.0):
+    """Workflow throughput (completed sim steps per hour) per time bucket."""
+    store_times = [
+        (u.time, u.value) for u in result.metric_history if u.task == "Isosurface"
+    ]
+    # Use simulation output markers for true completed steps.
+    fs = result.launcher.hub.filesystem
+    marks = sorted(e.mtime for e in fs.scan("out/GS-WORKFLOW/GrayScott.out.*"))
+    series = []
+    t = 0.0
+    while t < result.makespan:
+        n = sum(1 for m in marks if t <= m < t + bucket)
+        series.append((t, 3600.0 * n / bucket))
+        t += bucket
+    return series
+
+
+def test_fig1_throughput_improves(benchmark, gs_summit):
+    result = benchmark.pedantic(
+        lambda: run_gray_scott_experiment("summit", use_dyflow=True), rounds=1, iterations=1
+    )
+    series = throughput_series(result)
+    windows = [
+        (p.execution_start, p.execution_end)
+        for p in result.plans
+        if p.execution_end is not None and any("INC_ON_PACE" in a for a in p.accepted)
+    ]
+    lines = ["time(s)  steps/hour"]
+    for t, rate in series:
+        marker = " <-- DYFLOW response window" if any(
+            lo <= t <= hi or (t <= lo < t + 120) for lo, hi in windows
+        ) else ""
+        lines.append(f"{t:7.0f}  {rate:8.1f}{marker}")
+    emit("Figure 1 — in-situ workflow throughput around rebalancing", lines)
+
+    # Bucketed rates are coarse (3–5 steps per bucket); judge the
+    # improvement on mean step intervals: the rebalanced tail vs the
+    # steady pace of a never-rebalanced (static) run.
+    fs = result.launcher.hub.filesystem
+    marks = sorted(e.mtime for e in fs.scan("out/GS-WORKFLOW/GrayScott.out.*"))
+    last_window_end = max(hi for _lo, hi in windows)
+    after_marks = [m for m in marks if m > last_window_end]
+    after_dt = (after_marks[-1] - after_marks[0]) / max(1, len(after_marks) - 1)
+    static = run_gray_scott_experiment("summit", use_dyflow=False, enforce_walltime=False)
+    s_marks = sorted(
+        e.mtime for e in static.launcher.hub.filesystem.scan("out/GS-WORKFLOW/GrayScott.out.*")
+    )[5:]  # skip the buffer-fill burst
+    static_dt = (s_marks[-1] - s_marks[0]) / max(1, len(s_marks) - 1)
+    assert static_dt > 1.2 * after_dt, "throughput must improve materially after rebalancing"
+    benchmark.extra_info["sec_per_step_static"] = round(static_dt, 1)
+    benchmark.extra_info["sec_per_step_after"] = round(after_dt, 1)
+    benchmark.extra_info["response_windows"] = [(round(a, 1), round(b, 1)) for a, b in windows]

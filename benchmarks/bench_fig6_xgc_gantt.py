@@ -1,0 +1,73 @@
+"""Figure 6 (+ §4.3): the XGC1–XGCa Gantt chart and response times.
+
+Paper observations the reproduction must match in shape:
+* XGC1 ≈ 2.5× slower than XGCa per 100-step run;
+* XGCa starts three times, each in ≈0.1–0.2 s (Summit);
+* XGC1 starts in ≈8 s (4 s frequency delay + restart script);
+* the switch stops XGCa right after global step 374;
+* STOP_ON_COND ends the run just past 502 global steps;
+* without DYFLOW (XGC1 only) the experiment takes ≈25 % longer;
+* Deepthought2 responses are uniformly slower than Summit's.
+"""
+
+import pytest
+
+from repro.experiments import render_gantt, run_xgc_experiment
+
+from benchmarks.conftest import emit
+
+PAPER = {
+    "summit": {"start_xgca": (0.1, 0.2), "start_xgc1": 8.0, "stop": 2.0, "overhead_pct": 25},
+    "deepthought2": {"start_xgca": (0.2, 0.8), "start_xgc1": 11.0, "stop": 42.0, "overhead_pct": 25},
+}
+
+
+def summarize(result, baseline):
+    lines = [render_gantt(result.trace, end_time=result.makespan), ""]
+    for plan in result.plans:
+        ops = "; ".join(op.describe() for op in plan.ordered_ops())
+        lines.append(f"t={plan.created:8.1f}s  response={plan.response_time:6.2f}s  {ops}")
+    lines.append(f"final global step: {result.meta['final_progress']} (paper: 502)")
+    ratio = baseline.makespan / result.makespan
+    lines.append(
+        f"makespan with DYFLOW {result.makespan:.0f}s vs XGC1-only {baseline.makespan:.0f}s "
+        f"→ static is {100 * (ratio - 1):.0f}% slower (paper ≈25%)"
+    )
+    return lines, ratio
+
+
+def test_fig6_summit(benchmark, xgc_summit_baseline):
+    result = benchmark.pedantic(
+        lambda: run_xgc_experiment("summit", use_dyflow=True), rounds=1, iterations=1
+    )
+    lines, ratio = summarize(result, xgc_summit_baseline)
+    emit("Figure 6 — XGC1–XGCa on Summit", lines)
+
+    xgca_starts = [
+        p.response_time for p in result.plans
+        if len(p.ops) == 1 and p.ops[0].task == "XGCA" and p.ops[0].op == "start_task"
+    ]
+    assert len(xgca_starts) == 3, "XGCa must start three times"
+    assert all(r < 1.0 for r in xgca_starts)
+    assert 500 < result.meta["final_progress"] < 506
+    assert 1.15 < ratio < 1.45
+    benchmark.extra_info["xgca_start_responses"] = [round(r, 3) for r in xgca_starts]
+    benchmark.extra_info["static_vs_dyflow_ratio"] = round(ratio, 3)
+    benchmark.extra_info["paper"] = PAPER["summit"]
+
+
+def test_fig6_deepthought2(benchmark, xgc_summit):
+    result = benchmark.pedantic(
+        lambda: run_xgc_experiment("deepthought2", use_dyflow=True), rounds=1, iterations=1
+    )
+    baseline = run_xgc_experiment("deepthought2", use_dyflow=False)
+    lines, ratio = summarize(result, baseline)
+    emit("§4.3 — XGC1–XGCa on Deepthought2", lines)
+
+    # Shape: every Deepthought2 response slower than its Summit counterpart.
+    d2 = sorted(r for _p, r in result.response_times())
+    s = sorted(r for _p, r in xgc_summit.response_times())
+    assert d2[0] > s[0] and d2[-1] > s[-1]
+    assert 1.15 < ratio < 1.45
+    benchmark.extra_info["d2_responses"] = [round(r, 2) for r in d2]
+    benchmark.extra_info["paper"] = PAPER["deepthought2"]

@@ -1,0 +1,46 @@
+"""Figure 9: average time per timestep as the Decision stage receives it.
+
+The paper's series shows every task starting near 40 s (above the 36 s
+threshold), dropping after each adjustment, resetting across restarts,
+and settling inside the desired [24, 36] s interval.
+"""
+
+import pytest
+
+from repro.apps.gray_scott import ANALYSIS_TASKS
+from repro.experiments import run_gray_scott_experiment
+
+from benchmarks.conftest import emit
+
+INC_THRESHOLD = 36.0
+DEC_THRESHOLD = 24.0
+
+
+def test_fig9_pace_series(benchmark, gs_summit):
+    result = benchmark.pedantic(
+        lambda: run_gray_scott_experiment("summit", use_dyflow=True), rounds=1, iterations=1
+    )
+    lines = []
+    for task in ("GrayScott",) + ANALYSIS_TASKS:
+        series = result.pace_series(task)
+        if not series:
+            continue
+        rendered = " ".join(f"{v:.0f}" for _t, v in series)
+        lines.append(f"{task:<11} {rendered}")
+    adjustments = [p for p in result.plans if any("INC_ON_PACE" in a for a in p.accepted)]
+    lines.append(f"adjustments at t={[round(p.created) for p in adjustments]}s "
+                 f"(thresholds: INC>{INC_THRESHOLD}, DEC<{DEC_THRESHOLD})")
+    emit("Figure 9 — average time per timestep (per task)", lines)
+
+    iso = result.pace_series("Isosurface")
+    # Before the first adjustment: above the INC threshold.
+    first = adjustments[0].created
+    early = [v for t, v in iso if t < first]
+    assert early and max(early) > INC_THRESHOLD
+    # After the last adjustment settles: inside the desired interval.
+    last_end = adjustments[-1].execution_end
+    tail = [v for t, v in iso if t > last_end + 120][2:]
+    assert tail and all(DEC_THRESHOLD - 2 < v < INC_THRESHOLD for v in tail)
+    benchmark.extra_info["early_max"] = round(max(early), 1)
+    benchmark.extra_info["settled_range"] = (round(min(tail), 1), round(max(tail), 1))
+    benchmark.extra_info["paper_interval"] = (DEC_THRESHOLD, INC_THRESHOLD)

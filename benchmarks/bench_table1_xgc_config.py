@@ -1,0 +1,48 @@
+"""Table 1: the XGC1/XGCa single-run configuration.
+
+Regenerates the table rows from the scenario builders and benchmarks
+workflow composition + allocation (the static Cheetah/Savanna path).
+"""
+
+from repro.cluster import BatchScheduler, summit
+from repro.experiments.xgc_scenario import NUM_NODES, PROCS_PER_NODE, build_workflow, _make_machine
+from repro.sim import SimEngine
+
+from benchmarks.conftest import emit
+
+PAPER_TABLE1 = {
+    "PROCESSES": "192 (14 per node)",
+    "THREADS PER PROCESS": 10,
+    "TIMESTEPS PER RUN": 100,
+    "PARTICLES PER PROCESS": "250K",
+}
+
+
+def test_table1_configuration(benchmark):
+    def compose():
+        engine = SimEngine()
+        machine = _make_machine("summit")
+        scheduler = BatchScheduler(engine, machine)
+        job = scheduler.submit(NUM_NODES, walltime_limit=10_000.0)
+        engine.run(until=0)
+        workflow = build_workflow(use_dyflow=True)
+        return workflow, job.allocation
+
+    workflow, allocation = benchmark(compose)
+
+    xgc1 = workflow.task("XGC1")
+    xgca = workflow.task("XGCA")
+    rows = [
+        f"{'TASK':<8} {'SETTING':<22} {'MEASURED':<20} {'PAPER':<20}",
+        f"{'XGC1':<8} {'PROCESSES':<22} {f'{xgc1.nprocs} ({xgc1.procs_per_node}/node)':<20} {PAPER_TABLE1['PROCESSES']:<20}",
+        f"{'XGCA':<8} {'PROCESSES':<22} {f'{xgca.nprocs} ({xgca.procs_per_node}/node)':<20} {PAPER_TABLE1['PROCESSES']:<20}",
+        f"{'BOTH':<8} {'TIMESTEPS PER RUN':<22} {xgc1.make_app().run_steps:<20} {PAPER_TABLE1['TIMESTEPS PER RUN']:<20}",
+        f"{'BOTH':<8} {'ALLOCATED NODES':<22} {len(allocation.nodes):<20} {'(192/14 = 14)':<20}",
+    ]
+    emit("Table 1 — XGC1/XGCa run configuration", rows)
+
+    assert xgc1.nprocs == xgca.nprocs == 192
+    assert xgc1.procs_per_node == PROCS_PER_NODE == 14
+    assert xgc1.make_app().run_steps == 100
+    benchmark.extra_info["paper"] = PAPER_TABLE1
+    benchmark.extra_info["measured_procs"] = xgc1.nprocs

@@ -1,0 +1,49 @@
+"""Table 2: the Gray-Scott under-provisioning configuration."""
+
+from repro.apps.gray_scott import ANALYSIS_TASKS, GrayScottConfig
+from repro.experiments.grayscott_scenario import TIME_LIMITS, build_workflow
+
+from benchmarks.conftest import emit
+
+PAPER_SUMMIT = {
+    "GRAY-SCOTT": (340, 34),
+    "ISOSURFACE": (20, 2),
+    "RENDERING": (20, 2),
+    "FFT": (20, 2),
+    "PDF_CALC": (20, 2),
+    "TOTAL STEPS": 50,
+    "TIME LIMIT (MIN)": 30,
+}
+
+
+def test_table2_configuration(benchmark):
+    config = benchmark(GrayScottConfig.summit)
+    workflow = build_workflow(config)
+    rows = [f"{'TASK':<12} {'PROCS':<8} {'PER NODE':<9} {'PAPER':<12}"]
+    gs = workflow.task("GrayScott")
+    rows.append(f"{'GRAY-SCOTT':<12} {gs.nprocs:<8} {gs.procs_per_node:<9} {PAPER_SUMMIT['GRAY-SCOTT']}")
+    for t in ANALYSIS_TASKS:
+        spec = workflow.task(t)
+        rows.append(f"{t:<12} {spec.nprocs:<8} {spec.procs_per_node:<9} {PAPER_SUMMIT[t.upper()]}")
+    rows.append(f"{'TOTAL STEPS':<12} {config.total_steps:<8} {'':<9} {PAPER_SUMMIT['TOTAL STEPS']}")
+    rows.append(f"{'TIME LIMIT':<12} {TIME_LIMITS['summit']/60:.0f} min {'':<5} {PAPER_SUMMIT['TIME LIMIT (MIN)']} min")
+    emit("Table 2 — Gray-Scott initial configuration (Summit)", rows)
+
+    assert gs.nprocs == 340 and gs.procs_per_node == 34
+    assert all(workflow.task(t).nprocs == 20 for t in ANALYSIS_TASKS)
+    assert config.total_steps == 50
+    benchmark.extra_info["paper"] = {k: str(v) for k, v in PAPER_SUMMIT.items()}
+
+
+def test_table2_deepthought2(benchmark):
+    config = benchmark(GrayScottConfig.deepthought2)
+    workflow = build_workflow(config)
+    gs = workflow.task("GrayScott")
+    rows = [
+        f"GRAY-SCOTT: {gs.nprocs} procs ({gs.procs_per_node}/node)  paper: 320 (16/node)",
+        f"analyses: {[workflow.task(t).nprocs for t in ANALYSIS_TASKS]} procs "
+        f"(paper: 20 each; per-node adjusted to pack 20-core nodes — see EXPERIMENTS.md)",
+        f"time limit: {TIME_LIMITS['deepthought2']/60:.0f} min (paper: 35)",
+    ]
+    emit("Table 2 — Gray-Scott initial configuration (Deepthought2)", rows)
+    assert gs.nprocs == 320 and gs.procs_per_node == 16

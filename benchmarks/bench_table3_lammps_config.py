@@ -1,0 +1,64 @@
+"""Table 3: the LAMMPS workflow configuration for failure resilience."""
+
+from repro.apps.lammps import ANALYSIS_TASKS, LammpsConfig
+from repro.experiments.lammps_scenario import build_workflow
+
+from benchmarks.conftest import emit
+
+PAPER_SUMMIT = {
+    "LAMMPS": (1500, 30),
+    "TOTAL ATOMS": 65_536_000,
+    "TOTAL STEPS": 1000,
+    "ANALYSES": (200, 4),
+    "ANALYSIS STEPS": 100,
+}
+PAPER_DT2 = {
+    "LAMMPS": (100, 14),
+    "TOTAL ATOMS": 8_192_000,
+    "ANALYSES": (20, 2),
+    "ANALYSIS STEPS": 50,
+}
+
+
+def test_table3_summit(benchmark):
+    config = benchmark(LammpsConfig.summit)
+    workflow = build_workflow(config)
+    sim = workflow.task("LAMMPS")
+    rows = [
+        f"LAMMPS: {sim.nprocs} procs ({sim.procs_per_node}/node)  paper: {PAPER_SUMMIT['LAMMPS']}",
+        f"total atoms: {config.total_atoms:,}  paper: {PAPER_SUMMIT['TOTAL ATOMS']:,}",
+        f"total steps: {config.total_steps}  paper: {PAPER_SUMMIT['TOTAL STEPS']}",
+    ]
+    for t in ANALYSIS_TASKS:
+        spec = workflow.task(t)
+        rows.append(f"{t}: {spec.nprocs} procs ({spec.procs_per_node}/node)  paper: {PAPER_SUMMIT['ANALYSES']}")
+    rows.append(
+        f"per-node packing: {sim.procs_per_node} + 3×{config.analysis_procs_per_node} = "
+        f"{sim.procs_per_node + 3 * config.analysis_procs_per_node} of 42 cores"
+    )
+    emit("Table 3 — LAMMPS configuration (Summit)", rows)
+
+    assert sim.nprocs == 1500 and sim.procs_per_node == 30
+    assert all(workflow.task(t).nprocs == 200 for t in ANALYSIS_TASKS)
+    assert config.total_atoms == PAPER_SUMMIT["TOTAL ATOMS"]
+    assert config.analysis_steps == PAPER_SUMMIT["ANALYSIS STEPS"]
+    benchmark.extra_info["paper"] = {k: str(v) for k, v in PAPER_SUMMIT.items()}
+
+
+def test_table3_deepthought2(benchmark):
+    config = benchmark(LammpsConfig.deepthought2)
+    workflow = build_workflow(config)
+    sim = workflow.task("LAMMPS")
+    emit(
+        "Table 3 — LAMMPS configuration (Deepthought2)",
+        [
+            f"LAMMPS: {sim.nprocs} procs ({sim.procs_per_node}/node)  "
+            f"paper: {PAPER_DT2['LAMMPS']} (per-node adjusted to pack 20-core nodes)",
+            f"total atoms: {config.total_atoms:,}  paper: {PAPER_DT2['TOTAL ATOMS']:,}",
+            f"analyses: {config.analysis_procs} procs ({config.analysis_procs_per_node}/node), "
+            f"{config.analysis_steps} steps  paper: {PAPER_DT2['ANALYSES']}, {PAPER_DT2['ANALYSIS STEPS']}",
+        ],
+    )
+    assert sim.nprocs == 100
+    assert config.total_atoms == PAPER_DT2["TOTAL ATOMS"]
+    assert config.analysis_steps == 50

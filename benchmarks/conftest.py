@@ -1,0 +1,69 @@
+"""Shared fixtures and reporting helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+measured series/rows are printed (run pytest with ``-s`` to see them)
+and attached to the benchmark's ``extra_info`` so the JSON output
+carries the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    run_gray_scott_experiment,
+    run_lammps_experiment,
+    run_xgc_experiment,
+)
+
+# Scenario runs are deterministic; cache them per session so every bench
+# that reads a figure's data shares one run.
+_CACHE: dict = {}
+
+
+def cached(key, fn):
+    if key not in _CACHE:
+        _CACHE[key] = fn()
+    return _CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def xgc_summit():
+    return cached("xgc-summit", lambda: run_xgc_experiment("summit", use_dyflow=True))
+
+
+@pytest.fixture(scope="session")
+def xgc_summit_baseline():
+    return cached("xgc-summit-base", lambda: run_xgc_experiment("summit", use_dyflow=False))
+
+
+@pytest.fixture(scope="session")
+def xgc_dt2():
+    return cached("xgc-dt2", lambda: run_xgc_experiment("deepthought2", use_dyflow=True))
+
+
+@pytest.fixture(scope="session")
+def gs_summit():
+    return cached("gs-summit", lambda: run_gray_scott_experiment("summit", use_dyflow=True))
+
+
+@pytest.fixture(scope="session")
+def gs_dt2():
+    return cached("gs-dt2", lambda: run_gray_scott_experiment("deepthought2", use_dyflow=True))
+
+
+@pytest.fixture(scope="session")
+def lammps_summit():
+    return cached("lammps-summit", lambda: run_lammps_experiment("summit", use_dyflow=True))
+
+
+@pytest.fixture(scope="session")
+def lammps_dt2():
+    return cached("lammps-dt2", lambda: run_lammps_experiment("deepthought2", use_dyflow=True))
+
+
+def emit(title: str, lines: list[str]) -> str:
+    """Print a report block; returns the joined text."""
+    text = "\n".join([f"== {title} ==", *lines])
+    print("\n" + text)
+    return text

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Cheetah-style campaign: sweep initial provisioning, watch DYFLOW converge.
+
+Cheetah was built for co-design studies that sweep resource-allocation
+trade-offs (paper §3).  This example composes a campaign over the
+Isosurface analysis' *initial* process count and runs the same
+PACE-policy orchestration on every point: however badly the user
+provisions the analysis at submission time, DYFLOW converges it to a
+size whose pace sits inside the desired band.
+
+Run:  python examples/campaign_sweep.py
+"""
+
+from repro.apps import AmdahlModel, ConstantModel, IterativeApp
+from repro.cluster import Allocation, summit
+from repro.core import ActionType, GroupBySpec, PolicyApplication, PolicySpec, SensorSpec
+from repro.runtime import DyflowOrchestrator
+from repro.sim import RngRegistry, SimEngine
+from repro.wms import Campaign, CouplingType, DependencySpec, Savanna, Sweep, TaskSpec, WorkflowSpec
+
+INC_THRESHOLD, DEC_THRESHOLD = 16.0, 10.5
+
+
+def build_workflow(iso_procs: int) -> WorkflowSpec:
+    return WorkflowSpec(
+        f"SWEEP-{iso_procs}",
+        [
+            TaskSpec("Sim", lambda: IterativeApp(ConstantModel(10.0), total_steps=60), nprocs=40),
+            TaskSpec("Iso", lambda: IterativeApp(AmdahlModel(serial=2.0, parallel=360.0)),
+                     nprocs=iso_procs),
+        ],
+        [DependencySpec("Iso", "Sim", CouplingType.TIGHT)],
+    )
+
+
+def run_point(workflow: WorkflowSpec, iso_procs: int) -> dict:
+    engine = SimEngine()
+    machine = summit(4)
+    allocation = Allocation("a0", machine, machine.nodes, walltime_limit=1e9)
+    launcher = Savanna(engine, workflow, allocation, rng=RngRegistry(iso_procs))
+    orch = DyflowOrchestrator(launcher, warmup=40.0, settle=40.0, record_history=True)
+    orch.add_sensor(SensorSpec("PACE", "TAUADIOS2", (GroupBySpec("task", "MAX"),)))
+    orch.monitor_task("Iso", "PACE", var="looptime")
+    wf_id = workflow.workflow_id
+    orch.add_policy(PolicySpec("INC", "PACE", "GT", INC_THRESHOLD, ActionType.ADDCPU,
+                               history_window=4, history_op="AVG", frequency=5.0))
+    orch.add_policy(PolicySpec("DEC", "PACE", "LT", DEC_THRESHOLD, ActionType.RMCPU,
+                               history_window=4, history_op="AVG", frequency=5.0))
+    for pid in ("INC", "DEC"):
+        orch.apply_policy(PolicyApplication(pid, wf_id, ("Iso",), assess_task="Iso",
+                                            action_params={"adjust-by": 12}))
+    launcher.launch_workflow()
+    orch.start(stop_when=launcher.all_idle)
+    engine.run(until=50_000)
+    final = launcher.record("Iso").current
+    tail = [u.value for u in orch.server.history if u.task == "Iso"][-5:]
+    return {
+        "initial": iso_procs,
+        "final": final.nprocs,
+        "adjustments": len(orch.plans),
+        "makespan": engine.now,
+        "final_pace": sum(tail) / len(tail) if tail else float("nan"),
+    }
+
+
+def main() -> None:
+    campaign = Campaign(
+        "provisioning-sweep",
+        build_workflow,
+        sweeps=[Sweep("iso_procs", [12, 24, 36, 60, 96])],
+    )
+    print(f"campaign {campaign.name}: {campaign.size()} runs")
+    print(f"{'run':<22} {'initial':>8} {'final':>6} {'plans':>6} {'pace(s)':>8}  band [{DEC_THRESHOLD},{INC_THRESHOLD}]")
+    for run_id, params, workflow in campaign.runs():
+        out = run_point(workflow, params["iso_procs"])
+        in_band = DEC_THRESHOLD - 1 <= out["final_pace"] <= INC_THRESHOLD + 1
+        print(f"{run_id:<22} {out['initial']:>8} {out['final']:>6} "
+              f"{out['adjustments']:>6} {out['final_pace']:>8.1f}  "
+              f"{'converged' if in_band else 'out of band'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""DYFLOW reproduction: policy-driven dynamic orchestration of scientific
+workflows on (simulated) supercomputers.
+
+Reproduces *DYFLOW: A flexible framework for orchestrating scientific
+workflows on supercomputers* (ICPP 2021): the four-stage
+Monitor -> Decision -> Arbitration -> Actuation model, its sensors /
+policies / rules constructs, the XML user interface, and the paper's
+three evaluation workflows on models of the Summit and Deepthought2
+clusters.
+
+Typical entry points:
+
+* :class:`repro.runtime.DyflowOrchestrator` — wire DYFLOW onto a
+  workflow programmatically (see ``examples/quickstart.py``).
+* :func:`repro.xmlspec.parse_dyflow_xml` +
+  :func:`repro.xmlspec.configure_orchestrator` — the paper's XML path.
+* :mod:`repro.experiments` — canned reproductions of every experiment
+  in the paper's §4 (used by the ``benchmarks/`` harness).
+"""
+
+from repro.errors import ReproError
+from repro.sim import SimEngine
+from repro.cluster import BatchScheduler, deepthought2, summit
+from repro.wms import Savanna, TaskSpec, WorkflowSpec, DependencySpec, CouplingType
+from repro.apps import IterativeApp
+from repro.runtime import DyflowOrchestrator
+from repro.xmlspec import configure_orchestrator, parse_dyflow_xml, write_dyflow_xml
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "SimEngine",
+    "summit",
+    "deepthought2",
+    "BatchScheduler",
+    "Savanna",
+    "TaskSpec",
+    "WorkflowSpec",
+    "DependencySpec",
+    "CouplingType",
+    "IterativeApp",
+    "DyflowOrchestrator",
+    "parse_dyflow_xml",
+    "write_dyflow_xml",
+    "configure_orchestrator",
+    "__version__",
+]

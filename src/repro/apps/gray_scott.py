@@ -1,0 +1,123 @@
+"""Gray-Scott workflow models (paper §4.2, §4.4).
+
+The workflow couples a reaction-diffusion simulation with four in-situ
+analyses of very different cost profiles — "very regular and highly
+variable analyses" that make it "easy for a user to make poor resource
+allocation decisions".  Step-time models are calibrated so the §4.4
+under-provisioning experiment reproduces:
+
+* initial Isosurface pace at 20 procs drives the workflow to ≈40 s per
+  timestep (above the INC threshold of 36 s; a static run would need
+  ≈10–12 % more than the 30-minute limit),
+* after ADDCPU to 40 procs the instantaneous pace falls to ≈30 s but the
+  10-value sliding average remains above 36 s (old values + restart
+  losses) — triggering the paper's second adjustment,
+* at 60 procs every pace settles inside the desired [24, 36] s band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.base import IterativeApp
+from repro.apps.scaling import AmdahlModel, ConstantModel, StepTimeModel
+
+GS_TOTAL_STEPS = 50
+
+# Summit-reference calibration (seconds; actual = reference / speed_factor).
+SUMMIT_MODELS: dict[str, StepTimeModel] = {
+    "GrayScott": ConstantModel(26.0),
+    "Isosurface": AmdahlModel(serial=18.0, parallel=440.0),   # 40 / 29 / 25.3 s at 20/40/60
+    "Rendering": AmdahlModel(serial=10.0, parallel=240.0),    # 22 s at 20
+    # FFT at 20 procs paces just above the 36 s threshold: after the first
+    # adjustment fixes Isosurface, FFT is what still gates the workflow —
+    # which is why the paper's second adjustment takes FFT's resources.
+    "FFT": AmdahlModel(serial=2.0, parallel=710.0),           # 37.5 s at 20
+    "PDF_Calc": AmdahlModel(serial=2.0, parallel=200.0),      # 12 s at 20
+}
+
+# Deepthought2 runs a smaller per-process grid (Table 2); reference times
+# are scaled so actual times land in the machine's 35-min/50-step budget.
+_DT2_SPEED = 0.55
+DEEPTHOUGHT2_MODELS: dict[str, StepTimeModel] = {
+    "GrayScott": ConstantModel(34.0 * _DT2_SPEED),
+    "Isosurface": AmdahlModel(serial=20.0 * _DT2_SPEED, parallel=540.0 * _DT2_SPEED),  # 47 / 29 s at 20/60
+    "Rendering": AmdahlModel(serial=12.0 * _DT2_SPEED, parallel=280.0 * _DT2_SPEED),   # 26 s at 20
+    "FFT": AmdahlModel(serial=3.0 * _DT2_SPEED, parallel=700.0 * _DT2_SPEED),          # 38 s at 20
+    "PDF_Calc": AmdahlModel(serial=2.0 * _DT2_SPEED, parallel=280.0 * _DT2_SPEED),     # 16 s at 20
+}
+
+MODELS_BY_MACHINE = {"summit": SUMMIT_MODELS, "deepthought2": DEEPTHOUGHT2_MODELS}
+
+ANALYSIS_TASKS = ("Isosurface", "Rendering", "FFT", "PDF_Calc")
+
+# Task priorities from §4.4, high to low: GrayScott, Isosurface,
+# Rendering, FFT, PDF_Calc.
+TASK_PRIORITIES = {
+    "GrayScott": 0,
+    "Isosurface": 1,
+    "Rendering": 2,
+    "FFT": 3,
+    "PDF_Calc": 4,
+}
+
+
+@dataclass(frozen=True)
+class GrayScottConfig:
+    """Initial configuration (Table 2 defaults are per machine)."""
+
+    machine: str = "summit"
+    gs_procs: int = 340
+    gs_procs_per_node: int = 34
+    analysis_procs: int = 20
+    total_steps: int = GS_TOTAL_STEPS
+    noise_cv: float = 0.03
+    analysis_procs_per_node: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def summit(cls) -> "GrayScottConfig":
+        # Table 2: GS 340 (34/node); Isosurface, Rendering, FFT, PDF 20 (2/node).
+        return cls(
+            machine="summit",
+            gs_procs=340,
+            gs_procs_per_node=34,
+            analysis_procs=20,
+            analysis_procs_per_node={t: 2 for t in ANALYSIS_TASKS},
+        )
+
+    @classmethod
+    def deepthought2(cls) -> "GrayScottConfig":
+        # Table 2: GS 320 (16/node) on 20 nodes.  The paper lists 1/node
+        # for Rendering/FFT/PDF, which cannot pack with GS into 20-core
+        # nodes; we use 2/node for every analysis so the allocation packs
+        # exactly (16+2+2 = 20 per node), preserving the co-location the
+        # experiment depends on (see EXPERIMENTS.md).
+        return cls(
+            machine="deepthought2",
+            gs_procs=320,
+            gs_procs_per_node=16,
+            analysis_procs=20,
+            analysis_procs_per_node={t: 2 for t in ANALYSIS_TASKS},
+        )
+
+
+def make_gray_scott_app(config: GrayScottConfig) -> IterativeApp:
+    """The simulation task: 50 steps, streams every step, closes at EOS."""
+    return IterativeApp(
+        step_model=MODELS_BY_MACHINE[config.machine]["GrayScott"],
+        total_steps=config.total_steps,
+        output_every=1,
+        noise_cv=config.noise_cv,
+        close_output_on_complete=True,
+    )
+
+
+def make_analysis_app(task: str, config: GrayScottConfig) -> IterativeApp:
+    """An analysis task: consumes the simulation stream until EOS."""
+    if task not in ANALYSIS_TASKS:
+        raise ValueError(f"unknown Gray-Scott analysis {task!r}")
+    return IterativeApp(
+        step_model=MODELS_BY_MACHINE[config.machine][task],
+        total_steps=None,
+        noise_cv=config.noise_cv,
+    )

@@ -1,0 +1,35 @@
+"""Real numerical kernels behind the workflow models.
+
+These are genuine (small-scale) implementations of the science codes the
+paper's workflows run: a Gray-Scott reaction–diffusion solver, its four
+analyses, a Lennard-Jones molecular-dynamics mini-simulator, and the
+three MD analyses.  The live examples execute them for real under DYFLOW
+orchestration; the discrete-event models in the sibling modules use
+step-time calibrations consistent with their scaling behaviour.
+"""
+
+from repro.apps.kernels.gray_scott import GrayScottSolver
+from repro.apps.kernels.analysis import (
+    fft_power_spectrum,
+    isosurface_cell_count,
+    pdf_norms,
+    render_projection,
+)
+from repro.apps.kernels.lj_md import LjMdSimulator
+from repro.apps.kernels.md_analysis import (
+    centro_symmetry,
+    common_neighbor_counts,
+    radial_distribution,
+)
+
+__all__ = [
+    "GrayScottSolver",
+    "fft_power_spectrum",
+    "pdf_norms",
+    "isosurface_cell_count",
+    "render_projection",
+    "LjMdSimulator",
+    "radial_distribution",
+    "common_neighbor_counts",
+    "centro_symmetry",
+]

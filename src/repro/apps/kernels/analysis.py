@@ -1,0 +1,83 @@
+"""Gray-Scott analysis kernels: FFT, PDF, isosurface, rendering (§4.2).
+
+The paper's analyses in decreasing cost: a 3D FFT of the output arrays
+(most computationally intensive), isosurface extraction and rendering
+(data-dependent cost), and PDF/norm computation (inexpensive).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def fft_power_spectrum(field: np.ndarray, nbins: int = 32) -> dict[str, np.ndarray]:
+    """Radially binned power spectrum of an n-D field.
+
+    Returns ``k`` (bin centers, cycles per grid length) and ``power``
+    (mean squared FFT magnitude per bin) — the *FFT* analysis task.
+    """
+    if field.ndim < 1:
+        raise ValueError("field must be at least 1-D")
+    spectrum = np.abs(np.fft.fftn(field)) ** 2
+    freqs = np.meshgrid(*(np.fft.fftfreq(n) for n in field.shape), indexing="ij")
+    kmag = np.sqrt(sum(f**2 for f in freqs))
+    kmax = float(kmag.max()) or 1.0
+    edges = np.linspace(0.0, kmax, nbins + 1)
+    which = np.clip(np.digitize(kmag.ravel(), edges) - 1, 0, nbins - 1)
+    power = np.bincount(which, weights=spectrum.ravel(), minlength=nbins)
+    counts = np.bincount(which, minlength=nbins).clip(min=1)
+    return {"k": 0.5 * (edges[:-1] + edges[1:]), "power": power / counts}
+
+
+def pdf_norms(field: np.ndarray, nbins: int = 64) -> dict[str, float | np.ndarray]:
+    """The *PDF_Calc* analysis: value histogram plus L1/L2/Linf norms."""
+    flat = np.asarray(field, dtype=float).ravel()
+    hist, edges = np.histogram(flat, bins=nbins)
+    return {
+        "hist": hist,
+        "edges": edges,
+        "l1": float(np.abs(flat).sum()),
+        "l2": float(np.sqrt((flat**2).sum())),
+        "linf": float(np.abs(flat).max()) if flat.size else 0.0,
+    }
+
+
+def isosurface_cell_count(field: np.ndarray, isovalue: float = 0.25) -> int:
+    """Count grid cells straddling the isovalue (marching-cubes actives).
+
+    This is the cost driver of the *Isosurface* task: the number of
+    active cells — cells whose corners are not all on one side of the
+    isovalue — is exactly the number of cells that would emit triangles,
+    and it changes with the evolving pattern ("can change in
+    computational complexity based on the data").
+    """
+    above = np.asarray(field) > isovalue
+    active = np.zeros(tuple(n - 1 for n in above.shape), dtype=bool)
+    if active.size == 0:
+        return 0
+    inner = tuple(slice(0, n - 1) for n in above.shape)
+    base = above[inner]
+    # A cell is active iff any corner differs from the base corner.
+    for offsets in np.ndindex(*(2,) * above.ndim):
+        if not any(offsets):
+            continue
+        shifted = above[tuple(slice(o, n - 1 + o) for o, n in zip(offsets, above.shape))]
+        active |= shifted != base
+    return int(active.sum())
+
+
+def render_projection(field: np.ndarray, axis: int = 0) -> np.ndarray:
+    """The *Rendering* task: a maximum-intensity projection image.
+
+    Collapses one axis with max(), normalizes to [0, 1] — a cheap stand-in
+    for volume rendering with the same data-access pattern.
+    """
+    if field.ndim < 2:
+        raise ValueError("rendering needs at least a 2-D field")
+    image = np.asarray(field, dtype=float).max(axis=axis)
+    lo, hi = float(image.min()), float(image.max())
+    if hi > lo:
+        image = (image - lo) / (hi - lo)
+    else:
+        image = np.zeros_like(image)
+    return image

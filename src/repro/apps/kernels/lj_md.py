@@ -1,0 +1,136 @@
+"""Lennard-Jones molecular-dynamics mini-simulator (the LAMMPS stand-in).
+
+NVE velocity-Verlet dynamics of an LJ fluid/solid in a periodic cubic
+box, with neighbor search via :class:`scipy.spatial.cKDTree` (rebuilt
+each force call — adequate at example scale).  Reduced units throughout
+(σ = ε = m = 1).  Supports checkpoint/restore, which the §4.5 resilience
+experiment exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.util.validation import check_positive
+
+
+@dataclass
+class MdState:
+    """Checkpointable simulator state."""
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    step: int
+    box: float
+
+
+class LjMdSimulator:
+    """A small NVE Lennard-Jones simulator."""
+
+    def __init__(
+        self,
+        n_per_side: int = 5,
+        density: float = 0.8,
+        temperature: float = 1.0,
+        dt: float = 0.005,
+        cutoff: float = 2.5,
+        seed: int = 0,
+    ) -> None:
+        check_positive(n_per_side, "n_per_side")
+        check_positive(density, "density")
+        check_positive(dt, "dt")
+        self.n_atoms = n_per_side**3
+        self.box = (self.n_atoms / density) ** (1.0 / 3.0)
+        self.dt = float(dt)
+        self.cutoff = float(cutoff)
+        self.step_count = 0
+        rng = np.random.default_rng(seed)
+        # Simple-cubic lattice scaled into the box.
+        grid = np.linspace(0, self.box, n_per_side, endpoint=False)
+        self.positions = np.array(
+            [(x, y, z) for x in grid for y in grid for z in grid], dtype=float
+        )
+        self.velocities = rng.normal(0.0, np.sqrt(temperature), (self.n_atoms, 3))
+        self.velocities -= self.velocities.mean(axis=0)  # zero net momentum
+        self._forces = self._compute_forces(self.positions)
+
+    # -- physics ----------------------------------------------------------------
+    def _minimum_image(self, dr: np.ndarray) -> np.ndarray:
+        return dr - self.box * np.round(dr / self.box)
+
+    def _compute_forces(self, pos: np.ndarray) -> np.ndarray:
+        wrapped = pos % self.box
+        tree = cKDTree(wrapped, boxsize=self.box)
+        pairs = tree.query_pairs(self.cutoff, output_type="ndarray")
+        forces = np.zeros_like(pos)
+        if len(pairs) == 0:
+            return forces
+        i, j = pairs[:, 0], pairs[:, 1]
+        dr = self._minimum_image(wrapped[i] - wrapped[j])
+        r2 = (dr**2).sum(axis=1)
+        inv_r2 = 1.0 / r2
+        inv_r6 = inv_r2**3
+        # F = 24ε (2 (σ/r)^12 − (σ/r)^6) / r² · dr
+        fmag = 24.0 * (2.0 * inv_r6**2 - inv_r6) * inv_r2
+        fvec = fmag[:, None] * dr
+        np.add.at(forces, i, fvec)
+        np.add.at(forces, j, -fvec)
+        return forces
+
+    def potential_energy(self) -> float:
+        wrapped = self.positions % self.box
+        tree = cKDTree(wrapped, boxsize=self.box)
+        pairs = tree.query_pairs(self.cutoff, output_type="ndarray")
+        if len(pairs) == 0:
+            return 0.0
+        dr = self._minimum_image(wrapped[pairs[:, 0]] - wrapped[pairs[:, 1]])
+        r2 = (dr**2).sum(axis=1)
+        inv_r6 = (1.0 / r2) ** 3
+        return float((4.0 * (inv_r6**2 - inv_r6)).sum())
+
+    def kinetic_energy(self) -> float:
+        return float(0.5 * (self.velocities**2).sum())
+
+    def total_energy(self) -> float:
+        return self.kinetic_energy() + self.potential_energy()
+
+    def temperature(self) -> float:
+        return 2.0 * self.kinetic_energy() / (3.0 * self.n_atoms)
+
+    # -- integration -------------------------------------------------------------
+    def step(self, nsteps: int = 1) -> int:
+        """Velocity-Verlet integration for *nsteps*; returns the new count."""
+        check_positive(nsteps, "nsteps")
+        dt = self.dt
+        for _ in range(int(nsteps)):
+            self.velocities += 0.5 * dt * self._forces
+            self.positions += dt * self.velocities
+            new_forces = self._compute_forces(self.positions)
+            self.velocities += 0.5 * dt * new_forces
+            self._forces = new_forces
+            self.step_count += 1
+        return self.step_count
+
+    # -- checkpointing ------------------------------------------------------------
+    def checkpoint(self) -> MdState:
+        return MdState(
+            positions=self.positions.copy(),
+            velocities=self.velocities.copy(),
+            step=self.step_count,
+            box=self.box,
+        )
+
+    def restore(self, state: MdState) -> None:
+        if state.positions.shape != self.positions.shape:
+            raise ValueError("checkpoint shape mismatch")
+        self.positions = state.positions.copy()
+        self.velocities = state.velocities.copy()
+        self.step_count = state.step
+        self.box = state.box
+        self._forces = self._compute_forces(self.positions)
+
+    def wrapped_positions(self) -> np.ndarray:
+        return self.positions % self.box

@@ -1,0 +1,103 @@
+"""MD analysis kernels: RDF, common-neighbor counts, centro-symmetry.
+
+These are the three analyses the LAMMPS workflow couples in situ
+(§4.2): ``RDF_Calc`` (radial distribution function), ``CNA_Calc``
+(common neighbor analysis) and ``CS_Calc`` (central symmetry), used
+together to study "solids as they break and melt under stress".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+
+def _pair_distances(positions: np.ndarray, box: float, rmax: float) -> np.ndarray:
+    wrapped = positions % box
+    tree = cKDTree(wrapped, boxsize=box)
+    pairs = tree.query_pairs(rmax, output_type="ndarray")
+    if len(pairs) == 0:
+        return np.empty(0)
+    dr = wrapped[pairs[:, 0]] - wrapped[pairs[:, 1]]
+    dr -= box * np.round(dr / box)
+    return np.sqrt((dr**2).sum(axis=1))
+
+
+def radial_distribution(
+    positions: np.ndarray, box: float, rmax: float | None = None, nbins: int = 64
+) -> dict[str, np.ndarray]:
+    """g(r) of a periodic configuration.
+
+    Normalized against the ideal-gas shell counts so a random gas gives
+    g(r) ≈ 1 and a crystal shows sharp coordination peaks.
+    """
+    n = len(positions)
+    if n < 2:
+        raise ValueError("need at least two atoms")
+    rmax = rmax if rmax is not None else box / 2.0
+    dists = _pair_distances(positions, box, rmax)
+    hist, edges = np.histogram(dists, bins=nbins, range=(0.0, rmax))
+    r_lo, r_hi = edges[:-1], edges[1:]
+    shell_volumes = 4.0 / 3.0 * np.pi * (r_hi**3 - r_lo**3)
+    density = n / box**3
+    ideal_counts = 0.5 * n * density * shell_volumes  # pair counts, not per-atom
+    g = np.divide(hist, ideal_counts, out=np.zeros(nbins), where=ideal_counts > 0)
+    return {"r": 0.5 * (r_lo + r_hi), "g": g}
+
+
+def common_neighbor_counts(
+    positions: np.ndarray, box: float, cutoff: float = 1.5
+) -> np.ndarray:
+    """Per-bond common-neighbor counts (the core CNA signature).
+
+    For each bonded pair, counts neighbors shared by both atoms.  FCC
+    nearest-neighbor bonds have 4 common neighbors, HCP a 4/3 mix, BCC
+    differs again — the histogram of these counts is what classifies
+    local structure in full CNA.
+    """
+    wrapped = positions % box
+    tree = cKDTree(wrapped, boxsize=box)
+    neighbor_lists = tree.query_ball_point(wrapped, cutoff)
+    neighbor_sets = [set(lst) - {i} for i, lst in enumerate(neighbor_lists)]
+    pairs = tree.query_pairs(cutoff, output_type="ndarray")
+    if len(pairs) == 0:
+        return np.empty(0, dtype=int)
+    return np.array(
+        [len(neighbor_sets[i] & neighbor_sets[j]) for i, j in pairs], dtype=int
+    )
+
+
+def centro_symmetry(
+    positions: np.ndarray, box: float, n_neighbors: int = 12
+) -> np.ndarray:
+    """Centro-symmetry parameter per atom (Kelchner et al. form).
+
+    CSP = Σ over N/2 opposite-neighbor pairs of |r_i + r_j|², pairing
+    greedily by most-opposite bond vectors.  Near zero in a perfect
+    centrosymmetric lattice (FCC/BCC); large at defects, surfaces, and in
+    the melt — the "solids as they break and melt" signal.
+    """
+    n = len(positions)
+    if n <= n_neighbors:
+        raise ValueError(f"need more than {n_neighbors} atoms")
+    wrapped = positions % box
+    tree = cKDTree(wrapped, boxsize=box)
+    _dists, idx = tree.query(wrapped, k=n_neighbors + 1)
+    csp = np.zeros(n)
+    for a in range(n):
+        neighbors = idx[a, 1:]
+        vecs = wrapped[neighbors] - wrapped[a]
+        vecs -= box * np.round(vecs / box)
+        remaining = list(range(n_neighbors))
+        total = 0.0
+        while len(remaining) >= 2:
+            i = remaining[0]
+            # Most-opposite partner: minimal |v_i + v_j|².
+            sums = ((vecs[i] + vecs[remaining[1:]]) ** 2).sum(axis=1)
+            j_rel = int(np.argmin(sums))
+            total += float(sums[j_rel])
+            j = remaining[1 + j_rel]
+            remaining.remove(i)
+            remaining.remove(j)
+        csp[a] = total
+    return csp

@@ -1,0 +1,114 @@
+"""LAMMPS molecular-dynamics workflow models (paper §4.2, §4.5).
+
+The resilience experiment couples the MD simulation with three tightly
+coupled, co-located analyses — radial distribution function, common
+neighbor analysis, and central symmetry.  Table 3 pairs 1000 simulation
+steps with 100 analysis steps, i.e. the simulation publishes every 10th
+step.  The simulation checkpoints periodically; after the injected node
+failure DYFLOW restarts everything excluding the failed node, and the
+simulation "resumes from the last checkpoint (i.e., timestep 412)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.base import IterativeApp
+from repro.apps.scaling import AmdahlModel, ConstantModel
+
+# Summit-reference step time calibrated so the §4.5 failure at 10 minutes
+# lands just past simulation step 414, making checkpoint 412 the restart
+# point (checkpoints every 4 steps).
+LAMMPS_STEP_TIME = 1.4475
+LAMMPS_CHECKPOINT_EVERY = 4
+LAMMPS_PUBLISH_EVERY = 10
+
+ANALYSIS_TASKS = ("CS_Calc", "CNA_Calc", "RDF_Calc")
+
+# §4.5 priorities, high to low: Simulation, CS_Calc, CNA_Calc, RDF_Calc.
+TASK_PRIORITIES = {
+    "LAMMPS": 0,
+    "CS_Calc": 1,
+    "CNA_Calc": 2,
+    "RDF_Calc": 3,
+}
+
+
+@dataclass(frozen=True)
+class LammpsConfig:
+    """Initial configuration (Table 3 defaults are per machine)."""
+
+    machine: str = "summit"
+    sim_procs: int = 1500
+    sim_procs_per_node: int = 30
+    analysis_procs: int = 200
+    analysis_procs_per_node: int = 4
+    total_atoms: int = 65_536_000
+    total_steps: int = 1000
+    analysis_steps: int = 100
+    noise_cv: float = 0.0  # deterministic pacing keeps the checkpoint story exact
+
+    @classmethod
+    def summit(cls) -> "LammpsConfig":
+        return cls()
+
+    @classmethod
+    def deepthought2(cls) -> "LammpsConfig":
+        # Table 3 lists 14 sim procs/node, but 14 + 3×2 analysis procs
+        # exceeds a 20-core Deepthought2 node; we use 10/node so the four
+        # tasks co-locate on every node (10+2+2+2 = 16 ≤ 20), preserving
+        # the §4.5 property that one node failure kills the whole
+        # workflow (see EXPERIMENTS.md).
+        return cls(
+            machine="deepthought2",
+            sim_procs=100,
+            sim_procs_per_node=10,
+            analysis_procs=20,
+            analysis_procs_per_node=2,
+            total_atoms=8_192_000,
+            total_steps=1000,
+            analysis_steps=50,
+        )
+
+    @property
+    def publish_every(self) -> int:
+        """Simulation steps per staged analysis frame (Table 3: 1000/100)."""
+        return max(1, self.total_steps // max(1, self.analysis_steps))
+
+
+def make_lammps_app(config: LammpsConfig) -> IterativeApp:
+    """The MD simulation: checkpoints, publishes every 10th step."""
+    # Reference time scaled so the *actual* pace is machine-independent in
+    # shape; Deepthought2's smaller atom count offsets its slower cores.
+    speed = 1.0 if config.machine == "summit" else 0.55
+    return IterativeApp(
+        step_model=ConstantModel(LAMMPS_STEP_TIME * speed),
+        total_steps=config.total_steps,
+        publish_every=config.publish_every,
+        checkpoint_every=LAMMPS_CHECKPOINT_EVERY,
+        resume_from_checkpoint=True,
+        output_every=0,
+        noise_cv=config.noise_cv,
+    )
+
+
+# Analysis cost models (Summit-reference seconds per analysis step; one
+# analysis step digests 10 simulation steps' staged data).
+_ANALYSIS_MODELS = {
+    "RDF_Calc": AmdahlModel(serial=1.0, parallel=800.0),   # 5 s at 200 procs
+    "CNA_Calc": AmdahlModel(serial=2.0, parallel=1600.0),  # 10 s at 200 procs
+    "CS_Calc": AmdahlModel(serial=1.0, parallel=1200.0),   # 7 s at 200 procs
+}
+
+
+def make_md_analysis_app(task: str, config: LammpsConfig) -> IterativeApp:
+    """One of the three coupled analyses; consumes staged MD frames."""
+    if task not in ANALYSIS_TASKS:
+        raise ValueError(f"unknown LAMMPS analysis {task!r}")
+    speed = 1.0 if config.machine == "summit" else 0.55
+    model = _ANALYSIS_MODELS[task]
+    return IterativeApp(
+        step_model=AmdahlModel(serial=model.serial * speed, parallel=model.parallel * speed),
+        total_steps=None,
+        noise_cv=config.noise_cv,
+    )

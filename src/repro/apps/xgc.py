@@ -1,0 +1,89 @@
+"""XGC1/XGCa fusion-simulation models (paper §4.2, §4.3).
+
+XGC1 is the expensive, high-fidelity gyrokinetic code; XGCa uses a
+simplified physical model and "can simulate fusion reactions for a
+longer physical time within a fixed amount of wall clock time" — the
+paper reports XGC1 running ≈2.5× slower per run of 100 timesteps.  The
+tasks alternate: each invocation runs 100 global timesteps, reading its
+starting point from the shared restart state and writing an output file
+per completed global step (which the NSTEPS DISKSCAN sensor counts).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import IterativeApp, TaskContext
+from repro.apps.scaling import PowerLawModel
+
+# Calibrated Summit-reference step times (seconds) at the Table 1 scale
+# (192 processes).  XGC1/XGCA ratio = 2.5, matching §4.3.
+XGC1_STEP_TIME = 5.5
+XGCA_STEP_TIME = 2.2
+XGC_RUN_STEPS = 100
+XGC_REF_PROCS = 192
+
+
+def progress_path(workflow_id: str) -> str:
+    """Shared restart-state file both codes read at startup.
+
+    The paper's ``restart-xgc.sh`` script "set[s] XGC1 inputs to restart
+    from the last saved output of XGCa"; here both codes track global
+    progress through this file.
+    """
+    return f"fusion/{workflow_id}/progress"
+
+
+class XgcApp(IterativeApp):
+    """One of the alternating fusion codes.
+
+    Each invocation: read global progress, simulate ``run_steps`` global
+    timesteps (or up to ``total_steps``), writing one output file and the
+    updated progress per step.
+    """
+
+    def __init__(
+        self,
+        variant: str,
+        step_time: float,
+        total_steps: int = 600,
+        run_steps: int = XGC_RUN_STEPS,
+        ref_procs: int = XGC_REF_PROCS,
+        noise_cv: float = 0.02,
+    ) -> None:
+        if variant not in ("XGC1", "XGCA"):
+            raise ValueError(f"unknown XGC variant {variant!r}")
+        super().__init__(
+            step_model=PowerLawModel(base=step_time, ref_procs=ref_procs, alpha=0.85),
+            total_steps=total_steps,
+            run_steps=run_steps,
+            output_every=1,
+            noise_cv=noise_cv,
+            close_output_on_complete=False,  # loosely coupled: no stream consumers
+        )
+        self.variant = variant
+
+    def start_step(self, ctx: TaskContext) -> int:
+        """Resume from the global progress the other code left behind."""
+        fs = ctx.hub.filesystem
+        path = progress_path(ctx.workflow_id)
+        if fs.exists(path):
+            return int(fs.read(path)["step"])
+        return 0
+
+    def write_output(self, ctx: TaskContext, step: int) -> None:
+        """One output file per global step + the shared progress record."""
+        fs = ctx.hub.filesystem
+        fs.write(
+            f"out/{ctx.workflow_id}/{ctx.task}.out.{step}",
+            {"step": step, "variant": self.variant},
+            mtime=ctx.engine.now,
+            step=step,
+        )
+        fs.write(progress_path(ctx.workflow_id), {"step": step + 1}, mtime=ctx.engine.now)
+
+
+def make_xgc1(total_steps: int = 600) -> XgcApp:
+    return XgcApp("XGC1", XGC1_STEP_TIME, total_steps=total_steps)
+
+
+def make_xgca(total_steps: int = 600) -> XgcApp:
+    return XgcApp("XGCA", XGCA_STEP_TIME, total_steps=total_steps)

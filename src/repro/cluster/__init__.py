@@ -1,0 +1,40 @@
+"""Cluster substrate: machines, nodes, batch scheduler, resource manager.
+
+This package substitutes for the two physical clusters in the paper
+(Summit and Deepthought2).  It models the parts of a supercomputer that
+DYFLOW's behaviour actually depends on:
+
+* node inventories (cores / GPUs / memory) and node health,
+* a batch scheduler handing out *allocations* with walltime limits,
+* an in-allocation resource manager that assigns cores to workflow tasks
+  (the service Arbitration consults and Actuation drives),
+* per-machine latency constants (launch, signal, script overheads) that
+  reproduce the paper's measured response-time differences between the
+  two clusters, and
+* a failure injector for the resilience experiments (§4.5).
+"""
+
+from repro.cluster.node import Node, NodeState
+from repro.cluster.machine import Machine, MachinePerf, deepthought2, summit
+from repro.cluster.allocation import Allocation, ResourceSet
+from repro.cluster.resource_manager import ResourceManager
+from repro.cluster.scheduler import BatchJob, BatchScheduler, JobState
+from repro.cluster.failures import FailureInjector
+from repro.cluster.topology import Interconnect
+
+__all__ = [
+    "Node",
+    "NodeState",
+    "Machine",
+    "MachinePerf",
+    "summit",
+    "deepthought2",
+    "Allocation",
+    "ResourceSet",
+    "ResourceManager",
+    "BatchScheduler",
+    "BatchJob",
+    "JobState",
+    "FailureInjector",
+    "Interconnect",
+]

@@ -1,0 +1,140 @@
+"""Allocations and resource sets.
+
+A :class:`ResourceSet` is the currency Arbitration reasons about: a
+mapping from node id to a number of cores on that node.  An
+:class:`Allocation` is what the batch scheduler hands a job: a set of
+whole nodes with a walltime limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.cluster.machine import Machine
+from repro.cluster.node import Node, NodeState
+from repro.errors import AllocationError
+
+
+class ResourceSet:
+    """An immutable bag of cores spread over nodes.
+
+    Supports the set algebra the arbitration protocol needs: union,
+    subtraction, total counts, and per-node views.  Node ids with zero
+    cores are never stored.
+    """
+
+    __slots__ = ("_cores",)
+
+    def __init__(self, cores: Mapping[str, int] | None = None) -> None:
+        clean: dict[str, int] = {}
+        for node_id, n in (cores or {}).items():
+            if n < 0:
+                raise AllocationError(f"negative core count {n} on node {node_id}")
+            if n > 0:
+                clean[node_id] = int(n)
+        self._cores = clean
+
+    # -- views ----------------------------------------------------------------
+    @property
+    def total_cores(self) -> int:
+        return sum(self._cores.values())
+
+    @property
+    def node_ids(self) -> list[str]:
+        return sorted(self._cores)
+
+    def cores_on(self, node_id: str) -> int:
+        return self._cores.get(node_id, 0)
+
+    def items(self) -> Iterator[tuple[str, int]]:
+        return iter(sorted(self._cores.items()))
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._cores)
+
+    def __bool__(self) -> bool:
+        return bool(self._cores)
+
+    def __len__(self) -> int:
+        return len(self._cores)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResourceSet):
+            return NotImplemented
+        return self._cores == other._cores
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._cores.items())))
+
+    # -- algebra ----------------------------------------------------------------
+    def union(self, other: "ResourceSet") -> "ResourceSet":
+        """Core-wise sum of two resource sets."""
+        merged = dict(self._cores)
+        for node_id, n in other._cores.items():
+            merged[node_id] = merged.get(node_id, 0) + n
+        return ResourceSet(merged)
+
+    def subtract(self, other: "ResourceSet") -> "ResourceSet":
+        """Remove *other*'s cores; raises if *other* is not contained."""
+        remaining = dict(self._cores)
+        for node_id, n in other._cores.items():
+            have = remaining.get(node_id, 0)
+            if n > have:
+                raise AllocationError(
+                    f"cannot subtract {n} cores on {node_id}: only {have} present"
+                )
+            remaining[node_id] = have - n
+        return ResourceSet(remaining)
+
+    def contains(self, other: "ResourceSet") -> bool:
+        return all(self._cores.get(node_id, 0) >= n for node_id, n in other._cores.items())
+
+    def restrict_to(self, node_ids: set[str]) -> "ResourceSet":
+        """Keep only cores on the given nodes (e.g. exclude failed ones)."""
+        return ResourceSet({k: v for k, v in self._cores.items() if k in node_ids})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}:{v}" for k, v in sorted(self._cores.items()))
+        return f"ResourceSet({{{inner}}})"
+
+    @classmethod
+    def empty(cls) -> "ResourceSet":
+        return cls({})
+
+
+@dataclass
+class Allocation:
+    """A batch job's set of whole nodes, with a walltime limit."""
+
+    alloc_id: str
+    machine: Machine
+    nodes: list[Node]
+    walltime_limit: float
+    start_time: float = 0.0
+    attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise AllocationError("allocation must contain at least one node")
+        if self.walltime_limit <= 0:
+            raise AllocationError(f"walltime_limit must be > 0, got {self.walltime_limit}")
+
+    @property
+    def deadline(self) -> float:
+        """Absolute simulated time at which the allocation expires."""
+        return self.start_time + self.walltime_limit
+
+    def healthy_nodes(self) -> list[Node]:
+        return [n for n in self.nodes if n.state == NodeState.UP]
+
+    def node_ids(self) -> list[str]:
+        return [n.node_id for n in self.nodes]
+
+    def full_resources(self) -> ResourceSet:
+        """All cores on all healthy nodes of the allocation."""
+        return ResourceSet({n.node_id: n.cores for n in self.healthy_nodes()})
+
+    @property
+    def total_cores(self) -> int:
+        return sum(n.cores for n in self.healthy_nodes())

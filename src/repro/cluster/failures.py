@@ -1,0 +1,76 @@
+"""Failure injection for the resilience experiments (paper §4.5).
+
+The LAMMPS experiment takes a node out of service 10 minutes into the run
+and watches DYFLOW restart the workflow excluding the failed node.  The
+injector schedules such events on the simulation clock and notifies
+subscribers (the launcher and the resource manager).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cluster.machine import Machine
+from repro.cluster.node import Node
+from repro.sim.engine import SimEngine
+
+FailureCallback = Callable[[Node, float], None]
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One injected failure, for post-run inspection."""
+
+    time: float
+    node_id: str
+    kind: str
+
+
+class FailureInjector:
+    """Schedules node failures/recoveries and fans out notifications."""
+
+    def __init__(self, engine: SimEngine, machine: Machine) -> None:
+        self.engine = engine
+        self.machine = machine
+        self._on_failure: list[FailureCallback] = []
+        self._on_recovery: list[FailureCallback] = []
+        self.history: list[FailureRecord] = []
+
+    # -- subscriptions -----------------------------------------------------------
+    def subscribe_failure(self, cb: FailureCallback) -> None:
+        self._on_failure.append(cb)
+
+    def subscribe_recovery(self, cb: FailureCallback) -> None:
+        self._on_recovery.append(cb)
+
+    # -- scheduling -------------------------------------------------------------
+    def fail_node_at(self, time: float, node_id: str) -> None:
+        """Mark *node_id* DOWN at absolute simulated *time*."""
+        self.engine.call_at(time, lambda: self._do_fail(node_id), name=f"fail:{node_id}")
+
+    def recover_node_at(self, time: float, node_id: str) -> None:
+        """Return *node_id* to service at absolute simulated *time*."""
+        self.engine.call_at(time, lambda: self._do_recover(node_id), name=f"recover:{node_id}")
+
+    def fail_node_now(self, node_id: str) -> None:
+        self._do_fail(node_id)
+
+    # -- internals -----------------------------------------------------------------
+    def _do_fail(self, node_id: str) -> None:
+        node = self.machine.node(node_id)
+        if not node.is_up:
+            return  # already down; injecting twice is a no-op
+        node.fail()
+        self.history.append(FailureRecord(self.engine.now, node_id, "failure"))
+        for cb in self._on_failure:
+            cb(node, self.engine.now)
+
+    def _do_recover(self, node_id: str) -> None:
+        node = self.machine.node(node_id)
+        if node.is_up:
+            return
+        node.recover()
+        self.history.append(FailureRecord(self.engine.now, node_id, "recovery"))
+        for cb in self._on_recovery:
+            cb(node, self.engine.now)

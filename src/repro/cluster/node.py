@@ -1,0 +1,69 @@
+"""Compute-node model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import NodeStateError
+from repro.util.validation import check_nonneg, check_positive
+
+
+class NodeState(enum.Enum):
+    """Lifecycle of a compute node.
+
+    ``UP`` — healthy and usable; ``DOWN`` — failed / removed from service
+    (paper §4.5: "one of the allocated nodes was taken out of service");
+    ``DRAINING`` — scheduled for maintenance, no new work accepted.
+    """
+
+    UP = "up"
+    DOWN = "down"
+    DRAINING = "draining"
+
+
+@dataclass
+class Node:
+    """A compute node with a fixed hardware inventory.
+
+    Cores are the unit of assignment: the paper's ADDCPU/RMCPU actions move
+    CPU cores (and thereby processes) between tasks.
+    """
+
+    node_id: str
+    cores: int
+    memory_gb: float = 128.0
+    gpus: int = 0
+    hw_threads_per_core: int = 1
+    state: NodeState = NodeState.UP
+    attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_positive(self.cores, "cores")
+        check_positive(self.memory_gb, "memory_gb")
+        check_nonneg(self.gpus, "gpus")
+        check_positive(self.hw_threads_per_core, "hw_threads_per_core")
+
+    @property
+    def is_up(self) -> bool:
+        return self.state == NodeState.UP
+
+    def fail(self) -> None:
+        """Take the node out of service."""
+        if self.state == NodeState.DOWN:
+            raise NodeStateError(f"node {self.node_id} already down")
+        self.state = NodeState.DOWN
+
+    def drain(self) -> None:
+        if self.state != NodeState.UP:
+            raise NodeStateError(f"cannot drain node {self.node_id} in state {self.state.value}")
+        self.state = NodeState.DRAINING
+
+    def recover(self) -> None:
+        """Return a DOWN or DRAINING node to service."""
+        if self.state == NodeState.UP:
+            raise NodeStateError(f"node {self.node_id} already up")
+        self.state = NodeState.UP
+
+    def __hash__(self) -> int:
+        return hash(self.node_id)

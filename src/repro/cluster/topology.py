@@ -1,0 +1,30 @@
+"""Interconnect model used by the staging layer for transfer-time estimates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """A flat latency/bandwidth network model.
+
+    The experiments never saturate the fabric, so a linear model
+    (latency + size/bandwidth) is sufficient to order in-situ stream
+    delivery against file I/O.
+    """
+
+    latency_us: float = 1.0
+    bandwidth_gbps: float = 100.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.latency_us, "latency_us")
+        check_positive(self.bandwidth_gbps, "bandwidth_gbps")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds to move *nbytes* node-to-node."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return self.latency_us * 1e-6 + nbytes * 8.0 / (self.bandwidth_gbps * 1e9)

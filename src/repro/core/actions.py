@@ -1,0 +1,91 @@
+"""High-level actions suggested by policies (paper §2.2).
+
+Each high-level operation is "concise and easy to understand" and
+encapsulates the low-level operations Arbitration later plans.  The set
+matches the paper: ADDCPU, RMCPU, STOP, START, RESTART, SWITCH, each
+with optional parameters (``adjust-by``, ``restart-script``,
+``switch-to``...).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class ActionType(enum.Enum):
+    ADDCPU = "ADDCPU"        # restart the task with more processes
+    RMCPU = "RMCPU"          # restart the task with fewer processes
+    STOP = "STOP"            # terminate the task
+    START = "START"          # start a task that is not running
+    RESTART = "RESTART"      # stop then start the running task
+    SWITCH = "SWITCH"        # stop the assessed task, start a replacement
+    # Extension (paper §6): a finer-grained control operation "beyond
+    # just stopping and relaunching" — deliver new parameters to the
+    # running task in place, no restart, no resource movement.
+    RECONFIG = "RECONFIG"
+
+    @property
+    def acquires_resources(self) -> bool:
+        """Does this action need cores beyond what its target holds?"""
+        return self in (ActionType.ADDCPU, ActionType.START, ActionType.SWITCH)
+
+    @property
+    def releases_resources(self) -> bool:
+        return self in (ActionType.RMCPU, ActionType.STOP)
+
+
+# Conflicting action pairs on the same task are resolved by policy
+# priority (paper: STOP-START, STOP-RESTART, RMCPU-ADDCPU).
+CONFLICTS: frozenset[frozenset[ActionType]] = frozenset(
+    {
+        frozenset({ActionType.STOP, ActionType.START}),
+        frozenset({ActionType.STOP, ActionType.RESTART}),
+        frozenset({ActionType.RMCPU, ActionType.ADDCPU}),
+        frozenset({ActionType.STOP, ActionType.ADDCPU}),
+        frozenset({ActionType.STOP, ActionType.RMCPU}),
+        frozenset({ActionType.SWITCH, ActionType.START}),
+        frozenset({ActionType.SWITCH, ActionType.RESTART}),
+        # Reconfiguring a task that the plan stops/restarts is pointless.
+        frozenset({ActionType.RECONFIG, ActionType.STOP}),
+        frozenset({ActionType.RECONFIG, ActionType.RESTART}),
+    }
+)
+
+
+def actions_conflict(a: ActionType, b: ActionType) -> bool:
+    """True when *a* and *b* cannot both apply to one task."""
+    if a == b:
+        return False
+    return frozenset({a, b}) in CONFLICTS
+
+
+@dataclass(frozen=True)
+class SuggestedAction:
+    """One policy response: an action on one target task.
+
+    Attributes:
+        policy_id: the suggesting policy (carries the priority).
+        action: the high-level operation.
+        target: the task acted on (``act-on-tasks`` in the XML).
+        workflow_id: owning workflow.
+        assess_task: the task whose metric triggered the policy.
+        params: action parameters (``adjust-by``, ``restart-script``...).
+        trigger_time: when the triggering metric value was produced —
+            the anchor for response-time accounting (§4.6).
+        metric_value: the value that satisfied the evaluation condition.
+    """
+
+    policy_id: str
+    action: ActionType
+    target: str
+    workflow_id: str
+    assess_task: str = ""
+    params: dict[str, Any] = field(default_factory=dict)
+    trigger_time: float = 0.0
+    metric_value: float = 0.0
+
+    def __post_init__(self) -> None:
+        # params is part of a frozen dataclass; freeze content by copy.
+        object.__setattr__(self, "params", dict(self.params))

@@ -1,0 +1,83 @@
+"""Actuation stage: execute plans through the WMS plugin (paper §2.4).
+
+Low-level operations "serve as a plugin to any static service that
+interacts directly with the cluster resource manager and launches
+workflow tasks" — here the Savanna launcher.  Execution is sequential in
+plan order (releases before acquires), which is also why graceful
+terminations dominate measured response times.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cluster.resource_manager import place_cores
+from repro.core.lowlevel import ActionPlan, LowLevelOp
+from repro.errors import ActuationError, AllocationError
+from repro.wms.launcher import Savanna
+
+
+class ActuationStage:
+    """Executes action plans against the launcher plugin."""
+
+    def __init__(self, launcher: Savanna) -> None:
+        self.launcher = launcher
+        self.executed_plans: list[ActionPlan] = []
+        self.failed_ops: list[tuple[str, str]] = []  # (plan_id, op description)
+
+    def execute(self, plan: ActionPlan, on_done: Callable[[ActionPlan], None] | None = None):
+        """Generator: run every op of *plan* in order; drive via a process.
+
+        Individual op failures are recorded and skipped — a plan must
+        degrade, not deadlock, when the cluster state drifted between
+        planning and execution.  Calls ``on_done(plan)`` at the end.
+        """
+        plan.execution_start = self.launcher.engine.now
+        for op in plan.ordered_ops():
+            op.exec_start = self.launcher.engine.now
+            try:
+                yield from self._run_op(op)
+            except (ActuationError, AllocationError) as err:
+                self.failed_ops.append((plan.plan_id, f"{op.describe()}: {err}"))
+            finally:
+                op.exec_end = self.launcher.engine.now
+        plan.execution_end = self.launcher.engine.now
+        self.executed_plans.append(plan)
+        if on_done is not None:
+            on_done(plan)
+        return plan
+
+    def _run_op(self, op: LowLevelOp):
+        launcher = self.launcher
+        if op.op == "stop_task":
+            yield from launcher.stop_task(op.task, graceful=op.graceful)
+            return
+        if op.op == "reconfig_task":
+            delivered = yield from launcher.reconfig_task(op.task, op.params)
+            if not delivered:
+                raise ActuationError(f"reconfig target {op.task!r} not running")
+            return
+        if op.op == "start_task":
+            if op.resources is None or op.resources.total_cores == 0:
+                raise ActuationError(f"start op for {op.task!r} has no resources")
+            resources = op.resources
+            try:
+                launcher.rm.assign_set(op.task, resources)
+            except AllocationError:
+                # State drifted since planning (e.g. another exit changed
+                # the free pool): re-place the same core count now.
+                resources = place_cores(
+                    launcher.rm.free(),
+                    launcher.allocation.nodes,
+                    op.resources.total_cores,
+                )
+                launcher.rm.assign_set(op.task, resources)
+            yield from launcher.start_task_with_resources(
+                op.task,
+                resources,
+                user_script=op.user_script,
+                params=op.params,
+                preassigned=True,
+            )
+            return
+        raise ActuationError(f"unknown low-level op {op.op!r}")

@@ -1,0 +1,545 @@
+"""Arbitration stage: Algorithm 1 of the paper.
+
+Turns the Decision stage's suggested actions into a feasible, consistent
+plan of low-level operations:
+
+1. resolve conflicts among suggestions using policy priorities,
+2. add dependent actions (tight dependents restart with their parent),
+3. map high-level actions to stop/start primitives and compute the
+   resources they need,
+4. when free resources are insufficient, victimize the lowest-priority
+   running task (strictly lower priority than the acquirer) — or park
+   unsatisfiable starts in the waiting queue / discard opportunistic
+   growth,
+5. when resources free up, start waiting tasks in priority order,
+6. order operations (releases before acquires) and emit the revised
+   resource assignment.
+
+The stage also implements the two time gates from §4.4: a *warmup*
+window at experiment start and a *settle* window after every executed
+plan, during which suggestions are discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.allocation import ResourceSet
+from repro.cluster.resource_manager import place_cores
+from repro.core.actions import ActionType, SuggestedAction, actions_conflict
+from repro.core.lowlevel import PHASE_ACQUIRE, PHASE_RELEASE, ActionPlan, LowLevelOp
+from repro.core.rules import ArbitrationRules
+from repro.errors import AllocationError
+from repro.util.ids import IdGenerator
+from repro.wms.launcher import Savanna
+
+
+@dataclass
+class WaitingEntry:
+    """A task parked until resources become available (T_waiting)."""
+
+    task: str
+    nprocs: int
+    per_node_limit: int | None
+    params: dict[str, Any] = field(default_factory=dict)
+    user_script: str | None = None
+    enqueued: float = 0.0
+    reason: str = ""
+
+
+class _Shadow:
+    """Scratch resource bookkeeping while a plan is being built."""
+
+    def __init__(self, launcher: Savanna) -> None:
+        self.launcher = launcher
+        self.nodes = launcher.allocation.nodes
+        self.free = launcher.rm.free()
+        self.assigned: dict[str, ResourceSet] = {
+            name: launcher.rm.assignment(name)
+            for name in launcher.rm.owners()
+        }
+
+    def holds(self, task: str) -> bool:
+        return task in self.assigned
+
+    def release(self, task: str) -> ResourceSet:
+        rs = self.assigned.pop(task, ResourceSet.empty())
+        healthy = {n.node_id for n in self.launcher.allocation.healthy_nodes()}
+        self.free = self.free.union(rs.restrict_to(healthy))
+        return rs
+
+    def place(self, ncores: int, per_node_limit: int | None) -> ResourceSet:
+        return place_cores(self.free, self.nodes, ncores, per_node_limit)
+
+    def take(self, task: str, rs: ResourceSet) -> None:
+        self.free = self.free.subtract(rs)
+        self.assigned[task] = rs
+
+
+class ArbitrationStage:
+    """Builds action plans from suggestion batches (Algorithm 1)."""
+
+    def __init__(
+        self,
+        launcher: Savanna,
+        rules: ArbitrationRules,
+        warmup: float = 120.0,
+        settle: float = 120.0,
+        allow_victims: bool = True,
+        graceful_stops: bool = True,
+    ) -> None:
+        self.launcher = launcher
+        self.rules = rules
+        self.warmup = warmup
+        self.settle = settle
+        self.allow_victims = allow_victims
+        # graceful_stops=False lets tasks be killed without finishing the
+        # current timestep — the paper notes response times "significantly
+        # reduce" this way, at the cost of losing the in-flight step.
+        self.graceful_stops = graceful_stops
+        self.waiting: dict[str, WaitingEntry] = {}
+        self.plans: list[ActionPlan] = []
+        self.discarded_batches = 0
+        self._ids = IdGenerator()
+        self._gate_until: float | None = None
+        self._in_flight: ActionPlan | None = None
+
+    # -- lifecycle --------------------------------------------------------------
+    def begin(self, now: float) -> None:
+        """Experiment started: open the warmup gate."""
+        self._gate_until = now + self.warmup
+
+    def on_plan_executed(self, plan: ActionPlan, now: float) -> None:
+        """Actuation finished: start the settle-down window."""
+        plan.execution_end = now
+        self._in_flight = None
+        self._gate_until = now + self.settle
+
+    @property
+    def in_flight(self) -> ActionPlan | None:
+        return self._in_flight
+
+    def gated(self, now: float) -> bool:
+        """True while suggestions must be discarded (warmup/settle/in-flight)."""
+        if self._in_flight is not None:
+            return True
+        return self._gate_until is not None and now < self._gate_until
+
+    # -- the protocol --------------------------------------------------------------
+    def arbitrate(self, suggestions: list[SuggestedAction], now: float) -> ActionPlan | None:
+        """Run Algorithm 1 over one suggestion batch.
+
+        Returns a plan for Actuation, or None when gated / nothing to do.
+        """
+        if self.gated(now):
+            if suggestions:
+                self.discarded_batches += 1
+            return None
+        filtered = self._resolve_conflicts(suggestions)
+        filtered = self._drop_noops(filtered)
+        if not filtered and not self._drainable(now):
+            return None
+
+        plan = ActionPlan(
+            plan_id="",  # assigned only if the plan survives with ops
+            workflow_id=self.rules.workflow_id,
+            created=now,
+            ops=[],
+            trigger_time=min((s.trigger_time for s in filtered), default=now),
+        )
+        shadow = _Shadow(self.launcher)
+        stop_targets: set[str] = set()   # tasks the plan stops (for good)
+        start_targets: set[str] = set()  # tasks the plan (re)starts
+
+        # Dependent actions (line 3): dependents of disturbed parents restart.
+        dependents = self._dependent_restarts(filtered)
+
+        # Releases first: STOP-type actions.  A STOP also purges any queued
+        # START for the same task — conflict resolution (line 2) applies to
+        # the waiting queue just as it does to fresh suggestions.
+        for s in filtered:
+            if s.action == ActionType.STOP:
+                self.waiting.pop(s.target, None)
+                self._plan_stop(plan, shadow, s.target, reason=s.policy_id, graceful=True)
+                stop_targets.add(s.target)
+                plan.accepted.append(f"{s.policy_id}:STOP:{s.target}")
+            elif s.action == ActionType.SWITCH and s.assess_task:
+                if self.launcher.record(s.assess_task).is_active:
+                    self._plan_stop(plan, shadow, s.assess_task, reason=s.policy_id, graceful=True)
+                    stop_targets.add(s.assess_task)
+                    plan.accepted.append(f"{s.policy_id}:SWITCH-STOP:{s.assess_task}")
+
+        # In-place reconfigurations (§6 extension): no resource movement,
+        # no dependent restarts — the whole point of the finer-grained op.
+        reconfig_targets: set[str] = set()
+        for s in filtered:
+            if s.action != ActionType.RECONFIG:
+                continue
+            if s.target in stop_targets or s.target in reconfig_targets:
+                plan.discarded.append(f"{s.policy_id}:RECONFIG:{s.target} (conflicts with plan)")
+                continue
+            plan.ops.append(
+                LowLevelOp(
+                    op="reconfig_task",
+                    task=s.target,
+                    phase=PHASE_ACQUIRE,
+                    params=dict(s.params),
+                    reason=s.policy_id,
+                )
+            )
+            reconfig_targets.add(s.target)
+            plan.accepted.append(f"{s.policy_id}:RECONFIG:{s.target}")
+
+        # Acquiring / restarting actions plus waiting-queue entries, in one
+        # pass ordered by task priority; at equal priority a waiting task
+        # precedes a fresh suggestion (it asked first).  Waiting entries
+        # never victimize — they only use resources that are free (line 16).
+        acquires: list[tuple[tuple, SuggestedAction | WaitingEntry]] = []
+        for s in filtered:
+            if s.action in (ActionType.START, ActionType.RESTART, ActionType.ADDCPU,
+                            ActionType.RMCPU, ActionType.SWITCH):
+                acquires.append(((self.rules.task_priority(s.target), 1, 0.0, s.target), s))
+        for entry in self.waiting.values():
+            # Waiting entries drain in enqueue order (queue seniority).
+            acquires.append(((self.rules.task_priority(entry.task), 0, entry.enqueued, entry.task), entry))
+        acquires.sort(key=lambda pair: pair[0])
+        for _key, item in acquires:
+            if isinstance(item, WaitingEntry):
+                self._try_start_waiting(plan, shadow, item, stop_targets, start_targets)
+                continue
+            s = item
+            if s.target in stop_targets or s.target in start_targets:
+                plan.discarded.append(f"{s.policy_id}:{s.action.value}:{s.target} (conflicts with plan)")
+                continue
+            if s.target in dependents and s.action in (ActionType.ADDCPU, ActionType.RMCPU):
+                # The dependency-driven restart supersedes resizing (§4.4:
+                # Rendering is restarted, not grown, when Isosurface grows).
+                plan.discarded.append(f"{s.policy_id}:{s.action.value}:{s.target} (dependency restart)")
+                continue
+            ok = self._plan_acquire(plan, shadow, s, stop_targets, start_targets, now)
+            if ok:
+                start_targets.add(s.target)
+                plan.accepted.append(f"{s.policy_id}:{s.action.value}:{s.target}")
+
+        # Dependent restarts for every disturbed parent now in the plan.
+        for dep in sorted(dependents, key=lambda d: (self.rules.task_priority(d), d)):
+            parent_disturbed = dependents[dep] & (stop_targets | start_targets)
+            if not parent_disturbed:
+                continue
+            if dep in stop_targets or dep in start_targets:
+                continue
+            if not self.launcher.record(dep).is_running:
+                continue
+            current = shadow.assigned.get(dep, ResourceSet.empty())
+            nprocs = current.total_cores
+            self._plan_stop(plan, shadow, dep, reason="dependency", graceful=True)
+            try:
+                rs = shadow.place(nprocs, None)
+            except AllocationError:
+                self._enqueue_waiting(dep, nprocs, None, {}, None, now, "dependency")
+                continue
+            shadow.take(dep, rs)
+            self._plan_start(plan, dep, rs, None, {}, reason="dependency")
+            start_targets.add(dep)
+
+        # Line 16 second chance: this plan's stops may have freed cores for
+        # tasks still waiting (e.g. a SWITCH releasing its assessed task).
+        self._drain_waiting(plan, shadow, start_targets, stop_targets, now)
+
+        if not plan.ops:
+            return None
+        plan.plan_id = self._ids.next("plan")
+        plan.reassignment = dict(shadow.assigned)
+        self._in_flight = plan
+        self.plans.append(plan)
+        return plan
+
+    # -- stage 1: conflict resolution -------------------------------------------------
+    def _resolve_conflicts(self, suggestions: list[SuggestedAction]) -> list[SuggestedAction]:
+        """Per-target conflict resolution by policy priority (line 2)."""
+        by_target: dict[str, list[SuggestedAction]] = {}
+        seen: set[tuple] = set()
+        for s in suggestions:
+            key = (s.policy_id, s.action, s.target)
+            if key in seen:
+                continue
+            seen.add(key)
+            by_target.setdefault(s.target, []).append(s)
+        out: list[SuggestedAction] = []
+        for target, group in by_target.items():
+            group.sort(key=lambda s: (self.rules.policy_priority(s.policy_id), s.policy_id))
+            kept: list[SuggestedAction] = []
+            for s in group:
+                if any(actions_conflict(s.action, k.action) for k in kept):
+                    continue  # lower-priority conflicting action deferred
+                kept.append(s)
+            out.extend(kept)
+        return out
+
+    # -- stage 2: drop actions that no longer apply ---------------------------------------
+    def _drop_noops(self, suggestions: list[SuggestedAction]) -> list[SuggestedAction]:
+        out = []
+        for s in suggestions:
+            rec = self.launcher.record(s.target)
+            if s.action == ActionType.START and (rec.is_active or s.target in self.waiting):
+                if s.target in self.waiting:
+                    # Refresh the waiting entry's parameters.
+                    self.waiting[s.target].params.update(s.params)
+                continue
+            if s.action == ActionType.STOP and not rec.is_active:
+                # Nothing to stop — but a STOP still cancels a queued START
+                # for the same task (conflict resolution reaches T_waiting).
+                self.waiting.pop(s.target, None)
+                continue
+            if (
+                s.action in (ActionType.ADDCPU, ActionType.RMCPU, ActionType.RECONFIG)
+                and not rec.is_running
+            ):
+                continue
+            out.append(s)
+        return out
+
+    # -- dependency analysis ------------------------------------------------------------
+    def _dependent_restarts(self, filtered: list[SuggestedAction]) -> dict[str, set[str]]:
+        """dependent task -> set of disturbed parents (from this batch)."""
+        out: dict[str, set[str]] = {}
+        for s in filtered:
+            disturbed = None
+            if s.action in (ActionType.STOP, ActionType.RESTART, ActionType.ADDCPU, ActionType.RMCPU):
+                disturbed = s.target
+            elif s.action == ActionType.SWITCH and s.assess_task:
+                disturbed = s.assess_task
+            if disturbed is None:
+                continue
+            for dep in self.rules.transitive_tight_dependents(disturbed):
+                out.setdefault(dep, set()).add(disturbed)
+        return out
+
+    # -- op planning ----------------------------------------------------------------------
+    def _plan_stop(self, plan: ActionPlan, shadow: _Shadow, task: str, reason: str, graceful: bool) -> None:
+        if self.launcher.record(task).is_active:
+            plan.ops.append(
+                LowLevelOp(
+                    op="stop_task",
+                    task=task,
+                    phase=PHASE_RELEASE,
+                    graceful=graceful and self.graceful_stops,
+                    reason=reason,
+                )
+            )
+        shadow.release(task)
+
+    def _plan_start(
+        self,
+        plan: ActionPlan,
+        task: str,
+        rs: ResourceSet,
+        user_script: str | None,
+        params: dict[str, Any],
+        reason: str,
+    ) -> None:
+        plan.ops.append(
+            LowLevelOp(
+                op="start_task",
+                task=task,
+                phase=PHASE_ACQUIRE,
+                resources=rs,
+                user_script=user_script,
+                params=dict(params),
+                reason=reason,
+            )
+        )
+
+    def _plan_acquire(
+        self,
+        plan: ActionPlan,
+        shadow: _Shadow,
+        s: SuggestedAction,
+        stop_targets: set[str],
+        start_targets: set[str],
+        now: float,
+    ) -> bool:
+        """Plan one acquiring/restarting action; may pick victims (lines 6–15)."""
+        spec = self.launcher.record(s.target).spec
+        running = self.launcher.record(s.target).is_running
+        current = shadow.assigned.get(s.target, ResourceSet.empty())
+        adjust = int(s.params.get("adjust-by", 1))
+        user_script = s.params.get("restart-script") or s.params.get("start-script")
+        per_node = spec.procs_per_node
+
+        if s.action == ActionType.ADDCPU:
+            nprocs = current.total_cores + adjust
+            per_node = None  # growth relaxes the initial placement constraint
+        elif s.action == ActionType.RMCPU:
+            nprocs = max(1, current.total_cores - adjust)
+            per_node = None
+        elif s.action == ActionType.RESTART:
+            nprocs = current.total_cores if running else int(s.params.get("nprocs", spec.nprocs))
+        else:  # START / SWITCH(start half)
+            nprocs = int(s.params.get("nprocs", spec.nprocs))
+
+        # Free the target's own cores first (restart semantics).
+        if running:
+            released = shadow.release(s.target)
+        else:
+            released = ResourceSet.empty()
+
+        target_pri = self.rules.task_priority(s.target)
+        while True:
+            try:
+                rs = shadow.place(nprocs, per_node)
+                break
+            except AllocationError:
+                victim = self._pick_victim(shadow, target_pri, stop_targets, start_targets, s.target)
+                if victim is None and per_node is not None:
+                    # Paper's protocol estimates resources; if the strict
+                    # per-node layout cannot be met, retry packed.
+                    try:
+                        rs = shadow.place(nprocs, None)
+                        break
+                    except AllocationError:
+                        pass
+                if victim is None:
+                    # No victim available: park starts, discard growth (line 13).
+                    if running and released:
+                        # Put the target's own cores back; nothing happens.
+                        shadow.take(s.target, released)
+                    if s.action in (ActionType.START, ActionType.RESTART, ActionType.SWITCH) and not running:
+                        self._enqueue_waiting(
+                            s.target, nprocs, per_node, s.params, user_script, now, s.policy_id
+                        )
+                        plan.discarded.append(
+                            f"{s.policy_id}:{s.action.value}:{s.target} (queued, no resources)"
+                        )
+                    else:
+                        plan.discarded.append(
+                            f"{s.policy_id}:{s.action.value}:{s.target} (no resources, no victim)"
+                        )
+                    return False
+                self._victimize(plan, shadow, victim, stop_targets, now)
+
+        if running:
+            self._plan_stop(plan, shadow, s.target, reason=s.policy_id, graceful=True)
+        shadow.take(s.target, rs)
+        self._plan_start(plan, s.target, rs, user_script, s.params, reason=s.policy_id)
+        return True
+
+    def _pick_victim(
+        self,
+        shadow: _Shadow,
+        target_priority: int,
+        stop_targets: set[str],
+        start_targets: set[str],
+        acquirer: str,
+    ) -> str | None:
+        """Lowest-priority running task strictly below the acquirer (line 7)."""
+        if not self.allow_victims:
+            return None
+        candidates = [
+            name
+            for name in shadow.assigned
+            if name != acquirer
+            and name not in stop_targets
+            and name not in start_targets
+            and self.launcher.record(name).is_running
+            and self.rules.task_priority(name) > target_priority
+        ]
+        if not candidates:
+            return None
+        candidates.sort(key=lambda n: (-self.rules.task_priority(n), n))
+        return candidates[0]
+
+    def _victimize(
+        self, plan: ActionPlan, shadow: _Shadow, victim: str, stop_targets: set[str], now: float
+    ) -> None:
+        """Stop *victim* (and its tight dependents), park them in T_waiting."""
+        group = [victim] + [
+            d for d in self.rules.transitive_tight_dependents(victim)
+            if self.launcher.record(d).is_running and d not in stop_targets
+        ]
+        for name in group:
+            held = shadow.assigned.get(name, ResourceSet.empty()).total_cores
+            self._plan_stop(plan, shadow, name, reason="victim", graceful=True)
+            stop_targets.add(name)
+            plan.victims.append(name)
+            spec = self.launcher.record(name).spec
+            self._enqueue_waiting(
+                name, held or spec.nprocs, spec.procs_per_node, {}, None, now, "victim"
+            )
+
+    # -- waiting queue ---------------------------------------------------------------------
+    def _enqueue_waiting(
+        self,
+        task: str,
+        nprocs: int,
+        per_node_limit: int | None,
+        params: dict[str, Any],
+        user_script: str | None,
+        now: float,
+        reason: str,
+    ) -> None:
+        if task not in self.waiting:
+            self.waiting[task] = WaitingEntry(
+                task=task,
+                nprocs=nprocs,
+                per_node_limit=per_node_limit,
+                params=dict(params),
+                user_script=user_script,
+                enqueued=now,
+                reason=reason,
+            )
+
+    def _drainable(self, now: float) -> bool:
+        """Could the waiting queue plausibly make progress?"""
+        return bool(self.waiting) and self.launcher.rm.free_cores() > 0
+
+    def _try_start_waiting(
+        self,
+        plan: ActionPlan,
+        shadow: _Shadow,
+        entry: WaitingEntry,
+        stop_targets: set[str],
+        start_targets: set[str],
+    ) -> bool:
+        """Start one waiting task if free resources allow (no victims)."""
+        if entry.task in start_targets or entry.task in stop_targets:
+            return False
+        if self.launcher.record(entry.task).is_active:
+            self.waiting.pop(entry.task, None)
+            return False
+        try:
+            rs = shadow.place(entry.nprocs, entry.per_node_limit)
+        except AllocationError:
+            if entry.per_node_limit is not None:
+                try:
+                    rs = shadow.place(entry.nprocs, None)
+                except AllocationError:
+                    return False
+            else:
+                return False
+        shadow.take(entry.task, rs)
+        user_script = (
+            entry.user_script
+            or entry.params.get("restart-script")
+            or entry.params.get("start-script")
+        )
+        self._plan_start(plan, entry.task, rs, user_script, entry.params, reason="waiting-queue")
+        start_targets.add(entry.task)
+        self.waiting.pop(entry.task, None)
+        return True
+
+    def _drain_waiting(
+        self,
+        plan: ActionPlan,
+        shadow: _Shadow,
+        start_targets: set[str],
+        stop_targets: set[str],
+        now: float,
+    ) -> None:
+        """Start waiting tasks, highest priority first, while cores remain."""
+        entries = sorted(
+            self.waiting.values(), key=lambda e: (self.rules.task_priority(e.task), e.enqueued)
+        )
+        for entry in entries:
+            self._try_start_waiting(plan, shadow, entry, stop_targets, start_targets)

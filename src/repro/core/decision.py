@@ -1,0 +1,108 @@
+"""Decision stage: route metric updates to policies and collect responses.
+
+"This module screens incoming sensor message(s) ... and maps them to the
+policies.  Each policy uses these updates to trigger evaluation at
+defined frequency intervals ... Policy responses (if any) are collected
+and sent as a single JSON message to the Arbitration module" (paper §3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.actions import SuggestedAction
+from repro.core.events import MetricUpdate
+from repro.core.policy import PolicyApplication, PolicyRuntime, PolicySpec
+from repro.errors import PolicyError
+from repro.util.jsonmsg import Envelope, SequenceTracker
+
+
+class DecisionStage:
+    """Holds policy runtimes, ingests updates, emits suggestion batches."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, PolicySpec] = {}
+        self._runtimes: list[PolicyRuntime] = []
+        self._seq = SequenceTracker()
+        self.updates_seen = 0
+        self.updates_matched = 0
+
+    # -- configuration ------------------------------------------------------------
+    def add_policy(self, spec: PolicySpec) -> None:
+        if spec.policy_id in self._specs:
+            raise PolicyError(f"duplicate policy id {spec.policy_id!r}")
+        self._specs[spec.policy_id] = spec
+
+    def apply_policy(self, application: PolicyApplication) -> PolicyRuntime:
+        spec = self._specs.get(application.policy_id)
+        if spec is None:
+            raise PolicyError(f"apply-policy references unknown policy {application.policy_id!r}")
+        runtime = PolicyRuntime(spec, application)
+        self._runtimes.append(runtime)
+        return runtime
+
+    @property
+    def policies(self) -> list[PolicySpec]:
+        return list(self._specs.values())
+
+    @property
+    def runtimes(self) -> list[PolicyRuntime]:
+        return list(self._runtimes)
+
+    # -- data path ------------------------------------------------------------------
+    def ingest(self, updates: Iterable[MetricUpdate]) -> None:
+        """Map incoming updates onto every matching policy runtime."""
+        for u in updates:
+            self.updates_seen += 1
+            for rt in self._runtimes:
+                if rt.ingest(u):
+                    self.updates_matched += 1
+
+    def tick(self, now: float) -> list[SuggestedAction]:
+        """Evaluate due policies; returns this round's suggestions."""
+        suggestions: list[SuggestedAction] = []
+        for rt in self._runtimes:
+            suggestions.extend(rt.evaluate(now))
+        return suggestions
+
+    def tick_envelope(self, now: float) -> Envelope | None:
+        """Like :meth:`tick` but packaged as the single JSON message the
+        Decision module sends to Arbitration."""
+        suggestions = self.tick(now)
+        if not suggestions:
+            return None
+        return self._seq.stamp(
+            "decision",
+            "decision-stage",
+            now,
+            {
+                "suggestions": [
+                    {
+                        "policy_id": s.policy_id,
+                        "action": s.action.value,
+                        "target": s.target,
+                        "workflow_id": s.workflow_id,
+                        "assess_task": s.assess_task,
+                        "params": s.params,
+                        "trigger_time": s.trigger_time,
+                        "metric_value": s.metric_value,
+                    }
+                    for s in suggestions
+                ]
+            },
+        )
+
+    def on_task_restart(self, task: str) -> None:
+        """Clear windowed history of policies assessing a restarted task.
+
+        A restarted task runs at a new size: averaging its new pace with
+        pre-restart values double-counts the old regime and re-triggers
+        adjustments that were already applied.  Only windowed policies
+        reset — instantaneous (window=1) policies keep their pending
+        values so exact-match conditions are never silently dropped.
+        (The paper's Fig. 9 shows the metric itself resetting across
+        restarts.)
+        """
+        for rt in self._runtimes:
+            if rt.application.assess_task == task and rt.spec.history_window > 1:
+                rt.reset_history()

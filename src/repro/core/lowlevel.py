@@ -1,0 +1,124 @@
+"""Low-level operations and action plans.
+
+Arbitration maps accepted high-level actions onto "the function calls
+understood by a resource manager or underlying resource management
+service" (§2.3): here, the two primitives every action decomposes into —
+stopping a task and starting a task on a concrete resource set — plus
+plan ordering metadata.  "If any operation reduces the number of
+processes of a task releasing resources, it should precede others that
+use those resources": stops are phase 0, starts phase 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.allocation import ResourceSet
+
+PHASE_RELEASE = 0  # stop_task / shrink: frees cores
+PHASE_ACQUIRE = 1  # start_task: consumes cores
+
+
+@dataclass
+class LowLevelOp:
+    """One plugin invocation in a plan.
+
+    Attributes:
+        op: ``"stop_task"``, ``"start_task"`` or ``"reconfig_task"``.
+        task: the target task.
+        phase: ordering class (releases before acquires).
+        graceful: stop flavour (graceful = finish the current timestep).
+        resources: planned core assignment (start ops only).
+        user_script: script to run before launch (start ops only).
+        params: task parameters forwarded into the TaskContext.
+        reason: provenance — the policy id, ``"victim"``, ``"dependency"``
+            or ``"waiting-queue"``.
+        exec_start / exec_end: stamped by Actuation, for the §4.6 cost
+            breakdown (graceful-termination share of response time).
+    """
+
+    op: str
+    task: str
+    phase: int
+    graceful: bool = True
+    resources: ResourceSet | None = None
+    user_script: str | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+    reason: str = ""
+    exec_start: float | None = None
+    exec_end: float | None = None
+
+    @property
+    def exec_duration(self) -> float:
+        if self.exec_start is None or self.exec_end is None:
+            raise ValueError(f"op {self.describe()} not executed")
+        return self.exec_end - self.exec_start
+
+    def describe(self) -> str:
+        if self.op == "start_task":
+            n = self.resources.total_cores if self.resources else 0
+            return f"start {self.task} ({n} procs) [{self.reason}]"
+        if self.op == "reconfig_task":
+            return f"reconfig {self.task} {self.params} [{self.reason}]"
+        flavour = "graceful" if self.graceful else "kill"
+        return f"stop {self.task} ({flavour}) [{self.reason}]"
+
+
+@dataclass
+class ActionPlan:
+    """An ordered, feasible set of low-level operations plus accounting."""
+
+    plan_id: str
+    workflow_id: str
+    created: float
+    ops: list[LowLevelOp]
+    trigger_time: float
+    accepted: list[str] = field(default_factory=list)   # accepted high-level actions
+    discarded: list[str] = field(default_factory=list)  # dropped suggestions
+    victims: list[str] = field(default_factory=list)
+    reassignment: dict[str, ResourceSet] = field(default_factory=dict)
+    # filled by Actuation:
+    execution_start: float | None = None
+    execution_end: float | None = None
+
+    def ordered_ops(self) -> list[LowLevelOp]:
+        """Ops in execution order: releases first, stable within phase."""
+        return sorted(self.ops, key=lambda o: o.phase)
+
+    @property
+    def response_time(self) -> float:
+        """Plan finalization to actuation completion (§4.4's 107 s / 36 s)."""
+        if self.execution_end is None:
+            raise ValueError(f"plan {self.plan_id} not yet executed")
+        return self.execution_end - self.created
+
+    def stop_share(self) -> float:
+        """Fraction of the response spent waiting for task termination.
+
+        The paper measured ≈97% of response time waiting for tasks to
+        terminate gracefully (§4.6).
+        """
+        if self.execution_end is None or self.execution_start is None:
+            raise ValueError(f"plan {self.plan_id} not yet executed")
+        total = self.execution_end - self.created
+        if total <= 0:
+            return 0.0
+        stop_time = sum(
+            op.exec_duration
+            for op in self.ops
+            if op.op == "stop_task" and op.exec_start is not None and op.exec_end is not None
+        )
+        return min(1.0, stop_time / total)
+
+    @property
+    def event_to_response(self) -> float:
+        """Triggering event to actuation completion (includes decision lag)."""
+        if self.execution_end is None:
+            raise ValueError(f"plan {self.plan_id} not yet executed")
+        return self.execution_end - self.trigger_time
+
+    def describe(self) -> str:
+        lines = [f"plan {self.plan_id} @ {self.created:.2f}s (trigger {self.trigger_time:.2f}s)"]
+        lines.extend(f"  {op.describe()}" for op in self.ordered_ops())
+        return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Arbitration rules: priorities and dependencies (paper §2.3).
+
+Users guide the plan of action with three rule kinds: policy priorities
+(resolve conflicting high-level actions), task priorities (resolve
+conflicting low-level operations and pick victims), and task
+inter-dependencies (identify dependent operations).  Lower numbers mean
+higher priority, matching the paper's "priority 0 (the highest)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.wms.spec import CouplingType, DependencySpec, WorkflowSpec
+
+# Tasks without an explicit priority rank below any ranked task.
+DEFAULT_PRIORITY = 1_000_000
+
+
+@dataclass
+class ArbitrationRules:
+    """Rules for one workflow."""
+
+    workflow_id: str
+    task_priorities: dict[str, int] = field(default_factory=dict)
+    policy_priorities: dict[str, int] = field(default_factory=dict)
+    dependencies: list[DependencySpec] = field(default_factory=list)
+
+    # -- priorities ----------------------------------------------------------------
+    def task_priority(self, task: str) -> int:
+        return self.task_priorities.get(task, DEFAULT_PRIORITY)
+
+    def policy_priority(self, policy_id: str) -> int:
+        return self.policy_priorities.get(policy_id, DEFAULT_PRIORITY)
+
+    # -- dependencies -----------------------------------------------------------------
+    def tight_dependents(self, task: str) -> list[str]:
+        return [
+            d.task for d in self.dependencies
+            if d.parent == task and d.type == CouplingType.TIGHT
+        ]
+
+    def transitive_tight_dependents(self, task: str) -> list[str]:
+        out: list[str] = []
+        frontier = [task]
+        seen = {task}
+        while frontier:
+            nxt: list[str] = []
+            for t in frontier:
+                for d in self.tight_dependents(t):
+                    if d not in seen:
+                        seen.add(d)
+                        out.append(d)
+                        nxt.append(d)
+            frontier = nxt
+        return out
+
+    @classmethod
+    def from_workflow(
+        cls,
+        workflow: WorkflowSpec,
+        task_priorities: dict[str, int] | None = None,
+        policy_priorities: dict[str, int] | None = None,
+    ) -> "ArbitrationRules":
+        """Rules seeded with the workflow's own dependency declarations."""
+        return cls(
+            workflow_id=workflow.workflow_id,
+            task_priorities=dict(task_priorities or {}),
+            policy_priorities=dict(policy_priorities or {}),
+            dependencies=list(workflow.dependencies),
+        )

@@ -1,0 +1,39 @@
+"""Sensors: the Monitor stage's programmable constructs (paper §2.1).
+
+A sensor defines *what* to procure (source type), optional
+*preprocessing* of raw values, *group-by and reduction* to turn samples
+into metrics at a chosen granularity, and optional *joins* with other
+sensors for compound metrics like IPC.
+"""
+
+from repro.core.sensors.reductions import REDUCTIONS, reduce_values
+from repro.core.sensors.preprocess import PREPROCESS, preprocess_value
+from repro.core.sensors.groupby import GRANULARITIES, group_key
+from repro.core.sensors.base import GroupBySpec, JoinSpec, SensorInstance, SensorSpec
+from repro.core.sensors.sources import (
+    DataSource,
+    DiskScanSource,
+    ErrorStatusSource,
+    FileReadSource,
+    StreamSource,
+    make_source,
+)
+
+__all__ = [
+    "REDUCTIONS",
+    "reduce_values",
+    "PREPROCESS",
+    "preprocess_value",
+    "GRANULARITIES",
+    "group_key",
+    "SensorSpec",
+    "SensorInstance",
+    "GroupBySpec",
+    "JoinSpec",
+    "DataSource",
+    "StreamSource",
+    "DiskScanSource",
+    "FileReadSource",
+    "ErrorStatusSource",
+    "make_source",
+]

@@ -1,0 +1,34 @@
+"""Group-by granularities (paper §2.1).
+
+* ``task`` — all processes of one task, cluster-wide.
+* ``node-task`` — processes of one task sharing a compute node.
+* ``workflow`` — all tasks of the workflow.
+* ``node-workflow`` — all workflow processes sharing a compute node.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SensorError
+from repro.staging.serialization import Sample
+
+GRANULARITIES = ("task", "node-task", "workflow", "node-workflow")
+
+
+def group_key(granularity: str, sample: Sample) -> tuple:
+    """The group key a sample falls into at *granularity*."""
+    if granularity == "task":
+        return (sample.task,)
+    if granularity == "node-task":
+        return (sample.task, sample.node_id)
+    if granularity == "workflow":
+        return (sample.workflow_id,)
+    if granularity == "node-workflow":
+        return (sample.workflow_id, sample.node_id)
+    raise SensorError(f"unknown granularity {granularity!r}; known: {GRANULARITIES}")
+
+
+def task_of_key(granularity: str, key: tuple) -> str:
+    """The task a group key refers to ("" for workflow granularities)."""
+    if granularity in ("task", "node-task"):
+        return key[0]
+    return ""

@@ -1,0 +1,42 @@
+"""Reduction operations: grouped samples → one metric value."""
+
+from __future__ import annotations
+
+import statistics
+from collections.abc import Sequence
+from typing import Callable
+
+from repro.errors import SensorError
+
+Reduction = Callable[[Sequence[float]], float]
+
+
+def _first(values: Sequence[float]) -> float:
+    return values[0]
+
+
+def _last(values: Sequence[float]) -> float:
+    return values[-1]
+
+
+REDUCTIONS: dict[str, Reduction] = {
+    "MAX": max,
+    "MIN": min,
+    "SUM": sum,
+    "AVG": lambda v: sum(v) / len(v),
+    "MEAN": lambda v: sum(v) / len(v),
+    "MEDIAN": statistics.median,
+    "FIRST": _first,
+    "LAST": _last,
+    "COUNT": len,
+}
+
+
+def reduce_values(op: str, values: Sequence[float]) -> float:
+    """Apply reduction *op* to *values* (non-empty)."""
+    fn = REDUCTIONS.get(op.upper())
+    if fn is None:
+        raise SensorError(f"unknown reduction {op!r}; known: {sorted(REDUCTIONS)}")
+    if not values:
+        raise SensorError(f"reduction {op!r} over empty group")
+    return float(fn(values))

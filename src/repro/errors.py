@@ -1,0 +1,119 @@
+"""Exception hierarchy for the DYFLOW reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.  The
+sub-hierarchy mirrors the subsystems: simulation kernel, cluster substrate,
+staging layer, WMS, DYFLOW core stages, and the XML interface.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+# --------------------------------------------------------------------------- #
+# simulation kernel
+# --------------------------------------------------------------------------- #
+class SimError(ReproError):
+    """Base class for discrete-event simulation errors."""
+
+
+class SimTimeError(SimError):
+    """An event was scheduled in the past or the clock moved backwards."""
+
+
+class ProcessError(SimError):
+    """A simulated process misbehaved (e.g. yielded an unknown command)."""
+
+
+# --------------------------------------------------------------------------- #
+# cluster substrate
+# --------------------------------------------------------------------------- #
+class ClusterError(ReproError):
+    """Base class for cluster-substrate errors."""
+
+
+class AllocationError(ClusterError):
+    """Resources could not be allocated (insufficient or invalid request)."""
+
+
+class NodeStateError(ClusterError):
+    """An operation was attempted on a node in an incompatible state."""
+
+
+class SchedulerError(ClusterError):
+    """Batch scheduler rejected or cannot satisfy a job request."""
+
+
+# --------------------------------------------------------------------------- #
+# staging / data plane
+# --------------------------------------------------------------------------- #
+class StagingError(ReproError):
+    """Base class for data-staging errors."""
+
+
+class ChannelClosedError(StagingError):
+    """Read or write on a closed stream channel."""
+
+
+class BufferOverflowError(StagingError):
+    """A bounded stream buffer overflowed (paper §4.5: buffer overwrites)."""
+
+
+class StoreError(StagingError):
+    """File-store level failure (missing variable, bad step, ...)."""
+
+
+# --------------------------------------------------------------------------- #
+# workflow management substrate
+# --------------------------------------------------------------------------- #
+class WmsError(ReproError):
+    """Base class for workflow-management errors."""
+
+
+class WorkflowSpecError(WmsError):
+    """Invalid workflow specification (unknown task, cyclic tight deps...)."""
+
+
+class TaskStateError(WmsError):
+    """Illegal task lifecycle transition."""
+
+
+class LaunchError(WmsError):
+    """The launcher could not start a task on the given resources."""
+
+
+class CheckpointError(WmsError):
+    """Checkpoint save/load failure."""
+
+
+# --------------------------------------------------------------------------- #
+# DYFLOW core stages
+# --------------------------------------------------------------------------- #
+class DyflowError(ReproError):
+    """Base class for DYFLOW stage errors."""
+
+
+class SensorError(DyflowError):
+    """Sensor configuration or evaluation failure."""
+
+
+class PolicyError(DyflowError):
+    """Policy configuration or evaluation failure."""
+
+
+class ArbitrationError(DyflowError):
+    """The arbitration protocol could not construct a consistent plan."""
+
+
+class ActuationError(DyflowError):
+    """A low-level operation failed during plan execution."""
+
+
+# --------------------------------------------------------------------------- #
+# XML interface
+# --------------------------------------------------------------------------- #
+class XmlSpecError(ReproError):
+    """Malformed or semantically invalid DYFLOW XML specification."""

@@ -1,0 +1,191 @@
+"""The LAMMPS failure-resilience experiment (§4.5, Fig. 11, Table 3).
+
+The MD simulation and three tightly coupled analyses co-locate on every
+node (30+4+4+4 = 42 cores on Summit nodes), so a node failure 10 minutes
+in kills the whole workflow.  A STATUS sensor reads the exit codes
+Savanna saves; the RESTART_ON_FAILURE policy (error > 128) restarts
+everything, with Arbitration excluding the failed node and using the
+spare nodes in the allocation.  The simulation resumes from its last
+checkpoint (step 412) and repeats a few timesteps.
+"""
+
+from __future__ import annotations
+
+from repro.apps.lammps import (
+    ANALYSIS_TASKS,
+    LammpsConfig,
+    TASK_PRIORITIES,
+    make_lammps_app,
+    make_md_analysis_app,
+)
+from repro.cluster import BatchScheduler, FailureInjector, deepthought2, summit
+from repro.experiments.results import ScenarioResult
+from repro.experiments.runner import execute_scenario
+from repro.sim import RngRegistry, SimEngine
+from repro.wms import CouplingType, DependencySpec, Savanna, TaskSpec, WorkflowSpec
+from repro.xmlspec import configure_orchestrator, parse_dyflow_xml
+
+WORKFLOW_ID = "MD-WORKFLOW"
+FAILURE_TIME = 600.0  # "10 mins into the experiment" (§4.5)
+SPARE_NODES = 2
+
+
+def lammps_xml() -> str:
+    """The Fig. 10 specification: STATUS sensor + RESTART_ON_FAILURE."""
+    monitor_blocks = "\n".join(
+        f"""
+      <monitor-task name="{t}" workflowId="{WORKFLOW_ID}">
+        <use-sensor sensor-id="STATUS"/>
+      </monitor-task>"""
+        for t in ("LAMMPS",) + ANALYSIS_TASKS
+    )
+    apply_blocks = "\n".join(
+        f"""
+    <apply-policy policyId="RESTART_ON_FAILURE" assess-task="{t}">
+      <act-on-tasks> {t} </act-on-tasks>
+    </apply-policy>"""
+        for t in ("LAMMPS",) + ANALYSIS_TASKS
+    )
+    priorities = "\n".join(
+        f'        <task-priority name="{t}" priority="{p}"/>'
+        for t, p in TASK_PRIORITIES.items()
+    )
+    return f"""
+<dyflow>
+  <monitor>
+    <sensors>
+      <sensor id="STATUS" type="ERRORSTATUS">
+        <group-by><group granularity="task" reduction-operation="FIRST"/></group-by>
+      </sensor>
+    </sensors>
+    <monitor-tasks>{monitor_blocks}
+    </monitor-tasks>
+  </monitor>
+  <decision>
+    <policies>
+      <policy id="RESTART_ON_FAILURE">
+        <eval operation="GT" threshold="128"/>
+        <sensors-to-use><use-sensor id="STATUS" granularity="task"/></sensors-to-use>
+        <action> RESTART </action>
+        <frequency seconds="5"/>
+      </policy>
+    </policies>
+    <apply-on workflowId="{WORKFLOW_ID}">{apply_blocks}
+    </apply-on>
+  </decision>
+  <arbitration>
+    <rules>
+      <rule-for workflowId="{WORKFLOW_ID}">
+        <task-priorities>
+{priorities}
+        </task-priorities>
+        <task-dependencies workflowId="{WORKFLOW_ID}">
+          <task-dep name="CS_Calc" type="TIGHT" parent="LAMMPS"/>
+          <task-dep name="CNA_Calc" type="TIGHT" parent="LAMMPS"/>
+          <task-dep name="RDF_Calc" type="TIGHT" parent="LAMMPS"/>
+        </task-dependencies>
+      </rule-for>
+    </rules>
+  </arbitration>
+</dyflow>
+"""
+
+
+LAMMPS_XML = lammps_xml()
+
+
+def build_workflow(config: LammpsConfig) -> WorkflowSpec:
+    tasks = [
+        TaskSpec(
+            "LAMMPS",
+            lambda config=config: make_lammps_app(config),
+            nprocs=config.sim_procs,
+            procs_per_node=config.sim_procs_per_node,
+        )
+    ]
+    for t in ANALYSIS_TASKS:
+        tasks.append(
+            TaskSpec(
+                t,
+                lambda t=t, config=config: make_md_analysis_app(t, config),
+                nprocs=config.analysis_procs,
+                procs_per_node=config.analysis_procs_per_node,
+            )
+        )
+    deps = [DependencySpec(t, "LAMMPS", CouplingType.TIGHT) for t in ANALYSIS_TASKS]
+    return WorkflowSpec(WORKFLOW_ID, tasks, deps)
+
+
+def run_lammps_experiment(
+    machine: str = "summit",
+    use_dyflow: bool = True,
+    inject_failure: bool = True,
+    failure_time: float = FAILURE_TIME,
+    seed: int = 0,
+    max_time: float = 20_000.0,
+) -> ScenarioResult:
+    """Run the resilience experiment; returns trace, plans, checkpoints."""
+    engine = SimEngine()
+    config = (
+        LammpsConfig.summit() if machine == "summit" else LammpsConfig.deepthought2()
+    )
+    base_nodes = config.sim_procs // config.sim_procs_per_node
+    num_nodes = base_nodes + SPARE_NODES
+    m = summit(num_nodes) if machine == "summit" else deepthought2(num_nodes)
+    scheduler = BatchScheduler(engine, m)
+    job = scheduler.submit(num_nodes, walltime_limit=max_time)
+    engine.run(until=0)
+    assert job.allocation is not None
+    workflow = build_workflow(config)
+    launcher = Savanna(engine, workflow, job.allocation, rng=RngRegistry(seed))
+
+    failed_node = m.nodes[base_nodes // 2].node_id
+    if inject_failure:
+        injector = FailureInjector(engine, m)
+        injector.subscribe_failure(lambda node, _t: launcher.handle_node_failure(node.node_id))
+        injector.fail_node_at(failure_time, failed_node)
+
+    orch = None
+    if use_dyflow:
+        spec = parse_dyflow_xml(lammps_xml())
+        orch = configure_orchestrator(
+            launcher, spec, warmup=120.0, settle=60.0, poll_interval=1.0, record_history=True
+        )
+
+    def done() -> bool:
+        rec = launcher.record("LAMMPS")
+        if rec.is_active or rec.current is None:
+            return False
+        finished = rec.current.notes.get("completed", False)
+        return (finished or not use_dyflow) and launcher.all_idle()
+
+    makespan = execute_scenario(engine, launcher, orch, max_time, stop_when=done)
+
+    cp_path = f"cp/{WORKFLOW_ID}/LAMMPS"
+    fs = launcher.hub.filesystem
+    restart_step = None
+    for inst in launcher.record("LAMMPS").all_instances():
+        if inst.incarnation > 0:
+            restart_step = inst.notes.get("first_step")
+            break
+    sim_rec = launcher.record("LAMMPS")
+    return ScenarioResult(
+        name="lammps",
+        machine=machine,
+        use_dyflow=use_dyflow,
+        makespan=makespan,
+        trace=launcher.trace,
+        plans=orch.plans if orch else [],
+        metric_history=orch.server.history if orch else [],
+        launcher=launcher,
+        meta={
+            "failed_node": failed_node if inject_failure else None,
+            "failure_time": failure_time if inject_failure else None,
+            "restart_step": restart_step,
+            "checkpoint_step": fs.read(cp_path)["step"] if fs.exists(cp_path) else None,
+            "sim_completed": (
+                sim_rec.current.notes.get("completed", False) if sim_rec.current else False
+            ),
+            "config": config,
+        },
+    )

@@ -1,0 +1,43 @@
+"""Shared scenario execution helper."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.runtime.sim_driver import DyflowOrchestrator
+from repro.sim.engine import SimEngine
+from repro.wms.launcher import Savanna
+
+
+def execute_scenario(
+    engine: SimEngine,
+    launcher: Savanna,
+    orchestrator: DyflowOrchestrator | None,
+    max_time: float,
+    stop_when: Callable[[], bool] | None = None,
+) -> float:
+    """Launch the workflow (and DYFLOW service), run, return the makespan.
+
+    The makespan is the end time of the last task instance; ``max_time``
+    is a hard simulation cap that raises if the scenario never converges.
+    """
+    launcher.launch_workflow()
+    if orchestrator is not None:
+        done = stop_when if stop_when is not None else launcher.all_idle
+        orchestrator.start(stop_when=done)
+    engine.run(until=max_time)
+    ends = [
+        inst.end_time
+        for rec in launcher.records.values()
+        for inst in rec.all_instances()
+        if inst.end_time is not None
+    ]
+    if not ends:
+        raise ReproError("scenario produced no finished task instances")
+    still_active = [name for name, rec in launcher.records.items() if rec.is_active]
+    if still_active:
+        raise ReproError(
+            f"scenario hit the {max_time}s cap with tasks still active: {still_active}"
+        )
+    return max(ends)

@@ -1,0 +1,187 @@
+"""The XGC1–XGCa science-driven orchestration experiment (§4.3, Fig. 6).
+
+Two fusion codes alternate every 100 global timesteps toward a 500-step
+target; a proxy error condition switches from XGCa to XGC1 at step 374;
+everything stops past step 500.  Three policies over one DISKSCAN
+sensor express all of it — the XML below mirrors the paper's Fig. 7.
+"""
+
+from __future__ import annotations
+
+from repro.apps.xgc import XGC1_STEP_TIME, XGC_REF_PROCS, XgcApp, make_xgc1, make_xgca
+from repro.cluster import BatchScheduler, deepthought2, summit
+from repro.experiments.results import ScenarioResult
+from repro.experiments.runner import execute_scenario
+from repro.sim import RngRegistry, SimEngine
+from repro.wms import CouplingType, DependencySpec, Savanna, TaskSpec, WorkflowSpec
+from repro.xmlspec import configure_orchestrator, parse_dyflow_xml
+
+WORKFLOW_ID = "FUSION-WORKFLOW"
+TARGET_STEPS = 500
+SWITCH_STEP = 374
+PROCS_PER_NODE = 14
+NUM_NODES = 14  # 192 processes at 14 per node (Table 1)
+
+XGC_XML = f"""
+<dyflow>
+  <monitor>
+    <sensors>
+      <sensor id="NSTEPS" type="DISKSCAN">
+        <group-by>
+          <group granularity="task" reduction-operation="MAX"/>
+          <group granularity="workflow" reduction-operation="MAX"/>
+        </group-by>
+      </sensor>
+    </sensors>
+    <monitor-tasks>
+      <monitor-task name="XGC1" workflowId="{WORKFLOW_ID}" info-source="out/{WORKFLOW_ID}/XGC1.out.*">
+        <use-sensor sensor-id="NSTEPS" info="nsteps"/>
+      </monitor-task>
+      <monitor-task name="XGCA" workflowId="{WORKFLOW_ID}" info-source="out/{WORKFLOW_ID}/XGCA.out.*">
+        <use-sensor sensor-id="NSTEPS" info="nsteps"/>
+      </monitor-task>
+    </monitor-tasks>
+  </monitor>
+  <decision>
+    <policies>
+      <policy id="RESTART_UNTIL_COND">
+        <eval operation="LT" threshold="{TARGET_STEPS}"/>
+        <sensors-to-use><use-sensor id="NSTEPS" granularity="workflow"/></sensors-to-use>
+        <action> START </action>
+        <frequency seconds="5"/>
+      </policy>
+      <policy id="SWITCH_ON_COND">
+        <eval operation="EQ" threshold="{SWITCH_STEP}"/>
+        <sensors-to-use><use-sensor id="NSTEPS" granularity="workflow"/></sensors-to-use>
+        <action> SWITCH </action>
+        <frequency seconds="5"/>
+      </policy>
+      <policy id="STOP_ON_COND">
+        <eval operation="GT" threshold="{TARGET_STEPS}"/>
+        <sensors-to-use><use-sensor id="NSTEPS" granularity="workflow"/></sensors-to-use>
+        <action> STOP </action>
+        <frequency seconds="5"/>
+      </policy>
+    </policies>
+    <apply-on workflowId="{WORKFLOW_ID}">
+      <apply-policy policyId="RESTART_UNTIL_COND" assess-task="XGCA">
+        <act-on-tasks> XGC1 </act-on-tasks>
+        <action-params><param key="restart-script" value="restart-xgc1.sh"/></action-params>
+      </apply-policy>
+      <apply-policy policyId="RESTART_UNTIL_COND" assess-task="XGC1">
+        <act-on-tasks> XGCA </act-on-tasks>
+      </apply-policy>
+      <apply-policy policyId="SWITCH_ON_COND" assess-task="XGCA">
+        <act-on-tasks> XGC1 </act-on-tasks>
+        <action-params><param key="restart-script" value="restart-xgc1.sh"/></action-params>
+      </apply-policy>
+      <apply-policy policyId="STOP_ON_COND" assess-task="XGCA">
+        <act-on-tasks> XGCA XGC1 </act-on-tasks>
+      </apply-policy>
+    </apply-on>
+  </decision>
+  <arbitration>
+    <rules>
+      <rule-for workflowId="{WORKFLOW_ID}">
+        <task-priorities>
+          <task-priority name="XGC1" priority="0"/>
+          <task-priority name="XGCA" priority="0"/>
+        </task-priorities>
+        <policy-priorities>
+          <policy-priority name="STOP_ON_COND" priority="0"/>
+          <policy-priority name="SWITCH_ON_COND" priority="1"/>
+          <policy-priority name="RESTART_UNTIL_COND" priority="2"/>
+        </policy-priorities>
+      </rule-for>
+    </rules>
+  </arbitration>
+</dyflow>
+"""
+
+
+def _make_machine(machine: str):
+    # Each XGC process runs 10 threads (Table 1), so a node hosts 14
+    # process slots — the allocation fits exactly one code at a time,
+    # which is why the paper's XGCa "waits in the queue".
+    if machine == "summit":
+        return summit(NUM_NODES, cores_per_node=PROCS_PER_NODE)
+    if machine == "deepthought2":
+        return deepthought2(NUM_NODES, cores_per_node=PROCS_PER_NODE)
+    raise ValueError(f"unknown machine {machine!r}")
+
+
+def build_workflow(use_dyflow: bool) -> WorkflowSpec:
+    """The two alternating codes; XGCa starts parked (loose dependency).
+
+    Without DYFLOW the baseline completes the whole 500+ steps with XGC1
+    alone ("the simulation completes only using XGC1", §4.3).
+    """
+    if use_dyflow:
+        tasks = [
+            TaskSpec("XGC1", lambda: make_xgc1(), nprocs=XGC_REF_PROCS,
+                     procs_per_node=PROCS_PER_NODE, autostart=True),
+            TaskSpec("XGCA", lambda: make_xgca(), nprocs=XGC_REF_PROCS,
+                     procs_per_node=PROCS_PER_NODE, autostart=False),
+        ]
+    else:
+        # Baseline: XGC1 completes every step in one long run.
+        tasks = [
+            TaskSpec(
+                "XGC1",
+                lambda: XgcApp(
+                    "XGC1",
+                    XGC1_STEP_TIME,
+                    total_steps=TARGET_STEPS + 2,
+                    run_steps=TARGET_STEPS + 2,
+                ),
+                nprocs=XGC_REF_PROCS,
+                procs_per_node=PROCS_PER_NODE,
+                autostart=True,
+            ),
+        ]
+    deps = (
+        [DependencySpec("XGCA", "XGC1", CouplingType.LOOSE)] if use_dyflow else []
+    )
+    return WorkflowSpec(WORKFLOW_ID, tasks, deps)
+
+
+def run_xgc_experiment(
+    machine: str = "summit",
+    use_dyflow: bool = True,
+    seed: int = 0,
+    max_time: float = 30_000.0,
+) -> ScenarioResult:
+    """Run the fusion experiment; returns trace, plans, response times."""
+    engine = SimEngine()
+    m = _make_machine(machine)
+    scheduler = BatchScheduler(engine, m)
+    job = scheduler.submit(NUM_NODES, walltime_limit=max_time)
+    engine.run(until=0)
+    assert job.allocation is not None
+    workflow = build_workflow(use_dyflow)
+    launcher = Savanna(engine, workflow, job.allocation, rng=RngRegistry(seed))
+    orch = None
+    if use_dyflow:
+        spec = parse_dyflow_xml(XGC_XML)
+        orch = configure_orchestrator(
+            launcher, spec, warmup=120.0, settle=30.0, poll_interval=1.0, record_history=True
+        )
+
+    def progress() -> int:
+        fs = launcher.hub.filesystem
+        path = f"fusion/{WORKFLOW_ID}/progress"
+        return int(fs.read(path)["step"]) if fs.exists(path) else 0
+
+    stop_when = (lambda: progress() > TARGET_STEPS and launcher.all_idle()) if use_dyflow else None
+    makespan = execute_scenario(engine, launcher, orch, max_time, stop_when)
+    return ScenarioResult(
+        name="xgc",
+        machine=machine,
+        use_dyflow=use_dyflow,
+        makespan=makespan,
+        trace=launcher.trace,
+        plans=orch.plans if orch else [],
+        metric_history=orch.server.history if orch else [],
+        launcher=launcher,
+        meta={"final_progress": progress(), "target": TARGET_STEPS},
+    )

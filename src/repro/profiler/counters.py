@@ -1,0 +1,62 @@
+"""Hardware-counter models.
+
+The paper's example of a joined metric is IPC = instructions / cycles
+(§2.1 "Join").  Real counters come from PAPI via TAU; here a simple model
+derives plausible counter values from observed loop times: cycles follow
+wall time at the core clock, instructions follow the useful work done, so
+IPC degrades when a task slows down for non-compute reasons (waiting on a
+stalled consumer) — exactly the situation the Gray-Scott experiment's
+under-provisioning creates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.util.validation import check_positive
+
+
+class CounterModel:
+    """Derives PAPI-style instruction/cycle counts from loop times."""
+
+    def __init__(
+        self,
+        clock_ghz: float = 2.8,
+        work_instructions: float = 5e9,
+        base_ipc: float = 1.6,
+    ) -> None:
+        """
+        Args:
+            clock_ghz: core clock; cycles per step = looptime * clock.
+            work_instructions: instructions a rank retires for one step's
+                *useful* work (independent of how long the step takes).
+            base_ipc: IPC when the step runs at full efficiency; the
+                implied minimum looptime is work / (clock * base_ipc).
+        """
+        check_positive(clock_ghz, "clock_ghz")
+        check_positive(work_instructions, "work_instructions")
+        check_positive(base_ipc, "base_ipc")
+        self.clock_hz = clock_ghz * 1e9
+        self.work_instructions = work_instructions
+        self.base_ipc = base_ipc
+
+    def counters_for_step(
+        self, loop_times: Mapping[int, float]
+    ) -> tuple[dict[int, float], dict[int, float]]:
+        """Per-rank (instructions, cycles) for one step.
+
+        Instructions are constant per step (the work is fixed); cycles grow
+        with elapsed time, so IPC = work / cycles falls as the step drags.
+        """
+        instr: dict[int, float] = {}
+        cycles: dict[int, float] = {}
+        for rank, t in loop_times.items():
+            cyc = max(t, 1e-9) * self.clock_hz
+            instr[rank] = self.work_instructions
+            cycles[rank] = cyc
+        return instr, cycles
+
+    def ipc(self, looptime: float) -> float:
+        """Model IPC for a single step of the given duration."""
+        cycles = max(looptime, 1e-9) * self.clock_hz
+        return min(self.base_ipc, self.work_instructions / cycles)

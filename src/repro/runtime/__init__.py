@@ -1,0 +1,13 @@
+"""Drivers that run the four DYFLOW stages against a workflow.
+
+* :class:`DyflowOrchestrator` — the simulated driver: stages tick on the
+  discrete-event clock, reproducing the paper's experiments
+  deterministically.
+* :mod:`repro.runtime.threaded` — the paper-faithful driver: the same
+  stage objects wired with real threads and queues, orchestrating real
+  numerical kernels on wall-clock time.
+"""
+
+from repro.runtime.sim_driver import DyflowOrchestrator
+
+__all__ = ["DyflowOrchestrator"]

@@ -1,0 +1,174 @@
+"""The simulated DYFLOW service: all four stages on the event clock.
+
+Mirrors the implementation in paper §3/Fig. 2: a Bootstrap wires the
+Monitor (clients + server), Decision, Arbitration and Actuation modules;
+messages flow through (simulated) queues with realistic read lags; the
+Actuation module is a wrapper over the Savanna plugin.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.arbitration import ArbitrationStage
+from repro.core.actuation import ActuationStage
+from repro.core.decision import DecisionStage
+from repro.core.lowlevel import ActionPlan
+from repro.core.monitor import MonitorClient, MonitorServer
+from repro.core.policy import PolicyApplication, PolicySpec
+from repro.core.rules import ArbitrationRules
+from repro.core.sensors.base import SensorInstance, SensorSpec
+from repro.core.sensors.sources import make_source
+from repro.errors import DyflowError
+from repro.wms.launcher import Savanna
+
+
+class DyflowOrchestrator:
+    """Bootstrap + service loop for one workflow on one allocation."""
+
+    def __init__(
+        self,
+        launcher: Savanna,
+        rules: ArbitrationRules | None = None,
+        warmup: float = 120.0,
+        settle: float = 120.0,
+        poll_interval: float = 1.0,
+        num_clients: int = 1,
+        allow_victims: bool = True,
+        record_history: bool = False,
+        graceful_stops: bool = True,
+    ) -> None:
+        self.launcher = launcher
+        self.engine = launcher.engine
+        self.rules = rules if rules is not None else ArbitrationRules.from_workflow(launcher.workflow)
+        self.poll_interval = poll_interval
+        self.clients = [
+            MonitorClient(f"client-{i}", launcher.perf) for i in range(max(1, num_clients))
+        ]
+        self.decision = DecisionStage()
+        self.server = MonitorServer(on_updates=self.decision.ingest, record_history=record_history)
+        self.arbitration = ArbitrationStage(
+            launcher, self.rules, warmup=warmup, settle=settle,
+            allow_victims=allow_victims, graceful_stops=graceful_stops,
+        )
+        self.actuation = ActuationStage(launcher)
+        self._sensors: dict[str, SensorSpec] = {}
+        self._running = False
+        self._stop_when: Callable[[], bool] | None = None
+        launcher.subscribe_start(self._on_task_start)
+
+    # -- bootstrap configuration ---------------------------------------------------
+    def add_sensor(self, spec: SensorSpec) -> None:
+        if spec.sensor_id in self._sensors:
+            raise DyflowError(f"duplicate sensor id {spec.sensor_id!r}")
+        self._sensors[spec.sensor_id] = spec
+
+    def monitor_task(
+        self,
+        task: str,
+        sensor_id: str,
+        info_source: str | None = None,
+        var: str | None = None,
+        client: int = 0,
+    ) -> SensorInstance:
+        """Bind a sensor to a monitored task on one Monitor client."""
+        spec = self._sensors.get(sensor_id)
+        if spec is None:
+            raise DyflowError(f"monitor-task references unknown sensor {sensor_id!r}")
+        if task not in self.launcher.workflow.tasks:
+            raise DyflowError(f"monitor-task references unknown task {task!r}")
+        source = make_source(
+            spec.source_type,
+            self.launcher.hub,
+            self.launcher.workflow.workflow_id,
+            task,
+            info_source=info_source,
+            var=var,
+        )
+        instance = SensorInstance(
+            spec=spec,
+            workflow_id=self.launcher.workflow.workflow_id,
+            task=task,
+            source=source,
+        )
+        self.clients[client % len(self.clients)].add_binding(instance)
+        return instance
+
+    def add_policy(self, spec: PolicySpec) -> None:
+        self.decision.add_policy(spec)
+
+    def apply_policy(self, application: PolicyApplication) -> None:
+        self.decision.apply_policy(application)
+
+    # -- service ----------------------------------------------------------------------
+    def start(self, stop_when: Callable[[], bool] | None = None) -> None:
+        """Start the DYFLOW service loop as a simulated process.
+
+        ``stop_when`` is checked every tick; when it returns True the
+        service winds down (used by scenarios: "experiment finished").
+        """
+        if self._running:
+            raise DyflowError("orchestrator already running")
+        self._running = True
+        self._stop_when = stop_when
+        self.arbitration.begin(self.engine.now)
+        self.engine.process(self._service_loop(), name="dyflow-service")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _service_loop(self):
+        while self._running:
+            now = self.engine.now
+            # Monitor: run sensors, deliver envelopes after their read lag.
+            for client in self.clients:
+                for lag, env in client.collect(now):
+                    self.engine.call_after(lag, lambda e=env: self.server.receive(e))
+            # Decision: evaluate due policies on data delivered so far.
+            suggestions = self.decision.tick(now)
+            # Arbitration: build a plan unless gated.
+            plan = self.arbitration.arbitrate(suggestions, now)
+            if plan is not None:
+                self.engine.process(
+                    self.actuation.execute(plan, on_done=self._on_plan_done),
+                    name=f"actuation:{plan.plan_id}",
+                )
+                self._record_plan_point(plan)
+            if self._stop_when is not None and self._stop_when():
+                self._running = False
+                return
+            yield self.engine.timeout(self.poll_interval)
+
+    def _on_plan_done(self, plan: ActionPlan) -> None:
+        self.arbitration.on_plan_executed(plan, self.engine.now)
+        self.launcher.trace.add_span(
+            "DYFLOW", plan.plan_id, plan.execution_start, plan.execution_end,
+            category="adjust", response=plan.response_time,
+        )
+
+    def _record_plan_point(self, plan: ActionPlan) -> None:
+        self.launcher.trace.point(
+            plan.created, f"plan:{plan.plan_id}", category="plan",
+            ops=[op.describe() for op in plan.ordered_ops()],
+        )
+
+    def _on_task_start(self, instance) -> None:
+        """A task (re)started: reset monitor connections, epochs, windows."""
+        for client in self.clients:
+            client.on_task_restart(instance.task)
+        self.server.on_task_restart(instance.task)
+        if instance.incarnation > 0:
+            self.decision.on_task_restart(instance.task)
+
+    # -- results --------------------------------------------------------------------------
+    @property
+    def plans(self) -> list[ActionPlan]:
+        return list(self.arbitration.plans)
+
+    def response_times(self) -> list[tuple[str, float]]:
+        """(plan id, response seconds) for every executed plan."""
+        return [
+            (p.plan_id, p.response_time)
+            for p in self.arbitration.plans
+            if p.execution_end is not None
+        ]

@@ -1,0 +1,296 @@
+"""Threaded DYFLOW driver: the paper's architecture on wall-clock time.
+
+The implementation in paper §3 runs the stages as threads communicating
+through shared queues with JSON messages.  This driver does exactly
+that — the *same* stage objects used by the simulated driver (Monitor
+client/server, Decision, Arbitration-like planning) wired with
+``threading`` and ``queue.Queue`` — and executes **real Python tasks**
+(e.g. the numerical kernels in :mod:`repro.apps.kernels`) instead of
+simulated ones.
+
+Scope: this driver supports the policy actions that make sense for
+in-process tasks — ADDCPU/RMCPU (restart the task with a different
+worker count), STOP, START and RESTART — against a thread-based local
+launcher.  It exists to demonstrate live orchestration end-to-end; the
+paper-scale experiments run on the deterministic simulated driver.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.actions import ActionType, SuggestedAction
+from repro.core.decision import DecisionStage
+from repro.core.monitor import MonitorClient, MonitorServer
+from repro.core.policy import PolicyApplication, PolicySpec
+from repro.core.sensors.base import SensorInstance, SensorSpec
+from repro.core.sensors.sources import make_source
+from repro.cluster.machine import MachinePerf
+from repro.errors import DyflowError
+from repro.staging.hub import DataHub
+from repro.staging.serialization import Sample
+
+
+@dataclass
+class LiveTaskSpec:
+    """A locally runnable task.
+
+    ``work`` is called once per step as ``work(step, nworkers)`` and does
+    the real compute; its wall duration is the task's loop time, streamed
+    to the PACE-style sensors exactly like TAU would.
+    """
+
+    name: str
+    work: Callable[[int, int], Any]
+    nworkers: int = 1
+    total_steps: int | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+class _LiveInstance(threading.Thread):
+    """One incarnation of a live task, running its step loop."""
+
+    def __init__(self, runner: "ThreadedDyflow", spec: LiveTaskSpec, nworkers: int,
+                 incarnation: int) -> None:
+        super().__init__(name=f"{spec.name}#{incarnation}", daemon=True)
+        self.runner = runner
+        self.spec = spec
+        self.nworkers = nworkers
+        self.incarnation = incarnation
+        self.stop_flag = threading.Event()
+        self.steps_done = 0
+        self.exit_code: int | None = None
+
+    def run(self) -> None:
+        hub = self.runner.hub
+        channel = hub.channel(f"tau-{self.runner.workflow_id}-{self.spec.name}")
+        if channel.closed:
+            channel.reopen()
+        step = 0
+        code = 0
+        try:
+            while not self.stop_flag.is_set():
+                if self.spec.total_steps is not None and step >= self.spec.total_steps:
+                    break
+                t0 = time.perf_counter()
+                self.spec.work(step, self.nworkers)
+                looptime = time.perf_counter() - t0
+                now = self.runner.now()
+                with self.runner.hub_lock:
+                    channel.put(
+                        [
+                            Sample(
+                                time=now,
+                                workflow_id=self.runner.workflow_id,
+                                task=self.spec.name,
+                                rank=0,
+                                node_id="local",
+                                var="looptime",
+                                value=looptime,
+                                step=step,
+                            )
+                        ],
+                        now,
+                    )
+                step += 1
+                self.steps_done = step
+        except Exception:  # noqa: BLE001 - a crashed task is a failed task
+            code = 1
+        self.exit_code = code
+        with self.runner.hub_lock:
+            hub.filesystem.append_record(
+                f"status/{self.runner.workflow_id}/{self.spec.name}",
+                {"code": code, "time": self.runner.now(), "rank": 0,
+                 "incarnation": self.incarnation},
+                mtime=self.runner.now(),
+            )
+        self.runner._on_instance_exit(self)
+
+
+class ThreadedDyflow:
+    """Monitor/Decision/Arbitration/Actuation as wall-clock threads.
+
+    The Monitor thread polls sensors and puts envelopes on the server
+    queue; the Decision thread evaluates policies and emits suggestion
+    batches; the Arbitration/Actuation thread applies them to the local
+    launcher.  Message flow matches Fig. 2 of the paper.
+    """
+
+    def __init__(
+        self,
+        workflow_id: str,
+        tasks: list[LiveTaskSpec],
+        poll_interval: float = 0.2,
+        warmup: float = 2.0,
+        settle: float = 2.0,
+        max_workers_total: int | None = None,
+    ) -> None:
+        self.workflow_id = workflow_id
+        self.specs = {t.name: t for t in tasks}
+        if len(self.specs) != len(tasks):
+            raise DyflowError("duplicate live task names")
+        self.poll_interval = poll_interval
+        self.warmup = warmup
+        self.settle = settle
+        self.max_workers_total = max_workers_total
+        self.hub = DataHub()
+        self.hub_lock = threading.Lock()
+        self.client = MonitorClient("live-client", MachinePerf())
+        self.decision = DecisionStage()
+        self.server = MonitorServer(on_updates=self.decision.ingest, record_history=True)
+        self._instances: dict[str, _LiveInstance] = {}
+        self._incarnations: dict[str, int] = {}
+        self._queue: "queue.Queue" = queue.Queue()
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._t0 = time.perf_counter()
+        self._gate_until = 0.0
+        self.applied_actions: list[tuple[float, str]] = []
+        self._state_lock = threading.RLock()
+
+    # -- time -----------------------------------------------------------------
+    def now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    # -- configuration ----------------------------------------------------------
+    def add_sensor(self, spec: SensorSpec, task: str, var: str | None = "looptime") -> None:
+        source = make_source(spec.source_type, self.hub, self.workflow_id, task, var=var)
+        self.client.add_binding(
+            SensorInstance(spec=spec, workflow_id=self.workflow_id, task=task, source=source)
+        )
+
+    def add_policy(self, spec: PolicySpec, application: PolicyApplication) -> None:
+        if spec.policy_id not in {p.policy_id for p in self.decision.policies}:
+            self.decision.add_policy(spec)
+        self.decision.apply_policy(application)
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> None:
+        self._gate_until = self.now() + self.warmup
+        for name, spec in self.specs.items():
+            self._start_task(name, spec.nworkers)
+        for target, label in ((self._monitor_loop, "monitor"), (self._decision_loop, "decision"),
+                              (self._arbitration_loop, "arbitration")):
+            t = threading.Thread(target=target, name=f"dyflow-{label}", daemon=True)
+            t.start()
+            self._threads.append(t)
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        with self._state_lock:
+            for inst in list(self._instances.values()):
+                inst.stop_flag.set()
+        for inst in list(self._instances.values()):
+            inst.join(timeout)
+        for t in self._threads:
+            t.join(timeout)
+
+    def wait_until_done(self, timeout: float) -> bool:
+        """Block until every task finished (or *timeout* wall seconds)."""
+        deadline = time.perf_counter() + timeout
+        while time.perf_counter() < deadline:
+            with self._state_lock:
+                if not self._instances:
+                    return True
+            time.sleep(0.05)
+        return False
+
+    # -- task control ---------------------------------------------------------------
+    def _start_task(self, name: str, nworkers: int) -> None:
+        with self._state_lock:
+            if name in self._instances:
+                raise DyflowError(f"live task {name!r} already running")
+            incarnation = self._incarnations.get(name, 0)
+            self._incarnations[name] = incarnation + 1
+            inst = _LiveInstance(self, self.specs[name], nworkers, incarnation)
+            self._instances[name] = inst
+            inst.start()
+
+    def _stop_task(self, name: str, join_timeout: float = 30.0) -> None:
+        with self._state_lock:
+            inst = self._instances.get(name)
+        if inst is None:
+            return
+        inst.stop_flag.set()
+        inst.join(join_timeout)
+
+    def _on_instance_exit(self, inst: _LiveInstance) -> None:
+        with self._state_lock:
+            if self._instances.get(inst.spec.name) is inst:
+                del self._instances[inst.spec.name]
+
+    def nworkers(self, name: str) -> int:
+        with self._state_lock:
+            inst = self._instances.get(name)
+            return inst.nworkers if inst else 0
+
+    # -- stage threads ----------------------------------------------------------------
+    def _monitor_loop(self) -> None:
+        while not self._stop.is_set():
+            with self.hub_lock:
+                envelopes = self.client.collect(self.now())
+            for _lag, env in envelopes:
+                self.server.receive(env)  # thread-safe: decision.ingest is list ops
+            time.sleep(self.poll_interval)
+
+    def _decision_loop(self) -> None:
+        while not self._stop.is_set():
+            suggestions = self.decision.tick(self.now())
+            if suggestions:
+                self._queue.put(suggestions)
+            time.sleep(self.poll_interval)
+
+    def _arbitration_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                suggestions: list[SuggestedAction] = self._queue.get(timeout=self.poll_interval)
+            except queue.Empty:
+                continue
+            if self.now() < self._gate_until:
+                # Unlike periodic pace suggestions (which Decision will
+                # re-emit), one-shot events such as failures must survive
+                # the warmup/settle gate: park the batch and retry.
+                time.sleep(self.poll_interval)
+                self._queue.put(suggestions)
+                continue
+            applied = self._apply(suggestions)
+            if applied:
+                self._gate_until = self.now() + self.settle
+
+    def _apply(self, suggestions: list[SuggestedAction]) -> bool:
+        any_applied = False
+        for s in suggestions:
+            with self._state_lock:
+                running = s.target in self._instances
+                current = self.nworkers(s.target)
+            adjust = int(s.params.get("adjust-by", 1))
+            applied = False
+            if s.action == ActionType.ADDCPU and running:
+                new = current + adjust
+                if self.max_workers_total is not None:
+                    others = sum(self.nworkers(n) for n in self._instances if n != s.target)
+                    new = min(new, self.max_workers_total - others)
+                if new > current:
+                    self._stop_task(s.target)
+                    self._start_task(s.target, new)
+                    applied = True
+            elif s.action == ActionType.RMCPU and running:
+                new = max(1, current - adjust)
+                if new != current:
+                    self._stop_task(s.target)
+                    self._start_task(s.target, new)
+                    applied = True
+            elif s.action == ActionType.STOP and running:
+                self._stop_task(s.target)
+                applied = True
+            elif s.action in (ActionType.START, ActionType.RESTART) and not running:
+                self._start_task(s.target, self.specs[s.target].nworkers)
+                applied = True
+            if applied:
+                any_applied = True
+                self.applied_actions.append((self.now(), f"{s.action.value}:{s.target}"))
+        return any_applied

@@ -1,0 +1,119 @@
+"""The discrete-event engine: clock + event heap + process spawning."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SimTimeError
+from repro.sim.events import SimEvent
+from repro.sim.process import ProcGen, Process
+
+
+class SimEngine:
+    """Owns simulated time and executes events in timestamp order.
+
+    Events scheduled at the same timestamp run in FIFO (schedule) order,
+    which keeps multi-stage pipelines deterministic.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[tuple[float, int, SimEvent]] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event construction -------------------------------------------------
+    def event(self, name: str = "") -> SimEvent:
+        """Create an untriggered waitable event."""
+        return SimEvent(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "timeout") -> SimEvent:
+        """An event that succeeds ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimTimeError(f"negative timeout {delay}")
+        ev = SimEvent(self, name)
+        ev._pending = (True, value)
+        self._push(self._now + delay, ev)
+        return ev
+
+    def process(self, gen: ProcGen, name: str = "proc") -> Process:
+        """Spawn *gen* as a process starting at the current time."""
+        return Process(self, gen, name)
+
+    def call_at(self, time: float, fn: Callable[[], None], name: str = "call") -> SimEvent:
+        """Run ``fn()`` at absolute simulated *time*."""
+        if time < self._now:
+            raise SimTimeError(f"call_at({time}) is in the past (now={self._now})")
+        ev = SimEvent(self, name)
+        ev.callbacks.append(lambda _ev: fn())
+        ev._pending = (True, None)
+        self._push(time, ev)
+        return ev
+
+    def call_after(self, delay: float, fn: Callable[[], None], name: str = "call") -> SimEvent:
+        """Run ``fn()`` *delay* seconds from now."""
+        return self.call_at(self._now + delay, fn, name)
+
+    # -- scheduling internals ------------------------------------------------
+    def _schedule_event(self, ev: SimEvent) -> None:
+        """Queue an already-triggered event's callbacks to run *now*."""
+        self._push(self._now, ev)
+
+    def _push(self, time: float, ev: SimEvent) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, ev))
+
+    # -- execution ------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event; return False when the heap is empty."""
+        if not self._heap:
+            return False
+        time, _seq, ev = heapq.heappop(self._heap)
+        if time < self._now:
+            raise SimTimeError(f"clock would move backwards: {time} < {self._now}")
+        self._now = time
+        if ev._ok is None and ev._pending is not None:
+            # A scheduled (timeout/call_at) event triggers when it fires.
+            ev._ok, ev._value = ev._pending
+        ev._run_callbacks()
+        return True
+
+    def peek(self) -> float | None:
+        """Timestamp of the next pending event, or None when idle."""
+        return self._heap[0][0] if self._heap else None
+
+    def run(self, until: float | None = None) -> float:
+        """Run until the heap drains or the clock reaches *until*.
+
+        Returns the final simulated time.  With ``until`` given, the clock
+        is advanced to exactly ``until`` even if the last event fired
+        earlier, so back-to-back ``run`` calls compose predictably.
+        """
+        if until is not None and until < self._now:
+            raise SimTimeError(f"run(until={until}) is in the past (now={self._now})")
+        while self._heap:
+            nxt = self._heap[0][0]
+            if until is not None and nxt > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    def run_process(self, gen: ProcGen, name: str = "proc") -> Any:
+        """Spawn *gen*, run the simulation to completion, return its value.
+
+        Convenience for tests and small examples.
+        """
+        proc = self.process(gen, name)
+        self.run()
+        if not proc.triggered:
+            raise SimTimeError(f"process {name!r} never finished (deadlock?)")
+        if not proc.ok:
+            raise proc.value
+        return proc.value

@@ -1,0 +1,139 @@
+"""Execution tracing: the data behind every Gantt chart in the paper.
+
+The paper's figures 6, 8 and 11 are Gantt charts of task runs (bars) with
+dynamic-adjustment windows (red intervals) and annotated response times.
+:class:`TraceRecorder` collects exactly that: named *spans* with open/close
+times plus *point events*, and can slice them per task or per category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Span:
+    """A half-open interval ``[start, end)`` attributed to a track.
+
+    ``end`` is None while the span is still open.
+    """
+
+    track: str
+    label: str
+    start: float
+    end: float | None = None
+    category: str = "task"
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.label!r} still open")
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class PointEvent:
+    """An instantaneous annotated event."""
+
+    time: float
+    label: str
+    category: str = "event"
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Collects spans and point events during a simulation run."""
+
+    def __init__(self) -> None:
+        self._spans: list[Span] = []
+        self._points: list[PointEvent] = []
+        self._open: dict[tuple[str, str], Span] = {}
+
+    # -- recording -----------------------------------------------------------
+    def open_span(
+        self,
+        track: str,
+        label: str,
+        start: float,
+        category: str = "task",
+        **meta: Any,
+    ) -> Span:
+        """Open a span; at most one open span per (track, label) pair."""
+        key = (track, label)
+        if key in self._open:
+            raise ValueError(f"span already open for {key}")
+        span = Span(track=track, label=label, start=start, category=category, meta=dict(meta))
+        self._spans.append(span)
+        self._open[key] = span
+        return span
+
+    def close_span(self, track: str, label: str, end: float, **meta: Any) -> Span:
+        """Close the open span for (track, label)."""
+        span = self._open.pop((track, label), None)
+        if span is None:
+            raise ValueError(f"no open span for {(track, label)}")
+        span.end = end
+        span.meta.update(meta)
+        return span
+
+    def add_span(
+        self,
+        track: str,
+        label: str,
+        start: float,
+        end: float,
+        category: str = "task",
+        **meta: Any,
+    ) -> Span:
+        """Record an already-closed span."""
+        span = Span(track=track, label=label, start=start, end=end, category=category, meta=dict(meta))
+        self._spans.append(span)
+        return span
+
+    def point(self, time: float, label: str, category: str = "event", **meta: Any) -> PointEvent:
+        ev = PointEvent(time=time, label=label, category=category, meta=dict(meta))
+        self._points.append(ev)
+        return ev
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def spans(self) -> list[Span]:
+        return list(self._spans)
+
+    @property
+    def points(self) -> list[PointEvent]:
+        return list(self._points)
+
+    def spans_for(self, track: str | None = None, category: str | None = None) -> list[Span]:
+        """Spans filtered by track and/or category, in start order."""
+        out = [
+            s
+            for s in self._spans
+            if (track is None or s.track == track) and (category is None or s.category == category)
+        ]
+        out.sort(key=lambda s: (s.start, s.track, s.label))
+        return out
+
+    def points_for(self, category: str | None = None, label: str | None = None) -> list[PointEvent]:
+        out = [
+            p
+            for p in self._points
+            if (category is None or p.category == category) and (label is None or p.label == label)
+        ]
+        out.sort(key=lambda p: p.time)
+        return out
+
+    def tracks(self) -> list[str]:
+        """All track names, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for s in self._spans:
+            seen.setdefault(s.track, None)
+        return list(seen)
+
+    def end_time(self) -> float:
+        """Latest closed-span end or point time (0.0 when empty)."""
+        times = [s.end for s in self._spans if s.end is not None]
+        times.extend(p.time for p in self._points)
+        return max(times, default=0.0)

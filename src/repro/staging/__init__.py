@@ -1,0 +1,34 @@
+"""Data plane: streams, stores, and a simulated filesystem.
+
+Substitutes for ADIOS2 in the paper:
+
+* :class:`StreamChannel` — SST-like in-memory staging with a bounded
+  step buffer (the paper's §4.5 names "buffer overwrites when buffer
+  capacity is exceeded" as an in-situ failure mode; the channel models
+  all three policies: block, drop-oldest, error).
+* :class:`VariableStore` — BP-file-like store of per-step variables,
+  backed by the simulated filesystem so `DISKSCAN` sensors can see
+  output files appear.
+* :class:`SimFilesystem` — an in-memory parallel-filesystem stand-in
+  with mtimes and glob scanning.
+* :class:`Sample` — the unit of monitoring data every source type emits
+  and every sensor consumes.
+"""
+
+from repro.staging.serialization import Sample, estimate_nbytes
+from repro.staging.filesystem import FileEntry, SimFilesystem
+from repro.staging.store import VariableStore
+from repro.staging.stream import OverflowPolicy, StreamChannel, StreamReader
+from repro.staging.hub import DataHub
+
+__all__ = [
+    "Sample",
+    "estimate_nbytes",
+    "SimFilesystem",
+    "FileEntry",
+    "VariableStore",
+    "StreamChannel",
+    "StreamReader",
+    "OverflowPolicy",
+    "DataHub",
+]

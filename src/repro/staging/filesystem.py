@@ -1,0 +1,96 @@
+"""Simulated shared parallel filesystem.
+
+Provides exactly what the DISKSCAN and ERRORSTATUS source types need:
+files with contents and modification times, glob scanning, and atomic
+appearance (a file exists only once fully written).  Paths are plain
+``/``-separated strings; there is no permission model.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import StoreError
+
+
+@dataclass
+class FileEntry:
+    """A file: payload plus metadata."""
+
+    path: str
+    data: Any
+    mtime: float
+    size: int = 0
+    meta: dict | None = None
+
+
+class SimFilesystem:
+    """Flat-namespace file store with glob scan support."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, FileEntry] = {}
+
+    # -- writes ----------------------------------------------------------------
+    def write(self, path: str, data: Any, mtime: float, size: int = 0, **meta: Any) -> FileEntry:
+        """Create or replace a file atomically at *mtime*."""
+        entry = FileEntry(path=path, data=data, mtime=mtime, size=size, meta=dict(meta))
+        self._files[path] = entry
+        return entry
+
+    def append_record(self, path: str, record: Any, mtime: float) -> FileEntry:
+        """Append *record* to a list-valued file (creating it if needed)."""
+        entry = self._files.get(path)
+        if entry is None:
+            return self.write(path, [record], mtime)
+        if not isinstance(entry.data, list):
+            raise StoreError(f"{path} is not an appendable record file")
+        entry.data.append(record)
+        entry.mtime = mtime
+        return entry
+
+    def remove(self, path: str) -> None:
+        if path not in self._files:
+            raise StoreError(f"no such file: {path}")
+        del self._files[path]
+
+    # -- reads -----------------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def read(self, path: str) -> Any:
+        entry = self._files.get(path)
+        if entry is None:
+            raise StoreError(f"no such file: {path}")
+        return entry.data
+
+    def stat(self, path: str) -> FileEntry:
+        entry = self._files.get(path)
+        if entry is None:
+            raise StoreError(f"no such file: {path}")
+        return entry
+
+    def scan(self, pattern: str, since: float | None = None) -> list[FileEntry]:
+        """Glob for files, optionally only those modified after *since*.
+
+        This is the DISKSCAN primitive: the XGC sensor scans for
+        ``tau-iso.bp.*``-style output files to count completed steps.
+        Results are sorted by (mtime, path) so scans are deterministic.
+        """
+        hits = [
+            e
+            for p, e in self._files.items()
+            if fnmatch.fnmatchcase(p, pattern) and (since is None or e.mtime > since)
+        ]
+        hits.sort(key=lambda e: (e.mtime, e.path))
+        return hits
+
+    def listdir(self, prefix: str) -> list[str]:
+        """All paths under a ``/``-terminated prefix."""
+        if not prefix.endswith("/"):
+            prefix += "/"
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def __len__(self) -> int:
+        return len(self._files)

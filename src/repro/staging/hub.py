@@ -1,0 +1,73 @@
+"""Central registry of data-plane endpoints.
+
+Monitor clients locate their info sources by name — the XML gives a
+``info-source="tau-iso.bp.*"`` string per monitored task.  The hub maps
+those names to live endpoints: stream channels, variable stores, and the
+shared filesystem.  Tasks (re)register their endpoints when they start,
+and the Monitor stage re-resolves after restarts, mirroring the paper's
+"setting (or resetting) connections to input streams ... when the
+workflow tasks start (or restart)".
+"""
+
+from __future__ import annotations
+
+from repro.errors import StagingError
+from repro.staging.filesystem import SimFilesystem
+from repro.staging.store import VariableStore
+from repro.staging.stream import OverflowPolicy, StreamChannel
+
+
+class DataHub:
+    """Names → channels/stores, plus the shared simulated filesystem."""
+
+    def __init__(self, filesystem: SimFilesystem | None = None) -> None:
+        self.filesystem = filesystem if filesystem is not None else SimFilesystem()
+        self._channels: dict[str, StreamChannel] = {}
+        self._stores: dict[str, VariableStore] = {}
+
+    # -- channels --------------------------------------------------------------
+    def channel(
+        self,
+        name: str,
+        capacity: int = 16,
+        policy: OverflowPolicy = OverflowPolicy.DROP_OLDEST,
+    ) -> StreamChannel:
+        """Get or create the stream channel *name*."""
+        ch = self._channels.get(name)
+        if ch is None:
+            ch = StreamChannel(name, capacity=capacity, policy=policy)
+            self._channels[name] = ch
+        return ch
+
+    def has_channel(self, name: str) -> bool:
+        return name in self._channels
+
+    def get_channel(self, name: str) -> StreamChannel:
+        ch = self._channels.get(name)
+        if ch is None:
+            raise StagingError(f"no such channel: {name!r}")
+        return ch
+
+    def channels(self) -> list[str]:
+        return sorted(self._channels)
+
+    # -- stores -----------------------------------------------------------------
+    def store(self, name: str) -> VariableStore:
+        """Get or create the variable store *name* (backed by the hub FS)."""
+        st = self._stores.get(name)
+        if st is None:
+            st = VariableStore(name, filesystem=self.filesystem)
+            self._stores[name] = st
+        return st
+
+    def has_store(self, name: str) -> bool:
+        return name in self._stores
+
+    def get_store(self, name: str) -> VariableStore:
+        st = self._stores.get(name)
+        if st is None:
+            raise StagingError(f"no such store: {name!r}")
+        return st
+
+    def stores(self) -> list[str]:
+        return sorted(self._stores)

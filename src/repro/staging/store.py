@@ -1,0 +1,88 @@
+"""BP-file-like per-step variable store.
+
+ADIOS2's file engine organizes output as *steps*, each holding named
+variables.  Tasks in the reproduction write their periodic output here;
+the store also materializes a marker file per step in the simulated
+filesystem so DISKSCAN sensors observe output appearing on disk exactly
+the way the XGC NSTEPS sensor does in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import StoreError
+from repro.staging.filesystem import SimFilesystem
+
+
+class VariableStore:
+    """Per-step variable storage for one output "file" (e.g. ``xgc1.bp``)."""
+
+    def __init__(self, name: str, filesystem: SimFilesystem | None = None) -> None:
+        self.name = name
+        self._fs = filesystem
+        self._steps: list[dict[str, Any]] = []
+        self._open_step: dict[str, Any] | None = None
+        self._open_time = 0.0
+
+    # -- writer protocol -----------------------------------------------------------
+    def begin_step(self, time: float) -> int:
+        """Open a new output step; returns its index."""
+        if self._open_step is not None:
+            raise StoreError(f"store {self.name!r}: step already open")
+        self._open_step = {}
+        self._open_time = time
+        return len(self._steps)
+
+    def put(self, var: str, value: Any) -> None:
+        if self._open_step is None:
+            raise StoreError(f"store {self.name!r}: no open step")
+        self._open_step[var] = value
+
+    def end_step(self) -> int:
+        """Commit the open step; it becomes visible to readers and on disk."""
+        if self._open_step is None:
+            raise StoreError(f"store {self.name!r}: no open step")
+        step_index = len(self._steps)
+        self._steps.append(self._open_step)
+        if self._fs is not None:
+            self._fs.write(
+                f"{self.name}.dir/step.{step_index}",
+                {"vars": sorted(self._open_step)},
+                mtime=self._open_time,
+            )
+        self._open_step = None
+        return step_index
+
+    def write_step(self, time: float, **variables: Any) -> int:
+        """Convenience: begin/put*/end in one call."""
+        self.begin_step(time)
+        for var, value in variables.items():
+            self.put(var, value)
+        return self.end_step()
+
+    # -- reader protocol ---------------------------------------------------------
+    @property
+    def num_steps(self) -> int:
+        """Committed step count (open step excluded)."""
+        return len(self._steps)
+
+    def variables(self, step: int) -> list[str]:
+        return sorted(self._step_dict(step))
+
+    def read(self, var: str, step: int = -1) -> Any:
+        """Read *var* from *step* (default: latest committed step)."""
+        d = self._step_dict(step)
+        if var not in d:
+            raise StoreError(f"store {self.name!r} step {step}: no variable {var!r}")
+        return d[var]
+
+    def _step_dict(self, step: int) -> dict[str, Any]:
+        if not self._steps:
+            raise StoreError(f"store {self.name!r} has no committed steps")
+        try:
+            return self._steps[step]
+        except IndexError:
+            raise StoreError(
+                f"store {self.name!r}: step {step} out of range (have {len(self._steps)})"
+            ) from None

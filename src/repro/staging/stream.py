@@ -1,0 +1,170 @@
+"""SST-like streaming channels for in-situ task coupling.
+
+A :class:`StreamChannel` carries *steps* — batches of samples — from one
+writer to any number of readers, through a bounded staging buffer.  The
+paper couples simulation and analysis tasks through ADIOS2's Sustainable
+Staging Transport and names buffer exhaustion as a failure mode (§4.5);
+the three :class:`OverflowPolicy` values model the standard responses.
+
+Readers keep independent cursors, can connect late (they start from the
+oldest retained step), and can be reset when a task restarts — losing
+"timestep information when the tasks reset" exactly as the paper notes
+about Fig. 9.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import BufferOverflowError, ChannelClosedError
+from repro.util.validation import check_positive
+
+
+class OverflowPolicy(enum.Enum):
+    """What a full staging buffer does to the next write."""
+
+    DROP_OLDEST = "drop_oldest"  # overwrite oldest step (SST queue-limit behaviour)
+    ERROR = "error"              # raise BufferOverflowError
+    GROW = "grow"                # unbounded (testing convenience)
+
+
+@dataclass(frozen=True)
+class StreamStep:
+    """One published step: index + payload + publish time."""
+
+    step: int
+    data: Any
+    time: float
+
+
+class StreamChannel:
+    """Single-writer, multi-reader bounded step stream."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int = 16,
+        policy: OverflowPolicy = OverflowPolicy.DROP_OLDEST,
+    ) -> None:
+        check_positive(capacity, "capacity")
+        self.name = name
+        self.capacity = int(capacity)
+        self.policy = policy
+        self._steps: list[StreamStep] = []
+        self._first_retained = 0  # step index of _steps[0]
+        self._next_step = 0
+        self._closed = False
+        self._readers: list[StreamReader] = []
+        self.dropped_steps = 0
+
+    # -- writer side -------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def next_step(self) -> int:
+        """Index the next published step will get."""
+        return self._next_step
+
+    def put(self, data: Any, time: float) -> int:
+        """Publish a step; returns its index."""
+        if self._closed:
+            raise ChannelClosedError(f"write on closed channel {self.name!r}")
+        if len(self._steps) >= self.capacity:
+            if self.policy == OverflowPolicy.ERROR:
+                raise BufferOverflowError(
+                    f"channel {self.name!r} buffer full ({self.capacity} steps)"
+                )
+            if self.policy == OverflowPolicy.DROP_OLDEST:
+                self._steps.pop(0)
+                self._first_retained += 1
+                self.dropped_steps += 1
+            # GROW: fall through, keep everything
+        record = StreamStep(step=self._next_step, data=data, time=time)
+        self._steps.append(record)
+        self._next_step += 1
+        return record.step
+
+    def close(self) -> None:
+        """End of stream; readers can drain retained steps, then see EOS."""
+        self._closed = True
+
+    def reopen(self) -> None:
+        """Writer restarted (task RESTART): stream continues, steps keep numbering."""
+        self._closed = False
+
+    # -- reader side ---------------------------------------------------------------
+    def open_reader(self, name: str = "reader") -> "StreamReader":
+        reader = StreamReader(self, name)
+        self._readers.append(reader)
+        return reader
+
+    def _retained_range(self) -> tuple[int, int]:
+        """Half-open step-index range currently in the buffer."""
+        return self._first_retained, self._next_step
+
+    def _get(self, step: int) -> StreamStep | None:
+        lo, hi = self._retained_range()
+        if step < lo or step >= hi:
+            return None
+        return self._steps[step - lo]
+
+
+class StreamReader:
+    """A cursor over a :class:`StreamChannel`."""
+
+    def __init__(self, channel: StreamChannel, name: str) -> None:
+        self.channel = channel
+        self.name = name
+        lo, _hi = channel._retained_range()
+        self._cursor = lo
+        self.missed_steps = 0
+
+    @property
+    def cursor(self) -> int:
+        """Index of the next step this reader will consume."""
+        return self._cursor
+
+    def try_next(self) -> StreamStep | None:
+        """Return the next retained step, or None if none is available.
+
+        If the writer outran this reader and steps were evicted, the cursor
+        jumps forward and ``missed_steps`` records the loss.
+        """
+        lo, hi = self.channel._retained_range()
+        if self._cursor < lo:
+            self.missed_steps += lo - self._cursor
+            self._cursor = lo
+        if self._cursor >= hi:
+            return None
+        record = self.channel._get(self._cursor)
+        assert record is not None
+        self._cursor += 1
+        return record
+
+    def drain(self) -> list[StreamStep]:
+        """Consume every currently-available step."""
+        out = []
+        while True:
+            record = self.try_next()
+            if record is None:
+                return out
+            out.append(record)
+
+    def at_eos(self) -> bool:
+        """True when the channel is closed and this reader has drained it."""
+        _lo, hi = self.channel._retained_range()
+        return self.channel.closed and self._cursor >= hi
+
+    def seek_latest(self) -> None:
+        """Skip everything already staged; only strictly new steps follow.
+
+        Used on (re)connect by monitor sensors and restarted consumers —
+        old data must not be re-observed ("losing timestep information
+        when the tasks reset").
+        """
+        _lo, hi = self.channel._retained_range()
+        self._cursor = hi

@@ -1,0 +1,42 @@
+"""Deterministic id generation.
+
+The simulator must be reproducible run-to-run, so ids are monotonically
+increasing counters per prefix rather than UUIDs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class IdGenerator:
+    """Produce ids of the form ``<prefix>-<n>`` with a per-prefix counter.
+
+    >>> gen = IdGenerator()
+    >>> gen.next("task")
+    'task-0'
+    >>> gen.next("task")
+    'task-1'
+    >>> gen.next("node")
+    'node-0'
+    """
+
+    def __init__(self) -> None:
+        self._counters: defaultdict[str, int] = defaultdict(int)
+
+    def next(self, prefix: str) -> str:
+        """Return the next id for *prefix* and advance the counter."""
+        n = self._counters[prefix]
+        self._counters[prefix] = n + 1
+        return f"{prefix}-{n}"
+
+    def peek(self, prefix: str) -> int:
+        """Return the counter value that the next id for *prefix* would use."""
+        return self._counters[prefix]
+
+    def reset(self, prefix: str | None = None) -> None:
+        """Reset one prefix counter, or all counters if *prefix* is None."""
+        if prefix is None:
+            self._counters.clear()
+        else:
+            self._counters.pop(prefix, None)

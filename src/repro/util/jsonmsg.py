@@ -1,0 +1,121 @@
+"""JSON message envelopes and out-of-order filtering.
+
+The DYFLOW implementation exchanges JSON-formatted messages between the
+Monitor clients, the Monitor server, Decision and Arbitration (paper §3,
+Fig. 2).  The Monitor server "filters the out of order messages from the
+client(s)" and Decision "screens incoming sensor messages for out-of-order
+updates" — both behaviours live here so every stage shares one protocol.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A routable JSON message.
+
+    Attributes:
+        kind: message type, e.g. ``"sensor-update"``, ``"decision"``,
+            ``"plan"``, ``"status"``.
+        sender: logical id of the sending component.
+        seq: per-sender monotonically increasing sequence number.
+        time: send timestamp (simulated or wall-clock seconds).
+        payload: JSON-serializable body.
+    """
+
+    kind: str
+    sender: str
+    seq: int
+    time: float
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Serialize to a compact JSON string."""
+        return json.dumps(
+            {
+                "kind": self.kind,
+                "sender": self.sender,
+                "seq": self.seq,
+                "time": self.time,
+                "payload": self.payload,
+            },
+            separators=(",", ":"),
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Envelope":
+        """Parse an envelope produced by :meth:`to_json`."""
+        obj = json.loads(text)
+        return cls(
+            kind=obj["kind"],
+            sender=obj["sender"],
+            seq=int(obj["seq"]),
+            time=float(obj["time"]),
+            payload=obj.get("payload", {}),
+        )
+
+
+class SequenceTracker:
+    """Allocates per-sender sequence numbers."""
+
+    def __init__(self) -> None:
+        self._next: dict[str, int] = {}
+
+    def next_seq(self, sender: str) -> int:
+        seq = self._next.get(sender, 0)
+        self._next[sender] = seq + 1
+        return seq
+
+    def stamp(self, kind: str, sender: str, time: float, payload: dict[str, Any] | None = None) -> Envelope:
+        """Build an envelope with the next sequence number for *sender*."""
+        return Envelope(
+            kind=kind,
+            sender=sender,
+            seq=self.next_seq(sender),
+            time=time,
+            payload=payload or {},
+        )
+
+
+class OutOfOrderFilter:
+    """Drop stale messages, per sender.
+
+    A message is *stale* when its sequence number is not greater than the
+    highest already accepted from the same sender.  When a sender restarts
+    (e.g. a Monitor client restarted along with its tasks), call
+    :meth:`reset` so the new epoch's numbering is accepted.
+    """
+
+    def __init__(self) -> None:
+        self._highest: dict[str, int] = {}
+        self._dropped = 0
+        self._accepted = 0
+
+    @property
+    def dropped(self) -> int:
+        """Number of messages rejected as out-of-order so far."""
+        return self._dropped
+
+    @property
+    def accepted(self) -> int:
+        """Number of messages accepted so far."""
+        return self._accepted
+
+    def accept(self, env: Envelope) -> bool:
+        """Return True and record *env* if it is in order; else drop it."""
+        highest = self._highest.get(env.sender)
+        if highest is not None and env.seq <= highest:
+            self._dropped += 1
+            return False
+        self._highest[env.sender] = env.seq
+        self._accepted += 1
+        return True
+
+    def reset(self, sender: str) -> None:
+        """Forget the sequence history of *sender* (sender restarted)."""
+        self._highest.pop(sender, None)

@@ -1,0 +1,185 @@
+"""Streaming statistics used by sensors and policies.
+
+The Decision stage keeps a *history* of sensor outputs — "like a sliding
+window of a specified size" (paper §2.2) — and computes pre-analysis
+operations (running average, min, max, trend) over it.  These helpers are
+deliberately small and allocation-free on the hot path.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+from repro.errors import ReproError
+from repro.util.validation import check_positive
+
+
+class SlidingWindow:
+    """Fixed-capacity window over a stream of floats.
+
+    Maintains sum and sum-of-squares incrementally so ``mean`` and ``std``
+    are O(1); ``min``/``max`` scan the window (windows are small — the paper
+    uses 10).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        check_positive(capacity, "capacity")
+        self._capacity = int(capacity)
+        self._values: deque[float] = deque()
+        self._sum = 0.0
+        self._sumsq = 0.0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._values)
+
+    @property
+    def full(self) -> bool:
+        return len(self._values) == self._capacity
+
+    def push(self, value: float) -> None:
+        """Append *value*, evicting the oldest entry when at capacity."""
+        value = float(value)
+        if len(self._values) == self._capacity:
+            old = self._values.popleft()
+            self._sum -= old
+            self._sumsq -= old * old
+        self._values.append(value)
+        self._sum += value
+        self._sumsq += value * value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.push(v)
+
+    def clear(self) -> None:
+        self._values.clear()
+        self._sum = 0.0
+        self._sumsq = 0.0
+
+    # -- aggregates --------------------------------------------------------
+    def mean(self) -> float:
+        if not self._values:
+            raise ReproError("mean of empty window")
+        return self._sum / len(self._values)
+
+    def std(self) -> float:
+        """Population standard deviation of the current window.
+
+        Two-pass over the (small) window: the incremental sum-of-squares
+        shortcut loses catastrophically to cancellation when values are
+        large relative to their spread.
+        """
+        n = len(self._values)
+        if n == 0:
+            raise ReproError("std of empty window")
+        mean = self._sum / n
+        return math.sqrt(sum((v - mean) ** 2 for v in self._values) / n)
+
+    def min(self) -> float:
+        if not self._values:
+            raise ReproError("min of empty window")
+        return min(self._values)
+
+    def max(self) -> float:
+        if not self._values:
+            raise ReproError("max of empty window")
+        return max(self._values)
+
+    def sum(self) -> float:
+        return self._sum
+
+    def last(self) -> float:
+        if not self._values:
+            raise ReproError("last of empty window")
+        return self._values[-1]
+
+    def first(self) -> float:
+        if not self._values:
+            raise ReproError("first of empty window")
+        return self._values[0]
+
+    def trend(self) -> float:
+        """Least-squares slope over window positions 0..n-1.
+
+        Used by the predictive-arbitration extension (paper §6): a positive
+        slope on a pace metric means the task is slowing down.
+        """
+        n = len(self._values)
+        if n < 2:
+            return 0.0
+        # x = 0..n-1; slope = cov(x, y) / var(x), computed in one pass.
+        mean_x = (n - 1) / 2.0
+        mean_y = self._sum / n
+        num = 0.0
+        den = 0.0
+        for i, y in enumerate(self._values):
+            dx = i - mean_x
+            num += dx * (y - mean_y)
+            den += dx * dx
+        return num / den if den else 0.0
+
+    def values(self) -> list[float]:
+        return list(self._values)
+
+
+class RunningStats:
+    """Welford running mean/variance over an unbounded stream."""
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def push(self, value: float) -> None:
+        value = float(value)
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        if self._n == 0:
+            raise ReproError("mean of empty stats")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        if self._n == 0:
+            raise ReproError("variance of empty stats")
+        if self._n == 1:
+            return 0.0
+        return self._m2 / (self._n - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        if self._n == 0:
+            raise ReproError("min of empty stats")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        if self._n == 0:
+            raise ReproError("max of empty stats")
+        return self._max

@@ -1,0 +1,31 @@
+"""Tiny argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from collections.abc import Collection
+from typing import Any
+
+
+def check_positive(value: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_nonneg(value: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_in(value: Any, options: Collection[Any], name: str) -> None:
+    """Raise ``ValueError`` unless ``value in options``."""
+    if value not in options:
+        raise ValueError(f"{name} must be one of {sorted(map(str, options))}, got {value!r}")
+
+
+def check_type(value: Any, types: type | tuple[type, ...], name: str) -> None:
+    """Raise ``TypeError`` unless ``isinstance(value, types)``."""
+    if not isinstance(value, types):
+        expected = types.__name__ if isinstance(types, type) else "/".join(t.__name__ for t in types)
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")

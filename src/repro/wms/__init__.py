@@ -1,0 +1,34 @@
+"""Workflow management substrate (the Cheetah/Savanna stand-in).
+
+Cheetah composes workflows; Savanna launches them and talks to the
+cluster.  DYFLOW is explicitly built as an extension of such a static
+WMS (paper §3), driving it exclusively through the low-level actuation
+plugin.  This package provides:
+
+* :class:`WorkflowSpec` / :class:`TaskSpec` — workflow composition with
+  tight/loose coupling declarations (Cheetah's role).
+* :class:`Savanna` — the runtime that owns the allocation's resource
+  manager, launches task instances as simulated processes, delivers
+  signals, records exit statuses, and exposes the actuation plugin ops
+  (``start_task_with_resources``, ``signal_term_task``, ``stop_task``,
+  ``request_resources``, ``release_resources``, ``get_resource_status``).
+* :class:`Campaign` — Cheetah-like parameter-sweep composition.
+"""
+
+from repro.wms.spec import CouplingType, DependencySpec, TaskSpec, WorkflowSpec
+from repro.wms.task import TaskInstance, TaskRecord, TaskState
+from repro.wms.launcher import Savanna
+from repro.wms.campaign import Campaign, Sweep
+
+__all__ = [
+    "CouplingType",
+    "DependencySpec",
+    "TaskSpec",
+    "WorkflowSpec",
+    "TaskState",
+    "TaskInstance",
+    "TaskRecord",
+    "Savanna",
+    "Campaign",
+    "Sweep",
+]

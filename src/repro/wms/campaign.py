@@ -1,0 +1,70 @@
+"""Cheetah-like campaign composition: parameter sweeps over workflows.
+
+Cheetah "is a composition tool used to specify the workflow" and was built
+for co-design studies sweeping resource-allocation trade-offs (paper §3).
+:class:`Campaign` generates one :class:`WorkflowSpec` per point of a
+cartesian parameter sweep, which the benchmark harness uses to run the
+same workflow across machines and configurations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.wms.spec import WorkflowSpec
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """One swept parameter: a name and its values."""
+
+    name: str
+    values: tuple
+
+    def __init__(self, name: str, values: list | tuple) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "values", tuple(values))
+        if not self.values:
+            raise ValueError(f"sweep {name!r} has no values")
+
+
+@dataclass
+class Campaign:
+    """A named set of runs: a workflow factory applied over a sweep grid.
+
+    Args:
+        name: campaign name (used in run ids).
+        factory: ``f(**params) -> WorkflowSpec`` building one run's
+            workflow from a parameter point.
+        sweeps: swept parameters; the grid is their cartesian product.
+        fixed: parameters passed to every run unchanged.
+    """
+
+    name: str
+    factory: Callable[..., WorkflowSpec]
+    sweeps: list[Sweep] = field(default_factory=list)
+    fixed: dict[str, Any] = field(default_factory=dict)
+
+    def size(self) -> int:
+        n = 1
+        for s in self.sweeps:
+            n *= len(s.values)
+        return n
+
+    def points(self) -> Iterator[dict[str, Any]]:
+        """Parameter dicts for every grid point, in deterministic order."""
+        if not self.sweeps:
+            yield dict(self.fixed)
+            return
+        names = [s.name for s in self.sweeps]
+        for combo in itertools.product(*(s.values for s in self.sweeps)):
+            params = dict(self.fixed)
+            params.update(zip(names, combo))
+            yield params
+
+    def runs(self) -> Iterator[tuple[str, dict[str, Any], WorkflowSpec]]:
+        """(run_id, params, workflow) triples for the whole campaign."""
+        for i, params in enumerate(self.points()):
+            yield f"{self.name}.{i}", params, self.factory(**params)

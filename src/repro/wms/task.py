@@ -1,0 +1,105 @@
+"""Task lifecycle: instances, records, and legal state transitions."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.allocation import ResourceSet
+from repro.errors import TaskStateError
+from repro.sim.process import Process
+from repro.wms.spec import TaskSpec
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of one task *instance*.
+
+    PENDING → LAUNCHING → RUNNING → (STOPPING →) one of
+    COMPLETED / STOPPED / FAILED.
+    """
+
+    PENDING = "pending"
+    LAUNCHING = "launching"
+    RUNNING = "running"
+    STOPPING = "stopping"
+    COMPLETED = "completed"   # exit 0 after finishing its work
+    STOPPED = "stopped"       # exit 0 after an orchestrated stop
+    FAILED = "failed"         # nonzero exit (signal codes > 128 included)
+
+
+_TRANSITIONS: dict[TaskState, set[TaskState]] = {
+    TaskState.PENDING: {TaskState.LAUNCHING},
+    # A stop during launch finalizes as STOPPED without ever RUNNING.
+    TaskState.LAUNCHING: {TaskState.RUNNING, TaskState.FAILED, TaskState.STOPPING, TaskState.STOPPED},
+    TaskState.RUNNING: {TaskState.STOPPING, TaskState.COMPLETED, TaskState.STOPPED, TaskState.FAILED},
+    TaskState.STOPPING: {TaskState.STOPPED, TaskState.FAILED, TaskState.COMPLETED},
+    TaskState.COMPLETED: set(),
+    TaskState.STOPPED: set(),
+    TaskState.FAILED: set(),
+}
+
+TERMINAL_STATES = {TaskState.COMPLETED, TaskState.STOPPED, TaskState.FAILED}
+
+
+@dataclass
+class TaskInstance:
+    """One incarnation of a workflow task on concrete resources."""
+
+    task: str
+    workflow_id: str
+    incarnation: int
+    resources: ResourceSet
+    state: TaskState = TaskState.PENDING
+    launch_time: float | None = None
+    start_time: float | None = None
+    end_time: float | None = None
+    exit_code: int | None = None
+    stop_requested: bool = False
+    proc: Process | None = None
+    ctx: Any = None  # the TaskContext once the app is spawned
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def nprocs(self) -> int:
+        return self.resources.total_cores
+
+    @property
+    def instance_id(self) -> str:
+        return f"{self.task}#{self.incarnation}"
+
+    @property
+    def is_active(self) -> bool:
+        return self.state in (TaskState.LAUNCHING, TaskState.RUNNING, TaskState.STOPPING)
+
+    def transition(self, new_state: TaskState) -> None:
+        """Move to *new_state*; illegal transitions raise TaskStateError."""
+        if new_state not in _TRANSITIONS[self.state]:
+            raise TaskStateError(
+                f"{self.instance_id}: illegal transition {self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+
+
+@dataclass
+class TaskRecord:
+    """Everything the launcher knows about one task name over time."""
+
+    spec: TaskSpec
+    current: TaskInstance | None = None
+    history: list[TaskInstance] = field(default_factory=list)
+    incarnations: int = 0
+
+    @property
+    def is_active(self) -> bool:
+        return self.current is not None and self.current.is_active
+
+    @property
+    def is_running(self) -> bool:
+        return self.current is not None and self.current.state == TaskState.RUNNING
+
+    def all_instances(self) -> list[TaskInstance]:
+        out = list(self.history)
+        if self.current is not None and self.current not in out:
+            out.append(self.current)
+        return out

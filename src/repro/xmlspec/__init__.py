@@ -1,0 +1,24 @@
+"""XML user interface (paper §3, Figs. 3–5, 7, 10).
+
+"We choose XML for the user interface because it is portable and easy to
+use and extend.  The XML contains sections corresponding to the Monitor,
+Decision, and Arbitration stages."
+
+* :func:`parse_dyflow_xml` — XML text → :class:`DyflowSpec`.
+* :func:`write_dyflow_xml` — :class:`DyflowSpec` → XML text (round-trips).
+* :func:`configure_orchestrator` — apply a spec to a built orchestrator.
+"""
+
+from repro.xmlspec.model import DyflowSpec, MonitorTaskSpec, RuleSpec
+from repro.xmlspec.parser import parse_dyflow_xml
+from repro.xmlspec.writer import write_dyflow_xml
+from repro.xmlspec.bootstrap import configure_orchestrator
+
+__all__ = [
+    "DyflowSpec",
+    "MonitorTaskSpec",
+    "RuleSpec",
+    "parse_dyflow_xml",
+    "write_dyflow_xml",
+    "configure_orchestrator",
+]

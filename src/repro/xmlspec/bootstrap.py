@@ -1,0 +1,83 @@
+"""Bootstrap: wire a parsed XML spec into a running orchestrator.
+
+This is the paper's Bootstrap module: "parses the XML file with user
+orchestration specifications of the workflow and initiates threads
+corresponding to the Monitor, Decision, Arbitrator modules providing
+them with essential information."
+"""
+
+from __future__ import annotations
+
+from repro.core.rules import ArbitrationRules
+from repro.errors import XmlSpecError
+from repro.runtime.sim_driver import DyflowOrchestrator
+from repro.wms.launcher import Savanna
+from repro.xmlspec.model import DyflowSpec
+
+
+def configure_orchestrator(
+    launcher: Savanna,
+    spec: DyflowSpec,
+    warmup: float = 120.0,
+    settle: float = 120.0,
+    poll_interval: float = 1.0,
+    num_clients: int = 1,
+    allow_victims: bool = True,
+    record_history: bool = False,
+    graceful_stops: bool = True,
+) -> DyflowOrchestrator:
+    """Build a :class:`DyflowOrchestrator` for *launcher* from *spec*.
+
+    Sensors, monitor-task bindings, policies, applications and rules are
+    installed; the XML's rule dependencies are merged over the workflow's
+    own dependency declarations.
+    """
+    workflow_id = launcher.workflow.workflow_id
+    rule = spec.rules.get(workflow_id)
+    rules = ArbitrationRules.from_workflow(
+        launcher.workflow,
+        task_priorities=rule.task_priorities if rule else None,
+        policy_priorities=rule.policy_priorities if rule else None,
+    )
+    if rule is not None:
+        known = {(d.task, d.parent) for d in rules.dependencies}
+        for dep in rule.dependencies:
+            if (dep.task, dep.parent) not in known:
+                rules.dependencies.append(dep)
+
+    orch = DyflowOrchestrator(
+        launcher,
+        rules,
+        warmup=warmup,
+        settle=settle,
+        poll_interval=poll_interval,
+        num_clients=num_clients,
+        allow_victims=allow_victims,
+        record_history=record_history,
+        graceful_stops=graceful_stops,
+    )
+    for sensor in spec.sensors.values():
+        orch.add_sensor(sensor)
+    for i, mt in enumerate(spec.monitor_tasks):
+        if mt.workflow_id != workflow_id:
+            continue
+        orch.monitor_task(
+            mt.task,
+            mt.sensor_id,
+            info_source=mt.info_source,
+            var=mt.info,
+            client=i % num_clients,
+        )
+    for policy in spec.policies.values():
+        orch.add_policy(policy)
+    applied = 0
+    for app in spec.applications:
+        if app.workflow_id != workflow_id:
+            continue
+        orch.apply_policy(app)
+        applied += 1
+    if spec.applications and applied == 0:
+        raise XmlSpecError(
+            f"spec has policy applications but none for workflow {workflow_id!r}"
+        )
+    return orch

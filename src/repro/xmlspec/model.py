@@ -1,0 +1,74 @@
+"""The parsed form of a DYFLOW XML specification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.policy import PolicyApplication, PolicySpec
+from repro.core.sensors.base import SensorSpec
+from repro.errors import XmlSpecError
+from repro.wms.spec import DependencySpec
+
+
+@dataclass
+class MonitorTaskSpec:
+    """One ``<monitor-task>``/``<use-sensor>`` binding."""
+
+    task: str
+    workflow_id: str
+    sensor_id: str
+    info_source: str | None = None
+    info: str | None = None  # the variable name ("looptime")
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class RuleSpec:
+    """One ``<rule-for>`` block: priorities and dependencies."""
+
+    workflow_id: str
+    task_priorities: dict[str, int] = field(default_factory=dict)
+    policy_priorities: dict[str, int] = field(default_factory=dict)
+    dependencies: list[DependencySpec] = field(default_factory=list)
+
+
+@dataclass
+class DyflowSpec:
+    """A complete user orchestration specification."""
+
+    sensors: dict[str, SensorSpec] = field(default_factory=dict)
+    monitor_tasks: list[MonitorTaskSpec] = field(default_factory=list)
+    policies: dict[str, PolicySpec] = field(default_factory=dict)
+    applications: list[PolicyApplication] = field(default_factory=list)
+    rules: dict[str, RuleSpec] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Cross-reference checks a schema cannot express."""
+        for mt in self.monitor_tasks:
+            if mt.sensor_id not in self.sensors:
+                raise XmlSpecError(
+                    f"monitor-task {mt.task!r} uses unknown sensor {mt.sensor_id!r}"
+                )
+        for app in self.applications:
+            if app.policy_id not in self.policies:
+                raise XmlSpecError(
+                    f"apply-policy references unknown policy {app.policy_id!r}"
+                )
+        for policy in self.policies.values():
+            if policy.sensor_id not in self.sensors:
+                raise XmlSpecError(
+                    f"policy {policy.policy_id!r} uses unknown sensor {policy.sensor_id!r}"
+                )
+            sensor = self.sensors[policy.sensor_id]
+            grans = {g.granularity for g in sensor.group_by}
+            if policy.granularity not in grans:
+                raise XmlSpecError(
+                    f"policy {policy.policy_id!r} wants granularity "
+                    f"{policy.granularity!r} but sensor {policy.sensor_id!r} "
+                    f"only groups by {sorted(grans)}"
+                )
+        for rule in self.rules.values():
+            for pid in rule.policy_priorities:
+                if pid not in self.policies:
+                    raise XmlSpecError(f"policy-priority for unknown policy {pid!r}")

@@ -1,0 +1,240 @@
+"""Parse DYFLOW XML specifications (the format of Figs. 3–5, 7, 10)."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Any
+
+from repro.core.actions import ActionType
+from repro.core.policy import PolicyApplication, PolicySpec
+from repro.core.sensors.base import GroupBySpec, JoinSpec, SensorSpec
+from repro.errors import XmlSpecError
+from repro.wms.spec import CouplingType, DependencySpec
+from repro.xmlspec.model import DyflowSpec, MonitorTaskSpec, RuleSpec
+
+
+def parse_dyflow_xml(text: str) -> DyflowSpec:
+    """Parse an XML document into a validated :class:`DyflowSpec`.
+
+    The root may be ``<dyflow>`` wrapping the three stage sections, or a
+    single stage section on its own (the paper's figures show fragments).
+    """
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as err:
+        raise XmlSpecError(f"malformed XML: {err}") from err
+    spec = DyflowSpec()
+    sections = [root] if root.tag in ("monitor", "decision", "arbitration") else list(root)
+    if root.tag not in ("dyflow", "monitor", "decision", "arbitration"):
+        raise XmlSpecError(f"unexpected root element <{root.tag}>")
+    for section in sections:
+        if section.tag == "monitor":
+            _parse_monitor(section, spec)
+        elif section.tag == "decision":
+            _parse_decision(section, spec)
+        elif section.tag == "arbitration":
+            _parse_arbitration(section, spec)
+        else:
+            raise XmlSpecError(f"unexpected section <{section.tag}>")
+    spec.validate()
+    return spec
+
+
+# --------------------------------------------------------------------------- #
+# helpers
+# --------------------------------------------------------------------------- #
+def _require(el: ET.Element, attr: str) -> str:
+    value = el.get(attr)
+    if value is None:
+        raise XmlSpecError(f"<{el.tag}> missing required attribute {attr!r}")
+    return value
+
+
+def _parse_params(parent: ET.Element, tag: str = "param") -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for p in parent.iter(tag):
+        key = _require(p, "key")
+        out[key] = _coerce(p.get("value", ""))
+    return out
+
+
+def _coerce(value: str) -> Any:
+    """Parameter values: int if possible, then float, else string."""
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            continue
+    return value
+
+
+def _text(el: ET.Element) -> str:
+    return (el.text or "").strip()
+
+
+# --------------------------------------------------------------------------- #
+# monitor section
+# --------------------------------------------------------------------------- #
+def _parse_monitor(section: ET.Element, spec: DyflowSpec) -> None:
+    sensors = section.find("sensors")
+    if sensors is not None:
+        for s in sensors.findall("sensor"):
+            sensor = _parse_sensor(s)
+            if sensor.sensor_id in spec.sensors:
+                raise XmlSpecError(f"duplicate sensor id {sensor.sensor_id!r}")
+            spec.sensors[sensor.sensor_id] = sensor
+    tasks = section.find("monitor-tasks")
+    if tasks is not None:
+        for mt in tasks.findall("monitor-task"):
+            task = _require(mt, "name")
+            workflow_id = _require(mt, "workflowId")
+            info_source = mt.get("info-source")
+            for use in mt.findall("use-sensor"):
+                spec.monitor_tasks.append(
+                    MonitorTaskSpec(
+                        task=task,
+                        workflow_id=workflow_id,
+                        sensor_id=_require(use, "sensor-id"),
+                        info_source=info_source,
+                        info=use.get("info"),
+                        params=_parse_params(use, "parameter"),
+                    )
+                )
+
+
+def _parse_sensor(el: ET.Element) -> SensorSpec:
+    sensor_id = _require(el, "id")
+    source_type = _require(el, "type")
+    group_by: list[GroupBySpec] = []
+    gb = el.find("group-by")
+    if gb is not None:
+        for g in gb.findall("group"):
+            group_by.append(
+                GroupBySpec(
+                    granularity=_require(g, "granularity"),
+                    reduction=g.get("reduction-operation", "MAX"),
+                )
+            )
+    if not group_by:
+        group_by = [GroupBySpec("task", "MAX")]
+    pre = el.find("preprocess")
+    preprocess = pre.get("operation") if pre is not None else None
+    join_el = el.find("join")
+    join = (
+        JoinSpec(_require(join_el, "sensor-id"), join_el.get("operation", "DIV"))
+        if join_el is not None
+        else None
+    )
+    return SensorSpec(
+        sensor_id=sensor_id,
+        source_type=source_type,
+        group_by=tuple(group_by),
+        preprocess=preprocess,
+        join=join,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# decision section
+# --------------------------------------------------------------------------- #
+def _parse_decision(section: ET.Element, spec: DyflowSpec) -> None:
+    policies = section.find("policies")
+    if policies is not None:
+        for p in policies.findall("policy"):
+            policy = _parse_policy(p)
+            if policy.policy_id in spec.policies:
+                raise XmlSpecError(f"duplicate policy id {policy.policy_id!r}")
+            spec.policies[policy.policy_id] = policy
+    for apply_on in section.findall("apply-on"):
+        workflow_id = _require(apply_on, "workflowId")
+        for ap in apply_on.findall("apply-policy"):
+            act_el = ap.find("act-on-tasks")
+            if act_el is None or not _text(act_el):
+                raise XmlSpecError("apply-policy needs <act-on-tasks>")
+            targets = tuple(_text(act_el).split())
+            params_el = ap.find("action-params")
+            params = _parse_params(params_el) if params_el is not None else {}
+            spec.applications.append(
+                PolicyApplication(
+                    policy_id=_require(ap, "policyId"),
+                    workflow_id=workflow_id,
+                    act_on_tasks=targets,
+                    assess_task=ap.get("assess-task", ""),
+                    action_params=params,
+                )
+            )
+
+
+def _parse_policy(el: ET.Element) -> PolicySpec:
+    policy_id = _require(el, "id")
+    eval_el = el.find("eval")
+    if eval_el is None:
+        raise XmlSpecError(f"policy {policy_id!r} missing <eval>")
+    use = el.find("sensors-to-use/use-sensor")
+    if use is None:
+        raise XmlSpecError(f"policy {policy_id!r} missing <sensors-to-use><use-sensor>")
+    action_el = el.find("action")
+    if action_el is None or not _text(action_el):
+        raise XmlSpecError(f"policy {policy_id!r} missing <action>")
+    action_name = _text(action_el).upper()
+    try:
+        action = ActionType(action_name)
+    except ValueError:
+        raise XmlSpecError(
+            f"policy {policy_id!r}: unknown action {action_name!r}"
+        ) from None
+    history = el.find("history")
+    window = int(history.get("window", "1")) if history is not None else 1
+    history_op = history.get("operation", "AVG") if history is not None else "AVG"
+    freq_el = el.find("frequency")
+    frequency = 5.0
+    if freq_el is not None:
+        raw = freq_el.get("seconds")
+        if raw is None:
+            # Tolerate the paper's Fig. 10 typo: <frequency> seconds="5" </frequency>
+            body = _text(freq_el)
+            if "seconds=" in body:
+                raw = body.split("seconds=")[1].strip().strip('"')
+        if raw is None:
+            raise XmlSpecError(f"policy {policy_id!r}: <frequency> needs seconds")
+        frequency = float(raw)
+    return PolicySpec(
+        policy_id=policy_id,
+        sensor_id=_require(use, "id"),
+        granularity=use.get("granularity", "task"),
+        eval_op=_require(eval_el, "operation"),
+        threshold=float(_require(eval_el, "threshold")),
+        action=action,
+        history_window=window,
+        history_op=history_op,
+        frequency=frequency,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# arbitration section
+# --------------------------------------------------------------------------- #
+def _parse_arbitration(section: ET.Element, spec: DyflowSpec) -> None:
+    rules = section.find("rules")
+    if rules is None:
+        return
+    for rule_for in rules.findall("rule-for"):
+        workflow_id = _require(rule_for, "workflowId")
+        rule = spec.rules.setdefault(workflow_id, RuleSpec(workflow_id=workflow_id))
+        for tp in rule_for.iter("task-priority"):
+            rule.task_priorities[_require(tp, "name")] = int(_require(tp, "priority"))
+        for pp in rule_for.iter("policy-priority"):
+            rule.policy_priorities[_require(pp, "name")] = int(_require(pp, "priority"))
+        for dep in rule_for.iter("task-dep"):
+            type_name = dep.get("type", "TIGHT").upper()
+            try:
+                coupling = CouplingType[type_name]
+            except KeyError:
+                raise XmlSpecError(f"unknown dependency type {type_name!r}") from None
+            rule.dependencies.append(
+                DependencySpec(
+                    task=_require(dep, "name"),
+                    parent=_require(dep, "parent"),
+                    type=coupling,
+                )
+            )

@@ -1,0 +1,87 @@
+"""Tests for in-situ coupling flow control."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps import CouplingRegistry
+
+
+class TestCouplingRegistry:
+    def test_no_consumers_no_backpressure(self):
+        reg = CouplingRegistry(max_inflight=2)
+        assert reg.can_publish("sim", 1000)
+
+    def test_consumer_limits_producer(self):
+        reg = CouplingRegistry(max_inflight=2)
+        reg.register_consumer("sim", "ana")
+        assert reg.can_publish("sim", 0)
+        assert reg.can_publish("sim", 1)
+        assert not reg.can_publish("sim", 2)  # 2 - (-1) = 3 > 2
+
+    def test_consumption_opens_window(self):
+        reg = CouplingRegistry(max_inflight=2)
+        reg.register_consumer("sim", "ana")
+        reg.mark_produced("sim", 0)
+        reg.mark_consumed("sim", "ana", 0)
+        assert reg.can_publish("sim", 2)
+        assert not reg.can_publish("sim", 3)
+
+    def test_slowest_of_multiple_consumers_gates(self):
+        reg = CouplingRegistry(max_inflight=1)
+        reg.register_consumer("sim", "fast")
+        reg.register_consumer("sim", "slow")
+        reg.mark_consumed("sim", "fast", 9)
+        reg.mark_consumed("sim", "slow", 2)
+        assert reg.slowest_consumer_step("sim") == 2
+        assert reg.can_publish("sim", 3)
+        assert not reg.can_publish("sim", 4)
+
+    def test_deregister_removes_backpressure(self):
+        reg = CouplingRegistry(max_inflight=1)
+        reg.register_consumer("sim", "ana")
+        assert not reg.can_publish("sim", 5)
+        reg.deregister_consumer("sim", "ana")
+        assert reg.can_publish("sim", 5)
+
+    def test_deregister_everywhere(self):
+        reg = CouplingRegistry()
+        reg.register_consumer("a", "x")
+        reg.register_consumer("b", "x")
+        reg.register_consumer("a", "y")
+        reg.deregister_everywhere("x")
+        assert reg.active_consumers("a") == ["y"]
+        assert reg.active_consumers("b") == []
+
+    def test_late_registration_catches_up(self):
+        """A reconnecting consumer must not stall the producer on old steps."""
+        reg = CouplingRegistry(max_inflight=2)
+        reg.mark_produced("sim", 99)
+        reg.register_consumer("sim", "ana")
+        assert reg.can_publish("sim", 100)
+
+    def test_mark_consumed_for_unregistered_is_noop(self):
+        reg = CouplingRegistry()
+        reg.mark_consumed("sim", "ghost", 5)
+        assert reg.slowest_consumer_step("sim") is None
+
+    def test_consumed_never_regresses(self):
+        reg = CouplingRegistry()
+        reg.register_consumer("sim", "ana")
+        reg.mark_consumed("sim", "ana", 5)
+        reg.mark_consumed("sim", "ana", 3)
+        assert reg.slowest_consumer_step("sim") == 5
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=50), st.integers(1, 5))
+    def test_invariant_gap_bounded_when_respected(self, consumed_steps, inflight):
+        """If a producer only publishes when allowed, the gap stays bounded."""
+        reg = CouplingRegistry(max_inflight=inflight)
+        reg.register_consumer("p", "c")
+        next_step = 0
+        for c in consumed_steps:
+            while reg.can_publish("p", next_step):
+                reg.mark_produced("p", next_step)
+                next_step += 1
+            reg.mark_consumed("p", "c", min(c, next_step - 1))
+            slowest = reg.slowest_consumer_step("p")
+            assert next_step - 1 - slowest <= inflight + 1

@@ -1,0 +1,198 @@
+"""Tests for the real numerical kernels."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels import (
+    GrayScottSolver,
+    LjMdSimulator,
+    centro_symmetry,
+    common_neighbor_counts,
+    fft_power_spectrum,
+    isosurface_cell_count,
+    pdf_norms,
+    radial_distribution,
+    render_projection,
+)
+
+
+class TestGrayScottSolver:
+    def test_fields_bounded(self):
+        gs = GrayScottSolver(shape=(32, 32), seed=0)
+        gs.step(500)
+        assert gs.u.min() >= 0 and gs.u.max() <= 1.5
+        assert gs.v.min() >= 0 and gs.v.max() <= 1.5
+
+    def test_pattern_forms(self):
+        gs = GrayScottSolver.preset("spots", shape=(64, 64), seed=1)
+        gs.step(2000)
+        assert gs.v.max() > 0.2  # a live pattern, not decay to zero
+
+    def test_deterministic_given_seed(self):
+        a = GrayScottSolver(shape=(24, 24), seed=7)
+        b = GrayScottSolver(shape=(24, 24), seed=7)
+        a.step(100)
+        b.step(100)
+        assert np.array_equal(a.v, b.v)
+
+    def test_3d_supported(self):
+        gs = GrayScottSolver(shape=(12, 12, 12), seed=0)
+        gs.step(10)
+        assert gs.v.shape == (12, 12, 12)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            GrayScottSolver(shape=(8,))
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError):
+            GrayScottSolver.preset("nope")
+
+    def test_snapshot_is_a_copy(self):
+        gs = GrayScottSolver(shape=(16, 16))
+        snap = gs.snapshot()
+        gs.step(10)
+        assert not np.array_equal(snap["v"], gs.v)
+
+    def test_laplacian_of_constant_is_zero(self):
+        field = np.full((8, 8), 3.0)
+        assert np.allclose(GrayScottSolver._laplacian(field), 0.0)
+
+    def test_laplacian_conserves_sum(self):
+        rng = np.random.default_rng(0)
+        field = rng.random((16, 16))
+        assert GrayScottSolver._laplacian(field).sum() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestAnalysisKernels:
+    def setup_method(self):
+        gs = GrayScottSolver.preset("stripes", shape=(32, 32), seed=2)
+        gs.step(1500)
+        self.field = gs.snapshot()["v"]
+
+    def test_fft_spectrum_shape_and_positivity(self):
+        out = fft_power_spectrum(self.field, nbins=16)
+        assert out["k"].shape == out["power"].shape == (16,)
+        assert (out["power"] >= 0).all()
+
+    def test_fft_dc_dominates_for_constant_field(self):
+        out = fft_power_spectrum(np.full((16, 16), 2.0), nbins=8)
+        assert out["power"][0] > 0
+        assert np.allclose(out["power"][1:], 0.0)
+
+    def test_pdf_norms(self):
+        out = pdf_norms(self.field, nbins=32)
+        assert out["hist"].sum() == self.field.size
+        assert out["l2"] == pytest.approx(float(np.sqrt((self.field**2).sum())))
+        assert out["linf"] == pytest.approx(float(np.abs(self.field).max()))
+
+    def test_isosurface_counts_boundary_cells(self):
+        field = np.zeros((10, 10))
+        field[:5, :] = 1.0  # a flat interface at row 5
+        count = isosurface_cell_count(field, isovalue=0.5)
+        assert count == 9  # one row of straddling cells
+
+    def test_isosurface_zero_for_uniform_field(self):
+        assert isosurface_cell_count(np.zeros((8, 8)), 0.5) == 0
+        assert isosurface_cell_count(np.ones((8, 8)), 0.5) == 0
+
+    def test_isosurface_on_evolving_pattern_grows(self):
+        gs = GrayScottSolver.preset("spots", shape=(64, 64), seed=1)
+        gs.step(500)
+        early = isosurface_cell_count(gs.snapshot()["v"], 0.15)
+        gs.step(3000)
+        late = isosurface_cell_count(gs.snapshot()["v"], 0.15)
+        assert late > early > 0
+
+    def test_render_projection_normalized(self):
+        gs3 = GrayScottSolver(shape=(12, 12, 12), seed=0)
+        gs3.step(200)
+        image = render_projection(gs3.v, axis=0)
+        assert image.shape == (12, 12)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_render_rejects_1d(self):
+        with pytest.raises(ValueError):
+            render_projection(np.zeros(8))
+
+
+class TestLjMd:
+    def test_energy_roughly_conserved(self):
+        md = LjMdSimulator(n_per_side=4, density=0.8, temperature=0.5, dt=0.002, seed=3)
+        md.step(20)  # settle the lattice start
+        e0 = md.total_energy()
+        md.step(100)
+        e1 = md.total_energy()
+        assert abs(e1 - e0) / (abs(e0) + 1e-12) < 0.05
+
+    def test_momentum_zero(self):
+        md = LjMdSimulator(n_per_side=4, seed=0)
+        md.step(50)
+        assert np.allclose(md.velocities.sum(axis=0), 0.0, atol=1e-8)
+
+    def test_checkpoint_restore_bitexact(self):
+        md = LjMdSimulator(n_per_side=3, seed=1)
+        md.step(20)
+        cp = md.checkpoint()
+        pos = md.positions.copy()
+        md.step(30)
+        md.restore(cp)
+        assert np.array_equal(md.positions, pos)
+        assert md.step_count == 20
+
+    def test_restore_then_rerun_reproduces(self):
+        md = LjMdSimulator(n_per_side=3, seed=1)
+        md.step(10)
+        cp = md.checkpoint()
+        md.step(10)
+        after = md.positions.copy()
+        md.restore(cp)
+        md.step(10)
+        assert np.allclose(md.positions, after)
+
+    def test_temperature_positive(self):
+        md = LjMdSimulator(n_per_side=4, temperature=1.2, seed=0)
+        assert md.temperature() > 0
+
+
+class TestMdAnalyses:
+    def setup_method(self):
+        self.md = LjMdSimulator(n_per_side=4, density=0.9, temperature=0.3, seed=5)
+        self.md.step(30)
+        self.pos = self.md.wrapped_positions()
+        self.box = self.md.box
+
+    def test_rdf_normalization(self):
+        out = radial_distribution(self.pos, self.box, nbins=32)
+        # g(r) ~ 0 inside the core, has a first-shell peak > 1.
+        assert out["g"][:4].max() < 0.5
+        assert out["g"].max() > 1.5
+
+    def test_rdf_needs_atoms(self):
+        with pytest.raises(ValueError):
+            radial_distribution(self.pos[:1], self.box)
+
+    def test_cna_counts_reasonable(self):
+        counts = common_neighbor_counts(self.pos, self.box, cutoff=1.4)
+        assert len(counts) > 0
+        assert counts.min() >= 0
+
+    def test_csp_perfect_lattice_near_zero(self):
+        """A perfect simple-cubic lattice is centrosymmetric: its 6
+        nearest neighbours pair into opposites, so CSP ≈ 0."""
+        lattice = LjMdSimulator(n_per_side=4, density=1.0, temperature=1.0, seed=1)
+        csp = centro_symmetry(lattice.wrapped_positions(), lattice.box, n_neighbors=6)
+        assert csp.max() == pytest.approx(0.0, abs=1e-9)
+
+    def test_csp_lattice_vs_melt(self):
+        """A perfect lattice has lower centro-symmetry than a hot fluid."""
+        lattice = LjMdSimulator(n_per_side=4, density=1.0, temperature=1.0, seed=1)
+        hot = LjMdSimulator(n_per_side=4, density=0.7, temperature=2.5, dt=0.002, seed=1)
+        hot.step(200)
+        csp_cold = centro_symmetry(lattice.wrapped_positions(), lattice.box, n_neighbors=6).mean()
+        csp_hot = centro_symmetry(hot.wrapped_positions(), hot.box, n_neighbors=6).mean()
+        assert csp_cold < csp_hot
+
+    def test_csp_needs_enough_atoms(self):
+        with pytest.raises(ValueError):
+            centro_symmetry(self.pos[:5], self.box)

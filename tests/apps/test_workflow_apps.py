@@ -1,0 +1,142 @@
+"""Tests for the XGC / Gray-Scott / LAMMPS application models."""
+
+import pytest
+
+from repro.apps.gray_scott import (
+    ANALYSIS_TASKS as GS_ANALYSES,
+    GrayScottConfig,
+    MODELS_BY_MACHINE,
+    make_analysis_app,
+    make_gray_scott_app,
+)
+from repro.apps.lammps import (
+    ANALYSIS_TASKS as MD_ANALYSES,
+    LAMMPS_STEP_TIME,
+    LammpsConfig,
+    make_lammps_app,
+    make_md_analysis_app,
+)
+from repro.apps.xgc import XGC1_STEP_TIME, XGCA_STEP_TIME, XgcApp, make_xgc1, make_xgca
+from repro.sim import SimEngine
+from tests.apps.test_iterative_app import make_ctx
+
+
+class TestXgcModels:
+    def test_speed_ratio_matches_paper(self):
+        """XGC1 runs ≈2.5× slower than XGCa (§4.3)."""
+        assert XGC1_STEP_TIME / XGCA_STEP_TIME == pytest.approx(2.5)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            XgcApp("XGC2", 1.0)
+
+    def test_run_steps_default_100(self):
+        assert make_xgc1().run_steps == 100
+        assert make_xgca().run_steps == 100
+
+    def test_progress_file_alternation(self):
+        """XGC1 runs 100 steps; XGCa resumes from its progress record."""
+        eng = SimEngine()
+        ctx1 = make_ctx(eng, task="XGC1")
+        eng.run_process(make_xgc1().run(ctx1))
+        assert ctx1.notes["last_step"] == 100
+        hub = ctx1.hub
+        assert hub.filesystem.read("fusion/WF/progress")["step"] == 100
+        ctx2 = make_ctx(eng, hub=hub, task="XGCA")
+        eng.run_process(make_xgca().run(ctx2))
+        assert ctx2.notes["first_step"] == 100
+        assert ctx2.notes["last_step"] == 200
+
+    def test_output_files_per_global_step(self):
+        eng = SimEngine()
+        ctx = make_ctx(eng, task="XGC1")
+        app = XgcApp("XGC1", 1.0, total_steps=600, run_steps=5)
+        eng.run_process(app.run(ctx))
+        files = ctx.hub.filesystem.scan("out/WF/XGC1.out.*")
+        assert [e.meta["step"] for e in files] == [0, 1, 2, 3, 4]
+
+    def test_total_steps_cap(self):
+        eng = SimEngine()
+        ctx = make_ctx(eng, task="XGC1")
+        app = XgcApp("XGC1", 0.5, total_steps=3, run_steps=100)
+        eng.run_process(app.run(ctx))
+        assert ctx.notes["last_step"] == 3
+        assert ctx.notes["completed"] is True
+
+
+class TestGrayScottModels:
+    def test_summit_calibration_shape(self):
+        """Iso gates at 20 procs, FFT gates after the first fix, 60 is in-band."""
+        m = MODELS_BY_MACHINE["summit"]
+        assert m["Isosurface"].nominal(20, 0) > 36
+        assert m["FFT"].nominal(20, 0) > 36
+        assert 24 < m["Isosurface"].nominal(60, 0) < 36
+        assert m["GrayScott"].nominal(340, 0) < 36
+        assert m["PDF_Calc"].nominal(20, 0) < 24
+
+    def test_deepthought2_calibration_shape(self):
+        m = MODELS_BY_MACHINE["deepthought2"]
+        speed = 0.55
+        assert m["Isosurface"].nominal(20, 0) / speed > 42
+        assert 28 < m["Isosurface"].nominal(60, 0) / speed < 42
+        assert m["GrayScott"].nominal(320, 0) / speed < 42
+
+    def test_configs_match_table2(self):
+        s = GrayScottConfig.summit()
+        assert s.gs_procs == 340 and s.gs_procs_per_node == 34
+        assert s.analysis_procs == 20
+        assert all(s.analysis_procs_per_node[t] == 2 for t in GS_ANALYSES)
+        d = GrayScottConfig.deepthought2()
+        assert d.gs_procs == 320 and d.gs_procs_per_node == 16
+
+    def test_summit_packing_is_exact(self):
+        """34 + 2×4 analyses = 42 = a full Summit node."""
+        s = GrayScottConfig.summit()
+        per_node = s.gs_procs_per_node + sum(s.analysis_procs_per_node.values())
+        assert per_node == 42
+
+    def test_factories(self):
+        config = GrayScottConfig.summit()
+        gs = make_gray_scott_app(config)
+        assert gs.total_steps == 50
+        iso = make_analysis_app("Isosurface", config)
+        assert iso.total_steps is None
+        with pytest.raises(ValueError):
+            make_analysis_app("Nope", config)
+
+
+class TestLammpsModels:
+    def test_configs_match_table3(self):
+        s = LammpsConfig.summit()
+        assert s.sim_procs == 1500 and s.sim_procs_per_node == 30
+        assert s.analysis_procs == 200 and s.analysis_procs_per_node == 4
+        assert s.total_atoms == 65_536_000
+        d = LammpsConfig.deepthought2()
+        assert d.sim_procs == 100 and d.total_atoms == 8_192_000
+
+    def test_summit_packing_is_exact(self):
+        """30 + 3×4 analyses = 42 = a full Summit node — a single node
+        failure therefore kills the whole workflow (§4.5)."""
+        s = LammpsConfig.summit()
+        assert s.sim_procs_per_node + 3 * s.analysis_procs_per_node == 42
+
+    def test_publish_every_matches_analysis_steps(self):
+        assert LammpsConfig.summit().publish_every == 10
+        assert LammpsConfig.deepthought2().publish_every == 20
+
+    def test_checkpoint_lands_at_412_for_600s_failure(self):
+        """The calibrated step time puts the last checkpoint before a
+        600 s failure at step 412 — the paper's restart point."""
+        steps_at_failure = int(600.0 / LAMMPS_STEP_TIME)
+        last_cp = (steps_at_failure // 4) * 4
+        assert last_cp == 412
+
+    def test_factories(self):
+        config = LammpsConfig.summit()
+        sim = make_lammps_app(config)
+        assert sim.checkpoint_every == 4
+        assert sim.resume_from_checkpoint
+        ana = make_md_analysis_app("RDF_Calc", config)
+        assert ana.total_steps is None
+        with pytest.raises(ValueError):
+            make_md_analysis_app("Nope", config)

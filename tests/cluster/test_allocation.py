@@ -1,0 +1,89 @@
+"""Tests for ResourceSet algebra and Allocation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import Allocation, ResourceSet, summit
+from repro.errors import AllocationError
+
+rs_strategy = st.dictionaries(
+    st.sampled_from([f"n{i}" for i in range(6)]), st.integers(0, 40), max_size=6
+).map(ResourceSet)
+
+
+class TestResourceSet:
+    def test_zero_cores_dropped(self):
+        rs = ResourceSet({"a": 0, "b": 3})
+        assert rs.node_ids == ["b"]
+        assert rs.total_cores == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(AllocationError):
+            ResourceSet({"a": -1})
+
+    def test_union(self):
+        a = ResourceSet({"x": 2, "y": 1})
+        b = ResourceSet({"y": 3, "z": 4})
+        u = a.union(b)
+        assert u.as_dict() == {"x": 2, "y": 4, "z": 4}
+
+    def test_subtract(self):
+        a = ResourceSet({"x": 5, "y": 2})
+        d = a.subtract(ResourceSet({"x": 5, "y": 1}))
+        assert d.as_dict() == {"y": 1}
+
+    def test_subtract_underflow_rejected(self):
+        with pytest.raises(AllocationError):
+            ResourceSet({"x": 1}).subtract(ResourceSet({"x": 2}))
+
+    def test_contains(self):
+        a = ResourceSet({"x": 5, "y": 2})
+        assert a.contains(ResourceSet({"x": 5}))
+        assert a.contains(ResourceSet({}))
+        assert not a.contains(ResourceSet({"x": 6}))
+        assert not a.contains(ResourceSet({"z": 1}))
+
+    def test_restrict_to(self):
+        a = ResourceSet({"x": 5, "y": 2})
+        assert a.restrict_to({"x", "z"}).as_dict() == {"x": 5}
+
+    def test_equality_and_hash(self):
+        assert ResourceSet({"a": 1}) == ResourceSet({"a": 1, "b": 0})
+        assert hash(ResourceSet({"a": 1})) == hash(ResourceSet({"a": 1}))
+
+    def test_empty_is_falsy(self):
+        assert not ResourceSet.empty()
+        assert ResourceSet({"a": 1})
+
+    @given(rs_strategy, rs_strategy)
+    def test_union_total_is_sum(self, a, b):
+        assert a.union(b).total_cores == a.total_cores + b.total_cores
+
+    @given(rs_strategy, rs_strategy)
+    def test_union_then_subtract_roundtrip(self, a, b):
+        assert a.union(b).subtract(b) == a
+
+    @given(rs_strategy, rs_strategy)
+    def test_union_commutative(self, a, b):
+        assert a.union(b) == b.union(a)
+
+
+class TestAllocation:
+    def test_requires_nodes(self):
+        m = summit(2)
+        with pytest.raises(AllocationError):
+            Allocation("a0", m, [], walltime_limit=10.0)
+
+    def test_deadline(self):
+        m = summit(2)
+        alloc = Allocation("a0", m, m.nodes, walltime_limit=100.0, start_time=5.0)
+        assert alloc.deadline == 105.0
+
+    def test_full_resources_excludes_failed_nodes(self):
+        m = summit(3)
+        alloc = Allocation("a0", m, m.nodes, walltime_limit=10.0)
+        assert alloc.total_cores == 126
+        m.nodes[0].fail()
+        assert alloc.total_cores == 84
+        assert alloc.full_resources().cores_on("summit0000") == 0

@@ -1,0 +1,91 @@
+"""Tests for EASY backfilling in the batch scheduler."""
+
+import pytest
+
+from repro.cluster import BatchScheduler, JobState, summit
+from repro.sim import SimEngine
+
+
+def setup(num_nodes=4, backfill=True):
+    eng = SimEngine()
+    m = summit(num_nodes)
+    return eng, BatchScheduler(eng, m, backfill=backfill)
+
+
+class TestBackfill:
+    def test_short_job_jumps_queue_without_delaying_head(self):
+        eng, sched = setup(4)
+        j_run = sched.submit(3, walltime_limit=100.0)   # holds 3 of 4 nodes
+        j_head = sched.submit(4, walltime_limit=50.0)   # must wait for all 4
+        j_small = sched.submit(1, walltime_limit=50.0)  # fits now, ends at 50 < 100
+        eng.run(until=0)
+        assert j_run.state == JobState.RUNNING
+        assert j_head.state == JobState.PENDING
+        assert j_small.state == JobState.RUNNING  # backfilled
+        assert sched.backfilled_jobs == 1
+
+    def test_long_job_does_not_delay_reservation(self):
+        eng, sched = setup(4)
+        sched.submit(3, walltime_limit=100.0)
+        j_head = sched.submit(4, walltime_limit=50.0)   # reservation at t=100
+        j_long = sched.submit(1, walltime_limit=500.0)  # would block node past 100
+        eng.run(until=0)
+        assert j_head.state == JobState.PENDING
+        assert j_long.state == JobState.PENDING  # not backfilled
+        assert sched.backfilled_jobs == 0
+
+    def test_job_fitting_in_reservation_spare_backfills(self):
+        eng, sched = setup(6)
+        sched.submit(4, walltime_limit=100.0)            # 2 nodes left
+        j_head = sched.submit(3, walltime_limit=50.0)    # waits; at t=100: 6 free, spare 3
+        j_long = sched.submit(2, walltime_limit=1000.0)  # long, but fits the spare
+        eng.run(until=0)
+        assert j_head.state == JobState.PENDING
+        assert j_long.state == JobState.RUNNING
+        assert sched.backfilled_jobs == 1
+
+    def test_spare_capacity_is_consumed(self):
+        eng, sched = setup(6)
+        sched.submit(4, walltime_limit=100.0)            # spare at reservation = 2...
+        sched.submit(3, walltime_limit=50.0)             # head; spare = 6 - 3 = 3? no: free@100=6, spare=3
+        a = sched.submit(2, walltime_limit=1000.0)       # takes spare 3 -> 1
+        b = sched.submit(2, walltime_limit=1000.0)       # needs 2 > remaining spare 1 (and only 0 free now)
+        eng.run(until=0)
+        assert a.state == JobState.RUNNING
+        assert b.state == JobState.PENDING
+
+    def test_head_eventually_runs(self):
+        eng, sched = setup(4)
+        j_run = sched.submit(3, walltime_limit=100.0)
+        j_head = sched.submit(4, walltime_limit=50.0)
+        j_small = sched.submit(1, walltime_limit=50.0)
+        eng.run(until=10.0)
+        sched.complete(j_run)
+        sched.complete(j_small)
+        eng.run(until=10.0)
+        assert j_head.state == JobState.RUNNING
+
+    def test_fifo_mode_never_backfills(self):
+        eng, sched = setup(4, backfill=False)
+        sched.submit(3, walltime_limit=100.0)
+        head = sched.submit(4, walltime_limit=50.0)
+        small = sched.submit(1, walltime_limit=10.0)
+        eng.run(until=0)
+        assert head.state == JobState.PENDING
+        assert small.state == JobState.PENDING
+        assert sched.backfilled_jobs == 0
+
+    def test_backfill_improves_utilization(self):
+        """End-to-end: with backfill the short jobs complete much sooner."""
+        def run(backfill):
+            eng, sched = setup(4, backfill=backfill)
+            sched.submit(3, walltime_limit=100.0)
+            sched.submit(4, walltime_limit=100.0)
+            shorts = [sched.submit(1, walltime_limit=20.0) for _ in range(3)]
+            eng.run(until=0)
+            return eng, sched, shorts
+
+        _eng, _sched, shorts = run(backfill=True)
+        assert all(j.state == JobState.RUNNING for j in shorts[:1])
+        _eng, _sched, shorts = run(backfill=False)
+        assert all(j.state == JobState.PENDING for j in shorts)

@@ -1,0 +1,84 @@
+"""Tests for node and machine models."""
+
+import pytest
+
+from repro.cluster import Machine, Node, NodeState, deepthought2, summit
+from repro.errors import NodeStateError
+
+
+class TestNode:
+    def test_defaults(self):
+        n = Node("n0", cores=20)
+        assert n.is_up and n.state == NodeState.UP
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            Node("n0", cores=0)
+
+    def test_fail_recover_cycle(self):
+        n = Node("n0", cores=4)
+        n.fail()
+        assert n.state == NodeState.DOWN and not n.is_up
+        n.recover()
+        assert n.is_up
+
+    def test_double_fail_rejected(self):
+        n = Node("n0", cores=4)
+        n.fail()
+        with pytest.raises(NodeStateError):
+            n.fail()
+
+    def test_drain_only_from_up(self):
+        n = Node("n0", cores=4)
+        n.drain()
+        assert n.state == NodeState.DRAINING
+        with pytest.raises(NodeStateError):
+            n.drain()
+
+
+class TestMachineFactories:
+    def test_summit_inventory(self):
+        m = summit(4)
+        assert m.name == "summit"
+        assert len(m.nodes) == 4
+        assert m.cores_per_node == 42
+        assert m.nodes[0].gpus == 6
+        assert m.nodes[0].hw_threads_per_core == 4
+        assert m.total_cores == 4 * 42
+
+    def test_deepthought2_inventory(self):
+        m = deepthought2(3)
+        assert m.cores_per_node == 20
+        assert m.nodes[0].gpus == 0
+        assert m.nodes[0].memory_gb == 128.0
+
+    def test_perf_profiles_ordered(self):
+        """Deepthought2 must be slower than Summit in every latency knob."""
+        s, d = summit(1).perf, deepthought2(1).perf
+        assert d.speed_factor < s.speed_factor
+        assert d.launch_latency > s.launch_latency
+        assert d.script_overhead > s.script_overhead
+        assert d.signal_latency > s.signal_latency
+
+    def test_duplicate_node_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Machine("m", [Node("a", cores=1), Node("a", cores=2)])
+
+    def test_up_nodes_excludes_failed(self):
+        m = summit(3)
+        m.nodes[1].fail()
+        assert [n.node_id for n in m.up_nodes()] == ["summit0000", "summit0002"]
+
+    def test_node_lookup(self):
+        m = deepthought2(2)
+        assert m.node("dt2-0001").node_id == "dt2-0001"
+        with pytest.raises(KeyError):
+            m.node("nope")
+
+    def test_interconnect_transfer_time(self):
+        m = summit(1)
+        t_small = m.interconnect.transfer_time(8)
+        t_big = m.interconnect.transfer_time(10**9)
+        assert 0 < t_small < t_big
+        # 1 GB over 100 Gb/s ≈ 0.08 s
+        assert t_big == pytest.approx(0.08, rel=0.01)

@@ -1,0 +1,117 @@
+"""Tests for the batch scheduler and failure injector."""
+
+import pytest
+
+from repro.cluster import BatchScheduler, FailureInjector, JobState, summit
+from repro.errors import SchedulerError
+from repro.sim import SimEngine
+
+
+def setup(num_nodes=4):
+    eng = SimEngine()
+    m = summit(num_nodes)
+    return eng, m, BatchScheduler(eng, m)
+
+
+class TestBatchScheduler:
+    def test_immediate_grant_when_free(self):
+        eng, _m, sched = setup(4)
+        job = sched.submit(2, walltime_limit=100.0)
+        eng.run(until=0)
+        assert job.state == JobState.RUNNING
+        assert job.allocation is not None and len(job.allocation.nodes) == 2
+
+    def test_fifo_queueing(self):
+        eng, _m, sched = setup(2)
+        j1 = sched.submit(2, walltime_limit=50.0)
+        j2 = sched.submit(1, walltime_limit=50.0)
+        eng.run(until=0)
+        assert j1.state == JobState.RUNNING
+        assert j2.state == JobState.PENDING  # FIFO: waits even though 0 free
+        sched.complete(j1)
+        assert j2.state == JobState.RUNNING
+
+    def test_oversized_request_rejected(self):
+        _eng, _m, sched = setup(2)
+        with pytest.raises(SchedulerError):
+            sched.submit(3, walltime_limit=10.0)
+
+    def test_walltime_timeout_fires_callback(self):
+        eng, _m, sched = setup(2)
+        timeouts = []
+        job = sched.submit(1, walltime_limit=30.0, on_timeout=lambda j: timeouts.append(eng.now))
+        eng.run()
+        assert job.state == JobState.TIMEOUT
+        assert timeouts == [30.0]
+
+    def test_complete_before_deadline_no_timeout(self):
+        eng, _m, sched = setup(2)
+        timeouts = []
+        job = sched.submit(1, walltime_limit=30.0, on_timeout=lambda j: timeouts.append(1))
+        eng.run(until=10.0)
+        sched.complete(job)
+        eng.run()
+        assert job.state == JobState.COMPLETED
+        assert timeouts == []
+
+    def test_nodes_recycled_after_completion(self):
+        eng, _m, sched = setup(1)
+        j1 = sched.submit(1, walltime_limit=10.0)
+        j2 = sched.submit(1, walltime_limit=10.0)
+        eng.run(until=1.0)
+        sched.complete(j1)
+        eng.run(until=1.0)
+        assert j2.state == JobState.RUNNING
+
+    def test_cancel_pending(self):
+        eng, _m, sched = setup(1)
+        j1 = sched.submit(1, walltime_limit=10.0)
+        j2 = sched.submit(1, walltime_limit=10.0)
+        eng.run(until=0)
+        sched.cancel(j2)
+        assert j2.state == JobState.CANCELLED
+        assert sched.pending_jobs == []
+        assert j1.state == JobState.RUNNING
+
+    def test_failed_node_not_dispatched(self):
+        eng, m, sched = setup(2)
+        m.nodes[0].fail()
+        job = sched.submit(2, walltime_limit=10.0)
+        eng.run(until=0)
+        assert job.state == JobState.PENDING
+        m.nodes[0].recover()
+        sched.submit(1, walltime_limit=5.0)  # trigger a dispatch attempt
+        eng.run(until=0)
+        assert job.state == JobState.RUNNING
+
+
+class TestFailureInjector:
+    def test_failure_at_time(self):
+        eng, m, _sched = setup(2)
+        inj = FailureInjector(eng, m)
+        seen = []
+        inj.subscribe_failure(lambda node, t: seen.append((node.node_id, t)))
+        inj.fail_node_at(600.0, "summit0001")
+        eng.run()
+        assert seen == [("summit0001", 600.0)]
+        assert not m.node("summit0001").is_up
+        assert len(inj.history) == 1
+
+    def test_double_failure_is_noop(self):
+        eng, m, _sched = setup(1)
+        inj = FailureInjector(eng, m)
+        inj.fail_node_at(1.0, "summit0000")
+        inj.fail_node_at(2.0, "summit0000")
+        eng.run()
+        assert len(inj.history) == 1
+
+    def test_recovery(self):
+        eng, m, _sched = setup(1)
+        inj = FailureInjector(eng, m)
+        recovered = []
+        inj.subscribe_recovery(lambda node, t: recovered.append(t))
+        inj.fail_node_at(1.0, "summit0000")
+        inj.recover_node_at(5.0, "summit0000")
+        eng.run()
+        assert m.node("summit0000").is_up
+        assert recovered == [5.0]

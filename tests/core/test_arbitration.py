@@ -1,0 +1,312 @@
+"""Tests for the Arbitration stage (Algorithm 1)."""
+
+import pytest
+
+from repro.apps import ConstantModel, IterativeApp
+from repro.cluster import Allocation, summit
+from repro.core import ActionType, ArbitrationRules, ArbitrationStage, SuggestedAction
+from repro.core.actions import actions_conflict
+from repro.sim import SimEngine
+from repro.wms import CouplingType, DependencySpec, Savanna, TaskSpec, WorkflowSpec
+
+
+def suggestion(policy="P", action=ActionType.ADDCPU, target="B", assess="", params=None, t=0.0):
+    return SuggestedAction(
+        policy_id=policy, action=action, target=target, workflow_id="W",
+        assess_task=assess, params=params or {}, trigger_time=t,
+    )
+
+
+def make_world(
+    tasks=(("A", 10, True), ("B", 10, True), ("C", 10, True)),
+    deps=(),
+    num_nodes=1,
+    cores_per_node=42,
+    priorities=None,
+    policy_priorities=None,
+    warmup=0.0,
+    settle=0.0,
+):
+    """A running workflow on one node; tasks run long unless stopped."""
+    eng = SimEngine()
+    m = summit(num_nodes, cores_per_node=cores_per_node)
+    alloc = Allocation("a0", m, m.nodes, walltime_limit=1e9)
+    specs = [
+        TaskSpec(name, lambda: IterativeApp(ConstantModel(4.0), total_steps=10_000),
+                 nprocs=n, autostart=auto)
+        for name, n, auto in tasks
+    ]
+    wf = WorkflowSpec("W", specs, list(deps))
+    sav = Savanna(eng, wf, alloc)
+    rules = ArbitrationRules.from_workflow(
+        wf, task_priorities=priorities or {}, policy_priorities=policy_priorities or {}
+    )
+    arb = ArbitrationStage(sav, rules, warmup=warmup, settle=settle)
+    arb.begin(0.0)
+    sav.launch_workflow()
+    eng.run(until=5.0)  # everyone running
+    return eng, sav, arb
+
+
+class TestGating:
+    def test_warmup_discards(self):
+        eng, sav, arb = make_world(warmup=120.0)
+        assert arb.arbitrate([suggestion()], now=eng.now) is None
+        assert arb.discarded_batches == 1
+
+    def test_settle_after_execution(self):
+        eng, sav, arb = make_world(settle=60.0)
+        plan = arb.arbitrate([suggestion(params={"adjust-by": 2})], now=5.0)
+        assert plan is not None
+        arb.on_plan_executed(plan, now=10.0)
+        assert arb.gated(50.0)
+        assert not arb.gated(70.1)
+
+    def test_in_flight_blocks_new_plans(self):
+        eng, sav, arb = make_world()
+        plan = arb.arbitrate([suggestion(params={"adjust-by": 2})], now=5.0)
+        assert plan is not None
+        assert arb.arbitrate([suggestion(params={"adjust-by": 2}, target="C")], now=6.0) is None
+        arb.on_plan_executed(plan, now=7.0)
+        assert arb.arbitrate([suggestion(params={"adjust-by": 2}, target="C")], now=8.0) is not None
+
+
+class TestConflictResolution:
+    def test_conflicting_pairs(self):
+        assert actions_conflict(ActionType.STOP, ActionType.START)
+        assert actions_conflict(ActionType.RMCPU, ActionType.ADDCPU)
+        assert actions_conflict(ActionType.STOP, ActionType.RESTART)
+        assert not actions_conflict(ActionType.ADDCPU, ActionType.ADDCPU)
+
+    def test_policy_priority_wins(self):
+        eng, sav, arb = make_world(policy_priorities={"HIGH": 0, "LOW": 1})
+        plan = arb.arbitrate(
+            [
+                suggestion(policy="LOW", action=ActionType.ADDCPU, target="B", params={"adjust-by": 2}),
+                suggestion(policy="HIGH", action=ActionType.STOP, target="B"),
+            ],
+            now=5.0,
+        )
+        ops = plan.ordered_ops()
+        assert [o.op for o in ops] == ["stop_task"]
+        assert any("LOW" in d for d in plan.discarded) or "HIGH:STOP:B" in plan.accepted
+
+    def test_duplicate_suggestions_deduped(self):
+        eng, sav, arb = make_world()
+        s = suggestion(params={"adjust-by": 2})
+        plan = arb.arbitrate([s, s, s], now=5.0)
+        starts = [o for o in plan.ops if o.op == "start_task"]
+        assert len(starts) == 1
+
+
+class TestNoopDropping:
+    def test_start_of_running_task_dropped(self):
+        eng, sav, arb = make_world()
+        assert arb.arbitrate([suggestion(action=ActionType.START, target="B")], now=5.0) is None
+
+    def test_stop_of_inactive_task_dropped_and_purges_queue(self):
+        eng, sav, arb = make_world(tasks=(("A", 40, True), ("B", 40, False)))
+        # B cannot start (A holds 40 of 42): it parks in the waiting queue.
+        assert arb.arbitrate([suggestion(action=ActionType.START, target="B")], now=5.0) is None
+        assert "B" in arb.waiting
+        assert arb.arbitrate([suggestion(action=ActionType.STOP, target="B")], now=6.0) is None
+        assert "B" not in arb.waiting
+
+    def test_addcpu_on_dead_task_dropped(self):
+        eng, sav, arb = make_world(tasks=(("A", 10, True), ("B", 10, False)))
+        assert arb.arbitrate([suggestion(action=ActionType.ADDCPU, target="B")], now=5.0) is None
+
+
+class TestResourceProtocol:
+    def test_addcpu_from_free_pool(self):
+        eng, sav, arb = make_world()  # 30 of 42 used
+        plan = arb.arbitrate([suggestion(params={"adjust-by": 8})], now=5.0)
+        ops = plan.ordered_ops()
+        assert [o.op for o in ops] == ["stop_task", "start_task"]
+        assert ops[1].resources.total_cores == 18
+        assert plan.victims == []
+
+    def test_victim_selected_by_priority(self):
+        eng, sav, arb = make_world(
+            tasks=(("A", 14, True), ("B", 14, True), ("C", 14, True)),  # node full
+            priorities={"A": 0, "B": 1, "C": 2},
+        )
+        plan = arb.arbitrate([suggestion(target="B", params={"adjust-by": 10})], now=5.0)
+        assert plan.victims == ["C"]
+        assert "C" in arb.waiting
+        ops = plan.ordered_ops()
+        assert ops[0].op == "stop_task" and ops[0].task == "C"
+        start = [o for o in ops if o.op == "start_task"][0]
+        assert start.task == "B" and start.resources.total_cores == 24
+
+    def test_no_victim_with_higher_priority_only(self):
+        """A task never victimizes equal or higher priority tasks."""
+        eng, sav, arb = make_world(
+            tasks=(("A", 21, True), ("B", 21, True)),
+            priorities={"A": 0, "B": 0},
+        )
+        plan = arb.arbitrate([suggestion(target="B", params={"adjust-by": 10})], now=5.0)
+        assert plan is None  # growth discarded, no victims, nothing to do
+
+    def test_rmcpu_shrinks(self):
+        eng, sav, arb = make_world()
+        plan = arb.arbitrate(
+            [suggestion(action=ActionType.RMCPU, target="B", params={"adjust-by": 4})], now=5.0
+        )
+        start = [o for o in plan.ordered_ops() if o.op == "start_task"][0]
+        assert start.resources.total_cores == 6
+
+    def test_rmcpu_floors_at_one(self):
+        eng, sav, arb = make_world()
+        plan = arb.arbitrate(
+            [suggestion(action=ActionType.RMCPU, target="B", params={"adjust-by": 999})], now=5.0
+        )
+        start = [o for o in plan.ordered_ops() if o.op == "start_task"][0]
+        assert start.resources.total_cores == 1
+
+    def test_restart_of_failed_task_uses_spec_size(self):
+        eng, sav, arb = make_world(tasks=(("A", 10, True),))
+        # Kill A out-of-band, then RESTART it.
+        inst = sav.record("A").current
+        inst.proc.interrupt(__import__("repro.apps.base", fromlist=["Signal"]).Signal.kill(137))
+        eng.run(until=6.0)
+        assert not sav.record("A").is_active
+        plan = arb.arbitrate([suggestion(action=ActionType.RESTART, target="A")], now=7.0)
+        start = [o for o in plan.ordered_ops() if o.op == "start_task"][0]
+        assert start.resources.total_cores == 10
+
+    def test_plan_never_exceeds_allocation(self):
+        eng, sav, arb = make_world(
+            tasks=(("A", 14, True), ("B", 14, True), ("C", 14, True)),
+            priorities={"A": 0, "B": 1, "C": 2},
+        )
+        plan = arb.arbitrate(
+            [
+                suggestion(target="A", params={"adjust-by": 6}),
+                suggestion(target="B", params={"adjust-by": 6}),
+                suggestion(target="C", params={"adjust-by": 6}),
+            ],
+            now=5.0,
+        )
+        total = sum(rs.total_cores for rs in plan.reassignment.values())
+        assert total <= sav.allocation.total_cores
+
+    def test_ordering_releases_before_acquires(self):
+        eng, sav, arb = make_world(
+            tasks=(("A", 14, True), ("B", 14, True), ("C", 14, True)),
+            priorities={"A": 0, "B": 1, "C": 2},
+        )
+        plan = arb.arbitrate([suggestion(target="B", params={"adjust-by": 10})], now=5.0)
+        kinds = [o.op for o in plan.ordered_ops()]
+        assert kinds == sorted(kinds, key=lambda k: 0 if k == "stop_task" else 1)
+
+
+class TestDependentActions:
+    def make_chain(self):
+        return make_world(
+            tasks=(("Sim", 10, True), ("Iso", 10, True), ("Render", 10, True)),
+            deps=(
+                DependencySpec("Iso", "Sim", CouplingType.TIGHT),
+                DependencySpec("Render", "Iso", CouplingType.TIGHT),
+            ),
+            priorities={"Sim": 0, "Iso": 1, "Render": 2},
+        )
+
+    def test_addcpu_restarts_tight_dependents(self):
+        eng, sav, arb = self.make_chain()
+        plan = arb.arbitrate([suggestion(target="Iso", params={"adjust-by": 4})], now=5.0)
+        by_task = {(o.task, o.op) for o in plan.ops}
+        assert ("Render", "stop_task") in by_task
+        assert ("Render", "start_task") in by_task
+        render_start = [o for o in plan.ops if o.task == "Render" and o.op == "start_task"][0]
+        assert render_start.reason == "dependency"
+        assert render_start.resources.total_cores == 10  # same size
+
+    def test_dependency_restart_supersedes_dependent_resize(self):
+        eng, sav, arb = self.make_chain()
+        plan = arb.arbitrate(
+            [
+                suggestion(target="Iso", params={"adjust-by": 4}),
+                suggestion(target="Render", params={"adjust-by": 4}, policy="P2"),
+            ],
+            now=5.0,
+        )
+        render_start = [o for o in plan.ops if o.task == "Render" and o.op == "start_task"][0]
+        assert render_start.resources.total_cores == 10  # restarted, not grown
+        assert any("dependency restart" in d for d in plan.discarded)
+
+    def test_stop_propagates_to_transitive_dependents(self):
+        eng, sav, arb = self.make_chain()
+        plan = arb.arbitrate([suggestion(action=ActionType.STOP, target="Sim")], now=5.0)
+        restarted = {o.task for o in plan.ops if o.op == "start_task"}
+        # Iso and Render are restarted to re-establish connections.
+        assert restarted == {"Iso", "Render"}
+
+    def test_untouched_parent_leaves_dependents_alone(self):
+        eng, sav, arb = self.make_chain()
+        plan = arb.arbitrate([suggestion(action=ActionType.ADDCPU, target="Render",
+                                         params={"adjust-by": 2})], now=5.0)
+        assert {o.task for o in plan.ops} == {"Render"}
+
+
+class TestWaitingQueue:
+    def test_unsatisfiable_start_parks(self):
+        eng, sav, arb = make_world(tasks=(("A", 40, True), ("B", 40, False)),
+                                   priorities={"A": 0, "B": 0})
+        assert arb.arbitrate([suggestion(action=ActionType.START, target="B")], now=5.0) is None
+        assert "B" in arb.waiting
+
+    def test_waiting_task_starts_when_resources_free(self):
+        eng, sav, arb = make_world(tasks=(("A", 40, True), ("B", 40, False)),
+                                   priorities={"A": 0, "B": 0})
+        arb.arbitrate([suggestion(action=ActionType.START, target="B",
+                                  params={"restart-script": "r.sh"})], now=5.0)
+        # A exits; resources free; next round drains the queue.
+        def stop_a():
+            yield from sav.stop_task("A", graceful=False)
+        eng.process(stop_a())
+        eng.run(until=10.0)
+        plan = arb.arbitrate([], now=10.0)
+        assert plan is not None
+        start = plan.ordered_ops()[0]
+        assert start.task == "B" and start.op == "start_task"
+        assert start.user_script == "r.sh"
+        assert "B" not in arb.waiting
+
+    def test_waiting_has_priority_over_fresh_equal_priority_start(self):
+        """The XGC alternation: the queued code wins over the fresh START."""
+        eng, sav, arb = make_world(
+            tasks=(("RUN", 40, True), ("A", 40, False), ("B", 40, False)),
+            priorities={"RUN": 0, "A": 0, "B": 0},
+        )
+        # RUN holds the node; both starts park — B first (queue seniority).
+        assert arb.arbitrate([suggestion(action=ActionType.START, target="B")], now=5.0) is None
+        assert arb.arbitrate([suggestion(action=ActionType.START, target="A")], now=6.0) is None
+        assert set(arb.waiting) == {"A", "B"}
+        def stop_run():
+            yield from sav.stop_task("RUN", graceful=False)
+        eng.process(stop_run())
+        eng.run(until=10.0)
+        plan = arb.arbitrate([suggestion(action=ActionType.START, target="A")], now=10.0)
+        started = [o.task for o in plan.ordered_ops() if o.op == "start_task"]
+        assert started == ["B"]
+        assert "A" in arb.waiting  # A stays parked behind B
+
+    def test_victims_enter_waiting_queue(self):
+        eng, sav, arb = make_world(
+            tasks=(("A", 14, True), ("B", 14, True), ("C", 14, True)),
+            priorities={"A": 0, "B": 1, "C": 2},
+        )
+        plan = arb.arbitrate([suggestion(target="B", params={"adjust-by": 10})], now=5.0)
+        arb.on_plan_executed(plan, now=6.0)
+        assert "C" in arb.waiting
+
+    def test_switch_stops_assessed_and_starts_target(self):
+        eng, sav, arb = make_world(tasks=(("A", 40, True), ("B", 40, False)),
+                                   priorities={"A": 0, "B": 0})
+        plan = arb.arbitrate(
+            [suggestion(action=ActionType.SWITCH, target="B", assess="A")], now=5.0
+        )
+        ops = plan.ordered_ops()
+        assert (ops[0].op, ops[0].task) == ("stop_task", "A")
+        assert (ops[1].op, ops[1].task) == ("start_task", "B")

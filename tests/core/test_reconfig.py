@@ -1,0 +1,128 @@
+"""Tests for the §6 extension: in-place RECONFIG (no stop-and-relaunch)."""
+
+import pytest
+
+from repro.apps import ConstantModel, IterativeApp
+from repro.apps.base import TaskContext
+from repro.cluster import Allocation, summit
+from repro.core import (
+    ActionType,
+    GroupBySpec,
+    PolicyApplication,
+    PolicySpec,
+    SensorSpec,
+    SuggestedAction,
+)
+from repro.runtime import DyflowOrchestrator
+from repro.sim import RngRegistry, SimEngine
+from repro.wms import Savanna, TaskSpec, WorkflowSpec
+from tests.core.test_arbitration import make_world, suggestion
+
+
+class TestControlMailbox:
+    def test_drain_merges_updates(self):
+        from tests.apps.test_iterative_app import make_ctx
+
+        eng = SimEngine()
+        ctx = make_ctx(eng)
+        ctx.deliver_control({"a": 1, "b": 2})
+        ctx.deliver_control({"b": 3})
+        merged = ctx.drain_control()
+        assert merged == {"a": 1, "b": 3}
+        assert ctx.params["b"] == 3
+        assert ctx.drain_control() == {}
+
+    def test_step_scale_changes_pace_in_place(self):
+        from tests.apps.test_iterative_app import make_ctx
+
+        eng = SimEngine()
+        ctx = make_ctx(eng)
+        app = IterativeApp(ConstantModel(10.0), total_steps=4, rank_jitter=0.0)
+        proc = eng.process(app.run(ctx))
+        # Halve the work after two steps.
+        eng.call_after(15.0, lambda: ctx.deliver_control({"step-scale": 0.5}))
+        eng.run()
+        # Steps: 10 + 10 + (reconfig applies at step 3 boundary) 5 + 5 = 30.
+        assert proc.value == 0
+        assert eng.now == pytest.approx(30.0)
+        assert ctx.notes["last_reconfig"] == {"step-scale": 0.5}
+
+
+class TestArbitrationMapping:
+    def test_reconfig_plans_single_op_without_restart(self):
+        eng, sav, arb = make_world()
+        plan = arb.arbitrate(
+            [suggestion(action=ActionType.RECONFIG, target="B", params={"step-scale": 0.5})],
+            now=5.0,
+        )
+        assert [o.op for o in plan.ops] == ["reconfig_task"]
+        assert plan.ops[0].params == {"step-scale": 0.5}
+        assert plan.victims == []
+
+    def test_reconfig_on_dead_task_dropped(self):
+        eng, sav, arb = make_world(tasks=(("A", 10, True), ("B", 10, False)))
+        assert arb.arbitrate(
+            [suggestion(action=ActionType.RECONFIG, target="B")], now=5.0
+        ) is None
+
+    def test_stop_beats_reconfig_by_policy_priority(self):
+        eng, sav, arb = make_world(policy_priorities={"HIGH": 0, "LOW": 1})
+        plan = arb.arbitrate(
+            [
+                suggestion(policy="LOW", action=ActionType.RECONFIG, target="B"),
+                suggestion(policy="HIGH", action=ActionType.STOP, target="B"),
+            ],
+            now=5.0,
+        )
+        assert [o.op for o in plan.ops] == ["stop_task"]
+
+    def test_reconfig_does_not_restart_dependents(self):
+        from repro.wms import CouplingType, DependencySpec
+
+        eng, sav, arb = make_world(
+            tasks=(("Sim", 10, True), ("Iso", 10, True), ("Render", 10, True)),
+            deps=(
+                DependencySpec("Iso", "Sim", CouplingType.TIGHT),
+                DependencySpec("Render", "Iso", CouplingType.TIGHT),
+            ),
+        )
+        plan = arb.arbitrate(
+            [suggestion(action=ActionType.RECONFIG, target="Iso")], now=5.0
+        )
+        assert {o.task for o in plan.ops} == {"Iso"}
+
+
+class TestEndToEndReconfig:
+    def test_policy_driven_reconfig_restores_pace(self):
+        """The full loop: slow analysis reconfigured in place, no restart."""
+        eng = SimEngine()
+        m = summit(4)
+        alloc = Allocation("a0", m, m.nodes, walltime_limit=1e9)
+        wf = WorkflowSpec("W", [
+            TaskSpec("Ana", lambda: IterativeApp(ConstantModel(20.0), total_steps=60), nprocs=10),
+        ])
+        sav = Savanna(eng, wf, alloc, rng=RngRegistry(0))
+        orch = DyflowOrchestrator(sav, warmup=30.0, settle=30.0, record_history=True)
+        orch.add_sensor(SensorSpec("PACE", "TAUADIOS2", (GroupBySpec("task", "MAX"),)))
+        orch.monitor_task("Ana", "PACE", var="looptime")
+        orch.add_policy(
+            PolicySpec("TUNE", "PACE", "GT", 12.0, ActionType.RECONFIG,
+                       history_window=3, history_op="AVG", frequency=5.0)
+        )
+        orch.apply_policy(
+            PolicyApplication("TUNE", "W", ("Ana",), assess_task="Ana",
+                              action_params={"step-scale": 0.5})
+        )
+        sav.launch_workflow()
+        orch.start(stop_when=sav.all_idle)
+        eng.run(until=10_000)
+        plans = [p for p in orch.plans if p.execution_end is not None]
+        assert plans and plans[0].ops[0].op == "reconfig_task"
+        # No restart happened: one incarnation only.
+        assert sav.record("Ana").incarnations == 1
+        # Response time is a signal latency, not a graceful stop.
+        assert plans[0].response_time < 0.5
+        # Pace halves after the reconfig.
+        paces = [u.value for u in orch.server.history if u.task == "Ana"]
+        assert paces[0] == pytest.approx(20.0, rel=0.1)
+        assert paces[-1] == pytest.approx(10.0, rel=0.1)

@@ -1,0 +1,131 @@
+"""Tests for reductions, preprocessing, group-by, and joins."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sensors import (
+    GroupBySpec,
+    JoinSpec,
+    PREPROCESS,
+    REDUCTIONS,
+    group_key,
+    preprocess_value,
+    reduce_values,
+)
+from repro.core.sensors.groupby import task_of_key
+from repro.errors import SensorError
+from repro.staging import Sample
+
+finite = st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=20)
+
+
+class TestReductions:
+    def test_all_paper_reductions_present(self):
+        for op in ("MAX", "MIN", "AVG", "SUM", "FIRST", "LAST", "COUNT"):
+            assert op in REDUCTIONS
+
+    def test_basic_values(self):
+        values = [3.0, 1.0, 2.0]
+        assert reduce_values("MAX", values) == 3.0
+        assert reduce_values("MIN", values) == 1.0
+        assert reduce_values("AVG", values) == 2.0
+        assert reduce_values("SUM", values) == 6.0
+        assert reduce_values("FIRST", values) == 3.0
+        assert reduce_values("LAST", values) == 2.0
+        assert reduce_values("COUNT", values) == 3.0
+        assert reduce_values("MEDIAN", values) == 2.0
+
+    def test_case_insensitive(self):
+        assert reduce_values("max", [1.0, 2.0]) == 2.0
+
+    def test_unknown_op(self):
+        with pytest.raises(SensorError):
+            reduce_values("NOPE", [1.0])
+
+    def test_empty_group(self):
+        with pytest.raises(SensorError):
+            reduce_values("MAX", [])
+
+    @given(finite)
+    def test_bounds_property(self, values):
+        tol = 1e-6 * max(1.0, max(abs(v) for v in values))
+        avg = reduce_values("AVG", values)
+        assert reduce_values("MIN", values) - tol <= avg <= reduce_values("MAX", values) + tol
+
+
+class TestPreprocess:
+    def test_identity_requires_scalar(self):
+        assert preprocess_value(None, 3.5) == 3.5
+        with pytest.raises(SensorError):
+            preprocess_value(None, [1, 2])
+
+    def test_norm_of_vector(self):
+        assert preprocess_value("NORM", [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_mean_max_min_sum(self):
+        v = [1.0, 2.0, 3.0]
+        assert preprocess_value("MEAN", v) == 2.0
+        assert preprocess_value("MAX", v) == 3.0
+        assert preprocess_value("MIN", v) == 1.0
+        assert preprocess_value("SUM", v) == 6.0
+
+    def test_absmax(self):
+        assert preprocess_value("ABSMAX", [-7.0, 3.0]) == 7.0
+
+    def test_matrix_input(self):
+        m = np.arange(6, dtype=float).reshape(2, 3)
+        assert preprocess_value("SUM", m) == 15.0
+
+    def test_unknown_op(self):
+        with pytest.raises(SensorError):
+            preprocess_value("WAT", [1.0])
+
+    def test_empty_value(self):
+        with pytest.raises(SensorError):
+            preprocess_value("MEAN", [])
+
+
+class TestGroupBy:
+    def sample(self, task="Iso", node="n3", wf="GS"):
+        return Sample(time=0.0, workflow_id=wf, task=task, rank=0, node_id=node,
+                      var="x", value=1.0)
+
+    def test_all_paper_granularities(self):
+        s = self.sample()
+        assert group_key("task", s) == ("Iso",)
+        assert group_key("node-task", s) == ("Iso", "n3")
+        assert group_key("workflow", s) == ("GS",)
+        assert group_key("node-workflow", s) == ("GS", "n3")
+
+    def test_unknown_granularity(self):
+        with pytest.raises(SensorError):
+            group_key("galaxy", self.sample())
+
+    def test_task_of_key(self):
+        assert task_of_key("task", ("Iso",)) == "Iso"
+        assert task_of_key("node-task", ("Iso", "n1")) == "Iso"
+        assert task_of_key("workflow", ("GS",)) == ""
+
+    def test_groupby_spec_validates(self):
+        with pytest.raises(ValueError):
+            GroupBySpec("galaxy")
+
+
+class TestJoinSpec:
+    def test_div(self):
+        assert JoinSpec("cyc", "DIV").apply(10.0, 4.0) == 2.5
+
+    def test_div_by_zero(self):
+        with pytest.raises(SensorError):
+            JoinSpec("cyc", "DIV").apply(1.0, 0.0)
+
+    def test_other_ops(self):
+        assert JoinSpec("x", "MUL").apply(3.0, 4.0) == 12.0
+        assert JoinSpec("x", "ADD").apply(3.0, 4.0) == 7.0
+        assert JoinSpec("x", "SUB").apply(3.0, 4.0) == -1.0
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            JoinSpec("x", "POW")

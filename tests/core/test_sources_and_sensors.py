@@ -1,0 +1,223 @@
+"""Tests for source adapters and bound sensor instances."""
+
+import pytest
+
+from repro.cluster.machine import MachinePerf
+from repro.core.sensors import (
+    DiskScanSource,
+    ErrorStatusSource,
+    FileReadSource,
+    GroupBySpec,
+    SensorInstance,
+    SensorSpec,
+    StreamSource,
+    make_source,
+)
+from repro.errors import SensorError
+from repro.staging import DataHub, Sample
+
+
+def mk_sample(task="T", rank=0, node="n0", var="looptime", value=1.0, step=0, time=0.0):
+    return Sample(time=time, workflow_id="W", task=task, rank=rank, node_id=node,
+                  var=var, value=value, step=step)
+
+
+class TestStreamSource:
+    def test_reads_profiler_samples(self):
+        hub = DataHub()
+        ch = hub.channel("tau-W-T")
+        src = StreamSource(hub, "tau-W-T", "W", "T", var="looptime")
+        assert src.poll(0.0) == []  # connects, sees nothing yet
+        ch.put([mk_sample(value=2.0), mk_sample(rank=1, value=3.0)], 1.0)
+        out = src.poll(1.5)
+        assert [s.value for s in out] == [2.0, 3.0]
+        assert src.poll(2.0) == []  # consumed
+
+    def test_var_filter(self):
+        hub = DataHub()
+        ch = hub.channel("c")
+        src = StreamSource(hub, "c", "W", "T", var="looptime")
+        src.poll(0.0)
+        ch.put([mk_sample(var="looptime"), mk_sample(var="rss")], 1.0)
+        assert [s.var for s in src.poll(1.0)] == ["looptime"]
+
+    def test_dict_payload_wrapped(self):
+        hub = DataHub()
+        ch = hub.channel("data-W-T")
+        src = StreamSource(hub, "data-W-T", "W", "T")
+        src.poll(0.0)
+        ch.put({"nsteps": 7}, 2.0)
+        out = src.poll(2.0)
+        assert len(out) == 1 and out[0].var == "nsteps" and out[0].value == 7
+
+    def test_reconnect_skips_staged_backlog(self):
+        hub = DataHub()
+        ch = hub.channel("c")
+        src = StreamSource(hub, "c", "W", "T")
+        src.poll(0.0)
+        src.reconnect()
+        ch2_data = [mk_sample(value=9.0)]
+        ch.put(ch2_data, 5.0)
+        assert [s.value for s in src.poll(5.0)] == [9.0]
+
+    def test_stream_lag_larger_than_file_lag(self):
+        perf = MachinePerf()
+        hub = DataHub()
+        stream = StreamSource(hub, "c", "W", "T")
+        disk = DiskScanSource(hub.filesystem, "x.*", "W", "T")
+        assert stream.read_lag(perf) > disk.read_lag(perf)
+
+
+class TestDiskScanSource:
+    def test_new_files_become_samples(self):
+        hub = DataHub()
+        fs = hub.filesystem
+        src = DiskScanSource(fs, "out/T.out.*", "W", "T")
+        fs.write("out/T.out.0", {"step": 0}, mtime=1.0, step=0)
+        fs.write("out/T.out.1", {"step": 1}, mtime=2.0, step=1)
+        out = src.poll(2.0)
+        assert [s.value for s in out] == [1.0, 2.0]  # steps completed
+        assert src.poll(3.0) == []  # already seen
+        fs.write("out/T.out.2", {"step": 2}, mtime=3.0, step=2)
+        assert [s.value for s in src.poll(3.0)] == [3.0]
+
+    def test_value_from_data_dict(self):
+        hub = DataHub()
+        hub.filesystem.write("f.0", {"step": 4}, mtime=1.0)
+        src = DiskScanSource(hub.filesystem, "f.*", "W", "T")
+        assert src.poll(1.0)[0].value == 5.0
+
+    def test_custom_value_fn(self):
+        hub = DataHub()
+        hub.filesystem.write("f.0", "blob", mtime=1.0, size=10)
+        src = DiskScanSource(hub.filesystem, "f.*", "W", "T", var="size",
+                             value_fn=lambda e: e.size)
+        assert src.poll(1.0)[0].value == 10.0
+
+    def test_unextractable_value_raises(self):
+        hub = DataHub()
+        hub.filesystem.write("f.0", "blob", mtime=1.0)
+        src = DiskScanSource(hub.filesystem, "f.*", "W", "T")
+        with pytest.raises(SensorError):
+            src.poll(1.0)
+
+
+class TestFileReadSource:
+    def test_reads_on_mtime_change_only(self):
+        hub = DataHub()
+        fs = hub.filesystem
+        src = FileReadSource(fs, "progress", "W", "T", var="step")
+        assert src.poll(0.0) == []  # file absent
+        fs.write("progress", {"step": 10}, mtime=1.0)
+        assert src.poll(1.0)[0].value == 10
+        assert src.poll(2.0) == []  # unchanged
+        fs.write("progress", {"step": 11}, mtime=3.0)
+        assert src.poll(3.0)[0].value == 11
+
+    def test_missing_variable_raises(self):
+        hub = DataHub()
+        hub.filesystem.write("f", {"other": 1}, mtime=1.0)
+        src = FileReadSource(hub.filesystem, "f", "W", "T", var="step")
+        with pytest.raises(SensorError):
+            src.poll(1.0)
+
+
+class TestErrorStatusSource:
+    def test_new_records_only(self):
+        hub = DataHub()
+        fs = hub.filesystem
+        src = ErrorStatusSource(fs, "status/W/T", "W", "T")
+        assert src.poll(0.0) == []
+        fs.append_record("status/W/T", {"code": 0, "time": 1.0, "rank": 0}, mtime=1.0)
+        out = src.poll(1.0)
+        assert out[0].value == 0.0 and out[0].var == "exit_code"
+        fs.append_record("status/W/T", {"code": 137, "time": 5.0, "rank": 0}, mtime=5.0)
+        out = src.poll(5.0)
+        assert [s.value for s in out] == [137.0]
+
+
+class TestMakeSource:
+    def test_all_source_types(self):
+        hub = DataHub()
+        assert isinstance(make_source("TAUADIOS2", hub, "W", "T"), StreamSource)
+        assert isinstance(make_source("ADIOS2", hub, "W", "T"), StreamSource)
+        assert isinstance(make_source("DISKSCAN", hub, "W", "T", info_source="x.*"), DiskScanSource)
+        assert isinstance(make_source("FILEREAD", hub, "W", "T", info_source="f", var="v"), FileReadSource)
+        assert isinstance(make_source("ERRORSTATUS", hub, "W", "T"), ErrorStatusSource)
+
+    def test_conventions(self):
+        hub = DataHub()
+        s = make_source("TAUADIOS2", hub, "W", "T")
+        assert s.channel_name == "tau-W-T"
+        s = make_source("ADIOS2", hub, "W", "T")
+        assert s.channel_name == "data-W-T"
+        e = make_source("ERRORSTATUS", hub, "W", "T")
+        assert e.path == "status/W/T"
+
+    def test_diskscan_requires_pattern(self):
+        with pytest.raises(SensorError):
+            make_source("DISKSCAN", DataHub(), "W", "T")
+
+    def test_unknown_type(self):
+        with pytest.raises(SensorError):
+            make_source("CARRIERPIGEON", DataHub(), "W", "T")
+
+
+class TestSensorInstance:
+    def make(self, group_by, preprocess=None):
+        hub = DataHub()
+        ch = hub.channel("tau-W-T")
+        spec = SensorSpec("PACE", "TAUADIOS2", tuple(group_by), preprocess=preprocess)
+        src = StreamSource(hub, "tau-W-T", "W", "T", var="looptime")
+        inst = SensorInstance(spec=spec, workflow_id="W", task="T", source=src)
+        inst.poll(0.0)  # connect
+        return hub, ch, inst
+
+    def test_task_granularity_max_over_ranks(self):
+        _hub, ch, inst = self.make([GroupBySpec("task", "MAX")])
+        ch.put([mk_sample(rank=0, value=2.0), mk_sample(rank=1, value=5.0)], 1.0)
+        ups = inst.poll(1.0)
+        assert len(ups) == 1
+        u = ups[0]
+        assert u.key == ("T",) and u.value == 5.0 and u.granularity == "task"
+        assert u.task == "T"
+
+    def test_node_task_granularity_splits_by_node(self):
+        _hub, ch, inst = self.make([GroupBySpec("node-task", "AVG")])
+        ch.put([
+            mk_sample(rank=0, node="n0", value=2.0),
+            mk_sample(rank=1, node="n0", value=4.0),
+            mk_sample(rank=2, node="n1", value=10.0),
+        ], 1.0)
+        ups = inst.poll(1.0)
+        assert {(u.key, u.value) for u in ups} == {(("T", "n0"), 3.0), (("T", "n1"), 10.0)}
+
+    def test_multiple_granularities_emit_parallel_streams(self):
+        _hub, ch, inst = self.make([GroupBySpec("task", "MAX"), GroupBySpec("workflow", "MAX")])
+        ch.put([mk_sample(value=7.0)], 1.0)
+        ups = inst.poll(1.0)
+        grans = {u.granularity for u in ups}
+        assert grans == {"task", "workflow"}
+
+    def test_distinct_steps_stay_distinct(self):
+        """EQ policies need every progress value, not just the batch max."""
+        _hub, ch, inst = self.make([GroupBySpec("task", "MAX")])
+        ch.put([mk_sample(value=1.0, step=0, time=1.0)], 1.0)
+        ch.put([mk_sample(value=2.0, step=1, time=2.0)], 2.0)
+        ups = inst.poll(2.5)
+        assert [u.value for u in ups] == [1.0, 2.0]
+
+    def test_preprocess_applied_before_reduction(self):
+        _hub, ch, inst = self.make([GroupBySpec("task", "MAX")], preprocess="NORM")
+        ch.put([mk_sample(value=[3.0, 4.0])], 1.0)
+        assert inst.poll(1.0)[0].value == pytest.approx(5.0)
+
+    def test_empty_poll_no_updates(self):
+        _hub, _ch, inst = self.make([GroupBySpec("task", "MAX")])
+        assert inst.poll(1.0) == []
+
+    def test_spec_validation(self):
+        with pytest.raises(SensorError):
+            SensorSpec("s", "ADIOS2", ())
+        with pytest.raises(SensorError):
+            SensorSpec("s", "ADIOS2", (GroupBySpec("task"), GroupBySpec("task", "AVG")))

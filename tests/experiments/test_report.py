@@ -1,0 +1,43 @@
+"""Tests for the paper-vs-measured report generator."""
+
+import pytest
+
+from repro.experiments.report import Report, ReportRow, build_report, format_report
+
+
+class TestReportContainer:
+    def test_add_and_flags(self):
+        r = Report()
+        r.add("e", "m", "q", "p", "v", True)
+        r.add("e", "m", "q2", "p", "v", False)
+        assert not r.all_ok
+        assert len(r.failures()) == 1
+
+    def test_format_alignment_and_status(self):
+        r = Report()
+        r.add("exp", "summit", "quantity", "paper-claim", "measured-value", True)
+        text = format_report(r)
+        assert "EXPERIMENT" in text and "✓" in text
+        assert "ALL SHAPES REPRODUCED" in text
+
+    def test_format_reports_failures(self):
+        r = Report()
+        r.add("exp", "summit", "q", "p", "v", False)
+        assert "1 COMPARISONS OFF" in format_report(r)
+
+
+class TestBuildReport:
+    @pytest.fixture(scope="class")
+    def summit_report(self):
+        return build_report(machines=("summit",))
+
+    def test_all_summit_shapes_reproduce(self, summit_report):
+        assert summit_report.all_ok, format_report(summit_report)
+
+    def test_covers_all_experiments(self, summit_report):
+        experiments = {r.experiment for r in summit_report.rows}
+        assert experiments == {"xgc (§4.3)", "gray-scott (§4.4)", "lammps (§4.5)", "cost (§4.6)"}
+
+    def test_checkpoint_row_present(self, summit_report):
+        rows = [r for r in summit_report.rows if "checkpoint" in r.quantity]
+        assert rows and rows[0].measured == "412"

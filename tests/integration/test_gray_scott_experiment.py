@@ -1,0 +1,87 @@
+"""Integration: the §4.4 Gray-Scott performance-driven experiment (Figs. 8–9)."""
+
+import pytest
+
+from repro.experiments import run_gray_scott_experiment
+
+
+@pytest.fixture(scope="module")
+def summit_run():
+    return run_gray_scott_experiment("summit", use_dyflow=True)
+
+
+def adjustment_plans(result):
+    """Plans containing an accepted INC_ON_PACE action."""
+    return [p for p in result.plans if any("INC_ON_PACE" in a for a in p.accepted)]
+
+
+class TestSummitAdjustments:
+    def test_two_adjustments(self, summit_run):
+        assert len(adjustment_plans(summit_run)) == 2
+
+    def test_first_adjustment_grows_iso_via_pdf(self, summit_run):
+        plan = adjustment_plans(summit_run)[0]
+        assert plan.victims == ["PDF_Calc"]
+        start = [o for o in plan.ops if o.op == "start_task" and o.task == "Isosurface"][0]
+        assert start.resources.total_cores == 40
+        # Rendering restarted through its tight dependency on Isosurface.
+        dep = [o for o in plan.ops if o.task == "Rendering" and o.op == "start_task"]
+        assert dep and dep[0].reason == "dependency"
+
+    def test_second_adjustment_grows_iso_via_fft(self, summit_run):
+        plan = adjustment_plans(summit_run)[1]
+        assert plan.victims == ["FFT"]
+        start = [o for o in plan.ops if o.op == "start_task" and o.task == "Isosurface"][0]
+        assert start.resources.total_cores == 60
+
+    def test_finishes_inside_time_limit(self, summit_run):
+        assert summit_run.makespan < summit_run.meta["time_limit"]
+
+    def test_gray_scott_completes_all_steps(self, summit_run):
+        rows = {r["task"]: r for r in summit_run.summary_rows()}
+        assert rows["GrayScott"]["last_step"] == 50
+        assert rows["GrayScott"]["state"] == "completed"
+
+    def test_pace_settles_into_band(self, summit_run):
+        """Fig. 9: after the second change every pace is within [24, 36]."""
+        second = adjustment_plans(summit_run)[1]
+        late = [v for t, v in summit_run.pace_series("Isosurface")
+                if t > second.execution_end + 60]
+        assert late, "no pace samples after the second adjustment"
+        tail = late[2:]
+        assert all(20 < v < 36 for v in tail)
+
+    def test_responses_order_of_paper(self, summit_run):
+        """First response (3 graceful stops) larger than sub-minute scale."""
+        plans = adjustment_plans(summit_run)
+        assert 10 < plans[0].response_time < 120   # paper: 107 s
+        assert 5 < plans[1].response_time < 120    # paper: 36 s
+
+    def test_graceful_stops_dominate_response(self, summit_run):
+        for plan in adjustment_plans(summit_run):
+            assert plan.stop_share() > 0.7  # paper: ≈97%
+
+
+class TestBaseline:
+    def test_static_run_times_out(self):
+        res = run_gray_scott_experiment("summit", use_dyflow=False, enforce_walltime=True)
+        assert res.meta["timed_out"]
+        rows = {r["task"]: r for r in res.summary_rows()}
+        assert rows["GrayScott"]["last_step"] < 50  # killed prematurely
+
+    def test_static_overtime_factor(self):
+        res = run_gray_scott_experiment("summit", use_dyflow=False, enforce_walltime=False)
+        overtime = res.makespan / (30 * 60.0) - 1.0
+        assert 0.05 < overtime < 0.25  # paper: 10–12%
+
+
+class TestDeepthought2:
+    def test_single_adjustment_with_two_victims(self):
+        """Paper: Iso restarted acquiring resources from PDF_Calc *and*
+        FFT_Calc in one plan; response 87 s."""
+        res = run_gray_scott_experiment("deepthought2", use_dyflow=True)
+        plans = adjustment_plans(res)
+        assert len(plans) == 1
+        assert set(plans[0].victims) == {"PDF_Calc", "FFT"}
+        assert 40 < plans[0].response_time < 150
+        assert res.makespan < res.meta["time_limit"]

@@ -1,0 +1,66 @@
+"""Integration: the §4.5 LAMMPS failure-resilience experiment (Fig. 11)."""
+
+import pytest
+
+from repro.experiments import run_lammps_experiment
+
+
+@pytest.fixture(scope="module")
+def summit_run():
+    return run_lammps_experiment("summit", use_dyflow=True)
+
+
+class TestResilience:
+    def test_simulation_completes_despite_failure(self, summit_run):
+        assert summit_run.meta["sim_completed"]
+        rows = {r["task"]: r for r in summit_run.summary_rows()}
+        assert rows["LAMMPS"]["last_step"] == 1000
+
+    def test_whole_workflow_failed_on_node_loss(self, summit_run):
+        """All four tasks co-locate on every node, so all fail (§4.5)."""
+        for task in ("LAMMPS", "CS_Calc", "CNA_Calc", "RDF_Calc"):
+            assert summit_run.incarnations(task) == 2, task
+
+    def test_restart_resumes_from_checkpoint_412(self, summit_run):
+        """Paper: 'the simulation resumes from the last checkpoint
+        (i.e., timestep 412)'. """
+        assert summit_run.meta["restart_step"] == 412
+
+    def test_restart_plan_excludes_failed_node(self, summit_run):
+        failed = summit_run.meta["failed_node"]
+        plan = [p for p in summit_run.plans if any("RESTART_ON_FAILURE" in a for a in p.accepted)][0]
+        for op in plan.ops:
+            if op.op == "start_task":
+                assert op.resources.cores_on(failed) == 0
+
+    def test_restart_response_subsecond(self, summit_run):
+        """Paper: ≈0.2 s on Summit (excluding the frequency delay)."""
+        plan = [p for p in summit_run.plans if p.ops][0]
+        assert plan.response_time < 2.0
+
+    def test_timesteps_repeated_after_restart(self, summit_run):
+        """Failure hits past step 412; the restart repeats several steps."""
+        failure_time = summit_run.meta["failure_time"]
+        steps_at_failure = int(failure_time / 1.4475)
+        assert summit_run.meta["restart_step"] < steps_at_failure
+
+    def test_without_failure_single_incarnation(self):
+        res = run_lammps_experiment("summit", use_dyflow=True, inject_failure=False)
+        assert res.incarnations("LAMMPS") == 1
+        assert res.plans == []
+        assert res.meta["sim_completed"]
+
+    def test_without_dyflow_workflow_stays_dead(self):
+        res = run_lammps_experiment("summit", use_dyflow=False)
+        assert not res.meta["sim_completed"]
+        rows = {r["task"]: r for r in res.summary_rows()}
+        assert rows["LAMMPS"]["state"] == "failed"
+        assert rows["LAMMPS"]["exit_code"] == 137
+
+    def test_deepthought2_same_shape_slower_response(self):
+        s = run_lammps_experiment("summit", use_dyflow=True)
+        d = run_lammps_experiment("deepthought2", use_dyflow=True)
+        assert d.meta["sim_completed"]
+        s_resp = [p.response_time for p in s.plans if p.ops][0]
+        d_resp = [p.response_time for p in d.plans if p.ops][0]
+        assert d_resp > s_resp  # paper: 0.4 s vs 0.2 s

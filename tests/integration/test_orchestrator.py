@@ -1,0 +1,169 @@
+"""Integration: the DYFLOW service loop wired programmatically and via XML."""
+
+import pytest
+
+from repro.apps import AmdahlModel, ConstantModel, IterativeApp
+from repro.cluster import Allocation, summit
+from repro.core import (
+    ActionType,
+    GroupBySpec,
+    PolicyApplication,
+    PolicySpec,
+    SensorSpec,
+)
+from repro.errors import DyflowError
+from repro.experiments import run_cost_analysis
+from repro.runtime import DyflowOrchestrator
+from repro.sim import RngRegistry, SimEngine
+from repro.wms import CouplingType, DependencySpec, Savanna, TaskSpec, WorkflowSpec
+from repro.xmlspec import configure_orchestrator, parse_dyflow_xml
+
+
+def make_launcher(num_nodes=4):
+    eng = SimEngine()
+    m = summit(num_nodes)
+    alloc = Allocation("a0", m, m.nodes, walltime_limit=1e9)
+    tasks = [
+        TaskSpec("Sim", lambda: IterativeApp(ConstantModel(8.0), total_steps=40), nprocs=40),
+        TaskSpec("Ana", lambda: IterativeApp(AmdahlModel(serial=4, parallel=240)), nprocs=12),
+    ]
+    wf = WorkflowSpec("W", tasks, [DependencySpec("Ana", "Sim", CouplingType.TIGHT)])
+    return eng, Savanna(eng, wf, alloc, rng=RngRegistry(1))
+
+
+class TestProgrammaticWiring:
+    def test_full_loop_adjusts_underprovisioned_analysis(self):
+        eng, sav = make_launcher()
+        orch = DyflowOrchestrator(sav, warmup=40.0, settle=40.0, record_history=True)
+        orch.add_sensor(SensorSpec("PACE", "TAUADIOS2", (GroupBySpec("task", "MAX"),)))
+        orch.monitor_task("Ana", "PACE", var="looptime")
+        orch.add_policy(PolicySpec("INC", "PACE", "GT", 12.0, ActionType.ADDCPU,
+                                   history_window=4, history_op="AVG", frequency=5.0))
+        orch.apply_policy(PolicyApplication("INC", "W", ("Ana",), assess_task="Ana",
+                                            action_params={"adjust-by": 12}))
+        sav.launch_workflow()
+        orch.start(stop_when=sav.all_idle)
+        eng.run(until=5000)
+        assert sav.all_idle()
+        # Ana: 12 procs (24 s/step) → 24 (14 s) → 36 (10.7 s, under the
+        # 12 s threshold): two adjustments, then stable.
+        assert sav.record("Ana").current.nprocs == 36
+        assert len(orch.plans) == 2
+        assert orch.server.forwarded > 0
+
+    def test_duplicate_sensor_rejected(self):
+        _eng, sav = make_launcher()
+        orch = DyflowOrchestrator(sav)
+        orch.add_sensor(SensorSpec("S", "ADIOS2"))
+        with pytest.raises(DyflowError):
+            orch.add_sensor(SensorSpec("S", "ADIOS2"))
+
+    def test_monitor_unknown_task_rejected(self):
+        _eng, sav = make_launcher()
+        orch = DyflowOrchestrator(sav)
+        orch.add_sensor(SensorSpec("S", "ADIOS2"))
+        with pytest.raises(DyflowError):
+            orch.monitor_task("Ghost", "S")
+
+    def test_monitor_unknown_sensor_rejected(self):
+        _eng, sav = make_launcher()
+        orch = DyflowOrchestrator(sav)
+        with pytest.raises(DyflowError):
+            orch.monitor_task("Sim", "NOPE")
+
+    def test_double_start_rejected(self):
+        eng, sav = make_launcher()
+        orch = DyflowOrchestrator(sav)
+        orch.start()
+        with pytest.raises(DyflowError):
+            orch.start()
+
+    def test_multiple_monitor_clients(self):
+        eng, sav = make_launcher()
+        orch = DyflowOrchestrator(sav, num_clients=3)
+        orch.add_sensor(SensorSpec("PACE", "TAUADIOS2", (GroupBySpec("task", "MAX"),)))
+        for i, task in enumerate(("Sim", "Ana")):
+            orch.monitor_task(task, "PACE", var="looptime", client=i)
+        assert len(orch.clients) == 3
+        assert len(orch.clients[0].bindings) == 1
+        assert len(orch.clients[1].bindings) == 1
+
+
+class TestXmlWiring:
+    XML = """
+    <dyflow>
+      <monitor>
+        <sensors>
+          <sensor id="PACE" type="TAUADIOS2">
+            <group-by><group granularity="task" reduction-operation="MAX"/></group-by>
+          </sensor>
+        </sensors>
+        <monitor-tasks>
+          <monitor-task name="Ana" workflowId="W">
+            <use-sensor sensor-id="PACE" info="looptime"/>
+          </monitor-task>
+        </monitor-tasks>
+      </monitor>
+      <decision>
+        <policies>
+          <policy id="INC">
+            <eval operation="GT" threshold="12"/>
+            <sensors-to-use><use-sensor id="PACE" granularity="task"/></sensors-to-use>
+            <action> ADDCPU </action>
+            <history window="4" operation="AVG"/>
+            <frequency seconds="5"/>
+          </policy>
+        </policies>
+        <apply-on workflowId="W">
+          <apply-policy policyId="INC" assess-task="Ana">
+            <act-on-tasks> Ana </act-on-tasks>
+            <action-params><param key="adjust-by" value="12"/></action-params>
+          </apply-policy>
+        </apply-on>
+      </decision>
+      <arbitration>
+        <rules>
+          <rule-for workflowId="W">
+            <task-priorities>
+              <task-priority name="Sim" priority="0"/>
+              <task-priority name="Ana" priority="1"/>
+            </task-priorities>
+          </rule-for>
+        </rules>
+      </arbitration>
+    </dyflow>
+    """
+
+    def test_xml_configured_orchestration(self):
+        eng, sav = make_launcher()
+        spec = parse_dyflow_xml(self.XML)
+        orch = configure_orchestrator(sav, spec, warmup=40.0, settle=40.0)
+        assert orch.rules.task_priority("Sim") == 0
+        sav.launch_workflow()
+        orch.start(stop_when=sav.all_idle)
+        eng.run(until=5000)
+        assert sav.record("Ana").current.nprocs == 36
+
+    def test_mismatched_workflow_id_rejected(self):
+        eng, sav = make_launcher()
+        spec = parse_dyflow_xml(self.XML.replace('workflowId="W"', 'workflowId="OTHER"'))
+        from repro.errors import XmlSpecError
+
+        with pytest.raises(XmlSpecError):
+            configure_orchestrator(sav, spec)
+
+
+class TestCostAnalysis:
+    def test_cost_report_matches_paper_shape(self):
+        report = run_cost_analysis("summit")
+        assert report.stream_lag == pytest.approx(0.5)   # §4.6: ≈0.5 s streamed
+        assert report.file_lag == pytest.approx(0.2)     # §4.6: ≈0.2 s from file
+        assert report.stop_share > 0.9                   # §4.6: ≈97%
+        assert report.plan_time < 1.0                    # formulation is cheap
+
+    def test_deepthought2_slower_everywhere(self):
+        s = run_cost_analysis("summit")
+        d = run_cost_analysis("deepthought2")
+        assert d.stream_lag > s.stream_lag
+        assert d.file_lag > s.file_lag
+        assert d.response_time > s.response_time

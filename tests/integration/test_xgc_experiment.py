@@ -1,0 +1,98 @@
+"""Integration: the §4.3 XGC1–XGCa science-driven experiment (Fig. 6)."""
+
+import pytest
+
+from repro.core import ActionType
+from repro.experiments import run_xgc_experiment
+from repro.experiments.xgc_scenario import SWITCH_STEP, TARGET_STEPS
+
+
+@pytest.fixture(scope="module")
+def summit_run():
+    return run_xgc_experiment("summit", use_dyflow=True)
+
+
+@pytest.fixture(scope="module")
+def summit_baseline():
+    return run_xgc_experiment("summit", use_dyflow=False)
+
+
+class TestAlternation:
+    def test_experiment_reaches_target(self, summit_run):
+        assert summit_run.meta["final_progress"] in range(TARGET_STEPS + 1, TARGET_STEPS + 6)
+
+    def test_tasks_alternate_not_overlap(self, summit_run):
+        """XGC1 and XGCa never run concurrently (one allocation's worth)."""
+        runs = [("XGC1", a, b) for a, b in summit_run.task_runs("XGC1")]
+        runs += [("XGCA", a, b) for a, b in summit_run.task_runs("XGCA")]
+        runs.sort(key=lambda r: r[1])
+        for (t1, _s1, e1), (t2, s2, _e2) in zip(runs, runs[1:]):
+            assert s2 >= e1 - 1.0, f"{t1} overlaps {t2}"
+
+    def test_xgca_started_three_times(self, summit_run):
+        """Paper: 'XGCa starts three times ... when XGC1 terminates'."""
+        # Three alternation starts plus the final short run stopped at >500.
+        assert summit_run.incarnations("XGCA") == 3
+
+    def test_xgc1_slower_per_step(self, summit_run):
+        xgc1_runs = summit_run.task_runs("XGC1")
+        xgca_runs = summit_run.task_runs("XGCA")
+        # Compare the first full 100-step run of each.
+        d1 = xgc1_runs[0][1] - xgc1_runs[0][0]
+        da = xgca_runs[0][1] - xgca_runs[0][0]
+        assert d1 / da == pytest.approx(2.5, rel=0.15)
+
+    def test_switch_happened_near_374(self, summit_run):
+        switch_plans = [
+            p for p in summit_run.plans
+            if any("SWITCH_ON_COND" in a for a in p.accepted)
+        ]
+        assert len(switch_plans) == 1
+
+    def test_stop_happened_past_500(self, summit_run):
+        stop_plans = [
+            p for p in summit_run.plans if any("STOP_ON_COND" in a for a in p.accepted)
+        ]
+        assert stop_plans, "STOP_ON_COND never fired"
+
+
+class TestResponseTimes:
+    def test_xgca_starts_are_subsecond(self, summit_run):
+        """Paper: 0.1–0.2 s to start XGCa from the waiting queue."""
+        quick = [
+            p.response_time
+            for p in summit_run.plans
+            if len(p.ops) == 1 and p.ops[0].task == "XGCA" and p.ops[0].op == "start_task"
+        ]
+        assert quick and all(r < 1.0 for r in quick)
+
+    def test_xgc1_start_includes_script_overhead(self, summit_run):
+        starts = [
+            p.response_time
+            for p in summit_run.plans
+            if len(p.ops) == 1 and p.ops[0].task == "XGC1" and p.ops[0].op == "start_task"
+        ]
+        assert starts and all(3.0 < r < 10.0 for r in starts)  # paper ≈8 s incl. freq delay
+
+    def test_all_plans_executed(self, summit_run):
+        assert all(p.execution_end is not None for p in summit_run.plans)
+
+
+class TestBaselineComparison:
+    def test_dyflow_saves_about_25_percent(self, summit_run, summit_baseline):
+        """Paper: XGC1-only takes ≈25% more time on each cluster."""
+        ratio = summit_baseline.makespan / summit_run.makespan
+        assert 1.15 < ratio < 1.45
+
+    def test_deepthought2_slower_but_same_shape(self):
+        d2 = run_xgc_experiment("deepthought2", use_dyflow=True)
+        d2_base = run_xgc_experiment("deepthought2", use_dyflow=False)
+        assert d2.meta["final_progress"] >= TARGET_STEPS + 1
+        ratio = d2_base.makespan / d2.makespan
+        assert 1.15 < ratio < 1.45
+        # Every response is slower than (or comparable to) Summit's.
+        s = run_xgc_experiment("summit", use_dyflow=True)
+        assert min(r for _pid, r in d2.response_times()) > 0
+        assert max(r for _pid, r in d2.response_times()) >= max(
+            r for _pid, r in s.response_times()
+        ) * 0.9

@@ -1,0 +1,80 @@
+"""Tests for the TAU-like profiler substrate."""
+
+import pytest
+
+from repro.profiler import CounterModel, TaskProfiler
+from repro.staging import StreamChannel
+
+
+def make_profiler(counters=None):
+    ch = StreamChannel("tau-iso", capacity=32)
+    prof = TaskProfiler(
+        workflow_id="GS", task="Isosurface", channel=ch,
+        rank_nodes={0: "n0", 1: "n0", 2: "n1"}, counters=counters,
+    )
+    return ch, prof
+
+
+class TestTaskProfiler:
+    def test_emit_step_publishes_samples(self):
+        ch, prof = make_profiler()
+        reader = ch.open_reader()
+        samples = prof.emit_step(10.0, step=3, loop_times={0: 1.5, 1: 1.7, 2: 2.0})
+        assert len(samples) == 3
+        assert {s.var for s in samples} == {"looptime"}
+        assert all(s.task == "Isosurface" and s.step == 3 for s in samples)
+        assert samples[2].node_id == "n1"
+        published = reader.drain()
+        assert len(published) == 1 and published[0].data == samples
+
+    def test_counters_added(self):
+        ch, prof = make_profiler(counters=CounterModel())
+        samples = prof.emit_step(0.0, step=0, loop_times={0: 1.0})
+        vars_seen = {s.var for s in samples}
+        assert vars_seen == {"looptime", "PAPI_TOT_INS", "PAPI_TOT_CYC"}
+
+    def test_extra_vars(self):
+        _ch, prof = make_profiler()
+        samples = prof.emit_step(0.0, 0, {0: 1.0}, extra_vars={"rss_mb": {0: 512.0}})
+        assert any(s.var == "rss_mb" and s.value == 512.0 for s in samples)
+
+    def test_steps_published_counts(self):
+        _ch, prof = make_profiler()
+        prof.emit_step(0.0, 0, {0: 1.0})
+        prof.emit_step(1.0, 1, {0: 1.0})
+        assert prof.steps_published == 2
+
+    def test_ranks_sorted(self):
+        _ch, prof = make_profiler()
+        samples = prof.emit_step(0.0, 0, {2: 1.0, 0: 2.0, 1: 3.0})
+        assert [s.rank for s in samples] == [0, 1, 2]
+
+
+class TestCounterModel:
+    def test_ipc_degrades_with_slower_steps(self):
+        cm = CounterModel(clock_ghz=2.0, work_instructions=4e9, base_ipc=2.0)
+        fast = cm.ipc(1.0)
+        slow = cm.ipc(10.0)
+        assert slow < fast <= 2.0
+
+    def test_ipc_capped_at_base(self):
+        cm = CounterModel(clock_ghz=2.0, work_instructions=1e12, base_ipc=1.5)
+        assert cm.ipc(0.001) == 1.5
+
+    def test_counters_shape(self):
+        cm = CounterModel()
+        instr, cycles = cm.counters_for_step({0: 1.0, 1: 2.0})
+        assert set(instr) == set(cycles) == {0, 1}
+        assert cycles[1] == pytest.approx(2 * cycles[0])
+        assert instr[0] == instr[1]
+
+    def test_join_semantics_ipc_from_counters(self):
+        """IPC computed by dividing the two counter streams (paper §2.1 Join)."""
+        cm = CounterModel(clock_ghz=1.0, work_instructions=1e9, base_ipc=10.0)
+        instr, cycles = cm.counters_for_step({0: 2.0})
+        ipc = instr[0] / cycles[0]
+        assert ipc == pytest.approx(0.5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CounterModel(clock_ghz=0)

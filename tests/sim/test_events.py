@@ -1,0 +1,175 @@
+"""Tests for waitable events, composites, and interrupts."""
+
+import pytest
+
+from repro.errors import SimError
+from repro.sim import AllOf, AnyOf, Interrupt, SimEngine
+
+
+class TestSimEvent:
+    def test_cannot_trigger_twice(self):
+        eng = SimEngine()
+        ev = eng.event()
+        ev.succeed(1)
+        with pytest.raises(SimError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self):
+        eng = SimEngine()
+        with pytest.raises(TypeError):
+            eng.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self):
+        eng = SimEngine()
+        with pytest.raises(SimError):
+            _ = eng.event().value
+
+    def test_failed_event_throws_into_waiter(self):
+        eng = SimEngine()
+        ev = eng.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield ev
+            except ValueError as e:
+                caught.append(str(e))
+
+        eng.process(waiter())
+        eng.call_after(1.0, lambda: ev.fail(ValueError("bad")))
+        eng.run()
+        assert caught == ["bad"]
+
+
+class TestAnyOf:
+    def test_first_wins(self):
+        eng = SimEngine()
+
+        def proc():
+            t1 = eng.timeout(5.0, value="slow")
+            t2 = eng.timeout(2.0, value="fast")
+            idx, val = yield AnyOf(eng, [t1, t2])
+            return (eng.now, idx, val)
+
+        assert eng.run_process(proc()) == (2.0, 1, "fast")
+
+    def test_empty_rejected(self):
+        eng = SimEngine()
+        with pytest.raises(SimError):
+            AnyOf(eng, [])
+
+    def test_pre_triggered_child(self):
+        eng = SimEngine()
+        ev = eng.event()
+        ev.succeed("done")
+
+        def proc():
+            idx, val = yield AnyOf(eng, [ev, eng.timeout(9.0)])
+            return (idx, val)
+
+        assert eng.run_process(proc()) == (0, "done")
+
+
+class TestAllOf:
+    def test_waits_for_all(self):
+        eng = SimEngine()
+
+        def proc():
+            values = yield AllOf(eng, [eng.timeout(1.0, value="a"), eng.timeout(4.0, value="b")])
+            return (eng.now, values)
+
+        assert eng.run_process(proc()) == (4.0, ["a", "b"])
+
+    def test_empty_succeeds_immediately(self):
+        eng = SimEngine()
+
+        def proc():
+            values = yield AllOf(eng, [])
+            return values
+
+        assert eng.run_process(proc()) == []
+
+    def test_child_failure_fails_composite(self):
+        eng = SimEngine()
+        bad = eng.event()
+
+        def proc():
+            try:
+                yield AllOf(eng, [eng.timeout(10.0), bad])
+            except RuntimeError:
+                return "failed-fast"
+
+        eng.call_after(1.0, lambda: bad.fail(RuntimeError("x")))
+        assert eng.run_process(proc()) == "failed-fast"
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_waiting_process(self):
+        eng = SimEngine()
+
+        def victim():
+            try:
+                yield eng.timeout(100.0)
+                return "finished"
+            except Interrupt as i:
+                return ("interrupted", eng.now, i.cause)
+
+        proc = eng.process(victim())
+        eng.call_after(3.0, lambda: proc.interrupt("SIGTERM"))
+        eng.run()
+        assert proc.value == ("interrupted", 3.0, "SIGTERM")
+
+    def test_interrupt_finished_process_noop(self):
+        eng = SimEngine()
+
+        def quick():
+            yield eng.timeout(1.0)
+            return "done"
+
+        proc = eng.process(quick())
+        eng.run()
+        proc.interrupt("late")  # must not raise
+        assert proc.value == "done"
+
+    def test_stale_event_does_not_resume_after_interrupt(self):
+        eng = SimEngine()
+        resumed = []
+
+        def victim():
+            try:
+                yield eng.timeout(10.0)
+                resumed.append("timeout")
+            except Interrupt:
+                yield eng.timeout(50.0)  # waits past the stale 10 s timeout
+                resumed.append("post-interrupt")
+
+        p = eng.process(victim())
+        eng.call_after(2.0, lambda: p.interrupt())
+        eng.run()
+        assert resumed == ["post-interrupt"]
+        assert eng.now >= 52.0
+
+    def test_interrupt_during_graceful_phase_pattern(self):
+        """The task-model idiom: interrupted step finishes before exit."""
+        eng = SimEngine()
+        log = []
+
+        def task():
+            step = 0
+            while step < 100:
+                t_left = 5.0
+                try:
+                    yield eng.timeout(t_left)
+                    step += 1
+                except Interrupt:
+                    # graceful: finish the current step, then stop
+                    yield eng.timeout(t_left)  # conservative re-do
+                    log.append(("stopped-after-step", eng.now))
+                    return step
+            return step
+
+        proc = eng.process(task())
+        eng.call_after(12.0, lambda: proc.interrupt("stop"))
+        eng.run()
+        assert log and log[0][1] == 17.0  # 2 steps done at 10, interrupted at 12, finishes at 17
+        assert proc.value == 2

@@ -1,0 +1,57 @@
+"""Tests for the exception hierarchy and the top-level public API."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        leaves = [
+            errors.SimTimeError, errors.ProcessError, errors.AllocationError,
+            errors.NodeStateError, errors.SchedulerError, errors.ChannelClosedError,
+            errors.BufferOverflowError, errors.StoreError, errors.WorkflowSpecError,
+            errors.TaskStateError, errors.LaunchError, errors.CheckpointError,
+            errors.SensorError, errors.PolicyError, errors.ArbitrationError,
+            errors.ActuationError, errors.XmlSpecError,
+        ]
+        for exc in leaves:
+            assert issubclass(exc, errors.ReproError), exc
+
+    def test_subsystem_bases(self):
+        assert issubclass(errors.SimTimeError, errors.SimError)
+        assert issubclass(errors.AllocationError, errors.ClusterError)
+        assert issubclass(errors.BufferOverflowError, errors.StagingError)
+        assert issubclass(errors.LaunchError, errors.WmsError)
+        assert issubclass(errors.SensorError, errors.DyflowError)
+
+    def test_catching_the_base_catches_library_failures(self):
+        from repro.staging import StreamChannel
+
+        ch = StreamChannel("c")
+        ch.close()
+        with pytest.raises(errors.ReproError):
+            ch.put("x", 0.0)
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_headline_classes_exported(self):
+        assert repro.DyflowOrchestrator is not None
+        assert repro.Savanna is not None
+        assert callable(repro.parse_dyflow_xml)
+        assert callable(repro.summit) and callable(repro.deepthought2)
+
+    def test_docstrings_on_public_api(self):
+        """Every exported object is documented."""
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) and not isinstance(obj, str):
+                assert obj.__doc__, f"{name} lacks a docstring"

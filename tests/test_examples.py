@@ -1,0 +1,67 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are the public face of the library; they must not rot.  Each is
+executed in-process via runpy (same interpreter, real execution).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None, capsys=None) -> str:
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys=capsys)
+        assert "workflow finished" in out
+        assert "Analysis ended with 36 processes" in out
+
+    def test_fusion_alternation(self, capsys):
+        out = run_example("fusion_alternation.py", ["summit"], capsys=capsys)
+        assert "global steps simulated: 502" in out
+        assert "slower (paper: ~25%)" in out
+
+    def test_insitu_rebalancing(self, capsys):
+        out = run_example("insitu_rebalancing.py", ["summit"], capsys=capsys)
+        assert "Isosurface -> 40 procs" in out
+        assert "Isosurface -> 60 procs" in out
+        assert "hit the walltime" in out
+
+    def test_failure_recovery(self, capsys):
+        out = run_example("failure_recovery.py", ["summit"], capsys=capsys)
+        assert "resumed from checkpoint step 412" in out
+        assert "never recovers" in out
+
+    def test_campaign_sweep(self, capsys):
+        out = run_example("campaign_sweep.py", capsys=capsys)
+        assert out.count("converged") == 5
+
+    def test_reproduce_all_summit_only(self, capsys, monkeypatch):
+        # Full reproduce_all runs both machines (~15 s); patch to Summit only.
+        import repro.experiments.report as report_mod
+
+        original = report_mod.build_report
+        monkeypatch.setattr(
+            report_mod, "build_report", lambda: original(machines=("summit",))
+        )
+        out = run_example("reproduce_all.py", capsys=capsys)
+        assert "ALL SHAPES REPRODUCED" in out
+
+    @pytest.mark.slow
+    def test_live_gray_scott(self, capsys):
+        out = run_example("live_gray_scott.py", capsys=capsys)
+        assert "RESTART:Isosurface" in out
+        assert "exit code 1" in out and "exit code 0" in out

@@ -1,0 +1,37 @@
+"""Tests for deterministic id generation."""
+
+from repro.util import IdGenerator
+
+
+def test_ids_are_sequential_per_prefix():
+    gen = IdGenerator()
+    assert gen.next("task") == "task-0"
+    assert gen.next("task") == "task-1"
+    assert gen.next("node") == "node-0"
+    assert gen.next("task") == "task-2"
+
+
+def test_peek_does_not_advance():
+    gen = IdGenerator()
+    assert gen.peek("x") == 0
+    assert gen.peek("x") == 0
+    gen.next("x")
+    assert gen.peek("x") == 1
+
+
+def test_reset_single_prefix():
+    gen = IdGenerator()
+    gen.next("a")
+    gen.next("b")
+    gen.reset("a")
+    assert gen.next("a") == "a-0"
+    assert gen.next("b") == "b-1"
+
+
+def test_reset_all():
+    gen = IdGenerator()
+    gen.next("a")
+    gen.next("b")
+    gen.reset()
+    assert gen.next("a") == "a-0"
+    assert gen.next("b") == "b-0"

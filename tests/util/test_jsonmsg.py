@@ -1,0 +1,81 @@
+"""Tests for JSON envelopes and out-of-order filtering."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import Envelope, OutOfOrderFilter, SequenceTracker
+
+
+class TestEnvelope:
+    def test_round_trip(self):
+        env = Envelope(kind="sensor-update", sender="client-0", seq=3, time=12.5,
+                       payload={"metric": "PACE", "value": 36.2})
+        back = Envelope.from_json(env.to_json())
+        assert back == env
+
+    def test_round_trip_empty_payload(self):
+        env = Envelope(kind="status", sender="s", seq=0, time=0.0)
+        assert Envelope.from_json(env.to_json()) == env
+
+    def test_json_is_compact_and_sorted(self):
+        env = Envelope(kind="k", sender="s", seq=1, time=1.0, payload={"b": 1, "a": 2})
+        text = env.to_json()
+        assert " " not in text
+        assert text.index('"a"') < text.index('"b"')
+
+
+class TestSequenceTracker:
+    def test_per_sender_sequences(self):
+        t = SequenceTracker()
+        assert t.next_seq("a") == 0
+        assert t.next_seq("a") == 1
+        assert t.next_seq("b") == 0
+
+    def test_stamp_builds_envelope(self):
+        t = SequenceTracker()
+        env = t.stamp("kind", "me", 5.0, {"x": 1})
+        assert env.seq == 0 and env.sender == "me" and env.payload == {"x": 1}
+        assert t.stamp("kind", "me", 6.0).seq == 1
+
+
+class TestOutOfOrderFilter:
+    def _env(self, sender, seq):
+        return Envelope(kind="k", sender=sender, seq=seq, time=float(seq))
+
+    def test_in_order_accepted(self):
+        f = OutOfOrderFilter()
+        assert f.accept(self._env("a", 0))
+        assert f.accept(self._env("a", 1))
+        assert f.accepted == 2 and f.dropped == 0
+
+    def test_stale_dropped(self):
+        f = OutOfOrderFilter()
+        assert f.accept(self._env("a", 5))
+        assert not f.accept(self._env("a", 5))
+        assert not f.accept(self._env("a", 3))
+        assert f.dropped == 2
+
+    def test_senders_independent(self):
+        f = OutOfOrderFilter()
+        assert f.accept(self._env("a", 9))
+        assert f.accept(self._env("b", 0))
+
+    def test_gaps_allowed(self):
+        f = OutOfOrderFilter()
+        assert f.accept(self._env("a", 0))
+        assert f.accept(self._env("a", 10))
+
+    def test_reset_allows_new_epoch(self):
+        f = OutOfOrderFilter()
+        assert f.accept(self._env("a", 7))
+        assert not f.accept(self._env("a", 0))
+        f.reset("a")
+        assert f.accept(self._env("a", 0))
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=60))
+    def test_accepted_seqs_strictly_increasing(self, seqs):
+        f = OutOfOrderFilter()
+        accepted = [s for s in seqs if f.accept(self._env("x", s))]
+        assert all(b > a for a, b in zip(accepted, accepted[1:]))
+        assert f.accepted + f.dropped == len(seqs)

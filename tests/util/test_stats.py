@@ -1,0 +1,115 @@
+"""Tests for sliding-window and running statistics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.util import RunningStats, SlidingWindow
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestSlidingWindow:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0)
+
+    def test_empty_window_raises(self):
+        w = SlidingWindow(3)
+        for op in (w.mean, w.std, w.min, w.max, w.last, w.first):
+            with pytest.raises(ReproError):
+                op()
+
+    def test_eviction_keeps_capacity(self):
+        w = SlidingWindow(3)
+        w.extend([1, 2, 3, 4, 5])
+        assert w.values() == [3.0, 4.0, 5.0]
+        assert len(w) == 3
+        assert w.full
+
+    def test_mean_over_window_only(self):
+        w = SlidingWindow(2)
+        w.extend([100, 1, 3])
+        assert w.mean() == 2.0
+
+    def test_first_last(self):
+        w = SlidingWindow(4)
+        w.extend([5, 6, 7])
+        assert w.first() == 5.0
+        assert w.last() == 7.0
+
+    def test_trend_of_linear_series(self):
+        w = SlidingWindow(10)
+        w.extend([2 * i + 1 for i in range(10)])
+        assert w.trend() == pytest.approx(2.0)
+
+    def test_trend_of_constant_series_is_zero(self):
+        w = SlidingWindow(5)
+        w.extend([7, 7, 7, 7, 7])
+        assert w.trend() == pytest.approx(0.0)
+
+    def test_trend_needs_two_points(self):
+        w = SlidingWindow(5)
+        assert w.trend() == 0.0
+        w.push(3)
+        assert w.trend() == 0.0
+
+    def test_clear(self):
+        w = SlidingWindow(3)
+        w.extend([1, 2])
+        w.clear()
+        assert len(w) == 0
+        assert w.sum() == 0.0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50), st.integers(1, 20))
+    def test_aggregates_match_reference(self, values, cap):
+        w = SlidingWindow(cap)
+        w.extend(values)
+        ref = values[-cap:]
+        assert w.values() == pytest.approx(ref)
+        assert w.mean() == pytest.approx(sum(ref) / len(ref), abs=1e-6)
+        assert w.min() == pytest.approx(min(ref))
+        assert w.max() == pytest.approx(max(ref))
+        mean = sum(ref) / len(ref)
+        var = sum((x - mean) ** 2 for x in ref) / len(ref)
+        assert w.std() == pytest.approx(math.sqrt(var), abs=1e-4)
+
+    @given(st.lists(finite_floats, min_size=2, max_size=30))
+    def test_trend_matches_polyfit(self, values):
+        import numpy as np
+
+        w = SlidingWindow(len(values))
+        w.extend(values)
+        ref = np.polyfit(np.arange(len(values)), np.asarray(values), 1)[0]
+        assert w.trend() == pytest.approx(float(ref), abs=1e-3, rel=1e-3)
+
+
+class TestRunningStats:
+    def test_empty_raises(self):
+        s = RunningStats()
+        with pytest.raises(ReproError):
+            _ = s.mean
+
+    def test_single_value(self):
+        s = RunningStats()
+        s.push(4.0)
+        assert s.mean == 4.0
+        assert s.variance == 0.0
+        assert s.min == s.max == 4.0
+
+    @given(st.lists(finite_floats, min_size=2, max_size=100))
+    def test_matches_numpy(self, values):
+        import numpy as np
+
+        s = RunningStats()
+        for v in values:
+            s.push(v)
+        arr = np.asarray(values)
+        assert s.count == len(values)
+        assert s.mean == pytest.approx(float(arr.mean()), abs=1e-6)
+        assert s.std == pytest.approx(float(arr.std(ddof=1)), abs=1e-4)
+        assert s.min == float(arr.min())
+        assert s.max == float(arr.max())

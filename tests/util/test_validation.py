@@ -1,0 +1,32 @@
+"""Tests for validation helpers."""
+
+import pytest
+
+from repro.util import check_in, check_nonneg, check_positive, check_type
+
+
+def test_check_positive():
+    check_positive(1, "x")
+    with pytest.raises(ValueError, match="x must be > 0"):
+        check_positive(0, "x")
+    with pytest.raises(ValueError):
+        check_positive(-1.5, "x")
+
+
+def test_check_nonneg():
+    check_nonneg(0, "x")
+    with pytest.raises(ValueError, match="x must be >= 0"):
+        check_nonneg(-0.1, "x")
+
+
+def test_check_in():
+    check_in("a", {"a", "b"}, "opt")
+    with pytest.raises(ValueError, match="opt must be one of"):
+        check_in("c", {"a", "b"}, "opt")
+
+
+def test_check_type():
+    check_type(3, int, "n")
+    check_type("s", (int, str), "v")
+    with pytest.raises(TypeError, match="n must be int"):
+        check_type("3", int, "n")

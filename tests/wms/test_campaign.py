@@ -1,0 +1,60 @@
+"""Tests for Cheetah-like campaign composition."""
+
+import pytest
+
+from repro.apps import ConstantModel, IterativeApp
+from repro.wms import Campaign, Sweep, TaskSpec, WorkflowSpec
+
+
+def factory(nprocs=4, steps=10, label="x"):
+    return WorkflowSpec(
+        f"wf-{label}-{nprocs}-{steps}",
+        [TaskSpec("T", IterativeApp(ConstantModel(1.0), total_steps=steps), nprocs=nprocs)],
+    )
+
+
+class TestSweep:
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep("n", [])
+
+    def test_values_frozen_as_tuple(self):
+        s = Sweep("n", [1, 2])
+        assert s.values == (1, 2)
+
+
+class TestCampaign:
+    def test_no_sweeps_single_run(self):
+        c = Campaign("c", factory, fixed={"nprocs": 8})
+        runs = list(c.runs())
+        assert len(runs) == 1
+        run_id, params, wf = runs[0]
+        assert run_id == "c.0"
+        assert params == {"nprocs": 8}
+        assert wf.task("T").nprocs == 8
+
+    def test_cartesian_grid(self):
+        c = Campaign(
+            "scan",
+            factory,
+            sweeps=[Sweep("nprocs", [2, 4]), Sweep("steps", [1, 5, 9])],
+        )
+        assert c.size() == 6
+        points = list(c.points())
+        assert len(points) == 6
+        assert points[0] == {"nprocs": 2, "steps": 1}
+        assert points[-1] == {"nprocs": 4, "steps": 9}
+
+    def test_fixed_merged_with_sweeps(self):
+        c = Campaign("c", factory, sweeps=[Sweep("nprocs", [2])], fixed={"label": "gs"})
+        _id, params, wf = next(iter(c.runs()))
+        assert params == {"label": "gs", "nprocs": 2}
+        assert "gs" in wf.workflow_id
+
+    def test_run_ids_sequential(self):
+        c = Campaign("c", factory, sweeps=[Sweep("nprocs", [1, 2, 3])])
+        assert [r[0] for r in c.runs()] == ["c.0", "c.1", "c.2"]
+
+    def test_deterministic_order(self):
+        c = Campaign("c", factory, sweeps=[Sweep("nprocs", [4, 2]), Sweep("steps", [7, 3])])
+        assert list(c.points()) == list(c.points())

@@ -1,0 +1,228 @@
+"""Tests for the Savanna-like launcher (plugin ops, lifecycle, failures)."""
+
+import pytest
+
+from repro.apps import ConstantModel, IterativeApp
+from repro.cluster import Allocation, ResourceSet, summit
+from repro.errors import LaunchError
+from repro.sim import SimEngine
+from repro.wms import CouplingType, DependencySpec, Savanna, TaskSpec, TaskState, WorkflowSpec
+
+
+def make_setup(tasks=None, deps=None, num_nodes=4):
+    eng = SimEngine()
+    m = summit(num_nodes)
+    alloc = Allocation("a0", m, m.nodes, walltime_limit=1e9)
+    tasks = tasks or [
+        TaskSpec("A", lambda: IterativeApp(ConstantModel(5.0), total_steps=10), nprocs=8),
+    ]
+    wf = WorkflowSpec("W", tasks, deps or [])
+    return eng, m, Savanna(eng, wf, alloc)
+
+
+class TestLaunchLifecycle:
+    def test_launch_workflow_starts_autostart_tasks(self):
+        eng, _m, sav = make_setup()
+        sav.launch_workflow()
+        eng.run(until=1.0)
+        assert sav.record("A").is_running
+        eng.run()
+        inst = sav.record("A").current
+        assert inst.state == TaskState.COMPLETED
+        assert inst.exit_code == 0
+        assert inst.notes["last_step"] == 10
+
+    def test_autostart_false_stays_pending(self):
+        eng, _m, sav = make_setup(tasks=[
+            TaskSpec("A", lambda: IterativeApp(ConstantModel(1.0), total_steps=1), nprocs=4),
+            TaskSpec("B", lambda: IterativeApp(ConstantModel(1.0), total_steps=1),
+                     nprocs=4, autostart=False),
+        ])
+        sav.launch_workflow()
+        eng.run()
+        assert sav.record("A").incarnations == 1
+        assert sav.record("B").incarnations == 0
+
+    def test_resources_released_on_exit(self):
+        eng, _m, sav = make_setup()
+        sav.launch_workflow()
+        eng.run()
+        assert sav.rm.free_cores() == sav.allocation.total_cores
+
+    def test_exit_status_recorded_for_errorstatus_sensor(self):
+        eng, _m, sav = make_setup()
+        sav.launch_workflow()
+        eng.run()
+        records = sav.hub.filesystem.read("status/W/A")
+        assert records[-1]["code"] == 0
+        assert records[-1]["state"] == "completed"
+
+    def test_double_start_rejected(self):
+        eng, _m, sav = make_setup()
+        sav.launch_workflow()
+        eng.run(until=1.0)
+        rs = sav.rm.plan_placement(4)
+        with pytest.raises(LaunchError):
+            eng.run_process(sav.start_task_with_resources("A", rs))
+
+    def test_launch_latency_applied(self):
+        eng, m, sav = make_setup()
+        sav.launch_workflow()
+        eng.run(until=0.01)
+        assert sav.record("A").current.state == TaskState.LAUNCHING
+        eng.run(until=1.0)
+        inst = sav.record("A").current
+        expected = m.perf.launch_latency + m.perf.per_process_launch * 8
+        assert inst.start_time == pytest.approx(expected, abs=1e-6)
+
+    def test_user_script_adds_overhead(self):
+        eng, m, sav = make_setup(tasks=[
+            TaskSpec("A", lambda: IterativeApp(ConstantModel(1.0), total_steps=1),
+                     nprocs=4, autostart=False),
+        ])
+        rs = sav.rm.plan_placement(4)
+
+        def driver():
+            inst = yield from sav.start_task_with_resources("A", rs, user_script="setup.sh")
+            return inst
+
+        inst = eng.run_process(driver())
+        assert inst.start_time >= m.perf.script_overhead
+        assert inst.ctx.params["user_script"] == "setup.sh"
+
+
+class TestStopAndSignals:
+    def test_graceful_stop_waits_for_step(self):
+        eng, _m, sav = make_setup()
+        sav.launch_workflow()
+        eng.run(until=7.0)  # mid-step 2 (5..10)
+
+        def stopper():
+            inst = yield from sav.stop_task("A", graceful=True)
+            return (eng.now, inst.state, inst.exit_code)
+
+        t, state, code = eng.run_process(stopper())
+        assert state == TaskState.STOPPED and code == 0
+        assert t == pytest.approx(10.0 + sav.perf.signal_latency, abs=0.3)
+
+    def test_kill_stop_is_fast(self):
+        eng, _m, sav = make_setup()
+        sav.launch_workflow()
+        eng.run(until=7.0)
+
+        def stopper():
+            inst = yield from sav.stop_task("A", graceful=False)
+            return (eng.now, inst.state, inst.exit_code)
+
+        t, state, code = eng.run_process(stopper())
+        assert state == TaskState.FAILED and code == 137
+        assert t == pytest.approx(7.0 + sav.perf.signal_latency, abs=0.01)
+
+    def test_stop_inactive_task_is_noop(self):
+        eng, _m, sav = make_setup()
+
+        def stopper():
+            result = yield from sav.stop_task("A")
+            return result
+
+        assert eng.run_process(stopper()) is None
+
+    def test_stop_during_launch_never_spawns(self):
+        eng, _m, sav = make_setup()
+        sav.launch_workflow()
+
+        def stopper():
+            yield eng.timeout(0.01)  # task still LAUNCHING
+            yield from sav.stop_task("A")
+
+        eng.process(stopper())
+        eng.run()
+        inst = sav.record("A").current
+        assert inst.state == TaskState.STOPPED
+        assert inst.proc is None
+
+    def test_restart_increments_incarnation(self):
+        eng, _m, sav = make_setup()
+        sav.launch_workflow()
+        eng.run(until=7.0)
+
+        def restarter():
+            yield from sav.stop_task("A")
+            rs = sav.rm.plan_placement(8)
+            yield from sav.start_task_with_resources("A", rs)
+
+        eng.process(restarter())
+        eng.run(until=20.0)
+        assert sav.record("A").incarnations == 2
+        assert sav.record("A").current.incarnation == 1
+
+
+class TestFailureHandling:
+    def test_node_failure_kills_spanning_tasks(self):
+        eng, m, sav = make_setup(tasks=[
+            TaskSpec("A", lambda: IterativeApp(ConstantModel(5.0), total_steps=100),
+                     nprocs=8, procs_per_node=2),  # spans 4 nodes
+            TaskSpec("B", lambda: IterativeApp(ConstantModel(5.0), total_steps=100),
+                     nprocs=4, procs_per_node=1),
+        ])
+        sav.launch_workflow()
+        eng.run(until=2.0)
+        m.nodes[1].fail()
+        affected = sav.handle_node_failure(m.nodes[1].node_id)
+        assert set(affected) == {"A", "B"}
+        eng.run(until=3.0)
+        assert sav.record("A").current.state == TaskState.FAILED
+        assert sav.record("A").current.exit_code == 137
+        records = sav.hub.filesystem.read("status/W/A")
+        assert records[-1]["code"] == 137
+
+    def test_node_failure_spares_unaffected_tasks(self):
+        eng, m, sav = make_setup(tasks=[
+            TaskSpec("A", lambda: IterativeApp(ConstantModel(5.0), total_steps=100), nprocs=4),
+        ], num_nodes=2)
+        sav.launch_workflow()
+        eng.run(until=2.0)
+        # A sits entirely on node 0; fail node 1.
+        m.nodes[1].fail()
+        affected = sav.handle_node_failure(m.nodes[1].node_id)
+        assert affected == []
+        assert sav.record("A").is_running
+
+    def test_walltime_timeout_kills_everything(self):
+        eng, _m, sav = make_setup()
+        sav.launch_workflow()
+        eng.run(until=2.0)
+        sav.handle_walltime_timeout()
+        eng.run(until=3.0)
+        inst = sav.record("A").current
+        assert inst.state == TaskState.FAILED
+        assert inst.exit_code == 140
+
+
+class TestDependencyWiring:
+    def test_tight_parents_passed_to_context(self):
+        eng, _m, sav = make_setup(
+            tasks=[
+                TaskSpec("P", lambda: IterativeApp(ConstantModel(1.0), total_steps=3), nprocs=2),
+                TaskSpec("C", lambda: IterativeApp(ConstantModel(1.0)), nprocs=2),
+            ],
+            deps=[DependencySpec("C", "P", CouplingType.TIGHT)],
+        )
+        sav.launch_workflow()
+        eng.run(until=1.0)
+        assert sav.record("C").current.ctx.tight_parents == ["P"]
+        eng.run()
+        assert sav.record("C").current.notes["last_step"] == 3
+
+    def test_listeners_fire(self):
+        eng, _m, sav = make_setup()
+        started, ended = [], []
+        sav.subscribe_start(lambda i: started.append(i.instance_id))
+        sav.subscribe_end(lambda i: ended.append(i.instance_id))
+        sav.launch_workflow()
+        eng.run()
+        assert started == ["A#0"] and ended == ["A#0"]
+
+    def test_request_resources_reports_static_allocation(self):
+        _eng, _m, sav = make_setup()
+        assert sav.request_resources(2) is False

@@ -1,0 +1,70 @@
+"""Tests for task lifecycle state transitions."""
+
+import pytest
+
+from repro.apps import ConstantModel, IterativeApp
+from repro.cluster import ResourceSet
+from repro.errors import TaskStateError
+from repro.wms import TaskInstance, TaskRecord, TaskSpec, TaskState
+
+
+def make_instance():
+    return TaskInstance(
+        task="T", workflow_id="W", incarnation=0, resources=ResourceSet({"n0": 4})
+    )
+
+
+class TestTransitions:
+    def test_happy_path(self):
+        inst = make_instance()
+        for state in (TaskState.LAUNCHING, TaskState.RUNNING, TaskState.COMPLETED):
+            inst.transition(state)
+        assert inst.state == TaskState.COMPLETED
+
+    def test_stop_path(self):
+        inst = make_instance()
+        inst.transition(TaskState.LAUNCHING)
+        inst.transition(TaskState.RUNNING)
+        inst.transition(TaskState.STOPPING)
+        inst.transition(TaskState.STOPPED)
+        assert not inst.is_active
+
+    def test_illegal_transition_rejected(self):
+        inst = make_instance()
+        with pytest.raises(TaskStateError):
+            inst.transition(TaskState.RUNNING)  # must launch first
+
+    def test_terminal_states_frozen(self):
+        inst = make_instance()
+        inst.transition(TaskState.LAUNCHING)
+        inst.transition(TaskState.RUNNING)
+        inst.transition(TaskState.FAILED)
+        with pytest.raises(TaskStateError):
+            inst.transition(TaskState.RUNNING)
+
+    def test_is_active(self):
+        inst = make_instance()
+        assert not inst.is_active
+        inst.transition(TaskState.LAUNCHING)
+        assert inst.is_active
+        inst.transition(TaskState.RUNNING)
+        assert inst.is_active
+
+    def test_nprocs_from_resources(self):
+        assert make_instance().nprocs == 4
+
+    def test_instance_id(self):
+        assert make_instance().instance_id == "T#0"
+
+
+class TestTaskRecord:
+    def test_record_flags(self):
+        spec = TaskSpec("T", IterativeApp(ConstantModel(1.0)), nprocs=2)
+        rec = TaskRecord(spec=spec)
+        assert not rec.is_active and not rec.is_running
+        inst = make_instance()
+        inst.transition(TaskState.LAUNCHING)
+        rec.current = inst
+        assert rec.is_active and not rec.is_running
+        inst.transition(TaskState.RUNNING)
+        assert rec.is_running
