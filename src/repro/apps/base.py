@@ -109,6 +109,11 @@ class TaskContext:
     # In-place reconfiguration mailbox (paper §6 extension): Actuation
     # delivers parameter updates here; the app applies them between steps.
     control: list[dict[str, Any]] = field(default_factory=list)
+    # Resilience hooks: the launcher points heartbeat_cb at the task
+    # instance so the watchdog sees per-step liveness; the chaos engine
+    # flips hang_injected to freeze the app without killing it.
+    heartbeat_cb: Callable[[float], None] | None = None
+    hang_injected: bool = False
 
     # -- naming conventions shared with the Monitor stage -----------------------
     def profiler_channel_name(self, task: str | None = None) -> str:
@@ -173,6 +178,16 @@ class TaskContext:
     def note(self, key: str, value: Any) -> None:
         """Attach run metadata, surfaced on the task instance afterwards."""
         self.notes[key] = value
+
+    # -- resilience hooks ----------------------------------------------------------
+    def heartbeat(self) -> None:
+        """Report liveness (called by the app at each completed step)."""
+        if self.heartbeat_cb is not None:
+            self.heartbeat_cb(self.engine.now)
+
+    def inject_hang(self) -> None:
+        """Fault injection: freeze the task before its next step."""
+        self.hang_injected = True
 
     # -- in-place reconfiguration (paper §6 extension) ---------------------------
     def deliver_control(self, updates: dict[str, Any]) -> None:
@@ -259,10 +274,17 @@ class IterativeApp:
 
     # -- hooks (overridable) ------------------------------------------------------
     def start_step(self, ctx: TaskContext) -> int:
-        """Which step this incarnation starts from."""
+        """Which step this incarnation starts from.
+
+        ``resume-from-checkpoint`` in the task parameters overrides the
+        constructor flag, so the resilience layer can make a *restarted*
+        incarnation resume from its last completed checkpoint without
+        rebuilding the app.
+        """
         if self.start_step_fn is not None:
             return self.start_step_fn(ctx)
-        if self.resume_from_checkpoint:
+        resume = bool(ctx.params.get("resume-from-checkpoint", self.resume_from_checkpoint))
+        if resume:
             cp = ctx.load_checkpoint()
             if cp is not None:
                 return int(cp["step"])
@@ -309,8 +331,17 @@ class IterativeApp:
         code = 0
         graceful_stop = False
         input_eos = False
+        # The resilience layer may override the checkpoint cadence via
+        # task parameters (the XML <resilience><checkpoint> knob).
+        checkpoint_every = int(ctx.params.get("checkpoint-every", self.checkpoint_every))
         try:
             while True:
+                if ctx.hang_injected:
+                    # Injected hang: hold resources, make no progress, emit
+                    # nothing — exactly what the watchdog exists to catch.
+                    # Only a (kill) interrupt gets the task out of here.
+                    yield eng.timeout(ctx.poll_interval)
+                    continue
                 if self.total_steps is not None and step >= self.total_steps:
                     break
                 if self.run_steps is not None and steps_this_run >= self.run_steps:
@@ -344,11 +375,12 @@ class IterativeApp:
                     ctx.coupling.mark_consumed(parent, ctx.task, in_step)
                 if self.output_every and (step + 1) % self.output_every == 0:
                     self.write_output(ctx, step)
-                if self.checkpoint_every and (step + 1) % self.checkpoint_every == 0:
+                if checkpoint_every and (step + 1) % checkpoint_every == 0:
                     ctx.save_checkpoint(step + 1)
                 looptime = eng.now - last_complete
                 last_complete = eng.now
                 self._emit_pace(ctx, profiler, step, looptime)
+                ctx.heartbeat()
                 if self.on_step is not None:
                     self.on_step(ctx, step)
                 step += 1

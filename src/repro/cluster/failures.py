@@ -56,11 +56,17 @@ class FailureInjector:
     def fail_node_now(self, node_id: str) -> None:
         self._do_fail(node_id)
 
+    def recover_node_now(self, node_id: str) -> None:
+        self._do_recover(node_id)
+
     # -- internals -----------------------------------------------------------------
     def _do_fail(self, node_id: str) -> None:
         node = self.machine.node(node_id)
         if not node.is_up:
-            return  # already down; injecting twice is a no-op
+            # Already down: injecting twice is a no-op, but the skip is
+            # recorded so replay comparisons see identical histories.
+            self.history.append(FailureRecord(self.engine.now, node_id, "failure-skipped"))
+            return
         node.fail()
         self.history.append(FailureRecord(self.engine.now, node_id, "failure"))
         for cb in self._on_failure:
@@ -69,6 +75,7 @@ class FailureInjector:
     def _do_recover(self, node_id: str) -> None:
         node = self.machine.node(node_id)
         if node.is_up:
+            self.history.append(FailureRecord(self.engine.now, node_id, "recovery-skipped"))
             return
         node.recover()
         self.history.append(FailureRecord(self.engine.now, node_id, "recovery"))

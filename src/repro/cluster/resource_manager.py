@@ -58,10 +58,16 @@ def place_cores(
 
 
 class ResourceManager:
-    """Assigns cores of one allocation to named owners (workflow tasks)."""
+    """Assigns cores of one allocation to named owners (workflow tasks).
 
-    def __init__(self, allocation: Allocation) -> None:
+    ``quarantine`` (a :class:`repro.resilience.NodeQuarantine`, optional)
+    is the node circuit breaker: nodes it reports as quarantined are
+    excluded from every placement even while the scheduler says UP.
+    """
+
+    def __init__(self, allocation: Allocation, quarantine=None) -> None:
         self.allocation = allocation
+        self.quarantine = quarantine
         self._assigned: dict[str, ResourceSet] = {}
 
     # -- views ----------------------------------------------------------------
@@ -94,7 +100,15 @@ class ResourceManager:
 
     def node_status(self) -> dict[str, str]:
         """Health of every allocation node — `get_resource_status` plugin op."""
-        return {n.node_id: n.state.value for n in self.allocation.nodes}
+        status = {n.node_id: n.state.value for n in self.allocation.nodes}
+        for node_id in self.excluded_nodes():
+            if status.get(node_id) == NodeState.UP.value:
+                status[node_id] = "quarantined"
+        return status
+
+    def excluded_nodes(self) -> set[str]:
+        """Nodes the circuit breaker currently bars from placement."""
+        return self.quarantine.active() if self.quarantine is not None else set()
 
     # -- placement --------------------------------------------------------------
     def plan_placement(
@@ -118,7 +132,9 @@ class ResourceManager:
         free = self.free()
         if avoid is not None:
             free = free.subtract(avoid)
-        return place_cores(free, self.allocation.nodes, ncores, per_node_limit, exclude_nodes)
+        exclude = set(exclude_nodes) if exclude_nodes else set()
+        exclude |= self.excluded_nodes()
+        return place_cores(free, self.allocation.nodes, ncores, per_node_limit, exclude)
 
     # -- mutation ----------------------------------------------------------------
     def assign(

@@ -12,8 +12,8 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.cluster.resource_manager import place_cores
-from repro.core.lowlevel import ActionPlan, LowLevelOp
-from repro.errors import ActuationError, AllocationError
+from repro.core.lowlevel import ActionPlan, DegradationReport, LowLevelOp
+from repro.errors import ActuationError, AllocationError, LaunchError
 from repro.wms.launcher import Savanna
 
 
@@ -30,22 +30,66 @@ class ActuationStage:
 
         Individual op failures are recorded and skipped — a plan must
         degrade, not deadlock, when the cluster state drifted between
-        planning and execution.  Calls ``on_done(plan)`` at the end.
+        planning and execution.  Every failed op leaves a ``failure``
+        trace point; after the sweep, compensating releases unwind any
+        cores a failed acquire left booked, and a
+        :class:`~repro.core.lowlevel.DegradationReport` is attached to
+        the plan.  Calls ``on_done(plan)`` at the end.
         """
         plan.execution_start = self.launcher.engine.now
+        plan_failures: list[tuple[LowLevelOp, str]] = []
         for op in plan.ordered_ops():
             op.exec_start = self.launcher.engine.now
             try:
                 yield from self._run_op(op)
-            except (ActuationError, AllocationError) as err:
+            except (ActuationError, AllocationError, LaunchError) as err:
                 self.failed_ops.append((plan.plan_id, f"{op.describe()}: {err}"))
+                plan_failures.append((op, str(err)))
+                self.launcher.trace.point(
+                    self.launcher.engine.now,
+                    f"op-failed:{op.task}",
+                    category="failure",
+                    plan=plan.plan_id,
+                    op=op.describe(),
+                    error=str(err),
+                )
             finally:
                 op.exec_end = self.launcher.engine.now
+        if plan_failures:
+            self._compensate(plan, plan_failures)
         plan.execution_end = self.launcher.engine.now
         self.executed_plans.append(plan)
         if on_done is not None:
             on_done(plan)
         return plan
+
+    def _compensate(self, plan: ActionPlan, failures: list[tuple[LowLevelOp, str]]) -> None:
+        """Unwind failed acquires and attach the degradation report."""
+        compensations: list[str] = []
+        for op, _err in failures:
+            if op.op != "start_task":
+                continue
+            rec = self.launcher.records.get(op.task)
+            if rec is not None and rec.is_active:
+                continue  # the task came up after all; nothing to unwind
+            released = self.launcher.rm.release_if_held(op.task)
+            if released:
+                compensations.append(
+                    f"released {released.total_cores} cores held for {op.task}"
+                )
+        plan.degradation = DegradationReport(
+            plan_id=plan.plan_id,
+            time=self.launcher.engine.now,
+            failed_ops=[f"{op.describe()}: {err}" for op, err in failures],
+            compensations=compensations,
+        )
+        self.launcher.trace.point(
+            self.launcher.engine.now,
+            f"plan-degraded:{plan.plan_id}",
+            category="failure",
+            failed=len(failures),
+            compensations=len(compensations),
+        )
 
     def _run_op(self, op: LowLevelOp):
         launcher = self.launcher
@@ -70,6 +114,7 @@ class ActuationStage:
                     launcher.rm.free(),
                     launcher.allocation.nodes,
                     op.resources.total_cores,
+                    exclude_nodes=launcher.rm.excluded_nodes(),
                 )
                 launcher.rm.assign_set(op.task, resources)
             yield from launcher.start_task_with_resources(

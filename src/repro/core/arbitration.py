@@ -70,7 +70,12 @@ class _Shadow:
         return rs
 
     def place(self, ncores: int, per_node_limit: int | None) -> ResourceSet:
-        return place_cores(self.free, self.nodes, ncores, per_node_limit)
+        # Quarantined nodes are excluded exactly like unhealthy ones:
+        # Arbitration "ensures the exclusion of problematic resources".
+        return place_cores(
+            self.free, self.nodes, ncores, per_node_limit,
+            exclude_nodes=self.launcher.rm.excluded_nodes(),
+        )
 
     def take(self, task: str, rs: ResourceSet) -> None:
         self.free = self.free.subtract(rs)

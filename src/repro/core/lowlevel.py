@@ -65,6 +65,32 @@ class LowLevelOp:
         return f"stop {self.task} ({flavour}) [{self.reason}]"
 
 
+@dataclass(frozen=True)
+class DegradationReport:
+    """Structured account of a plan that could not execute in full.
+
+    Actuation attaches one of these to a plan whenever at least one
+    low-level operation failed: graceful degradation means the rest of
+    the plan still ran, the failures are itemized, and any resources a
+    failed acquire left booked were released by compensating ops.
+    """
+
+    plan_id: str
+    time: float
+    failed_ops: list[str]       # "<op description>: <error>" per failure
+    compensations: list[str]    # compensating release ops that were applied
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.failed_ops)
+
+    def describe(self) -> str:
+        lines = [f"plan {self.plan_id} degraded ({len(self.failed_ops)} failed ops)"]
+        lines.extend(f"  failed: {f}" for f in self.failed_ops)
+        lines.extend(f"  compensated: {c}" for c in self.compensations)
+        return "\n".join(lines)
+
+
 @dataclass
 class ActionPlan:
     """An ordered, feasible set of low-level operations plus accounting."""
@@ -81,6 +107,7 @@ class ActionPlan:
     # filled by Actuation:
     execution_start: float | None = None
     execution_end: float | None = None
+    degradation: DegradationReport | None = None
 
     def ordered_ops(self) -> list[LowLevelOp]:
         """Ops in execution order: releases first, stable within phase."""

@@ -141,6 +141,9 @@ class MonitorServer:
         self.forwarded = 0
         self.record_history = record_history
         self.history: list[MetricUpdate] = []
+        # Per-task time of the freshest accepted update — the watchdog's
+        # transport-level liveness signal (a hung app stops producing).
+        self.last_seen: dict[str, float] = {}
 
     def set_sink(self, on_updates: Callable[[list[MetricUpdate]], None]) -> None:
         self._on_updates = on_updates
@@ -158,6 +161,10 @@ class MonitorServer:
             return []
         updates = [MetricUpdate.from_dict(d) for d in env.payload.get("updates", [])]
         self.forwarded += len(updates)
+        for u in updates:
+            prev = self.last_seen.get(u.task)
+            if prev is None or env.time > prev:
+                self.last_seen[u.task] = env.time
         if self.record_history:
             self.history.extend(updates)
         if self._on_updates is not None and updates:

@@ -113,6 +113,13 @@ class ActuationError(DyflowError):
 
 
 # --------------------------------------------------------------------------- #
+# resilience subsystem
+# --------------------------------------------------------------------------- #
+class ResilienceError(ReproError):
+    """Invalid resilience configuration or fault-injection failure."""
+
+
+# --------------------------------------------------------------------------- #
 # XML interface
 # --------------------------------------------------------------------------- #
 class XmlSpecError(ReproError):

@@ -1,0 +1,44 @@
+"""Resilience subsystem: stochastic fault injection and recovery.
+
+The paper's resilience story (§4.5) is a single scheduled node failure.
+This package generalizes it into a fault *model* plus a recovery *layer*:
+
+* :mod:`repro.resilience.spec` — the knobs: retry/backoff budgets,
+  watchdog timeouts, node quarantine thresholds, checkpoint cadence,
+  and the stochastic fault model (all parsed from the XML
+  ``<resilience>`` element).
+* :mod:`repro.resilience.quarantine` — the node circuit breaker used by
+  the resource manager and Arbitration's shadow placement.
+* :mod:`repro.resilience.watchdog` — heartbeat-driven hang detection in
+  the Monitor stage.
+* :mod:`repro.resilience.faults` — the chaos engine: node crashes,
+  task crashes, task hangs and staging message drops drawn from named
+  :class:`~repro.sim.rng.RngRegistry` streams, so every chaos run is
+  deterministic and replayable.
+"""
+
+from repro.resilience.faults import ChaosEngine, FaultEvent
+from repro.resilience.quarantine import NodeQuarantine, QuarantineEvent
+from repro.resilience.spec import (
+    CheckpointSpec,
+    FaultModelSpec,
+    QuarantineSpec,
+    ResilienceSpec,
+    RetryPolicy,
+    WatchdogSpec,
+)
+from repro.resilience.watchdog import HeartbeatWatchdog
+
+__all__ = [
+    "ChaosEngine",
+    "CheckpointSpec",
+    "FaultEvent",
+    "FaultModelSpec",
+    "HeartbeatWatchdog",
+    "NodeQuarantine",
+    "QuarantineEvent",
+    "QuarantineSpec",
+    "ResilienceSpec",
+    "RetryPolicy",
+    "WatchdogSpec",
+]

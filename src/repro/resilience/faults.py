@@ -1,0 +1,170 @@
+"""The chaos engine: stochastic fault injection on the simulation clock.
+
+Generalizes the seed's single scheduled node failure (§4.5) into a
+stochastic fault model in the spirit of WfCommons' synthetic scenarios:
+node crashes with exponential/Weibull interarrivals, task crashes, task
+hangs, and staging message drops.  Every draw — interarrival times,
+victim picks, drop decisions — comes from its own *named*
+:class:`~repro.sim.rng.RngRegistry` stream, so a chaos run with a fixed
+seed is bit-identical across invocations and new fault classes never
+perturb existing ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.cluster.failures import FailureInjector
+from repro.resilience.spec import FaultModelSpec
+from repro.sim.rng import RngRegistry
+from repro.util.jsonmsg import Envelope
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.wms.launcher import Savanna
+
+# Exit codes for injected task faults, distinguishable in STATUS records:
+# 137 is reserved for node-death kills (handle_node_failure).
+TASK_CRASH_CODE = 139
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, for post-run inspection and replay checks."""
+
+    time: float
+    kind: str  # "node-crash" | "task-crash" | "task-hang" | "msg-drop"
+    target: str
+
+
+class ChaosEngine:
+    """Schedules stochastic faults against one launcher's allocation."""
+
+    def __init__(
+        self,
+        launcher: "Savanna",
+        model: FaultModelSpec,
+        rng: RngRegistry | None = None,
+        injector: FailureInjector | None = None,
+    ) -> None:
+        model.validate()
+        self.launcher = launcher
+        self.engine = launcher.engine
+        self.model = model
+        self.rng = rng if rng is not None else launcher.rng
+        if injector is None:
+            injector = FailureInjector(self.engine, launcher.machine)
+            injector.subscribe_failure(
+                lambda node, _t: launcher.handle_node_failure(node.node_id)
+            )
+        self.injector = injector
+        self.history: list[FaultEvent] = []
+        self.dropped_envelopes = 0
+        self._running = False
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn one injection process per enabled fault class."""
+        if self._running:
+            return
+        self._running = True
+        if self.model.node_mtbf > 0:
+            self.engine.process(self._node_crash_loop(), name="chaos:node-crash")
+        if self.model.task_crash_mtbf > 0:
+            self.engine.process(self._task_crash_loop(), name="chaos:task-crash")
+        if self.model.task_hang_mtbf > 0:
+            self.engine.process(self._task_hang_loop(), name="chaos:task-hang")
+        if self.model.stage_drop_prob > 0:
+            hub = self.launcher.hub
+            for name in hub.channels():
+                self._attach_channel(hub.get_channel(name))
+            hub.on_new_channel = self._attach_channel
+
+    def stop(self) -> None:
+        """Stop injecting; in-flight loops exit at their next wake-up."""
+        self._running = False
+
+    # -- injection loops ---------------------------------------------------------
+    def _node_crash_loop(self):
+        times = self.rng.stream("chaos:node-crash")
+        pick = self.rng.stream("chaos:node-pick")
+        while self._running:
+            yield self.engine.timeout(self.model.interarrival(self.model.node_mtbf, times))
+            if not self._running:
+                return
+            up = sorted(n.node_id for n in self.launcher.allocation.nodes if n.is_up)
+            if not up:
+                continue
+            node_id = up[int(pick.integers(len(up)))]
+            self.injector.fail_node_now(node_id)
+            self._record("node-crash", node_id)
+            if self.model.node_repair_time > 0:
+                self.injector.recover_node_at(
+                    self.engine.now + self.model.node_repair_time, node_id
+                )
+
+    def _task_crash_loop(self):
+        times = self.rng.stream("chaos:task-crash")
+        pick = self.rng.stream("chaos:task-pick")
+        while self._running:
+            yield self.engine.timeout(float(times.exponential(self.model.task_crash_mtbf)))
+            if not self._running:
+                return
+            running = sorted(self.launcher.running_tasks())
+            if not running:
+                continue
+            name = running[int(pick.integers(len(running)))]
+            self.engine.process(
+                self.launcher.signal_kill_task(name, code=TASK_CRASH_CODE, cause="chaos"),
+                name=f"chaos:kill:{name}",
+            )
+            self._record("task-crash", name)
+
+    def _task_hang_loop(self):
+        times = self.rng.stream("chaos:task-hang")
+        pick = self.rng.stream("chaos:hang-pick")
+        while self._running:
+            yield self.engine.timeout(float(times.exponential(self.model.task_hang_mtbf)))
+            if not self._running:
+                return
+            candidates = sorted(
+                name
+                for name in self.launcher.running_tasks()
+                if self.launcher.record(name).current is not None
+                and self.launcher.record(name).current.ctx is not None
+            )
+            if not candidates:
+                continue
+            name = candidates[int(pick.integers(len(candidates)))]
+            self.launcher.record(name).current.ctx.inject_hang()
+            self._record("task-hang", name)
+
+    # -- staging drops (installed on every hub channel) ---------------------------
+    def _attach_channel(self, channel) -> None:
+        channel.drop_filter = self._drop_staged_step
+
+    def _drop_staged_step(self, channel_name: str, _data) -> bool:
+        if not self._running:
+            return False
+        if float(self.rng.stream("chaos:stage-drop").random()) >= self.model.stage_drop_prob:
+            return False
+        self._record("stage-drop", channel_name)
+        return True
+
+    # -- message drops (consulted by the orchestrator's delivery path) -----------
+    def drop_envelope(self, env: Envelope) -> bool:
+        """Decide whether to drop one Monitor client→server envelope."""
+        if self.model.msg_drop_prob <= 0:
+            return False
+        if float(self.rng.stream("chaos:msg-drop").random()) >= self.model.msg_drop_prob:
+            return False
+        self.dropped_envelopes += 1
+        self._record("msg-drop", env.sender)
+        return True
+
+    # -- bookkeeping -------------------------------------------------------------
+    def _record(self, kind: str, target: str) -> None:
+        self.history.append(FaultEvent(self.engine.now, kind, target))
+        self.launcher.trace.point(
+            self.engine.now, f"chaos:{kind}:{target}", category="failure"
+        )

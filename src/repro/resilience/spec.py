@@ -1,0 +1,201 @@
+"""Resilience configuration: retry, watchdog, quarantine, checkpoint, faults.
+
+One :class:`ResilienceSpec` bundles every recovery knob plus the
+stochastic fault model.  It is constructed either programmatically or
+from the XML ``<resilience>`` element (see ``docs/xml-reference.md``);
+both the simulated runtime (:class:`repro.wms.launcher.Savanna` /
+:class:`repro.runtime.sim_driver.DyflowOrchestrator`) and the live
+threaded runtime (:class:`repro.runtime.threaded.ThreadedDyflow`)
+consume the same spec, so the two execution substrates share one
+resilience API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ResilienceError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and jitter.
+
+    The delay before attempt *k* (0-based) is
+
+        min(backoff_base * backoff_factor**k, backoff_max) * (1 + U*jitter)
+
+    where ``U`` is uniform in [0, 1) drawn from a *named* RNG stream, so
+    chaos runs replay bit-identically.
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 2.0
+    backoff_factor: float = 2.0
+    backoff_max: float = 120.0
+    jitter: float = 0.25
+
+    def validate(self) -> None:
+        if self.max_retries < 0:
+            raise ResilienceError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ResilienceError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ResilienceError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ResilienceError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff delay before retry *attempt* (0-based), jitter included."""
+        base = min(self.backoff_base * self.backoff_factor ** attempt, self.backoff_max)
+        if self.jitter > 0:
+            base *= 1.0 + self.jitter * float(rng.random())
+        return base
+
+    def exhausted(self, retries_used: int) -> bool:
+        return retries_used >= self.max_retries
+
+
+@dataclass(frozen=True)
+class WatchdogSpec:
+    """Heartbeat-based hang detection.
+
+    A running task whose newest heartbeat (app-level step completion or
+    Monitor-stage metric arrival, whichever is newer) is older than
+    ``heartbeat_timeout`` seconds is declared hung and killed with
+    ``kill_code`` so the retry/restart machinery can relaunch it.
+    """
+
+    heartbeat_timeout: float = 120.0
+    poll: float = 10.0
+    kill_code: int = 142
+
+    def validate(self) -> None:
+        if self.heartbeat_timeout <= 0:
+            raise ResilienceError(
+                f"heartbeat_timeout must be > 0, got {self.heartbeat_timeout}"
+            )
+        if self.poll <= 0:
+            raise ResilienceError(f"watchdog poll must be > 0, got {self.poll}")
+        if self.kill_code <= 128:
+            raise ResilienceError(f"kill_code must be > 128 (a signal code), got {self.kill_code}")
+
+
+@dataclass(frozen=True)
+class QuarantineSpec:
+    """Node circuit breaker: N failures within a window ⇒ exclusion.
+
+    A node accumulating ``failures`` blamed failures within ``window``
+    seconds is quarantined for ``cooldown`` seconds: the resource
+    manager and Arbitration's shadow placement exclude it even if the
+    scheduler reports it UP.
+    """
+
+    failures: int = 3
+    window: float = 600.0
+    cooldown: float = 1800.0
+
+    def validate(self) -> None:
+        if self.failures < 1:
+            raise ResilienceError(f"quarantine failures must be >= 1, got {self.failures}")
+        if self.window <= 0 or self.cooldown <= 0:
+            raise ResilienceError("quarantine window and cooldown must be > 0")
+
+
+@dataclass(frozen=True)
+class CheckpointSpec:
+    """Checkpoint-restart cadence injected into task parameters.
+
+    ``every`` overrides the app's own ``checkpoint_every`` (steps);
+    ``resume`` makes restarted incarnations resume from their last
+    saved checkpoint instead of step 0.
+    """
+
+    every: int = 50
+    resume: bool = True
+
+    def validate(self) -> None:
+        if self.every < 0:
+            raise ResilienceError(f"checkpoint every must be >= 0, got {self.every}")
+
+
+DISTRIBUTIONS = ("exponential", "weibull")
+
+
+@dataclass(frozen=True)
+class FaultModelSpec:
+    """The stochastic fault model driven by the chaos engine.
+
+    Rates are mean-time-between-events in simulated seconds; 0 disables
+    that fault class.  Node-crash interarrivals are exponential or
+    Weibull (``weibull_shape`` < 1 models infant mortality, > 1 wearout);
+    task crashes/hangs pick a uniformly random running task; message
+    drops hit Monitor client→server envelopes with ``msg_drop_prob``
+    and staged coupling steps with ``stage_drop_prob``.
+    """
+
+    node_mtbf: float = 0.0
+    node_dist: str = "exponential"
+    weibull_shape: float = 1.5
+    node_repair_time: float = 600.0
+    task_crash_mtbf: float = 0.0
+    task_hang_mtbf: float = 0.0
+    msg_drop_prob: float = 0.0
+    stage_drop_prob: float = 0.0
+
+    def validate(self) -> None:
+        if self.node_dist not in DISTRIBUTIONS:
+            raise ResilienceError(
+                f"node_dist must be one of {DISTRIBUTIONS}, got {self.node_dist!r}"
+            )
+        for name in ("node_mtbf", "node_repair_time", "task_crash_mtbf", "task_hang_mtbf"):
+            if getattr(self, name) < 0:
+                raise ResilienceError(f"{name} must be >= 0")
+        if self.weibull_shape <= 0:
+            raise ResilienceError(f"weibull_shape must be > 0, got {self.weibull_shape}")
+        for name in ("msg_drop_prob", "stage_drop_prob"):
+            if not 0.0 <= getattr(self, name) < 1.0:
+                raise ResilienceError(
+                    f"{name} must be in [0, 1), got {getattr(self, name)}"
+                )
+
+    @property
+    def any_enabled(self) -> bool:
+        return (
+            self.node_mtbf > 0
+            or self.task_crash_mtbf > 0
+            or self.task_hang_mtbf > 0
+            or self.msg_drop_prob > 0
+            or self.stage_drop_prob > 0
+        )
+
+    def interarrival(self, mtbf: float, rng: np.random.Generator) -> float:
+        """Draw one interarrival time for an event class with mean *mtbf*."""
+        if self.node_dist == "weibull":
+            # Scale so the mean of the Weibull equals mtbf.
+            from math import gamma
+
+            scale = mtbf / gamma(1.0 + 1.0 / self.weibull_shape)
+            return scale * float(rng.weibull(self.weibull_shape))
+        return float(rng.exponential(mtbf))
+
+
+@dataclass(frozen=True)
+class ResilienceSpec:
+    """The complete resilience configuration (XML ``<resilience>``).
+
+    Every component is optional; ``None`` disables it.
+    """
+
+    retry: RetryPolicy | None = None
+    watchdog: WatchdogSpec | None = None
+    quarantine: QuarantineSpec | None = None
+    checkpoint: CheckpointSpec | None = None
+    faults: FaultModelSpec | None = None
+
+    def validate(self) -> None:
+        for part in (self.retry, self.watchdog, self.quarantine, self.checkpoint, self.faults):
+            if part is not None:
+                part.validate()

@@ -1,0 +1,99 @@
+"""Heartbeat watchdog: hang/straggler detection in the Monitor stage.
+
+A crashed task is loud (exit code, STATUS sensor); a *hung* task is
+silent — it holds its resources and stops making progress.  The watchdog
+closes that gap: every running instance carries a heartbeat (stamped by
+the app at each completed step), and the Monitor server's per-task
+last-update times provide a second, transport-level signal.  A task
+whose freshest signal is older than the timeout is killed with a
+distinguishable exit code (> 128) so the ordinary failure machinery —
+launcher retry or a RESTART_ON_FAILURE policy — relaunches it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.resilience.spec import WatchdogSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.monitor import MonitorServer
+    from repro.wms.launcher import Savanna
+
+
+@dataclass(frozen=True)
+class WatchdogKill:
+    """One watchdog-triggered kill, for post-run inspection."""
+
+    time: float
+    task: str
+    last_heartbeat: float
+
+
+class HeartbeatWatchdog:
+    """Polls running instances and kills the ones that stopped beating."""
+
+    def __init__(
+        self,
+        launcher: "Savanna",
+        spec: WatchdogSpec,
+        server: "MonitorServer | None" = None,
+        on_hang: Callable[[str, float], None] | None = None,
+    ) -> None:
+        spec.validate()
+        self.launcher = launcher
+        self.spec = spec
+        self.server = server
+        self.on_hang = on_hang
+        self.kills: list[WatchdogKill] = []
+        self._running = False
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the watchdog loop as a simulated process."""
+        if self._running:
+            return
+        self._running = True
+        self.launcher.engine.process(self._loop(), name="watchdog")
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- internals ---------------------------------------------------------------
+    def _last_signal(self, task: str, instance) -> float:
+        """Freshest evidence of life: app heartbeat, monitor update, or start."""
+        last = instance.start_time if instance.start_time is not None else instance.launch_time
+        if instance.last_heartbeat is not None:
+            last = max(last, instance.last_heartbeat)
+        if self.server is not None:
+            seen = self.server.last_seen.get(task)
+            if seen is not None:
+                last = max(last, seen)
+        return last if last is not None else self.launcher.engine.now
+
+    def _loop(self):
+        eng = self.launcher.engine
+        while self._running:
+            now = eng.now
+            for name, rec in self.launcher.records.items():
+                instance = rec.current
+                if instance is None or not rec.is_running:
+                    continue
+                last = self._last_signal(name, instance)
+                if now - last <= self.spec.heartbeat_timeout:
+                    continue
+                self.kills.append(WatchdogKill(now, name, last))
+                self.launcher.trace.point(
+                    now, f"watchdog-kill:{name}", category="failure",
+                    last_heartbeat=last, timeout=self.spec.heartbeat_timeout,
+                )
+                eng.process(
+                    self.launcher.signal_kill_task(
+                        name, code=self.spec.kill_code, cause="watchdog"
+                    ),
+                    name=f"watchdog-kill:{name}",
+                )
+                if self.on_hang is not None:
+                    self.on_hang(name, now)
+            yield eng.timeout(self.spec.poll, name="watchdog-poll")

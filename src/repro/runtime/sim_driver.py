@@ -20,6 +20,7 @@ from repro.core.rules import ArbitrationRules
 from repro.core.sensors.base import SensorInstance, SensorSpec
 from repro.core.sensors.sources import make_source
 from repro.errors import DyflowError
+from repro.resilience import ChaosEngine, HeartbeatWatchdog
 from repro.wms.launcher import Savanna
 
 
@@ -56,6 +57,16 @@ class DyflowOrchestrator:
         self._running = False
         self._stop_when: Callable[[], bool] | None = None
         launcher.subscribe_start(self._on_task_start)
+        # Resilience wiring: the orchestrator owns the watchdog (it needs
+        # the Monitor server's last-seen times) and the chaos engine (it
+        # needs to sit on the client->server delivery path).
+        self.watchdog: HeartbeatWatchdog | None = None
+        self.chaos: ChaosEngine | None = None
+        spec = launcher.resilience
+        if spec is not None and spec.watchdog is not None:
+            self.watchdog = HeartbeatWatchdog(launcher, spec.watchdog, server=self.server)
+        if spec is not None and spec.faults is not None and spec.faults.any_enabled:
+            self.chaos = ChaosEngine(launcher, spec.faults)
 
     # -- bootstrap configuration ---------------------------------------------------
     def add_sensor(self, spec: SensorSpec) -> None:
@@ -112,17 +123,30 @@ class DyflowOrchestrator:
         self._running = True
         self._stop_when = stop_when
         self.arbitration.begin(self.engine.now)
+        if self.watchdog is not None:
+            self.watchdog.start()
+        if self.chaos is not None:
+            self.chaos.start()
         self.engine.process(self._service_loop(), name="dyflow-service")
 
     def stop(self) -> None:
         self._running = False
+        if self.watchdog is not None:
+            self.watchdog.stop()
+        if self.chaos is not None:
+            self.chaos.stop()
 
     def _service_loop(self):
         while self._running:
             now = self.engine.now
             # Monitor: run sensors, deliver envelopes after their read lag.
+            # The chaos engine may drop envelopes on the way (lossy
+            # client->server transport); the server's out-of-order filter
+            # absorbs the resulting sequence gaps.
             for client in self.clients:
                 for lag, env in client.collect(now):
+                    if self.chaos is not None and self.chaos.drop_envelope(env):
+                        continue
                     self.engine.call_after(lag, lambda e=env: self.server.receive(e))
             # Decision: evaluate due policies on data delivered so far.
             suggestions = self.decision.tick(now)

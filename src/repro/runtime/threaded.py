@@ -31,6 +31,8 @@ from repro.core.sensors.base import SensorInstance, SensorSpec
 from repro.core.sensors.sources import make_source
 from repro.cluster.machine import MachinePerf
 from repro.errors import DyflowError
+from repro.resilience.spec import ResilienceSpec
+from repro.sim.rng import RngRegistry
 from repro.staging.hub import DataHub
 from repro.staging.serialization import Sample
 
@@ -64,6 +66,11 @@ class _LiveInstance(threading.Thread):
         self.stop_flag = threading.Event()
         self.steps_done = 0
         self.exit_code: int | None = None
+        # Resilience: wall-clock time of the last completed step (the
+        # heartbeat) and an exit-code override stamped by the watchdog
+        # when it abandons a hung instance.
+        self.last_progress = runner.now()
+        self.kill_code: int | None = None
 
     def run(self) -> None:
         hub = self.runner.hub
@@ -98,8 +105,11 @@ class _LiveInstance(threading.Thread):
                     )
                 step += 1
                 self.steps_done = step
+                self.last_progress = self.runner.now()
         except Exception:  # noqa: BLE001 - a crashed task is a failed task
             code = 1
+        if self.kill_code is not None:
+            code = self.kill_code
         self.exit_code = code
         with self.runner.hub_lock:
             hub.filesystem.append_record(
@@ -128,6 +138,8 @@ class ThreadedDyflow:
         warmup: float = 2.0,
         settle: float = 2.0,
         max_workers_total: int | None = None,
+        resilience: ResilienceSpec | None = None,
+        rng: RngRegistry | None = None,
     ) -> None:
         self.workflow_id = workflow_id
         self.specs = {t.name: t for t in tasks}
@@ -151,6 +163,18 @@ class ThreadedDyflow:
         self._gate_until = 0.0
         self.applied_actions: list[tuple[float, str]] = []
         self._state_lock = threading.RLock()
+        # Resilience mirror of the simulated launcher: same spec, same
+        # named backoff stream, wall-clock watchdog + crash retry.
+        if resilience is not None:
+            resilience.validate()
+        self.resilience = resilience
+        self.retry_policy = resilience.retry if resilience is not None else None
+        self.watchdog_spec = resilience.watchdog if resilience is not None else None
+        self._rng = rng if rng is not None else RngRegistry(0)
+        self._retries_used: dict[str, int] = {}
+        self.retry_exhausted: set[str] = set()
+        self.retries: list[tuple[float, str, int]] = []       # (time, task, attempt)
+        self.watchdog_kills: list[tuple[float, str]] = []     # (time, task)
 
     # -- time -----------------------------------------------------------------
     def now(self) -> float:
@@ -173,8 +197,11 @@ class ThreadedDyflow:
         self._gate_until = self.now() + self.warmup
         for name, spec in self.specs.items():
             self._start_task(name, spec.nworkers)
-        for target, label in ((self._monitor_loop, "monitor"), (self._decision_loop, "decision"),
-                              (self._arbitration_loop, "arbitration")):
+        loops = [(self._monitor_loop, "monitor"), (self._decision_loop, "decision"),
+                 (self._arbitration_loop, "arbitration")]
+        if self.watchdog_spec is not None:
+            loops.append((self._watchdog_loop, "watchdog"))
+        for target, label in loops:
             t = threading.Thread(target=target, name=f"dyflow-{label}", daemon=True)
             t.start()
             self._threads.append(t)
@@ -219,9 +246,69 @@ class ThreadedDyflow:
         inst.join(join_timeout)
 
     def _on_instance_exit(self, inst: _LiveInstance) -> None:
+        name = inst.spec.name
         with self._state_lock:
-            if self._instances.get(inst.spec.name) is inst:
-                del self._instances[inst.spec.name]
+            registered = self._instances.get(name) is inst
+            if registered:
+                del self._instances[name]
+        if not registered:
+            return  # abandoned by the watchdog; its replacement already runs
+        code = inst.exit_code if inst.exit_code is not None else 0
+        if code == 0:
+            self._retries_used.pop(name, None)
+            self.retry_exhausted.discard(name)
+            return
+        if inst.stop_flag.is_set() and inst.kill_code is None:
+            return  # deliberate stop that raced a crash: never resurrect
+        self._maybe_retry(name, inst.nworkers)
+
+    # -- resilience -----------------------------------------------------------------
+    def _maybe_retry(self, name: str, nworkers: int) -> None:
+        """Schedule a backoff-delayed relaunch of a crashed/hung task."""
+        policy = self.retry_policy
+        if policy is None or self._stop.is_set():
+            return
+        used = self._retries_used.get(name, 0)
+        if policy.exhausted(used):
+            self.retry_exhausted.add(name)
+            return
+        self._retries_used[name] = used + 1
+        delay = policy.delay(used, self._rng.stream("resilience:backoff"))
+        self.retries.append((self.now(), name, used + 1))
+        timer = threading.Timer(delay, self._retry_start, args=(name, nworkers))
+        timer.daemon = True
+        timer.start()
+
+    def _retry_start(self, name: str, nworkers: int) -> None:
+        if self._stop.is_set():
+            return
+        with self._state_lock:
+            if name in self._instances:
+                return
+            self._start_task(name, nworkers)
+
+    def _watchdog_loop(self) -> None:
+        spec = self.watchdog_spec
+        assert spec is not None
+        while not self._stop.is_set():
+            now = self.now()
+            with self._state_lock:
+                items = list(self._instances.items())
+            for name, inst in items:
+                if now - inst.last_progress <= spec.heartbeat_timeout:
+                    continue
+                # Hung: a blocked thread cannot be killed, so mark it and
+                # abandon it — it is deregistered here, its eventual exit
+                # is ignored, and a replacement goes through retry.
+                inst.kill_code = spec.kill_code
+                inst.stop_flag.set()
+                with self._state_lock:
+                    if self._instances.get(name) is not inst:
+                        continue  # exited on its own in the meantime
+                    del self._instances[name]
+                self.watchdog_kills.append((now, name))
+                self._maybe_retry(name, inst.nworkers)
+            time.sleep(spec.poll)
 
     def nworkers(self, name: str) -> int:
         with self._state_lock:

@@ -11,6 +11,8 @@ workflow tasks start (or restart)".
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.errors import StagingError
 from repro.staging.filesystem import SimFilesystem
 from repro.staging.store import VariableStore
@@ -24,6 +26,9 @@ class DataHub:
         self.filesystem = filesystem if filesystem is not None else SimFilesystem()
         self._channels: dict[str, StreamChannel] = {}
         self._stores: dict[str, VariableStore] = {}
+        # Called for every channel as it is created; the chaos engine uses
+        # this to install its in-transit drop filter on late-made channels.
+        self.on_new_channel: Callable[[StreamChannel], None] | None = None
 
     # -- channels --------------------------------------------------------------
     def channel(
@@ -37,6 +42,8 @@ class DataHub:
         if ch is None:
             ch = StreamChannel(name, capacity=capacity, policy=policy)
             self._channels[name] = ch
+            if self.on_new_channel is not None:
+                self.on_new_channel(ch)
         return ch
 
     def has_channel(self, name: str) -> bool:

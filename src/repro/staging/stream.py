@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from repro.errors import BufferOverflowError, ChannelClosedError
 from repro.util.validation import check_positive
@@ -58,6 +58,11 @@ class StreamChannel:
         self._closed = False
         self._readers: list[StreamReader] = []
         self.dropped_steps = 0
+        # Fault-injection hook (chaos engine): called per put(); returning
+        # True loses the write in transit — the step never reaches the
+        # staging buffer and keeps no index, readers just see fewer steps.
+        self.drop_filter: Callable[[str, Any], bool] | None = None
+        self.dropped_in_transit = 0
 
     # -- writer side -------------------------------------------------------------
     @property
@@ -73,6 +78,9 @@ class StreamChannel:
         """Publish a step; returns its index."""
         if self._closed:
             raise ChannelClosedError(f"write on closed channel {self.name!r}")
+        if self.drop_filter is not None and self.drop_filter(self.name, data):
+            self.dropped_in_transit += 1
+            return self._next_step
         if len(self._steps) >= self.capacity:
             if self.policy == OverflowPolicy.ERROR:
                 raise BufferOverflowError(

@@ -23,8 +23,10 @@ from repro.apps.base import Signal, TaskContext
 from repro.apps.coupling import CouplingRegistry
 from repro.cluster.allocation import Allocation, ResourceSet
 from repro.cluster.resource_manager import ResourceManager
-from repro.errors import LaunchError, TaskStateError
+from repro.errors import AllocationError, LaunchError, TaskStateError
 from repro.profiler.counters import CounterModel
+from repro.resilience.quarantine import NodeQuarantine
+from repro.resilience.spec import ResilienceSpec
 from repro.sim.engine import SimEngine
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
@@ -33,6 +35,10 @@ from repro.wms.spec import WorkflowSpec
 from repro.wms.task import TaskInstance, TaskRecord, TaskState
 
 TaskListener = Callable[[TaskInstance], None]
+
+# Kill causes that are deliberate orchestration, not faults: they never
+# feed the retry machinery or the node circuit breaker.
+_DELIBERATE_KILLS = ("orchestrated", "walltime")
 
 
 class Savanna:
@@ -49,6 +55,7 @@ class Savanna:
         coupling: CouplingRegistry | None = None,
         poll_interval: float = 0.25,
         counters: CounterModel | None = None,
+        resilience: ResilienceSpec | None = None,
     ) -> None:
         self.engine = engine
         self.workflow = workflow
@@ -67,6 +74,32 @@ class Savanna:
         }
         self._start_listeners: list[TaskListener] = []
         self._end_listeners: list[TaskListener] = []
+        self.resilience: ResilienceSpec | None = None
+        self.retry_policy = None
+        self.checkpoint_spec = None
+        self.quarantine: NodeQuarantine | None = None
+        self.configure_resilience(resilience)
+
+    # -- resilience configuration -------------------------------------------------
+    def configure_resilience(self, spec: ResilienceSpec | None) -> None:
+        """Install (or clear) the recovery layer: retry, quarantine, checkpoint.
+
+        Called from the constructor and by the XML bootstrap when the
+        spec carries a ``<resilience>`` element.  The watchdog and the
+        fault model live with the orchestrator/chaos engine; the pieces
+        the *launcher* owns are retry/backoff, the node circuit breaker,
+        and checkpoint-cadence injection into task parameters.
+        """
+        if spec is not None:
+            spec.validate()
+        self.resilience = spec
+        self.retry_policy = spec.retry if spec is not None else None
+        self.checkpoint_spec = spec.checkpoint if spec is not None else None
+        if spec is not None and spec.quarantine is not None:
+            self.quarantine = NodeQuarantine(spec.quarantine, clock=lambda: self.engine.now)
+        else:
+            self.quarantine = None
+        self.rm.quarantine = self.quarantine
 
     # -- listeners (the Monitor stage subscribes here) ---------------------------
     def subscribe_start(self, cb: TaskListener) -> None:
@@ -190,6 +223,11 @@ class Savanna:
             merged.update(params)
         if user_script:
             merged["user_script"] = user_script
+        if self.checkpoint_spec is not None:
+            if self.checkpoint_spec.every > 0:
+                merged.setdefault("checkpoint-every", self.checkpoint_spec.every)
+            if self.checkpoint_spec.resume:
+                merged.setdefault("resume-from-checkpoint", 1)
         return TaskContext(
             engine=self.engine,
             hub=self.hub,
@@ -205,6 +243,7 @@ class Savanna:
             params=merged,
             poll_interval=self.poll_interval,
             counters=self.counters,
+            heartbeat_cb=lambda t, inst=instance: setattr(inst, "last_heartbeat", t),
         )
 
     # -- plugin: signals and stop -------------------------------------------------------
@@ -212,11 +251,16 @@ class Savanna:
         """Plugin op (generator): deliver SIGTERM (graceful stop request)."""
         yield from self._signal(name, Signal.term())
 
-    def signal_kill_task(self, name: str, code: int = 137):
-        """Plugin op (generator): deliver SIGKILL (immediate death)."""
-        yield from self._signal(name, Signal.kill(code))
+    def signal_kill_task(self, name: str, code: int = 137, cause: str = "orchestrated"):
+        """Plugin op (generator): deliver SIGKILL (immediate death).
 
-    def _signal(self, name: str, sig: Signal):
+        ``cause`` labels who delivered the kill (``"orchestrated"``,
+        ``"watchdog"``, ``"chaos"``); deliberate orchestration kills are
+        never retried, fault kills are.
+        """
+        yield from self._signal(name, Signal.kill(code), cause=cause)
+
+    def _signal(self, name: str, sig: Signal, cause: str = "orchestrated"):
         rec = self.record(name)
         instance = rec.current
         if instance is None or not instance.is_active:
@@ -226,6 +270,8 @@ class Savanna:
             instance.transition(TaskState.STOPPING)
         yield self.engine.timeout(self.perf.signal_latency, name=f"signal:{name}")
         if instance.proc is not None and instance.is_active:
+            if sig.kind == "kill":
+                instance.kill_cause = cause
             instance.proc.interrupt(sig)
 
     def reconfig_task(self, name: str, params: dict[str, Any]):
@@ -308,10 +354,18 @@ class Savanna:
             if instance is None or not instance.is_active:
                 continue
             instance.stop_requested = True
+            instance.kill_cause = "node-failure"
             if instance.state == TaskState.RUNNING:
                 instance.transition(TaskState.STOPPING)
             if instance.proc is not None:
                 instance.proc.interrupt(Signal.kill(137))
+        if self.quarantine is not None:
+            # A dead node is blamed immediately: should the scheduler
+            # report it UP again, the cooldown still keeps it out.
+            if self.quarantine.record_failure(node_id):
+                self.trace.point(
+                    self.engine.now, f"quarantine:{node_id}", category="failure"
+                )
         self.trace.point(self.engine.now, f"node-failure:{node_id}", category="failure")
         return affected
 
@@ -321,6 +375,7 @@ class Savanna:
             instance = rec.current
             if instance is not None and instance.is_active and instance.proc is not None:
                 instance.stop_requested = True
+                instance.kill_cause = "walltime"
                 if instance.state == TaskState.RUNNING:
                     instance.transition(TaskState.STOPPING)
                 instance.proc.interrupt(Signal.kill(140))
@@ -370,5 +425,77 @@ class Savanna:
             )
         except ValueError:
             pass  # stopped during launch: span was never opened
+        if state == TaskState.COMPLETED:
+            rec = self.record(instance.task)
+            rec.retries_used = 0
+            rec.retry_exhausted = False
+        elif state == TaskState.FAILED:
+            self._on_task_failure(instance)
         for cb in self._end_listeners:
             cb(instance)
+
+    # -- recovery: blame + retry/backoff ---------------------------------------------------
+    def _on_task_failure(self, instance: TaskInstance) -> None:
+        """A task instance died with a nonzero code: blame and maybe retry.
+
+        Deliberate kills (orchestrated stops, walltime) are not faults.
+        Node-failure deaths already blamed the dead node inside
+        :meth:`handle_node_failure`, so the surviving nodes of the
+        instance are NOT blamed here — only genuinely task-level faults
+        (app crash, watchdog kill, chaos kill) count against every node
+        the instance ran on.
+        """
+        cause = instance.kill_cause
+        if cause in _DELIBERATE_KILLS:
+            return
+        if self.quarantine is not None and cause != "node-failure":
+            for node_id in instance.resources.node_ids:
+                if self.quarantine.record_failure(node_id):
+                    self.trace.point(
+                        self.engine.now, f"quarantine:{node_id}", category="failure"
+                    )
+        if self.retry_policy is not None:
+            self._schedule_retry(instance.task)
+
+    def _schedule_retry(self, name: str) -> None:
+        """Book a relaunch of *name* after an exponential-backoff delay."""
+        rec = self.record(name)
+        assert self.retry_policy is not None
+        if self.retry_policy.exhausted(rec.retries_used):
+            if not rec.retry_exhausted:
+                rec.retry_exhausted = True
+                self.trace.point(
+                    self.engine.now, f"retry-exhausted:{name}", category="failure",
+                    retries=rec.retries_used,
+                )
+            return
+        attempt = rec.retries_used
+        rec.retries_used += 1
+        delay = self.retry_policy.delay(attempt, self.rng.stream("resilience:backoff"))
+        self.trace.point(
+            self.engine.now, f"retry-scheduled:{name}", category="failure",
+            attempt=attempt + 1, delay=delay,
+        )
+        self.engine.call_after(delay, lambda: self._retry_launch(name), name=f"retry:{name}")
+
+    def _retry_launch(self, name: str) -> None:
+        """Relaunch *name* on freshly placed cores (quarantine-aware)."""
+        rec = self.record(name)
+        if rec.is_active or rec.retry_exhausted:
+            return  # something else already resurrected or gave up on it
+        last = rec.history[-1] if rec.history else None
+        ncores = last.nprocs if last is not None else rec.spec.nprocs
+        try:
+            resources = self.rm.assign(name, ncores, rec.spec.procs_per_node)
+        except AllocationError:
+            try:
+                resources = self.rm.assign(name, ncores)  # packed fallback
+            except AllocationError:
+                # No room right now (quarantine may shrink the pool):
+                # burn another retry slot and wait out a longer backoff.
+                self._schedule_retry(name)
+                return
+        self.engine.process(
+            self.start_task_with_resources(name, resources, preassigned=True),
+            name=f"retry:{name}",
+        )

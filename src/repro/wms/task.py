@@ -59,6 +59,12 @@ class TaskInstance:
     proc: Process | None = None
     ctx: Any = None  # the TaskContext once the app is spawned
     notes: dict[str, Any] = field(default_factory=dict)
+    # Resilience bookkeeping: freshest app-level sign of life, and who
+    # delivered a kill ("orchestrated", "node-failure", "walltime",
+    # "watchdog", "chaos") — the retry machinery only resurrects
+    # instances whose death was not deliberate.
+    last_heartbeat: float | None = None
+    kill_cause: str | None = None
 
     @property
     def nprocs(self) -> int:
@@ -89,6 +95,9 @@ class TaskRecord:
     current: TaskInstance | None = None
     history: list[TaskInstance] = field(default_factory=list)
     incarnations: int = 0
+    # Retry bookkeeping (launcher-level recovery; reset on COMPLETED).
+    retries_used: int = 0
+    retry_exhausted: bool = False
 
     @property
     def is_active(self) -> bool:

@@ -30,9 +30,14 @@ def configure_orchestrator(
 
     Sensors, monitor-task bindings, policies, applications and rules are
     installed; the XML's rule dependencies are merged over the workflow's
-    own dependency declarations.
+    own dependency declarations.  A ``<resilience>`` section configures
+    the launcher's recovery layer *before* the orchestrator is built, so
+    the orchestrator can wire the watchdog and the chaos engine; without
+    one, any programmatically installed resilience spec is left intact.
     """
     workflow_id = launcher.workflow.workflow_id
+    if spec.resilience is not None:
+        launcher.configure_resilience(spec.resilience)
     rule = spec.rules.get(workflow_id)
     rules = ArbitrationRules.from_workflow(
         launcher.workflow,

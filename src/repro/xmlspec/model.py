@@ -8,6 +8,7 @@ from typing import Any
 from repro.core.policy import PolicyApplication, PolicySpec
 from repro.core.sensors.base import SensorSpec
 from repro.errors import XmlSpecError
+from repro.resilience.spec import ResilienceSpec
 from repro.wms.spec import DependencySpec
 
 
@@ -42,9 +43,12 @@ class DyflowSpec:
     policies: dict[str, PolicySpec] = field(default_factory=dict)
     applications: list[PolicyApplication] = field(default_factory=list)
     rules: dict[str, RuleSpec] = field(default_factory=dict)
+    resilience: ResilienceSpec | None = None
 
     def validate(self) -> None:
         """Cross-reference checks a schema cannot express."""
+        if self.resilience is not None:
+            self.resilience.validate()
         for mt in self.monitor_tasks:
             if mt.sensor_id not in self.sensors:
                 raise XmlSpecError(

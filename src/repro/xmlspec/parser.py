@@ -9,6 +9,14 @@ from repro.core.actions import ActionType
 from repro.core.policy import PolicyApplication, PolicySpec
 from repro.core.sensors.base import GroupBySpec, JoinSpec, SensorSpec
 from repro.errors import XmlSpecError
+from repro.resilience.spec import (
+    CheckpointSpec,
+    FaultModelSpec,
+    QuarantineSpec,
+    ResilienceSpec,
+    RetryPolicy,
+    WatchdogSpec,
+)
 from repro.wms.spec import CouplingType, DependencySpec
 from repro.xmlspec.model import DyflowSpec, MonitorTaskSpec, RuleSpec
 
@@ -24,8 +32,9 @@ def parse_dyflow_xml(text: str) -> DyflowSpec:
     except ET.ParseError as err:
         raise XmlSpecError(f"malformed XML: {err}") from err
     spec = DyflowSpec()
-    sections = [root] if root.tag in ("monitor", "decision", "arbitration") else list(root)
-    if root.tag not in ("dyflow", "monitor", "decision", "arbitration"):
+    standalone = ("monitor", "decision", "arbitration", "resilience")
+    sections = [root] if root.tag in standalone else list(root)
+    if root.tag not in ("dyflow",) + standalone:
         raise XmlSpecError(f"unexpected root element <{root.tag}>")
     for section in sections:
         if section.tag == "monitor":
@@ -34,6 +43,10 @@ def parse_dyflow_xml(text: str) -> DyflowSpec:
             _parse_decision(section, spec)
         elif section.tag == "arbitration":
             _parse_arbitration(section, spec)
+        elif section.tag == "resilience":
+            if spec.resilience is not None:
+                raise XmlSpecError("duplicate <resilience> section")
+            spec.resilience = _parse_resilience(section)
         else:
             raise XmlSpecError(f"unexpected section <{section.tag}>")
     spec.validate()
@@ -208,6 +221,114 @@ def _parse_policy(el: ET.Element) -> PolicySpec:
         history_window=window,
         history_op=history_op,
         frequency=frequency,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# resilience section
+# --------------------------------------------------------------------------- #
+def _check_attrs(el: ET.Element, known: set[str]) -> None:
+    for attr in el.keys():
+        if attr not in known:
+            raise XmlSpecError(
+                f"unexpected <{el.tag}> attribute {attr!r} (known: {sorted(known)})"
+            )
+
+
+def _float_attr(el: ET.Element, attr: str, default: float) -> float:
+    raw = el.get(attr)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise XmlSpecError(f"<{el.tag}> attribute {attr!r}: not a number: {raw!r}") from None
+
+
+def _int_attr(el: ET.Element, attr: str, default: int) -> int:
+    raw = el.get(attr)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise XmlSpecError(f"<{el.tag}> attribute {attr!r}: not an integer: {raw!r}") from None
+
+
+def _bool_attr(el: ET.Element, attr: str, default: bool) -> bool:
+    raw = el.get(attr)
+    if raw is None:
+        return default
+    lowered = raw.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise XmlSpecError(f"<{el.tag}> attribute {attr!r}: not a boolean: {raw!r}")
+
+
+def _parse_resilience(section: ET.Element) -> ResilienceSpec:
+    """Parse one ``<resilience>`` section (every child optional)."""
+    known = {"retry", "watchdog", "quarantine", "checkpoint", "faults"}
+    for child in section:
+        if child.tag not in known:
+            raise XmlSpecError(f"unexpected <resilience> child <{child.tag}>")
+    retry = watchdog = quarantine = checkpoint = faults = None
+    el = section.find("retry")
+    if el is not None:
+        _check_attrs(el, {"max-retries", "backoff-base", "backoff-factor",
+                          "backoff-max", "jitter"})
+        retry = RetryPolicy(
+            max_retries=_int_attr(el, "max-retries", 3),
+            backoff_base=_float_attr(el, "backoff-base", 2.0),
+            backoff_factor=_float_attr(el, "backoff-factor", 2.0),
+            backoff_max=_float_attr(el, "backoff-max", 120.0),
+            jitter=_float_attr(el, "jitter", 0.25),
+        )
+    el = section.find("watchdog")
+    if el is not None:
+        _check_attrs(el, {"heartbeat-timeout", "poll", "kill-code"})
+        watchdog = WatchdogSpec(
+            heartbeat_timeout=_float_attr(el, "heartbeat-timeout", 120.0),
+            poll=_float_attr(el, "poll", 10.0),
+            kill_code=_int_attr(el, "kill-code", 142),
+        )
+    el = section.find("quarantine")
+    if el is not None:
+        _check_attrs(el, {"failures", "window", "cooldown"})
+        quarantine = QuarantineSpec(
+            failures=_int_attr(el, "failures", 3),
+            window=_float_attr(el, "window", 600.0),
+            cooldown=_float_attr(el, "cooldown", 1800.0),
+        )
+    el = section.find("checkpoint")
+    if el is not None:
+        _check_attrs(el, {"every", "resume"})
+        checkpoint = CheckpointSpec(
+            every=_int_attr(el, "every", 50),
+            resume=_bool_attr(el, "resume", True),
+        )
+    el = section.find("faults")
+    if el is not None:
+        _check_attrs(el, {"node-mtbf", "node-dist", "weibull-shape", "node-repair-time",
+                          "task-crash-mtbf", "task-hang-mtbf", "msg-drop-prob",
+                          "stage-drop-prob"})
+        faults = FaultModelSpec(
+            node_mtbf=_float_attr(el, "node-mtbf", 0.0),
+            node_dist=el.get("node-dist", "exponential"),
+            weibull_shape=_float_attr(el, "weibull-shape", 1.5),
+            node_repair_time=_float_attr(el, "node-repair-time", 600.0),
+            task_crash_mtbf=_float_attr(el, "task-crash-mtbf", 0.0),
+            task_hang_mtbf=_float_attr(el, "task-hang-mtbf", 0.0),
+            msg_drop_prob=_float_attr(el, "msg-drop-prob", 0.0),
+            stage_drop_prob=_float_attr(el, "stage-drop-prob", 0.0),
+        )
+    return ResilienceSpec(
+        retry=retry,
+        watchdog=watchdog,
+        quarantine=quarantine,
+        checkpoint=checkpoint,
+        faults=faults,
     )
 
 

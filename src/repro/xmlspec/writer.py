@@ -14,6 +14,7 @@ def write_dyflow_xml(spec: DyflowSpec) -> str:
     _write_monitor(root, spec)
     _write_decision(root, spec)
     _write_arbitration(root, spec)
+    _write_resilience(root, spec)
     raw = ET.tostring(root, encoding="unicode")
     return minidom.parseString(raw).toprettyxml(indent="  ")
 
@@ -105,3 +106,61 @@ def _write_arbitration(root: ET.Element, spec: DyflowSpec) -> None:
                 ET.SubElement(
                     td, "task-dep", name=dep.task, type=dep.type.name, parent=dep.parent
                 )
+
+
+def _write_resilience(root: ET.Element, spec: DyflowSpec) -> None:
+    res = spec.resilience
+    if res is None:
+        return
+    section = ET.SubElement(root, "resilience")
+    if res.retry is not None:
+        ET.SubElement(
+            section, "retry",
+            attrib={
+                "max-retries": str(res.retry.max_retries),
+                "backoff-base": repr(res.retry.backoff_base),
+                "backoff-factor": repr(res.retry.backoff_factor),
+                "backoff-max": repr(res.retry.backoff_max),
+                "jitter": repr(res.retry.jitter),
+            },
+        )
+    if res.watchdog is not None:
+        ET.SubElement(
+            section, "watchdog",
+            attrib={
+                "heartbeat-timeout": repr(res.watchdog.heartbeat_timeout),
+                "poll": repr(res.watchdog.poll),
+                "kill-code": str(res.watchdog.kill_code),
+            },
+        )
+    if res.quarantine is not None:
+        ET.SubElement(
+            section, "quarantine",
+            attrib={
+                "failures": str(res.quarantine.failures),
+                "window": repr(res.quarantine.window),
+                "cooldown": repr(res.quarantine.cooldown),
+            },
+        )
+    if res.checkpoint is not None:
+        ET.SubElement(
+            section, "checkpoint",
+            attrib={
+                "every": str(res.checkpoint.every),
+                "resume": "true" if res.checkpoint.resume else "false",
+            },
+        )
+    if res.faults is not None:
+        ET.SubElement(
+            section, "faults",
+            attrib={
+                "node-mtbf": repr(res.faults.node_mtbf),
+                "node-dist": res.faults.node_dist,
+                "weibull-shape": repr(res.faults.weibull_shape),
+                "node-repair-time": repr(res.faults.node_repair_time),
+                "task-crash-mtbf": repr(res.faults.task_crash_mtbf),
+                "task-hang-mtbf": repr(res.faults.task_hang_mtbf),
+                "msg-drop-prob": repr(res.faults.msg_drop_prob),
+                "stage-drop-prob": repr(res.faults.stage_drop_prob),
+            },
+        )

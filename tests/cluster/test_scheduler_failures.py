@@ -103,7 +103,31 @@ class TestFailureInjector:
         inj.fail_node_at(1.0, "summit0000")
         inj.fail_node_at(2.0, "summit0000")
         eng.run()
-        assert len(inj.history) == 1
+        # The node only fails once; the second injection is recorded as a
+        # skip so replay comparisons see identical histories.
+        assert [r.kind for r in inj.history] == ["failure", "failure-skipped"]
+        assert not m.node("summit0000").is_up
+
+    def test_double_recovery_is_noop(self):
+        eng, m, _sched = setup(1)
+        inj = FailureInjector(eng, m)
+        inj.fail_node_at(1.0, "summit0000")
+        inj.recover_node_at(2.0, "summit0000")
+        inj.recover_node_at(3.0, "summit0000")
+        eng.run()
+        assert [r.kind for r in inj.history] == [
+            "failure", "recovery", "recovery-skipped"
+        ]
+        assert m.node("summit0000").is_up
+
+    def test_recover_node_now(self):
+        eng, m, _sched = setup(1)
+        inj = FailureInjector(eng, m)
+        inj.fail_node_now("summit0000")
+        assert not m.node("summit0000").is_up
+        inj.recover_node_now("summit0000")
+        assert m.node("summit0000").is_up
+        assert [r.kind for r in inj.history] == ["failure", "recovery"]
 
     def test_recovery(self):
         eng, m, _sched = setup(1)

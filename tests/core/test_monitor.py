@@ -139,3 +139,53 @@ class TestMonitorServer:
         server = MonitorServer(record_history=True)
         server.receive(self._env(0, [self._update_dict(1.0), self._update_dict(2.0)]))
         assert [u.value for u in server.history] == [1.0, 2.0]
+
+
+class TestMonitorServerAccounting:
+    """Dropped/received/forwarded counters and last-seen liveness times."""
+
+    def _env(self, seq, updates=None, sender="c0/PACE", time=0.0):
+        return Envelope(kind="sensor-update", sender=sender, seq=seq, time=time,
+                        payload={"updates": updates or []})
+
+    def _update_dict(self, value=1.0):
+        return {
+            "sensor_id": "PACE", "workflow_id": "W", "task": "A",
+            "granularity": "task", "key": ["A"], "value": value,
+            "time": 0.0, "step": 0, "var": "looptime",
+        }
+
+    def test_dropped_accounting_per_sender(self):
+        server = MonitorServer()
+        server.receive(self._env(3, [self._update_dict()], sender="c0/PACE"))
+        server.receive(self._env(3, [self._update_dict()], sender="c1/PACE"))
+        # Stale envelopes from either sender are dropped and counted.
+        assert server.receive(self._env(1, [self._update_dict()], sender="c0/PACE")) == []
+        assert server.receive(self._env(2, [self._update_dict()], sender="c1/PACE")) == []
+        assert server.dropped == 2
+        assert server.received == 4
+        assert server.forwarded == 2
+
+    def test_sequence_gaps_are_accepted_not_dropped(self):
+        # A lossy transport (chaos msg-drop) leaves gaps; the filter only
+        # rejects regressions, so gaps don't inflate the dropped counter.
+        server = MonitorServer()
+        server.receive(self._env(0, [self._update_dict()]))
+        assert len(server.receive(self._env(7, [self._update_dict()]))) == 1
+        assert server.dropped == 0
+        assert server.forwarded == 2
+
+    def test_last_seen_tracks_accepted_envelopes_only(self):
+        server = MonitorServer()
+        server.receive(self._env(0, [self._update_dict()], time=3.0))
+        assert server.last_seen["A"] == 3.0
+        server.receive(self._env(2, [self._update_dict()], time=8.0))
+        assert server.last_seen["A"] == 8.0
+        # Out-of-order envelope is dropped: last_seen must not move.
+        server.receive(self._env(1, [self._update_dict()], time=99.0))
+        assert server.last_seen["A"] == 8.0
+
+    def test_last_seen_empty_payload_untouched(self):
+        server = MonitorServer()
+        server.receive(self._env(0, [], time=5.0))
+        assert server.last_seen == {}

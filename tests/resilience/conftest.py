@@ -1,0 +1,63 @@
+"""Shared scaffolding for the resilience suite: flaky apps, sim setups."""
+
+from __future__ import annotations
+
+from repro.apps import AppExit, ConstantModel, IterativeApp
+from repro.cluster import Allocation, summit
+from repro.sim import SimEngine
+from repro.sim.rng import RngRegistry
+from repro.wms import Savanna, TaskSpec, WorkflowSpec
+
+
+def make_sim(tasks, num_nodes=4, resilience=None, seed=0):
+    """Engine + machine + Savanna over one allocation (no scheduler)."""
+    eng = SimEngine()
+    m = summit(num_nodes)
+    alloc = Allocation("a0", m, m.nodes, walltime_limit=1e9)
+    wf = WorkflowSpec("W", tasks, [])
+    sav = Savanna(eng, wf, alloc, rng=RngRegistry(seed), resilience=resilience)
+    return eng, m, sav
+
+
+def flaky_app_factory(
+    fail_incarnations=1,
+    crash_at=3,
+    total_steps=10,
+    dt=1.0,
+    checkpoint_every=0,
+):
+    """App factory whose first *fail_incarnations* incarnations crash.
+
+    The crash (exit 1) fires once the incarnation reaches step *crash_at*;
+    later incarnations run clean.  Use ``fail_incarnations=10**9`` for an
+    always-crashing task.
+    """
+    calls = {"n": 0}
+
+    def make():
+        incarnation = calls["n"]
+        calls["n"] += 1
+
+        def on_step(ctx, step):
+            if incarnation < fail_incarnations and step >= crash_at:
+                raise AppExit(1, "injected crash")
+
+        return IterativeApp(
+            ConstantModel(dt),
+            total_steps=total_steps,
+            on_step=on_step,
+            checkpoint_every=checkpoint_every,
+        )
+
+    return make
+
+
+def steady_app_factory(total_steps=10, dt=1.0):
+    def make():
+        return IterativeApp(ConstantModel(dt), total_steps=total_steps)
+
+    return make
+
+
+def make_task(name, factory, nprocs=8, **kw):
+    return TaskSpec(name, factory, nprocs=nprocs, **kw)

@@ -1,0 +1,74 @@
+"""Checkpoint-restart: restarted incarnations resume from the last save."""
+
+from repro.resilience import CheckpointSpec, ResilienceSpec, RetryPolicy
+from repro.wms import TaskState
+
+from tests.resilience.conftest import flaky_app_factory, make_sim, make_task
+
+
+def cp_spec(every=2, resume=True, **retry_kw):
+    defaults = dict(max_retries=3, backoff_base=1.0, backoff_factor=1.0, jitter=0.0)
+    defaults.update(retry_kw)
+    return ResilienceSpec(
+        retry=RetryPolicy(**defaults),
+        checkpoint=CheckpointSpec(every=every, resume=resume),
+    )
+
+
+class TestCheckpointRestart:
+    def test_restart_resumes_from_last_checkpoint(self):
+        eng, _m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=1, crash_at=4, total_steps=10))],
+            resilience=cp_spec(every=2),
+        )
+        sav.launch_workflow()
+        eng.run()
+        rec = sav.record("A")
+        assert rec.current.state == TaskState.COMPLETED
+        assert rec.incarnations == 2
+        # Crash fired during step 4; the step-4 checkpoint was saved at the
+        # end of step 3, so the restart picks up exactly where it crashed.
+        assert rec.current.notes["first_step"] == 4
+        assert rec.current.notes["last_step"] == 10  # ran through all 10 steps
+        # The retry only re-ran the remaining steps, not the whole app.
+        assert rec.current.notes["steps_this_run"] == 6
+
+    def test_no_checkpoint_spec_restarts_from_zero(self):
+        eng, _m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=1, crash_at=4, total_steps=10))],
+            resilience=ResilienceSpec(
+                retry=RetryPolicy(max_retries=3, backoff_base=1.0, jitter=0.0)
+            ),
+        )
+        sav.launch_workflow()
+        eng.run()
+        rec = sav.record("A")
+        assert rec.current.state == TaskState.COMPLETED
+        assert rec.current.notes["first_step"] == 0
+        assert rec.current.notes["steps_this_run"] == 10
+
+    def test_resume_false_ignores_saved_checkpoints(self):
+        eng, _m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=1, crash_at=4, total_steps=10))],
+            resilience=cp_spec(every=2, resume=False),
+        )
+        sav.launch_workflow()
+        eng.run()
+        rec = sav.record("A")
+        assert rec.current.state == TaskState.COMPLETED
+        assert rec.current.notes["first_step"] == 0
+
+    def test_multiple_crashes_make_forward_progress(self):
+        eng, _m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=2, crash_at=4, total_steps=12))],
+            resilience=cp_spec(every=2, max_retries=5),
+        )
+        sav.launch_workflow()
+        eng.run()
+        rec = sav.record("A")
+        assert rec.current.state == TaskState.COMPLETED
+        assert rec.incarnations == 3
+        # Every incarnation after the first resumed at the crash frontier.
+        assert rec.history[1].notes["first_step"] == 4
+        assert rec.current.notes["first_step"] == 4
+        assert rec.current.notes["last_step"] == 12

@@ -1,0 +1,140 @@
+"""Node circuit breaker: blame windows, cooldown, placement exclusion."""
+
+from repro.resilience import NodeQuarantine, QuarantineSpec, ResilienceSpec, RetryPolicy
+from repro.wms import TaskState
+
+from tests.resilience.conftest import flaky_app_factory, make_sim, make_task
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestNodeQuarantineUnit:
+    def test_trips_after_threshold_in_window(self):
+        clock = FakeClock()
+        q = NodeQuarantine(QuarantineSpec(failures=3, window=100.0, cooldown=50.0), clock)
+        assert not q.record_failure("n0")
+        assert not q.record_failure("n0")
+        assert q.record_failure("n0")  # third within the window: trips
+        assert q.is_quarantined("n0")
+        assert q.active() == {"n0"}
+        assert [e.kind for e in q.history] == ["quarantined"]
+
+    def test_old_failures_pruned(self):
+        clock = FakeClock()
+        q = NodeQuarantine(QuarantineSpec(failures=2, window=10.0, cooldown=50.0), clock)
+        q.record_failure("n0")
+        clock.t = 20.0  # first failure ages out of the window
+        assert not q.record_failure("n0")
+        assert not q.is_quarantined("n0")
+
+    def test_cooldown_release_and_rearm(self):
+        clock = FakeClock()
+        q = NodeQuarantine(QuarantineSpec(failures=1, window=10.0, cooldown=30.0), clock)
+        assert q.record_failure("n0")
+        clock.t = 29.0
+        assert q.is_quarantined("n0")
+        clock.t = 31.0
+        assert not q.is_quarantined("n0")  # lazily released
+        assert [e.kind for e in q.history] == ["quarantined", "released"]
+        clock.t = 40.0
+        assert q.record_failure("n0")  # trips again after release
+        assert q.is_quarantined("n0")
+
+    def test_repeated_failure_rearms_cooldown(self):
+        clock = FakeClock()
+        q = NodeQuarantine(QuarantineSpec(failures=1, window=100.0, cooldown=30.0), clock)
+        q.record_failure("n0")
+        clock.t = 20.0
+        assert not q.record_failure("n0")  # already tripped: not "newly"
+        clock.t = 45.0  # past the first cooldown, within the re-armed one
+        assert q.is_quarantined("n0")
+
+    def test_blamed_counts_within_window(self):
+        clock = FakeClock()
+        q = NodeQuarantine(QuarantineSpec(failures=5, window=10.0, cooldown=30.0), clock)
+        q.record_failure("n0")
+        q.record_failure("n0")
+        assert q.blamed("n0") == 2
+        assert q.blamed("n1") == 0
+
+
+class TestQuarantineEndToEnd:
+    def _spec(self, failures=2):
+        return ResilienceSpec(
+            retry=RetryPolicy(max_retries=5, backoff_base=1.0, jitter=0.0),
+            quarantine=QuarantineSpec(failures=failures, window=1e6, cooldown=1e6),
+        )
+
+    def test_repeated_crashes_quarantine_node_and_move_task(self):
+        eng, _m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=2, crash_at=1, total_steps=5),
+                       nprocs=8)],
+            resilience=self._spec(failures=2),
+        )
+        sav.launch_workflow()
+        eng.run(until=1.0)
+        first_nodes = set(sav.record("A").current.resources.node_ids)
+        eng.run()
+        rec = sav.record("A")
+        assert rec.current.state == TaskState.COMPLETED
+        assert rec.incarnations == 3
+        # After two blamed failures the original node is out: the final
+        # incarnation avoids it entirely.
+        quarantined = sav.quarantine.active()
+        assert first_nodes & quarantined
+        assert not set(rec.current.resources.node_ids) & quarantined
+        assert sav.trace.points_for(label=f"quarantine:{sorted(quarantined)[0]}")
+
+    def test_node_status_reports_quarantined(self):
+        eng, _m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=2, crash_at=1, total_steps=5))],
+            resilience=self._spec(failures=2),
+        )
+        sav.launch_workflow()
+        eng.run()
+        status = sav.get_resource_status()
+        assert "quarantined" in status.values()
+
+    def test_arbitration_shadow_excludes_quarantined_nodes(self):
+        from repro.core.arbitration import _Shadow
+
+        eng, _m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=0, total_steps=50), nprocs=8)],
+            resilience=self._spec(failures=1),
+        )
+        sav.launch_workflow()
+        eng.run(until=2.0)
+        victim_node = sorted(sav.rm.healthy_node_ids())[0]
+        sav.quarantine.record_failure(victim_node)
+        shadow = _Shadow(sav)
+        rs = shadow.place(8, None)
+        assert victim_node not in rs.node_ids
+
+    def test_node_failure_blames_only_dead_node(self):
+        from repro.cluster.failures import FailureInjector
+
+        eng, m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=0, total_steps=50),
+                       nprocs=60)],  # spans two summit nodes (42 cores each)
+            resilience=self._spec(failures=1),
+        )
+        inj = FailureInjector(eng, m)
+        inj.subscribe_failure(lambda node, _t: sav.handle_node_failure(node.node_id))
+        sav.launch_workflow()
+        eng.run(until=3.0)
+        nodes = set(sav.record("A").current.resources.node_ids)
+        assert len(nodes) == 2
+        dead = sorted(nodes)[0]
+        survivor = sorted(nodes)[1]
+        inj.fail_node_at(5.0, dead)
+        eng.run(until=10.0)
+        # With failures=1 a single blame quarantines: only the dead node
+        # was blamed, never the surviving nodes of the killed instance.
+        assert dead in sav.quarantine.active()
+        assert survivor not in sav.quarantine.active()

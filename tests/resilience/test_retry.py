@@ -1,0 +1,120 @@
+"""Launcher-level retry/backoff: budgets, timing, deliberate-kill rules."""
+
+import pytest
+
+from repro.resilience import ResilienceSpec, RetryPolicy
+from repro.sim.rng import RngRegistry
+from repro.wms import TaskState
+
+from tests.resilience.conftest import flaky_app_factory, make_sim, make_task
+
+
+def retry_spec(**kw):
+    defaults = dict(max_retries=3, backoff_base=1.0, backoff_factor=2.0,
+                    backoff_max=60.0, jitter=0.0)
+    defaults.update(kw)
+    return ResilienceSpec(retry=RetryPolicy(**defaults))
+
+
+class TestRetry:
+    def test_crashed_task_is_relaunched_and_completes(self):
+        eng, _m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=1, crash_at=3, total_steps=6))],
+            resilience=retry_spec(),
+        )
+        sav.launch_workflow()
+        eng.run()
+        rec = sav.record("A")
+        assert rec.incarnations == 2
+        assert rec.current.state == TaskState.COMPLETED
+        assert rec.history[0].state == TaskState.FAILED
+
+    def test_budget_exhaustion(self):
+        eng, _m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=10**9, crash_at=1, total_steps=6))],
+            resilience=retry_spec(max_retries=2),
+        )
+        sav.launch_workflow()
+        eng.run()
+        rec = sav.record("A")
+        assert rec.incarnations == 3  # original + 2 retries
+        assert rec.retry_exhausted
+        assert rec.current.state == TaskState.FAILED
+        exhausted = sav.trace.points_for(label="retry-exhausted:A")
+        assert len(exhausted) == 1 and exhausted[0].category == "failure"
+
+    def test_backoff_delays_follow_named_stream(self):
+        seed = 7
+        policy = RetryPolicy(max_retries=3, backoff_base=2.0, backoff_factor=2.0,
+                             backoff_max=100.0, jitter=0.25)
+        eng, _m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=10**9, crash_at=1, total_steps=6))],
+            resilience=ResilienceSpec(retry=policy),
+            seed=seed,
+        )
+        sav.launch_workflow()
+        eng.run()
+        scheduled = sav.trace.points_for(label="retry-scheduled:A")
+        assert len(scheduled) == 3
+        # Replaying the named stream reproduces the jittered delays exactly.
+        replay = RngRegistry(seed).stream("resilience:backoff")
+        expected = [policy.delay(k, replay) for k in range(3)]
+        assert [p.meta["delay"] for p in scheduled] == expected
+        assert expected[0] < expected[1] < expected[2]  # backoff grows
+
+    def test_completion_resets_budget(self):
+        eng, _m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=2, crash_at=2, total_steps=5))],
+            resilience=retry_spec(max_retries=3),
+        )
+        sav.launch_workflow()
+        eng.run()
+        rec = sav.record("A")
+        assert rec.current.state == TaskState.COMPLETED
+        assert rec.retries_used == 0
+        assert not rec.retry_exhausted
+
+    def test_orchestrated_kill_not_retried(self):
+        eng, _m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=0, total_steps=100))],
+            resilience=retry_spec(),
+        )
+        sav.launch_workflow()
+        eng.run(until=5.0)
+        eng.run_process(sav.stop_task("A", graceful=False))
+        eng.run()
+        rec = sav.record("A")
+        assert rec.current.state == TaskState.FAILED  # non-graceful kill: 137
+        assert rec.current.kill_cause == "orchestrated"
+        assert rec.incarnations == 1
+        assert rec.retries_used == 0
+
+    def test_no_resilience_means_no_retries(self):
+        eng, _m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=10**9, crash_at=1, total_steps=6))],
+        )
+        sav.launch_workflow()
+        eng.run()
+        assert sav.record("A").incarnations == 1
+        assert sav.record("A").current.state == TaskState.FAILED
+
+    def test_node_failure_death_is_retried_off_the_dead_node(self):
+        from repro.cluster.failures import FailureInjector
+
+        eng, m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=0, total_steps=40), nprocs=8)],
+            resilience=retry_spec(),
+        )
+        inj = FailureInjector(eng, m)
+        inj.subscribe_failure(lambda node, _t: sav.handle_node_failure(node.node_id))
+        sav.launch_workflow()
+        eng.run(until=3.0)
+        first_nodes = set(sav.record("A").current.resources.node_ids)
+        dead = sorted(first_nodes)[0]
+        inj.fail_node_at(5.0, dead)
+        eng.run()
+        rec = sav.record("A")
+        assert rec.incarnations == 2
+        assert rec.history[0].kill_cause == "node-failure"
+        assert rec.current.state == TaskState.COMPLETED
+        assert dead not in rec.current.resources.node_ids

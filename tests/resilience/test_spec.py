@@ -1,0 +1,107 @@
+"""Validation and math of the resilience configuration dataclasses."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ResilienceError
+from repro.resilience import (
+    CheckpointSpec,
+    FaultModelSpec,
+    QuarantineSpec,
+    ResilienceSpec,
+    RetryPolicy,
+    WatchdogSpec,
+)
+from repro.sim.rng import RngRegistry
+
+
+class TestRetryPolicy:
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(backoff_base=2.0, backoff_factor=2.0, backoff_max=10.0, jitter=0.0)
+        rng = np.random.default_rng(0)
+        assert policy.delay(0, rng) == 2.0
+        assert policy.delay(1, rng) == 4.0
+        assert policy.delay(2, rng) == 8.0
+        assert policy.delay(3, rng) == 10.0  # capped
+        assert policy.delay(10, rng) == 10.0
+
+    def test_jitter_bounded_and_from_stream(self):
+        policy = RetryPolicy(backoff_base=4.0, backoff_factor=1.0, backoff_max=4.0, jitter=0.5)
+        rng = RngRegistry(3).stream("resilience:backoff")
+        delays = [policy.delay(0, rng) for _ in range(50)]
+        assert all(4.0 <= d < 6.0 for d in delays)
+        # Same seed, same stream name -> identical jitter sequence.
+        rng2 = RngRegistry(3).stream("resilience:backoff")
+        assert delays == [policy.delay(0, rng2) for _ in range(50)]
+
+    def test_exhausted(self):
+        policy = RetryPolicy(max_retries=2)
+        assert not policy.exhausted(0)
+        assert not policy.exhausted(1)
+        assert policy.exhausted(2)
+
+    def test_validation(self):
+        with pytest.raises(ResilienceError):
+            RetryPolicy(max_retries=-1).validate()
+        with pytest.raises(ResilienceError):
+            RetryPolicy(backoff_factor=0.5).validate()
+        with pytest.raises(ResilienceError):
+            RetryPolicy(jitter=1.5).validate()
+
+
+class TestWatchdogSpec:
+    def test_validation(self):
+        WatchdogSpec().validate()
+        with pytest.raises(ResilienceError):
+            WatchdogSpec(heartbeat_timeout=0).validate()
+        with pytest.raises(ResilienceError):
+            WatchdogSpec(poll=0).validate()
+        with pytest.raises(ResilienceError):
+            WatchdogSpec(kill_code=1).validate()  # must look like a signal code
+
+
+class TestQuarantineSpec:
+    def test_validation(self):
+        QuarantineSpec().validate()
+        with pytest.raises(ResilienceError):
+            QuarantineSpec(failures=0).validate()
+        with pytest.raises(ResilienceError):
+            QuarantineSpec(window=0).validate()
+
+
+class TestFaultModelSpec:
+    def test_validation(self):
+        FaultModelSpec().validate()
+        with pytest.raises(ResilienceError):
+            FaultModelSpec(node_dist="zipf").validate()
+        with pytest.raises(ResilienceError):
+            FaultModelSpec(node_mtbf=-1).validate()
+        with pytest.raises(ResilienceError):
+            FaultModelSpec(msg_drop_prob=1.0).validate()
+        with pytest.raises(ResilienceError):
+            FaultModelSpec(stage_drop_prob=-0.1).validate()
+
+    def test_any_enabled(self):
+        assert not FaultModelSpec().any_enabled
+        assert FaultModelSpec(node_mtbf=10.0).any_enabled
+        assert FaultModelSpec(msg_drop_prob=0.1).any_enabled
+        assert FaultModelSpec(stage_drop_prob=0.1).any_enabled
+
+    def test_interarrival_means_match_mtbf(self):
+        rng = np.random.default_rng(0)
+        exp = FaultModelSpec(node_mtbf=100.0)
+        draws = [exp.interarrival(100.0, rng) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(100.0, rel=0.1)
+        wb = FaultModelSpec(node_mtbf=100.0, node_dist="weibull", weibull_shape=1.5)
+        draws = [wb.interarrival(100.0, rng) for _ in range(4000)]
+        # Weibull is scaled so its mean equals the MTBF too.
+        assert np.mean(draws) == pytest.approx(100.0, rel=0.1)
+
+
+class TestResilienceSpec:
+    def test_validate_cascades(self):
+        ResilienceSpec().validate()  # everything off is fine
+        with pytest.raises(ResilienceError):
+            ResilienceSpec(retry=RetryPolicy(max_retries=-1)).validate()
+        with pytest.raises(ResilienceError):
+            ResilienceSpec(checkpoint=CheckpointSpec(every=-1)).validate()

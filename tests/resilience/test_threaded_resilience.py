@@ -1,0 +1,123 @@
+"""Wall-clock mirror of the recovery layer: threaded retry and watchdog."""
+
+import time
+
+from repro.resilience import ResilienceSpec, RetryPolicy, WatchdogSpec
+from repro.runtime.threaded import LiveTaskSpec, ThreadedDyflow
+
+
+def fast_retry(**kw):
+    defaults = dict(max_retries=3, backoff_base=0.05, backoff_factor=1.0,
+                    backoff_max=0.2, jitter=0.0)
+    defaults.update(kw)
+    return RetryPolicy(**defaults)
+
+
+def make_runner(tasks, resilience):
+    return ThreadedDyflow("LIVE", tasks, poll_interval=0.05, warmup=0.2,
+                          settle=0.2, resilience=resilience)
+
+
+def status_records(runner, name):
+    with runner.hub_lock:
+        path = f"status/{runner.workflow_id}/{name}"
+        if not runner.hub.filesystem.exists(path):
+            return []
+        return list(runner.hub.filesystem.read(path))
+
+
+def wait_for(pred, timeout=10.0):
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        if pred():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+class TestThreadedRetry:
+    def test_crashed_task_is_retried_to_completion(self):
+        crashed = {"done": False}
+
+        def flaky(step, _w):
+            if step == 2 and not crashed["done"]:
+                crashed["done"] = True
+                raise RuntimeError("injected")
+            time.sleep(0.01)
+
+        runner = make_runner([LiveTaskSpec("T", flaky, total_steps=5)],
+                             ResilienceSpec(retry=fast_retry()))
+        runner.start()
+        # wait_until_done() can fire in the gap between the crash and the
+        # backoff timer; poll the status records for the clean exit instead.
+        assert wait_for(lambda: any(r["code"] == 0 for r in status_records(runner, "T")))
+        runner.shutdown()
+        records = status_records(runner, "T")
+        assert [r["code"] for r in records] == [1, 0]
+        assert [r["incarnation"] for r in records] == [0, 1]
+        assert len(runner.retries) == 1
+        assert runner.retries[0][1] == "T" and runner.retries[0][2] == 1
+
+    def test_retry_budget_exhaustion(self):
+        def always_boom(_step, _w):
+            raise RuntimeError("x")
+
+        runner = make_runner([LiveTaskSpec("T", always_boom, total_steps=5)],
+                             ResilienceSpec(retry=fast_retry(max_retries=2)))
+        runner.start()
+        assert wait_for(lambda: "T" in runner.retry_exhausted)
+        runner.shutdown()
+        records = status_records(runner, "T")
+        assert len(records) == 3  # original + 2 retries
+        assert all(r["code"] == 1 for r in records)
+
+    def test_no_policy_means_no_retry(self):
+        def boom(_step, _w):
+            raise RuntimeError("x")
+
+        runner = make_runner([LiveTaskSpec("T", boom, total_steps=5)], None)
+        runner.start()
+        assert runner.wait_until_done(timeout=10.0)
+        time.sleep(0.3)  # a retry timer would fire well within this window
+        runner.shutdown()
+        records = status_records(runner, "T")
+        assert [r["code"] for r in records] == [1]
+        assert runner.retries == []
+
+
+class TestThreadedWatchdog:
+    def test_hung_task_is_abandoned_and_replaced(self):
+        hung = {"done": False}
+
+        def sticky(step, _w):
+            if step == 1 and not hung["done"]:
+                hung["done"] = True
+                time.sleep(2.0)  # far beyond the heartbeat timeout
+            time.sleep(0.01)
+
+        runner = make_runner(
+            [LiveTaskSpec("T", sticky, total_steps=4)],
+            ResilienceSpec(
+                retry=fast_retry(),
+                watchdog=WatchdogSpec(heartbeat_timeout=0.4, poll=0.1, kill_code=142),
+            ),
+        )
+        runner.start()
+        assert wait_for(lambda: any(r["code"] == 0 for r in status_records(runner, "T")))
+        assert runner.watchdog_kills and runner.watchdog_kills[0][1] == "T"
+        # Let the abandoned thread wake up and write its exit record too.
+        assert wait_for(lambda: any(r["code"] == 142 for r in status_records(runner, "T")))
+        runner.shutdown()
+        codes = sorted(r["code"] for r in status_records(runner, "T"))
+        assert codes == [0, 142]
+
+    def test_healthy_tasks_not_killed(self):
+        runner = make_runner(
+            [LiveTaskSpec("T", lambda s, w: time.sleep(0.02), total_steps=8)],
+            ResilienceSpec(watchdog=WatchdogSpec(heartbeat_timeout=1.0, poll=0.1)),
+        )
+        runner.start()
+        assert runner.wait_until_done(timeout=10.0)
+        runner.shutdown()
+        assert runner.watchdog_kills == []
+        assert status_records(runner, "T")[-1]["code"] == 0

@@ -1,0 +1,100 @@
+"""Heartbeat watchdog: hang detection and watchdog-triggered restart."""
+
+from repro.core.monitor import MonitorServer
+from repro.resilience import HeartbeatWatchdog, ResilienceSpec, RetryPolicy, WatchdogSpec
+from repro.wms import TaskState
+
+from tests.resilience.conftest import flaky_app_factory, make_sim, make_task
+
+
+def hang_at(eng, sav, name, time):
+    eng.call_at(time, lambda: sav.record(name).current.ctx.inject_hang())
+
+
+class TestWatchdog:
+    def test_hung_task_killed_and_restarted(self):
+        eng, _m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=0, total_steps=20, dt=1.0))],
+            resilience=ResilienceSpec(
+                retry=RetryPolicy(max_retries=3, backoff_base=1.0, jitter=0.0),
+                watchdog=WatchdogSpec(heartbeat_timeout=5.0, poll=1.0),
+            ),
+        )
+        dog = HeartbeatWatchdog(sav, sav.resilience.watchdog)
+        dog.start()
+        sav.launch_workflow()
+        hang_at(eng, sav, "A", 4.0)
+        eng.run(until=200.0)
+        rec = sav.record("A")
+        assert len(dog.kills) == 1
+        assert dog.kills[0].task == "A"
+        assert rec.incarnations == 2
+        assert rec.history[0].state == TaskState.FAILED
+        assert rec.history[0].exit_code == 142
+        assert rec.history[0].kill_cause == "watchdog"
+        assert rec.current.state == TaskState.COMPLETED
+        points = sav.trace.points_for(label="watchdog-kill:A")
+        assert points and points[0].category == "failure"
+
+    def test_healthy_task_never_killed(self):
+        eng, _m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=0, total_steps=20, dt=1.0))],
+            resilience=ResilienceSpec(watchdog=WatchdogSpec(heartbeat_timeout=5.0, poll=1.0)),
+        )
+        dog = HeartbeatWatchdog(sav, sav.resilience.watchdog)
+        dog.start()
+        sav.launch_workflow()
+        eng.run(until=100.0)
+        assert dog.kills == []
+        assert sav.record("A").current.state == TaskState.COMPLETED
+
+    def test_slow_task_spared_by_monitor_last_seen(self):
+        # The app's own heartbeat is stale (long steps), but the Monitor
+        # server keeps seeing envelopes: the dual signal prevents a false
+        # positive kill of a slow-but-alive task.
+        eng, _m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=0, total_steps=4, dt=20.0))],
+            resilience=ResilienceSpec(watchdog=WatchdogSpec(heartbeat_timeout=8.0, poll=1.0)),
+        )
+        server = MonitorServer()
+
+        def feed_last_seen():
+            server.last_seen["A"] = eng.now
+
+        for t in range(0, 100, 5):
+            eng.call_at(float(t), feed_last_seen)
+        dog = HeartbeatWatchdog(sav, sav.resilience.watchdog, server=server)
+        dog.start()
+        sav.launch_workflow()
+        eng.run(until=100.0)
+        assert dog.kills == []
+        assert sav.record("A").current.state == TaskState.COMPLETED
+
+    def test_stopped_watchdog_does_nothing(self):
+        eng, _m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=0, total_steps=30, dt=1.0))],
+            resilience=ResilienceSpec(watchdog=WatchdogSpec(heartbeat_timeout=2.0, poll=1.0)),
+        )
+        dog = HeartbeatWatchdog(sav, sav.resilience.watchdog)
+        dog.start()
+        dog.stop()
+        sav.launch_workflow()
+        hang_at(eng, sav, "A", 3.0)
+        eng.run(until=50.0)
+        assert dog.kills == []
+        assert sav.record("A").current.state == TaskState.RUNNING  # still hung
+
+    def test_hang_without_retry_policy_just_fails(self):
+        eng, _m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=0, total_steps=20, dt=1.0))],
+            resilience=ResilienceSpec(watchdog=WatchdogSpec(heartbeat_timeout=5.0, poll=1.0)),
+        )
+        dog = HeartbeatWatchdog(sav, sav.resilience.watchdog)
+        dog.start()
+        sav.launch_workflow()
+        hang_at(eng, sav, "A", 4.0)
+        eng.run(until=100.0)
+        rec = sav.record("A")
+        assert rec.incarnations == 1
+        assert rec.current.state == TaskState.FAILED
+        assert rec.current.exit_code == 142

@@ -1,0 +1,141 @@
+"""<resilience> XML: parsing, round-trip, validation, bootstrap wiring."""
+
+import pytest
+
+from repro.errors import ResilienceError, XmlSpecError
+from repro.resilience import (
+    CheckpointSpec,
+    FaultModelSpec,
+    QuarantineSpec,
+    ResilienceSpec,
+    RetryPolicy,
+    WatchdogSpec,
+)
+from repro.xmlspec import DyflowSpec, parse_dyflow_xml, write_dyflow_xml
+
+from tests.resilience.conftest import flaky_app_factory, make_sim, make_task
+
+FULL = """
+<dyflow>
+  <resilience>
+    <retry max-retries="5" backoff-base="1.5" backoff-factor="3.0"
+           backoff-max="90.0" jitter="0.1"/>
+    <watchdog heartbeat-timeout="60.0" poll="5.0" kill-code="142"/>
+    <quarantine failures="2" window="300.0" cooldown="900.0"/>
+    <checkpoint every="10" resume="true"/>
+    <faults node-mtbf="3600.0" node-dist="weibull" weibull-shape="1.2"
+            node-repair-time="120.0" task-crash-mtbf="7200.0"
+            task-hang-mtbf="0.0" msg-drop-prob="0.05" stage-drop-prob="0.02"/>
+  </resilience>
+</dyflow>
+"""
+
+
+class TestParse:
+    def test_full_section(self):
+        spec = parse_dyflow_xml(FULL)
+        res = spec.resilience
+        assert res.retry == RetryPolicy(max_retries=5, backoff_base=1.5,
+                                        backoff_factor=3.0, backoff_max=90.0, jitter=0.1)
+        assert res.watchdog == WatchdogSpec(heartbeat_timeout=60.0, poll=5.0, kill_code=142)
+        assert res.quarantine == QuarantineSpec(failures=2, window=300.0, cooldown=900.0)
+        assert res.checkpoint == CheckpointSpec(every=10, resume=True)
+        assert res.faults == FaultModelSpec(
+            node_mtbf=3600.0, node_dist="weibull", weibull_shape=1.2,
+            node_repair_time=120.0, task_crash_mtbf=7200.0,
+            task_hang_mtbf=0.0, msg_drop_prob=0.05, stage_drop_prob=0.02)
+
+    def test_attribute_defaults(self):
+        spec = parse_dyflow_xml("<dyflow><resilience><retry/><watchdog/></resilience></dyflow>")
+        assert spec.resilience.retry == RetryPolicy()
+        assert spec.resilience.watchdog == WatchdogSpec()
+        assert spec.resilience.quarantine is None
+        assert spec.resilience.faults is None
+
+    def test_no_section_means_none(self):
+        spec = parse_dyflow_xml("<dyflow/>")
+        assert spec.resilience is None
+
+    def test_duplicate_section_rejected(self):
+        with pytest.raises(XmlSpecError, match="duplicate"):
+            parse_dyflow_xml("<dyflow><resilience/><resilience/></dyflow>")
+
+    def test_unknown_child_rejected(self):
+        with pytest.raises(XmlSpecError, match="unexpected"):
+            parse_dyflow_xml("<dyflow><resilience><retries/></resilience></dyflow>")
+
+    def test_bad_boolean_rejected(self):
+        with pytest.raises(XmlSpecError, match="not a boolean"):
+            parse_dyflow_xml(
+                '<dyflow><resilience><checkpoint resume="maybe"/></resilience></dyflow>')
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(XmlSpecError, match="max-retry"):
+            parse_dyflow_xml(
+                '<dyflow><resilience><retry max-retry="7"/></resilience></dyflow>')
+
+    def test_non_numeric_attribute_rejected(self):
+        with pytest.raises(XmlSpecError, match="not an integer"):
+            parse_dyflow_xml(
+                '<dyflow><resilience><retry max-retries="three"/></resilience></dyflow>')
+        with pytest.raises(XmlSpecError, match="not a number"):
+            parse_dyflow_xml(
+                '<dyflow><resilience><watchdog poll="fast"/></resilience></dyflow>')
+
+    def test_bad_values_rejected_at_parse_time(self):
+        with pytest.raises(ResilienceError):
+            parse_dyflow_xml(
+                '<dyflow><resilience><retry max-retries="-2"/></resilience></dyflow>')
+        with pytest.raises(ResilienceError):
+            parse_dyflow_xml(
+                '<dyflow><resilience><faults node-dist="zipf"/></resilience></dyflow>')
+
+
+class TestRoundTrip:
+    def test_full_roundtrip(self):
+        spec = parse_dyflow_xml(FULL)
+        again = parse_dyflow_xml(write_dyflow_xml(spec))
+        assert again.resilience == spec.resilience
+
+    def test_partial_roundtrip(self):
+        spec = DyflowSpec(resilience=ResilienceSpec(
+            retry=RetryPolicy(max_retries=1, jitter=0.0),
+            checkpoint=CheckpointSpec(every=7, resume=False),
+        ))
+        again = parse_dyflow_xml(write_dyflow_xml(spec))
+        assert again.resilience == spec.resilience
+
+    def test_absent_spec_writes_no_section(self):
+        text = write_dyflow_xml(DyflowSpec())
+        assert "<resilience>" not in text
+
+
+class TestBootstrap:
+    def test_bootstrap_configures_launcher_and_orchestrator(self):
+        from repro.xmlspec import configure_orchestrator
+
+        eng, _m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=0, total_steps=5))]
+        )
+        assert sav.resilience is None
+        orch = configure_orchestrator(sav, parse_dyflow_xml(FULL))
+        res = sav.resilience
+        assert res is not None and res.retry.max_retries == 5
+        assert sav.retry_policy == res.retry
+        assert sav.quarantine is not None
+        assert orch.watchdog is not None
+        assert orch.chaos is not None
+        assert orch.chaos.model.node_mtbf == 3600.0
+
+    def test_bootstrap_without_section_keeps_programmatic_spec(self):
+        from repro.xmlspec import configure_orchestrator
+
+        programmatic = ResilienceSpec(retry=RetryPolicy(max_retries=9))
+        eng, _m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=0, total_steps=5))],
+            resilience=programmatic,
+        )
+        orch = configure_orchestrator(sav, parse_dyflow_xml("<dyflow/>"))
+        assert sav.resilience == programmatic
+        assert orch.watchdog is None  # programmatic spec had no watchdog
+        assert orch.chaos is None

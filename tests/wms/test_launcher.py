@@ -226,3 +226,57 @@ class TestDependencyWiring:
     def test_request_resources_reports_static_allocation(self):
         _eng, _m, sav = make_setup()
         assert sav.request_resources(2) is False
+
+
+class TestWalltimeTimeout:
+    def test_kills_every_active_task_with_code_140(self):
+        eng, _m, sav = make_setup(tasks=[
+            TaskSpec("A", lambda: IterativeApp(ConstantModel(5.0), total_steps=100), nprocs=4),
+            TaskSpec("B", lambda: IterativeApp(ConstantModel(5.0), total_steps=100), nprocs=4),
+            TaskSpec("C", lambda: IterativeApp(ConstantModel(5.0), total_steps=100),
+                     nprocs=4, autostart=False),
+        ])
+        sav.launch_workflow()
+        eng.run(until=10.0)
+        sav.handle_walltime_timeout()
+        eng.run(until=20.0)
+        for name in ("A", "B"):
+            inst = sav.record(name).current
+            assert inst.state == TaskState.FAILED
+            assert inst.exit_code == 140
+            assert inst.kill_cause == "walltime"
+        assert sav.record("C").current is None  # never started, untouched
+
+    def test_emits_failure_trace_point(self):
+        eng, _m, sav = make_setup()
+        sav.launch_workflow()
+        eng.run(until=2.0)
+        sav.handle_walltime_timeout()
+        points = [p for p in sav.trace.points if p.label == "walltime-timeout"]
+        assert len(points) == 1
+        assert points[0].category == "failure"
+
+    def test_idempotent_when_nothing_active(self):
+        eng, _m, sav = make_setup(tasks=[
+            TaskSpec("A", lambda: IterativeApp(ConstantModel(1.0), total_steps=1), nprocs=4),
+        ])
+        sav.launch_workflow()
+        eng.run()  # A completes
+        sav.handle_walltime_timeout()  # no active tasks: only the trace point
+        assert sav.record("A").current.state == TaskState.COMPLETED
+
+    def test_walltime_kills_are_never_retried(self):
+        from repro.resilience import ResilienceSpec, RetryPolicy
+
+        eng, _m, sav = make_setup(tasks=[
+            TaskSpec("A", lambda: IterativeApp(ConstantModel(5.0), total_steps=100), nprocs=4),
+        ])
+        sav.configure_resilience(ResilienceSpec(retry=RetryPolicy(max_retries=3)))
+        sav.launch_workflow()
+        eng.run(until=10.0)
+        sav.handle_walltime_timeout()
+        eng.run()
+        rec = sav.record("A")
+        assert rec.current.state == TaskState.FAILED
+        assert rec.incarnations == 1  # deliberate kill: no resurrection
+        assert rec.retries_used == 0
