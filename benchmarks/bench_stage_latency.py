@@ -1,0 +1,125 @@
+"""Per-stage response-time breakdown of the DYFLOW control loop (§4.6).
+
+Runs the Gray-Scott scenario with telemetry enabled on both machine
+models and reports p50/p95 of the four stage-latency histograms the
+instrumentation fills:
+
+* ``stage.monitor.latency``     — envelope staleness at server ingest
+  (sensor read lag + transport), the paper's 0.2 s file / ≈0.5 s stream
+  figures;
+* ``stage.decision.latency``    — metric event → suggested action
+  (includes the policy's evaluation-frequency gate);
+* ``stage.arbitration.latency`` — suggestion batch → granted plan handoff;
+* ``stage.actuation.latency``   — plan execution, dominated by waiting
+  for graceful termination (the paper's ≈97 % share).
+
+Each test prints one ``BENCH {...}`` JSON line with the full breakdown,
+and the same payload rides on the pytest-benchmark ``extra_info``.
+The overhead test checks the NullTracer claim: an instrumented-but-
+disabled run must stay within 2 % wall time of the untraced seed path.
+"""
+
+import json
+import time
+
+from repro.experiments import run_gray_scott_experiment
+from repro.telemetry import TelemetrySpec
+
+from benchmarks.conftest import emit
+
+STAGES = ("monitor", "decision", "arbitration", "actuation")
+
+
+def stage_breakdown(machine: str) -> dict:
+    result = run_gray_scott_experiment(machine, use_dyflow=True,
+                                       telemetry=TelemetrySpec())
+    metrics = result.tracer.metrics
+    stages = {}
+    for stage in STAGES:
+        hist = metrics.histogram(f"stage.{stage}.latency")
+        stages[stage] = {
+            "count": hist.count,
+            "p50": round(hist.p50, 4),
+            "p95": round(hist.p95, 4),
+            "mean": round(hist.mean, 4),
+        }
+    response = metrics.histogram("plan.response")
+    return {
+        "machine": machine,
+        "makespan": round(result.makespan, 1),
+        "plans": len(result.plans),
+        "stages": stages,
+        "response": {"count": response.count,
+                     "p50": round(response.p50, 2),
+                     "p95": round(response.p95, 2)},
+    }
+
+
+def report(payload: dict) -> None:
+    lines = [
+        f"{'stage':<12} {'count':>6} {'p50(s)':>10} {'p95(s)':>10}",
+        *(
+            f"{stage:<12} {row['count']:>6} {row['p50']:>10.4f} {row['p95']:>10.4f}"
+            for stage, row in payload["stages"].items()
+        ),
+        f"plan response: p50={payload['response']['p50']}s "
+        f"p95={payload['response']['p95']}s over {payload['plans']} plans",
+    ]
+    emit(f"per-stage control-loop latency ({payload['machine']})", lines)
+    print("BENCH " + json.dumps(payload, sort_keys=True))
+
+
+def check(payload: dict) -> None:
+    for stage in STAGES:
+        row = payload["stages"][stage]
+        assert row["count"] > 0, f"no {stage} latency observations"
+        assert 0.0 <= row["p50"] <= row["p95"]
+    # The paper's shape: actuation (graceful stops) dominates, while
+    # monitor ingest stays sub-second.
+    assert payload["stages"]["actuation"]["p50"] > payload["stages"]["monitor"]["p50"]
+    assert payload["stages"]["monitor"]["p95"] < 1.0
+
+
+def test_stage_latency_summit(benchmark):
+    payload = benchmark.pedantic(lambda: stage_breakdown("summit"), rounds=1, iterations=1)
+    report(payload)
+    check(payload)
+    benchmark.extra_info["bench"] = payload
+
+
+def test_stage_latency_deepthought2(benchmark):
+    payload = benchmark.pedantic(lambda: stage_breakdown("deepthought2"), rounds=1, iterations=1)
+    report(payload)
+    check(payload)
+    benchmark.extra_info["bench"] = payload
+
+
+def test_null_tracer_overhead_below_two_percent(benchmark):
+    """Telemetry off (the default NullTracer path) vs the seed run."""
+
+    def timed(telemetry):
+        best = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            run_gray_scott_experiment("summit", use_dyflow=True, telemetry=telemetry)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    def measure():
+        return {"seed": timed(None), "disabled": timed(TelemetrySpec(enabled=False))}
+
+    out = benchmark.pedantic(measure, rounds=1, iterations=1)
+    overhead = out["disabled"] / out["seed"] - 1.0
+    payload = {
+        "seed_s": round(out["seed"], 4),
+        "disabled_s": round(out["disabled"], 4),
+        "overhead_pct": round(100 * overhead, 2),
+    }
+    emit(
+        "NullTracer overhead (telemetry disabled vs seed path)",
+        [f"seed {payload['seed_s']}s, disabled {payload['disabled_s']}s "
+         f"-> {payload['overhead_pct']:+.2f}% (budget < 2%)"],
+    )
+    print("BENCH " + json.dumps(payload, sort_keys=True))
+    assert overhead < 0.02, f"NullTracer overhead {100 * overhead:.2f}% exceeds 2%"
+    benchmark.extra_info["bench"] = payload

@@ -11,12 +11,28 @@ size whose pace sits inside the desired band.
 Run:  python examples/campaign_sweep.py
 """
 
-from repro.apps import AmdahlModel, ConstantModel, IterativeApp
-from repro.cluster import Allocation, summit
-from repro.core import ActionType, GroupBySpec, PolicyApplication, PolicySpec, SensorSpec
-from repro.runtime import DyflowOrchestrator
-from repro.sim import RngRegistry, SimEngine
-from repro.wms import Campaign, CouplingType, DependencySpec, Savanna, Sweep, TaskSpec, WorkflowSpec
+from repro.api import (
+    ActionType,
+    Allocation,
+    AmdahlModel,
+    Campaign,
+    ConstantModel,
+    CouplingType,
+    DependencySpec,
+    DyflowOrchestrator,
+    GroupBySpec,
+    IterativeApp,
+    PolicyApplication,
+    PolicySpec,
+    RngRegistry,
+    Savanna,
+    SensorSpec,
+    SimEngine,
+    summit,
+    Sweep,
+    TaskSpec,
+    WorkflowSpec,
+)
 
 INC_THRESHOLD, DEC_THRESHOLD = 16.0, 10.5
 

@@ -12,7 +12,7 @@ Run:  python examples/failure_recovery.py [summit|deepthought2]
 
 import sys
 
-from repro.experiments import render_gantt, run_lammps_experiment
+from repro.api import render_gantt, run_lammps_experiment
 
 
 def main(machine: str = "summit") -> None:

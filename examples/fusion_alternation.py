@@ -10,7 +10,7 @@ Run:  python examples/fusion_alternation.py [summit|deepthought2]
 
 import sys
 
-from repro.experiments import XGC_XML, render_gantt, run_xgc_experiment
+from repro.api import XGC_XML, render_gantt, run_xgc_experiment
 
 
 def main(machine: str = "summit") -> None:

@@ -12,8 +12,7 @@ Run:  python examples/insitu_rebalancing.py [summit|deepthought2]
 
 import sys
 
-from repro.apps.gray_scott import ANALYSIS_TASKS
-from repro.experiments import render_gantt, run_gray_scott_experiment
+from repro.api import ANALYSIS_TASKS, render_gantt, run_gray_scott_experiment
 
 
 def main(machine: str = "summit") -> None:

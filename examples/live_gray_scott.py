@@ -22,9 +22,17 @@ import time
 
 import numpy as np
 
-from repro.apps.kernels import GrayScottSolver, isosurface_cell_count
-from repro.core import ActionType, GroupBySpec, PolicyApplication, PolicySpec, SensorSpec
-from repro.runtime.threaded import LiveTaskSpec, ThreadedDyflow
+from repro.api import (
+    ActionType,
+    GrayScottSolver,
+    GroupBySpec,
+    isosurface_cell_count,
+    LiveTaskSpec,
+    PolicyApplication,
+    PolicySpec,
+    SensorSpec,
+    ThreadedDyflow,
+)
 
 GRID = (256, 256)
 TOTAL_STEPS = 40
@@ -63,25 +71,24 @@ def main() -> None:
         warmup=0.5,
         settle=0.5,
     )
-    runner.add_sensor(
-        SensorSpec("PACE", "TAUADIOS2", (GroupBySpec("task", "MAX"),)), task="Isosurface"
-    )
-    runner.add_sensor(
-        SensorSpec("STATUS", "ERRORSTATUS", (GroupBySpec("task", "FIRST"),)),
-        task="Isosurface", var=None,
-    )
+    runner.add_sensor(SensorSpec("PACE", "TAUADIOS2", (GroupBySpec("task", "MAX"),)))
+    runner.monitor_task("Isosurface", "PACE")
+    runner.add_sensor(SensorSpec("STATUS", "ERRORSTATUS", (GroupBySpec("task", "FIRST"),)))
+    runner.monitor_task("Isosurface", "STATUS", var=None)
     runner.add_policy(
         PolicySpec("RESTART_ON_FAILURE", "STATUS", "GT", 0.0, ActionType.RESTART,
-                   frequency=0.5),
+                   frequency=0.5)
+    )
+    runner.apply_policy(
         PolicyApplication("RESTART_ON_FAILURE", "LIVE-GS", ("Isosurface",),
-                          assess_task="Isosurface"),
+                          assess_task="Isosurface")
     )
 
     print(f"live run: Gray-Scott {GRID} solver + isosurface analysis "
           f"(injected crash at analysis step {CRASH_AT_STEP})")
     runner.start()
     finished = runner.wait_until_done(timeout=120.0)
-    runner.shutdown()
+    runner.stop()
 
     print(f"\nall tasks finished: {finished}; solver advanced {solver.step_count} PDE steps")
     print(f"isosurface analysis ran {runner._incarnations.get('Isosurface', 0)} incarnations "

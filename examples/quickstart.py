@@ -8,18 +8,26 @@ the analysis when its sliding-average loop time exceeds a threshold.
 Run:  python examples/quickstart.py
 """
 
-from repro.apps import AmdahlModel, ConstantModel, IterativeApp
-from repro.cluster import Allocation, summit
-from repro.core import (
+from repro.api import (
     ActionType,
+    Allocation,
+    AmdahlModel,
+    ConstantModel,
+    CouplingType,
+    DependencySpec,
+    DyflowOrchestrator,
     GroupBySpec,
+    IterativeApp,
     PolicyApplication,
     PolicySpec,
+    RngRegistry,
+    Savanna,
     SensorSpec,
+    SimEngine,
+    summit,
+    TaskSpec,
+    WorkflowSpec,
 )
-from repro.runtime import DyflowOrchestrator
-from repro.sim import RngRegistry, SimEngine
-from repro.wms import CouplingType, DependencySpec, Savanna, TaskSpec, WorkflowSpec
 
 
 def main() -> None:

@@ -8,7 +8,7 @@ the claims in the paper, each marked ✓/✗.
 Run:  python examples/reproduce_all.py        (~15 wall seconds)
 """
 
-from repro.experiments.report import build_report, format_report
+from repro.api import build_report, format_report
 
 
 def main() -> None:

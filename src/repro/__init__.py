@@ -10,6 +10,8 @@ clusters.
 
 Typical entry points:
 
+* :mod:`repro.api` — the stable public facade; everything user code
+  needs, in one import (what the ``examples/`` use).
 * :class:`repro.runtime.DyflowOrchestrator` — wire DYFLOW onto a
   workflow programmatically (see ``examples/quickstart.py``).
 * :func:`repro.xmlspec.parse_dyflow_xml` +
@@ -18,6 +20,7 @@ Typical entry points:
   in the paper's §4 (used by the ``benchmarks/`` harness).
 """
 
+from repro import api
 from repro.errors import ReproError
 from repro.sim import SimEngine
 from repro.cluster import BatchScheduler, deepthought2, summit
@@ -29,6 +32,7 @@ from repro.xmlspec import configure_orchestrator, parse_dyflow_xml, write_dyflow
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "ReproError",
     "SimEngine",
     "summit",

@@ -1,0 +1,175 @@
+"""The stable public API of the DYFLOW reproduction.
+
+``repro.api`` is the single import surface users should program against:
+
+    from repro.api import (
+        DyflowOrchestrator, Savanna, SimEngine, summit,
+        SensorSpec, PolicySpec, PolicyApplication, ActionType,
+    )
+
+Everything re-exported here is covered by the round-trip/integration
+test suite and keeps working across internal refactors; importing from
+the implementation packages (``repro.core``, ``repro.wms``, ...) still
+works but offers no such guarantee.  The examples under ``examples/``
+import exclusively from this module.
+
+The surface groups into:
+
+* **Simulation substrate** — :class:`SimEngine`, :class:`RngRegistry`.
+* **Cluster models** — :func:`summit`, :func:`deepthought2`,
+  :class:`Allocation`, :class:`BatchScheduler`.
+* **Workflows and the WMS** — :class:`WorkflowSpec`, :class:`TaskSpec`,
+  :class:`DependencySpec`, :class:`CouplingType`, :class:`Savanna`,
+  :class:`Campaign`, :class:`Sweep`, :class:`TaskState`.
+* **Applications** — :class:`IterativeApp`, the step-time models, the
+  real numerical kernels for the threaded driver.
+* **The four-stage control loop** — sensor/policy specs and the two
+  drivers (:class:`DyflowOrchestrator`, :class:`ThreadedDyflow`).
+* **XML interface** — :func:`parse_dyflow_xml`,
+  :func:`write_dyflow_xml`, :func:`configure_orchestrator`,
+  :class:`DyflowSpec`.
+* **Resilience** — :class:`ResilienceSpec` and its parts.
+* **Telemetry** — :class:`TelemetrySpec`, :class:`Tracer`, the metrics
+  registry and the Chrome trace exporter.
+* **Canned experiments** — ``run_*_experiment``, :func:`render_gantt`,
+  the paper XML documents, and the report builders.
+"""
+
+from repro.apps import AmdahlModel, ConstantModel, IterativeApp, PowerLawModel, RampModel
+from repro.apps.gray_scott import ANALYSIS_TASKS
+from repro.apps.kernels import GrayScottSolver, isosurface_cell_count
+from repro.cluster import Allocation, BatchScheduler, deepthought2, summit
+from repro.core import (
+    ActionPlan,
+    ActionType,
+    GroupBySpec,
+    JoinSpec,
+    MetricUpdate,
+    PolicyApplication,
+    PolicySpec,
+    SensorSpec,
+    SuggestedAction,
+)
+from repro.errors import ReproError
+from repro.experiments import (
+    GRAY_SCOTT_XML,
+    LAMMPS_XML,
+    XGC_XML,
+    ScenarioResult,
+    render_gantt,
+    run_gray_scott_experiment,
+    run_lammps_experiment,
+    run_xgc_experiment,
+)
+from repro.experiments.report import build_report, format_report
+from repro.resilience import (
+    ChaosEngine,
+    CheckpointSpec,
+    FaultModelSpec,
+    QuarantineSpec,
+    ResilienceSpec,
+    RetryPolicy,
+    WatchdogSpec,
+)
+from repro.runtime import DyflowOrchestrator, LiveTaskSpec, ThreadedDyflow
+from repro.sim import RngRegistry, SimEngine
+from repro.telemetry import (
+    JsonlEventLog,
+    MetricsRegistry,
+    NullTracer,
+    TelemetrySpec,
+    Tracer,
+    TraceSpan,
+    build_tracer,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.wms import (
+    Campaign,
+    CouplingType,
+    DependencySpec,
+    Savanna,
+    Sweep,
+    TaskSpec,
+    TaskState,
+    WorkflowSpec,
+)
+from repro.xmlspec import DyflowSpec, configure_orchestrator, parse_dyflow_xml, write_dyflow_xml
+
+__all__ = [
+    # simulation substrate
+    "SimEngine",
+    "RngRegistry",
+    # cluster models
+    "summit",
+    "deepthought2",
+    "Allocation",
+    "BatchScheduler",
+    # workflows and the WMS
+    "WorkflowSpec",
+    "TaskSpec",
+    "DependencySpec",
+    "CouplingType",
+    "TaskState",
+    "Savanna",
+    "Campaign",
+    "Sweep",
+    # applications
+    "IterativeApp",
+    "AmdahlModel",
+    "ConstantModel",
+    "PowerLawModel",
+    "RampModel",
+    "GrayScottSolver",
+    "isosurface_cell_count",
+    "ANALYSIS_TASKS",
+    # control loop
+    "SensorSpec",
+    "GroupBySpec",
+    "JoinSpec",
+    "PolicySpec",
+    "PolicyApplication",
+    "ActionType",
+    "SuggestedAction",
+    "MetricUpdate",
+    "ActionPlan",
+    "DyflowOrchestrator",
+    "ThreadedDyflow",
+    "LiveTaskSpec",
+    # XML interface
+    "parse_dyflow_xml",
+    "write_dyflow_xml",
+    "configure_orchestrator",
+    "DyflowSpec",
+    # resilience
+    "ResilienceSpec",
+    "RetryPolicy",
+    "WatchdogSpec",
+    "QuarantineSpec",
+    "CheckpointSpec",
+    "FaultModelSpec",
+    "ChaosEngine",
+    # telemetry
+    "TelemetrySpec",
+    "Tracer",
+    "NullTracer",
+    "TraceSpan",
+    "MetricsRegistry",
+    "JsonlEventLog",
+    "build_tracer",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    # canned experiments
+    "run_xgc_experiment",
+    "run_gray_scott_experiment",
+    "run_lammps_experiment",
+    "render_gantt",
+    "ScenarioResult",
+    "XGC_XML",
+    "GRAY_SCOTT_XML",
+    "LAMMPS_XML",
+    "build_report",
+    "format_report",
+    # errors
+    "ReproError",
+]

@@ -14,6 +14,7 @@ from typing import Callable
 from repro.cluster.resource_manager import place_cores
 from repro.core.lowlevel import ActionPlan, DegradationReport, LowLevelOp
 from repro.errors import ActuationError, AllocationError, LaunchError
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.wms.launcher import Savanna
 
 
@@ -24,6 +25,10 @@ class ActuationStage:
         self.launcher = launcher
         self.executed_plans: list[ActionPlan] = []
         self.failed_ops: list[tuple[str, str]] = []  # (plan_id, op description)
+        self.tracer: Tracer = NULL_TRACER
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        self.tracer = tracer
 
     def execute(self, plan: ActionPlan, on_done: Callable[[ActionPlan], None] | None = None):
         """Generator: run every op of *plan* in order; drive via a process.
@@ -36,7 +41,16 @@ class ActuationStage:
         :class:`~repro.core.lowlevel.DegradationReport` is attached to
         the plan.  Calls ``on_done(plan)`` at the end.
         """
+        tracer = self.tracer
         plan.execution_start = self.launcher.engine.now
+        plan_span = (
+            tracer.start_span(
+                "actuation.plan", "actuation", parent=None,
+                plan=plan.plan_id, ops=len(plan.ops),
+            )
+            if tracer.enabled
+            else None
+        )
         plan_failures: list[tuple[LowLevelOp, str]] = []
         for op in plan.ordered_ops():
             op.exec_start = self.launcher.engine.now
@@ -55,9 +69,33 @@ class ActuationStage:
                 )
             finally:
                 op.exec_end = self.launcher.engine.now
+            if plan_span is not None:
+                tracer.add_span(
+                    f"op.{op.op}", "actuation",
+                    start=op.exec_start, end=op.exec_end, parent=plan_span,
+                    task=op.task, reason=op.reason,
+                )
         if plan_failures:
             self._compensate(plan, plan_failures)
+            if tracer.enabled:
+                tracer.metrics.counter("actuation.degraded_plans").inc()
+                tracer.metrics.counter("actuation.failed_ops").inc(len(plan_failures))
         plan.execution_end = self.launcher.engine.now
+        if plan_span is not None:
+            tracer.end_span(plan_span, failed_ops=len(plan_failures))
+            metrics = tracer.metrics
+            # Per-stage response-time breakdown (paper §4.6): queueing in
+            # Arbitration's handoff, then the execution itself (dominated
+            # by graceful stops), then the full event-to-response time.
+            metrics.histogram("stage.arbitration.latency").observe(
+                max(0.0, plan.execution_start - plan.created)
+            )
+            metrics.histogram("stage.actuation.latency").observe(
+                plan.execution_end - plan.execution_start
+            )
+            metrics.histogram("plan.response").observe(
+                plan.execution_end - plan.created
+            )
         self.executed_plans.append(plan)
         if on_done is not None:
             on_done(plan)

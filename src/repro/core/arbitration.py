@@ -31,6 +31,7 @@ from repro.core.actions import ActionType, SuggestedAction, actions_conflict
 from repro.core.lowlevel import PHASE_ACQUIRE, PHASE_RELEASE, ActionPlan, LowLevelOp
 from repro.core.rules import ArbitrationRules
 from repro.errors import AllocationError
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.util.ids import IdGenerator
 from repro.wms.launcher import Savanna
 
@@ -109,6 +110,10 @@ class ArbitrationStage:
         self._ids = IdGenerator()
         self._gate_until: float | None = None
         self._in_flight: ActionPlan | None = None
+        self.tracer: Tracer = NULL_TRACER
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        self.tracer = tracer
 
     # -- lifecycle --------------------------------------------------------------
     def begin(self, now: float) -> None:
@@ -137,6 +142,34 @@ class ArbitrationStage:
 
         Returns a plan for Actuation, or None when gated / nothing to do.
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._arbitrate(suggestions, now)
+        span = tracer.start_span(
+            "arbitration.arbitrate", "arbitration", suggestions=len(suggestions)
+        )
+        gated_before = self.discarded_batches
+        plan = self._arbitrate(suggestions, now)
+        metrics = tracer.metrics
+        if plan is not None:
+            metrics.counter("arbitration.plans").inc()
+            metrics.counter("arbitration.grants").inc(len(plan.accepted))
+            metrics.counter("arbitration.denials").inc(len(plan.discarded))
+            if plan.victims:
+                metrics.counter("arbitration.victims").inc(len(plan.victims))
+        if self.discarded_batches > gated_before:
+            metrics.counter("arbitration.gated_batches").inc(
+                self.discarded_batches - gated_before
+            )
+        metrics.gauge("arbitration.waiting").set(len(self.waiting))
+        tracer.end_span(
+            span,
+            plan=plan.plan_id if plan is not None else None,
+            ops=len(plan.ops) if plan is not None else 0,
+        )
+        return plan
+
+    def _arbitrate(self, suggestions: list[SuggestedAction], now: float) -> ActionPlan | None:
         if self.gated(now):
             if suggestions:
                 self.discarded_batches += 1

@@ -14,6 +14,7 @@ from repro.core.actions import SuggestedAction
 from repro.core.events import MetricUpdate
 from repro.core.policy import PolicyApplication, PolicyRuntime, PolicySpec
 from repro.errors import PolicyError
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.util.jsonmsg import Envelope, SequenceTracker
 
 
@@ -26,6 +27,10 @@ class DecisionStage:
         self._seq = SequenceTracker()
         self.updates_seen = 0
         self.updates_matched = 0
+        self.tracer: Tracer = NULL_TRACER
+
+    def set_tracer(self, tracer: Tracer) -> None:
+        self.tracer = tracer
 
     # -- configuration ------------------------------------------------------------
     def add_policy(self, spec: PolicySpec) -> None:
@@ -60,9 +65,21 @@ class DecisionStage:
 
     def tick(self, now: float) -> list[SuggestedAction]:
         """Evaluate due policies; returns this round's suggestions."""
+        tracer = self.tracer
+        span = tracer.start_span("decision.tick", "decision") if tracer.enabled else None
         suggestions: list[SuggestedAction] = []
         for rt in self._runtimes:
             suggestions.extend(rt.evaluate(now))
+        if span is not None:
+            tracer.end_span(span, suggestions=len(suggestions))
+            if suggestions:
+                tracer.metrics.counter("decision.suggestions").inc(len(suggestions))
+                # Event-to-suggestion latency: from the triggering data's
+                # timestamp to the tick that emitted the suggestion
+                # (transport lag + the policy's frequency gate).
+                hist = tracer.metrics.histogram("stage.decision.latency")
+                for s in suggestions:
+                    hist.observe(max(0.0, now - s.trigger_time))
         return suggestions
 
     def tick_envelope(self, now: float) -> Envelope | None:

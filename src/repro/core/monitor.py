@@ -21,6 +21,8 @@ from repro.cluster.machine import MachinePerf
 from repro.core.events import MetricUpdate
 from repro.core.sensors.base import SensorInstance
 from repro.errors import SensorError
+from repro.telemetry.tracer import NULL_TRACER, Tracer
+from repro.util.deprecation import warn_once
 from repro.util.jsonmsg import Envelope, OutOfOrderFilter, SequenceTracker
 
 
@@ -144,29 +146,60 @@ class MonitorServer:
         # Per-task time of the freshest accepted update — the watchdog's
         # transport-level liveness signal (a hung app stops producing).
         self.last_seen: dict[str, float] = {}
+        self.tracer: Tracer = NULL_TRACER
+        self._clock: Callable[[], float] | None = None
 
     def set_sink(self, on_updates: Callable[[list[MetricUpdate]], None]) -> None:
         self._on_updates = on_updates
+
+    def set_tracer(self, tracer: Tracer, clock: Callable[[], float] | None = None) -> None:
+        """Attach a tracer; *clock* (runtime time) enables ingest-latency metrics."""
+        self.tracer = tracer
+        self._clock = clock
 
     @property
     def dropped(self) -> int:
         return self._filter.dropped
 
-    def receive(self, env: Envelope) -> list[MetricUpdate]:
+    def receive(self, envelope: Envelope | None = None, *, env: Envelope | None = None) -> list[MetricUpdate]:
         """Ingest one client envelope; returns the forwarded updates."""
+        if envelope is None:
+            if env is None:
+                raise TypeError("receive() missing required argument: 'envelope'")
+            warn_once(
+                "MonitorServer.receive:env",
+                "MonitorServer.receive(env=...) is deprecated; use the "
+                "'envelope' parameter name",
+            )
+            envelope = env
         self.received += 1
-        if env.kind != "sensor-update":
-            raise SensorError(f"monitor server got unexpected message kind {env.kind!r}")
-        if not self._filter.accept(env):
+        if envelope.kind != "sensor-update":
+            raise SensorError(f"monitor server got unexpected message kind {envelope.kind!r}")
+        if not self._filter.accept(envelope):
+            if self.tracer.enabled:
+                self.tracer.metrics.counter("monitor.envelopes_dropped").inc()
             return []
-        updates = [MetricUpdate.from_dict(d) for d in env.payload.get("updates", [])]
+        updates = [MetricUpdate.from_dict(d) for d in envelope.payload.get("updates", [])]
         self.forwarded += len(updates)
         for u in updates:
             prev = self.last_seen.get(u.task)
-            if prev is None or env.time > prev:
-                self.last_seen[u.task] = env.time
+            if prev is None or envelope.time > prev:
+                self.last_seen[u.task] = envelope.time
         if self.record_history:
             self.history.extend(updates)
+        if self.tracer.enabled:
+            metrics = self.tracer.metrics
+            metrics.counter("monitor.envelopes").inc()
+            metrics.counter("monitor.updates").inc(len(updates))
+            attrs = {"sender": envelope.sender, "updates": len(updates)}
+            if self._clock is not None:
+                # Transport latency: how stale the data is on arrival
+                # (read lag + network lag under the simulated driver).
+                lag = max(0.0, self._clock() - envelope.time)
+                metrics.histogram("stage.monitor.latency").observe(lag)
+                attrs["lag"] = lag
+            span = self.tracer.start_span("monitor.ingest", "monitor", **attrs)
+            self.tracer.end_span(span)
         if self._on_updates is not None and updates:
             self._on_updates(updates)
         return updates

@@ -120,6 +120,13 @@ class ResilienceError(ReproError):
 
 
 # --------------------------------------------------------------------------- #
+# telemetry subsystem
+# --------------------------------------------------------------------------- #
+class TelemetryError(ReproError):
+    """Invalid telemetry configuration or tracer misuse."""
+
+
+# --------------------------------------------------------------------------- #
 # XML interface
 # --------------------------------------------------------------------------- #
 class XmlSpecError(ReproError):

@@ -24,6 +24,7 @@ from repro.cluster import BatchScheduler, deepthought2, summit
 from repro.experiments.results import ScenarioResult
 from repro.experiments.runner import execute_scenario
 from repro.sim import RngRegistry, SimEngine
+from repro.telemetry import TelemetrySpec
 from repro.wms import CouplingType, DependencySpec, Savanna, TaskSpec, WorkflowSpec
 from repro.xmlspec import configure_orchestrator, parse_dyflow_xml
 
@@ -155,6 +156,7 @@ def run_gray_scott_experiment(
     settle: float = 120.0,
     graceful_stops: bool = True,
     history_window: int | None = None,
+    telemetry: TelemetrySpec | None = None,
 ) -> ScenarioResult:
     """Run the under-provisioning experiment.
 
@@ -201,6 +203,7 @@ def run_gray_scott_experiment(
         orch = configure_orchestrator(
             launcher, spec, warmup=120.0, settle=settle, poll_interval=1.0,
             record_history=True, allow_victims=allow_victims, graceful_stops=graceful_stops,
+            telemetry=telemetry,
         )
     gs_done = lambda: (not launcher.record("GrayScott").is_active
                        and launcher.record("GrayScott").incarnations > 0
@@ -215,6 +218,7 @@ def run_gray_scott_experiment(
         plans=orch.plans if orch else [],
         metric_history=orch.server.history if orch else [],
         launcher=launcher,
+        tracer=orch.tracer if orch else None,
         meta={
             "time_limit": limit,
             "timed_out": bool(timed_out),

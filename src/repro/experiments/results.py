@@ -8,6 +8,7 @@ from typing import Any
 from repro.core.events import MetricUpdate
 from repro.core.lowlevel import ActionPlan
 from repro.sim.trace import TraceRecorder
+from repro.telemetry import NullTracer, Tracer
 from repro.wms.launcher import Savanna
 
 
@@ -24,6 +25,7 @@ class ScenarioResult:
     metric_history: list[MetricUpdate] = field(default_factory=list)
     launcher: Savanna | None = None
     meta: dict[str, Any] = field(default_factory=dict)
+    tracer: Tracer | NullTracer | None = None
 
     # -- derived views -----------------------------------------------------------
     def response_times(self) -> list[tuple[str, float]]:

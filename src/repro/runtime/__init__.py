@@ -3,11 +3,12 @@
 * :class:`DyflowOrchestrator` — the simulated driver: stages tick on the
   discrete-event clock, reproducing the paper's experiments
   deterministically.
-* :mod:`repro.runtime.threaded` — the paper-faithful driver: the same
-  stage objects wired with real threads and queues, orchestrating real
+* :class:`ThreadedDyflow` — the paper-faithful driver: the same stage
+  objects wired with real threads and queues, orchestrating real
   numerical kernels on wall-clock time.
 """
 
 from repro.runtime.sim_driver import DyflowOrchestrator
+from repro.runtime.threaded import LiveTaskSpec, ThreadedDyflow
 
-__all__ = ["DyflowOrchestrator"]
+__all__ = ["DyflowOrchestrator", "ThreadedDyflow", "LiveTaskSpec"]

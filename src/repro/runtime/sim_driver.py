@@ -21,6 +21,8 @@ from repro.core.sensors.base import SensorInstance, SensorSpec
 from repro.core.sensors.sources import make_source
 from repro.errors import DyflowError
 from repro.resilience import ChaosEngine, HeartbeatWatchdog
+from repro.telemetry import TelemetrySpec, build_tracer, write_chrome_trace
+from repro.telemetry.tracer import Tracer
 from repro.wms.launcher import Savanna
 
 
@@ -38,11 +40,19 @@ class DyflowOrchestrator:
         allow_victims: bool = True,
         record_history: bool = False,
         graceful_stops: bool = True,
+        telemetry: TelemetrySpec | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.launcher = launcher
         self.engine = launcher.engine
         self.rules = rules if rules is not None else ArbitrationRules.from_workflow(launcher.workflow)
         self.poll_interval = poll_interval
+        self.telemetry = telemetry
+        if tracer is None:
+            tracer = build_tracer(telemetry, clock=lambda: self.engine.now)
+        self.tracer = tracer
+        self._telemetry_finalized = False
+        launcher.attach_tracer(tracer)
         self.clients = [
             MonitorClient(f"client-{i}", launcher.perf) for i in range(max(1, num_clients))
         ]
@@ -53,6 +63,10 @@ class DyflowOrchestrator:
             allow_victims=allow_victims, graceful_stops=graceful_stops,
         )
         self.actuation = ActuationStage(launcher)
+        self.server.set_tracer(tracer, clock=lambda: self.engine.now)
+        self.decision.set_tracer(tracer)
+        self.arbitration.set_tracer(tracer)
+        self.actuation.set_tracer(tracer)
         self._sensors: dict[str, SensorSpec] = {}
         self._running = False
         self._stop_when: Callable[[], bool] | None = None
@@ -135,10 +149,24 @@ class DyflowOrchestrator:
             self.watchdog.stop()
         if self.chaos is not None:
             self.chaos.stop()
+        self.finalize_telemetry()
+
+    def finalize_telemetry(self) -> None:
+        """Flush the JSONL log and write the Chrome trace, if configured."""
+        if self._telemetry_finalized or not self.tracer.enabled:
+            return
+        self._telemetry_finalized = True
+        self.tracer.flush()
+        if self.telemetry is not None and self.telemetry.chrome_trace_path is not None:
+            write_chrome_trace(self.telemetry.chrome_trace_path, self.tracer)
 
     def _service_loop(self):
+        traced = self.tracer.enabled
         while self._running:
             now = self.engine.now
+            span_ctx = self.tracer.span("loop.tick", "loop") if traced else None
+            if span_ctx is not None:
+                span_ctx.__enter__()
             # Monitor: run sensors, deliver envelopes after their read lag.
             # The chaos engine may drop envelopes on the way (lossy
             # client->server transport); the server's out-of-order filter
@@ -152,6 +180,8 @@ class DyflowOrchestrator:
             suggestions = self.decision.tick(now)
             # Arbitration: build a plan unless gated.
             plan = self.arbitration.arbitrate(suggestions, now)
+            if span_ctx is not None:
+                span_ctx.__exit__(None, None, None)
             if plan is not None:
                 self.engine.process(
                     self.actuation.execute(plan, on_done=self._on_plan_done),
@@ -160,6 +190,7 @@ class DyflowOrchestrator:
                 self._record_plan_point(plan)
             if self._stop_when is not None and self._stop_when():
                 self._running = False
+                self.finalize_telemetry()
                 return
             yield self.engine.timeout(self.poll_interval)
 

@@ -35,6 +35,9 @@ from repro.resilience.spec import ResilienceSpec
 from repro.sim.rng import RngRegistry
 from repro.staging.hub import DataHub
 from repro.staging.serialization import Sample
+from repro.telemetry import TelemetrySpec, build_tracer, write_chrome_trace
+from repro.telemetry.tracer import Tracer
+from repro.util.deprecation import warn_once
 
 
 @dataclass
@@ -140,6 +143,8 @@ class ThreadedDyflow:
         max_workers_total: int | None = None,
         resilience: ResilienceSpec | None = None,
         rng: RngRegistry | None = None,
+        telemetry: TelemetrySpec | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.workflow_id = workflow_id
         self.specs = {t.name: t for t in tasks}
@@ -156,11 +161,20 @@ class ThreadedDyflow:
         self.server = MonitorServer(on_updates=self.decision.ingest, record_history=True)
         self._instances: dict[str, _LiveInstance] = {}
         self._incarnations: dict[str, int] = {}
+        self._sensors: dict[str, SensorSpec] = {}
         self._queue: "queue.Queue" = queue.Queue()
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._t0 = time.perf_counter()
         self._gate_until = 0.0
+        self.telemetry = telemetry
+        if tracer is None:
+            tracer = build_tracer(telemetry, clock=self.now)
+        self.tracer = tracer
+        self._telemetry_finalized = False
+        self.hub.attach_tracer(tracer)
+        self.server.set_tracer(tracer, clock=self.now)
+        self.decision.set_tracer(tracer)
         self.applied_actions: list[tuple[float, str]] = []
         self._state_lock = threading.RLock()
         # Resilience mirror of the simulated launcher: same spec, same
@@ -181,15 +195,57 @@ class ThreadedDyflow:
         return time.perf_counter() - self._t0
 
     # -- configuration ----------------------------------------------------------
-    def add_sensor(self, spec: SensorSpec, task: str, var: str | None = "looptime") -> None:
+    # The canonical bootstrap API matches DyflowOrchestrator: register a
+    # sensor once with add_sensor(spec), bind it per task with
+    # monitor_task(); register a policy with add_policy(spec), apply it
+    # with apply_policy().  The historical merged signatures still work
+    # but emit one DeprecationWarning each.
+    def add_sensor(self, spec: SensorSpec, task: str | None = None,
+                   var: str | None = "looptime") -> None:
+        if task is not None:
+            warn_once(
+                "ThreadedDyflow.add_sensor:task",
+                "ThreadedDyflow.add_sensor(spec, task, var) is deprecated; "
+                "register with add_sensor(spec) and bind with "
+                "monitor_task(task, sensor_id, var=...)",
+            )
+            self._register_sensor(spec)
+            self.monitor_task(task, spec.sensor_id, var=var)
+            return
+        self._register_sensor(spec)
+
+    def _register_sensor(self, spec: SensorSpec) -> None:
+        existing = self._sensors.get(spec.sensor_id)
+        if existing is not None and existing is not spec:
+            raise DyflowError(f"duplicate sensor id {spec.sensor_id!r}")
+        self._sensors[spec.sensor_id] = spec
+
+    def monitor_task(self, task: str, sensor_id: str, var: str | None = "looptime") -> None:
+        """Bind a registered sensor to one live task."""
+        spec = self._sensors.get(sensor_id)
+        if spec is None:
+            raise DyflowError(f"monitor_task references unknown sensor {sensor_id!r}")
+        if task not in self.specs:
+            raise DyflowError(f"monitor_task references unknown task {task!r}")
         source = make_source(spec.source_type, self.hub, self.workflow_id, task, var=var)
         self.client.add_binding(
             SensorInstance(spec=spec, workflow_id=self.workflow_id, task=task, source=source)
         )
 
-    def add_policy(self, spec: PolicySpec, application: PolicyApplication) -> None:
+    def add_policy(self, spec: PolicySpec, application: PolicyApplication | None = None) -> None:
+        if application is not None:
+            warn_once(
+                "ThreadedDyflow.add_policy:application",
+                "ThreadedDyflow.add_policy(spec, application) is deprecated; "
+                "register with add_policy(spec) and bind with "
+                "apply_policy(application)",
+            )
         if spec.policy_id not in {p.policy_id for p in self.decision.policies}:
             self.decision.add_policy(spec)
+        if application is not None:
+            self.decision.apply_policy(application)
+
+    def apply_policy(self, application: PolicyApplication) -> None:
         self.decision.apply_policy(application)
 
     # -- lifecycle ---------------------------------------------------------------
@@ -206,7 +262,8 @@ class ThreadedDyflow:
             t.start()
             self._threads.append(t)
 
-    def shutdown(self, timeout: float = 10.0) -> None:
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop every task and stage thread; mirrors DyflowOrchestrator.stop."""
         self._stop.set()
         with self._state_lock:
             for inst in list(self._instances.values()):
@@ -215,6 +272,23 @@ class ThreadedDyflow:
             inst.join(timeout)
         for t in self._threads:
             t.join(timeout)
+        self.finalize_telemetry()
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        warn_once(
+            "ThreadedDyflow.shutdown",
+            "ThreadedDyflow.shutdown() is deprecated; use stop()",
+        )
+        self.stop(timeout)
+
+    def finalize_telemetry(self) -> None:
+        """Flush the JSONL log and write the Chrome trace, if configured."""
+        if self._telemetry_finalized or not self.tracer.enabled:
+            return
+        self._telemetry_finalized = True
+        self.tracer.flush()
+        if self.telemetry is not None and self.telemetry.chrome_trace_path is not None:
+            write_chrome_trace(self.telemetry.chrome_trace_path, self.tracer)
 
     def wait_until_done(self, timeout: float) -> bool:
         """Block until every task finished (or *timeout* wall seconds)."""
@@ -318,10 +392,11 @@ class ThreadedDyflow:
     # -- stage threads ----------------------------------------------------------------
     def _monitor_loop(self) -> None:
         while not self._stop.is_set():
-            with self.hub_lock:
-                envelopes = self.client.collect(self.now())
-            for _lag, env in envelopes:
-                self.server.receive(env)  # thread-safe: decision.ingest is list ops
+            with self.tracer.span("monitor.collect", "monitor"):
+                with self.hub_lock:
+                    envelopes = self.client.collect(self.now())
+                for _lag, envelope in envelopes:
+                    self.server.receive(envelope)  # thread-safe: decision.ingest is list ops
             time.sleep(self.poll_interval)
 
     def _decision_loop(self) -> None:
@@ -349,6 +424,10 @@ class ThreadedDyflow:
                 self._gate_until = self.now() + self.settle
 
     def _apply(self, suggestions: list[SuggestedAction]) -> bool:
+        with self.tracer.span("arbitration.apply", "arbitration", suggestions=len(suggestions)):
+            return self._apply_inner(suggestions)
+
+    def _apply_inner(self, suggestions: list[SuggestedAction]) -> bool:
         any_applied = False
         for s in suggestions:
             with self._state_lock:
@@ -380,4 +459,11 @@ class ThreadedDyflow:
             if applied:
                 any_applied = True
                 self.applied_actions.append((self.now(), f"{s.action.value}:{s.target}"))
+                if self.tracer.enabled:
+                    self.tracer.add_span(
+                        "actuation.apply", "actuation",
+                        start=s.trigger_time, end=self.now(),
+                        action=s.action.value, task=s.target,
+                    )
+                    self.tracer.metrics.counter("actuation.applied").inc()
         return any_applied

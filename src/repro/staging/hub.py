@@ -16,7 +16,8 @@ from typing import Callable
 from repro.errors import StagingError
 from repro.staging.filesystem import SimFilesystem
 from repro.staging.store import VariableStore
-from repro.staging.stream import OverflowPolicy, StreamChannel
+from repro.staging.stream import OverflowPolicy, StreamChannel, StreamStep
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 
 class DataHub:
@@ -29,6 +30,33 @@ class DataHub:
         # Called for every channel as it is created; the chaos engine uses
         # this to install its in-transit drop filter on late-made channels.
         self.on_new_channel: Callable[[StreamChannel], None] | None = None
+        # Additional new-channel listeners (telemetry and friends) — a
+        # list, so nobody fights the chaos engine over the single slot.
+        self._channel_listeners: list[Callable[[StreamChannel], None]] = []
+        self.tracer: Tracer = NULL_TRACER
+
+    def add_channel_listener(self, listener: Callable[[StreamChannel], None]) -> None:
+        """Register a callback invoked for every channel as it is created."""
+        self._channel_listeners.append(listener)
+
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """Install telemetry: count channels, stores, and published steps."""
+        self.tracer = tracer
+        if not tracer.enabled:
+            return
+        metrics = tracer.metrics
+        steps = metrics.counter("staging.steps")
+
+        def _on_put(channel: StreamChannel, step: StreamStep) -> None:
+            steps.inc()
+
+        def _instrument(channel: StreamChannel) -> None:
+            metrics.counter("staging.channels").inc()
+            channel.observers.append(_on_put)
+
+        for channel in self._channels.values():
+            _instrument(channel)
+        self.add_channel_listener(_instrument)
 
     # -- channels --------------------------------------------------------------
     def channel(
@@ -44,6 +72,8 @@ class DataHub:
             self._channels[name] = ch
             if self.on_new_channel is not None:
                 self.on_new_channel(ch)
+            for listener in self._channel_listeners:
+                listener(ch)
         return ch
 
     def has_channel(self, name: str) -> bool:
@@ -65,6 +95,8 @@ class DataHub:
         if st is None:
             st = VariableStore(name, filesystem=self.filesystem)
             self._stores[name] = st
+            if self.tracer.enabled:
+                self.tracer.metrics.counter("staging.stores").inc()
         return st
 
     def has_store(self, name: str) -> bool:

@@ -63,6 +63,10 @@ class StreamChannel:
         # staging buffer and keeps no index, readers just see fewer steps.
         self.drop_filter: Callable[[str, Any], bool] | None = None
         self.dropped_in_transit = 0
+        # Passive put() observers (telemetry): called with (channel, step)
+        # after every successful publish.  Distinct from drop_filter so the
+        # chaos engine keeps sole ownership of its hook.
+        self.observers: list[Callable[["StreamChannel", StreamStep], None]] = []
 
     # -- writer side -------------------------------------------------------------
     @property
@@ -94,6 +98,9 @@ class StreamChannel:
         record = StreamStep(step=self._next_step, data=data, time=time)
         self._steps.append(record)
         self._next_step += 1
+        if self.observers:
+            for observer in self.observers:
+                observer(self, record)
         return record.step
 
     def close(self) -> None:

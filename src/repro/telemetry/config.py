@@ -1,0 +1,58 @@
+"""Telemetry configuration: one spec, built programmatically or from XML.
+
+:class:`TelemetrySpec` mirrors :class:`~repro.resilience.spec.ResilienceSpec`:
+a frozen dataclass consumed identically by the simulated and threaded
+runtimes, and by the ``<telemetry>`` XML element
+(see ``docs/xml-reference.md``).  :func:`build_tracer` turns a spec into
+the right tracer — a recording :class:`~repro.telemetry.tracer.Tracer`
+with the configured sinks, or the shared
+:data:`~repro.telemetry.tracer.NULL_TRACER` when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import TelemetryError
+from repro.telemetry.events import JsonlEventLog
+from repro.telemetry.tracer import NULL_TRACER, Tracer
+
+
+@dataclass(frozen=True)
+class TelemetrySpec:
+    """What to record and where to ship it.
+
+    Attributes:
+        enabled: master switch; disabled runs use the NullTracer.
+        sample: fraction of root spans kept (deterministic stride).
+        jsonl_path: if set, spans/events are appended there as JSONL on
+            :meth:`Tracer.flush`.
+        chrome_trace_path: if set, runtimes write a Chrome
+            ``trace_event`` JSON file there when the run finishes.
+    """
+
+    enabled: bool = True
+    sample: float = 1.0
+    jsonl_path: str | None = None
+    chrome_trace_path: str | None = None
+
+    def validate(self) -> None:
+        if not 0.0 < self.sample <= 1.0:
+            raise TelemetryError(f"telemetry sample must be in (0, 1], got {self.sample}")
+
+
+def build_tracer(
+    spec: TelemetrySpec | None,
+    clock: Callable[[], float] | None = None,
+) -> Tracer:
+    """Build the tracer a runtime should use for *spec*.
+
+    ``None`` or a disabled spec yields the shared NullTracer, so callers
+    can wire telemetry unconditionally.
+    """
+    if spec is None or not spec.enabled:
+        return NULL_TRACER
+    spec.validate()
+    log = JsonlEventLog(spec.jsonl_path) if spec.jsonl_path is not None else None
+    return Tracer(clock=clock, sample=spec.sample, log=log)

@@ -1,0 +1,65 @@
+"""Structured JSONL event log.
+
+Every telemetry record (finished spans, point events, run metadata) is
+one JSON object per line — the exportable execution-trace substrate
+WfCommons argues for.  Records accumulate in memory and are written out
+by :meth:`JsonlEventLog.flush`, so simulated runs pay no I/O until the
+run is over.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Iterator
+
+
+class JsonlEventLog:
+    """Append-only log of JSON records, optionally backed by a file."""
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path
+        self._records: list[dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._flushed = 0  # records already written to path
+
+    def emit(self, kind: str, time: float, **fields: Any) -> dict[str, Any]:
+        """Append one record; ``kind`` and ``time`` lead every line."""
+        record = {"kind": kind, "time": time, **fields}
+        with self._lock:
+            self._records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.records())
+
+    def records(self, kind: str | None = None) -> list[dict[str, Any]]:
+        with self._lock:
+            records = list(self._records)
+        if kind is not None:
+            records = [r for r in records if r["kind"] == kind]
+        return records
+
+    def lines(self) -> list[str]:
+        """Every record as a compact JSON line."""
+        return [
+            json.dumps(r, separators=(",", ":"), sort_keys=True, default=str)
+            for r in self.records()
+        ]
+
+    def flush(self) -> None:
+        """Append any unwritten records to ``path`` (no-op when in-memory)."""
+        if self.path is None:
+            return
+        with self._lock:
+            pending = self._records[self._flushed:]
+            self._flushed = len(self._records)
+        if not pending:
+            return
+        with open(self.path, "a", encoding="utf-8") as fh:
+            for record in pending:
+                fh.write(json.dumps(record, separators=(",", ":"), sort_keys=True, default=str))
+                fh.write("\n")

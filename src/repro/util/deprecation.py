@@ -1,0 +1,26 @@
+"""Warn-once deprecation shims.
+
+Renamed parameters and methods keep working for one release, emitting a
+single :class:`DeprecationWarning` per process no matter how many call
+sites still use the old name.  Tests reset the warned set between cases
+via :func:`reset_warned`.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_warned: set[str] = set()
+
+
+def warn_once(key: str, message: str) -> None:
+    """Emit *message* as a DeprecationWarning the first time *key* is seen."""
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def reset_warned() -> None:
+    """Forget which deprecations have fired (test isolation hook)."""
+    _warned.clear()

@@ -31,6 +31,7 @@ from repro.sim.engine import SimEngine
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
 from repro.staging.hub import DataHub
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.wms.spec import WorkflowSpec
 from repro.wms.task import TaskInstance, TaskRecord, TaskState
 
@@ -74,6 +75,7 @@ class Savanna:
         }
         self._start_listeners: list[TaskListener] = []
         self._end_listeners: list[TaskListener] = []
+        self.tracer: Tracer = NULL_TRACER
         self.resilience: ResilienceSpec | None = None
         self.retry_policy = None
         self.checkpoint_spec = None
@@ -100,6 +102,11 @@ class Savanna:
         else:
             self.quarantine = None
         self.rm.quarantine = self.quarantine
+
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """Install the run's telemetry tracer on the launcher and its hub."""
+        self.tracer = tracer
+        self.hub.attach_tracer(tracer)
 
     # -- listeners (the Monitor stage subscribes here) ---------------------------
     def subscribe_start(self, cb: TaskListener) -> None:
@@ -183,6 +190,10 @@ class Savanna:
         rec.current = instance
         rec.history.append(instance)
         instance.transition(TaskState.LAUNCHING)
+        launch_span = self.tracer.start_span(
+            "wms.launch", "wms", parent=None,
+            task=name, nprocs=resources.total_cores, incarnation=instance.incarnation,
+        ) if self.tracer.enabled else None
 
         delay = self.perf.launch_latency + self.perf.per_process_launch * resources.total_cores
         if user_script:
@@ -192,6 +203,8 @@ class Savanna:
         if instance.stop_requested:
             # Stopped while still launching: never spawn the app.
             self._finalize(instance, exit_code=0, state=TaskState.STOPPED)
+            if launch_span is not None:
+                self.tracer.end_span(launch_span, outcome="aborted")
             return instance
 
         ctx = self._make_context(instance, user_script, params)
@@ -205,6 +218,9 @@ class Savanna:
             nprocs=resources.total_cores, incarnation=instance.incarnation,
         )
         instance.proc.callbacks.append(lambda _ev, inst=instance: self._on_proc_exit(inst))
+        if launch_span is not None:
+            self.tracer.end_span(launch_span, outcome="running")
+            self.tracer.metrics.counter("wms.launches").inc()
         for cb in self._start_listeners:
             cb(instance)
         return instance
@@ -304,9 +320,15 @@ class Savanna:
         instance = rec.current
         if instance is None or not instance.is_active:
             return None
+        teardown_span = self.tracer.start_span(
+            "wms.teardown", "wms", parent=None, task=name, graceful=graceful,
+        ) if self.tracer.enabled else None
         sig = Signal.term() if graceful else Signal.kill(137)
         yield from self._signal(name, sig)
         yield from self.wait_task(name)
+        if teardown_span is not None:
+            self.tracer.end_span(teardown_span)
+            self.tracer.metrics.counter("wms.teardowns").inc()
         return instance
 
     def wait_task(self, name: str):
@@ -367,6 +389,7 @@ class Savanna:
                     self.engine.now, f"quarantine:{node_id}", category="failure"
                 )
         self.trace.point(self.engine.now, f"node-failure:{node_id}", category="failure")
+        self.tracer.point("wms.node_failure", "failure", node=node_id, killed=len(affected))
         return affected
 
     def handle_walltime_timeout(self) -> None:

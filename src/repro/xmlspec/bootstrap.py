@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.core.rules import ArbitrationRules
 from repro.errors import XmlSpecError
 from repro.runtime.sim_driver import DyflowOrchestrator
+from repro.telemetry.config import TelemetrySpec
 from repro.wms.launcher import Savanna
 from repro.xmlspec.model import DyflowSpec
 
@@ -25,6 +26,7 @@ def configure_orchestrator(
     allow_victims: bool = True,
     record_history: bool = False,
     graceful_stops: bool = True,
+    telemetry: TelemetrySpec | None = None,
 ) -> DyflowOrchestrator:
     """Build a :class:`DyflowOrchestrator` for *launcher* from *spec*.
 
@@ -34,10 +36,14 @@ def configure_orchestrator(
     the launcher's recovery layer *before* the orchestrator is built, so
     the orchestrator can wire the watchdog and the chaos engine; without
     one, any programmatically installed resilience spec is left intact.
+    A ``<telemetry>`` section builds the run's tracer the same way; the
+    *telemetry* argument overrides whatever the XML carries.
     """
     workflow_id = launcher.workflow.workflow_id
     if spec.resilience is not None:
         launcher.configure_resilience(spec.resilience)
+    if telemetry is None:
+        telemetry = spec.telemetry
     rule = spec.rules.get(workflow_id)
     rules = ArbitrationRules.from_workflow(
         launcher.workflow,
@@ -60,6 +66,7 @@ def configure_orchestrator(
         allow_victims=allow_victims,
         record_history=record_history,
         graceful_stops=graceful_stops,
+        telemetry=telemetry,
     )
     for sensor in spec.sensors.values():
         orch.add_sensor(sensor)

@@ -9,6 +9,7 @@ from repro.core.policy import PolicyApplication, PolicySpec
 from repro.core.sensors.base import SensorSpec
 from repro.errors import XmlSpecError
 from repro.resilience.spec import ResilienceSpec
+from repro.telemetry.config import TelemetrySpec
 from repro.wms.spec import DependencySpec
 
 
@@ -44,11 +45,14 @@ class DyflowSpec:
     applications: list[PolicyApplication] = field(default_factory=list)
     rules: dict[str, RuleSpec] = field(default_factory=dict)
     resilience: ResilienceSpec | None = None
+    telemetry: TelemetrySpec | None = None
 
     def validate(self) -> None:
         """Cross-reference checks a schema cannot express."""
         if self.resilience is not None:
             self.resilience.validate()
+        if self.telemetry is not None:
+            self.telemetry.validate()
         for mt in self.monitor_tasks:
             if mt.sensor_id not in self.sensors:
                 raise XmlSpecError(

@@ -17,6 +17,7 @@ from repro.resilience.spec import (
     RetryPolicy,
     WatchdogSpec,
 )
+from repro.telemetry.config import TelemetrySpec
 from repro.wms.spec import CouplingType, DependencySpec
 from repro.xmlspec.model import DyflowSpec, MonitorTaskSpec, RuleSpec
 
@@ -32,7 +33,7 @@ def parse_dyflow_xml(text: str) -> DyflowSpec:
     except ET.ParseError as err:
         raise XmlSpecError(f"malformed XML: {err}") from err
     spec = DyflowSpec()
-    standalone = ("monitor", "decision", "arbitration", "resilience")
+    standalone = ("monitor", "decision", "arbitration", "resilience", "telemetry")
     sections = [root] if root.tag in standalone else list(root)
     if root.tag not in ("dyflow",) + standalone:
         raise XmlSpecError(f"unexpected root element <{root.tag}>")
@@ -47,6 +48,10 @@ def parse_dyflow_xml(text: str) -> DyflowSpec:
             if spec.resilience is not None:
                 raise XmlSpecError("duplicate <resilience> section")
             spec.resilience = _parse_resilience(section)
+        elif section.tag == "telemetry":
+            if spec.telemetry is not None:
+                raise XmlSpecError("duplicate <telemetry> section")
+            spec.telemetry = _parse_telemetry(section)
         else:
             raise XmlSpecError(f"unexpected section <{section.tag}>")
     spec.validate()
@@ -330,6 +335,35 @@ def _parse_resilience(section: ET.Element) -> ResilienceSpec:
         checkpoint=checkpoint,
         faults=faults,
     )
+
+
+# --------------------------------------------------------------------------- #
+# telemetry section
+# --------------------------------------------------------------------------- #
+def _parse_telemetry(section: ET.Element) -> TelemetrySpec:
+    """Parse one ``<telemetry>`` section (sink children optional)."""
+    _check_attrs(section, {"enabled", "sample"})
+    known = {"jsonl", "chrome-trace"}
+    for child in section:
+        if child.tag not in known:
+            raise XmlSpecError(f"unexpected <telemetry> child <{child.tag}>")
+    jsonl_path = chrome_trace_path = None
+    el = section.find("jsonl")
+    if el is not None:
+        _check_attrs(el, {"path"})
+        jsonl_path = _require(el, "path")
+    el = section.find("chrome-trace")
+    if el is not None:
+        _check_attrs(el, {"path"})
+        chrome_trace_path = _require(el, "path")
+    spec = TelemetrySpec(
+        enabled=_bool_attr(section, "enabled", True),
+        sample=_float_attr(section, "sample", 1.0),
+        jsonl_path=jsonl_path,
+        chrome_trace_path=chrome_trace_path,
+    )
+    spec.validate()
+    return spec
 
 
 # --------------------------------------------------------------------------- #

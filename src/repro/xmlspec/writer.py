@@ -15,6 +15,7 @@ def write_dyflow_xml(spec: DyflowSpec) -> str:
     _write_decision(root, spec)
     _write_arbitration(root, spec)
     _write_resilience(root, spec)
+    _write_telemetry(root, spec)
     raw = ET.tostring(root, encoding="unicode")
     return minidom.parseString(raw).toprettyxml(indent="  ")
 
@@ -164,3 +165,20 @@ def _write_resilience(root: ET.Element, spec: DyflowSpec) -> None:
                 "stage-drop-prob": repr(res.faults.stage_drop_prob),
             },
         )
+
+
+def _write_telemetry(root: ET.Element, spec: DyflowSpec) -> None:
+    tel = spec.telemetry
+    if tel is None:
+        return
+    section = ET.SubElement(
+        root, "telemetry",
+        attrib={
+            "enabled": "true" if tel.enabled else "false",
+            "sample": repr(tel.sample),
+        },
+    )
+    if tel.jsonl_path is not None:
+        ET.SubElement(section, "jsonl", path=tel.jsonl_path)
+    if tel.chrome_trace_path is not None:
+        ET.SubElement(section, "chrome-trace", path=tel.chrome_trace_path)

@@ -1,0 +1,91 @@
+"""Chrome trace_event export."""
+
+import json
+
+from repro.telemetry import Tracer, to_chrome_trace, write_chrome_trace
+from repro.telemetry.export import chrome_trace_events
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_tracer() -> Tracer:
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("plan", "actuation", plan="P-1"):
+        clock.now = 2.0
+        op = tracer.start_span("op.stop", "actuation", task="FFT")
+        clock.now = 5.0
+        tracer.end_span(op)
+        clock.now = 7.0
+    return tracer
+
+
+def test_events_are_complete_phase_microseconds():
+    tracer = make_tracer()
+    events = [e for e in chrome_trace_events(tracer.spans) if e["ph"] == "X"]
+    assert len(events) == 2
+    parent, child = events
+    assert parent["name"] == "plan"
+    assert parent["ts"] == 0.0
+    assert parent["dur"] == 7.0 * 1e6
+    assert child["ts"] == 2.0 * 1e6
+    assert child["dur"] == 3.0 * 1e6
+    assert parent["args"]["plan"] == "P-1"
+    assert "wall_ms" in parent["args"]
+
+
+def test_nested_spans_share_their_roots_track():
+    tracer = make_tracer()
+    events = [e for e in chrome_trace_events(tracer.spans) if e["ph"] == "X"]
+    assert events[0]["tid"] == events[1]["tid"]
+
+
+def test_timestamps_non_decreasing_with_parent_first():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    # Parent and child start together: the parent (longer) must sort first.
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            clock.now = 1.0
+        clock.now = 3.0
+    events = [e for e in chrome_trace_events(tracer.spans) if e["ph"] == "X"]
+    assert [e["name"] for e in events] == ["outer", "inner"]
+    ts = [e["ts"] for e in events]
+    assert ts == sorted(ts)
+
+
+def test_open_spans_are_skipped():
+    tracer = Tracer(clock=FakeClock())
+    tracer.start_span("never-closed")
+    assert [e for e in chrome_trace_events(tracer.spans) if e["ph"] == "X"] == []
+
+
+def test_metadata_names_process_and_tracks():
+    tracer = make_tracer()
+    meta = [e for e in chrome_trace_events(tracer.spans) if e["ph"] == "M"]
+    names = {e["name"]: e["args"]["name"] for e in meta}
+    assert names["process_name"] == "dyflow"
+    assert "actuation" in names.values()
+
+
+def test_document_shape_and_file_round_trip(tmp_path):
+    tracer = make_tracer()
+    doc = to_chrome_trace(tracer)
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    path = str(tmp_path / "trace.json")
+    assert write_chrome_trace(path, tracer) == path
+    loaded = json.loads(open(path, encoding="utf-8").read())
+    assert loaded["traceEvents"] == json.loads(json.dumps(doc["traceEvents"]))
+    assert loaded["displayTimeUnit"] == "ms"
+
+
+def test_accepts_plain_span_iterable():
+    tracer = make_tracer()
+    doc = to_chrome_trace(list(tracer.spans))
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])

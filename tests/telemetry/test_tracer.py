@@ -1,0 +1,188 @@
+"""Tracer spans: nesting, sampling, dual clocks, and the null twin."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    NULL_TRACER,
+    JsonlEventLog,
+    NullTracer,
+    TelemetrySpec,
+    Tracer,
+    build_tracer,
+)
+from repro.telemetry.tracer import _DROPPED
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def test_span_context_manager_records_and_times():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("tick", "loop", n=3) as span:
+        clock.now = 2.5
+    assert span.end == 2.5
+    assert span.duration == 2.5
+    assert span.wall_duration >= 0.0
+    assert span.attrs == {"n": 3}
+    assert tracer.finished_spans("tick", "loop") == [span]
+
+
+def test_nesting_via_with_blocks():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            assert tracer.current_span() is inner
+        assert tracer.current_span() is outer
+    assert inner.parent_id == outer.span_id
+    assert tracer.children_of(outer) == [inner]
+    assert tracer.current_span() is None
+
+
+def test_start_span_defaults_parent_to_current_with_span():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("outer") as outer:
+        child = tracer.start_span("work")
+        tracer.end_span(child, ok=True)
+    assert child.parent_id == outer.span_id
+    assert child.attrs == {"ok": True}
+
+
+def test_end_span_is_idempotent_and_records_histogram():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    span = tracer.start_span("job")
+    clock.now = 4.0
+    tracer.end_span(span)
+    clock.now = 9.0
+    tracer.end_span(span)  # second close must not re-stamp
+    assert span.end == 4.0
+    hist = tracer.metrics.histogram("span.job")
+    assert hist.count == 1
+    assert hist.max == pytest.approx(4.0)
+
+
+def test_open_span_duration_raises():
+    tracer = Tracer(clock=FakeClock())
+    span = tracer.start_span("open")
+    assert span.open
+    with pytest.raises(TelemetryError):
+        _ = span.duration
+
+
+def test_add_span_records_pre_timed_interval():
+    tracer = Tracer(clock=FakeClock())
+    root = tracer.start_span("plan")
+    op = tracer.add_span("op.stop", "actuation", start=10.0, end=14.0,
+                         parent=root, task="FFT")
+    assert op.duration == 4.0
+    assert op.parent_id == root.span_id
+    assert op.attrs == {"task": "FFT"}
+    assert tracer.metrics.histogram("span.op.stop").count == 1
+
+
+def test_stride_sampling_keeps_exact_fraction_of_roots():
+    tracer = Tracer(clock=FakeClock(), sample=0.25)
+    kept = 0
+    for _ in range(100):
+        with tracer.span("root") as span:
+            child = tracer.start_span("child")
+            tracer.end_span(child)
+        if span is not _DROPPED:
+            kept += 1
+    assert kept == 25
+    # Children of dropped roots are dropped with them.
+    assert len(tracer.finished_spans("child")) == 25
+
+
+def test_sampling_never_drops_metrics():
+    # Metric recording happens in the instrumented call sites, not the
+    # tracer; but end_span on a dropped span must simply no-op.
+    tracer = Tracer(clock=FakeClock(), sample=0.5)
+    tracer.end_span(_DROPPED, extra=1)
+    assert _DROPPED.attrs == {}  # the shared sentinel is never mutated
+
+
+def test_invalid_sample_rejected():
+    with pytest.raises(TelemetryError):
+        Tracer(sample=0.0)
+    with pytest.raises(TelemetryError):
+        Tracer(sample=1.5)
+
+
+def test_point_events_count_and_log():
+    log = JsonlEventLog()
+    clock = FakeClock()
+    tracer = Tracer(clock=clock, log=log)
+    clock.now = 3.0
+    tracer.point("node_failure", "failure", node="n4")
+    assert tracer.metrics.counter("event.node_failure").value == 1.0
+    [record] = log.records("point")
+    assert record["time"] == 3.0
+    assert record["attrs"] == {"node": "n4"}
+
+
+def test_finished_spans_sorted_by_start():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    clock.now = 5.0
+    late = tracer.start_span("a")
+    tracer.end_span(late)
+    clock.now = 1.0
+    early = tracer.start_span("a")
+    tracer.end_span(early)
+    assert tracer.finished_spans("a") == [early, late]
+
+
+def test_jsonl_log_flush_to_file(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    log = JsonlEventLog(path)
+    tracer = Tracer(clock=FakeClock(), log=log)
+    with tracer.span("tick"):
+        pass
+    tracer.flush()
+    tracer.flush()  # second flush appends nothing new
+    lines = [l for l in open(path, encoding="utf-8").read().splitlines() if l]
+    assert len(lines) == 1
+    assert '"kind":"span"' in lines[0]
+
+
+def test_null_tracer_is_inert():
+    null = NullTracer()
+    assert not null.enabled
+    with null.span("anything") as span:
+        assert span is _DROPPED
+    assert null.start_span("x") is _DROPPED
+    assert null.add_span("y", start=0, end=1) is _DROPPED
+    null.end_span(_DROPPED)
+    null.point("p")
+    assert null.spans == []
+    assert null.finished_spans() == []
+    assert null.current_span() is None
+    assert null.metrics.counter("c").value == 0.0
+
+
+def test_build_tracer_from_spec():
+    assert build_tracer(None) is NULL_TRACER
+    assert build_tracer(TelemetrySpec(enabled=False)) is NULL_TRACER
+    clock = FakeClock()
+    tracer = build_tracer(TelemetrySpec(sample=0.5), clock=clock)
+    assert tracer.enabled
+    assert tracer.sample == 0.5
+    assert tracer.clock is clock
+    with pytest.raises(TelemetryError):
+        build_tracer(TelemetrySpec(sample=2.0))
+
+
+def test_default_clock_is_relative_wall_time():
+    tracer = Tracer()
+    with tracer.span("t") as span:
+        pass
+    assert span.start >= 0.0
+    assert span.duration >= 0.0

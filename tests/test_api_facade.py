@@ -1,0 +1,72 @@
+"""The repro.api facade: one import surface for scripts and examples."""
+
+import ast
+import importlib
+import pathlib
+
+import pytest
+
+import repro
+from repro import api
+
+EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def test_all_names_resolve():
+    for name in api.__all__:
+        assert hasattr(api, name), f"repro.api.__all__ lists missing name {name!r}"
+
+
+def test_all_is_sorted_unique():
+    assert len(api.__all__) == len(set(api.__all__))
+
+
+def test_star_import_matches_all():
+    ns: dict = {}
+    exec("from repro.api import *", ns)
+    exported = {k for k in ns if not k.startswith("_")}
+    assert exported == set(api.__all__)
+
+
+def test_facade_reachable_from_package_root():
+    assert repro.api is api
+    assert "api" in repro.__all__
+    assert importlib.import_module("repro.api") is api
+
+
+def test_facade_covers_the_main_entry_points():
+    for name in (
+        "SimEngine", "Savanna", "WorkflowSpec", "DyflowOrchestrator",
+        "ThreadedDyflow", "parse_dyflow_xml", "write_dyflow_xml",
+        "configure_orchestrator", "TelemetrySpec", "Tracer",
+        "build_tracer", "to_chrome_trace", "ResilienceSpec",
+        "run_gray_scott_experiment", "ReproError",
+    ):
+        assert name in api.__all__, f"facade is missing {name}"
+
+
+def test_facade_objects_are_the_canonical_ones():
+    from repro.runtime.sim_driver import DyflowOrchestrator
+    from repro.sim.engine import SimEngine
+    from repro.telemetry import TelemetrySpec
+
+    assert api.SimEngine is SimEngine
+    assert api.DyflowOrchestrator is DyflowOrchestrator
+    assert api.TelemetrySpec is TelemetrySpec
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_examples_import_only_from_repro_api(path):
+    """Every example must go through the facade, never submodules."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            if node.module == "repro" or node.module.startswith("repro."):
+                assert node.module == "repro.api", (
+                    f"{path.name} imports from {node.module}; use repro.api"
+                )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                assert not alias.name.startswith("repro"), (
+                    f"{path.name} imports {alias.name}; use 'from repro.api import ...'"
+                )

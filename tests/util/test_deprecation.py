@@ -1,0 +1,81 @@
+"""Warn-once deprecation shims."""
+
+import warnings
+
+import pytest
+
+from repro.util.deprecation import reset_warned, warn_once
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    reset_warned()
+    yield
+    reset_warned()
+
+
+def test_warns_exactly_once_per_key():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        warn_once("k1", "old thing")
+        warn_once("k1", "old thing")
+        warn_once("k1", "old thing")
+    assert len(caught) == 1
+    assert caught[0].category is DeprecationWarning
+    assert "old thing" in str(caught[0].message)
+
+
+def test_distinct_keys_each_warn():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        warn_once("a", "m")
+        warn_once("b", "m")
+    assert len(caught) == 2
+
+
+def test_reset_warned_allows_rewarning():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        warn_once("k", "m")
+        reset_warned()
+        warn_once("k", "m")
+    assert len(caught) == 2
+
+
+class TestRenamedApis:
+    """The actual shims wired through the runtimes."""
+
+    def test_monitor_receive_env_keyword(self):
+        from repro.core.monitor import MonitorServer
+        from repro.util.jsonmsg import Envelope
+
+        server = MonitorServer()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for seq in (0, 1):
+                env = Envelope(kind="sensor-update", sender="c/PACE", seq=seq,
+                               time=0.0, payload={"updates": []})
+                server.receive(env=env)
+        deprecations = [c for c in caught if c.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert "envelope" in str(deprecations[0].message)
+        assert server.received == 2
+
+    def test_monitor_receive_requires_an_envelope(self):
+        from repro.core.monitor import MonitorServer
+
+        server = MonitorServer()
+        with pytest.raises(TypeError):
+            server.receive()
+
+    def test_threaded_shutdown_alias(self):
+        from repro.runtime.threaded import ThreadedDyflow
+
+        runner = ThreadedDyflow("WF", tasks=[])
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            runner.shutdown()
+            runner.shutdown()
+        deprecations = [c for c in caught if c.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert "stop" in str(deprecations[0].message)
