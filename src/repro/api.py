@@ -29,6 +29,9 @@ The surface groups into:
   :func:`write_dyflow_xml`, :func:`configure_orchestrator`,
   :class:`DyflowSpec`.
 * **Resilience** — :class:`ResilienceSpec` and its parts.
+* **Crash recovery** — :class:`Journal`, :class:`JournalSpec`,
+  :class:`CampaignRunner`, :func:`read_journal`,
+  :func:`scenario_fingerprint`, :class:`AppliedOpsLedger`.
 * **Telemetry** — :class:`TelemetrySpec`, :class:`Tracer`, the metrics
   registry and the Chrome trace exporter.
 * **Canned experiments** — ``run_*_experiment``, :func:`render_gantt`,
@@ -62,6 +65,14 @@ from repro.experiments import (
     run_xgc_experiment,
 )
 from repro.experiments.report import build_report, format_report
+from repro.journal import (
+    AppliedOpsLedger,
+    Journal,
+    JournalSpec,
+    JournalState,
+    read_journal,
+    scenario_fingerprint,
+)
 from repro.resilience import (
     ChaosEngine,
     CheckpointSpec,
@@ -86,6 +97,7 @@ from repro.telemetry import (
 )
 from repro.wms import (
     Campaign,
+    CampaignRunner,
     CouplingType,
     DependencySpec,
     Savanna,
@@ -113,6 +125,7 @@ __all__ = [
     "TaskState",
     "Savanna",
     "Campaign",
+    "CampaignRunner",
     "Sweep",
     # applications
     "IterativeApp",
@@ -149,6 +162,13 @@ __all__ = [
     "CheckpointSpec",
     "FaultModelSpec",
     "ChaosEngine",
+    # crash recovery
+    "Journal",
+    "JournalSpec",
+    "JournalState",
+    "AppliedOpsLedger",
+    "read_journal",
+    "scenario_fingerprint",
     # telemetry
     "TelemetrySpec",
     "Tracer",

@@ -236,6 +236,17 @@ class ResourceManager:
                     del self._assigned[owner]
         return sorted(affected)
 
+    # -- crash recovery ----------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Owner → per-node core map (journal snapshot audit)."""
+        return {owner: rs.as_dict() for owner, rs in sorted(self._assigned.items())}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._assigned = {
+            owner: ResourceSet({n: int(c) for n, c in cores.items()})
+            for owner, cores in state.items()
+        }
+
     # -- invariants ------------------------------------------------------------------
     def check_invariants(self) -> None:
         """Raise :class:`AllocationError` if bookkeeping is inconsistent."""

@@ -19,16 +19,47 @@ from repro.wms.launcher import Savanna
 
 
 class ActuationStage:
-    """Executes action plans against the launcher plugin."""
+    """Executes action plans against the launcher plugin.
+
+    When a :class:`~repro.journal.Journal` is attached, every op is
+    bracketed by ``op-issued`` / ``op-completed`` records keyed on the
+    op's idempotency key, so a crash-resumed orchestrator can finish an
+    interrupted plan without double-applying anything (see
+    :meth:`resume_plan`).  ``abort_requested`` models the orchestrator
+    process dying between ops: the generator stops at the next op
+    boundary without running ``on_done``.
+    """
 
     def __init__(self, launcher: Savanna) -> None:
         self.launcher = launcher
         self.executed_plans: list[ActionPlan] = []
         self.failed_ops: list[tuple[str, str]] = []  # (plan_id, op description)
         self.tracer: Tracer = NULL_TRACER
+        self.journal = None  # Journal | None, attached by the orchestrator
+        self.abort_requested = False
 
     def set_tracer(self, tracer: Tracer) -> None:
         self.tracer = tracer
+
+    # -- journal bracket ---------------------------------------------------------
+    def _journal_issue(self, plan: ActionPlan, op: LowLevelOp) -> None:
+        if self.journal is None:
+            return
+        payload = {"plan": plan.plan_id, "op_key": op.op_key, "op": op.op, "task": op.task}
+        if op.op == "start_task":
+            rec = self.launcher.records.get(op.task)
+            payload["incarnation_before"] = rec.incarnations if rec is not None else 0
+        self.journal.append("op-issued", **payload)
+
+    def _journal_complete(
+        self, plan: ActionPlan, op: LowLevelOp, failed: bool, reconciled: bool = False
+    ) -> None:
+        if self.journal is None:
+            return
+        payload = {"plan": plan.plan_id, "op_key": op.op_key, "failed": failed}
+        if reconciled:
+            payload["reconciled"] = True
+        self.journal.append("op-completed", **payload)
 
     def execute(self, plan: ActionPlan, on_done: Callable[[ActionPlan], None] | None = None):
         """Generator: run every op of *plan* in order; drive via a process.
@@ -53,10 +84,17 @@ class ActuationStage:
         )
         plan_failures: list[tuple[LowLevelOp, str]] = []
         for op in plan.ordered_ops():
+            if self.abort_requested:
+                return plan  # orchestrator died between ops; resume_plan finishes
+            self._journal_issue(plan, op)
+            if self.abort_requested:
+                return plan  # died after issuing but before applying
             op.exec_start = self.launcher.engine.now
+            failed = False
             try:
                 yield from self._run_op(op)
             except (ActuationError, AllocationError, LaunchError) as err:
+                failed = True
                 self.failed_ops.append((plan.plan_id, f"{op.describe()}: {err}"))
                 plan_failures.append((op, str(err)))
                 self.launcher.trace.point(
@@ -69,6 +107,7 @@ class ActuationStage:
                 )
             finally:
                 op.exec_end = self.launcher.engine.now
+            self._journal_complete(plan, op, failed=failed)
             if plan_span is not None:
                 tracer.add_span(
                     f"op.{op.op}", "actuation",
@@ -96,6 +135,90 @@ class ActuationStage:
             metrics.histogram("plan.response").observe(
                 plan.execution_end - plan.created
             )
+        self.executed_plans.append(plan)
+        if on_done is not None:
+            on_done(plan)
+        return plan
+
+    def resume_plan(self, plan: ActionPlan, ledger, on_done: Callable[[ActionPlan], None] | None = None):
+        """Generator: finish a plan interrupted by an orchestrator crash.
+
+        *ledger* is an :class:`~repro.journal.AppliedOpsLedger` built from
+        the journal's ``op-issued`` / ``op-completed`` records.  Each op is
+        applied **at most once**:
+
+        * ``completed`` ops are skipped outright;
+        * an issued ``start_task`` is probed against the launcher's
+          incarnation counter — if it advanced past the journaled
+          ``incarnation_before`` the launch took effect and is skipped;
+        * an issued ``stop_task`` whose target is already inactive is
+          skipped; an active target is re-signalled, which is safe because
+          stopping is effect-idempotent (a second TERM/KILL to a stopping
+          task changes nothing);
+        * ``reconfig_task`` is re-applied — parameter delivery overwrites
+          the same keys, so replay converges to the same task state.
+
+        Skips leave ``category="journal"`` trace points (excluded from
+        scenario fingerprints) so the exactly-once property is auditable.
+        """
+        tracer = self.tracer
+        launcher = self.launcher
+        if plan.execution_start is None:
+            plan.execution_start = launcher.engine.now
+        plan_failures: list[tuple[LowLevelOp, str]] = []
+        for op in plan.ordered_ops():
+            status = ledger.status(op.op_key)
+            if status == "completed":
+                continue
+            skip = False
+            if status == "issued":
+                if op.op == "start_task":
+                    issued = ledger.issued_record(op.op_key) or {}
+                    before = issued.get("incarnation_before")
+                    rec = launcher.records.get(op.task)
+                    if before is not None and rec is not None and rec.incarnations > int(before):
+                        skip = True
+                elif op.op == "stop_task":
+                    rec = launcher.records.get(op.task)
+                    if rec is None or not rec.is_active:
+                        skip = True
+            if skip:
+                self._journal_complete(plan, op, failed=False, reconciled=True)
+                launcher.trace.point(
+                    launcher.engine.now,
+                    f"op-skipped:{op.task}",
+                    category="journal",
+                    plan=plan.plan_id,
+                    op=op.describe(),
+                )
+                continue
+            if status == "unseen":
+                self._journal_issue(plan, op)
+            op.exec_start = launcher.engine.now
+            failed = False
+            try:
+                yield from self._run_op(op)
+            except (ActuationError, AllocationError, LaunchError) as err:
+                failed = True
+                self.failed_ops.append((plan.plan_id, f"{op.describe()}: {err}"))
+                plan_failures.append((op, str(err)))
+                launcher.trace.point(
+                    launcher.engine.now,
+                    f"op-failed:{op.task}",
+                    category="failure",
+                    plan=plan.plan_id,
+                    op=op.describe(),
+                    error=str(err),
+                )
+            finally:
+                op.exec_end = launcher.engine.now
+            self._journal_complete(plan, op, failed=failed)
+        if plan_failures:
+            self._compensate(plan, plan_failures)
+            if tracer.enabled:
+                tracer.metrics.counter("actuation.degraded_plans").inc()
+                tracer.metrics.counter("actuation.failed_ops").inc(len(plan_failures))
+        plan.execution_end = launcher.engine.now
         self.executed_plans.append(plan)
         if on_done is not None:
             on_done(plan)

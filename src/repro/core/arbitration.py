@@ -288,6 +288,7 @@ class ArbitrationStage:
         if not plan.ops:
             return None
         plan.plan_id = self._ids.next("plan")
+        plan.assign_op_keys()
         plan.reassignment = dict(shadow.assigned)
         self._in_flight = plan
         self.plans.append(plan)
@@ -581,3 +582,64 @@ class ArbitrationStage:
         )
         for entry in entries:
             self._try_start_waiting(plan, shadow, entry, stop_targets, start_targets)
+
+    # -- crash recovery ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Gates, waiting queue, and id counters; plans travel separately.
+
+        The plans list is reconstructed from the journal's ``plan`` /
+        ``plan-done`` records (it can grow without bound, so it is not
+        copied into every barrier); ``in_flight`` is stored by plan id
+        and resolved by :meth:`load_state_dict` once the list is back.
+        """
+        return {
+            "waiting": {
+                task: {
+                    "task": e.task,
+                    "nprocs": e.nprocs,
+                    "per_node_limit": e.per_node_limit,
+                    "params": dict(e.params),
+                    "user_script": e.user_script,
+                    "enqueued": e.enqueued,
+                    "reason": e.reason,
+                }
+                for task, e in self.waiting.items()
+            },
+            "discarded_batches": self.discarded_batches,
+            "gate_until": self._gate_until,
+            "in_flight": self._in_flight.plan_id if self._in_flight else None,
+            "ids": self._ids.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict, plans: list[ActionPlan] | None = None) -> None:
+        self.waiting = {
+            task: WaitingEntry(
+                task=e["task"],
+                nprocs=int(e["nprocs"]),
+                per_node_limit=e["per_node_limit"],
+                params=dict(e.get("params", {})),
+                user_script=e.get("user_script"),
+                enqueued=float(e.get("enqueued", 0.0)),
+                reason=e.get("reason", ""),
+            )
+            for task, e in state.get("waiting", {}).items()
+        }
+        self.discarded_batches = int(state.get("discarded_batches", 0))
+        gate = state.get("gate_until")
+        self._gate_until = float(gate) if gate is not None else None
+        self._ids.load_state_dict(state.get("ids", {}))
+        if plans is not None:
+            self.plans = list(plans)
+        in_flight_id = state.get("in_flight")
+        self._in_flight = None
+        if in_flight_id is not None:
+            for plan in self.plans:
+                if plan.plan_id == in_flight_id:
+                    self._in_flight = plan
+                    break
+            else:
+                from repro.errors import JournalError
+
+                raise JournalError(
+                    f"in-flight plan {in_flight_id!r} missing from journaled plans"
+                )

@@ -123,3 +123,28 @@ class DecisionStage:
         for rt in self._runtimes:
             if rt.application.assess_task == task and rt.spec.history_window > 1:
                 rt.reset_history()
+
+    # -- crash recovery ------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Runtime state keyed by creation index (configuration-stable)."""
+        return {
+            "seq": self._seq.state_dict(),
+            "updates_seen": self.updates_seen,
+            "updates_matched": self.updates_matched,
+            "runtimes": [rt.state_dict() for rt in self._runtimes],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        runtimes = state.get("runtimes", [])
+        if len(runtimes) != len(self._runtimes):
+            from repro.errors import JournalError
+
+            raise JournalError(
+                f"{len(runtimes)} journaled policy runtimes for "
+                f"{len(self._runtimes)} configured — configuration drift"
+            )
+        self._seq.load_state_dict(state["seq"])
+        self.updates_seen = int(state["updates_seen"])
+        self.updates_matched = int(state["updates_matched"])
+        for rt, rt_state in zip(self._runtimes, runtimes):
+            rt.load_state_dict(rt_state)

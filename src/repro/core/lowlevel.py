@@ -34,6 +34,9 @@ class LowLevelOp:
         params: task parameters forwarded into the TaskContext.
         reason: provenance — the policy id, ``"victim"``, ``"dependency"``
             or ``"waiting-queue"``.
+        op_key: idempotency key (``<plan_id>:<index>:<op>:<task>``),
+            assigned once the plan gets its id; the actuation journal is
+            keyed by it so a resumed plan never double-applies an op.
         exec_start / exec_end: stamped by Actuation, for the §4.6 cost
             breakdown (graceful-termination share of response time).
     """
@@ -46,6 +49,7 @@ class LowLevelOp:
     user_script: str | None = None
     params: dict[str, Any] = field(default_factory=dict)
     reason: str = ""
+    op_key: str = ""
     exec_start: float | None = None
     exec_end: float | None = None
 
@@ -63,6 +67,38 @@ class LowLevelOp:
             return f"reconfig {self.task} {self.params} [{self.reason}]"
         flavour = "graceful" if self.graceful else "kill"
         return f"stop {self.task} ({flavour}) [{self.reason}]"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "op": self.op,
+            "task": self.task,
+            "phase": self.phase,
+            "graceful": self.graceful,
+            "resources": self.resources.as_dict() if self.resources is not None else None,
+            "user_script": self.user_script,
+            "params": dict(self.params),
+            "reason": self.reason,
+            "op_key": self.op_key,
+            "exec_start": self.exec_start,
+            "exec_end": self.exec_end,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "LowLevelOp":
+        resources = d.get("resources")
+        return cls(
+            op=d["op"],
+            task=d["task"],
+            phase=int(d["phase"]),
+            graceful=bool(d.get("graceful", True)),
+            resources=ResourceSet(resources) if resources is not None else None,
+            user_script=d.get("user_script"),
+            params=dict(d.get("params", {})),
+            reason=d.get("reason", ""),
+            op_key=d.get("op_key", ""),
+            exec_start=d.get("exec_start"),
+            exec_end=d.get("exec_end"),
+        )
 
 
 @dataclass(frozen=True)
@@ -90,6 +126,23 @@ class DegradationReport:
         lines.extend(f"  compensated: {c}" for c in self.compensations)
         return "\n".join(lines)
 
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "plan_id": self.plan_id,
+            "time": self.time,
+            "failed_ops": list(self.failed_ops),
+            "compensations": list(self.compensations),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "DegradationReport":
+        return cls(
+            plan_id=d["plan_id"],
+            time=float(d["time"]),
+            failed_ops=list(d.get("failed_ops", [])),
+            compensations=list(d.get("compensations", [])),
+        )
+
 
 @dataclass
 class ActionPlan:
@@ -112,6 +165,13 @@ class ActionPlan:
     def ordered_ops(self) -> list[LowLevelOp]:
         """Ops in execution order: releases first, stable within phase."""
         return sorted(self.ops, key=lambda o: o.phase)
+
+    def assign_op_keys(self) -> None:
+        """Stamp each op's idempotency key (requires a final plan_id)."""
+        if not self.plan_id:
+            raise ValueError("assign_op_keys() before the plan got its id")
+        for idx, op in enumerate(self.ordered_ops()):
+            op.op_key = f"{self.plan_id}:{idx}:{op.op}:{op.task}"
 
     @property
     def response_time(self) -> float:
@@ -149,3 +209,39 @@ class ActionPlan:
         lines = [f"plan {self.plan_id} @ {self.created:.2f}s (trigger {self.trigger_time:.2f}s)"]
         lines.extend(f"  {op.describe()}" for op in self.ordered_ops())
         return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "plan_id": self.plan_id,
+            "workflow_id": self.workflow_id,
+            "created": self.created,
+            "ops": [op.to_dict() for op in self.ops],
+            "trigger_time": self.trigger_time,
+            "accepted": list(self.accepted),
+            "discarded": list(self.discarded),
+            "victims": list(self.victims),
+            "reassignment": {t: rs.as_dict() for t, rs in self.reassignment.items()},
+            "execution_start": self.execution_start,
+            "execution_end": self.execution_end,
+            "degradation": self.degradation.to_dict() if self.degradation else None,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "ActionPlan":
+        degradation = d.get("degradation")
+        return cls(
+            plan_id=d["plan_id"],
+            workflow_id=d["workflow_id"],
+            created=float(d["created"]),
+            ops=[LowLevelOp.from_dict(o) for o in d.get("ops", [])],
+            trigger_time=float(d["trigger_time"]),
+            accepted=list(d.get("accepted", [])),
+            discarded=list(d.get("discarded", [])),
+            victims=list(d.get("victims", [])),
+            reassignment={
+                t: ResourceSet(rs) for t, rs in d.get("reassignment", {}).items()
+            },
+            execution_start=d.get("execution_start"),
+            execution_end=d.get("execution_end"),
+            degradation=DegradationReport.from_dict(degradation) if degradation else None,
+        )

@@ -67,6 +67,27 @@ class MonitorClient:
             if b.task == task:
                 b.instance.reconnect()
 
+    # -- crash recovery ------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Sequence counters + per-binding source cursors (creation order)."""
+        return {
+            "seq": self._seq.state_dict(),
+            "cursors": [b.instance.source.cursor_state() for b in self._bindings],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._seq.load_state_dict(state["seq"])
+        cursors = state.get("cursors", [])
+        if len(cursors) != len(self._bindings):
+            from repro.errors import JournalError
+
+            raise JournalError(
+                f"client {self.client_id}: {len(cursors)} journaled cursors "
+                f"for {len(self._bindings)} bindings — configuration drift"
+            )
+        for binding, cursor in zip(self._bindings, cursors):
+            binding.instance.source.restore_cursor(cursor)
+
     # -- collection ------------------------------------------------------------------
     def collect(self, now: float) -> list[tuple[float, Envelope]]:
         """Run every sensor; return ``(read_lag, envelope)`` pairs.
@@ -213,3 +234,21 @@ class MonitorServer:
         """
         for sender in list(self._filter._highest):
             self._filter.reset(sender)
+
+    # -- crash recovery ------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Full server state; history included only when recorded."""
+        return {
+            "filter": self._filter.state_dict(),
+            "received": self.received,
+            "forwarded": self.forwarded,
+            "last_seen": dict(self.last_seen),
+            "history": [u.to_dict() for u in self.history] if self.record_history else [],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._filter.load_state_dict(state["filter"])
+        self.received = int(state["received"])
+        self.forwarded = int(state["forwarded"])
+        self.last_seen = {k: float(v) for k, v in state["last_seen"].items()}
+        self.history = [MetricUpdate.from_dict(d) for d in state.get("history", [])]

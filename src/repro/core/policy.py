@@ -224,3 +224,23 @@ class PolicyRuntime:
         """Clear history (used when the assessed task restarts)."""
         self._window.clear()
         self._pending.clear()
+
+    # -- crash recovery --------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "window": list(self._window.values()),
+            "pending": [[v, t] for v, t in self._pending],
+            "last_eval": self._last_eval,
+            "last_time": self._last_time,
+            "fired": self.fired,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._window.clear()
+        for v in state.get("window", []):
+            self._window.push(float(v))
+        self._pending = [(float(v), float(t)) for v, t in state.get("pending", [])]
+        last_eval = state.get("last_eval")
+        self._last_eval = float(last_eval) if last_eval is not None else None
+        self._last_time = float(state.get("last_time", 0.0))
+        self.fired = int(state.get("fired", 0))

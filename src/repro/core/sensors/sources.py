@@ -41,6 +41,14 @@ class DataSource:
         """Seconds between data availability and the metric reaching DYFLOW."""
         return perf.file_read_lag
 
+    # -- crash recovery ------------------------------------------------------
+    def cursor_state(self) -> dict:
+        """JSON-serializable read position (journal barrier state)."""
+        return {}
+
+    def restore_cursor(self, state: dict) -> None:
+        """Resume reading exactly where :meth:`cursor_state` left off."""
+
 
 class StreamSource(DataSource):
     """ADIOS2/TAUADIOS2: drain a staging stream channel.
@@ -110,6 +118,23 @@ class StreamSource(DataSource):
     def read_lag(self, perf: MachinePerf) -> float:
         return perf.stream_read_lag
 
+    def cursor_state(self) -> dict:
+        if self._reader is None:
+            return {"connected": False}
+        return {
+            "connected": True,
+            "cursor": self._reader.cursor,
+            "missed": self._reader.missed_steps,
+        }
+
+    def restore_cursor(self, state: dict) -> None:
+        if not state.get("connected"):
+            self._reader = None
+            return
+        reader = self._ensure_reader()
+        reader._cursor = int(state["cursor"])
+        reader.missed_steps = int(state.get("missed", 0))
+
 
 class DiskScanSource(DataSource):
     """DISKSCAN: new files matching a glob become samples.
@@ -170,6 +195,12 @@ class DiskScanSource(DataSource):
         # Already-seen files stay seen: a restarted task appends new ones.
         pass
 
+    def cursor_state(self) -> dict:
+        return {"seen": sorted(self._seen)}
+
+    def restore_cursor(self, state: dict) -> None:
+        self._seen = set(state.get("seen", []))
+
 
 class FileReadSource(DataSource):
     """FILEREAD: sample a variable from one file whenever its mtime moves."""
@@ -215,6 +246,13 @@ class FileReadSource(DataSource):
             )
         ]
 
+    def cursor_state(self) -> dict:
+        return {"last_mtime": self._last_mtime}
+
+    def restore_cursor(self, state: dict) -> None:
+        mtime = state.get("last_mtime")
+        self._last_mtime = float(mtime) if mtime is not None else None
+
 
 class ErrorStatusSource(DataSource):
     """ERRORSTATUS: new exit-status records saved by the WMS (§4.5).
@@ -252,6 +290,12 @@ class ErrorStatusSource(DataSource):
             )
         self._consumed = len(records)
         return out
+
+    def cursor_state(self) -> dict:
+        return {"consumed": self._consumed}
+
+    def restore_cursor(self, state: dict) -> None:
+        self._consumed = int(state.get("consumed", 0))
 
 
 def make_source(

@@ -127,6 +127,17 @@ class TelemetryError(ReproError):
 
 
 # --------------------------------------------------------------------------- #
+# journal / crash recovery
+# --------------------------------------------------------------------------- #
+class JournalError(ReproError):
+    """Invalid journal configuration, corrupt records, or bad recovery state."""
+
+
+class StaleWriterError(JournalError):
+    """A fenced-out writer (superseded epoch) attempted to append."""
+
+
+# --------------------------------------------------------------------------- #
 # XML interface
 # --------------------------------------------------------------------------- #
 class XmlSpecError(ReproError):

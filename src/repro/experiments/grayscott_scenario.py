@@ -157,12 +157,29 @@ def run_gray_scott_experiment(
     graceful_stops: bool = True,
     history_window: int | None = None,
     telemetry: TelemetrySpec | None = None,
+    journal=None,
+    crash_times: tuple[float, ...] = (),
+    ignore_crash_requests: bool = False,
+    resume_on_crash: bool = True,
+    xml_extra: str = "",
 ) -> ScenarioResult:
     """Run the under-provisioning experiment.
 
     With ``use_dyflow=False`` and walltime enforcement the run times out
     exactly as the paper describes; with enforcement off, the baseline's
     overtime factor (≈10–12%) can be measured.
+
+    Crash recovery: pass a :class:`~repro.journal.JournalSpec` as
+    *journal* to enable WAL journaling.  Each time in *crash_times*
+    schedules a ``request_crash()`` against whichever orchestrator is
+    live at that instant; with ``resume_on_crash`` a fresh orchestrator
+    is bootstrapped from the same spec over the surviving launcher and
+    resumed from the journal, so the run carries on.  A reference run
+    sets ``ignore_crash_requests=True`` with the *same* ``crash_times``
+    (the no-op requests keep the event-queue sequence numbers aligned) —
+    its :func:`~repro.journal.scenario_fingerprint` must equal the
+    crashed run's.  *xml_extra* is spliced into the ``<dyflow>`` document
+    (e.g. a ``<resilience>`` section with an ``orch-crash-mtbf`` fault).
     """
     engine = SimEngine()
     config = (
@@ -193,22 +210,55 @@ def run_gray_scott_experiment(
     workflow = build_workflow(config)
     launcher = Savanna(engine, workflow, job.allocation, rng=RngRegistry(seed))
     launcher_box.append(launcher)
+    gs_done = lambda: (not launcher.record("GrayScott").is_active
+                       and launcher.record("GrayScott").incarnations > 0
+                       and launcher.all_idle())
     orch = None
+    crashes: list[float] = []
+    orch_box: list = []
     if use_dyflow:
-        spec = parse_dyflow_xml(gray_scott_xml(machine))
+        xml = gray_scott_xml(machine)
+        if xml_extra:
+            xml = xml.replace("</dyflow>", xml_extra + "\n</dyflow>")
+        spec = parse_dyflow_xml(xml)
         if history_window is not None:
             # Ablation hook: replace the paper's 10-value window.
             for pid, pol in list(spec.policies.items()):
                 spec.policies[pid] = replace(pol, history_window=history_window)
-        orch = configure_orchestrator(
-            launcher, spec, warmup=120.0, settle=settle, poll_interval=1.0,
-            record_history=True, allow_victims=allow_victims, graceful_stops=graceful_stops,
-            telemetry=telemetry,
+        journal_spec = journal if journal is not None else spec.journal
+
+        def build(tracer=None, with_journal=True, on_crash=None):
+            return configure_orchestrator(
+                launcher, spec, warmup=120.0, settle=settle, poll_interval=1.0,
+                record_history=True, allow_victims=allow_victims,
+                graceful_stops=graceful_stops, telemetry=telemetry, tracer=tracer,
+                journal=journal_spec if with_journal else None,
+                ignore_crash_requests=ignore_crash_requests, on_crash=on_crash,
+            )
+
+        def on_crash_handler(crashed):
+            # The controller process died; the launcher, engine, tasks and
+            # tracer all survive.  Bootstrap a replacement from the same
+            # spec and resume it from the journal at the crash instant.
+            crashes.append(engine.now)
+            replacement = build(
+                tracer=crashed.tracer, with_journal=False, on_crash=on_crash_handler
+            )
+            orch_box[0] = replacement
+            replacement.resume_from(journal_spec.dir, stop_when=gs_done)
+
+        handler = (
+            on_crash_handler
+            if (journal_spec is not None and resume_on_crash)
+            else None
         )
-    gs_done = lambda: (not launcher.record("GrayScott").is_active
-                       and launcher.record("GrayScott").incarnations > 0
-                       and launcher.all_idle())
+        orch = build(on_crash=handler)
+        orch_box.append(orch)
+        for t in crash_times:
+            engine.call_at(float(t), lambda: orch_box[0].request_crash(), name="crash-request")
     makespan = execute_scenario(engine, launcher, orch, max_time=4 * limit, stop_when=gs_done)
+    if orch_box:
+        orch = orch_box[0]
     return ScenarioResult(
         name="gray-scott",
         machine=machine,
@@ -224,5 +274,6 @@ def run_gray_scott_experiment(
             "timed_out": bool(timed_out),
             "timeout_at": timed_out[0] if timed_out else None,
             "config": config,
+            "crashes": list(crashes),
         },
     )

@@ -1,0 +1,43 @@
+"""Idempotent-actuation ledger.
+
+Actuation writes ``op-issued`` *before* applying a plan op and
+``op-completed`` after it took effect, both keyed by the op's idempotency
+key (``plan_id:index:op:task``).  On resume the ledger classifies each op
+of an in-flight plan:
+
+``completed``  the effect is durable — skip, never double-apply;
+``issued``     the crash fell inside the issue/apply window — probe the
+               launcher for the effect before deciding;
+``unseen``     the op never started — apply normally.
+"""
+
+from __future__ import annotations
+
+
+class AppliedOpsLedger:
+    """What the WAL proves about each plan op's actuation progress."""
+
+    def __init__(self) -> None:
+        self.issued: dict[str, dict] = {}
+        self.completed: set[str] = set()
+
+    @classmethod
+    def from_records(cls, records: list[dict]) -> "AppliedOpsLedger":
+        ledger = cls()
+        for rec in records:
+            kind = rec.get("kind")
+            if kind == "op-issued":
+                ledger.issued[rec["op_key"]] = rec
+            elif kind == "op-completed":
+                ledger.completed.add(rec["op_key"])
+        return ledger
+
+    def status(self, op_key: str) -> str:
+        if op_key in self.completed:
+            return "completed"
+        if op_key in self.issued:
+            return "issued"
+        return "unseen"
+
+    def issued_record(self, op_key: str) -> dict | None:
+        return self.issued.get(op_key)

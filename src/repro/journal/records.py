@@ -1,0 +1,55 @@
+"""The journal record taxonomy.
+
+Every WAL record is one JSON object with three framing fields — ``seq``
+(monotonic across segments), ``kind`` (one of :data:`RECORD_KINDS`), and
+``e`` (the writer's epoch) — plus kind-specific payload fields.  The
+kinds split into three groups:
+
+*replayed*   records whose side effects are re-executed on resume:
+             ``obs`` (an envelope delivered to the MonitorServer),
+             ``task-restart`` (sensor/window resets on task restart),
+             ``barrier`` (a Decision tick; also carries the controller
+             state used when it is the last barrier before a crash).
+
+*restored*   records whose payload is state, applied wholesale:
+             ``plan`` / ``plan-done`` (ActionPlan creation + execution
+             patch), ``snapshot-ref`` (pointer to a snapshot file).
+
+*bookkeeping* ``meta``, ``resume``, ``crash``, ``op-issued`` /
+             ``op-completed`` (the idempotent-actuation ledger),
+             ``task-checkpoint`` (threaded-runtime step progress, used
+             to restart live mini-apps without redoing work), and the
+             campaign-level ``run-started`` / ``run-completed``.
+"""
+
+from __future__ import annotations
+
+RECORD_KINDS = (
+    "meta",          # journal/run identity: workflow id, config fingerprint
+    "resume",        # a new epoch took over this journal
+    "obs",           # monitor envelope delivered to the server
+    "task-restart",  # task (re)started: sensor epochs / history windows reset
+    "task-checkpoint",  # threaded runtime: a live task finished a step
+    "barrier",       # one control-loop tick completed; carries controller state
+    "plan",          # arbitration produced a plan (full serialized ActionPlan)
+    "plan-done",     # actuation finished a plan (execution-time patch)
+    "op-issued",     # actuation is about to apply one op (idempotency key)
+    "op-completed",  # that op took effect
+    "snapshot-ref",  # compaction point: snapshot file + first seq it covers
+    "crash",         # controller stopped at this barrier (orchestrator_crash)
+    "run-started",   # campaign: one run began
+    "run-completed", # campaign: one run finished (carries its result summary)
+)
+
+_KIND_SET = frozenset(RECORD_KINDS)
+
+
+def make_record(seq: int, epoch: int, kind: str, payload: dict) -> dict:
+    """Frame *payload* as a journal record; ``seq``/``kind``/``e`` win."""
+    if kind not in _KIND_SET:
+        raise ValueError(f"unknown journal record kind {kind!r}")
+    rec = dict(payload)
+    rec["seq"] = seq
+    rec["kind"] = kind
+    rec["e"] = epoch
+    return rec

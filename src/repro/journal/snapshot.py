@@ -1,0 +1,104 @@
+"""Snapshot store: periodic compaction points for the WAL.
+
+A snapshot is the full runtime state at one barrier, written as a single
+CRC-framed JSON line.  The ``CHECKPOINT`` pointer file names the latest
+durable snapshot and the WAL segment that starts after it; recovery loads
+the snapshot and replays only that segment onward.  Older segments and
+snapshots are deleted (compaction) once the pointer has moved past them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import JournalError
+from repro.journal.wal import (
+    _decode_line,
+    encode_record,
+    list_segment_indices,
+    segment_path,
+)
+
+CHECKPOINT_FILE = "CHECKPOINT"
+SNAPSHOT_PREFIX = "snapshot-"
+SNAPSHOT_SUFFIX = ".json"
+
+
+def snapshot_path(directory: str, index: int) -> str:
+    return os.path.join(directory, f"{SNAPSHOT_PREFIX}{index:06d}{SNAPSHOT_SUFFIX}")
+
+
+class SnapshotStore:
+    """Writes snapshots + the checkpoint pointer, and compacts behind them."""
+
+    def __init__(self, directory: str, compact: bool = True) -> None:
+        self.directory = directory
+        self.compact = compact
+
+    # -- writing ------------------------------------------------------------
+    def write(self, index: int, state: dict, segment_after: int, seq: int) -> int:
+        """Persist snapshot *index*; returns its size in bytes.
+
+        *segment_after* is the WAL segment whose records postdate this
+        snapshot; *seq* is the last record sequence number it covers.
+        """
+        framed = {"index": index, "segment_after": segment_after, "seq": seq,
+                  "state": state}
+        line = encode_record(framed)
+        path = snapshot_path(self.directory, index)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self._write_pointer({"snapshot": index, "segment": segment_after, "seq": seq})
+        if self.compact:
+            self._compact(index, segment_after)
+        return len(line)
+
+    def _write_pointer(self, pointer: dict) -> None:
+        path = os.path.join(self.directory, CHECKPOINT_FILE)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(pointer, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    def _compact(self, snapshot_index: int, segment_after: int) -> None:
+        for idx in list_segment_indices(self.directory):
+            if idx < segment_after:
+                os.unlink(segment_path(self.directory, idx))
+        for name in os.listdir(self.directory):
+            if name.startswith(SNAPSHOT_PREFIX) and name.endswith(SNAPSHOT_SUFFIX):
+                body = name[len(SNAPSHOT_PREFIX) : -len(SNAPSHOT_SUFFIX)]
+                try:
+                    idx = int(body)
+                except ValueError:
+                    continue
+                if idx < snapshot_index:
+                    os.unlink(os.path.join(self.directory, name))
+
+    # -- reading ------------------------------------------------------------
+    def pointer(self) -> dict | None:
+        path = os.path.join(self.directory, CHECKPOINT_FILE)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+
+    def load_latest(self) -> dict | None:
+        """The latest durable snapshot's framed payload, or None."""
+        pointer = self.pointer()
+        if pointer is None:
+            return None
+        path = snapshot_path(self.directory, pointer["snapshot"])
+        with open(path, encoding="utf-8") as fh:
+            line = fh.readline().strip()
+        framed = _decode_line(line)
+        if framed is None:
+            raise JournalError(f"corrupt snapshot file {path}")
+        return framed

@@ -1,0 +1,40 @@
+"""Configuration for the write-ahead journal."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import JournalError
+
+FSYNC_MODES = ("off", "always", "batch")
+
+
+@dataclass(frozen=True)
+class JournalSpec:
+    """How (and whether) the control loop journals its state.
+
+    ``fsync`` trades durability for throughput: ``always`` syncs after
+    every record, ``batch`` after every ``batch_every`` records (and on
+    snapshot/close), ``off`` leaves flushing to the OS.  ``snapshot_every``
+    is measured in control-loop barriers (ticks).
+    """
+
+    dir: str = "journal"
+    enabled: bool = True
+    fsync: str = "batch"
+    batch_every: int = 64
+    snapshot_every: int = 20
+
+    def validate(self) -> None:
+        if not self.dir:
+            raise JournalError("journal dir must be a non-empty path")
+        if self.fsync not in FSYNC_MODES:
+            raise JournalError(
+                f"journal fsync must be one of {FSYNC_MODES}, got {self.fsync!r}"
+            )
+        if self.batch_every < 1:
+            raise JournalError(f"journal batch_every must be >= 1, got {self.batch_every}")
+        if self.snapshot_every < 1:
+            raise JournalError(
+                f"journal snapshot_every must be >= 1, got {self.snapshot_every}"
+            )

@@ -3,11 +3,18 @@
 Generalizes the seed's single scheduled node failure (§4.5) into a
 stochastic fault model in the spirit of WfCommons' synthetic scenarios:
 node crashes with exponential/Weibull interarrivals, task crashes, task
-hangs, and staging message drops.  Every draw — interarrival times,
-victim picks, drop decisions — comes from its own *named*
-:class:`~repro.sim.rng.RngRegistry` stream, so a chaos run with a fixed
-seed is bit-identical across invocations and new fault classes never
-perturb existing ones.
+hangs, orchestrator (controller) crashes, and staging message drops.
+Every draw — interarrival times, victim picks, drop decisions — comes
+from its own *named* :class:`~repro.sim.rng.RngRegistry` stream, so a
+chaos run with a fixed seed is bit-identical across invocations and new
+fault classes never perturb existing ones.
+
+Injection loops are self-rescheduling engine callbacks (not simulated
+processes): each fault class keeps exactly one pending event whose
+absolute fire time was already drawn.  A crashing orchestrator cancels
+those events and journals their ``(time, seq)`` heap slots; resume
+re-registers them *without redrawing*, so injected faults land at the
+same instants as in an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -27,13 +34,26 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 # 137 is reserved for node-death kills (handle_node_failure).
 TASK_CRASH_CODE = 139
 
+# Every named RNG stream the engine may draw from, for state capture.
+CHAOS_STREAMS = (
+    "chaos:node-crash",
+    "chaos:node-pick",
+    "chaos:task-crash",
+    "chaos:task-pick",
+    "chaos:task-hang",
+    "chaos:hang-pick",
+    "chaos:orch-crash",
+    "chaos:stage-drop",
+    "chaos:msg-drop",
+)
+
 
 @dataclass(frozen=True)
 class FaultEvent:
     """One injected fault, for post-run inspection and replay checks."""
 
     time: float
-    kind: str  # "node-crash" | "task-crash" | "task-hang" | "msg-drop"
+    kind: str  # "node-crash" | "task-crash" | "task-hang" | "orch-crash" | "msg-drop"
     target: str
 
 
@@ -61,19 +81,27 @@ class ChaosEngine:
         self.history: list[FaultEvent] = []
         self.dropped_envelopes = 0
         self._running = False
+        # The orchestrator under chaos; orch-crash fires call its
+        # request_crash().  Set by the orchestrator when it adopts us.
+        self.orchestrator = None
+        # kind -> (stage, SimEvent): the one pending callback per class.
+        # stage "arm" = draw-then-schedule bootstrap, "fire" = injection.
+        self._pending: dict[str, tuple[str, object]] = {}
 
     # -- lifecycle ---------------------------------------------------------------
     def start(self) -> None:
-        """Spawn one injection process per enabled fault class."""
+        """Arm one injection chain per enabled fault class."""
         if self._running:
             return
         self._running = True
         if self.model.node_mtbf > 0:
-            self.engine.process(self._node_crash_loop(), name="chaos:node-crash")
+            self._set_pending("node-crash", "arm", 0.0)
         if self.model.task_crash_mtbf > 0:
-            self.engine.process(self._task_crash_loop(), name="chaos:task-crash")
+            self._set_pending("task-crash", "arm", 0.0)
         if self.model.task_hang_mtbf > 0:
-            self.engine.process(self._task_hang_loop(), name="chaos:task-hang")
+            self._set_pending("task-hang", "arm", 0.0)
+        if self.model.orch_crash_mtbf > 0:
+            self._set_pending("orch-crash", "arm", 0.0)
         if self.model.stage_drop_prob > 0:
             hub = self.launcher.hub
             for name in hub.channels():
@@ -81,20 +109,45 @@ class ChaosEngine:
             hub.on_new_channel = self._attach_channel
 
     def stop(self) -> None:
-        """Stop injecting; in-flight loops exit at their next wake-up."""
+        """Stop injecting; pending events become no-ops when they fire."""
         self._running = False
 
-    # -- injection loops ---------------------------------------------------------
-    def _node_crash_loop(self):
-        times = self.rng.stream("chaos:node-crash")
+    # -- scheduling ---------------------------------------------------------------
+    def _stage_fn(self, kind: str, stage: str):
+        names = {
+            "node-crash": ("_arm_node_crash", "_fire_node_crash"),
+            "task-crash": ("_arm_task_crash", "_fire_task_crash"),
+            "task-hang": ("_arm_task_hang", "_fire_task_hang"),
+            "orch-crash": ("_arm_orch_crash", "_fire_orch_crash"),
+        }[kind]
+        return getattr(self, names[0] if stage == "arm" else names[1])
+
+    def _set_pending(self, kind: str, stage: str, delay: float) -> None:
+        ev = self.engine.call_after(delay, self._stage_fn(kind, stage), name=f"chaos:{kind}")
+        self._pending[kind] = (stage, ev)
+
+    def _arm(self, kind: str, delay: float) -> None:
+        """Schedule the next fire of *kind* after an already-drawn delay."""
+        ev = self.engine.call_after(delay, self._stage_fn(kind, "fire"), name=f"chaos:{kind}")
+        self._pending[kind] = ("fire", ev)
+
+    # -- injection chains ---------------------------------------------------------
+    def _arm_node_crash(self) -> None:
+        if not self._running:
+            self._pending.pop("node-crash", None)
+            return
+        self._arm(
+            "node-crash",
+            self.model.interarrival(self.model.node_mtbf, self.rng.stream("chaos:node-crash")),
+        )
+
+    def _fire_node_crash(self) -> None:
+        if not self._running:
+            self._pending.pop("node-crash", None)
+            return
         pick = self.rng.stream("chaos:node-pick")
-        while self._running:
-            yield self.engine.timeout(self.model.interarrival(self.model.node_mtbf, times))
-            if not self._running:
-                return
-            up = sorted(n.node_id for n in self.launcher.allocation.nodes if n.is_up)
-            if not up:
-                continue
+        up = sorted(n.node_id for n in self.launcher.allocation.nodes if n.is_up)
+        if up:
             node_id = up[int(pick.integers(len(up)))]
             self.injector.fail_node_now(node_id)
             self._record("node-crash", node_id)
@@ -102,42 +155,73 @@ class ChaosEngine:
                 self.injector.recover_node_at(
                     self.engine.now + self.model.node_repair_time, node_id
                 )
+        self._arm_node_crash()
 
-    def _task_crash_loop(self):
+    def _arm_task_crash(self) -> None:
+        if not self._running:
+            self._pending.pop("task-crash", None)
+            return
         times = self.rng.stream("chaos:task-crash")
+        self._arm("task-crash", float(times.exponential(self.model.task_crash_mtbf)))
+
+    def _fire_task_crash(self) -> None:
+        if not self._running:
+            self._pending.pop("task-crash", None)
+            return
         pick = self.rng.stream("chaos:task-pick")
-        while self._running:
-            yield self.engine.timeout(float(times.exponential(self.model.task_crash_mtbf)))
-            if not self._running:
-                return
-            running = sorted(self.launcher.running_tasks())
-            if not running:
-                continue
+        running = sorted(self.launcher.running_tasks())
+        if running:
             name = running[int(pick.integers(len(running)))]
             self.engine.process(
                 self.launcher.signal_kill_task(name, code=TASK_CRASH_CODE, cause="chaos"),
                 name=f"chaos:kill:{name}",
             )
             self._record("task-crash", name)
+        self._arm_task_crash()
 
-    def _task_hang_loop(self):
+    def _arm_task_hang(self) -> None:
+        if not self._running:
+            self._pending.pop("task-hang", None)
+            return
         times = self.rng.stream("chaos:task-hang")
+        self._arm("task-hang", float(times.exponential(self.model.task_hang_mtbf)))
+
+    def _fire_task_hang(self) -> None:
+        if not self._running:
+            self._pending.pop("task-hang", None)
+            return
         pick = self.rng.stream("chaos:hang-pick")
-        while self._running:
-            yield self.engine.timeout(float(times.exponential(self.model.task_hang_mtbf)))
-            if not self._running:
-                return
-            candidates = sorted(
-                name
-                for name in self.launcher.running_tasks()
-                if self.launcher.record(name).current is not None
-                and self.launcher.record(name).current.ctx is not None
-            )
-            if not candidates:
-                continue
+        candidates = sorted(
+            name
+            for name in self.launcher.running_tasks()
+            if self.launcher.record(name).current is not None
+            and self.launcher.record(name).current.ctx is not None
+        )
+        if candidates:
             name = candidates[int(pick.integers(len(candidates)))]
             self.launcher.record(name).current.ctx.inject_hang()
             self._record("task-hang", name)
+        self._arm_task_hang()
+
+    def _arm_orch_crash(self) -> None:
+        if not self._running:
+            self._pending.pop("orch-crash", None)
+            return
+        times = self.rng.stream("chaos:orch-crash")
+        self._arm("orch-crash", float(times.exponential(self.model.orch_crash_mtbf)))
+
+    def _fire_orch_crash(self) -> None:
+        if not self._running:
+            self._pending.pop("orch-crash", None)
+            return
+        # Record first, then arm the *next* crash, then ask the controller
+        # to die: the trace point, the RNG draws, and the pending event are
+        # therefore identical whether the orchestrator honors the request
+        # (crash+resume run) or ignores it (reference run).
+        self._record("orch-crash", "controller")
+        self._arm_orch_crash()
+        if self.orchestrator is not None:
+            self.orchestrator.request_crash()
 
     # -- staging drops (installed on every hub channel) ---------------------------
     def _attach_channel(self, channel) -> None:
@@ -161,6 +245,59 @@ class ChaosEngine:
         self.dropped_envelopes += 1
         self._record("msg-drop", env.sender)
         return True
+
+    # -- crash recovery ------------------------------------------------------------
+    def suspend(self) -> None:
+        """Orchestrator crash: cancel pending injections without firing."""
+        for _stage, ev in self._pending.values():
+            ev.cancel()
+
+    def state_dict(self) -> dict:
+        """Pending fire slots, history, and chaos RNG stream positions."""
+        pending = {}
+        for kind, (stage, ev) in sorted(self._pending.items()):
+            if ev.cancelled:
+                continue
+            pending[kind] = {"stage": stage, "at": ev.heap_time, "seq": ev.heap_seq}
+        return {
+            "running": self._running,
+            "pending": pending,
+            "history": [[e.time, e.kind, e.target] for e in self.history],
+            "dropped_envelopes": self.dropped_envelopes,
+            "rng": self.rng.state_dict(names=CHAOS_STREAMS),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore chaos state; re-register pending events at their slots.
+
+        Fire times were drawn before the crash and are restored verbatim
+        (no redraw), at the journaled ``(time, seq)`` heap slots, so the
+        post-resume fault sequence is the uninterrupted run's.
+        """
+        self._running = bool(state.get("running", False))
+        self.dropped_envelopes = int(state.get("dropped_envelopes", 0))
+        self.history = [
+            FaultEvent(float(t), kind, target) for t, kind, target in state.get("history", [])
+        ]
+        self.rng.load_state_dict(state.get("rng", {}))
+        if self._running and self.model.stage_drop_prob > 0:
+            # Take over the drop filters from the crashed engine's chaos
+            # instance; the shared named RNG stream keeps the drop
+            # sequence continuous across the handover.
+            hub = self.launcher.hub
+            for name in hub.channels():
+                self._attach_channel(hub.get_channel(name))
+            hub.on_new_channel = self._attach_channel
+        self._pending = {}
+        for kind, slot in state.get("pending", {}).items():
+            stage = slot.get("stage", "fire")
+            ev = self.engine.call_at(
+                float(slot["at"]),
+                self._stage_fn(kind, stage),
+                name=f"chaos:{kind}",
+                seq=slot.get("seq"),
+            )
+            self._pending[kind] = (stage, ev)
 
     # -- bookkeeping -------------------------------------------------------------
     def _record(self, kind: str, target: str) -> None:

@@ -80,3 +80,23 @@ class NodeQuarantine:
     def blamed(self, node_id: str) -> int:
         """Failures currently held against *node_id* (within the window)."""
         return len(self._failures.get(node_id, []))
+
+    # -- crash recovery ------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "failures": {n: list(ts) for n, ts in sorted(self._failures.items())},
+            "until": {n: t for n, t in sorted(self._until.items())},
+            "history": [
+                [e.time, e.node_id, e.kind, e.blamed_failures] for e in self.history
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._failures = {
+            n: [float(x) for x in ts] for n, ts in state.get("failures", {}).items()
+        }
+        self._until = {n: float(t) for n, t in state.get("until", {}).items()}
+        self.history = [
+            QuarantineEvent(float(t), n, kind, int(b))
+            for t, n, kind, b in state.get("history", [])
+        ]

@@ -144,13 +144,23 @@ class FaultModelSpec:
     task_hang_mtbf: float = 0.0
     msg_drop_prob: float = 0.0
     stage_drop_prob: float = 0.0
+    # Mean time between orchestrator (controller) crashes.  The control
+    # loop dies and is resumed from its write-ahead journal; the launcher
+    # and running tasks survive (the fail-stop model of docs/crash-recovery.md).
+    orch_crash_mtbf: float = 0.0
 
     def validate(self) -> None:
         if self.node_dist not in DISTRIBUTIONS:
             raise ResilienceError(
                 f"node_dist must be one of {DISTRIBUTIONS}, got {self.node_dist!r}"
             )
-        for name in ("node_mtbf", "node_repair_time", "task_crash_mtbf", "task_hang_mtbf"):
+        for name in (
+            "node_mtbf",
+            "node_repair_time",
+            "task_crash_mtbf",
+            "task_hang_mtbf",
+            "orch_crash_mtbf",
+        ):
             if getattr(self, name) < 0:
                 raise ResilienceError(f"{name} must be >= 0")
         if self.weibull_shape <= 0:
@@ -169,6 +179,7 @@ class FaultModelSpec:
             or self.task_hang_mtbf > 0
             or self.msg_drop_prob > 0
             or self.stage_drop_prob > 0
+            or self.orch_crash_mtbf > 0
         )
 
     def interarrival(self, mtbf: float, rng: np.random.Generator) -> float:

@@ -32,7 +32,13 @@ class WatchdogKill:
 
 
 class HeartbeatWatchdog:
-    """Polls running instances and kills the ones that stopped beating."""
+    """Polls running instances and kills the ones that stopped beating.
+
+    The poll loop is a self-rescheduling engine callback (not a simulated
+    process) so a crashing orchestrator can cancel the pending poll and a
+    resumed one can re-register it at the exact journaled heap slot —
+    same-timestamp tie-breaking stays bit-identical across a crash.
+    """
 
     def __init__(
         self,
@@ -48,17 +54,52 @@ class HeartbeatWatchdog:
         self.on_hang = on_hang
         self.kills: list[WatchdogKill] = []
         self._running = False
+        self._event = None  # pending poll's SimEvent
 
     # -- lifecycle ---------------------------------------------------------------
     def start(self) -> None:
-        """Spawn the watchdog loop as a simulated process."""
+        """Begin the poll chain (first scan at the current time)."""
         if self._running:
             return
         self._running = True
-        self.launcher.engine.process(self._loop(), name="watchdog")
+        self._event = self.launcher.engine.call_after(0.0, self._tick, name="watchdog")
 
     def stop(self) -> None:
         self._running = False
+
+    # -- crash recovery -----------------------------------------------------------
+    def suspend(self) -> None:
+        """Orchestrator crash: drop the pending poll without firing it."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def state_dict(self) -> dict:
+        ev = self._event
+        pending = self._running and ev is not None and not ev.cancelled
+        return {
+            "running": self._running,
+            "next_poll": ev.heap_time if pending else None,
+            "seq": ev.heap_seq if pending else None,
+            "kills": [[k.time, k.task, k.last_heartbeat] for k in self.kills],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the kill ledger and re-register the pending poll.
+
+        The poll is pushed back at its journaled ``(time, seq)`` heap slot
+        so it fires in the same order relative to every other event as it
+        would have in an uninterrupted run.
+        """
+        self.kills = [
+            WatchdogKill(float(t), task, float(hb)) for t, task, hb in state.get("kills", [])
+        ]
+        self._running = bool(state.get("running", False))
+        next_poll = state.get("next_poll")
+        if self._running and next_poll is not None:
+            self._event = self.launcher.engine.call_at(
+                float(next_poll), self._tick, name="watchdog-poll", seq=state.get("seq")
+            )
 
     # -- internals ---------------------------------------------------------------
     def _last_signal(self, task: str, instance) -> float:
@@ -72,28 +113,30 @@ class HeartbeatWatchdog:
                 last = max(last, seen)
         return last if last is not None else self.launcher.engine.now
 
-    def _loop(self):
+    def _tick(self) -> None:
+        if not self._running:
+            self._event = None
+            return
         eng = self.launcher.engine
-        while self._running:
-            now = eng.now
-            for name, rec in self.launcher.records.items():
-                instance = rec.current
-                if instance is None or not rec.is_running:
-                    continue
-                last = self._last_signal(name, instance)
-                if now - last <= self.spec.heartbeat_timeout:
-                    continue
-                self.kills.append(WatchdogKill(now, name, last))
-                self.launcher.trace.point(
-                    now, f"watchdog-kill:{name}", category="failure",
-                    last_heartbeat=last, timeout=self.spec.heartbeat_timeout,
-                )
-                eng.process(
-                    self.launcher.signal_kill_task(
-                        name, code=self.spec.kill_code, cause="watchdog"
-                    ),
-                    name=f"watchdog-kill:{name}",
-                )
-                if self.on_hang is not None:
-                    self.on_hang(name, now)
-            yield eng.timeout(self.spec.poll, name="watchdog-poll")
+        now = eng.now
+        for name, rec in self.launcher.records.items():
+            instance = rec.current
+            if instance is None or not rec.is_running:
+                continue
+            last = self._last_signal(name, instance)
+            if now - last <= self.spec.heartbeat_timeout:
+                continue
+            self.kills.append(WatchdogKill(now, name, last))
+            self.launcher.trace.point(
+                now, f"watchdog-kill:{name}", category="failure",
+                last_heartbeat=last, timeout=self.spec.heartbeat_timeout,
+            )
+            eng.process(
+                self.launcher.signal_kill_task(
+                    name, code=self.spec.kill_code, cause="watchdog"
+                ),
+                name=f"watchdog-kill:{name}",
+            )
+            if self.on_hang is not None:
+                self.on_hang(name, now)
+        self._event = eng.call_after(self.spec.poll, self._tick, name="watchdog-poll")

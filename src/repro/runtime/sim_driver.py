@@ -4,10 +4,20 @@ Mirrors the implementation in paper §3/Fig. 2: a Bootstrap wires the
 Monitor (clients + server), Decision, Arbitration and Actuation modules;
 messages flow through (simulated) queues with realistic read lags; the
 Actuation module is a wrapper over the Savanna plugin.
+
+Crash recovery: with a :class:`~repro.journal.JournalSpec` attached, the
+control loop journals every observation, plan, op, and barrier to a
+write-ahead log.  The loop itself runs as a self-rescheduling engine
+callback so that a crash can cancel every controller-owned event (the
+next tick, in-flight envelope deliveries, watchdog polls, chaos fires)
+and :meth:`resume_from` can re-register them at their journaled
+``(time, seq)`` heap slots — the resumed run then pops events in exactly
+the order the uninterrupted run would have (see docs/crash-recovery.md).
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable
 
 from repro.core.arbitration import ArbitrationStage
@@ -19,10 +29,11 @@ from repro.core.policy import PolicyApplication, PolicySpec
 from repro.core.rules import ArbitrationRules
 from repro.core.sensors.base import SensorInstance, SensorSpec
 from repro.core.sensors.sources import make_source
-from repro.errors import DyflowError
+from repro.errors import DyflowError, JournalError
 from repro.resilience import ChaosEngine, HeartbeatWatchdog
 from repro.telemetry import TelemetrySpec, build_tracer, write_chrome_trace
-from repro.telemetry.tracer import Tracer
+from repro.telemetry.tracer import NULL_TRACER, Tracer
+from repro.util.jsonmsg import Envelope
 from repro.wms.launcher import Savanna
 
 
@@ -42,6 +53,9 @@ class DyflowOrchestrator:
         graceful_stops: bool = True,
         telemetry: TelemetrySpec | None = None,
         tracer: Tracer | None = None,
+        journal=None,
+        ignore_crash_requests: bool = False,
+        on_crash: Callable[["DyflowOrchestrator"], None] | None = None,
     ) -> None:
         self.launcher = launcher
         self.engine = launcher.engine
@@ -81,6 +95,30 @@ class DyflowOrchestrator:
             self.watchdog = HeartbeatWatchdog(launcher, spec.watchdog, server=self.server)
         if spec is not None and spec.faults is not None and spec.faults.any_enabled:
             self.chaos = ChaosEngine(launcher, spec.faults)
+            self.chaos.orchestrator = self
+        # Crash-recovery machinery.  `journal` may be a JournalSpec (the
+        # journal is opened at start()) or an already-open Journal.
+        self._journal = None
+        self._journal_spec = None
+        if journal is not None:
+            from repro.journal import Journal, JournalSpec
+
+            if isinstance(journal, Journal):
+                self._journal = journal
+            elif isinstance(journal, JournalSpec):
+                if journal.enabled:
+                    self._journal_spec = journal
+            else:
+                raise DyflowError(f"journal must be a Journal or JournalSpec, got {journal!r}")
+        self.ignore_crash_requests = ignore_crash_requests
+        self.on_crash = on_crash
+        self.crashed = False
+        self._crash_requested = False
+        self._tick_event = None
+        self._barriers = 0
+        self._delivery_ids = itertools.count()
+        # did -> (deliver-at, envelope, SimEvent): envelopes in transit.
+        self._inflight_deliveries: dict[int, tuple[float, Envelope, object]] = {}
 
     # -- bootstrap configuration ---------------------------------------------------
     def add_sensor(self, spec: SensorSpec) -> None:
@@ -127,7 +165,7 @@ class DyflowOrchestrator:
 
     # -- service ----------------------------------------------------------------------
     def start(self, stop_when: Callable[[], bool] | None = None) -> None:
-        """Start the DYFLOW service loop as a simulated process.
+        """Start the DYFLOW service loop on the event clock.
 
         ``stop_when`` is checked every tick; when it returns True the
         service winds down (used by scenarios: "experiment finished").
@@ -136,12 +174,24 @@ class DyflowOrchestrator:
             raise DyflowError("orchestrator already running")
         self._running = True
         self._stop_when = stop_when
+        if self._journal is None and self._journal_spec is not None:
+            from repro.journal import Journal
+
+            self._journal = Journal.open(self._journal_spec, metrics=self.tracer.metrics)
+        if self._journal is not None:
+            self._journal.append(
+                "meta",
+                t=self.engine.now,
+                workflow=self.launcher.workflow.workflow_id,
+                poll_interval=self.poll_interval,
+            )
+            self.actuation.journal = self._journal
         self.arbitration.begin(self.engine.now)
         if self.watchdog is not None:
             self.watchdog.start()
         if self.chaos is not None:
             self.chaos.start()
-        self.engine.process(self._service_loop(), name="dyflow-service")
+        self._tick_event = self.engine.call_after(0.0, self._tick, name="dyflow-service")
 
     def stop(self) -> None:
         self._running = False
@@ -149,6 +199,7 @@ class DyflowOrchestrator:
             self.watchdog.stop()
         if self.chaos is not None:
             self.chaos.stop()
+        self._close_journal()
         self.finalize_telemetry()
 
     def finalize_telemetry(self) -> None:
@@ -160,41 +211,285 @@ class DyflowOrchestrator:
         if self.telemetry is not None and self.telemetry.chrome_trace_path is not None:
             write_chrome_trace(self.telemetry.chrome_trace_path, self.tracer)
 
-    def _service_loop(self):
-        traced = self.tracer.enabled
-        while self._running:
-            now = self.engine.now
-            span_ctx = self.tracer.span("loop.tick", "loop") if traced else None
-            if span_ctx is not None:
-                span_ctx.__enter__()
-            # Monitor: run sensors, deliver envelopes after their read lag.
-            # The chaos engine may drop envelopes on the way (lossy
-            # client->server transport); the server's out-of-order filter
-            # absorbs the resulting sequence gaps.
-            for client in self.clients:
-                for lag, env in client.collect(now):
-                    if self.chaos is not None and self.chaos.drop_envelope(env):
-                        continue
-                    self.engine.call_after(lag, lambda e=env: self.server.receive(e))
-            # Decision: evaluate due policies on data delivered so far.
-            suggestions = self.decision.tick(now)
-            # Arbitration: build a plan unless gated.
-            plan = self.arbitration.arbitrate(suggestions, now)
-            if span_ctx is not None:
-                span_ctx.__exit__(None, None, None)
-            if plan is not None:
-                self.engine.process(
-                    self.actuation.execute(plan, on_done=self._on_plan_done),
-                    name=f"actuation:{plan.plan_id}",
-                )
-                self._record_plan_point(plan)
-            if self._stop_when is not None and self._stop_when():
-                self._running = False
-                self.finalize_telemetry()
-                return
-            yield self.engine.timeout(self.poll_interval)
+    def _close_journal(self) -> None:
+        if self._journal is not None and not self._journal.closed:
+            self._journal.sync()
+            self._journal.close()
 
+    # -- the control loop (one tick == one journaled barrier) -------------------------
+    def _tick(self) -> None:
+        if not self._running:
+            self._tick_event = None
+            return
+        traced = self.tracer.enabled
+        now = self.engine.now
+        span_ctx = self.tracer.span("loop.tick", "loop") if traced else None
+        if span_ctx is not None:
+            span_ctx.__enter__()
+        # Monitor: run sensors, deliver envelopes after their read lag.
+        # The chaos engine may drop envelopes on the way (lossy
+        # client->server transport); the server's out-of-order filter
+        # absorbs the resulting sequence gaps.
+        for client in self.clients:
+            for lag, env in client.collect(now):
+                if self.chaos is not None and self.chaos.drop_envelope(env):
+                    continue
+                self._register_delivery(now + lag, env)
+        # Decision: evaluate due policies on data delivered so far.
+        suggestions = self.decision.tick(now)
+        # Arbitration: build a plan unless gated.
+        plan = self.arbitration.arbitrate(suggestions, now)
+        if span_ctx is not None:
+            span_ctx.__exit__(None, None, None)
+        if plan is not None:
+            if self._journal is not None:
+                self._journal.append("plan", plan=plan.to_dict())
+            self.engine.process(
+                self.actuation.execute(plan, on_done=self._on_plan_done),
+                name=f"actuation:{plan.plan_id}",
+            )
+            self._record_plan_point(plan)
+        if self._stop_when is not None and self._stop_when():
+            self._running = False
+            self._close_journal()
+            self.finalize_telemetry()
+            return
+        self._tick_event = self.engine.call_after(
+            self.poll_interval, self._tick, name="dyflow-service"
+        )
+        self._journal_barrier(now)
+        # A crash request is honored at the first barrier with no plan in
+        # flight, after the barrier record (which carries the full
+        # controller state) is durable.
+        if self._crash_requested and self.arbitration._in_flight is None:
+            self._crash()
+
+    # -- envelope transit --------------------------------------------------------------
+    def _register_delivery(self, at: float, env: Envelope, seq: int | None = None) -> None:
+        did = next(self._delivery_ids)
+        ev = self.engine.call_at(at, lambda: self._deliver(did), name="delivery", seq=seq)
+        self._inflight_deliveries[did] = (at, env, ev)
+
+    def _deliver(self, did: int) -> None:
+        entry = self._inflight_deliveries.pop(did, None)
+        if entry is None:
+            return
+        _at, env, _ev = entry
+        if self._journal is not None and not self._journal.closed:
+            self._journal.append("obs", env=env.to_json())
+        self.server.receive(env)
+
+    # -- journaling --------------------------------------------------------------------
+    def _journal_barrier(self, now: float) -> None:
+        if self._journal is None:
+            return
+        self._barriers += 1
+        tick_ev = self._tick_event
+        state = {
+            "arbitration": self.arbitration.state_dict(),
+            "clients": [c.state_dict() for c in self.clients],
+            "watchdog": self.watchdog.state_dict() if self.watchdog is not None else None,
+            "chaos": self.chaos.state_dict() if self.chaos is not None else None,
+            "inflight": [
+                {"at": at, "seq": ev.heap_seq, "env": env.to_json()}
+                for at, env, ev in self._inflight_deliveries.values()
+            ],
+            "next_tick": {"at": tick_ev.heap_time, "seq": tick_ev.heap_seq},
+        }
+        self._journal.append("barrier", t=now, state=state)
+        every = self._journal.spec.snapshot_every
+        if every > 0 and self._barriers % every == 0:
+            # The snapshot seals the segment holding this barrier record,
+            # so a crash honored at this very tick would otherwise leave
+            # no barrier in the replayable suffix — embed the state.
+            self._journal.snapshot({**self._snapshot_state(now), "barrier": state})
+
+    def _snapshot_state(self, now: float) -> dict:
+        q = self.launcher.quarantine
+        return {
+            "t": now,
+            "server": self.server.state_dict(),
+            "decision": self.decision.state_dict(),
+            "plans": [p.to_dict() for p in self.arbitration.plans],
+            "launcher": {
+                "rm": self.launcher.rm.state_dict(),
+                "quarantine": q.state_dict() if q is not None else None,
+                "retries": self.launcher.retry_audit(),
+            },
+        }
+
+    # -- crash + resume ----------------------------------------------------------------
+    def request_crash(self) -> None:
+        """Ask the controller to die at its next eligible barrier.
+
+        Honored only when journaling is on and crash requests are not
+        being ignored (the *reference* run of a crash/resume equivalence
+        pair sets ``ignore_crash_requests=True`` so the chaos engine's
+        draws and trace points stay identical while the controller lives).
+        """
+        if self.ignore_crash_requests or self._journal is None or not self._running:
+            return
+        self._crash_requested = True
+
+    def hard_crash(self) -> None:
+        """Die *now*, even mid-plan.
+
+        Unlike a barrier crash this makes no bit-identity promise — the
+        interrupted plan is finished exactly-once on resume via the
+        op-issued/op-completed ledger and launcher effect probes.
+        """
+        if self._journal is None or not self._running:
+            raise DyflowError("hard_crash requires a running, journaled orchestrator")
+        self.actuation.abort_requested = True
+        self._crash()
+
+    def _crash(self) -> None:
+        now = self.engine.now
+        self._crash_requested = False
+        self._running = False
+        self.crashed = True
+        self._journal.append("crash", t=now)
+        self._close_journal()
+        self.launcher.trace.point(now, "orchestrator-crash", category="journal")
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
+        for _at, _env, ev in self._inflight_deliveries.values():
+            ev.cancel()
+        self._inflight_deliveries = {}
+        if self.watchdog is not None:
+            self.watchdog.suspend()
+        if self.chaos is not None:
+            self.chaos.suspend()
+            self.chaos.orchestrator = None
+        self.launcher.unsubscribe_start(self._on_task_start)
+        if self.on_crash is not None:
+            self.on_crash(self)
+
+    def resume_from(self, journal_dir: str, stop_when: Callable[[], bool] | None = None) -> "DyflowOrchestrator":
+        """Rebuild controller state from *journal_dir* and resume the loop.
+
+        Call on a freshly constructed orchestrator carrying the same
+        bootstrap configuration (sensors, policies, rules) as the crashed
+        one, over the *surviving* launcher and engine, at the simulated
+        instant of the crash.  The latest snapshot is loaded, the WAL
+        suffix is replayed (observations, restarts, Decision ticks, plan
+        upserts), the last barrier's controller state is applied
+        wholesale, and every pending controller event is re-registered at
+        its journaled heap slot.  An unfinished plan is completed
+        exactly-once through the op ledger.
+        """
+        from repro.journal import AppliedOpsLedger, Journal, read_journal
+
+        if self._running:
+            raise DyflowError("orchestrator already running")
+        js = read_journal(journal_dir)
+        snap = js.snapshot_state or {}
+        if snap:
+            self.server.load_state_dict(snap["server"])
+            self.decision.load_state_dict(snap["decision"])
+        plans: list[ActionPlan] = [ActionPlan.from_dict(d) for d in snap.get("plans", [])]
+        by_id = {p.plan_id: i for i, p in enumerate(plans)}
+
+        def upsert(plan: ActionPlan) -> None:
+            if plan.plan_id in by_id:
+                plans[by_id[plan.plan_id]] = plan
+            else:
+                by_id[plan.plan_id] = len(plans)
+                plans.append(plan)
+
+        # Replay with telemetry muted: the tracer survived the crash and
+        # already holds the pre-crash spans — replay rebuilds state only.
+        server_tracer, decision_tracer = self.server.tracer, self.decision.tracer
+        self.server.tracer = NULL_TRACER
+        self.decision.tracer = NULL_TRACER
+        last_barrier = None
+        try:
+            for rec in js.records:
+                kind = rec["kind"]
+                if kind == "obs":
+                    self.server.receive(Envelope.from_json(rec["env"]))
+                elif kind == "task-restart":
+                    self.server.on_task_restart(rec["task"])
+                    if rec.get("incarnation", 0) > 0:
+                        self.decision.on_task_restart(rec["task"])
+                elif kind == "barrier":
+                    self.decision.tick(rec["t"])
+                    last_barrier = rec
+                elif kind in ("plan", "plan-done"):
+                    upsert(ActionPlan.from_dict(rec["plan"]))
+        finally:
+            self.server.tracer = server_tracer
+            self.decision.tracer = decision_tracer
+        if last_barrier is not None:
+            b = last_barrier["state"]
+        elif snap.get("barrier") is not None:
+            # The crash was honored at a snapshot-aligned barrier: its
+            # record was sealed into the compacted segment, so the suffix
+            # holds no barrier — the snapshot embeds that tick's state.
+            b = snap["barrier"]
+        else:
+            raise JournalError(
+                f"journal {journal_dir!r} holds no barrier record; nothing to resume"
+            )
+        self.arbitration.load_state_dict(b["arbitration"], plans=plans)
+        self.actuation.executed_plans = [p for p in plans if p.execution_end is not None]
+        client_states = b.get("clients", [])
+        if len(client_states) != len(self.clients):
+            raise JournalError(
+                f"{len(client_states)} journaled clients for {len(self.clients)} configured"
+            )
+        for client, cstate in zip(self.clients, client_states):
+            client.load_state_dict(cstate)
+        if self.watchdog is not None and b.get("watchdog") is not None:
+            self.watchdog.load_state_dict(b["watchdog"])
+        if self.chaos is not None and b.get("chaos") is not None:
+            self.chaos.load_state_dict(b["chaos"])
+            self.chaos.orchestrator = self
+
+        # Take over the journal (claims the next fencing epoch) and keep
+        # the snapshot cadence aligned with the uninterrupted run.
+        self._journal = Journal.reopen(journal_dir, metrics=self.tracer.metrics)
+        self.actuation.journal = self._journal
+        self.actuation.abort_requested = False
+        every = self._journal.spec.snapshot_every
+        replayed_barriers = sum(1 for r in js.records if r["kind"] == "barrier")
+        self._barriers = js.next_snapshot * every + replayed_barriers if every > 0 else replayed_barriers
+        self._running = True
+        self._stop_when = stop_when
+        self.crashed = False
+
+        # Re-register controller events at their journaled (time, seq)
+        # slots; the cancelled originals are skipped by the engine, so
+        # pop order matches the uninterrupted run exactly.
+        self._inflight_deliveries = {}
+        for item in b.get("inflight", []):
+            self._register_delivery(
+                float(item["at"]), Envelope.from_json(item["env"]), seq=item.get("seq")
+            )
+        nt = b["next_tick"]
+        self._tick_event = self.engine.call_at(
+            float(nt["at"]), self._tick, name="dyflow-service", seq=nt.get("seq")
+        )
+        self.launcher.trace.point(
+            self.engine.now, "orchestrator-resume", category="journal",
+            epoch=self._journal.epoch,
+        )
+        # A plan was mid-actuation when the controller died (hard crash):
+        # finish it exactly-once through the ledger + effect probes.
+        inflight_plan = self.arbitration._in_flight
+        if inflight_plan is not None:
+            ledger = AppliedOpsLedger.from_records(js.records)
+            self.engine.process(
+                self.actuation.resume_plan(inflight_plan, ledger, on_done=self._on_plan_done),
+                name=f"actuation-resume:{inflight_plan.plan_id}",
+            )
+        return self
+
+    # -- plan bookkeeping --------------------------------------------------------------
     def _on_plan_done(self, plan: ActionPlan) -> None:
+        if self._journal is not None and not self._journal.closed:
+            self._journal.append("plan-done", plan=plan.to_dict())
         self.arbitration.on_plan_executed(plan, self.engine.now)
         self.launcher.trace.add_span(
             "DYFLOW", plan.plan_id, plan.execution_start, plan.execution_end,
@@ -209,6 +504,10 @@ class DyflowOrchestrator:
 
     def _on_task_start(self, instance) -> None:
         """A task (re)started: reset monitor connections, epochs, windows."""
+        if self._journal is not None and not self._journal.closed and self._running:
+            self._journal.append(
+                "task-restart", task=instance.task, incarnation=instance.incarnation
+            )
         for client in self.clients:
             client.on_task_restart(instance.task)
         self.server.on_task_restart(instance.task)

@@ -60,14 +60,15 @@ class _LiveInstance(threading.Thread):
     """One incarnation of a live task, running its step loop."""
 
     def __init__(self, runner: "ThreadedDyflow", spec: LiveTaskSpec, nworkers: int,
-                 incarnation: int) -> None:
+                 incarnation: int, start_step: int = 0) -> None:
         super().__init__(name=f"{spec.name}#{incarnation}", daemon=True)
         self.runner = runner
         self.spec = spec
         self.nworkers = nworkers
         self.incarnation = incarnation
+        self.start_step = start_step
         self.stop_flag = threading.Event()
-        self.steps_done = 0
+        self.steps_done = start_step
         self.exit_code: int | None = None
         # Resilience: wall-clock time of the last completed step (the
         # heartbeat) and an exit-code override stamped by the watchdog
@@ -80,7 +81,7 @@ class _LiveInstance(threading.Thread):
         channel = hub.channel(f"tau-{self.runner.workflow_id}-{self.spec.name}")
         if channel.closed:
             channel.reopen()
-        step = 0
+        step = self.start_step
         code = 0
         try:
             while not self.stop_flag.is_set():
@@ -109,6 +110,10 @@ class _LiveInstance(threading.Thread):
                 step += 1
                 self.steps_done = step
                 self.last_progress = self.runner.now()
+                self.runner._journal_append(
+                    "task-checkpoint", task=self.spec.name, next_step=step,
+                    incarnation=self.incarnation, nworkers=self.nworkers,
+                )
         except Exception:  # noqa: BLE001 - a crashed task is a failed task
             code = 1
         if self.kill_code is not None:
@@ -145,6 +150,7 @@ class ThreadedDyflow:
         rng: RngRegistry | None = None,
         telemetry: TelemetrySpec | None = None,
         tracer: Tracer | None = None,
+        journal=None,
     ) -> None:
         self.workflow_id = workflow_id
         self.specs = {t.name: t for t in tasks}
@@ -189,6 +195,24 @@ class ThreadedDyflow:
         self.retry_exhausted: set[str] = set()
         self.retries: list[tuple[float, str, int]] = []       # (time, task, attempt)
         self.watchdog_kills: list[tuple[float, str]] = []     # (time, task)
+        # Crash recovery: per-step task checkpoints go to a WAL so a
+        # restarted runner can relaunch each mini-app at the step after
+        # its last completed one instead of redoing finished work.
+        self._journal = None
+        self._journal_spec = None
+        self._journal_lock = threading.Lock()
+        self._resume_steps: dict[str, int] = {}
+        self._completed_tasks: set[str] = set()
+        if journal is not None:
+            from repro.journal import Journal, JournalSpec
+
+            if isinstance(journal, Journal):
+                self._journal = journal
+            elif isinstance(journal, JournalSpec):
+                if journal.enabled:
+                    self._journal_spec = journal
+            else:
+                raise DyflowError(f"journal must be a Journal or JournalSpec, got {journal!r}")
 
     # -- time -----------------------------------------------------------------
     def now(self) -> float:
@@ -250,8 +274,17 @@ class ThreadedDyflow:
 
     # -- lifecycle ---------------------------------------------------------------
     def start(self) -> None:
+        if self._journal is None and self._journal_spec is not None:
+            from repro.journal import Journal
+
+            self._journal = Journal.open(self._journal_spec, metrics=self.tracer.metrics)
+            self._journal.append(
+                "meta", workflow=self.workflow_id, tasks=sorted(self.specs)
+            )
         self._gate_until = self.now() + self.warmup
         for name, spec in self.specs.items():
+            if name in self._completed_tasks:
+                continue  # finished before the crash; nothing to redo
             self._start_task(name, spec.nworkers)
         loops = [(self._monitor_loop, "monitor"), (self._decision_loop, "decision"),
                  (self._arbitration_loop, "arbitration")]
@@ -272,6 +305,10 @@ class ThreadedDyflow:
             inst.join(timeout)
         for t in self._threads:
             t.join(timeout)
+        with self._journal_lock:
+            if self._journal is not None and not self._journal.closed:
+                self._journal.sync()
+                self._journal.close()
         self.finalize_telemetry()
 
     def shutdown(self, timeout: float = 10.0) -> None:
@@ -300,6 +337,49 @@ class ThreadedDyflow:
             time.sleep(0.05)
         return False
 
+    # -- crash recovery ----------------------------------------------------------
+    def _journal_append(self, kind: str, **payload) -> None:
+        """Thread-safe journal append; a closed/absent journal is a no-op."""
+        with self._journal_lock:
+            if self._journal is None or self._journal.closed:
+                return
+            self._journal.append(kind, **payload)
+
+    def resume_from(self, journal_dir: str) -> "ThreadedDyflow":
+        """Adopt a crashed runner's journal; call before :meth:`start`.
+
+        Reads the latest ``task-checkpoint`` per task and arranges for
+        each mini-app to relaunch at the step *after* its last completed
+        one (checkpoint-restart, not recompute-from-zero).  Tasks whose
+        checkpoints already reached ``total_steps`` are not relaunched at
+        all.  Incarnation numbering continues past the journaled values,
+        and the journal is reopened under the next fencing epoch.
+        """
+        from repro.journal import Journal, read_journal
+
+        state = read_journal(journal_dir)
+        next_steps: dict[str, int] = {}
+        incarnations: dict[str, int] = {}
+        for rec in state.records:
+            if rec["kind"] == "task-checkpoint":
+                task = rec["task"]
+                next_steps[task] = int(rec["next_step"])
+                incarnations[task] = max(
+                    incarnations.get(task, 0), int(rec.get("incarnation", 0))
+                )
+            elif rec["kind"] == "task-restart":
+                task = rec["task"]
+                incarnations[task] = max(
+                    incarnations.get(task, 0), int(rec.get("incarnation", 0))
+                )
+        self._resume_steps = dict(next_steps)
+        for name, spec in self.specs.items():
+            if spec.total_steps is not None and next_steps.get(name, 0) >= spec.total_steps:
+                self._completed_tasks.add(name)
+        self._incarnations = {t: i + 1 for t, i in incarnations.items()}
+        self._journal = Journal.reopen(journal_dir, metrics=self.tracer.metrics)
+        return self
+
     # -- task control ---------------------------------------------------------------
     def _start_task(self, name: str, nworkers: int) -> None:
         with self._state_lock:
@@ -307,9 +387,16 @@ class ThreadedDyflow:
                 raise DyflowError(f"live task {name!r} already running")
             incarnation = self._incarnations.get(name, 0)
             self._incarnations[name] = incarnation + 1
-            inst = _LiveInstance(self, self.specs[name], nworkers, incarnation)
+            start_step = self._resume_steps.pop(name, 0)
+            inst = _LiveInstance(
+                self, self.specs[name], nworkers, incarnation, start_step=start_step
+            )
             self._instances[name] = inst
             inst.start()
+        self._journal_append(
+            "task-restart", task=name, incarnation=incarnation,
+            nworkers=nworkers, start_step=start_step,
+        )
 
     def _stop_task(self, name: str, join_timeout: float = 30.0) -> None:
         with self._state_lock:

@@ -45,14 +45,26 @@ class SimEngine:
         """Spawn *gen* as a process starting at the current time."""
         return Process(self, gen, name)
 
-    def call_at(self, time: float, fn: Callable[[], None], name: str = "call") -> SimEvent:
-        """Run ``fn()`` at absolute simulated *time*."""
+    def call_at(
+        self,
+        time: float,
+        fn: Callable[[], None],
+        name: str = "call",
+        seq: int | None = None,
+    ) -> SimEvent:
+        """Run ``fn()`` at absolute simulated *time*.
+
+        ``seq`` re-registers the call at an explicit heap slot (crash
+        recovery: a resumed controller re-creates its pending callbacks at
+        their original sequence numbers so same-timestamp tie-breaking is
+        bit-identical to an uninterrupted run).
+        """
         if time < self._now:
             raise SimTimeError(f"call_at({time}) is in the past (now={self._now})")
         ev = SimEvent(self, name)
         ev.callbacks.append(lambda _ev: fn())
         ev._pending = (True, None)
-        self._push(time, ev)
+        self._push(time, ev, seq=seq)
         return ev
 
     def call_after(self, delay: float, fn: Callable[[], None], name: str = "call") -> SimEvent:
@@ -64,24 +76,30 @@ class SimEngine:
         """Queue an already-triggered event's callbacks to run *now*."""
         self._push(self._now, ev)
 
-    def _push(self, time: float, ev: SimEvent) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, ev))
+    def _push(self, time: float, ev: SimEvent, seq: int | None = None) -> None:
+        if seq is None:
+            self._seq += 1
+            seq = self._seq
+        ev.heap_time = time
+        ev.heap_seq = seq
+        heapq.heappush(self._heap, (time, seq, ev))
 
     # -- execution ------------------------------------------------------------
     def step(self) -> bool:
-        """Execute the next event; return False when the heap is empty."""
-        if not self._heap:
-            return False
-        time, _seq, ev = heapq.heappop(self._heap)
-        if time < self._now:
-            raise SimTimeError(f"clock would move backwards: {time} < {self._now}")
-        self._now = time
-        if ev._ok is None and ev._pending is not None:
-            # A scheduled (timeout/call_at) event triggers when it fires.
-            ev._ok, ev._value = ev._pending
-        ev._run_callbacks()
-        return True
+        """Execute the next live event; return False when the heap is empty."""
+        while self._heap:
+            time, _seq, ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            if time < self._now:
+                raise SimTimeError(f"clock would move backwards: {time} < {self._now}")
+            self._now = time
+            if ev._ok is None and ev._pending is not None:
+                # A scheduled (timeout/call_at) event triggers when it fires.
+                ev._ok, ev._value = ev._pending
+            ev._run_callbacks()
+            return True
+        return False
 
     def peek(self) -> float | None:
         """Timestamp of the next pending event, or None when idle."""

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import itertools
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import SimError
@@ -30,6 +31,8 @@ class SimEvent:
     time.  Events may only be triggered once.
     """
 
+    _uids = itertools.count()
+
     def __init__(self, engine: "SimEngine", name: str = "") -> None:
         self.engine = engine
         self.name = name
@@ -39,6 +42,23 @@ class SimEvent:
         # For engine-scheduled events (timeouts): (ok, value) applied when
         # the event fires, so `triggered` stays False until then.
         self._pending: tuple[bool, Any] | None = None
+        self._uid = next(SimEvent._uids)
+        self.cancelled = False
+        # Heap placement of the most recent engine push — lets crash
+        # recovery re-register an equivalent event at the exact same
+        # (time, seq) slot so tie-breaking stays bit-identical.
+        self.heap_time: float | None = None
+        self.heap_seq: int | None = None
+
+    def __lt__(self, other: "SimEvent") -> bool:
+        # Heap tuples only reach the event on an exact (time, seq) tie,
+        # which happens when a cancelled event is re-registered at its old
+        # slot; creation order keeps that comparison deterministic.
+        return self._uid < other._uid
+
+    def cancel(self) -> None:
+        """Mark a scheduled event dead; the engine skips it when popped."""
+        self.cancelled = True
 
     # -- state --------------------------------------------------------------
     @property

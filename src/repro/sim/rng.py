@@ -42,3 +42,26 @@ class RngRegistry:
         """A child registry whose root seed is derived from *name*."""
         digest = hashlib.sha256(f"{self._seed}:fork:{name}".encode()).digest()
         return RngRegistry(int.from_bytes(digest[:8], "little"))
+
+    # -- crash recovery -----------------------------------------------------
+    def state_dict(self, names: list[str] | None = None) -> dict:
+        """JSON-serializable positions of (a subset of) the named streams."""
+        if names is None:
+            names = sorted(self._streams)
+        return {
+            "seed": self._seed,
+            "streams": {
+                name: self._streams[name].bit_generator.state
+                for name in names
+                if name in self._streams
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore stream positions captured by :meth:`state_dict`.
+
+        Streams absent from *state* are left untouched; streams named in
+        *state* are (re)created at the recorded position.
+        """
+        for name, bg_state in state.get("streams", {}).items():
+            self.stream(name).bit_generator.state = bg_state

@@ -40,3 +40,11 @@ class IdGenerator:
             self._counters.clear()
         else:
             self._counters.pop(prefix, None)
+
+    def state_dict(self) -> dict[str, int]:
+        return dict(self._counters)
+
+    def load_state_dict(self, state: dict[str, int]) -> None:
+        self._counters.clear()
+        for prefix, n in state.items():
+            self._counters[prefix] = int(n)

@@ -81,6 +81,12 @@ class SequenceTracker:
             payload=payload or {},
         )
 
+    def state_dict(self) -> dict[str, int]:
+        return dict(self._next)
+
+    def load_state_dict(self, state: dict[str, int]) -> None:
+        self._next = {k: int(v) for k, v in state.items()}
+
 
 class OutOfOrderFilter:
     """Drop stale messages, per sender.
@@ -119,3 +125,15 @@ class OutOfOrderFilter:
     def reset(self, sender: str) -> None:
         """Forget the sequence history of *sender* (sender restarted)."""
         self._highest.pop(sender, None)
+
+    def state_dict(self) -> dict[str, Any]:
+        return {
+            "highest": dict(self._highest),
+            "dropped": self._dropped,
+            "accepted": self._accepted,
+        }
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        self._highest = {k: int(v) for k, v in state["highest"].items()}
+        self._dropped = int(state["dropped"])
+        self._accepted = int(state["accepted"])

@@ -18,7 +18,7 @@ plugin.  This package provides:
 from repro.wms.spec import CouplingType, DependencySpec, TaskSpec, WorkflowSpec
 from repro.wms.task import TaskInstance, TaskRecord, TaskState
 from repro.wms.launcher import Savanna
-from repro.wms.campaign import Campaign, Sweep
+from repro.wms.campaign import Campaign, CampaignRunner, Sweep
 
 __all__ = [
     "CouplingType",
@@ -30,5 +30,6 @@ __all__ = [
     "TaskRecord",
     "Savanna",
     "Campaign",
+    "CampaignRunner",
     "Sweep",
 ]

@@ -68,3 +68,94 @@ class Campaign:
         """(run_id, params, workflow) triples for the whole campaign."""
         for i, params in enumerate(self.points()):
             yield f"{self.name}.{i}", params, self.factory(**params)
+
+
+class CampaignRunner:
+    """Executes a campaign's grid in order, with a crash-recoverable ledger.
+
+    Each run is bracketed by ``run-started`` / ``run-completed`` journal
+    records (the latter carrying the run's JSON result summary).  A
+    runner pointed at the journal directory of a crashed predecessor
+    *resumes* the campaign deterministically: completed runs are not
+    re-executed — their journaled results are returned verbatim, marked
+    ``replayed`` — and execution picks up at the first run without a
+    completion record.  Reopening bumps the journal's fencing epoch, so a
+    crashed-but-still-writing predecessor errors out on its next sync
+    instead of corrupting the ledger.
+
+    Args:
+        campaign: the grid to execute.
+        execute: ``f(run_id, params, workflow) -> dict`` running one
+            point and returning a JSON-serializable result summary.
+        journal: optional :class:`~repro.journal.JournalSpec`; without
+            one the runner executes everything and remembers nothing.
+    """
+
+    def __init__(
+        self,
+        campaign: Campaign,
+        execute: Callable[[str, dict[str, Any], WorkflowSpec], dict],
+        journal=None,
+    ) -> None:
+        self.campaign = campaign
+        self.execute = execute
+        self.journal_spec = journal if journal is not None and journal.enabled else None
+        self.results: list[dict[str, Any]] = []
+
+    def run(self, stop_after: int | None = None) -> list[dict[str, Any]]:
+        """Execute (or resume) the campaign; returns one dict per run.
+
+        ``stop_after`` caps the number of runs *executed* this call
+        (replayed completions do not count) — it models a crash between
+        runs and is what the resume tests use to kill the runner at a
+        chosen point.
+        """
+        journal = None
+        completed: dict[str, dict] = {}
+        if self.journal_spec is not None:
+            import os
+
+            from repro.journal import Journal, read_journal
+            from repro.journal.wal import list_segment_indices
+
+            if os.path.isdir(self.journal_spec.dir) and list_segment_indices(
+                self.journal_spec.dir
+            ):
+                state = read_journal(self.journal_spec.dir)
+                for rec in state.records:
+                    if rec["kind"] == "run-completed":
+                        completed[rec["run_id"]] = rec["result"]
+                journal = Journal.reopen(
+                    self.journal_spec.dir, spec=self.journal_spec
+                )
+            else:
+                journal = Journal.open(self.journal_spec)
+                journal.append("meta", campaign=self.campaign.name,
+                               size=self.campaign.size())
+        self.results = []
+        executed = 0
+        try:
+            for run_id, params, workflow in self.campaign.runs():
+                if run_id in completed:
+                    self.results.append(
+                        {"run_id": run_id, "params": params,
+                         "result": completed[run_id], "replayed": True}
+                    )
+                    continue
+                if stop_after is not None and executed >= stop_after:
+                    break
+                if journal is not None:
+                    journal.append("run-started", run_id=run_id, params=params)
+                result = self.execute(run_id, params, workflow)
+                if journal is not None:
+                    journal.append("run-completed", run_id=run_id, result=result)
+                    journal.sync()
+                self.results.append(
+                    {"run_id": run_id, "params": params,
+                     "result": result, "replayed": False}
+                )
+                executed += 1
+        finally:
+            if journal is not None:
+                journal.close()
+        return self.results

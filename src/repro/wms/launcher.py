@@ -91,7 +91,13 @@ class Savanna:
         fault model live with the orchestrator/chaos engine; the pieces
         the *launcher* owns are retry/backoff, the node circuit breaker,
         and checkpoint-cadence injection into task parameters.
+
+        Re-applying the spec already in force is a no-op: a crash-resumed
+        orchestrator re-runs its bootstrap against the live launcher, and
+        replacing the quarantine would silently amnesty every blamed node.
         """
+        if spec is not None and spec == self.resilience:
+            return
         if spec is not None:
             spec.validate()
         self.resilience = spec
@@ -114,6 +120,33 @@ class Savanna:
 
     def subscribe_end(self, cb: TaskListener) -> None:
         self._end_listeners.append(cb)
+
+    def unsubscribe_start(self, cb: TaskListener) -> None:
+        """Detach a start listener (crashed orchestrators must not leak)."""
+        if cb in self._start_listeners:
+            self._start_listeners.remove(cb)
+
+    def unsubscribe_end(self, cb: TaskListener) -> None:
+        if cb in self._end_listeners:
+            self._end_listeners.remove(cb)
+
+    # -- crash recovery -----------------------------------------------------------
+    def retry_audit(self) -> dict:
+        """Retry budgets and incarnation counters (journal snapshot audit).
+
+        The launcher survives an orchestrator crash in-process, so this
+        state is never *restored* from a journal — it is recorded so a
+        post-mortem (and the exactly-once effect probes) can compare the
+        journaled view against the live runtime.
+        """
+        return {
+            name: {
+                "incarnations": rec.incarnations,
+                "retries_used": rec.retries_used,
+                "retry_exhausted": rec.retry_exhausted,
+            }
+            for name, rec in sorted(self.records.items())
+        }
 
     # -- queries ------------------------------------------------------------------
     def record(self, name: str) -> TaskRecord:

@@ -27,6 +27,10 @@ def configure_orchestrator(
     record_history: bool = False,
     graceful_stops: bool = True,
     telemetry: TelemetrySpec | None = None,
+    tracer=None,
+    journal=None,
+    ignore_crash_requests: bool = False,
+    on_crash=None,
 ) -> DyflowOrchestrator:
     """Build a :class:`DyflowOrchestrator` for *launcher* from *spec*.
 
@@ -37,13 +41,19 @@ def configure_orchestrator(
     the orchestrator can wire the watchdog and the chaos engine; without
     one, any programmatically installed resilience spec is left intact.
     A ``<telemetry>`` section builds the run's tracer the same way; the
-    *telemetry* argument overrides whatever the XML carries.
+    *telemetry* argument overrides whatever the XML carries.  Likewise a
+    ``<journal>`` element enables crash-recovery journaling unless the
+    *journal* argument overrides it; *tracer*, *ignore_crash_requests*
+    and *on_crash* pass straight through to the orchestrator (used when
+    rebuilding one for :meth:`DyflowOrchestrator.resume_from`).
     """
     workflow_id = launcher.workflow.workflow_id
     if spec.resilience is not None:
         launcher.configure_resilience(spec.resilience)
     if telemetry is None:
         telemetry = spec.telemetry
+    if journal is None:
+        journal = spec.journal
     rule = spec.rules.get(workflow_id)
     rules = ArbitrationRules.from_workflow(
         launcher.workflow,
@@ -67,6 +77,10 @@ def configure_orchestrator(
         record_history=record_history,
         graceful_stops=graceful_stops,
         telemetry=telemetry,
+        tracer=tracer,
+        journal=journal,
+        ignore_crash_requests=ignore_crash_requests,
+        on_crash=on_crash,
     )
     for sensor in spec.sensors.values():
         orch.add_sensor(sensor)

@@ -8,6 +8,7 @@ from typing import Any
 from repro.core.policy import PolicyApplication, PolicySpec
 from repro.core.sensors.base import SensorSpec
 from repro.errors import XmlSpecError
+from repro.journal.spec import JournalSpec
 from repro.resilience.spec import ResilienceSpec
 from repro.telemetry.config import TelemetrySpec
 from repro.wms.spec import DependencySpec
@@ -46,6 +47,7 @@ class DyflowSpec:
     rules: dict[str, RuleSpec] = field(default_factory=dict)
     resilience: ResilienceSpec | None = None
     telemetry: TelemetrySpec | None = None
+    journal: JournalSpec | None = None
 
     def validate(self) -> None:
         """Cross-reference checks a schema cannot express."""
@@ -53,6 +55,8 @@ class DyflowSpec:
             self.resilience.validate()
         if self.telemetry is not None:
             self.telemetry.validate()
+        if self.journal is not None:
+            self.journal.validate()
         for mt in self.monitor_tasks:
             if mt.sensor_id not in self.sensors:
                 raise XmlSpecError(

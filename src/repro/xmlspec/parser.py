@@ -9,6 +9,7 @@ from repro.core.actions import ActionType
 from repro.core.policy import PolicyApplication, PolicySpec
 from repro.core.sensors.base import GroupBySpec, JoinSpec, SensorSpec
 from repro.errors import XmlSpecError
+from repro.journal.spec import JournalSpec
 from repro.resilience.spec import (
     CheckpointSpec,
     FaultModelSpec,
@@ -33,7 +34,7 @@ def parse_dyflow_xml(text: str) -> DyflowSpec:
     except ET.ParseError as err:
         raise XmlSpecError(f"malformed XML: {err}") from err
     spec = DyflowSpec()
-    standalone = ("monitor", "decision", "arbitration", "resilience", "telemetry")
+    standalone = ("monitor", "decision", "arbitration", "resilience", "telemetry", "journal")
     sections = [root] if root.tag in standalone else list(root)
     if root.tag not in ("dyflow",) + standalone:
         raise XmlSpecError(f"unexpected root element <{root.tag}>")
@@ -52,6 +53,10 @@ def parse_dyflow_xml(text: str) -> DyflowSpec:
             if spec.telemetry is not None:
                 raise XmlSpecError("duplicate <telemetry> section")
             spec.telemetry = _parse_telemetry(section)
+        elif section.tag == "journal":
+            if spec.journal is not None:
+                raise XmlSpecError("duplicate <journal> section")
+            spec.journal = _parse_journal(section)
         else:
             raise XmlSpecError(f"unexpected section <{section.tag}>")
     spec.validate()
@@ -316,8 +321,8 @@ def _parse_resilience(section: ET.Element) -> ResilienceSpec:
     el = section.find("faults")
     if el is not None:
         _check_attrs(el, {"node-mtbf", "node-dist", "weibull-shape", "node-repair-time",
-                          "task-crash-mtbf", "task-hang-mtbf", "msg-drop-prob",
-                          "stage-drop-prob"})
+                          "task-crash-mtbf", "task-hang-mtbf", "orch-crash-mtbf",
+                          "msg-drop-prob", "stage-drop-prob"})
         faults = FaultModelSpec(
             node_mtbf=_float_attr(el, "node-mtbf", 0.0),
             node_dist=el.get("node-dist", "exponential"),
@@ -325,6 +330,7 @@ def _parse_resilience(section: ET.Element) -> ResilienceSpec:
             node_repair_time=_float_attr(el, "node-repair-time", 600.0),
             task_crash_mtbf=_float_attr(el, "task-crash-mtbf", 0.0),
             task_hang_mtbf=_float_attr(el, "task-hang-mtbf", 0.0),
+            orch_crash_mtbf=_float_attr(el, "orch-crash-mtbf", 0.0),
             msg_drop_prob=_float_attr(el, "msg-drop-prob", 0.0),
             stage_drop_prob=_float_attr(el, "stage-drop-prob", 0.0),
         )
@@ -361,6 +367,25 @@ def _parse_telemetry(section: ET.Element) -> TelemetrySpec:
         sample=_float_attr(section, "sample", 1.0),
         jsonl_path=jsonl_path,
         chrome_trace_path=chrome_trace_path,
+    )
+    spec.validate()
+    return spec
+
+
+# --------------------------------------------------------------------------- #
+# journal section
+# --------------------------------------------------------------------------- #
+def _parse_journal(section: ET.Element) -> JournalSpec:
+    """Parse one ``<journal>`` element (crash-recovery WAL config)."""
+    _check_attrs(section, {"dir", "enabled", "fsync", "batch-every", "snapshot-every"})
+    for child in section:
+        raise XmlSpecError(f"unexpected <journal> child <{child.tag}>")
+    spec = JournalSpec(
+        dir=section.get("dir", "journal"),
+        enabled=_bool_attr(section, "enabled", True),
+        fsync=section.get("fsync", "batch"),
+        batch_every=_int_attr(section, "batch-every", 64),
+        snapshot_every=_int_attr(section, "snapshot-every", 20),
     )
     spec.validate()
     return spec

@@ -16,6 +16,7 @@ def write_dyflow_xml(spec: DyflowSpec) -> str:
     _write_arbitration(root, spec)
     _write_resilience(root, spec)
     _write_telemetry(root, spec)
+    _write_journal(root, spec)
     raw = ET.tostring(root, encoding="unicode")
     return minidom.parseString(raw).toprettyxml(indent="  ")
 
@@ -161,6 +162,7 @@ def _write_resilience(root: ET.Element, spec: DyflowSpec) -> None:
                 "node-repair-time": repr(res.faults.node_repair_time),
                 "task-crash-mtbf": repr(res.faults.task_crash_mtbf),
                 "task-hang-mtbf": repr(res.faults.task_hang_mtbf),
+                "orch-crash-mtbf": repr(res.faults.orch_crash_mtbf),
                 "msg-drop-prob": repr(res.faults.msg_drop_prob),
                 "stage-drop-prob": repr(res.faults.stage_drop_prob),
             },
@@ -182,3 +184,19 @@ def _write_telemetry(root: ET.Element, spec: DyflowSpec) -> None:
         ET.SubElement(section, "jsonl", path=tel.jsonl_path)
     if tel.chrome_trace_path is not None:
         ET.SubElement(section, "chrome-trace", path=tel.chrome_trace_path)
+
+
+def _write_journal(root: ET.Element, spec: DyflowSpec) -> None:
+    jrn = spec.journal
+    if jrn is None:
+        return
+    ET.SubElement(
+        root, "journal",
+        attrib={
+            "dir": jrn.dir,
+            "enabled": "true" if jrn.enabled else "false",
+            "fsync": jrn.fsync,
+            "batch-every": str(jrn.batch_every),
+            "snapshot-every": str(jrn.snapshot_every),
+        },
+    )

@@ -1,0 +1,69 @@
+"""Deterministic campaign resume: completed runs replay from the ledger."""
+
+import pytest
+
+from repro.journal import JournalSpec, read_journal
+from repro.wms import Campaign, CampaignRunner, Sweep, TaskSpec, WorkflowSpec
+
+
+def make_campaign(name="C"):
+    def factory(n):
+        return WorkflowSpec("W", [TaskSpec("T", lambda: None, nprocs=n)], [])
+
+    return Campaign(name, factory, sweeps=[Sweep("n", [1, 2, 3, 4, 5])])
+
+
+def make_execute(calls):
+    def execute(run_id, params, workflow):
+        calls.append(run_id)
+        return {"run_id": run_id, "n": params["n"], "score": params["n"] * 10}
+
+    return execute
+
+
+def test_crash_then_resume_executes_each_run_exactly_once(tmp_path):
+    spec = JournalSpec(dir=str(tmp_path / "campaign"), fsync="off")
+    calls = []
+    campaign = make_campaign()
+
+    first = CampaignRunner(campaign, make_execute(calls), journal=spec)
+    results = first.run(stop_after=2)  # "crash" after two runs
+    assert [r["replayed"] for r in results] == [False, False]
+    assert calls == ["C.0", "C.1"]
+
+    second = CampaignRunner(campaign, make_execute(calls), journal=spec)
+    results = second.run()
+    assert [r["replayed"] for r in results] == [True, True, False, False, False]
+    # Replayed results are the journaled ones, verbatim.
+    assert results[0]["result"] == {"run_id": "C.0", "n": 1, "score": 10}
+    assert results[4]["result"]["score"] == 50
+    # No run ever executed twice across both runners.
+    assert calls == ["C.0", "C.1", "C.2", "C.3", "C.4"]
+
+
+def test_resume_bumps_epoch_and_journals_every_run(tmp_path):
+    spec = JournalSpec(dir=str(tmp_path / "campaign"), fsync="off")
+    campaign = make_campaign()
+    CampaignRunner(campaign, make_execute([]), journal=spec).run(stop_after=3)
+    CampaignRunner(campaign, make_execute([]), journal=spec).run()
+    state = read_journal(spec.dir)
+    assert state.epoch == 2
+    done = [r["run_id"] for r in state.records if r["kind"] == "run-completed"]
+    assert sorted(done) == ["C.0", "C.1", "C.2", "C.3", "C.4"]
+    assert len(done) == len(set(done))
+
+
+def test_without_journal_everything_just_runs(tmp_path):
+    calls = []
+    results = CampaignRunner(make_campaign(), make_execute(calls)).run()
+    assert len(results) == 5
+    assert len(calls) == 5
+    assert all(not r["replayed"] for r in results)
+
+
+def test_disabled_journal_spec_is_ignored(tmp_path):
+    spec = JournalSpec(dir=str(tmp_path / "campaign"), enabled=False)
+    calls = []
+    CampaignRunner(make_campaign(), make_execute(calls), journal=spec).run()
+    assert len(calls) == 5
+    assert not (tmp_path / "campaign").exists()

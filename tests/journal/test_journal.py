@@ -1,0 +1,155 @@
+"""Journal facade: sequencing, snapshots, reopen semantics, metrics."""
+
+import os
+
+import pytest
+
+from repro.errors import JournalError, StaleWriterError
+from repro.journal import Journal, JournalSpec, read_journal
+from repro.journal.wal import encode_record, segment_path
+from repro.telemetry import MetricsRegistry
+
+
+def spec(tmp_path, **kw):
+    kw.setdefault("fsync", "off")
+    return JournalSpec(dir=str(tmp_path / "j"), **kw)
+
+
+class TestWriting:
+    def test_seq_is_monotonic_across_kinds(self, tmp_path):
+        j = Journal.open(spec(tmp_path))
+        assert j.append("meta", workflow="W") == 1
+        assert j.append("obs", env={}) == 2
+        assert j.append("barrier", t=1.0, state={}) == 3
+        j.close()
+        state = read_journal(j.spec.dir)
+        assert [r["seq"] for r in state.records] == [1, 2, 3]
+        assert state.last_seq == 3
+
+    def test_payload_flattens_to_top_level(self, tmp_path):
+        j = Journal.open(spec(tmp_path))
+        j.append("obs", env={"k": 1}, t=2.5)
+        j.close()
+        [rec] = read_journal(j.spec.dir).records
+        assert rec["env"] == {"k": 1}
+        assert rec["t"] == 2.5
+        assert rec["kind"] == "obs"
+        assert rec["e"] == 1
+
+    def test_open_refuses_populated_dir(self, tmp_path):
+        s = spec(tmp_path)
+        Journal.open(s).close()
+        with pytest.raises(JournalError, match="reopen"):
+            Journal.open(s)
+
+    def test_append_after_close_raises(self, tmp_path):
+        j = Journal.open(spec(tmp_path))
+        j.close()
+        assert j.closed
+        with pytest.raises(JournalError):
+            j.append("obs")
+
+
+class TestSnapshots:
+    def test_snapshot_compacts_the_read_path(self, tmp_path):
+        j = Journal.open(spec(tmp_path))
+        for i in range(5):
+            j.append("obs", x=i)
+        j.snapshot({"server": {"n": 5}})
+        j.append("obs", x=5)
+        j.close()
+        state = read_journal(j.spec.dir)
+        assert state.snapshot_state["server"] == {"n": 5}
+        # Only the post-snapshot suffix replays: the snapshot-ref and the
+        # final obs, never the five compacted records.
+        kinds = [r["kind"] for r in state.records]
+        assert kinds == ["snapshot-ref", "obs"]
+        assert state.records[-1]["x"] == 5
+
+    def test_latest_snapshot_wins(self, tmp_path):
+        j = Journal.open(spec(tmp_path))
+        j.append("obs", x=0)
+        j.snapshot({"gen": 1})
+        j.append("obs", x=1)
+        j.snapshot({"gen": 2})
+        j.close()
+        state = read_journal(j.spec.dir)
+        assert state.snapshot_state["gen"] == 2
+        assert state.next_snapshot == 2
+
+
+class TestReopen:
+    def test_reopen_bumps_epoch_and_continues_seq(self, tmp_path):
+        s = spec(tmp_path)
+        j1 = Journal.open(s)
+        j1.append("meta", workflow="W")
+        j1.append("obs", x=0)
+        j1.close()
+        j2 = Journal.reopen(s.dir)
+        assert j2.epoch == 2
+        assert j2.append("obs", x=1) == 4  # 3 was the auto "resume" record
+        j2.close()
+        state = read_journal(s.dir)
+        assert [r["kind"] for r in state.records] == ["meta", "obs", "resume", "obs"]
+        assert state.epoch == 2
+
+    def test_reopen_reuses_persisted_spec(self, tmp_path):
+        s = spec(tmp_path, fsync="off", batch_every=7, snapshot_every=3)
+        j1 = Journal.open(s)
+        j1.snapshot({})  # persists journal_spec inside the snapshot
+        j1.close()
+        j2 = Journal.reopen(s.dir)
+        assert j2.spec.batch_every == 7
+        assert j2.spec.snapshot_every == 3
+        j2.close()
+
+    def test_stale_writer_fenced_after_reopen(self, tmp_path):
+        s = spec(tmp_path)
+        j1 = Journal.open(s)
+        j1.append("obs", x=0)
+        j2 = Journal.reopen(s.dir)  # recovery claims the journal
+        with pytest.raises(StaleWriterError):
+            j1.sync()
+        j2.close()
+
+    def test_stale_epoch_tail_is_discarded_on_read(self, tmp_path):
+        # The fenced predecessor had buffered records the OS flushed
+        # *after* the successor started writing: they land in an older
+        # segment with a lower epoch and must lose.
+        s = spec(tmp_path)
+        j1 = Journal.open(s)
+        j1.append("obs", x="old")
+        j1.sync()  # durable while epoch 1 still holds the journal
+        j2 = Journal.reopen(s.dir)
+        j2.append("obs", x="new")
+        j2.close()
+        # Simulate the stale flush: epoch-1 records past the successor's.
+        with open(segment_path(s.dir, 0), "a", encoding="utf-8") as fh:
+            fh.write(encode_record({"seq": 4, "kind": "obs", "e": 1, "x": "stale"}))
+            fh.write(encode_record({"seq": 3, "kind": "obs", "e": 1, "x": "dupe"}))
+        state = read_journal(s.dir)
+        xs = [r.get("x") for r in state.records]
+        assert "stale" not in xs and "dupe" not in xs
+        assert xs == ["old", None, "new"]  # None is the resume record
+
+    def test_read_missing_dir_raises(self, tmp_path):
+        with pytest.raises(JournalError, match="does not exist"):
+            read_journal(str(tmp_path / "nope"))
+
+
+class TestMetrics:
+    def test_append_and_fsync_flow_into_the_registry(self, tmp_path):
+        reg = MetricsRegistry()
+        j = Journal.open(spec(tmp_path, fsync="always"), metrics=reg)
+        for i in range(4):
+            j.append("obs", x=i)
+        j.close()
+        assert reg.histogram("journal.append.latency").count == 4
+        assert reg.counter("journal.fsync.count").value >= 4
+
+    def test_snapshot_bytes_observed(self, tmp_path):
+        reg = MetricsRegistry()
+        j = Journal.open(spec(tmp_path), metrics=reg)
+        j.snapshot({"blob": "x" * 100})
+        j.close()
+        assert reg.histogram("journal.snapshot.bytes").count == 1

@@ -1,0 +1,31 @@
+"""The idempotent-actuation ledger's op classification."""
+
+from repro.journal import AppliedOpsLedger
+
+
+def test_classification_from_records():
+    ledger = AppliedOpsLedger.from_records([
+        {"kind": "op-issued", "op_key": "p:0:stop_task:A", "plan": "p"},
+        {"kind": "op-completed", "op_key": "p:0:stop_task:A", "plan": "p"},
+        {"kind": "op-issued", "op_key": "p:1:start_task:A", "plan": "p",
+         "incarnation_before": 1},
+        {"kind": "obs", "env": {}},  # unrelated kinds are ignored
+    ])
+    assert ledger.status("p:0:stop_task:A") == "completed"
+    assert ledger.status("p:1:start_task:A") == "issued"
+    assert ledger.status("p:2:start_task:B") == "unseen"
+    assert ledger.issued_record("p:1:start_task:A")["incarnation_before"] == 1
+    assert ledger.issued_record("p:2:start_task:B") is None
+
+
+def test_completed_wins_over_issued():
+    ledger = AppliedOpsLedger.from_records([
+        {"kind": "op-issued", "op_key": "k"},
+        {"kind": "op-completed", "op_key": "k"},
+    ])
+    assert ledger.status("k") == "completed"
+
+
+def test_empty_ledger():
+    ledger = AppliedOpsLedger.from_records([])
+    assert ledger.status("anything") == "unseen"

@@ -1,0 +1,132 @@
+"""WAL framing: CRC guards, torn tails, segments, epoch fencing."""
+
+import os
+
+import pytest
+
+from repro.errors import JournalError, StaleWriterError
+from repro.journal import claim_epoch, current_epoch, make_record, read_segment
+from repro.journal.wal import (
+    WalWriter,
+    encode_record,
+    list_segment_indices,
+    segment_path,
+)
+
+
+def write_lines(path, lines):
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.writelines(lines)
+
+
+class TestFraming:
+    def test_encode_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "wal-000000.jsonl")
+        recs = [make_record(i + 1, 1, "obs", {"x": i}) for i in range(5)]
+        write_lines(path, [encode_record(r) for r in recs])
+        assert read_segment(path) == recs
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = str(tmp_path / "wal-000000.jsonl")
+        good = encode_record(make_record(1, 1, "obs", {"x": 0}))
+        torn = encode_record(make_record(2, 1, "obs", {"x": 1}))[:-7]
+        write_lines(path, [good, torn])
+        recs = read_segment(path)
+        assert [r["seq"] for r in recs] == [1]
+
+    def test_bit_flip_fails_crc(self, tmp_path):
+        path = str(tmp_path / "wal-000000.jsonl")
+        line = encode_record(make_record(1, 1, "obs", {"x": 0}))
+        flipped = line.replace('"x":0', '"x":1')  # body changed, CRC stale
+        write_lines(path, [flipped])
+        assert read_segment(path) == []
+
+    def test_corruption_before_valid_data_raises(self, tmp_path):
+        # An append-only log can only tear at the tail; garbage followed
+        # by a valid record means real corruption, not a crash artifact.
+        path = str(tmp_path / "wal-000000.jsonl")
+        good = encode_record(make_record(1, 1, "obs", {"x": 0}))
+        write_lines(path, ["deadbeef {broken\n", good])
+        with pytest.raises(JournalError, match="mid-segment"):
+            read_segment(path)
+
+    def test_unknown_kind_rejected_at_the_source(self):
+        with pytest.raises(ValueError, match="unknown journal record kind"):
+            make_record(1, 1, "not-a-kind", {})
+
+
+class TestSegments:
+    def test_rotation_and_listing(self, tmp_path):
+        d = str(tmp_path)
+        w = WalWriter(d, epoch=claim_epoch(d), fsync="off")
+        w.append(make_record(1, 1, "obs", {}))
+        assert w.rotate() == 1
+        w.append(make_record(2, 1, "obs", {}))
+        w.close()
+        assert list_segment_indices(d) == [0, 1]
+        assert [r["seq"] for r in read_segment(segment_path(d, 1))] == [2]
+
+    def test_foreign_files_ignored(self, tmp_path):
+        d = str(tmp_path)
+        (tmp_path / "wal-junk.jsonl").write_text("")
+        (tmp_path / "notes.txt").write_text("")
+        (tmp_path / "wal-000003.jsonl").write_text("")
+        assert list_segment_indices(d) == [3]
+
+
+class TestFsync:
+    def test_always_syncs_every_append(self, tmp_path):
+        d = str(tmp_path)
+        w = WalWriter(d, epoch=claim_epoch(d), fsync="always")
+        for i in range(3):
+            w.append(make_record(i + 1, 1, "obs", {}))
+        assert w.fsync_count == 3
+        w.close()
+
+    def test_batch_syncs_every_n(self, tmp_path):
+        d = str(tmp_path)
+        w = WalWriter(d, epoch=claim_epoch(d), fsync="batch", batch_every=4)
+        for i in range(9):
+            w.append(make_record(i + 1, 1, "obs", {}))
+        assert w.fsync_count == 2  # at records 4 and 8
+        w.close()
+        assert w.fsync_count == 3  # close forces the tail out
+
+    def test_off_never_syncs_until_close(self, tmp_path):
+        d = str(tmp_path)
+        w = WalWriter(d, epoch=claim_epoch(d), fsync="off")
+        for i in range(50):
+            w.append(make_record(i + 1, 1, "obs", {}))
+        assert w.fsync_count == 0
+        w.close()
+
+
+class TestFencing:
+    def test_claim_epoch_is_monotonic(self, tmp_path):
+        d = str(tmp_path)
+        assert current_epoch(d) == 0
+        assert claim_epoch(d) == 1
+        assert claim_epoch(d) == 2
+        assert current_epoch(d) == 2
+
+    def test_stale_writer_errors_on_sync(self, tmp_path):
+        d = str(tmp_path)
+        w = WalWriter(d, epoch=claim_epoch(d), fsync="off")
+        w.append(make_record(1, 1, "obs", {}))
+        claim_epoch(d)  # a recovering writer takes over
+        with pytest.raises(StaleWriterError):
+            w.sync()
+
+    def test_stale_writer_errors_on_rotate(self, tmp_path):
+        d = str(tmp_path)
+        w = WalWriter(d, epoch=claim_epoch(d), fsync="off")
+        claim_epoch(d)
+        with pytest.raises(StaleWriterError):
+            w.rotate()
+
+    def test_append_after_close_raises(self, tmp_path):
+        d = str(tmp_path)
+        w = WalWriter(d, epoch=claim_epoch(d), fsync="off")
+        w.close()
+        with pytest.raises(JournalError):
+            w.append(make_record(1, 1, "obs", {}))

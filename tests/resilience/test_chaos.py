@@ -168,3 +168,68 @@ class TestFaultClasses:
         chaos = ChaosEngine(sav, FaultModelSpec())
         assert not chaos.drop_envelope(Envelope("STATUS", "A", 0, 0.0, {}))
         assert chaos.dropped_envelopes == 0
+
+
+class TestChaosStateRoundTrip:
+    """state_dict/load_state_dict: the crash-recovery handover contract."""
+
+    MODEL = FaultModelSpec(node_mtbf=80.0, node_repair_time=40.0, task_crash_mtbf=90.0)
+
+    def run_with_handover(self, seed, handover_at=None, until=300.0):
+        """Optionally hand the chaos role to a fresh engine mid-run."""
+        eng, _m, sav = make_sim(
+            [
+                make_task("A", flaky_app_factory(fail_incarnations=0, total_steps=500)),
+                make_task("B", flaky_app_factory(fail_incarnations=0, total_steps=500)),
+            ],
+            resilience=ResilienceSpec(
+                retry=RetryPolicy(max_retries=100, backoff_base=1.0, jitter=0.25)
+            ),
+            seed=seed,
+        )
+        chaos = ChaosEngine(sav, self.MODEL)
+        chaos.start()
+        sav.launch_workflow()
+        if handover_at is not None:
+            eng.run(until=handover_at)
+            state = chaos.state_dict()
+            chaos.suspend()  # the crashed controller's engine goes dark
+            successor = ChaosEngine(sav, self.MODEL)
+            successor.load_state_dict(state)
+            chaos = successor
+        eng.run(until=until)
+        chaos.stop()
+        return sav, chaos
+
+    def test_handover_replays_the_uninterrupted_fault_sequence(self):
+        plain = fingerprint(*self.run_with_handover(11))
+        handed = fingerprint(*self.run_with_handover(11, handover_at=150.0))
+        assert plain[0]  # faults actually fired on both sides of 150 s
+        assert any(t > 150.0 for t, _k, _tgt in plain[0])
+        assert handed == plain
+
+    def test_state_dict_captures_rng_and_pending_fires(self):
+        _sav, chaos = self.run_with_handover(7, until=120.0)
+        state = chaos.state_dict()
+        assert state["running"] is False  # stop() was called
+        assert "chaos:node-crash" in state["rng"]["streams"]
+        assert "chaos:task-crash" in state["rng"]["streams"]
+        assert state["history"] == [[e.time, e.kind, e.target] for e in chaos.history]
+
+    def test_suspended_engine_never_fires_again(self):
+        eng, _m, sav = make_sim(
+            [make_task("A", flaky_app_factory(fail_incarnations=0, total_steps=500))],
+            resilience=ResilienceSpec(
+                retry=RetryPolicy(max_retries=100, backoff_base=1.0, jitter=0.0)
+            ),
+            seed=1,
+        )
+        chaos = ChaosEngine(sav, FaultModelSpec(task_crash_mtbf=20.0))
+        chaos.start()
+        sav.launch_workflow()
+        eng.run(until=50.0)
+        fired_before = len(chaos.history)
+        assert fired_before
+        chaos.suspend()
+        eng.run(until=300.0)
+        assert len(chaos.history) == fired_before

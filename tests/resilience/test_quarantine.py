@@ -138,3 +138,75 @@ class TestQuarantineEndToEnd:
         # was blamed, never the surviving nodes of the killed instance.
         assert dead in sav.quarantine.active()
         assert survivor not in sav.quarantine.active()
+
+
+class TestQuarantineMidRetryArbitration:
+    """A node tripping the breaker while its task is mid-retry must not
+    be handed back out by Arbitration during the cooldown."""
+
+    def _world(self):
+        from repro.apps import ConstantModel, IterativeApp
+        from repro.core import ArbitrationRules, ArbitrationStage
+        from repro.resilience import QuarantineSpec, ResilienceSpec, RetryPolicy
+        from repro.wms import TaskSpec
+
+        eng, _m, sav = make_sim(
+            [
+                # A crashes forever: each death burns a retry and blames
+                # its node; the long backoff keeps it mid-retry for ages.
+                make_task("A", flaky_app_factory(
+                    fail_incarnations=10**9, crash_at=1, total_steps=5), nprocs=8),
+                TaskSpec("B", lambda: IterativeApp(ConstantModel(4.0), total_steps=10_000),
+                         nprocs=8),
+            ],
+            num_nodes=4,
+            resilience=ResilienceSpec(
+                retry=RetryPolicy(max_retries=10, backoff_base=60.0,
+                                  backoff_factor=1.0, jitter=0.0),
+                quarantine=QuarantineSpec(failures=1, window=1e6, cooldown=1e6),
+            ),
+        )
+        rules = ArbitrationRules.from_workflow(sav.workflow)
+        arb = ArbitrationStage(sav, rules, warmup=0.0, settle=0.0)
+        arb.begin(0.0)
+        sav.launch_workflow()
+        return eng, sav, arb
+
+    def test_addcpu_plan_avoids_the_quarantined_node(self):
+        from repro.core import ActionType, SuggestedAction
+
+        eng, sav, arb = self._world()
+        eng.run(until=5.0)  # A crashed: node blamed + quarantined
+        quarantined = sav.quarantine.active()
+        assert quarantined
+        rec = sav.record("A")
+        assert not rec.is_active and not rec.retry_exhausted  # mid-backoff
+        # B currently sits on the quarantined node (both started there).
+        assert set(sav.record("B").current.resources.node_ids) & quarantined
+
+        plan = arb.arbitrate(
+            [SuggestedAction(policy_id="P", action=ActionType.ADDCPU, target="B",
+                             workflow_id="W", params={"adjust-by": 8},
+                             trigger_time=eng.now)],
+            now=eng.now,
+        )
+        assert plan is not None
+        starts = [op for op in plan.ops if op.op == "start_task" and op.task == "B"]
+        assert starts, f"no start op in {[o.describe() for o in plan.ops]}"
+        for op in starts:
+            assert not (set(op.resources.node_ids) & quarantined), (
+                f"arbitration re-selected quarantined node(s) "
+                f"{set(op.resources.node_ids) & quarantined}"
+            )
+
+    def test_retry_relaunch_also_avoids_the_node_during_cooldown(self):
+        eng, sav, arb = self._world()
+        eng.run(until=5.0)
+        quarantined = set(sav.quarantine.active())
+        assert quarantined
+        # Let the 60 s backoff elapse: the retry relaunch lands off-node.
+        eng.run(until=70.0)
+        rec = sav.record("A")
+        assert rec.incarnations >= 2
+        latest = rec.current if rec.current is not None else rec.history[-1]
+        assert not (set(latest.resources.node_ids) & quarantined)

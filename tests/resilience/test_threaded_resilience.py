@@ -51,7 +51,7 @@ class TestThreadedRetry:
         # wait_until_done() can fire in the gap between the crash and the
         # backoff timer; poll the status records for the clean exit instead.
         assert wait_for(lambda: any(r["code"] == 0 for r in status_records(runner, "T")))
-        runner.shutdown()
+        runner.stop()
         records = status_records(runner, "T")
         assert [r["code"] for r in records] == [1, 0]
         assert [r["incarnation"] for r in records] == [0, 1]
@@ -66,7 +66,7 @@ class TestThreadedRetry:
                              ResilienceSpec(retry=fast_retry(max_retries=2)))
         runner.start()
         assert wait_for(lambda: "T" in runner.retry_exhausted)
-        runner.shutdown()
+        runner.stop()
         records = status_records(runner, "T")
         assert len(records) == 3  # original + 2 retries
         assert all(r["code"] == 1 for r in records)
@@ -79,7 +79,7 @@ class TestThreadedRetry:
         runner.start()
         assert runner.wait_until_done(timeout=10.0)
         time.sleep(0.3)  # a retry timer would fire well within this window
-        runner.shutdown()
+        runner.stop()
         records = status_records(runner, "T")
         assert [r["code"] for r in records] == [1]
         assert runner.retries == []
@@ -107,7 +107,7 @@ class TestThreadedWatchdog:
         assert runner.watchdog_kills and runner.watchdog_kills[0][1] == "T"
         # Let the abandoned thread wake up and write its exit record too.
         assert wait_for(lambda: any(r["code"] == 142 for r in status_records(runner, "T")))
-        runner.shutdown()
+        runner.stop()
         codes = sorted(r["code"] for r in status_records(runner, "T"))
         assert codes == [0, 142]
 
@@ -118,6 +118,6 @@ class TestThreadedWatchdog:
         )
         runner.start()
         assert runner.wait_until_done(timeout=10.0)
-        runner.shutdown()
+        runner.stop()
         assert runner.watchdog_kills == []
         assert status_records(runner, "T")[-1]["code"] == 0

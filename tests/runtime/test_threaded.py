@@ -25,7 +25,7 @@ class TestLiveExecution:
         runner = make_runner([LiveTaskSpec("T", lambda s, w: steps.append(s), total_steps=5)])
         runner.start()
         assert runner.wait_until_done(timeout=10.0)
-        runner.shutdown()
+        runner.stop()
         assert steps == [0, 1, 2, 3, 4]
         status = runner.hub.filesystem.read("status/LIVE/T")
         assert status[-1]["code"] == 0
@@ -37,20 +37,19 @@ class TestLiveExecution:
         runner = make_runner([LiveTaskSpec("T", boom, total_steps=5)])
         runner.start()
         assert runner.wait_until_done(timeout=10.0)
-        runner.shutdown()
+        runner.stop()
         assert runner.hub.filesystem.read("status/LIVE/T")[-1]["code"] == 1
 
     def test_pace_sensor_observes_real_looptimes(self):
         runner = make_runner(
             [LiveTaskSpec("T", lambda s, w: time.sleep(0.05), total_steps=8)]
         )
-        runner.add_sensor(
-            SensorSpec("PACE", "TAUADIOS2", (GroupBySpec("task", "MAX"),)), task="T"
-        )
+        runner.add_sensor(SensorSpec("PACE", "TAUADIOS2", (GroupBySpec("task", "MAX"),)))
+        runner.monitor_task("T", "PACE")
         runner.start()
         assert runner.wait_until_done(timeout=10.0)
         time.sleep(0.2)  # let the monitor drain the last steps
-        runner.shutdown()
+        runner.stop()
         values = [u.value for u in runner.server.history if u.task == "T"]
         assert values and all(0.04 < v < 0.5 for v in values)
 
@@ -76,18 +75,18 @@ class TestLiveActions:
             LiveTaskSpec("T", flaky, total_steps=6),
             LiveTaskSpec("BG", lambda s, w: time.sleep(0.05), total_steps=30),
         ])
-        runner.add_sensor(
-            SensorSpec("STATUS", "ERRORSTATUS", (GroupBySpec("task", "FIRST"),)),
-            task="T", var=None,
-        )
+        runner.add_sensor(SensorSpec("STATUS", "ERRORSTATUS", (GroupBySpec("task", "FIRST"),)))
+        runner.monitor_task("T", "STATUS", var=None)
         runner.add_policy(
             PolicySpec("RESTART_ON_FAILURE", "STATUS", "GT", 0.0, ActionType.RESTART,
-                       frequency=0.1),
-            PolicyApplication("RESTART_ON_FAILURE", "LIVE", ("T",), assess_task="T"),
+                       frequency=0.1)
+        )
+        runner.apply_policy(
+            PolicyApplication("RESTART_ON_FAILURE", "LIVE", ("T",), assess_task="T")
         )
         runner.start()
         assert runner.wait_until_done(timeout=15.0)
-        runner.shutdown()
+        runner.stop()
         assert runner._incarnations["T"] == 2
         assert any("RESTART:T" in a for _t, a in runner.applied_actions)
         codes = [r["code"] for r in runner.hub.filesystem.read("status/LIVE/T")]
@@ -104,18 +103,19 @@ class TestLiveActions:
             [LiveTaskSpec("T", work, nworkers=1, total_steps=40)],
             warmup=0.1, settle=0.3,
         )
-        runner.add_sensor(
-            SensorSpec("PACE", "TAUADIOS2", (GroupBySpec("task", "MAX"),)), task="T"
-        )
+        runner.add_sensor(SensorSpec("PACE", "TAUADIOS2", (GroupBySpec("task", "MAX"),)))
+        runner.monitor_task("T", "PACE")
         runner.add_policy(
             PolicySpec("INC", "PACE", "GT", 0.01, ActionType.ADDCPU,
-                       history_window=2, history_op="AVG", frequency=0.2),
+                       history_window=2, history_op="AVG", frequency=0.2)
+        )
+        runner.apply_policy(
             PolicyApplication("INC", "LIVE", ("T",), assess_task="T",
-                              action_params={"adjust-by": 2}),
+                              action_params={"adjust-by": 2})
         )
         runner.start()
         time.sleep(2.0)
-        runner.shutdown()
+        runner.stop()
         assert max(seen_workers) >= 3  # at least one ADDCPU applied
         assert any("ADDCPU:T" in a for _t, a in runner.applied_actions)
 
@@ -126,15 +126,13 @@ class TestLiveActions:
 
         runner = make_runner([LiveTaskSpec("T", boom_once, total_steps=3)],
                              warmup=60.0)
-        runner.add_sensor(
-            SensorSpec("STATUS", "ERRORSTATUS", (GroupBySpec("task", "FIRST"),)),
-            task="T", var=None,
-        )
+        runner.add_sensor(SensorSpec("STATUS", "ERRORSTATUS", (GroupBySpec("task", "FIRST"),)))
+        runner.monitor_task("T", "STATUS", var=None)
         runner.add_policy(
-            PolicySpec("R", "STATUS", "GT", 0.0, ActionType.RESTART, frequency=0.1),
-            PolicyApplication("R", "LIVE", ("T",), assess_task="T"),
+            PolicySpec("R", "STATUS", "GT", 0.0, ActionType.RESTART, frequency=0.1)
         )
+        runner.apply_policy(PolicyApplication("R", "LIVE", ("T",), assess_task="T"))
         runner.start()
         time.sleep(1.0)
-        runner.shutdown()
+        runner.stop()
         assert runner.applied_actions == []  # gated by the long warmup

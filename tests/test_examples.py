@@ -49,6 +49,11 @@ class TestExamples:
         out = run_example("campaign_sweep.py", capsys=capsys)
         assert out.count("converged") == 5
 
+    def test_crash_resume(self, capsys, tmp_path):
+        out = run_example("crash_resume.py", [str(tmp_path / "journal")], capsys=capsys)
+        assert "controller crashes survived: 2" in out
+        assert "RESUME OK" in out
+
     def test_reproduce_all_summit_only(self, capsys, monkeypatch):
         # Full reproduce_all runs both machines (~15 s); patch to Summit only.
         import repro.experiments.report as report_mod

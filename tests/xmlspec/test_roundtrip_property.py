@@ -21,6 +21,7 @@ from repro.resilience import (
     RetryPolicy,
     WatchdogSpec,
 )
+from repro.journal import JournalSpec
 from repro.telemetry import TelemetrySpec
 from repro.wms.spec import CouplingType, DependencySpec
 from repro.xmlspec import (
@@ -85,8 +86,19 @@ def resilience_specs(draw):
             task_hang_mtbf=st.one_of(st.just(0.0), positive),
             msg_drop_prob=st.floats(min_value=0.0, max_value=0.99),
             stage_drop_prob=st.floats(min_value=0.0, max_value=0.99),
+            orch_crash_mtbf=st.one_of(st.just(0.0), positive),
         )),
     )
+
+
+journal_specs = st.builds(
+    JournalSpec,
+    dir=safe_text,
+    enabled=st.booleans(),
+    fsync=st.sampled_from(["off", "always", "batch"]),
+    batch_every=st.integers(1, 1000),
+    snapshot_every=st.integers(1, 100),
+)
 
 
 telemetry_specs = st.builds(
@@ -181,6 +193,7 @@ def dyflow_specs(draw):
         rules=rules,
         resilience=draw(st.one_of(st.none(), resilience_specs())),
         telemetry=draw(st.one_of(st.none(), telemetry_specs)),
+        journal=draw(st.one_of(st.none(), journal_specs)),
     )
 
 
@@ -210,6 +223,7 @@ class TestFixedPoint:
         assert back.rules == spec.rules
         assert back.resilience == spec.resilience
         assert back.telemetry == spec.telemetry
+        assert back.journal == spec.journal
         # monitor-tasks are regrouped by (task, workflow, source) on
         # write; with unique tasks the binding set is order-stable.
         key = lambda m: (m.task, m.sensor_id, m.info_source, m.info, tuple(sorted(m.params.items(), key=repr)))
@@ -271,6 +285,8 @@ def test_full_document_with_all_elements_round_trips():
         telemetry=TelemetrySpec(enabled=True, sample=0.5,
                                 jsonl_path="run/events.jsonl",
                                 chrome_trace_path="run/trace.json"),
+        journal=JournalSpec(dir="run/journal", enabled=True, fsync="batch",
+                            batch_every=32, snapshot_every=10),
     )
     xml1 = write_dyflow_xml(spec)
     back = parse_dyflow_xml(xml1)
