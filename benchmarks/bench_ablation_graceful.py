@@ -9,7 +9,7 @@ import pytest
 
 from repro.experiments import run_gray_scott_experiment
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, write_bench
 
 
 def test_ablation_graceful_termination(benchmark):
@@ -36,3 +36,12 @@ def test_ablation_graceful_termination(benchmark):
     assert i_resp[0] < 0.3 * g_resp[0], "immediate stops must collapse response time"
     benchmark.extra_info["graceful_first_response"] = round(g_resp[0], 2)
     benchmark.extra_info["immediate_first_response"] = round(i_resp[0], 2)
+    write_bench(
+        "ablation_graceful",
+        {"machine": "summit", "seed": 0},
+        {
+            "graceful_responses": [round(r, 2) for r in g_resp],
+            "immediate_responses": [round(r, 2) for r in i_resp],
+            "first_response_speedup": round(g_resp[0] / i_resp[0], 2),
+        },
+    )

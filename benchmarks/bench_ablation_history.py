@@ -10,7 +10,7 @@ import pytest
 
 from repro.experiments import run_gray_scott_experiment
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, write_bench
 
 
 def count_adjustments(result):
@@ -43,3 +43,15 @@ def test_ablation_history_window(benchmark):
     assert i_n >= w_n
     benchmark.extra_info["windowed_adjustments"] = w_n
     benchmark.extra_info["instant_adjustments"] = i_n
+    write_bench(
+        "ablation_history",
+        {"machine": "summit", "seed": 3, "windows": [10, 1]},
+        {
+            "windowed_adjustments": w_n,
+            "instant_adjustments": i_n,
+            "windowed_restarts": w_restarts,
+            "instant_restarts": i_restarts,
+            "windowed_makespan": round(windowed.makespan, 1),
+            "instant_makespan": round(instant.makespan, 1),
+        },
+    )

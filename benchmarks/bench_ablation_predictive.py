@@ -25,7 +25,7 @@ from repro.runtime import DyflowOrchestrator
 from repro.sim import RngRegistry, SimEngine
 from repro.wms import CouplingType, DependencySpec, Savanna, TaskSpec, WorkflowSpec
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, write_bench
 
 THRESHOLD = 30.0
 
@@ -84,3 +84,13 @@ def test_ablation_predictive_vs_reactive(benchmark):
     assert p_peak <= r_peak + 1e-6
     benchmark.extra_info["reactive_first"] = round(r_first, 1)
     benchmark.extra_info["predictive_first"] = round(p_first, 1)
+    write_bench(
+        "ablation_predictive",
+        {"machine": "summit", "seed": 0, "threshold": THRESHOLD},
+        {
+            "reactive_first": round(r_first, 1),
+            "predictive_first": round(p_first, 1),
+            "reactive_peak": round(r_peak, 2),
+            "predictive_peak": round(p_peak, 2),
+        },
+    )

@@ -26,7 +26,7 @@ from repro.runtime import DyflowOrchestrator
 from repro.sim import RngRegistry, SimEngine
 from repro.wms import Savanna, TaskSpec, WorkflowSpec
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, write_bench
 
 
 def run(action: ActionType, params: dict):
@@ -82,3 +82,13 @@ def test_ablation_reconfig_vs_restart(benchmark):
     assert reconfig["final_step"] == 60
     benchmark.extra_info["restart_response"] = round(restart["response"], 2)
     benchmark.extra_info["reconfig_response"] = round(reconfig["response"], 3)
+    write_bench(
+        "ablation_reconfig",
+        {"machine": "summit", "seed": 0, "step_scale": 0.5},
+        {
+            "restart_response": round(restart["response"], 2),
+            "reconfig_response": round(reconfig["response"], 3),
+            "restart_incarnations": restart["incarnations"],
+            "reconfig_incarnations": reconfig["incarnations"],
+        },
+    )

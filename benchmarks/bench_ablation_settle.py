@@ -11,7 +11,7 @@ import pytest
 
 from repro.experiments import run_gray_scott_experiment
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, write_bench
 
 
 def test_ablation_settle_window(benchmark):
@@ -41,3 +41,13 @@ def test_ablation_settle_window(benchmark):
     assert u_plans >= s_plans, "removing the settle window must not reduce churn"
     benchmark.extra_info["settled_plans"] = s_plans
     benchmark.extra_info["unsettled_plans"] = u_plans
+    write_bench(
+        "ablation_settle",
+        {"machine": "summit", "seed": 0, "settle_seconds": [120.0, 1.0]},
+        {
+            "settled_plans": s_plans,
+            "unsettled_plans": u_plans,
+            "settled_restarts": s_restarts,
+            "unsettled_restarts": u_restarts,
+        },
+    )

@@ -9,7 +9,7 @@ import pytest
 
 from repro.experiments import run_gray_scott_experiment
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, write_bench
 
 
 def test_ablation_victim_selection(benchmark):
@@ -37,3 +37,14 @@ def test_ablation_victim_selection(benchmark):
     assert without.makespan > with_victims.makespan
     benchmark.extra_info["makespan_with"] = round(with_victims.makespan, 1)
     benchmark.extra_info["makespan_without"] = round(without.makespan, 1)
+    write_bench(
+        "ablation_victims",
+        {"machine": "summit", "seed": 0},
+        {
+            "adjustments_with_victims": len(adjusted),
+            "adjustments_without_victims": len(not_adjusted),
+            "makespan_with": round(with_victims.makespan, 1),
+            "makespan_without": round(without.makespan, 1),
+            "time_limit": with_victims.meta["time_limit"],
+        },
+    )

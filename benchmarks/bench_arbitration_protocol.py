@@ -13,6 +13,8 @@ from repro.core import ActionType, ArbitrationRules, ArbitrationStage, Suggested
 from repro.sim import SimEngine
 from repro.wms import CouplingType, DependencySpec, Savanna, TaskSpec, WorkflowSpec
 
+from benchmarks.conftest import write_bench
+
 
 def make_world(n_tasks=12):
     eng = SimEngine()
@@ -58,6 +60,14 @@ def test_arbitration_plan_formulation_speed(benchmark):
     assert plan is not None and plan.ops
     benchmark.extra_info["suggestions"] = n
     benchmark.extra_info["ops_in_plan"] = len(plan.ops)
+    write_bench(
+        "arbitration_protocol",
+        {"tasks": n, "machine": "summit"},
+        {
+            "mean_seconds": benchmark.stats.stats.mean,
+            "ops_in_plan": len(plan.ops),
+        },
+    )
 
 
 def test_conflict_resolution_speed(benchmark):

@@ -11,7 +11,7 @@ import pytest
 
 from repro.experiments import run_gray_scott_experiment
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, write_bench
 
 
 def throughput_series(result, bucket=120.0):
@@ -66,3 +66,12 @@ def test_fig1_throughput_improves(benchmark, gs_summit):
     benchmark.extra_info["sec_per_step_static"] = round(static_dt, 1)
     benchmark.extra_info["sec_per_step_after"] = round(after_dt, 1)
     benchmark.extra_info["response_windows"] = [(round(a, 1), round(b, 1)) for a, b in windows]
+    write_bench(
+        "fig1_throughput",
+        {"machine": "summit", "seed": 0, "bucket_seconds": 120.0},
+        {
+            "sec_per_step_static": round(static_dt, 1),
+            "sec_per_step_after": round(after_dt, 1),
+            "response_windows": [[round(a, 1), round(b, 1)] for a, b in windows],
+        },
+    )

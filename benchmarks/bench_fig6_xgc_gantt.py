@@ -14,7 +14,7 @@ import pytest
 
 from repro.experiments import render_gantt, run_xgc_experiment
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, write_bench
 
 PAPER = {
     "summit": {"start_xgca": (0.1, 0.2), "start_xgc1": 8.0, "stop": 2.0, "overhead_pct": 25},
@@ -54,6 +54,15 @@ def test_fig6_summit(benchmark, xgc_summit_baseline):
     benchmark.extra_info["xgca_start_responses"] = [round(r, 3) for r in xgca_starts]
     benchmark.extra_info["static_vs_dyflow_ratio"] = round(ratio, 3)
     benchmark.extra_info["paper"] = PAPER["summit"]
+    write_bench(
+        "fig6_xgc_gantt",
+        {"machine": "summit", "paper": PAPER["summit"]},
+        {
+            "xgca_start_responses": [round(r, 3) for r in xgca_starts],
+            "static_vs_dyflow_ratio": round(ratio, 3),
+            "final_progress": result.meta["final_progress"],
+        },
+    )
 
 
 def test_fig6_deepthought2(benchmark, xgc_summit):

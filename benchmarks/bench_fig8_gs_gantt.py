@@ -12,7 +12,7 @@ import pytest
 
 from repro.experiments import render_gantt, run_gray_scott_experiment
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, write_bench
 
 PAPER = {
     "summit": {"adjustments": [("PDF_Calc", 40, 107.0), ("FFT", 60, 36.0)], "overtime_pct": (10, 12)},
@@ -63,6 +63,16 @@ def test_fig8_summit(benchmark):
     benchmark.extra_info["responses"] = [round(p.response_time, 1) for p in plans]
     benchmark.extra_info["paper_responses"] = [107.0, 36.0]
     benchmark.extra_info["overtime_pct"] = round(100 * overtime, 1)
+    write_bench(
+        "fig8_gs_gantt",
+        {"machine": "summit", "seed": 0, "paper": PAPER["summit"]},
+        {
+            "responses": [round(p.response_time, 1) for p in plans],
+            "isosurface_sizes": sizes,
+            "makespan": round(result.makespan, 1),
+            "baseline_overtime_pct": round(100 * overtime, 1),
+        },
+    )
 
 
 def test_fig8_deepthought2(benchmark):

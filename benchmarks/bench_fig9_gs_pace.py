@@ -10,7 +10,7 @@ import pytest
 from repro.apps.gray_scott import ANALYSIS_TASKS
 from repro.experiments import run_gray_scott_experiment
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, write_bench
 
 INC_THRESHOLD = 36.0
 DEC_THRESHOLD = 24.0
@@ -44,3 +44,13 @@ def test_fig9_pace_series(benchmark, gs_summit):
     benchmark.extra_info["early_max"] = round(max(early), 1)
     benchmark.extra_info["settled_range"] = (round(min(tail), 1), round(max(tail), 1))
     benchmark.extra_info["paper_interval"] = (DEC_THRESHOLD, INC_THRESHOLD)
+    write_bench(
+        "fig9_gs_pace",
+        {"machine": "summit", "seed": 0,
+         "thresholds": {"inc": INC_THRESHOLD, "dec": DEC_THRESHOLD}},
+        {
+            "early_max": round(max(early), 1),
+            "settled_range": [round(min(tail), 1), round(max(tail), 1)],
+            "adjustment_times": [round(p.created, 1) for p in adjustments],
+        },
+    )

@@ -23,7 +23,7 @@ import time
 from repro.experiments import run_gray_scott_experiment
 from repro.journal import JournalSpec, scenario_fingerprint
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, write_bench
 
 ROUNDS = 5
 
@@ -106,6 +106,15 @@ def test_journal_overhead_summit(benchmark):
     report(payload)
     check(payload)
     benchmark.extra_info["bench"] = payload
+    write_bench(
+        "journal_overhead",
+        {"machine": "summit", "rounds": ROUNDS},
+        {
+            "seconds": payload["seconds"],
+            "overhead_pct": payload["overhead_pct"],
+            "fingerprints_identical": payload["fingerprints_identical"],
+        },
+    )
 
 
 def test_journal_overhead_deepthought2(benchmark):

@@ -1,0 +1,129 @@
+"""Observability overhead on the Gray-Scott control loop.
+
+Measures the wall-clock cost of the observability engine against the
+seed path at three levels:
+
+* ``off``      — no ObservabilitySpec at all (the seed path);
+* ``disabled`` — a spec with ``enabled=False`` (must cost nothing);
+* ``health``   — SLO/anomaly evaluation every 5 s, no exports;
+* ``full``     — evaluation plus run-report + OpenMetrics export.
+
+Two gates: a *disabled* spec must cost nothing measurable (< 2 % over
+the seed path, the same budget as the NullTracer and the disabled
+journal), and observability must never change decisions — every mode
+reproduces a bit-identical scenario fingerprint.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from repro.experiments import run_gray_scott_experiment
+from repro.journal import scenario_fingerprint
+from repro.observability import AnomalySpec, ObservabilitySpec, SloSpec
+from repro.telemetry import TelemetrySpec
+
+from benchmarks.conftest import emit, write_bench
+
+ROUNDS = 5
+# One scenario run is ~0.1 s; timing single runs puts the 2 % gate inside
+# scheduler jitter.  Each sample therefore times a burst of runs.
+RUNS_PER_SAMPLE = 3
+
+SLOS = (SloSpec(metric="plan.response", stat="p95", op="LT", threshold=60.0),)
+ANOMALIES = (AnomalySpec(metric="stage.monitor.latency", stat="p95", window=20, z=4.0),)
+
+
+def one_sample(mode: str) -> tuple[float, str]:
+    """Wall time of a burst of runs + fingerprint, in *mode*."""
+    workdir = None
+    spec = None
+    if mode == "disabled":
+        spec = ObservabilitySpec(enabled=False)
+    elif mode == "health":
+        spec = ObservabilitySpec(eval_every=5.0, slos=SLOS, anomalies=ANOMALIES)
+    elif mode == "full":
+        workdir = tempfile.mkdtemp(prefix="bench-obs-")
+        spec = ObservabilitySpec(
+            eval_every=5.0, slos=SLOS, anomalies=ANOMALIES,
+            report_path=os.path.join(workdir, "report.md"),
+            report_json_path=os.path.join(workdir, "report.json"),
+            openmetrics_path=os.path.join(workdir, "metrics.prom"),
+        )
+    t0 = time.perf_counter()
+    for _ in range(RUNS_PER_SAMPLE):
+        result = run_gray_scott_experiment(
+            "summit", use_dyflow=True, telemetry=TelemetrySpec(enabled=True),
+            observability=spec,
+        )
+    elapsed = time.perf_counter() - t0
+    fingerprint = scenario_fingerprint(result)
+    if workdir is not None:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return elapsed, fingerprint
+
+
+def measure() -> dict:
+    modes = ("off", "disabled", "health", "full")
+    one_sample("off")  # warm caches/allocator before any timing
+    # Interleave the modes round-robin and keep each mode's best time
+    # (same protocol as the journal-overhead bench): slow drift then
+    # hits every mode equally instead of biasing whichever ran first.
+    times = {mode: float("inf") for mode in modes}
+    prints = {}
+    for _ in range(ROUNDS):
+        for mode in modes:
+            elapsed, prints[mode] = one_sample(mode)
+            times[mode] = min(times[mode], elapsed)
+    seed = times["off"]
+    return {
+        "seconds": {m: round(t, 4) for m, t in times.items()},
+        "overhead_pct": {
+            m: round(100 * (t / seed - 1.0), 2) for m, t in times.items() if m != "off"
+        },
+        "fingerprints_identical": len(set(prints.values())) == 1,
+    }
+
+
+def report(payload: dict) -> None:
+    lines = [f"{'mode':<10} {'wall(s)':>9} {'overhead':>9}"]
+    for mode, t in payload["seconds"].items():
+        over = payload["overhead_pct"].get(mode)
+        lines.append(
+            f"{mode:<10} {t:>9.4f} " + (f"{over:>+8.2f}%" if over is not None else "     seed")
+        )
+    lines.append(
+        "fingerprints identical across all modes: "
+        f"{payload['fingerprints_identical']}"
+    )
+    emit("observability overhead (summit)", lines)
+    print("BENCH " + json.dumps(payload, sort_keys=True))
+
+
+def check(payload: dict) -> None:
+    # Health evaluation is read-only over the metrics registry: it must
+    # never change decisions, whatever mode it runs in.
+    assert payload["fingerprints_identical"], "observability changed the run"
+    # A disabled spec takes the seed path; its cost must be noise.
+    assert payload["overhead_pct"]["disabled"] < 2.0, (
+        f"disabled-observability overhead {payload['overhead_pct']['disabled']}% exceeds 2%"
+    )
+
+
+def test_observability_overhead(benchmark):
+    payload = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(payload)
+    check(payload)
+    benchmark.extra_info["bench"] = payload
+    write_bench(
+        "observability_overhead",
+        {"machine": "summit", "rounds": ROUNDS,
+         "slos": len(SLOS), "anomalies": len(ANOMALIES)},
+        {
+            "seconds": payload["seconds"],
+            "overhead_pct": payload["overhead_pct"],
+            "fingerprints_identical": payload["fingerprints_identical"],
+        },
+    )

@@ -24,7 +24,7 @@ from repro.sim.rng import RngRegistry
 from repro.wms import Savanna, TaskSpec, TaskState, WorkflowSpec
 from repro.apps import ConstantModel, IterativeApp
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, write_bench
 
 NTASKS = 4
 NPROCS = 8
@@ -130,6 +130,12 @@ def test_resilience_sweep(benchmark):
         {"mtbf": r["mtbf"], "steps_per_core_hour": round(r["steps_per_core_hour"], 2),
          "restarts": r["restarts"]} for r in rows
     ]
+    write_bench(
+        "resilience_sweep",
+        {"machine": "summit", "seed": SEED, "mtbf_sweep": SWEEP,
+         "tasks": NTASKS, "total_steps": TOTAL_STEPS},
+        {"sweep": benchmark.extra_info["sweep"]},
+    )
 
 
 def test_resilience_sweep_is_deterministic(benchmark):

@@ -10,7 +10,7 @@ import pytest
 
 from repro.experiments import run_cost_analysis
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, write_bench
 
 PAPER = {"file_lag": 0.2, "stream_lag": 0.5, "stop_share": 0.97}
 
@@ -38,6 +38,17 @@ def test_sec46_summit(benchmark):
         "stop_share": round(report.stop_share, 3),
     }
     benchmark.extra_info["paper"] = PAPER
+    write_bench(
+        "sec46_cost_analysis",
+        {"machine": "summit", "paper": PAPER},
+        {
+            "file_lag": report.file_lag,
+            "stream_lag": report.stream_lag,
+            "stop_share": round(report.stop_share, 3),
+            "plan_time": round(report.plan_time, 4),
+            "response_time": round(report.response_time, 2),
+        },
+    )
 
 
 def test_sec46_both_machines_average_lag_below_1s(benchmark):

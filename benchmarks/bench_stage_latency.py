@@ -25,7 +25,7 @@ import time
 from repro.experiments import run_gray_scott_experiment
 from repro.telemetry import TelemetrySpec
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, write_bench
 
 STAGES = ("monitor", "decision", "arbitration", "actuation")
 
@@ -85,6 +85,11 @@ def test_stage_latency_summit(benchmark):
     report(payload)
     check(payload)
     benchmark.extra_info["bench"] = payload
+    write_bench(
+        "stage_latency",
+        {"machine": "summit", "seed": 0},
+        {"stages": payload["stages"], "response": payload["response"]},
+    )
 
 
 def test_stage_latency_deepthought2(benchmark):
@@ -123,3 +128,8 @@ def test_null_tracer_overhead_below_two_percent(benchmark):
     print("BENCH " + json.dumps(payload, sort_keys=True))
     assert overhead < 0.02, f"NullTracer overhead {100 * overhead:.2f}% exceeds 2%"
     benchmark.extra_info["bench"] = payload
+    write_bench(
+        "null_tracer_overhead",
+        {"machine": "summit", "seed": 0, "repeats": 3},
+        payload,
+    )

@@ -8,7 +8,7 @@ from repro.cluster import BatchScheduler, summit
 from repro.experiments.xgc_scenario import NUM_NODES, PROCS_PER_NODE, build_workflow, _make_machine
 from repro.sim import SimEngine
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, write_bench
 
 PAPER_TABLE1 = {
     "PROCESSES": "192 (14 per node)",
@@ -46,3 +46,13 @@ def test_table1_configuration(benchmark):
     assert xgc1.make_app().run_steps == 100
     benchmark.extra_info["paper"] = PAPER_TABLE1
     benchmark.extra_info["measured_procs"] = xgc1.nprocs
+    write_bench(
+        "table1_xgc_config",
+        {"machine": "summit", "paper": PAPER_TABLE1},
+        {
+            "xgc1_procs": xgc1.nprocs,
+            "xgca_procs": xgca.nprocs,
+            "procs_per_node": xgc1.procs_per_node,
+            "allocated_nodes": len(allocation.nodes),
+        },
+    )

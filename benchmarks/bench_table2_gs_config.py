@@ -3,7 +3,7 @@
 from repro.apps.gray_scott import ANALYSIS_TASKS, GrayScottConfig
 from repro.experiments.grayscott_scenario import TIME_LIMITS, build_workflow
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, write_bench
 
 PAPER_SUMMIT = {
     "GRAY-SCOTT": (340, 34),
@@ -33,6 +33,16 @@ def test_table2_configuration(benchmark):
     assert all(workflow.task(t).nprocs == 20 for t in ANALYSIS_TASKS)
     assert config.total_steps == 50
     benchmark.extra_info["paper"] = {k: str(v) for k, v in PAPER_SUMMIT.items()}
+    write_bench(
+        "table2_gs_config",
+        {"machine": "summit", "paper": {k: str(v) for k, v in PAPER_SUMMIT.items()}},
+        {
+            "gs_procs": gs.nprocs,
+            "gs_procs_per_node": gs.procs_per_node,
+            "analysis_procs": {t: workflow.task(t).nprocs for t in ANALYSIS_TASKS},
+            "total_steps": config.total_steps,
+        },
+    )
 
 
 def test_table2_deepthought2(benchmark):

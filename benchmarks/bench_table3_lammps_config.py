@@ -3,7 +3,7 @@
 from repro.apps.lammps import ANALYSIS_TASKS, LammpsConfig
 from repro.experiments.lammps_scenario import build_workflow
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, write_bench
 
 PAPER_SUMMIT = {
     "LAMMPS": (1500, 30),
@@ -43,6 +43,17 @@ def test_table3_summit(benchmark):
     assert config.total_atoms == PAPER_SUMMIT["TOTAL ATOMS"]
     assert config.analysis_steps == PAPER_SUMMIT["ANALYSIS STEPS"]
     benchmark.extra_info["paper"] = {k: str(v) for k, v in PAPER_SUMMIT.items()}
+    write_bench(
+        "table3_lammps_config",
+        {"machine": "summit", "paper": {k: str(v) for k, v in PAPER_SUMMIT.items()}},
+        {
+            "lammps_procs": sim.nprocs,
+            "lammps_procs_per_node": sim.procs_per_node,
+            "analysis_procs": {t: workflow.task(t).nprocs for t in ANALYSIS_TASKS},
+            "total_atoms": config.total_atoms,
+            "analysis_steps": config.analysis_steps,
+        },
+    )
 
 
 def test_table3_deepthought2(benchmark):

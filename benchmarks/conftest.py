@@ -3,10 +3,18 @@
 Every benchmark regenerates one of the paper's tables or figures.  The
 measured series/rows are printed (run pytest with ``-s`` to see them)
 and attached to the benchmark's ``extra_info`` so the JSON output
-carries the paper-vs-measured comparison.
+carries the paper-vs-measured comparison.  Each bench also writes a
+machine-readable ``BENCH_<name>.json`` artifact via :func:`write_bench`
+(into ``$BENCH_OUTPUT_DIR``, default the current directory) with the
+uniform schema ``{"name", "config", "metrics": {...}}`` so CI and the
+comparison scripts can collect every result the same way.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from typing import Any, Mapping
 
 import pytest
 
@@ -15,6 +23,27 @@ from repro.experiments import (
     run_lammps_experiment,
     run_xgc_experiment,
 )
+
+
+def write_bench(
+    name: str, config: Mapping[str, Any], metrics: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Write the standard ``BENCH_<name>.json`` artifact; returns the payload.
+
+    *config* records the knobs that produced the numbers (machine, seed,
+    rounds, ...); *metrics* the measured values.  The same payload is
+    printed as a single ``BENCH {...}`` line for log scraping.
+    """
+    payload = {"name": name, "config": dict(config), "metrics": dict(metrics)}
+    out_dir = os.environ.get("BENCH_OUTPUT_DIR", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+    print("BENCH " + json.dumps(payload, sort_keys=True, default=str))
+    return payload
+
 
 # Scenario runs are deterministic; cache them per session so every bench
 # that reads a figure's data shares one run.

@@ -10,7 +10,12 @@ journal.  A reference run that ignores the crash requests produces a
 bit-identical :func:`~repro.api.scenario_fingerprint`: recovery is
 *exactly-once* and *deterministic*, not merely "eventually consistent".
 
-Run:  python examples/crash_resume.py [journal-dir]
+Run:  python examples/crash_resume.py [journal-dir] [events-jsonl]
+
+With an *events-jsonl* path the crashed run records telemetry and
+appends its JSONL event log there, ready for the report CLI::
+
+    python -m repro.observability.report events.jsonl --require-critical-path
 """
 
 import shutil
@@ -19,6 +24,7 @@ import tempfile
 
 from repro.api import (
     JournalSpec,
+    TelemetrySpec,
     read_journal,
     run_gray_scott_experiment,
     scenario_fingerprint,
@@ -27,7 +33,7 @@ from repro.api import (
 CRASH_TIMES = (300.0, 700.0)
 
 
-def main(journal_dir: str | None = None) -> None:
+def main(journal_dir: str | None = None, events_path: str | None = None) -> None:
     own_dir = journal_dir is None
     if own_dir:
         journal_dir = tempfile.mkdtemp(prefix="dyflow-journal-")
@@ -41,7 +47,13 @@ def main(journal_dir: str | None = None) -> None:
 
     print(f"crash run (controller dies at {CRASH_TIMES[0]:.0f}s and "
           f"{CRASH_TIMES[1]:.0f}s, journal in {journal_dir})...")
-    res = run_gray_scott_experiment(journal=spec, crash_times=CRASH_TIMES)
+    telemetry = (
+        TelemetrySpec(enabled=True, jsonl_path=events_path)
+        if events_path is not None else None
+    )
+    res = run_gray_scott_experiment(
+        journal=spec, crash_times=CRASH_TIMES, telemetry=telemetry
+    )
     print(f"  makespan {res.makespan:.2f}s, fingerprint {scenario_fingerprint(res)[:16]}...")
     print(f"  controller crashes survived: {len(res.meta['crashes'])} "
           f"at {[round(t, 1) for t in res.meta['crashes']]}")
@@ -60,9 +72,14 @@ def main(journal_dir: str | None = None) -> None:
     else:
         print("RESUME MISMATCH: crashed run diverged from the reference")
         raise SystemExit(1)
+    if events_path is not None:
+        print(f"event log written to {events_path}")
     if own_dir:
         shutil.rmtree(journal_dir, ignore_errors=True)
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else None)
+    main(
+        sys.argv[1] if len(sys.argv) > 1 else None,
+        sys.argv[2] if len(sys.argv) > 2 else None,
+    )

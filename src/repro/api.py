@@ -34,6 +34,9 @@ The surface groups into:
   :func:`scenario_fingerprint`, :class:`AppliedOpsLedger`.
 * **Telemetry** — :class:`TelemetrySpec`, :class:`Tracer`, the metrics
   registry and the Chrome trace exporter.
+* **Observability** — :class:`ObservabilitySpec`, critical-path and
+  utilization analytics, OpenMetrics export, run reports, and
+  SLO/anomaly health alerts fed back into the Monitor stage.
 * **Canned experiments** — ``run_*_experiment``, :func:`render_gantt`,
   the paper XML documents, and the report builders.
 """
@@ -72,6 +75,26 @@ from repro.journal import (
     JournalState,
     read_journal,
     scenario_fingerprint,
+)
+from repro.observability import (
+    HEALTH_TASK,
+    AnomalySpec,
+    HealthAlert,
+    HealthEngine,
+    ObservabilitySpec,
+    SloSpec,
+    SpanView,
+    bottlenecks,
+    critical_path,
+    parse_openmetrics,
+    render_markdown,
+    render_openmetrics,
+    report_from_jsonl,
+    report_from_run,
+    utilization_from_events,
+    utilization_from_launcher,
+    write_openmetrics,
+    write_report,
 )
 from repro.resilience import (
     ChaosEngine,
@@ -179,6 +202,25 @@ __all__ = [
     "build_tracer",
     "to_chrome_trace",
     "write_chrome_trace",
+    # observability
+    "ObservabilitySpec",
+    "SloSpec",
+    "AnomalySpec",
+    "HealthAlert",
+    "HealthEngine",
+    "HEALTH_TASK",
+    "SpanView",
+    "critical_path",
+    "bottlenecks",
+    "utilization_from_launcher",
+    "utilization_from_events",
+    "render_openmetrics",
+    "parse_openmetrics",
+    "write_openmetrics",
+    "report_from_run",
+    "report_from_jsonl",
+    "render_markdown",
+    "write_report",
     # canned experiments
     "run_xgc_experiment",
     "run_gray_scott_experiment",

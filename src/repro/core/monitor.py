@@ -22,7 +22,6 @@ from repro.core.events import MetricUpdate
 from repro.core.sensors.base import SensorInstance
 from repro.errors import SensorError
 from repro.telemetry.tracer import NULL_TRACER, Tracer
-from repro.util.deprecation import warn_once
 from repro.util.jsonmsg import Envelope, OutOfOrderFilter, SequenceTracker
 
 
@@ -182,17 +181,8 @@ class MonitorServer:
     def dropped(self) -> int:
         return self._filter.dropped
 
-    def receive(self, envelope: Envelope | None = None, *, env: Envelope | None = None) -> list[MetricUpdate]:
+    def receive(self, envelope: Envelope) -> list[MetricUpdate]:
         """Ingest one client envelope; returns the forwarded updates."""
-        if envelope is None:
-            if env is None:
-                raise TypeError("receive() missing required argument: 'envelope'")
-            warn_once(
-                "MonitorServer.receive:env",
-                "MonitorServer.receive(env=...) is deprecated; use the "
-                "'envelope' parameter name",
-            )
-            envelope = env
         self.received += 1
         if envelope.kind != "sensor-update":
             raise SensorError(f"monitor server got unexpected message kind {envelope.kind!r}")

@@ -25,7 +25,7 @@ from repro.staging.hub import DataHub
 from repro.staging.serialization import Sample
 from repro.staging.stream import StreamReader
 
-SOURCE_TYPES = ("ADIOS2", "TAUADIOS2", "DISKSCAN", "FILEREAD", "ERRORSTATUS")
+SOURCE_TYPES = ("ADIOS2", "TAUADIOS2", "DISKSCAN", "FILEREAD", "ERRORSTATUS", "HEALTH")
 
 
 class DataSource:
@@ -333,4 +333,11 @@ def make_source(
     if st == "ERRORSTATUS":
         path = info_source or f"status/{workflow_id}/{task}"
         return ErrorStatusSource(hub.filesystem, path, workflow_id, task)
+    if st == "HEALTH":
+        # Health sources read the orchestrator's own health engine, not
+        # the data hub — the runtimes bind them directly in monitor_task.
+        raise SensorError(
+            "HEALTH sources are runtime-bound: configure an ObservabilitySpec "
+            "and let the orchestrator's monitor_task bind them"
+        )
     raise SensorError(f"unknown source type {source_type!r}; known: {SOURCE_TYPES}")

@@ -127,6 +127,13 @@ class TelemetryError(ReproError):
 
 
 # --------------------------------------------------------------------------- #
+# observability / health analysis
+# --------------------------------------------------------------------------- #
+class ObservabilityError(ReproError):
+    """Invalid observability configuration or analysis failure."""
+
+
+# --------------------------------------------------------------------------- #
 # journal / crash recovery
 # --------------------------------------------------------------------------- #
 class JournalError(ReproError):

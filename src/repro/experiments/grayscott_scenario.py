@@ -157,6 +157,7 @@ def run_gray_scott_experiment(
     graceful_stops: bool = True,
     history_window: int | None = None,
     telemetry: TelemetrySpec | None = None,
+    observability=None,
     journal=None,
     crash_times: tuple[float, ...] = (),
     ignore_crash_requests: bool = False,
@@ -232,6 +233,7 @@ def run_gray_scott_experiment(
                 launcher, spec, warmup=120.0, settle=settle, poll_interval=1.0,
                 record_history=True, allow_victims=allow_victims,
                 graceful_stops=graceful_stops, telemetry=telemetry, tracer=tracer,
+                observability=observability,
                 journal=journal_spec if with_journal else None,
                 ignore_crash_requests=ignore_crash_requests, on_crash=on_crash,
             )
@@ -275,5 +277,6 @@ def run_gray_scott_experiment(
             "timeout_at": timed_out[0] if timed_out else None,
             "config": config,
             "crashes": list(crashes),
+            "health_alerts": list(orch.health.alerts) if orch is not None and orch.health is not None else [],
         },
     )

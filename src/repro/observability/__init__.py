@@ -1,0 +1,87 @@
+"""Observability: analysis, exporters, and health feedback over telemetry.
+
+PR 2 made the control loop *recorded* (spans, metrics, JSONL); this
+package makes it *observed*: critical-path and utilization analytics
+over those records, OpenMetrics export for standard scrapers, a run
+report CLI, and SLO/anomaly detection whose alerts feed back into the
+Monitor stage as ordinary sensor streams — the framework watching itself
+with its own abstractions (see docs/observability.md).
+"""
+
+from repro.observability.analysis import (
+    CriticalPath,
+    PathEntry,
+    SpanView,
+    bottlenecks,
+    critical_path,
+    exclusive_times,
+    slowest_spans,
+)
+from repro.observability.health import HEALTH_TASK, HealthEngine, HealthSensorSource
+from repro.observability.openmetrics import (
+    parse_openmetrics,
+    render_openmetrics,
+    sanitize_metric_name,
+    write_openmetrics,
+)
+from repro.observability.report import (
+    build_report,
+    render_json,
+    render_markdown,
+    report_from_jsonl,
+    report_from_run,
+    write_report,
+)
+from repro.observability.slo import EwmaDetector, HealthAlert, SloEvaluator
+from repro.observability.snapshot import MetricsSnapshotter
+from repro.observability.spec import AnomalySpec, ObservabilitySpec, SloSpec
+from repro.observability.utilization import (
+    BusySegment,
+    NodeUtilization,
+    UtilizationReport,
+    build_utilization,
+    utilization_from_events,
+    utilization_from_launcher,
+)
+
+__all__ = [
+    # spec
+    "ObservabilitySpec",
+    "SloSpec",
+    "AnomalySpec",
+    # analysis
+    "SpanView",
+    "CriticalPath",
+    "PathEntry",
+    "critical_path",
+    "exclusive_times",
+    "bottlenecks",
+    "slowest_spans",
+    # utilization
+    "BusySegment",
+    "NodeUtilization",
+    "UtilizationReport",
+    "build_utilization",
+    "utilization_from_launcher",
+    "utilization_from_events",
+    # openmetrics
+    "render_openmetrics",
+    "write_openmetrics",
+    "parse_openmetrics",
+    "sanitize_metric_name",
+    # slo / health
+    "HealthAlert",
+    "SloEvaluator",
+    "EwmaDetector",
+    "HealthEngine",
+    "HealthSensorSource",
+    "HEALTH_TASK",
+    # snapshots & reports
+    "MetricsSnapshotter",
+    "build_report",
+    "report_from_run",
+    "report_from_jsonl",
+    "render_markdown",
+    "render_json",
+    "write_report",
+]

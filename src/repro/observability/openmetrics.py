@@ -1,0 +1,244 @@
+"""OpenMetrics text rendering of a :class:`MetricsRegistry`.
+
+:func:`render_openmetrics` turns the registry into the Prometheus /
+OpenMetrics text exposition format: counters as ``_total`` samples,
+gauges as plain samples, latency histograms as cumulative ``le`` buckets
+plus a companion ``*_quantile`` gauge family carrying the interpolated
+p50/p95/p99 with ``quantile`` labels.  Output is deterministic — metric
+families are sorted by name and floats render via ``repr`` — so
+same-seed runs produce byte-identical exports.
+
+:func:`parse_openmetrics` is a deliberately *strict* parser used by the
+test suite to keep the renderer honest: it validates name syntax, label
+syntax, TYPE declarations, cumulative bucket monotonicity, and the
+terminal ``# EOF`` marker.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any
+
+from repro.errors import ObservabilityError
+from repro.telemetry.metrics import MetricsRegistry
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+_QUANTILES = ((0.5, "p50"), (0.95, "p95"), (0.99, "p99"))
+
+
+def sanitize_metric_name(name: str, prefix: str = "dyflow_") -> str:
+    """Dotted registry name → legal OpenMetrics family name."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not re.match(r"[a-zA-Z_:]", cleaned[0]):
+        cleaned = "_" + cleaned
+    return prefix + cleaned
+
+
+def _fmt(value: float) -> str:
+    """Deterministic number rendering (ints without the trailing ``.0``)."""
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_openmetrics(registry: MetricsRegistry, prefix: str = "dyflow_") -> str:
+    """The registry as OpenMetrics text, ending in ``# EOF``."""
+    lines: list[str] = []
+    for counter in registry.counters():
+        name = sanitize_metric_name(counter.name, prefix)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"# HELP {name} Counter {counter.name}")
+        lines.append(f"{name}_total {_fmt(counter.value)}")
+    for gauge in registry.gauges():
+        name = sanitize_metric_name(gauge.name, prefix)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"# HELP {name} Gauge {gauge.name}")
+        lines.append(f"{name} {_fmt(gauge.value)}")
+    for hist in registry.histograms():
+        name = sanitize_metric_name(hist.name, prefix)
+        lines.append(f"# TYPE {name} histogram")
+        lines.append(f"# HELP {name} Histogram {hist.name}")
+        cumulative = 0
+        for bound, count in zip(hist.bounds, hist.counts):
+            cumulative += count
+            lines.append(f'{name}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+        lines.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{name}_count {hist.count}")
+        lines.append(f"{name}_sum {_fmt(hist.total)}")
+        if hist.count > 0:
+            qname = f"{name}_quantile"
+            lines.append(f"# TYPE {qname} gauge")
+            lines.append(f"# HELP {qname} Interpolated quantiles of {hist.name}")
+            for q, _label in _QUANTILES:
+                lines.append(
+                    f'{qname}{{quantile="{_fmt(q)}"}} {_fmt(hist.percentile(q * 100.0))}'
+                )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(path: str, registry: MetricsRegistry, prefix: str = "dyflow_") -> str:
+    """Render to *path*; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_openmetrics(registry, prefix))
+    return path
+
+
+def _parse_value(text: str, where: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise ObservabilityError(f"{where}: bad sample value {text!r}") from None
+
+
+def _parse_labels(text: str | None, where: str) -> dict[str, str]:
+    if not text:
+        return {}
+    labels: dict[str, str] = {}
+    # name="value" pairs; values may contain escaped quotes/backslashes.
+    pair_re = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+    pos = 0
+    while pos < len(text):
+        m = pair_re.match(text, pos)
+        if m is None:
+            raise ObservabilityError(f"{where}: malformed labels {text!r}")
+        name, raw = m.group(1), m.group(2)
+        if not _LABEL_NAME_RE.match(name):
+            raise ObservabilityError(f"{where}: bad label name {name!r}")
+        if name in labels:
+            raise ObservabilityError(f"{where}: duplicate label {name!r}")
+        labels[name] = raw.replace(r"\"", '"').replace(r"\n", "\n").replace("\\\\", "\\")
+        pos = m.end()
+        if pos < len(text):
+            if text[pos] != ",":
+                raise ObservabilityError(f"{where}: malformed labels {text!r}")
+            pos += 1
+    return labels
+
+
+def _family_of(sample_name: str, families: dict[str, dict[str, Any]]) -> str | None:
+    """Resolve a sample line to its declared family, suffix-aware."""
+    if sample_name in families:
+        return sample_name
+    for suffix in ("_total", "_bucket", "_count", "_sum"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in families:
+                return base
+    return None
+
+
+_ALLOWED_SUFFIXES = {
+    "counter": {"_total"},
+    "gauge": {""},
+    "histogram": {"_bucket", "_count", "_sum"},
+    "summary": {"", "_count", "_sum"},
+    "untyped": {""},
+}
+
+
+def parse_openmetrics(text: str) -> dict[str, dict[str, Any]]:
+    """Strictly parse OpenMetrics text; returns family → metadata/samples.
+
+    Raises :class:`ObservabilityError` on any deviation: unknown or
+    re-declared families, samples before their TYPE, malformed names,
+    labels or values, non-cumulative histogram buckets, a missing
+    ``+Inf`` bucket, missing or non-terminal ``# EOF``.
+    """
+    families: dict[str, dict[str, Any]] = {}
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        raise ObservabilityError("openmetrics text must end with '# EOF'")
+    for i, line in enumerate(lines[:-1], start=1):
+        where = f"line {i}"
+        if "# EOF" == line:
+            raise ObservabilityError(f"{where}: '# EOF' before end of input")
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[0] != "#" or parts[1] not in ("TYPE", "HELP", "UNIT"):
+                raise ObservabilityError(f"{where}: malformed comment {line!r}")
+            keyword, fname = parts[1], parts[2]
+            if not _NAME_RE.match(fname):
+                raise ObservabilityError(f"{where}: bad metric name {fname!r}")
+            if keyword == "TYPE":
+                ftype = parts[3] if len(parts) > 3 else ""
+                if ftype not in _TYPES:
+                    raise ObservabilityError(f"{where}: unknown metric type {ftype!r}")
+                if fname in families:
+                    raise ObservabilityError(f"{where}: family {fname!r} re-declared")
+                families[fname] = {"type": ftype, "help": None, "samples": []}
+            elif keyword == "HELP":
+                if fname not in families:
+                    raise ObservabilityError(f"{where}: HELP before TYPE for {fname!r}")
+                families[fname]["help"] = parts[3] if len(parts) > 3 else ""
+            continue
+        if not line.strip():
+            raise ObservabilityError(f"{where}: blank lines are not allowed")
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ObservabilityError(f"{where}: malformed sample {line!r}")
+        sample_name = m.group("name")
+        fname = _family_of(sample_name, families)
+        if fname is None:
+            raise ObservabilityError(f"{where}: sample {sample_name!r} has no TYPE")
+        suffix = sample_name[len(fname):]
+        if suffix not in _ALLOWED_SUFFIXES[families[fname]["type"]]:
+            raise ObservabilityError(
+                f"{where}: suffix {suffix!r} not allowed for "
+                f"{families[fname]['type']} family {fname!r}"
+            )
+        labels = _parse_labels(m.group("labels"), where)
+        value = _parse_value(m.group("value"), where)
+        families[fname]["samples"].append(
+            {"name": sample_name, "labels": labels, "value": value}
+        )
+    for fname, family in families.items():
+        if family["type"] == "histogram":
+            _check_histogram(fname, family)
+    return families
+
+
+def _check_histogram(fname: str, family: dict[str, Any]) -> None:
+    buckets = [s for s in family["samples"] if s["name"] == f"{fname}_bucket"]
+    counts = [s for s in family["samples"] if s["name"] == f"{fname}_count"]
+    if not buckets:
+        raise ObservabilityError(f"histogram {fname!r} has no buckets")
+    bounds: list[float] = []
+    values: list[float] = []
+    for s in buckets:
+        le = s["labels"].get("le")
+        if le is None:
+            raise ObservabilityError(f"histogram {fname!r}: bucket without 'le' label")
+        bounds.append(_parse_value(le, f"histogram {fname!r} le"))
+        values.append(s["value"])
+    if bounds != sorted(bounds):
+        raise ObservabilityError(f"histogram {fname!r}: bucket bounds not sorted")
+    if not math.isinf(bounds[-1]):
+        raise ObservabilityError(f"histogram {fname!r}: missing '+Inf' bucket")
+    if any(b > a for a, b in zip(values[1:], values)):
+        raise ObservabilityError(f"histogram {fname!r}: bucket counts not cumulative")
+    if counts and counts[0]["value"] != values[-1]:
+        raise ObservabilityError(
+            f"histogram {fname!r}: _count disagrees with '+Inf' bucket"
+        )

@@ -1,0 +1,181 @@
+"""Observability configuration: SLOs, anomaly detectors, export targets.
+
+:class:`ObservabilitySpec` mirrors :class:`~repro.telemetry.config.TelemetrySpec`:
+a frozen dataclass consumed identically by the simulated and threaded
+runtimes, and by the ``<observability>`` XML element (see
+``docs/xml-reference.md``).  The spec is pure configuration — the moving
+parts live in :mod:`repro.observability.health`.
+
+An :class:`SloSpec` states an *objective* (``stage.decision.latency p95
+LT 50``): the alert fires when the objective is violated for
+``fire_after`` consecutive evaluations and clears after ``clear_after``
+consecutive healthy ones.  An :class:`AnomalySpec` needs no threshold —
+it flags values whose z-score against an EWMA-smoothed rolling window
+exceeds ``z``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ObservabilityError
+
+SEVERITIES = ("info", "warning", "critical")
+SLO_STATS = ("p50", "p95", "p99", "mean", "min", "max", "count", "value")
+SLO_OPS = ("LT", "LE", "GT", "GE")
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One service-level objective over a metric statistic.
+
+    Attributes:
+        metric: metric name — a histogram/counter/gauge in the run's
+            :class:`~repro.telemetry.metrics.MetricsRegistry` (e.g.
+            ``stage.decision.latency``) or a runtime aggregate published
+            by the health engine (``utilization``, ``quarantine.count``).
+        stat: statistic of the metric (``p50``/``p95``/``p99``/``mean``/
+            ``min``/``max``/``count`` for histograms, ``value`` for
+            counters/gauges/aggregates).
+        op: objective comparator — the value is *healthy* when
+            ``value <op> threshold`` holds.
+        threshold: objective bound, in the metric's own unit.
+        severity: alert severity when the objective is violated.
+        fire_after: consecutive violating evaluations before firing.
+        clear_after: consecutive healthy evaluations before clearing.
+    """
+
+    metric: str
+    stat: str = "p95"
+    op: str = "LT"
+    threshold: float = 0.0
+    severity: str = "warning"
+    fire_after: int = 1
+    clear_after: int = 1
+
+    @property
+    def key(self) -> str:
+        """Stable identity of the objective (``metric.stat``)."""
+        return f"{self.metric}.{self.stat}"
+
+    def validate(self) -> None:
+        if not self.metric:
+            raise ObservabilityError("slo needs a metric name")
+        if self.stat not in SLO_STATS:
+            raise ObservabilityError(f"slo stat must be one of {SLO_STATS}, got {self.stat!r}")
+        if self.op not in SLO_OPS:
+            raise ObservabilityError(f"slo op must be one of {SLO_OPS}, got {self.op!r}")
+        if self.severity not in SEVERITIES:
+            raise ObservabilityError(
+                f"slo severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+        if self.fire_after < 1 or self.clear_after < 1:
+            raise ObservabilityError("slo fire_after/clear_after must be >= 1")
+
+    def healthy(self, value: float) -> bool:
+        """Does *value* meet the objective?"""
+        if self.op == "LT":
+            return value < self.threshold
+        if self.op == "LE":
+            return value <= self.threshold
+        if self.op == "GT":
+            return value > self.threshold
+        return value >= self.threshold
+
+
+@dataclass(frozen=True)
+class AnomalySpec:
+    """EWMA/z-score anomaly detector over a rolling window of a metric.
+
+    Each evaluation appends the EWMA-smoothed value to a rolling window;
+    the *raw* value is scored against the window's mean and standard
+    deviation.  ``|z| > z`` (with at least ``min_points`` history) fires.
+    """
+
+    metric: str
+    stat: str = "value"
+    window: int = 20
+    z: float = 3.0
+    alpha: float = 0.3
+    min_points: int = 5
+    severity: str = "warning"
+
+    @property
+    def key(self) -> str:
+        return f"{self.metric}.{self.stat}"
+
+    def validate(self) -> None:
+        if not self.metric:
+            raise ObservabilityError("anomaly detector needs a metric name")
+        if self.stat not in SLO_STATS:
+            raise ObservabilityError(
+                f"anomaly stat must be one of {SLO_STATS}, got {self.stat!r}"
+            )
+        if self.window < 2:
+            raise ObservabilityError(f"anomaly window must be >= 2, got {self.window}")
+        if self.z <= 0.0:
+            raise ObservabilityError(f"anomaly z must be > 0, got {self.z}")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ObservabilityError(f"anomaly alpha must be in (0, 1], got {self.alpha}")
+        if self.min_points < 2:
+            raise ObservabilityError(f"anomaly min_points must be >= 2, got {self.min_points}")
+        if self.severity not in SEVERITIES:
+            raise ObservabilityError(
+                f"anomaly severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ObservabilitySpec:
+    """What to analyze, watch, and export.
+
+    Attributes:
+        enabled: master switch; a disabled spec costs nothing at runtime.
+        eval_every: health-evaluation cadence in runtime seconds
+            (simulated seconds under the sim driver, wall seconds under
+            the threaded driver).
+        snapshot_every: metrics-snapshot cadence in runtime seconds
+            (0 disables the :class:`MetricsSnapshotter`).
+        openmetrics_path: if set, the runtime renders the final
+            :class:`MetricsRegistry` there in OpenMetrics text format.
+        report_path: if set, a markdown run report is written there when
+            the run finishes.
+        report_json_path: if set, the same report as JSON.
+        analysis: run critical-path/utilization analysis at finalize
+            (the report exporters need it; benchmarks gate its cost).
+        top_n: how many bottleneck/slow-span rows reports carry.
+        slos: declarative objectives evaluated every ``eval_every``.
+        anomalies: EWMA/z-score detectors evaluated on the same cadence.
+    """
+
+    enabled: bool = True
+    eval_every: float = 5.0
+    snapshot_every: float = 0.0
+    openmetrics_path: str | None = None
+    report_path: str | None = None
+    report_json_path: str | None = None
+    analysis: bool = True
+    top_n: int = 5
+    slos: tuple[SloSpec, ...] = field(default_factory=tuple)
+    anomalies: tuple[AnomalySpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        # Tolerate lists from programmatic callers; store tuples so the
+        # spec stays hashable and XML round-trips compare equal.
+        object.__setattr__(self, "slos", tuple(self.slos))
+        object.__setattr__(self, "anomalies", tuple(self.anomalies))
+
+    def validate(self) -> None:
+        if self.eval_every <= 0.0:
+            raise ObservabilityError(f"eval_every must be > 0, got {self.eval_every}")
+        if self.snapshot_every < 0.0:
+            raise ObservabilityError(f"snapshot_every must be >= 0, got {self.snapshot_every}")
+        if self.top_n < 1:
+            raise ObservabilityError(f"top_n must be >= 1, got {self.top_n}")
+        keys = [s.key for s in self.slos]
+        if len(set(keys)) != len(keys):
+            raise ObservabilityError(f"duplicate slo objectives: {sorted(keys)}")
+        for slo in self.slos:
+            slo.validate()
+        for det in self.anomalies:
+            det.validate()

@@ -1,0 +1,246 @@
+"""Per-node / per-allocation utilization timelines.
+
+Reconstructs what every allocated node was doing over the run —
+busy (cores assigned to running task instances), idle, or quarantined —
+from either the live :class:`~repro.wms.launcher.Savanna` object or from
+the JSONL point events the launcher emits (``wms.task-running`` /
+``wms.task-end`` / ``run.allocation`` / ``run.quarantine-history``), so
+the report CLI can rebuild the exact same timelines from a log file
+alone (the SIM-SITU premise: evaluation needs reconstructable
+per-resource timelines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class BusySegment:
+    """One task instance holding cores on one node for an interval."""
+
+    node_id: str
+    cores: int
+    start: float
+    end: float
+    task: str
+
+
+@dataclass(frozen=True)
+class NodeUtilization:
+    """One node's aggregate view over the analysis horizon."""
+
+    node_id: str
+    cores: int
+    busy_core_seconds: float
+    quarantined_seconds: float
+    utilization: float  # busy core-seconds / (cores * horizon)
+    timeline: tuple[tuple[float, float, int], ...]  # (start, end, busy cores)
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Busy/idle/quarantined accounting for one allocation."""
+
+    start: float
+    end: float
+    nodes: tuple[NodeUtilization, ...]
+    total_cores: int
+    busy_core_seconds: float
+    utilization: float
+
+    @property
+    def horizon(self) -> float:
+        return self.end - self.start
+
+
+def _clip(seg_start: float, seg_end: float, start: float, end: float) -> tuple[float, float]:
+    return max(seg_start, start), min(seg_end, end)
+
+
+def _node_timeline(
+    segments: list[BusySegment], start: float, end: float
+) -> tuple[tuple[float, float, int], ...]:
+    """Merge per-task segments into (interval, busy-core-count) steps."""
+    deltas: dict[float, int] = {}
+    for seg in segments:
+        s, e = _clip(seg.start, seg.end, start, end)
+        if e <= s:
+            continue
+        deltas[s] = deltas.get(s, 0) + seg.cores
+        deltas[e] = deltas.get(e, 0) - seg.cores
+    points = sorted(set(deltas) | {start, end})
+    timeline: list[tuple[float, float, int]] = []
+    level = 0
+    for t0, t1 in zip(points, points[1:]):
+        level += deltas.get(t0, 0)
+        if t1 > t0:
+            if timeline and timeline[-1][2] == level and timeline[-1][1] == t0:
+                prev = timeline.pop()
+                timeline.append((prev[0], t1, level))
+            else:
+                timeline.append((t0, t1, level))
+    return tuple(timeline)
+
+
+def quarantine_intervals(
+    history: Iterable[Any], end: float
+) -> dict[str, list[tuple[float, float]]]:
+    """Pair quarantined/released events into per-node exclusion intervals.
+
+    *history* holds :class:`~repro.resilience.quarantine.QuarantineEvent`
+    objects or ``(time, node_id, kind)``-shaped mappings/sequences.
+    A node still quarantined when the run ends is clamped to *end*.
+    """
+    opened: dict[str, float] = {}
+    out: dict[str, list[tuple[float, float]]] = {}
+    for ev in history:
+        if isinstance(ev, Mapping):
+            t, node, kind = float(ev["time"]), ev["node_id"], ev["kind"]
+        elif isinstance(ev, (list, tuple)):
+            t, node, kind = float(ev[0]), ev[1], ev[2]
+        else:
+            t, node, kind = ev.time, ev.node_id, ev.kind
+        if kind == "quarantined":
+            opened.setdefault(node, t)
+        elif kind == "released" and node in opened:
+            out.setdefault(node, []).append((opened.pop(node), t))
+    for node, t in sorted(opened.items()):
+        if end > t:
+            out.setdefault(node, []).append((t, end))
+    return out
+
+
+def build_utilization(
+    node_cores: Mapping[str, int],
+    segments: Iterable[BusySegment],
+    start: float = 0.0,
+    end: float | None = None,
+    quarantine_history: Iterable[Any] = (),
+) -> UtilizationReport:
+    """Assemble the report from explicit inputs (both front-ends call this)."""
+    segments = list(segments)
+    if end is None:
+        end = max((s.end for s in segments), default=start)
+    end = max(end, start)
+    horizon = end - start
+    q_intervals = quarantine_intervals(quarantine_history, end)
+    by_node: dict[str, list[BusySegment]] = {}
+    for seg in segments:
+        by_node.setdefault(seg.node_id, []).append(seg)
+    nodes: list[NodeUtilization] = []
+    total_busy = 0.0
+    total_cores = 0
+    for node_id in sorted(node_cores):
+        cores = int(node_cores[node_id])
+        total_cores += cores
+        segs = sorted(
+            by_node.get(node_id, []), key=lambda s: (s.start, s.end, s.task)
+        )
+        busy = 0.0
+        for seg in segs:
+            s, e = _clip(seg.start, seg.end, start, end)
+            if e > s:
+                busy += seg.cores * (e - s)
+        quarantined = sum(
+            max(0.0, min(e, end) - max(s, start))
+            for s, e in q_intervals.get(node_id, [])
+        )
+        capacity = cores * horizon
+        nodes.append(
+            NodeUtilization(
+                node_id=node_id,
+                cores=cores,
+                busy_core_seconds=busy,
+                quarantined_seconds=quarantined,
+                utilization=busy / capacity if capacity > 0 else 0.0,
+                timeline=_node_timeline(segs, start, end),
+            )
+        )
+        total_busy += busy
+    total_capacity = total_cores * horizon
+    return UtilizationReport(
+        start=start,
+        end=end,
+        nodes=tuple(nodes),
+        total_cores=total_cores,
+        busy_core_seconds=total_busy,
+        utilization=total_busy / total_capacity if total_capacity > 0 else 0.0,
+    )
+
+
+def utilization_from_launcher(launcher, start: float = 0.0, end: float | None = None) -> UtilizationReport:
+    """Live path: read instances, allocation, and quarantine off Savanna."""
+    if end is None:
+        end = launcher.engine.now
+    node_cores = {n.node_id: n.cores for n in launcher.allocation.nodes}
+    segments: list[BusySegment] = []
+    for name, rec in sorted(launcher.records.items()):
+        for inst in rec.history:
+            if inst.start_time is None:
+                continue  # never reached RUNNING
+            seg_end = inst.end_time if inst.end_time is not None else end
+            for node_id, cores in inst.resources.items():
+                segments.append(
+                    BusySegment(node_id=node_id, cores=cores,
+                                start=inst.start_time, end=seg_end, task=name)
+                )
+    history = launcher.quarantine.history if launcher.quarantine is not None else ()
+    return build_utilization(node_cores, segments, start=start, end=end,
+                             quarantine_history=history)
+
+
+def utilization_from_events(
+    records: Iterable[Mapping[str, Any]],
+    start: float = 0.0,
+    end: float | None = None,
+) -> UtilizationReport:
+    """Offline path: rebuild the same report from JSONL point records.
+
+    Consumes ``run.allocation`` (node → cores), ``wms.task-running`` /
+    ``wms.task-end`` pairs (matched by instance id; an unmatched running
+    task is clamped to the horizon), and ``run.quarantine-history``.
+    """
+    node_cores: dict[str, int] = {}
+    open_runs: dict[str, tuple[str, float, dict[str, int]]] = {}
+    segments: list[BusySegment] = []
+    history: list[tuple[float, str, str]] = []
+    max_time = start
+    for rec in records:
+        if rec.get("kind") != "point":
+            continue
+        max_time = max(max_time, float(rec.get("time", start)))
+        name = rec.get("name")
+        attrs = rec.get("attrs", {}) or {}
+        if name == "run.allocation":
+            for node_id, cores in attrs.get("nodes", {}).items():
+                node_cores[node_id] = int(cores)
+        elif name == "wms.task-running":
+            open_runs[attrs["instance"]] = (
+                attrs["task"], float(rec["time"]),
+                {k: int(v) for k, v in attrs.get("nodes", {}).items()},
+            )
+        elif name == "wms.task-end":
+            entry = open_runs.pop(attrs.get("instance"), None)
+            if entry is not None:
+                task, t0, nodes = entry
+                for node_id, cores in sorted(nodes.items()):
+                    segments.append(
+                        BusySegment(node_id=node_id, cores=cores,
+                                    start=t0, end=float(rec["time"]), task=task)
+                    )
+        elif name == "run.quarantine-history":
+            for ev in attrs.get("events", []):
+                history.append((float(ev[0]), ev[1], ev[2]))
+    if end is None:
+        end = max_time
+    # Tasks still running when the log ends occupy their cores to the horizon.
+    for instance_id in sorted(open_runs):
+        task, t0, nodes = open_runs[instance_id]
+        for node_id, cores in sorted(nodes.items()):
+            segments.append(
+                BusySegment(node_id=node_id, cores=cores, start=t0, end=end, task=task)
+            )
+    return build_utilization(node_cores, segments, start=start, end=end,
+                             quarantine_history=history)

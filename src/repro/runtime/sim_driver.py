@@ -30,6 +30,13 @@ from repro.core.rules import ArbitrationRules
 from repro.core.sensors.base import SensorInstance, SensorSpec
 from repro.core.sensors.sources import make_source
 from repro.errors import DyflowError, JournalError
+from repro.observability import (
+    HealthEngine,
+    ObservabilitySpec,
+    report_from_run,
+    write_openmetrics,
+    write_report,
+)
 from repro.resilience import ChaosEngine, HeartbeatWatchdog
 from repro.telemetry import TelemetrySpec, build_tracer, write_chrome_trace
 from repro.telemetry.tracer import NULL_TRACER, Tracer
@@ -53,6 +60,7 @@ class DyflowOrchestrator:
         graceful_stops: bool = True,
         telemetry: TelemetrySpec | None = None,
         tracer: Tracer | None = None,
+        observability: ObservabilitySpec | None = None,
         journal=None,
         ignore_crash_requests: bool = False,
         on_crash: Callable[["DyflowOrchestrator"], None] | None = None,
@@ -81,6 +89,18 @@ class DyflowOrchestrator:
         self.decision.set_tracer(tracer)
         self.arbitration.set_tracer(tracer)
         self.actuation.set_tracer(tracer)
+        # Observability: the health engine evaluates SLOs/anomalies on the
+        # orchestrator tick and publishes the results back into the Monitor
+        # stage via HEALTH sensor sources (see docs/observability.md).
+        self.observability = observability
+        self.health: HealthEngine | None = None
+        if observability is not None and observability.enabled:
+            self.health = HealthEngine(
+                observability,
+                tracer=tracer,
+                workflow_id=launcher.workflow.workflow_id,
+                aggregates=self._health_aggregates,
+            )
         self._sensors: dict[str, SensorSpec] = {}
         self._running = False
         self._stop_when: Callable[[], bool] | None = None
@@ -138,16 +158,26 @@ class DyflowOrchestrator:
         spec = self._sensors.get(sensor_id)
         if spec is None:
             raise DyflowError(f"monitor-task references unknown sensor {sensor_id!r}")
-        if task not in self.launcher.workflow.tasks:
-            raise DyflowError(f"monitor-task references unknown task {task!r}")
-        source = make_source(
-            spec.source_type,
-            self.launcher.hub,
-            self.launcher.workflow.workflow_id,
-            task,
-            info_source=info_source,
-            var=var,
-        )
+        if spec.source_type.upper() == "HEALTH":
+            # Health streams monitor the orchestrator itself, not a
+            # workflow task: bind straight to the health engine's feed.
+            if self.health is None:
+                raise DyflowError(
+                    f"sensor {sensor_id!r} uses a HEALTH source but the orchestrator "
+                    "has no enabled ObservabilitySpec (pass observability=...)"
+                )
+            source: object = self.health.bind_source(var)
+        else:
+            if task not in self.launcher.workflow.tasks:
+                raise DyflowError(f"monitor-task references unknown task {task!r}")
+            source = make_source(
+                spec.source_type,
+                self.launcher.hub,
+                self.launcher.workflow.workflow_id,
+                task,
+                info_source=info_source,
+                var=var,
+            )
         instance = SensorInstance(
             spec=spec,
             workflow_id=self.launcher.workflow.workflow_id,
@@ -156,6 +186,20 @@ class DyflowOrchestrator:
         )
         self.clients[client % len(self.clients)].add_binding(instance)
         return instance
+
+    def _health_aggregates(self) -> dict[str, float]:
+        """Runtime-level health aggregates published every evaluation."""
+        now = self.engine.now
+        total = sum(n.cores for n in self.launcher.allocation.nodes)
+        assigned = self.launcher.rm.assigned_total().total_cores
+        q = self.launcher.quarantine
+        out = {
+            "cluster.total_cores": float(total),
+            "cluster.assigned_cores": float(assigned),
+            "cluster.utilization": assigned / total if total else 0.0,
+            "quarantine.count": float(len(q.active(now))) if q is not None else 0.0,
+        }
+        return out
 
     def add_policy(self, spec: PolicySpec) -> None:
         self.decision.add_policy(spec)
@@ -186,6 +230,10 @@ class DyflowOrchestrator:
                 poll_interval=self.poll_interval,
             )
             self.actuation.journal = self._journal
+        self.tracer.point(
+            "run.allocation", "wms",
+            nodes={n.node_id: n.cores for n in self.launcher.allocation.nodes},
+        )
         self.arbitration.begin(self.engine.now)
         if self.watchdog is not None:
             self.watchdog.start()
@@ -203,13 +251,40 @@ class DyflowOrchestrator:
         self.finalize_telemetry()
 
     def finalize_telemetry(self) -> None:
-        """Flush the JSONL log and write the Chrome trace, if configured."""
+        """Flush the JSONL log and write the Chrome trace and observability
+        exports (OpenMetrics, run report), if configured."""
         if self._telemetry_finalized or not self.tracer.enabled:
             return
         self._telemetry_finalized = True
+        q = self.launcher.quarantine
+        if q is not None and q.history:
+            # Lazy release means there is no event site for releases; the
+            # end-of-run dump lets the report CLI rebuild the intervals.
+            self.tracer.point(
+                "run.quarantine-history", "wms",
+                events=[[e.time, e.node_id, e.kind] for e in q.history],
+            )
         self.tracer.flush()
         if self.telemetry is not None and self.telemetry.chrome_trace_path is not None:
             write_chrome_trace(self.telemetry.chrome_trace_path, self.tracer)
+        self._write_observability_outputs()
+
+    def _write_observability_outputs(self) -> None:
+        spec = self.observability
+        if spec is None or not spec.enabled:
+            return
+        if spec.openmetrics_path is not None:
+            write_openmetrics(spec.openmetrics_path, self.tracer.metrics)
+        if spec.analysis and (spec.report_path is not None or spec.report_json_path is not None):
+            report = report_from_run(
+                self.tracer,
+                launcher=self.launcher,
+                alerts=self.health.alerts if self.health is not None else (),
+                top_n=spec.top_n,
+                end=self.engine.now,
+                meta={"workflow": self.launcher.workflow.workflow_id},
+            )
+            write_report(report, path=spec.report_path, json_path=spec.report_json_path)
 
     def _close_journal(self) -> None:
         if self._journal is not None and not self._journal.closed:
@@ -241,6 +316,10 @@ class DyflowOrchestrator:
         plan = self.arbitration.arbitrate(suggestions, now)
         if span_ctx is not None:
             span_ctx.__exit__(None, None, None)
+        # Observability: evaluate SLOs/anomalies and publish health
+        # streams before the barrier journals the engine's state.
+        if self.health is not None:
+            self.health.tick(now)
         if plan is not None:
             if self._journal is not None:
                 self._journal.append("plan", plan=plan.to_dict())
@@ -295,6 +374,7 @@ class DyflowOrchestrator:
                 for at, env, ev in self._inflight_deliveries.values()
             ],
             "next_tick": {"at": tick_ev.heap_time, "seq": tick_ev.heap_seq},
+            "health": self.health.state_dict() if self.health is not None else None,
         }
         self._journal.append("barrier", t=now, state=state)
         every = self._journal.spec.snapshot_every
@@ -446,6 +526,8 @@ class DyflowOrchestrator:
         if self.chaos is not None and b.get("chaos") is not None:
             self.chaos.load_state_dict(b["chaos"])
             self.chaos.orchestrator = self
+        if self.health is not None and b.get("health") is not None:
+            self.health.load_state_dict(b["health"])
 
         # Take over the journal (claims the next fencing epoch) and keep
         # the snapshot cadence aligned with the uninterrupted run.

@@ -31,13 +31,19 @@ from repro.core.sensors.base import SensorInstance, SensorSpec
 from repro.core.sensors.sources import make_source
 from repro.cluster.machine import MachinePerf
 from repro.errors import DyflowError
+from repro.observability import (
+    HealthEngine,
+    ObservabilitySpec,
+    report_from_run,
+    write_openmetrics,
+    write_report,
+)
 from repro.resilience.spec import ResilienceSpec
 from repro.sim.rng import RngRegistry
 from repro.staging.hub import DataHub
 from repro.staging.serialization import Sample
 from repro.telemetry import TelemetrySpec, build_tracer, write_chrome_trace
 from repro.telemetry.tracer import Tracer
-from repro.util.deprecation import warn_once
 
 
 @dataclass
@@ -150,6 +156,7 @@ class ThreadedDyflow:
         rng: RngRegistry | None = None,
         telemetry: TelemetrySpec | None = None,
         tracer: Tracer | None = None,
+        observability: ObservabilitySpec | None = None,
         journal=None,
     ) -> None:
         self.workflow_id = workflow_id
@@ -181,6 +188,17 @@ class ThreadedDyflow:
         self.hub.attach_tracer(tracer)
         self.server.set_tracer(tracer, clock=self.now)
         self.decision.set_tracer(tracer)
+        # Observability: health evaluation runs on the monitor thread's
+        # wall-clock cadence (this driver makes no determinism promise).
+        self.observability = observability
+        self.health: HealthEngine | None = None
+        if observability is not None and observability.enabled:
+            self.health = HealthEngine(
+                observability,
+                tracer=tracer,
+                workflow_id=workflow_id,
+                aggregates=self._health_aggregates,
+            )
         self.applied_actions: list[tuple[float, str]] = []
         self._state_lock = threading.RLock()
         # Resilience mirror of the simulated launcher: same spec, same
@@ -219,26 +237,11 @@ class ThreadedDyflow:
         return time.perf_counter() - self._t0
 
     # -- configuration ----------------------------------------------------------
-    # The canonical bootstrap API matches DyflowOrchestrator: register a
-    # sensor once with add_sensor(spec), bind it per task with
-    # monitor_task(); register a policy with add_policy(spec), apply it
-    # with apply_policy().  The historical merged signatures still work
-    # but emit one DeprecationWarning each.
-    def add_sensor(self, spec: SensorSpec, task: str | None = None,
-                   var: str | None = "looptime") -> None:
-        if task is not None:
-            warn_once(
-                "ThreadedDyflow.add_sensor:task",
-                "ThreadedDyflow.add_sensor(spec, task, var) is deprecated; "
-                "register with add_sensor(spec) and bind with "
-                "monitor_task(task, sensor_id, var=...)",
-            )
-            self._register_sensor(spec)
-            self.monitor_task(task, spec.sensor_id, var=var)
-            return
-        self._register_sensor(spec)
-
-    def _register_sensor(self, spec: SensorSpec) -> None:
+    # The bootstrap API matches DyflowOrchestrator: register a sensor
+    # once with add_sensor(spec), bind it per task with monitor_task();
+    # register a policy with add_policy(spec), apply it with
+    # apply_policy().
+    def add_sensor(self, spec: SensorSpec) -> None:
         existing = self._sensors.get(spec.sensor_id)
         if existing is not None and existing is not spec:
             raise DyflowError(f"duplicate sensor id {spec.sensor_id!r}")
@@ -249,25 +252,23 @@ class ThreadedDyflow:
         spec = self._sensors.get(sensor_id)
         if spec is None:
             raise DyflowError(f"monitor_task references unknown sensor {sensor_id!r}")
-        if task not in self.specs:
-            raise DyflowError(f"monitor_task references unknown task {task!r}")
-        source = make_source(spec.source_type, self.hub, self.workflow_id, task, var=var)
+        if spec.source_type.upper() == "HEALTH":
+            if self.health is None:
+                raise DyflowError(
+                    f"sensor {sensor_id!r} uses a HEALTH source but the runner "
+                    "has no enabled ObservabilitySpec (pass observability=...)"
+                )
+            source: object = self.health.bind_source(var)
+        else:
+            if task not in self.specs:
+                raise DyflowError(f"monitor_task references unknown task {task!r}")
+            source = make_source(spec.source_type, self.hub, self.workflow_id, task, var=var)
         self.client.add_binding(
             SensorInstance(spec=spec, workflow_id=self.workflow_id, task=task, source=source)
         )
 
-    def add_policy(self, spec: PolicySpec, application: PolicyApplication | None = None) -> None:
-        if application is not None:
-            warn_once(
-                "ThreadedDyflow.add_policy:application",
-                "ThreadedDyflow.add_policy(spec, application) is deprecated; "
-                "register with add_policy(spec) and bind with "
-                "apply_policy(application)",
-            )
-        if spec.policy_id not in {p.policy_id for p in self.decision.policies}:
-            self.decision.add_policy(spec)
-        if application is not None:
-            self.decision.apply_policy(application)
+    def add_policy(self, spec: PolicySpec) -> None:
+        self.decision.add_policy(spec)
 
     def apply_policy(self, application: PolicyApplication) -> None:
         self.decision.apply_policy(application)
@@ -311,21 +312,28 @@ class ThreadedDyflow:
                 self._journal.close()
         self.finalize_telemetry()
 
-    def shutdown(self, timeout: float = 10.0) -> None:
-        warn_once(
-            "ThreadedDyflow.shutdown",
-            "ThreadedDyflow.shutdown() is deprecated; use stop()",
-        )
-        self.stop(timeout)
-
     def finalize_telemetry(self) -> None:
-        """Flush the JSONL log and write the Chrome trace, if configured."""
+        """Flush the JSONL log and write the Chrome trace and observability
+        exports, if configured."""
         if self._telemetry_finalized or not self.tracer.enabled:
             return
         self._telemetry_finalized = True
         self.tracer.flush()
         if self.telemetry is not None and self.telemetry.chrome_trace_path is not None:
             write_chrome_trace(self.telemetry.chrome_trace_path, self.tracer)
+        spec = self.observability
+        if spec is None or not spec.enabled:
+            return
+        if spec.openmetrics_path is not None:
+            write_openmetrics(spec.openmetrics_path, self.tracer.metrics)
+        if spec.analysis and (spec.report_path is not None or spec.report_json_path is not None):
+            report = report_from_run(
+                self.tracer,
+                alerts=self.health.alerts if self.health is not None else (),
+                top_n=spec.top_n,
+                meta={"workflow": self.workflow_id},
+            )
+            write_report(report, path=spec.report_path, json_path=spec.report_json_path)
 
     def wait_until_done(self, timeout: float) -> bool:
         """Block until every task finished (or *timeout* wall seconds)."""
@@ -476,6 +484,16 @@ class ThreadedDyflow:
             inst = self._instances.get(name)
             return inst.nworkers if inst else 0
 
+    def _health_aggregates(self) -> dict[str, float]:
+        with self._state_lock:
+            running = len(self._instances)
+            workers = sum(i.nworkers for i in self._instances.values())
+        return {
+            "tasks.running": float(running),
+            "workers.total": float(workers),
+            "retries.exhausted": float(len(self.retry_exhausted)),
+        }
+
     # -- stage threads ----------------------------------------------------------------
     def _monitor_loop(self) -> None:
         while not self._stop.is_set():
@@ -484,6 +502,10 @@ class ThreadedDyflow:
                     envelopes = self.client.collect(self.now())
                 for _lag, envelope in envelopes:
                     self.server.receive(envelope)  # thread-safe: decision.ingest is list ops
+            if self.health is not None:
+                # Evaluate on the monitor thread so the health feed is
+                # only ever touched by the thread that also polls it.
+                self.health.tick(self.now())
             time.sleep(self.poll_interval)
 
     def _decision_loop(self) -> None:

@@ -1,11 +1,14 @@
 """Chrome ``trace_event`` export: open any run in chrome://tracing/Perfetto.
 
-Spans become complete (``"ph": "X"``) events in microseconds; nesting is
-preserved by putting every span on the thread track of its *root*
-ancestor, so a plan execution renders as a bar with its per-op child
-bars stacked underneath, exactly like a profiler flame chart.  The
-format reference is the Trace Event Format document used by
-chrome://tracing and Perfetto.
+Closed spans become complete (``"ph": "X"``) events in microseconds;
+nesting is preserved by putting every span on the thread track of its
+*root* ancestor, so a plan execution renders as a bar with its per-op
+child bars stacked underneath, exactly like a profiler flame chart.
+Spans still open at finalize are emitted as begin-only (``"ph": "B"``)
+events so an interrupted run (e.g. an orchestrator crash) still shows
+what was in flight, and zero-duration spans are widened to a minimum
+visible width.  The format reference is the Trace Event Format document
+used by chrome://tracing and Perfetto.
 """
 
 from __future__ import annotations
@@ -16,6 +19,10 @@ from typing import Any, Iterable
 from repro.telemetry.tracer import Tracer, TraceSpan
 
 _US = 1e6  # trace_event timestamps are microseconds
+
+#: Minimum event width: zero-duration spans are real work in the
+#: simulated clock but would be invisible (and mis-stack) at 0 µs.
+_MIN_VISIBLE_US = 1.0
 
 
 def _root_track(span: TraceSpan, by_id: dict[int, TraceSpan]) -> str:
@@ -29,34 +36,40 @@ def _root_track(span: TraceSpan, by_id: dict[int, TraceSpan]) -> str:
 def chrome_trace_events(spans: Iterable[TraceSpan]) -> list[dict[str, Any]]:
     """Spans → ``traceEvents`` list, sorted by timestamp.
 
-    Only closed spans are exported.  Events are emitted in
-    non-decreasing ``ts`` order with stable tie-breaking (outermost span
-    first), which chrome://tracing requires for correct stacking.
+    Closed spans export as complete (``X``) events; spans still open at
+    finalize export as begin-only (``B``) events flagged
+    ``incomplete: true`` instead of being dropped.  Events are emitted
+    in non-decreasing ``ts`` order with stable tie-breaking (outermost
+    span first), which chrome://tracing requires for correct stacking.
     """
-    closed = [s for s in spans if s.end is not None]
-    by_id = {s.span_id: s for s in closed}
+    all_spans = list(spans)
+    by_id = {s.span_id: s for s in all_spans}
     tracks: dict[str, int] = {}
     events: list[dict[str, Any]] = []
-    for span in closed:
+    for span in all_spans:
         track = _root_track(span, by_id)
         tid = tracks.setdefault(track, len(tracks) + 1)
         args = {k: v for k, v in span.attrs.items()}
-        args["wall_ms"] = round(span.wall_duration * 1e3, 6)
-        events.append(
-            {
-                "name": span.name,
-                "cat": span.category,
-                "ph": "X",
-                "ts": span.start * _US,
-                "dur": span.duration * _US,
-                "pid": 1,
-                "tid": tid,
-                "args": args,
-            }
-        )
+        event = {
+            "name": span.name,
+            "cat": span.category,
+            "ts": span.start * _US,
+            "pid": 1,
+            "tid": tid,
+            "args": args,
+        }
+        if span.end is None:
+            event["ph"] = "B"
+            args["incomplete"] = True
+        else:
+            event["ph"] = "X"
+            event["dur"] = max(span.duration * _US, _MIN_VISIBLE_US)
+            args["wall_ms"] = round(span.wall_duration * 1e3, 6)
+        events.append(event)
     # Sort by start; ties broken by longer duration first so parents
-    # precede their zero/short children on the same track.
-    events.sort(key=lambda e: (e["ts"], -e["dur"]))
+    # precede their zero/short children on the same track (an open span
+    # extends to the end of the run, so it sorts before any tie).
+    events.sort(key=lambda e: (e["ts"], -e.get("dur", float("inf"))))
     meta: list[dict[str, Any]] = [
         {
             "name": "process_name",

@@ -172,6 +172,23 @@ class MetricsRegistry:
     def names(self) -> list[str]:
         return sorted([*self._counters, *self._gauges, *self._histograms])
 
+    def lookup(self, name: str) -> Counter | Gauge | LatencyHistogram | None:
+        """The existing instrument called *name*, without creating one."""
+        return (
+            self._counters.get(name)
+            or self._gauges.get(name)
+            or self._histograms.get(name)
+        )
+
+    def counters(self) -> list[Counter]:
+        return [self._counters[n] for n in sorted(self._counters)]
+
+    def gauges(self) -> list[Gauge]:
+        return [self._gauges[n] for n in sorted(self._gauges)]
+
+    def histograms(self) -> list[LatencyHistogram]:
+        return [self._histograms[n] for n in sorted(self._histograms)]
+
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """All instruments as one JSON-friendly dict."""
         out: dict[str, dict[str, Any]] = {}

@@ -254,6 +254,13 @@ class Savanna:
         if launch_span is not None:
             self.tracer.end_span(launch_span, outcome="running")
             self.tracer.metrics.counter("wms.launches").inc()
+            # Placement record: the utilization analysis reconstructs
+            # per-node busy timelines from these (docs/observability.md).
+            self.tracer.point(
+                "wms.task-running", "wms",
+                task=name, instance=instance.instance_id,
+                incarnation=instance.incarnation, nodes=resources.as_dict(),
+            )
         for cb in self._start_listeners:
             cb(instance)
         return instance
@@ -478,6 +485,11 @@ class Savanna:
             self.trace.close_span(
                 instance.task, instance.instance_id, self.engine.now,
                 exit_code=exit_code, state=state.value,
+            )
+            self.tracer.point(
+                "wms.task-end", "wms",
+                task=instance.task, instance=instance.instance_id,
+                incarnation=instance.incarnation, state=state.value,
             )
         except ValueError:
             pass  # stopped during launch: span was never opened

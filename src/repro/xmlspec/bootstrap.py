@@ -28,6 +28,7 @@ def configure_orchestrator(
     graceful_stops: bool = True,
     telemetry: TelemetrySpec | None = None,
     tracer=None,
+    observability=None,
     journal=None,
     ignore_crash_requests: bool = False,
     on_crash=None,
@@ -43,7 +44,10 @@ def configure_orchestrator(
     A ``<telemetry>`` section builds the run's tracer the same way; the
     *telemetry* argument overrides whatever the XML carries.  Likewise a
     ``<journal>`` element enables crash-recovery journaling unless the
-    *journal* argument overrides it; *tracer*, *ignore_crash_requests*
+    *journal* argument overrides it, and an ``<observability>`` section
+    configures SLO/anomaly health monitoring and run-report exports
+    unless the *observability* argument overrides it; *tracer*,
+    *ignore_crash_requests*
     and *on_crash* pass straight through to the orchestrator (used when
     rebuilding one for :meth:`DyflowOrchestrator.resume_from`).
     """
@@ -54,6 +58,8 @@ def configure_orchestrator(
         telemetry = spec.telemetry
     if journal is None:
         journal = spec.journal
+    if observability is None:
+        observability = spec.observability
     rule = spec.rules.get(workflow_id)
     rules = ArbitrationRules.from_workflow(
         launcher.workflow,
@@ -78,6 +84,7 @@ def configure_orchestrator(
         graceful_stops=graceful_stops,
         telemetry=telemetry,
         tracer=tracer,
+        observability=observability,
         journal=journal,
         ignore_crash_requests=ignore_crash_requests,
         on_crash=on_crash,

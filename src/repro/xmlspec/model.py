@@ -9,6 +9,7 @@ from repro.core.policy import PolicyApplication, PolicySpec
 from repro.core.sensors.base import SensorSpec
 from repro.errors import XmlSpecError
 from repro.journal.spec import JournalSpec
+from repro.observability.spec import ObservabilitySpec
 from repro.resilience.spec import ResilienceSpec
 from repro.telemetry.config import TelemetrySpec
 from repro.wms.spec import DependencySpec
@@ -48,6 +49,7 @@ class DyflowSpec:
     resilience: ResilienceSpec | None = None
     telemetry: TelemetrySpec | None = None
     journal: JournalSpec | None = None
+    observability: ObservabilitySpec | None = None
 
     def validate(self) -> None:
         """Cross-reference checks a schema cannot express."""
@@ -57,6 +59,8 @@ class DyflowSpec:
             self.telemetry.validate()
         if self.journal is not None:
             self.journal.validate()
+        if self.observability is not None:
+            self.observability.validate()
         for mt in self.monitor_tasks:
             if mt.sensor_id not in self.sensors:
                 raise XmlSpecError(

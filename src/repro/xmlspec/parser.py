@@ -10,6 +10,7 @@ from repro.core.policy import PolicyApplication, PolicySpec
 from repro.core.sensors.base import GroupBySpec, JoinSpec, SensorSpec
 from repro.errors import XmlSpecError
 from repro.journal.spec import JournalSpec
+from repro.observability.spec import AnomalySpec, ObservabilitySpec, SloSpec
 from repro.resilience.spec import (
     CheckpointSpec,
     FaultModelSpec,
@@ -34,7 +35,10 @@ def parse_dyflow_xml(text: str) -> DyflowSpec:
     except ET.ParseError as err:
         raise XmlSpecError(f"malformed XML: {err}") from err
     spec = DyflowSpec()
-    standalone = ("monitor", "decision", "arbitration", "resilience", "telemetry", "journal")
+    standalone = (
+        "monitor", "decision", "arbitration", "resilience", "telemetry",
+        "journal", "observability",
+    )
     sections = [root] if root.tag in standalone else list(root)
     if root.tag not in ("dyflow",) + standalone:
         raise XmlSpecError(f"unexpected root element <{root.tag}>")
@@ -57,6 +61,10 @@ def parse_dyflow_xml(text: str) -> DyflowSpec:
             if spec.journal is not None:
                 raise XmlSpecError("duplicate <journal> section")
             spec.journal = _parse_journal(section)
+        elif section.tag == "observability":
+            if spec.observability is not None:
+                raise XmlSpecError("duplicate <observability> section")
+            spec.observability = _parse_observability(section)
         else:
             raise XmlSpecError(f"unexpected section <{section.tag}>")
     spec.validate()
@@ -386,6 +394,74 @@ def _parse_journal(section: ET.Element) -> JournalSpec:
         fsync=section.get("fsync", "batch"),
         batch_every=_int_attr(section, "batch-every", 64),
         snapshot_every=_int_attr(section, "snapshot-every", 20),
+    )
+    spec.validate()
+    return spec
+
+
+# --------------------------------------------------------------------------- #
+# observability section
+# --------------------------------------------------------------------------- #
+def _parse_observability(section: ET.Element) -> ObservabilitySpec:
+    """Parse one ``<observability>`` section (SLOs, snapshots, exports)."""
+    _check_attrs(section, {"enabled", "eval-every", "snapshot-every", "analysis", "top-n"})
+    known = {"openmetrics", "report", "slo", "anomaly"}
+    for child in section:
+        if child.tag not in known:
+            raise XmlSpecError(f"unexpected <observability> child <{child.tag}>")
+    openmetrics_path = report_path = report_json_path = None
+    el = section.find("openmetrics")
+    if el is not None:
+        _check_attrs(el, {"path"})
+        openmetrics_path = _require(el, "path")
+    el = section.find("report")
+    if el is not None:
+        _check_attrs(el, {"path", "json-path"})
+        report_path = el.get("path")
+        report_json_path = el.get("json-path")
+        if report_path is None and report_json_path is None:
+            raise XmlSpecError("<report> needs a path and/or json-path")
+    slos = []
+    for el in section.findall("slo"):
+        _check_attrs(el, {"metric", "stat", "op", "threshold", "severity",
+                          "fire-after", "clear-after"})
+        slos.append(
+            SloSpec(
+                metric=_require(el, "metric"),
+                stat=el.get("stat", "p95"),
+                op=el.get("op", "LT").upper(),
+                threshold=float(_require(el, "threshold")),
+                severity=el.get("severity", "warning"),
+                fire_after=_int_attr(el, "fire-after", 1),
+                clear_after=_int_attr(el, "clear-after", 1),
+            )
+        )
+    anomalies = []
+    for el in section.findall("anomaly"):
+        _check_attrs(el, {"metric", "stat", "window", "z", "alpha",
+                          "min-points", "severity"})
+        anomalies.append(
+            AnomalySpec(
+                metric=_require(el, "metric"),
+                stat=el.get("stat", "value"),
+                window=_int_attr(el, "window", 20),
+                z=_float_attr(el, "z", 3.0),
+                alpha=_float_attr(el, "alpha", 0.3),
+                min_points=_int_attr(el, "min-points", 5),
+                severity=el.get("severity", "warning"),
+            )
+        )
+    spec = ObservabilitySpec(
+        enabled=_bool_attr(section, "enabled", True),
+        eval_every=_float_attr(section, "eval-every", 5.0),
+        snapshot_every=_float_attr(section, "snapshot-every", 0.0),
+        openmetrics_path=openmetrics_path,
+        report_path=report_path,
+        report_json_path=report_json_path,
+        analysis=_bool_attr(section, "analysis", True),
+        top_n=_int_attr(section, "top-n", 5),
+        slos=tuple(slos),
+        anomalies=tuple(anomalies),
     )
     spec.validate()
     return spec

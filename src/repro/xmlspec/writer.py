@@ -17,6 +17,7 @@ def write_dyflow_xml(spec: DyflowSpec) -> str:
     _write_resilience(root, spec)
     _write_telemetry(root, spec)
     _write_journal(root, spec)
+    _write_observability(root, spec)
     raw = ET.tostring(root, encoding="unicode")
     return minidom.parseString(raw).toprettyxml(indent="  ")
 
@@ -184,6 +185,57 @@ def _write_telemetry(root: ET.Element, spec: DyflowSpec) -> None:
         ET.SubElement(section, "jsonl", path=tel.jsonl_path)
     if tel.chrome_trace_path is not None:
         ET.SubElement(section, "chrome-trace", path=tel.chrome_trace_path)
+
+
+def _write_observability(root: ET.Element, spec: DyflowSpec) -> None:
+    obs = spec.observability
+    if obs is None:
+        return
+    section = ET.SubElement(
+        root, "observability",
+        attrib={
+            "enabled": "true" if obs.enabled else "false",
+            "eval-every": repr(obs.eval_every),
+            "snapshot-every": repr(obs.snapshot_every),
+            "analysis": "true" if obs.analysis else "false",
+            "top-n": str(obs.top_n),
+        },
+    )
+    if obs.openmetrics_path is not None:
+        ET.SubElement(section, "openmetrics", path=obs.openmetrics_path)
+    if obs.report_path is not None or obs.report_json_path is not None:
+        attrib = {}
+        if obs.report_path is not None:
+            attrib["path"] = obs.report_path
+        if obs.report_json_path is not None:
+            attrib["json-path"] = obs.report_json_path
+        ET.SubElement(section, "report", attrib=attrib)
+    for slo in obs.slos:
+        ET.SubElement(
+            section, "slo",
+            attrib={
+                "metric": slo.metric,
+                "stat": slo.stat,
+                "op": slo.op,
+                "threshold": repr(slo.threshold),
+                "severity": slo.severity,
+                "fire-after": str(slo.fire_after),
+                "clear-after": str(slo.clear_after),
+            },
+        )
+    for an in obs.anomalies:
+        ET.SubElement(
+            section, "anomaly",
+            attrib={
+                "metric": an.metric,
+                "stat": an.stat,
+                "window": str(an.window),
+                "z": repr(an.z),
+                "alpha": repr(an.alpha),
+                "min-points": str(an.min_points),
+                "severity": an.severity,
+            },
+        )
 
 
 def _write_journal(root: ET.Element, spec: DyflowSpec) -> None:

@@ -1,0 +1,63 @@
+"""The closed loop, end to end: orchestrator health drives a policy.
+
+Reuses the ``examples/health_feedback.py`` scenario: a pace policy's
+stop-and-relaunch plans violate the ``plan.response p95 < 10 s`` SLO,
+and a second policy bound to the HEALTH sensor stream answers with an
+in-place RECONFIG on the simulation.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+from repro.observability import HEALTH_TASK
+
+EXAMPLE = Path(__file__).resolve().parents[2] / "examples" / "health_feedback.py"
+
+
+@pytest.fixture(scope="module")
+def finished_run():
+    ns = runpy.run_path(str(EXAMPLE))
+    engine, launcher, orch = ns["build"]()
+    launcher.launch_workflow()
+    orch.start(stop_when=launcher.all_idle)
+    engine.run(until=10_000)
+    orch.finalize_telemetry()
+    return engine, launcher, orch
+
+
+class TestHealthFeedbackLoop:
+    def test_the_slo_fires(self, finished_run):
+        _, _, orch = finished_run
+        firing = [a for a in orch.health.alerts if a.kind == "firing"]
+        assert firing, "the plan.response SLO never fired"
+        assert firing[0].source == "slo:plan.response.p95"
+
+    def test_health_samples_reach_the_monitor_stage(self, finished_run):
+        _, _, orch = finished_run
+        updates = [u for u in orch.server.history if u.task == HEALTH_TASK]
+        assert updates, "no HEALTH sensor data reached the Monitor stage"
+        assert all(u.var == "alert.plan.response.p95" for u in updates)
+        assert any(u.value == 1.0 for u in updates), "the alert stream never went high"
+
+    def test_a_policy_reacts_with_an_in_place_reconfig(self, finished_run):
+        _, _, orch = finished_run
+        reconfigs = [
+            p for p in orch.plans if any(op.op == "reconfig_task" for op in p.ops)
+        ]
+        assert reconfigs, "no policy reacted to the health stream"
+        assert all(p.execution_end is not None for p in reconfigs)
+
+    def test_the_feedback_happens_after_the_first_violation(self, finished_run):
+        _, _, orch = finished_run
+        first_fire = min(a.time for a in orch.health.alerts if a.kind == "firing")
+        reconfigs = [
+            p for p in orch.plans if any(op.op == "reconfig_task" for op in p.ops)
+        ]
+        assert all(p.created >= first_fire for p in reconfigs)
+
+    def test_the_workflow_still_finishes(self, finished_run):
+        _, launcher, _ = finished_run
+        assert launcher.all_idle()
+        assert all(rec.incarnations > 0 for rec in launcher.records.values())

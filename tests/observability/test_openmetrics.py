@@ -1,0 +1,154 @@
+"""OpenMetrics rendering kept honest by the strict parser."""
+
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability.openmetrics import (
+    parse_openmetrics,
+    render_openmetrics,
+    sanitize_metric_name,
+    write_openmetrics,
+)
+from repro.telemetry import MetricsRegistry
+
+
+def populated_registry():
+    reg = MetricsRegistry()
+    reg.counter("plans.created").inc(3)
+    reg.gauge("health.firing").set(1.0)
+    hist = reg.histogram("stage.monitor.latency")
+    for v in (0.001, 0.004, 0.02, 0.2, 1.5):
+        hist.observe(v)
+    return reg
+
+
+class TestRenderer:
+    def test_round_trips_through_the_strict_parser(self):
+        reg = populated_registry()
+        families = parse_openmetrics(render_openmetrics(reg))
+        counter = families["dyflow_plans_created"]
+        assert counter["type"] == "counter"
+        assert counter["samples"][0]["value"] == 3.0
+        gauge = families["dyflow_health_firing"]
+        assert gauge["type"] == "gauge"
+        assert gauge["samples"][0]["value"] == 1.0
+        hist = families["dyflow_stage_monitor_latency"]
+        assert hist["type"] == "histogram"
+        inf_bucket = [
+            s for s in hist["samples"]
+            if s["name"].endswith("_bucket") and s["labels"]["le"] == "+Inf"
+        ]
+        assert inf_bucket[0]["value"] == 5.0
+
+    def test_quantile_family_rides_along_as_a_gauge(self):
+        families = parse_openmetrics(render_openmetrics(populated_registry()))
+        q = families["dyflow_stage_monitor_latency_quantile"]
+        assert q["type"] == "gauge"
+        labels = {s["labels"]["quantile"] for s in q["samples"]}
+        assert labels == {"0.5", "0.95", "0.99"}
+
+    def test_output_is_deterministic(self):
+        assert render_openmetrics(populated_registry()) == render_openmetrics(
+            populated_registry()
+        )
+
+    def test_empty_registry_is_just_eof(self):
+        text = render_openmetrics(MetricsRegistry())
+        assert text == "# EOF\n"
+        assert parse_openmetrics(text) == {}
+
+    def test_write_openmetrics_creates_a_parseable_file(self, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        assert write_openmetrics(path, populated_registry()) == path
+        with open(path, encoding="utf-8") as fh:
+            parse_openmetrics(fh.read())
+
+    def test_sanitize_prefixes_and_replaces_illegal_chars(self):
+        assert sanitize_metric_name("stage.monitor.latency") == "dyflow_stage_monitor_latency"
+        assert sanitize_metric_name("9lives") == "dyflow__9lives"
+
+
+class TestStrictParser:
+    GOOD = (
+        "# TYPE dyflow_x counter\n"
+        "dyflow_x_total 2\n"
+        "# EOF\n"
+    )
+
+    def test_accepts_the_minimal_document(self):
+        families = parse_openmetrics(self.GOOD)
+        assert families["dyflow_x"]["samples"][0]["value"] == 2.0
+
+    def test_rejects_missing_eof(self):
+        with pytest.raises(ObservabilityError, match="EOF"):
+            parse_openmetrics("# TYPE dyflow_x counter\ndyflow_x_total 2\n")
+
+    def test_rejects_eof_before_the_end(self):
+        with pytest.raises(ObservabilityError, match="before end"):
+            parse_openmetrics("# EOF\ndyflow_x 1\n# EOF\n")
+
+    def test_rejects_samples_before_their_type(self):
+        with pytest.raises(ObservabilityError, match="no TYPE"):
+            parse_openmetrics("dyflow_x_total 2\n# EOF\n")
+
+    def test_rejects_blank_lines(self):
+        with pytest.raises(ObservabilityError, match="blank"):
+            parse_openmetrics("# TYPE dyflow_x counter\n\ndyflow_x_total 2\n# EOF\n")
+
+    def test_rejects_redeclared_families(self):
+        text = "# TYPE dyflow_x counter\n# TYPE dyflow_x counter\n# EOF\n"
+        with pytest.raises(ObservabilityError, match="re-declared"):
+            parse_openmetrics(text)
+
+    def test_rejects_wrong_suffix_for_type(self):
+        text = "# TYPE dyflow_x counter\ndyflow_x 2\n# EOF\n"
+        with pytest.raises(ObservabilityError, match="suffix"):
+            parse_openmetrics(text)
+
+    def test_rejects_malformed_labels(self):
+        text = '# TYPE dyflow_x gauge\ndyflow_x{oops} 2\n# EOF\n'
+        with pytest.raises(ObservabilityError, match="labels"):
+            parse_openmetrics(text)
+
+    def test_rejects_bad_sample_values(self):
+        text = "# TYPE dyflow_x gauge\ndyflow_x banana\n# EOF\n"
+        with pytest.raises(ObservabilityError, match="value"):
+            parse_openmetrics(text)
+
+    def test_histogram_requires_an_inf_bucket(self):
+        text = (
+            "# TYPE dyflow_h histogram\n"
+            'dyflow_h_bucket{le="1"} 1\n'
+            "dyflow_h_count 1\n"
+            "dyflow_h_sum 0.5\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ObservabilityError, match=r"\+Inf"):
+            parse_openmetrics(text)
+
+    def test_histogram_buckets_must_be_cumulative(self):
+        text = (
+            "# TYPE dyflow_h histogram\n"
+            'dyflow_h_bucket{le="1"} 3\n'
+            'dyflow_h_bucket{le="+Inf"} 2\n'
+            "# EOF\n"
+        )
+        with pytest.raises(ObservabilityError, match="cumulative"):
+            parse_openmetrics(text)
+
+    def test_histogram_count_must_match_the_inf_bucket(self):
+        text = (
+            "# TYPE dyflow_h histogram\n"
+            'dyflow_h_bucket{le="+Inf"} 2\n'
+            "dyflow_h_count 3\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ObservabilityError, match="_count"):
+            parse_openmetrics(text)
+
+    def test_inf_values_parse(self):
+        text = "# TYPE dyflow_x gauge\ndyflow_x +Inf\n# EOF\n"
+        value = parse_openmetrics(text)["dyflow_x"]["samples"][0]["value"]
+        assert math.isinf(value)

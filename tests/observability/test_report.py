@@ -1,0 +1,161 @@
+"""Run reports: assembly, rendering, and the ``report`` CLI."""
+
+import json
+
+from repro.observability.analysis import SpanView
+from repro.observability.report import (
+    REPORT_SCHEMA,
+    build_report,
+    main,
+    render_json,
+    render_markdown,
+    report_from_jsonl,
+)
+from repro.observability.slo import HealthAlert
+
+
+def span_record(name, span_id, start, end, parent=None, category="loop"):
+    return {
+        "kind": "span", "time": end, "name": name, "category": category,
+        "span_id": span_id, "parent_id": parent, "start": start, "end": end,
+    }
+
+
+def point_record(time, name, **attrs):
+    return {"kind": "point", "time": time, "name": name,
+            "category": "wms", "attrs": attrs}
+
+
+def sample_records():
+    alert = HealthAlert(
+        time=6.0, source="slo:plan.response.p95", kind="firing",
+        severity="warning", value=50.0, threshold=10.0, message="violated",
+    )
+    return [
+        span_record("loop.tick", 1, 0.0, 10.0),
+        span_record("stage.monitor", 2, 0.0, 6.0, parent=1, category="monitor"),
+        span_record("stage.decision", 3, 6.0, 8.0, parent=1, category="decision"),
+        {"kind": "span", "time": 0.0, "name": "open", "category": "loop",
+         "span_id": 9, "parent_id": None, "start": 0.0, "end": None},
+        point_record(0.0, "run.allocation", nodes={"n1": 4}),
+        point_record(0.0, "wms.task-running", instance="Sim-0", task="Sim",
+                     nodes={"n1": 4}),
+        point_record(10.0, "wms.task-end", instance="Sim-0", task="Sim"),
+        {"kind": "point", "time": 6.0, "name": "health.alert",
+         "category": "health", "attrs": alert.to_dict()},
+        {"kind": "metrics", "time": 10.0, "seq": 0,
+         "metrics": {"plans.created": {"type": "counter", "value": 2.0},
+                     "journal.append.latency": {"type": "histogram", "count": 7}}},
+    ]
+
+
+class TestBuildReport:
+    def test_assembles_every_section(self):
+        views = [
+            SpanView("loop.tick", "loop", 1, None, 0.0, 10.0),
+            SpanView("stage.monitor", "monitor", 2, 1, 0.0, 6.0),
+        ]
+        report = build_report(views, meta={"workflow": "WF"})
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["meta"] == {"workflow": "WF"}
+        assert [e["name"] for e in report["critical_path"]["entries"]] == [
+            "loop.tick", "stage.monitor",
+        ]
+        assert report["critical_path"]["total"] == 10.0
+        assert report["utilization"] is None
+        assert report["alerts"] == []
+
+    def test_wall_clock_metric_families_are_excluded(self):
+        report = build_report(
+            [], metrics={"journal.append.latency": {"count": 3},
+                         "plans.created": {"value": 1.0}},
+        )
+        assert "journal.append.latency" not in report["metrics"]
+        assert report["metrics"]["plans.created"] == {"value": 1.0}
+
+
+class TestReportFromJsonl:
+    def test_rebuilds_all_sections_from_records(self):
+        report = report_from_jsonl(sample_records())
+        names = [e["name"] for e in report["critical_path"]["entries"]]
+        assert names == ["loop.tick", "stage.monitor"]
+        assert report["utilization"]["total_cores"] == 4
+        assert report["utilization"]["aggregate"] == 1.0
+        assert [a["source"] for a in report["alerts"]] == ["slo:plan.response.p95"]
+        assert "plans.created" in report["metrics"]
+        assert "journal.append.latency" not in report["metrics"]
+        # The open span contributes nothing to the analysis.
+        assert all("open" != s["name"] for s in report["slow_spans"])
+
+    def test_without_allocation_events_utilization_is_absent(self):
+        records = [span_record("loop.tick", 1, 0.0, 10.0)]
+        assert report_from_jsonl(records)["utilization"] is None
+
+
+class TestRendering:
+    def test_markdown_is_deterministic_and_complete(self):
+        report = report_from_jsonl(sample_records(), meta={"workflow": "WF"})
+        text = render_markdown(report)
+        assert text == render_markdown(report_from_jsonl(sample_records(),
+                                                         meta={"workflow": "WF"}))
+        for heading in ("# DYFLOW run report", "## Critical path",
+                        "## Bottlenecks", "## Utilization",
+                        "## Alert timeline", "## Slowest spans"):
+            assert heading in text
+        assert "slo:plan.response.p95" in text
+
+    def test_empty_report_renders_placeholders(self):
+        text = render_markdown(report_from_jsonl([]))
+        assert "No closed spans recorded." in text
+        assert "No allocation events recorded." in text
+        assert "No health alerts." in text
+
+    def test_json_rendering_is_stable(self):
+        report = report_from_jsonl(sample_records())
+        assert json.loads(render_json(report)) == report
+        assert render_json(report).endswith("\n")
+
+
+class TestCli:
+    def write_log(self, tmp_path, records):
+        path = tmp_path / "run.jsonl"
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        return str(path)
+
+    def test_writes_markdown_and_json_outputs(self, tmp_path):
+        log = self.write_log(tmp_path, sample_records())
+        md, js = str(tmp_path / "report.md"), str(tmp_path / "report.json")
+        assert main([log, "-o", md, "--json", js]) == 0
+        assert "# DYFLOW run report" in open(md).read()
+        doc = json.load(open(js))
+        assert doc["schema"] == REPORT_SCHEMA
+        assert doc["meta"]["source"] == log
+
+    def test_stdout_formats(self, tmp_path, capsys):
+        log = self.write_log(tmp_path, sample_records())
+        assert main([log]) == 0
+        assert "## Critical path" in capsys.readouterr().out
+        assert main([log, "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["schema"] == REPORT_SCHEMA
+
+    def test_require_critical_path_gates_empty_runs(self, tmp_path, capsys):
+        empty = self.write_log(tmp_path, [point_record(0.0, "noop")])
+        assert main([empty, "--require-critical-path"]) == 1
+        assert "empty critical path" in capsys.readouterr().err
+        full = self.write_log(tmp_path, sample_records())
+        capsys.readouterr()
+        assert main([full, "--require-critical-path"]) == 0
+
+    def test_top_limits_table_sizes(self, tmp_path):
+        records = [span_record(f"s{i}", i + 1, 0.0, float(i + 1))
+                   for i in range(8)]
+        log = self.write_log(tmp_path, records)
+        import io
+        from contextlib import redirect_stdout
+
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            main([log, "--format", "json", "--top", "2"])
+        doc = json.loads(buf.getvalue())
+        assert len(doc["slow_spans"]) == 2
+        assert len(doc["bottlenecks"]) == 2

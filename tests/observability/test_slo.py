@@ -1,0 +1,164 @@
+"""SLO evaluators and the EWMA anomaly detector: transition semantics."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import AnomalySpec, SloSpec
+from repro.observability.slo import EwmaDetector, HealthAlert, SloEvaluator
+
+
+class TestSloSpec:
+    def test_key_combines_metric_and_stat(self):
+        spec = SloSpec(metric="plan.response", stat="p95", op="LT", threshold=10.0)
+        assert spec.key == "plan.response.p95"
+
+    def test_healthy_honours_every_operator(self):
+        for op, good, bad in (
+            ("LT", 5.0, 15.0), ("LE", 10.0, 10.5),
+            ("GT", 15.0, 5.0), ("GE", 10.0, 9.5),
+        ):
+            spec = SloSpec(metric="m", stat="value", op=op, threshold=10.0)
+            assert spec.healthy(good) and not spec.healthy(bad)
+
+    def test_validation_rejects_bad_fields(self):
+        with pytest.raises(ObservabilityError):
+            SloSpec(metric="m", stat="p42", op="LT", threshold=1.0).validate()
+        with pytest.raises(ObservabilityError):
+            SloSpec(metric="m", stat="p95", op="XX", threshold=1.0).validate()
+        with pytest.raises(ObservabilityError):
+            SloSpec(metric="m", stat="p95", op="LT", threshold=1.0,
+                    severity="shrug").validate()
+
+
+class TestSloEvaluator:
+    def spec(self, **kw):
+        kw.setdefault("metric", "plan.response")
+        kw.setdefault("stat", "p95")
+        kw.setdefault("op", "LT")
+        kw.setdefault("threshold", 10.0)
+        return SloSpec(**kw)
+
+    def test_fires_once_after_the_streak_and_clears_once(self):
+        ev = SloEvaluator(self.spec(fire_after=2, clear_after=2))
+        assert ev.evaluate(0.0, 50.0) is None  # streak 1 of 2
+        alert = ev.evaluate(5.0, 50.0)
+        assert alert is not None and alert.kind == "firing"
+        assert ev.firing
+        assert ev.evaluate(10.0, 50.0) is None  # already firing: no repeat
+        assert ev.evaluate(15.0, 1.0) is None  # good streak 1 of 2
+        cleared = ev.evaluate(20.0, 1.0)
+        assert cleared is not None and cleared.kind == "clearing"
+        assert not ev.firing
+
+    def test_a_good_sample_resets_the_bad_streak(self):
+        ev = SloEvaluator(self.spec(fire_after=2))
+        ev.evaluate(0.0, 50.0)
+        ev.evaluate(1.0, 1.0)  # healthy — streak resets
+        assert ev.evaluate(2.0, 50.0) is None
+        assert not ev.firing
+
+    def test_none_values_do_not_advance_streaks(self):
+        ev = SloEvaluator(self.spec(fire_after=1))
+        assert ev.evaluate(0.0, None) is None
+        assert not ev.firing
+
+    def test_alert_carries_identity_and_context(self):
+        ev = SloEvaluator(self.spec(severity="critical"))
+        alert = ev.evaluate(7.0, 42.0)
+        assert alert.source == "slo:plan.response.p95"
+        assert alert.severity == "critical"
+        assert alert.value == 42.0 and alert.threshold == 10.0
+        assert "plan.response.p95" in alert.message
+
+    def test_state_dict_round_trip_prevents_refiring(self):
+        ev = SloEvaluator(self.spec(fire_after=1))
+        ev.evaluate(0.0, 50.0)
+        clone = SloEvaluator(self.spec(fire_after=1))
+        clone.load_state_dict(ev.state_dict())
+        assert clone.firing
+        # The resumed evaluator sees the same bad value again: no new alert.
+        assert clone.evaluate(5.0, 50.0) is None
+
+
+class TestEwmaDetector:
+    def spec(self, **kw):
+        kw.setdefault("metric", "stage.monitor.latency")
+        kw.setdefault("stat", "p95")
+        kw.setdefault("window", 10)
+        kw.setdefault("z", 3.0)
+        kw.setdefault("min_points", 3)
+        return AnomalySpec(**kw)
+
+    def test_silent_until_min_points(self):
+        det = EwmaDetector(self.spec(min_points=3))
+        assert det.evaluate(0.0, 1.0) is None
+        assert det.evaluate(1.0, 1.0) is None
+        assert not det.firing
+
+    def test_flat_history_makes_any_deviation_fire(self):
+        det = EwmaDetector(self.spec())
+        for t in range(5):
+            det.evaluate(float(t), 1.0)
+        alert = det.evaluate(5.0, 100.0)
+        assert alert is not None and alert.kind == "firing"
+        assert "inf" in alert.message
+
+    def test_fires_then_clears_when_the_value_returns(self):
+        det = EwmaDetector(self.spec(z=2.0, alpha=1.0))
+        # alpha=1 disables smoothing so the window is the raw sequence.
+        for t, v in enumerate((1.0, 1.2, 0.8, 1.1, 0.9)):
+            det.evaluate(float(t), v)
+        fired = det.evaluate(5.0, 50.0)
+        assert fired is not None and fired.kind == "firing"
+        # Back to baseline clears (the spike inflated the window's std,
+        # so a normal value scores small again).
+        cleared = det.evaluate(6.0, 1.0)
+        assert cleared is not None and cleared.kind == "clearing"
+        assert not det.firing
+
+    def test_no_repeat_alerts_while_anomalous(self):
+        det = EwmaDetector(self.spec(z=2.0, alpha=1.0, window=50))
+        for t, v in enumerate((1.0, 1.2, 0.8, 1.1, 0.9)):
+            det.evaluate(float(t), v)
+        assert det.evaluate(5.0, 50.0) is not None
+        assert det.evaluate(6.0, 60.0) is None  # still firing, no repeat
+
+    def test_window_is_bounded(self):
+        det = EwmaDetector(self.spec(window=4))
+        for t in range(10):
+            det.evaluate(float(t), float(t))
+        assert len(det.state_dict()["window"]) == 4
+
+    def test_state_dict_round_trip(self):
+        det = EwmaDetector(self.spec(z=2.0, alpha=1.0))
+        for t, v in enumerate((1.0, 1.2, 0.8, 1.1, 0.9)):
+            det.evaluate(float(t), v)
+        det.evaluate(5.0, 50.0)
+        clone = EwmaDetector(self.spec(z=2.0, alpha=1.0))
+        clone.load_state_dict(det.state_dict())
+        assert clone.firing
+        assert clone.state_dict() == det.state_dict()
+        # Identical future inputs produce identical future behaviour.
+        assert [clone.evaluate(6.0, 1.0)] == [det.evaluate(6.0, 1.0)]
+
+    def test_validation_rejects_bad_fields(self):
+        with pytest.raises(ObservabilityError):
+            AnomalySpec(metric="m", window=1).validate()
+        with pytest.raises(ObservabilityError):
+            AnomalySpec(metric="m", z=0.0).validate()
+        with pytest.raises(ObservabilityError):
+            AnomalySpec(metric="m", alpha=1.5).validate()
+
+
+class TestHealthAlert:
+    def test_dict_round_trip(self):
+        alert = HealthAlert(
+            time=12.5, source="slo:x.p95", kind="firing", severity="warning",
+            value=3.0, threshold=1.0, message="x violates objective",
+        )
+        assert HealthAlert.from_dict(alert.to_dict()) == alert
+
+    def test_from_dict_tolerates_a_missing_message(self):
+        d = {"time": 1, "source": "s", "kind": "firing",
+             "severity": "info", "value": 2, "threshold": 3}
+        assert HealthAlert.from_dict(d).message == ""

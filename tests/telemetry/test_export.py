@@ -60,10 +60,43 @@ def test_timestamps_non_decreasing_with_parent_first():
     assert ts == sorted(ts)
 
 
-def test_open_spans_are_skipped():
+def test_open_spans_export_as_begin_events():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    clock.now = 4.0
+    tracer.start_span("never-closed", "actuation", task="FFT")
+    events = chrome_trace_events(tracer.spans)
+    assert [e for e in events if e["ph"] == "X"] == []
+    (begin,) = [e for e in events if e["ph"] == "B"]
+    assert begin["name"] == "never-closed"
+    assert begin["ts"] == 4.0 * 1e6
+    assert begin["args"]["incomplete"] is True
+    assert begin["args"]["task"] == "FFT"
+    assert "dur" not in begin
+
+
+def test_open_span_children_stay_on_roots_track():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    outer = tracer.start_span("outer", "actuation")
+    clock.now = 1.0
+    inner = tracer.start_span("inner", "actuation", parent=outer)
+    clock.now = 2.0
+    tracer.end_span(inner)
+    # outer never closes (e.g. crash mid-plan) but still anchors the track
+    events = [e for e in chrome_trace_events(tracer.spans) if e["ph"] != "M"]
+    assert [e["name"] for e in events] == ["outer", "inner"]
+    assert events[0]["ph"] == "B"
+    assert events[1]["ph"] == "X"
+    assert events[0]["tid"] == events[1]["tid"]
+
+
+def test_zero_duration_spans_get_minimum_visible_width():
     tracer = Tracer(clock=FakeClock())
-    tracer.start_span("never-closed")
-    assert [e for e in chrome_trace_events(tracer.spans) if e["ph"] == "X"] == []
+    with tracer.span("instant"):
+        pass
+    (event,) = [e for e in chrome_trace_events(tracer.spans) if e["ph"] == "X"]
+    assert event["dur"] == 1.0
 
 
 def test_metadata_names_process_and_tracks():

@@ -1,4 +1,4 @@
-"""Warn-once deprecation shims."""
+"""Warn-once deprecation machinery (the shims themselves are gone)."""
 
 import warnings
 
@@ -42,24 +42,20 @@ def test_reset_warned_allows_rewarning():
     assert len(caught) == 2
 
 
-class TestRenamedApis:
-    """The actual shims wired through the runtimes."""
+class TestRemovedShims:
+    """The PR 2 renamed-API shims were removed once callers migrated."""
 
-    def test_monitor_receive_env_keyword(self):
+    def test_monitor_receive_is_positional_only_api(self):
         from repro.core.monitor import MonitorServer
         from repro.util.jsonmsg import Envelope
 
         server = MonitorServer()
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            for seq in (0, 1):
-                env = Envelope(kind="sensor-update", sender="c/PACE", seq=seq,
-                               time=0.0, payload={"updates": []})
-                server.receive(env=env)
-        deprecations = [c for c in caught if c.category is DeprecationWarning]
-        assert len(deprecations) == 1
-        assert "envelope" in str(deprecations[0].message)
-        assert server.received == 2
+        env = Envelope(kind="sensor-update", sender="c/PACE", seq=0,
+                       time=0.0, payload={"updates": []})
+        with pytest.raises(TypeError):
+            server.receive(env=env)  # the old keyword no longer exists
+        server.receive(env)
+        assert server.received == 1
 
     def test_monitor_receive_requires_an_envelope(self):
         from repro.core.monitor import MonitorServer
@@ -68,14 +64,8 @@ class TestRenamedApis:
         with pytest.raises(TypeError):
             server.receive()
 
-    def test_threaded_shutdown_alias(self):
+    def test_threaded_shutdown_alias_removed(self):
         from repro.runtime.threaded import ThreadedDyflow
 
         runner = ThreadedDyflow("WF", tasks=[])
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            runner.shutdown()
-            runner.shutdown()
-        deprecations = [c for c in caught if c.category is DeprecationWarning]
-        assert len(deprecations) == 1
-        assert "stop" in str(deprecations[0].message)
+        assert not hasattr(runner, "shutdown")

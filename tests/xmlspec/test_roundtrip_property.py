@@ -2,9 +2,11 @@
 
 Extends the basic round-trip test with the elements it leaves out —
 sensor joins, monitor-task/use-sensor parameters, apply-policy
-action-params, ``<resilience>`` (all five children) and ``<telemetry>``
-— and checks the stronger *fixed-point* property: one write/parse cycle
-normalizes a spec, after which further cycles change nothing.
+action-params, ``<resilience>`` (all five children), ``<telemetry>``,
+``<journal>`` and ``<observability>`` (SLOs, anomaly detectors,
+exports) — and checks the stronger *fixed-point* property: one
+write/parse cycle normalizes a spec, after which further cycles change
+nothing.
 """
 
 from hypothesis import given, settings
@@ -22,6 +24,7 @@ from repro.resilience import (
     WatchdogSpec,
 )
 from repro.journal import JournalSpec
+from repro.observability import AnomalySpec, ObservabilitySpec, SloSpec
 from repro.telemetry import TelemetrySpec
 from repro.wms.spec import CouplingType, DependencySpec
 from repro.xmlspec import (
@@ -110,6 +113,53 @@ telemetry_specs = st.builds(
 )
 
 
+slo_stats = st.sampled_from(["p50", "p95", "p99", "mean", "min", "max", "count", "value"])
+severities = st.sampled_from(["info", "warning", "critical"])
+
+
+@st.composite
+def observability_specs(draw):
+    # Unique (metric, stat) keys — duplicate objectives fail validation.
+    slo_keys = draw(st.lists(st.tuples(names, slo_stats), max_size=3,
+                             unique=True))
+    slos = tuple(
+        SloSpec(
+            metric=metric, stat=stat,
+            op=draw(st.sampled_from(["LT", "LE", "GT", "GE"])),
+            threshold=draw(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)),
+            severity=draw(severities),
+            fire_after=draw(st.integers(1, 5)),
+            clear_after=draw(st.integers(1, 5)),
+        )
+        for metric, stat in slo_keys
+    )
+    anomalies = tuple(
+        AnomalySpec(
+            metric=draw(names), stat=draw(slo_stats),
+            window=draw(st.integers(2, 50)),
+            z=draw(st.floats(min_value=0.5, max_value=10.0)),
+            alpha=draw(st.floats(min_value=0.01, max_value=1.0)),
+            min_points=draw(st.integers(2, 10)),
+            severity=draw(severities),
+        )
+        for _ in range(draw(st.integers(0, 2)))
+    )
+    report_path = draw(st.one_of(st.none(), safe_text))
+    report_json_path = draw(st.one_of(st.none(), safe_text))
+    return ObservabilitySpec(
+        enabled=draw(st.booleans()),
+        eval_every=draw(positive),
+        snapshot_every=draw(st.one_of(st.just(0.0), positive)),
+        openmetrics_path=draw(st.one_of(st.none(), safe_text)),
+        report_path=report_path,
+        report_json_path=report_json_path,
+        analysis=draw(st.booleans()),
+        top_n=draw(st.integers(1, 20)),
+        slos=slos,
+        anomalies=anomalies,
+    )
+
+
 @st.composite
 def sensor_specs(draw, sensor_id, all_ids):
     grans = draw(st.lists(granularities, min_size=1, max_size=4, unique=True))
@@ -194,6 +244,7 @@ def dyflow_specs(draw):
         resilience=draw(st.one_of(st.none(), resilience_specs())),
         telemetry=draw(st.one_of(st.none(), telemetry_specs)),
         journal=draw(st.one_of(st.none(), journal_specs)),
+        observability=draw(st.one_of(st.none(), observability_specs())),
     )
 
 
@@ -224,6 +275,7 @@ class TestFixedPoint:
         assert back.resilience == spec.resilience
         assert back.telemetry == spec.telemetry
         assert back.journal == spec.journal
+        assert back.observability == spec.observability
         # monitor-tasks are regrouped by (task, workflow, source) on
         # write; with unique tasks the binding set is order-stable.
         key = lambda m: (m.task, m.sensor_id, m.info_source, m.info, tuple(sorted(m.params.items(), key=repr)))
@@ -287,6 +339,24 @@ def test_full_document_with_all_elements_round_trips():
                                 chrome_trace_path="run/trace.json"),
         journal=JournalSpec(dir="run/journal", enabled=True, fsync="batch",
                             batch_every=32, snapshot_every=10),
+        observability=ObservabilitySpec(
+            enabled=True, eval_every=5.0, snapshot_every=60.0,
+            openmetrics_path="run/metrics.prom",
+            report_path="run/report.md", report_json_path="run/report.json",
+            analysis=True, top_n=7,
+            slos=(
+                SloSpec(metric="plan.response", stat="p95", op="LT",
+                        threshold=60.0, severity="warning",
+                        fire_after=2, clear_after=3),
+                SloSpec(metric="cluster.utilization", stat="value", op="GE",
+                        threshold=0.5, severity="info"),
+            ),
+            anomalies=(
+                AnomalySpec(metric="stage.monitor.latency", stat="p95",
+                            window=30, z=4.0, alpha=0.2, min_points=6,
+                            severity="critical"),
+            ),
+        ),
     )
     xml1 = write_dyflow_xml(spec)
     back = parse_dyflow_xml(xml1)
