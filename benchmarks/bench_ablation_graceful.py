@@ -5,7 +5,6 @@ are not allowed to terminate gracefully" (§4.4) — at the price of
 killing tasks mid-timestep (in-flight work lost, exit codes > 128).
 """
 
-import pytest
 
 from repro.experiments import run_gray_scott_experiment
 

@@ -6,7 +6,6 @@ timesteps; spurious threshold crossings trigger extra adjustments
 average "avoid[s] decisions based on a single timestep" (§4.4).
 """
 
-import pytest
 
 from repro.experiments import run_gray_scott_experiment
 

@@ -10,7 +10,6 @@ Workload: an analysis whose per-step cost ramps with the data
 (RampModel), as the paper says of Isosurface/Rendering.
 """
 
-import pytest
 
 from repro.apps import ConstantModel, IterativeApp, RampModel
 from repro.cluster import Allocation, summit

@@ -11,7 +11,6 @@ bench compares correcting an over-paced analysis two ways:
   the running task — response is one signal latency, nothing lost.
 """
 
-import pytest
 
 from repro.apps import ConstantModel, IterativeApp
 from repro.cluster import Allocation, summit

@@ -7,7 +7,6 @@ windows — immediately retrigger adjustments before the new
 configuration has produced a single clean measurement.
 """
 
-import pytest
 
 from repro.experiments import run_gray_scott_experiment
 

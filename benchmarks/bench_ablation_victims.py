@@ -5,7 +5,6 @@ cores: every ADDCPU is denied, the under-provisioning is never
 corrected, and the workflow pace never enters the desired interval.
 """
 
-import pytest
 
 from repro.experiments import run_gray_scott_experiment
 

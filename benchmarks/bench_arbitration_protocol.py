@@ -5,7 +5,6 @@ bench measures plan formulation over a non-trivial workflow as a real
 hot-loop pytest-benchmark (many rounds), unlike the scenario benches.
 """
 
-import pytest
 
 from repro.apps import ConstantModel, IterativeApp
 from repro.cluster import Allocation, summit

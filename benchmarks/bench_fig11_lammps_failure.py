@@ -7,7 +7,6 @@ allocation; the simulation resumes from checkpoint 412 and repeats a few
 timesteps.  Response ≈0.2 s on Summit, ≈0.4 s on Deepthought2.
 """
 
-import pytest
 
 from repro.experiments import render_gantt, run_lammps_experiment
 

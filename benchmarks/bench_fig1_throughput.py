@@ -7,7 +7,6 @@ We regenerate the throughput (steps/hour) time series before and after
 each response window from the Gray-Scott run.
 """
 
-import pytest
 
 from repro.experiments import run_gray_scott_experiment
 

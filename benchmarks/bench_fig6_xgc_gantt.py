@@ -10,7 +10,6 @@ Paper observations the reproduction must match in shape:
 * Deepthought2 responses are uniformly slower than Summit's.
 """
 
-import pytest
 
 from repro.experiments import render_gantt, run_xgc_experiment
 

@@ -8,7 +8,6 @@ interval and the 50 steps finish within the 30-minute limit, while the
 static baseline needs 10–12 % more than the limit.
 """
 
-import pytest
 
 from repro.experiments import render_gantt, run_gray_scott_experiment
 

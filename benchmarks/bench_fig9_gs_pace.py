@@ -5,7 +5,6 @@ threshold), dropping after each adjustment, resetting across restarts,
 and settling inside the desired [24, 36] s interval.
 """
 
-import pytest
 
 from repro.apps.gray_scott import ANALYSIS_TASKS
 from repro.experiments import run_gray_scott_experiment

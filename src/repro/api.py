@@ -39,6 +39,9 @@ The surface groups into:
   SLO/anomaly health alerts fed back into the Monitor stage.
 * **Canned experiments** — ``run_*_experiment``, :func:`render_gantt`,
   the paper XML documents, and the report builders.
+* **Static analysis** — :func:`verify_spec`, :func:`run_selflint`,
+  :class:`Diagnostic`, the ``preflight=`` verification modes, and the
+  text/JSON/SARIF renderers (``python -m repro.lint``).
 """
 
 from repro.apps import AmdahlModel, ConstantModel, IterativeApp, PowerLawModel, RampModel
@@ -68,6 +71,17 @@ from repro.experiments import (
     run_xgc_experiment,
 )
 from repro.experiments.report import build_report, format_report
+from repro.lint import (
+    Diagnostic,
+    PreflightWarning,
+    Severity,
+    VerificationError,
+    lint_xml_text,
+    render_sarif,
+    run_preflight,
+    run_selflint,
+    verify_spec,
+)
 from repro.journal import (
     AppliedOpsLedger,
     Journal,
@@ -232,6 +246,16 @@ __all__ = [
     "LAMMPS_XML",
     "build_report",
     "format_report",
+    # static analysis
+    "Diagnostic",
+    "Severity",
+    "PreflightWarning",
+    "VerificationError",
+    "verify_spec",
+    "lint_xml_text",
+    "run_selflint",
+    "run_preflight",
+    "render_sarif",
     # errors
     "ReproError",
 ]

@@ -11,7 +11,7 @@ simulation "resumes from the last checkpoint (i.e., timestep 412)".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.apps.base import IterativeApp
 from repro.apps.scaling import AmdahlModel, ConstantModel

@@ -14,7 +14,7 @@ envelopes over real queues.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.cluster.machine import MachinePerf

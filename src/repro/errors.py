@@ -149,3 +149,25 @@ class StaleWriterError(JournalError):
 # --------------------------------------------------------------------------- #
 class XmlSpecError(ReproError):
     """Malformed or semantically invalid DYFLOW XML specification."""
+
+
+# --------------------------------------------------------------------------- #
+# static analysis / pre-flight verification
+# --------------------------------------------------------------------------- #
+class LintError(ReproError):
+    """Static-analysis machinery misuse (unknown code, bad mode, ...)."""
+
+
+class VerificationError(DyflowError):
+    """Pre-flight verification rejected a spec before tick zero.
+
+    ``diagnostics`` carries every :class:`repro.lint.Diagnostic` the
+    verifier produced (not only the errors), in deterministic order.
+    """
+
+    def __init__(self, diagnostics=()):
+        self.diagnostics = list(diagnostics)
+        errors = [d for d in self.diagnostics if d.severity.value == "error"]
+        lines = [f"pre-flight verification failed with {len(errors)} error(s):"]
+        lines += [f"  {d.format()}" for d in self.diagnostics]
+        super().__init__("\n".join(lines))

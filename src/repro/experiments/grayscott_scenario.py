@@ -163,6 +163,7 @@ def run_gray_scott_experiment(
     ignore_crash_requests: bool = False,
     resume_on_crash: bool = True,
     xml_extra: str = "",
+    preflight: str = "off",
 ) -> ScenarioResult:
     """Run the under-provisioning experiment.
 
@@ -211,9 +212,10 @@ def run_gray_scott_experiment(
     workflow = build_workflow(config)
     launcher = Savanna(engine, workflow, job.allocation, rng=RngRegistry(seed))
     launcher_box.append(launcher)
-    gs_done = lambda: (not launcher.record("GrayScott").is_active
-                       and launcher.record("GrayScott").incarnations > 0
-                       and launcher.all_idle())
+    def gs_done():
+        return (not launcher.record("GrayScott").is_active
+                and launcher.record("GrayScott").incarnations > 0
+                and launcher.all_idle())
     orch = None
     crashes: list[float] = []
     orch_box: list = []
@@ -236,6 +238,7 @@ def run_gray_scott_experiment(
                 observability=observability,
                 journal=journal_spec if with_journal else None,
                 ignore_crash_requests=ignore_crash_requests, on_crash=on_crash,
+                preflight=preflight,
             )
 
         def on_crash_handler(crashed):

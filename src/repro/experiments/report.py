@@ -8,7 +8,7 @@ EXPERIMENTS.md is derived from.  Used by ``examples/reproduce_all.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Callable
 
 from repro.experiments.cost_analysis import run_cost_analysis
 from repro.experiments.grayscott_scenario import run_gray_scott_experiment

@@ -1,0 +1,116 @@
+"""``python -m repro.lint`` — front end for both analysis engines.
+
+Spec mode (default) lints DYFLOW XML documents::
+
+    python -m repro.lint examples/specs/xgc.xml --machine summit
+
+Self mode lints the repro source tree for determinism violations::
+
+    python -m repro.lint --self --format sarif
+
+Exit codes: 0 — no findings at or above ``--fail-on`` (default:
+``error``); 1 — findings at or above the threshold; 2 — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.diagnostics import Diagnostic, Severity, sort_diagnostics
+from repro.lint.render import FORMATS, render
+from repro.lint.selflint import run_selflint
+from repro.lint.speclint import lint_xml_text
+
+_MACHINES = ("none", "summit", "deepthought2")
+
+
+def _machine(name: str):
+    if name == "none":
+        return None
+    from repro.cluster.machine import deepthought2, summit
+
+    return {"summit": summit, "deepthought2": deepthought2}[name]()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="DYFLOW static analysis: spec verifier and determinism self-lint.",
+    )
+    parser.add_argument(
+        "specs",
+        nargs="*",
+        metavar="SPEC.xml",
+        help="DYFLOW XML documents to verify (spec mode)",
+    )
+    parser.add_argument(
+        "--self",
+        dest="self_mode",
+        action="store_true",
+        help="lint the repro source tree instead of XML specs",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="source root for --self (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--machine",
+        choices=_MACHINES,
+        default="none",
+        help="machine model for resource-feasibility checks (spec mode)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info"),
+        default="error",
+        help="lowest severity that causes a nonzero exit (default: error)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.self_mode and args.specs:
+        parser.error("--self takes no SPEC.xml arguments")
+    if not args.self_mode and not args.specs:
+        parser.error("nothing to lint: pass SPEC.xml files or --self")
+
+    diags: list[Diagnostic] = []
+    if args.self_mode:
+        diags = run_selflint(Path(args.root) if args.root else None)
+    else:
+        machine = _machine(args.machine)
+        for spec_path in args.specs:
+            path = Path(spec_path)
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError as err:
+                parser.error(f"cannot read {spec_path}: {err}")
+            diags += lint_xml_text(text, machine=machine, filename=path.as_posix())
+        diags = sort_diagnostics(diags)
+
+    report = render(diags, args.format)
+    if args.output is not None:
+        Path(args.output).write_text(report, encoding="utf-8")
+    else:
+        sys.stdout.write(report)
+
+    floor = Severity(args.fail_on)
+    return 1 if any(d.severity >= floor for d in diags) else 0

@@ -1,0 +1,211 @@
+"""The typed-diagnostic core shared by both analysis engines.
+
+Every finding — from the spec verifier or the determinism self-lint —
+is a :class:`Diagnostic` with a stable ``DY###`` code, a severity, a
+source location (an XML path into the spec document or a ``file:line``
+pair), and a message.  Diagnostics order deterministically so repeated
+runs over the same input produce byte-identical reports in every output
+format (text, JSON, SARIF).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import LintError
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity, ordered ``error > warning > info``."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    def __ge__(self, other: "Severity") -> bool:
+        return self.rank >= other.rank
+
+    def __gt__(self, other: "Severity") -> bool:
+        return self.rank > other.rank
+
+    def __le__(self, other: "Severity") -> bool:
+        return self.rank <= other.rank
+
+    def __lt__(self, other: "Severity") -> bool:
+        return self.rank < other.rank
+
+
+_SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """Where a diagnostic anchors: an XML path or a ``file:line`` pair.
+
+    Spec diagnostics use *xml_path* — a logical path into the document
+    (e.g. ``decision/policies/policy[@id='INC']``); self-lint
+    diagnostics use *file* and *line*.  Both may be absent for
+    document-level findings.
+    """
+
+    xml_path: str | None = None
+    file: str | None = None
+    line: int | None = None
+
+    def __str__(self) -> str:
+        if self.file is not None:
+            return f"{self.file}:{self.line}" if self.line is not None else self.file
+        if self.xml_path is not None:
+            return self.xml_path
+        return "<spec>"
+
+    def to_dict(self) -> dict:
+        out: dict = {}
+        if self.xml_path is not None:
+            out["xml_path"] = self.xml_path
+        if self.file is not None:
+            out["file"] = self.file
+        if self.line is not None:
+            out["line"] = self.line
+        return out
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Registry entry for one stable diagnostic code."""
+
+    code: str
+    title: str
+    default_severity: Severity
+    engine: str  # "spec" or "self"
+
+
+def _spec(code: str, title: str, sev: Severity = Severity.ERROR) -> CodeInfo:
+    return CodeInfo(code, title, sev, "spec")
+
+
+def _self(code: str, title: str, sev: Severity = Severity.ERROR) -> CodeInfo:
+    return CodeInfo(code, title, sev, "self")
+
+
+#: The complete, stable code catalog.  Codes are never renumbered; a
+#: retired check keeps its number reserved.  See docs/static-analysis.md.
+CODES: dict[str, CodeInfo] = {
+    c.code: c
+    for c in (
+        # -- document level ------------------------------------------------
+        _spec("DY100", "spec failed to parse"),
+        # -- cross-references (DY1xx) --------------------------------------
+        _spec("DY101", "monitor-task uses an unknown sensor"),
+        _spec("DY102", "policy assesses an unknown sensor"),
+        _spec("DY103", "apply-policy references an unknown policy"),
+        _spec("DY104", "policy granularity not produced by its sensor"),
+        _spec("DY105", "policy-priority names an unknown policy"),
+        _spec("DY106", "rule references a task nothing monitors or acts on",
+              Severity.WARNING),
+        _spec("DY107", "sensor join references an unknown sensor"),
+        _spec("DY108", "sensor is never used by any policy", Severity.WARNING),
+        _spec("DY109", "policy is never applied to any workflow", Severity.WARNING),
+        _spec("DY110", "monitor-task names a task the workflow does not define"),
+        _spec("DY111", "apply-policy targets a task the workflow does not define"),
+        _spec("DY112", "policy can never fire: no monitor binding feeds it"),
+        # -- resources and placement (DY2xx) -------------------------------
+        _spec("DY201", "initial placement oversubscribes the machine"),
+        _spec("DY202", "gang placement can never be satisfied"),
+        _spec("DY203", "resource adjustment can never fit the machine"),
+        _spec("DY204", "arbitration rule dependencies form a cycle"),
+        # -- rule interaction (DY3xx) --------------------------------------
+        _spec("DY301", "policy is shadowed by a subsuming policy", Severity.WARNING),
+        _spec("DY302", "policies can co-fire with contradictory actions"),
+        _spec("DY303", "policy condition is unsatisfiable"),
+        # -- parameter ranges (DY4xx) --------------------------------------
+        _spec("DY401", "retry backoff cap is below the backoff base", Severity.WARNING),
+        _spec("DY402", "watchdog poll exceeds the heartbeat timeout", Severity.WARNING),
+        _spec("DY403", "journal configuration out of range"),
+        _spec("DY404", "SLO/anomaly configuration out of range"),
+        _spec("DY405", "telemetry sample fraction out of range"),
+        _spec("DY406", "quarantine cooldown shorter than its window", Severity.WARNING),
+        _spec("DY407", "resilience configuration out of range"),
+        # -- determinism self-lint (DY5xx) ----------------------------------
+        _self("DY501", "wall-clock call in a deterministic core path"),
+        _self("DY502", "global or unseeded RNG outside repro.sim.rng"),
+        _self("DY503", "iteration over a set: order is not deterministic"),
+        _self("DY504", "mutable module-level state in a stage module"),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One immutable finding.
+
+    Sorting is total and deterministic: severity (errors first), then
+    code, then location, then message.
+    """
+
+    code: str
+    message: str
+    severity: Severity
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise LintError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def title(self) -> str:
+        return CODES[self.code].title
+
+    def sort_key(self) -> tuple:
+        return (-self.severity.rank, self.code, str(self.location), self.message)
+
+    def format(self) -> str:
+        """``location: severity DY###: message``."""
+        return f"{self.location}: {self.severity.value} {self.code}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "location": self.location.to_dict(),
+        }
+
+
+def make(
+    code: str,
+    message: str,
+    *,
+    xml_path: str | None = None,
+    file: str | None = None,
+    line: int | None = None,
+    severity: Severity | None = None,
+) -> Diagnostic:
+    """Build a diagnostic for a registered code (default severity unless
+    overridden)."""
+    info = CODES.get(code)
+    if info is None:
+        raise LintError(f"unknown diagnostic code {code!r}")
+    return Diagnostic(
+        code=code,
+        message=message,
+        severity=severity if severity is not None else info.default_severity,
+        location=SourceLocation(xml_path=xml_path, file=file, line=line),
+    )
+
+
+def sort_diagnostics(diags: list[Diagnostic]) -> list[Diagnostic]:
+    """The canonical deterministic ordering used by every renderer."""
+    return sorted(diags, key=Diagnostic.sort_key)
+
+
+def max_severity(diags: list[Diagnostic]) -> Severity | None:
+    """The highest severity present, or None for a clean result."""
+    if not diags:
+        return None
+    return max((d.severity for d in diags), key=lambda s: s.rank)

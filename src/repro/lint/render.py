@@ -1,0 +1,130 @@
+"""Render diagnostics as human text, JSON, or SARIF 2.1.0.
+
+All three renderers consume the canonical sorted diagnostic list, so
+repeated runs over the same input are byte-identical in every format.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import LintError
+from repro.lint.diagnostics import CODES, Diagnostic, Severity, sort_diagnostics
+
+FORMATS = ("text", "json", "sarif")
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://example.org/dyflow-repro/docs/static-analysis.md"
+
+_SARIF_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def summarize(diags: list[Diagnostic]) -> dict[str, int]:
+    counts = {"error": 0, "warning": 0, "info": 0}
+    for d in diags:
+        counts[d.severity.value] += 1
+    return counts
+
+
+def render_text(diags: list[Diagnostic]) -> str:
+    diags = sort_diagnostics(diags)
+    if not diags:
+        return "no findings\n"
+    lines = [d.format() for d in diags]
+    counts = summarize(diags)
+    lines.append(
+        f"{len(diags)} finding(s): {counts['error']} error(s), "
+        f"{counts['warning']} warning(s), {counts['info']} info"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(diags: list[Diagnostic]) -> str:
+    diags = sort_diagnostics(diags)
+    doc = {
+        "schema": "dyflow-lint-report/1",
+        "summary": summarize(diags),
+        "diagnostics": [d.to_dict() for d in diags],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def _sarif_location(d: Diagnostic) -> dict:
+    loc: dict = {}
+    if d.location.file is not None:
+        physical: dict = {
+            "artifactLocation": {"uri": d.location.file, "uriBaseId": "SRCROOT"}
+        }
+        if d.location.line is not None:
+            physical["region"] = {"startLine": d.location.line}
+        loc["physicalLocation"] = physical
+    if d.location.xml_path is not None:
+        loc["logicalLocations"] = [
+            {"fullyQualifiedName": d.location.xml_path, "kind": "element"}
+        ]
+    if not loc:
+        loc["logicalLocations"] = [{"fullyQualifiedName": "<spec>", "kind": "module"}]
+    return loc
+
+
+def render_sarif(diags: list[Diagnostic]) -> str:
+    """A single-run SARIF 2.1.0 log with the full stable rule catalog."""
+    diags = sort_diagnostics(diags)
+    rule_ids = sorted(CODES)
+    rule_index = {code: i for i, code in enumerate(rule_ids)}
+    rules = [
+        {
+            "id": code,
+            "name": code,
+            "shortDescription": {"text": CODES[code].title},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVEL[CODES[code].default_severity]
+            },
+            "properties": {"engine": CODES[code].engine},
+        }
+        for code in rule_ids
+    ]
+    results = [
+        {
+            "ruleId": d.code,
+            "ruleIndex": rule_index[d.code],
+            "level": _SARIF_LEVEL[d.severity],
+            "message": {"text": d.message},
+            "locations": [_sarif_location(d)],
+        }
+        for d in diags
+    ]
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def render(diags: list[Diagnostic], fmt: str) -> str:
+    if fmt == "text":
+        return render_text(diags)
+    if fmt == "json":
+        return render_json(diags)
+    if fmt == "sarif":
+        return render_sarif(diags)
+    raise LintError(f"unknown output format {fmt!r} (choose from {FORMATS})")

@@ -1,0 +1,276 @@
+"""Determinism self-lint: AST checks over the repro source tree.
+
+The journal (bit-identical resume) and observability (byte-identical
+reports) subsystems rest on invariants that no runtime assertion can
+see.  This engine codifies them as ``DY5xx`` diagnostics:
+
+DY501  no wall-clock reads (``time.time``/``perf_counter``/
+       ``datetime.now`` ...) in deterministic core paths; the sim clock
+       or the telemetry wall-clock shim must be used instead.  The
+       telemetry package and the wall-clock threaded runtime are exempt
+       by construction.
+DY502  no global or unseeded stdlib ``random``; every stochastic choice
+       must draw from a named stream in :mod:`repro.sim.rng`.
+DY503  no iteration directly over a set display or ``set(...)`` call:
+       barrier-journaled state replayed on another interpreter must not
+       depend on set ordering.  Wrap in ``sorted(...)``.
+DY504  no mutable module-level state in the four stage modules
+       (monitor/decision/arbitration/actuation) — stage state must live
+       on instances so it is journaled and resumable.
+
+A finding on a line carrying ``# lint: ignore[DY501]`` (one or more
+comma-separated codes) is suppressed; this is the escape hatch for the
+telemetry shims the checks cannot prove safe.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.lint.diagnostics import Diagnostic, make, sort_diagnostics
+
+#: Paths (relative to the package root, ``/`` separated) where wall-clock
+#: reads are legitimate: telemetry measures real latency, and the
+#: threaded runtime *is* wall-clock driven.
+WALLCLOCK_EXEMPT = ("telemetry/", "runtime/threaded.py")
+
+#: The four control-loop stage modules (DY504 scope).
+STAGE_MODULES = (
+    "core/monitor.py",
+    "core/decision.py",
+    "core/arbitration.py",
+    "core/actuation.py",
+)
+
+#: The one module allowed to touch stdlib ``random`` (it does not today,
+#: but the named-stream factory is the only place that ever could).
+RNG_MODULE = "sim/rng.py"
+
+_WALLCLOCK_TIME_FNS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
+)
+_WALLCLOCK_DT_FNS = frozenset({"now", "utcnow", "today"})
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Z0-9,\s]+)\]")
+
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    out: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(line)
+        if m:
+            out[lineno] = {c.strip() for c in m.group(1).split(",") if c.strip()}
+    return out
+
+
+class _ImportNames:
+    """Which local names resolve to the time/datetime/random modules or
+    their relevant members, tracking ``import x as y`` aliases."""
+
+    def __init__(self) -> None:
+        self.time_modules: set[str] = set()
+        self.datetime_modules: set[str] = set()
+        self.datetime_classes: set[str] = set()
+        self.time_fns: set[str] = set()
+        self.random_lines: list[int] = []
+
+    def visit(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "time":
+                        self.time_modules.add(local)
+                    elif alias.name == "datetime":
+                        self.datetime_modules.add(local)
+                    elif alias.name == "random" or alias.name.startswith("random."):
+                        self.random_lines.append(node.lineno)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _WALLCLOCK_TIME_FNS:
+                            self.time_fns.add(alias.asname or alias.name)
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name == "datetime":
+                            self.datetime_classes.add(alias.asname or alias.name)
+                elif node.module == "random":
+                    self.random_lines.append(node.lineno)
+
+
+def _check_wallclock(tree: ast.AST, names: _ImportNames) -> list[tuple[int, str]]:
+    hits: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        if isinstance(fn, ast.Name) and fn.id in names.time_fns:
+            hits.append((node.lineno, f"time.{fn.id}()"))
+        elif isinstance(fn, ast.Attribute):
+            base = fn.value
+            if isinstance(base, ast.Name):
+                if base.id in names.time_modules and fn.attr in _WALLCLOCK_TIME_FNS:
+                    hits.append((node.lineno, f"time.{fn.attr}()"))
+                elif base.id in names.datetime_classes and fn.attr in _WALLCLOCK_DT_FNS:
+                    hits.append((node.lineno, f"datetime.{fn.attr}()"))
+            elif (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id in names.datetime_modules
+                and base.attr == "datetime"
+                and fn.attr in _WALLCLOCK_DT_FNS
+            ):
+                hits.append((node.lineno, f"datetime.datetime.{fn.attr}()"))
+    return hits
+
+
+def _is_set_expr(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Set):
+        return True
+    if isinstance(expr, ast.SetComp):
+        return True
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id in ("set", "frozenset")
+    ):
+        return True
+    return False
+
+
+def _check_set_iteration(tree: ast.AST) -> list[int]:
+    hits: list[int] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.For) and _is_set_expr(node.iter):
+            hits.append(node.lineno)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter):
+                    hits.append(node.lineno)
+    return hits
+
+
+def _is_mutable_value(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        fn = expr.func
+        name = fn.id if isinstance(fn, ast.Name) else (
+            fn.attr if isinstance(fn, ast.Attribute) else None
+        )
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+def _check_module_state(tree: ast.Module) -> list[tuple[int, str]]:
+    hits: list[tuple[int, str]] = []
+    for node in tree.body:
+        targets: list[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id.startswith("__") and target.id.endswith("__"):
+                continue  # __all__ and friends: mutable type, immutable use
+            if _is_mutable_value(value):
+                hits.append((node.lineno, target.id))
+    return hits
+
+
+def lint_file(path: Path, rel: str) -> list[Diagnostic]:
+    """Lint one source file; *rel* is its ``/``-separated path relative
+    to the package root, used for scoping and reporting."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as err:
+        # A file that does not parse cannot be certified deterministic.
+        return [make(
+            "DY501",
+            f"file does not parse, determinism cannot be verified: {err.msg}",
+            file=rel,
+            line=err.lineno or 1,
+        )]
+    suppress = _suppressions(source)
+    report = f"src/repro/{rel}"
+
+    def keep(code: str, line: int) -> bool:
+        return code not in suppress.get(line, ())
+
+    out: list[Diagnostic] = []
+    names = _ImportNames()
+    names.visit(tree)
+
+    if not rel.startswith(WALLCLOCK_EXEMPT[0]) and rel != WALLCLOCK_EXEMPT[1]:
+        for line, what in _check_wallclock(tree, names):
+            if keep("DY501", line):
+                out.append(make(
+                    "DY501",
+                    f"{what} reads the wall clock in a deterministic path; "
+                    "use the sim clock or a telemetry shim",
+                    file=report,
+                    line=line,
+                ))
+    if rel != RNG_MODULE:
+        for line in names.random_lines:
+            if keep("DY502", line):
+                out.append(make(
+                    "DY502",
+                    "stdlib random imported; draw from a named stream in "
+                    "repro.sim.rng instead",
+                    file=report,
+                    line=line,
+                ))
+    for line in _check_set_iteration(tree):
+        if keep("DY503", line):
+            out.append(make(
+                "DY503",
+                "iteration directly over a set: ordering is "
+                "interpreter-dependent; wrap in sorted(...)",
+                file=report,
+                line=line,
+            ))
+    if rel in STAGE_MODULES:
+        for line, name in _check_module_state(tree):
+            if keep("DY504", line):
+                out.append(make(
+                    "DY504",
+                    f"module-level mutable {name!r} in a stage module; stage "
+                    "state must live on instances so the journal captures it",
+                    file=report,
+                    line=line,
+                ))
+    return out
+
+
+def package_root() -> Path:
+    """Directory of the installed ``repro`` package."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def run_selflint(root: Path | None = None) -> list[Diagnostic]:
+    """Run every determinism check over the source tree at *root*
+    (default: the installed ``repro`` package) and return deterministic
+    diagnostics."""
+    base = Path(root) if root is not None else package_root()
+    files = sorted(
+        p for p in base.rglob("*.py") if "__pycache__" not in p.parts
+    )
+    out: list[Diagnostic] = []
+    for path in files:
+        rel = path.relative_to(base).as_posix()
+        out += lint_file(path, rel)
+    return sort_diagnostics(out)

@@ -64,7 +64,11 @@ class DyflowOrchestrator:
         journal=None,
         ignore_crash_requests: bool = False,
         on_crash: Callable[["DyflowOrchestrator"], None] | None = None,
+        preflight: str = "off",
     ) -> None:
+        from repro.lint.preflight import check_mode
+
+        self.preflight = check_mode(preflight)
         self.launcher = launcher
         self.engine = launcher.engine
         self.rules = rules if rules is not None else ArbitrationRules.from_workflow(launcher.workflow)
@@ -216,6 +220,12 @@ class DyflowOrchestrator:
         """
         if self._running:
             raise DyflowError("orchestrator already running")
+        if self.preflight != "off":
+            # Pure static analysis: draws no RNG stream, reads no clock,
+            # so a passing spec runs bit-identically with preflight on.
+            from repro.lint.preflight import preflight_orchestrator
+
+            preflight_orchestrator(self, self.preflight)
         self._running = True
         self._stop_when = stop_when
         if self._journal is None and self._journal_spec is not None:

@@ -158,7 +158,11 @@ class ThreadedDyflow:
         tracer: Tracer | None = None,
         observability: ObservabilitySpec | None = None,
         journal=None,
+        preflight: str = "off",
     ) -> None:
+        from repro.lint.preflight import check_mode
+
+        self.preflight = check_mode(preflight)
         self.workflow_id = workflow_id
         self.specs = {t.name: t for t in tasks}
         if len(self.specs) != len(tasks):
@@ -275,6 +279,10 @@ class ThreadedDyflow:
 
     # -- lifecycle ---------------------------------------------------------------
     def start(self) -> None:
+        if self.preflight != "off":
+            from repro.lint.preflight import preflight_threaded
+
+            preflight_threaded(self, self.preflight)
         if self._journal is None and self._journal_spec is not None:
             from repro.journal import Journal
 

@@ -17,13 +17,12 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-import numpy as np
 
 from repro.apps.base import Signal, TaskContext
 from repro.apps.coupling import CouplingRegistry
 from repro.cluster.allocation import Allocation, ResourceSet
 from repro.cluster.resource_manager import ResourceManager
-from repro.errors import AllocationError, LaunchError, TaskStateError
+from repro.errors import AllocationError, LaunchError
 from repro.profiler.counters import CounterModel
 from repro.resilience.quarantine import NodeQuarantine
 from repro.resilience.spec import ResilienceSpec

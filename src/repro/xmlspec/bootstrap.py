@@ -32,6 +32,7 @@ def configure_orchestrator(
     journal=None,
     ignore_crash_requests: bool = False,
     on_crash=None,
+    preflight: str = "off",
 ) -> DyflowOrchestrator:
     """Build a :class:`DyflowOrchestrator` for *launcher* from *spec*.
 
@@ -88,6 +89,7 @@ def configure_orchestrator(
         journal=journal,
         ignore_crash_requests=ignore_crash_requests,
         on_crash=on_crash,
+        preflight=preflight,
     )
     for sensor in spec.sensors.values():
         orch.add_sensor(sensor)

@@ -51,8 +51,15 @@ class DyflowSpec:
     journal: JournalSpec | None = None
     observability: ObservabilitySpec | None = None
 
-    def validate(self) -> None:
-        """Cross-reference checks a schema cannot express."""
+    def validate(self, strict: bool = False) -> None:
+        """Cross-reference checks a schema cannot express.
+
+        With ``strict=True``, additionally reject a ``<rule>`` whose
+        task-priority references a task that nothing in the document
+        monitors, acts on, or depends on — historically the parser
+        accepted these silently and the dangling priority was ignored
+        at arbitration time.
+        """
         if self.resilience is not None:
             self.resilience.validate()
         if self.telemetry is not None:
@@ -88,3 +95,12 @@ class DyflowSpec:
             for pid in rule.policy_priorities:
                 if pid not in self.policies:
                     raise XmlSpecError(f"policy-priority for unknown policy {pid!r}")
+        if strict:
+            from repro.lint.speclint import unmonitored_rule_tasks
+
+            for workflow_id, task in unmonitored_rule_tasks(self):
+                raise XmlSpecError(
+                    f"rule for workflow {workflow_id!r} prioritizes task "
+                    f"{task!r}, which no monitor-task, apply-policy, or "
+                    "dependency in the document mentions"
+                )

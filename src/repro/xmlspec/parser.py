@@ -24,11 +24,19 @@ from repro.wms.spec import CouplingType, DependencySpec
 from repro.xmlspec.model import DyflowSpec, MonitorTaskSpec, RuleSpec
 
 
-def parse_dyflow_xml(text: str) -> DyflowSpec:
+def parse_dyflow_xml(
+    text: str, *, validate: bool = True, strict: bool = False
+) -> DyflowSpec:
     """Parse an XML document into a validated :class:`DyflowSpec`.
 
     The root may be ``<dyflow>`` wrapping the three stage sections, or a
     single stage section on its own (the paper's figures show fragments).
+
+    ``validate=False`` skips cross-reference validation entirely (used
+    by the linter, which reports fine-grained diagnostics instead of
+    stopping at the first defect).  ``strict=True`` additionally rejects
+    rules whose task references name nothing the document monitors or
+    acts on (see :meth:`DyflowSpec.validate`).
     """
     try:
         root = ET.fromstring(text)
@@ -52,22 +60,23 @@ def parse_dyflow_xml(text: str) -> DyflowSpec:
         elif section.tag == "resilience":
             if spec.resilience is not None:
                 raise XmlSpecError("duplicate <resilience> section")
-            spec.resilience = _parse_resilience(section)
+            spec.resilience = _parse_resilience(section, validate=validate)
         elif section.tag == "telemetry":
             if spec.telemetry is not None:
                 raise XmlSpecError("duplicate <telemetry> section")
-            spec.telemetry = _parse_telemetry(section)
+            spec.telemetry = _parse_telemetry(section, validate=validate)
         elif section.tag == "journal":
             if spec.journal is not None:
                 raise XmlSpecError("duplicate <journal> section")
-            spec.journal = _parse_journal(section)
+            spec.journal = _parse_journal(section, validate=validate)
         elif section.tag == "observability":
             if spec.observability is not None:
                 raise XmlSpecError("duplicate <observability> section")
-            spec.observability = _parse_observability(section)
+            spec.observability = _parse_observability(section, validate=validate)
         else:
             raise XmlSpecError(f"unexpected section <{section.tag}>")
-    spec.validate()
+    if validate:
+        spec.validate(strict=strict)
     return spec
 
 
@@ -285,7 +294,7 @@ def _bool_attr(el: ET.Element, attr: str, default: bool) -> bool:
     raise XmlSpecError(f"<{el.tag}> attribute {attr!r}: not a boolean: {raw!r}")
 
 
-def _parse_resilience(section: ET.Element) -> ResilienceSpec:
+def _parse_resilience(section: ET.Element, *, validate: bool = True) -> ResilienceSpec:
     """Parse one ``<resilience>`` section (every child optional)."""
     known = {"retry", "watchdog", "quarantine", "checkpoint", "faults"}
     for child in section:
@@ -354,7 +363,7 @@ def _parse_resilience(section: ET.Element) -> ResilienceSpec:
 # --------------------------------------------------------------------------- #
 # telemetry section
 # --------------------------------------------------------------------------- #
-def _parse_telemetry(section: ET.Element) -> TelemetrySpec:
+def _parse_telemetry(section: ET.Element, *, validate: bool = True) -> TelemetrySpec:
     """Parse one ``<telemetry>`` section (sink children optional)."""
     _check_attrs(section, {"enabled", "sample"})
     known = {"jsonl", "chrome-trace"}
@@ -376,14 +385,15 @@ def _parse_telemetry(section: ET.Element) -> TelemetrySpec:
         jsonl_path=jsonl_path,
         chrome_trace_path=chrome_trace_path,
     )
-    spec.validate()
+    if validate:
+        spec.validate()
     return spec
 
 
 # --------------------------------------------------------------------------- #
 # journal section
 # --------------------------------------------------------------------------- #
-def _parse_journal(section: ET.Element) -> JournalSpec:
+def _parse_journal(section: ET.Element, *, validate: bool = True) -> JournalSpec:
     """Parse one ``<journal>`` element (crash-recovery WAL config)."""
     _check_attrs(section, {"dir", "enabled", "fsync", "batch-every", "snapshot-every"})
     for child in section:
@@ -395,14 +405,15 @@ def _parse_journal(section: ET.Element) -> JournalSpec:
         batch_every=_int_attr(section, "batch-every", 64),
         snapshot_every=_int_attr(section, "snapshot-every", 20),
     )
-    spec.validate()
+    if validate:
+        spec.validate()
     return spec
 
 
 # --------------------------------------------------------------------------- #
 # observability section
 # --------------------------------------------------------------------------- #
-def _parse_observability(section: ET.Element) -> ObservabilitySpec:
+def _parse_observability(section: ET.Element, *, validate: bool = True) -> ObservabilitySpec:
     """Parse one ``<observability>`` section (SLOs, snapshots, exports)."""
     _check_attrs(section, {"enabled", "eval-every", "snapshot-every", "analysis", "top-n"})
     known = {"openmetrics", "report", "slo", "anomaly"}
@@ -463,7 +474,8 @@ def _parse_observability(section: ET.Element) -> ObservabilitySpec:
         slos=tuple(slos),
         anomalies=tuple(anomalies),
     )
-    spec.validate()
+    if validate:
+        spec.validate()
     return spec
 
 

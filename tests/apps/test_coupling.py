@@ -1,6 +1,5 @@
 """Tests for in-situ coupling flow control."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

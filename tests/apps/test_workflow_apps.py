@@ -10,7 +10,6 @@ from repro.apps.gray_scott import (
     make_gray_scott_app,
 )
 from repro.apps.lammps import (
-    ANALYSIS_TASKS as MD_ANALYSES,
     LAMMPS_STEP_TIME,
     LammpsConfig,
     make_lammps_app,

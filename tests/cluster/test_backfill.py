@@ -1,6 +1,5 @@
 """Tests for EASY backfilling in the batch scheduler."""
 
-import pytest
 
 from repro.cluster import BatchScheduler, JobState, summit
 from repro.sim import SimEngine

@@ -1,6 +1,5 @@
 """Tests for the Arbitration stage (Algorithm 1)."""
 
-import pytest
 
 from repro.apps import ConstantModel, IterativeApp
 from repro.cluster import Allocation, summit

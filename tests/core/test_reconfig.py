@@ -3,7 +3,6 @@
 import pytest
 
 from repro.apps import ConstantModel, IterativeApp
-from repro.apps.base import TaskContext
 from repro.cluster import Allocation, summit
 from repro.core import (
     ActionType,
@@ -11,7 +10,6 @@ from repro.core import (
     PolicyApplication,
     PolicySpec,
     SensorSpec,
-    SuggestedAction,
 )
 from repro.runtime import DyflowOrchestrator
 from repro.sim import RngRegistry, SimEngine

@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.core.sensors import (
     GroupBySpec,
     JoinSpec,
-    PREPROCESS,
     REDUCTIONS,
     group_key,
     preprocess_value,

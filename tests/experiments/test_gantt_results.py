@@ -1,6 +1,5 @@
 """Tests for Gantt rendering and the scenario result container."""
 
-import pytest
 
 from repro.experiments.gantt import render_gantt, timeline_events
 from repro.experiments.results import ScenarioResult
@@ -29,7 +28,7 @@ class TestRenderGantt:
 
     def test_bars_cover_the_right_halves(self):
         out = render_gantt(make_trace(), width=100)
-        xgc1 = next(l for l in out.splitlines() if l.startswith("XGC1"))
+        xgc1 = next(ln for ln in out.splitlines() if ln.startswith("XGC1"))
         bar = xgc1.split("|")[1]
         # Runs 0-50 and 75-100: the first half is filled, 55-70 is not.
         assert bar[10] == "=" and bar[40] == "="
@@ -38,7 +37,7 @@ class TestRenderGantt:
 
     def test_adjust_row_marks_response_windows(self):
         out = render_gantt(make_trace(), width=100)
-        dyflow = next(l for l in out.splitlines() if l.startswith("DYFLOW"))
+        dyflow = next(ln for ln in out.splitlines() if ln.startswith("DYFLOW"))
         assert "!" in dyflow
 
     def test_end_time_override(self):

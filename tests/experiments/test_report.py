@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.report import Report, ReportRow, build_report, format_report
+from repro.experiments.report import Report, build_report, format_report
 
 
 class TestReportContainer:

@@ -10,7 +10,6 @@ against a live workflow and checks after every executed plan that:
 * the engine never deadlocks (bounded simulated time per round).
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -45,9 +45,11 @@ class TestMemoryTwoGranularities:
         return orch
 
     def test_node_and_task_level_memory_metrics(self):
-        app = lambda: IterativeApp(
-            ConstantModel(5.0), total_steps=6, rank_jitter=0.0, memory_mb_per_rank=100.0
-        )
+        def app():
+            return IterativeApp(
+                ConstantModel(5.0), total_steps=6, rank_jitter=0.0, memory_mb_per_rank=100.0
+            )
+
         eng, sav = make_world(app)
         orch = self.make_orch(eng, sav)
         sav.launch_workflow()
@@ -64,10 +66,12 @@ class TestMemoryTwoGranularities:
 
     def test_memory_growth_policy_fires_stop(self):
         """A leak-guard policy: STOP the task when its RSS crosses a cap."""
-        app = lambda: IterativeApp(
-            ConstantModel(5.0), total_steps=1000, rank_jitter=0.0,
-            memory_mb_per_rank=100.0, memory_growth_mb_per_step=50.0,
-        )
+        def app():
+            return IterativeApp(
+                ConstantModel(5.0), total_steps=1000, rank_jitter=0.0,
+                memory_mb_per_rank=100.0, memory_growth_mb_per_step=50.0,
+            )
+
         eng, sav = make_world(app)
         orch = self.make_orch(eng, sav)
         orch.add_policy(
@@ -87,7 +91,9 @@ class TestMemoryTwoGranularities:
 class TestIpcJoin:
     def test_ipc_metric_flows_to_decision(self):
         counters = CounterModel(clock_ghz=1.0, work_instructions=5e9, base_ipc=4.0)
-        app = lambda: IterativeApp(ConstantModel(10.0), total_steps=6, rank_jitter=0.0)
+        def app():
+            return IterativeApp(ConstantModel(10.0), total_steps=6, rank_jitter=0.0)
+
         eng, sav = make_world(app, counters=counters)
         orch = DyflowOrchestrator(sav, warmup=5.0, settle=5.0, record_history=True)
         orch.add_sensor(

@@ -132,9 +132,9 @@ def test_stage_spans_nest_under_loop_ticks(traced):
 
 def test_jsonl_log_written(traced):
     _engine, _orch, spec = traced
-    lines = [l for l in open(spec.jsonl_path, encoding="utf-8") if l.strip()]
+    lines = [ln for ln in open(spec.jsonl_path, encoding="utf-8") if ln.strip()]
     assert lines
-    records = [json.loads(l) for l in lines]
+    records = [json.loads(ln) for ln in lines]
     assert all({"kind", "time"} <= set(r) for r in records)
     assert any(r["kind"] == "span" for r in records)
 

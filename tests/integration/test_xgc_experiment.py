@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.core import ActionType
 from repro.experiments import run_xgc_experiment
-from repro.experiments.xgc_scenario import SWITCH_STEP, TARGET_STEPS
+from repro.experiments.xgc_scenario import TARGET_STEPS
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Deterministic campaign resume: completed runs replay from the ledger."""
 
-import pytest
 
 from repro.journal import JournalSpec, read_journal
 from repro.wms import Campaign, CampaignRunner, Sweep, TaskSpec, WorkflowSpec

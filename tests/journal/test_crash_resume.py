@@ -8,7 +8,6 @@ them (``ignore_crash_requests=True``), which keeps the event-queue
 sequence numbers aligned without ever crashing.
 """
 
-import pytest
 
 from repro.journal import JournalSpec, read_journal, scenario_fingerprint
 from repro.runtime import DyflowOrchestrator

@@ -1,6 +1,5 @@
 """Journal facade: sequencing, snapshots, reopen semantics, metrics."""
 
-import os
 
 import pytest
 

@@ -1,6 +1,5 @@
 """WAL framing: CRC guards, torn tails, segments, epoch fencing."""
 
-import os
 
 import pytest
 

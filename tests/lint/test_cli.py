@@ -1,0 +1,158 @@
+"""The ``python -m repro.lint`` command line: modes, formats, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.cli import main
+
+CLEAN_XML = (
+    "<dyflow><monitor><sensors>"
+    '<sensor id="S" type="DISKSCAN"><group-by>'
+    '<group granularity="task" reduction-operation="MAX"/>'
+    "</group-by></sensor></sensors><monitor-tasks>"
+    '<monitor-task name="A" workflowId="W">'
+    '<use-sensor sensor-id="S" info="x"/></monitor-task>'
+    "</monitor-tasks></monitor><decision><policies>"
+    '<policy id="P"><eval operation="GT" threshold="5"/>'
+    '<sensors-to-use><use-sensor id="S" granularity="task"/></sensors-to-use>'
+    '<action>STOP</action><frequency seconds="5"/></policy>'
+    '</policies><apply-on workflowId="W">'
+    '<apply-policy policyId="P" assess-task="A">'
+    "<act-on-tasks> A </act-on-tasks></apply-policy>"
+    "</apply-on></decision></dyflow>"
+)
+
+DEFECT_XML = CLEAN_XML.replace('sensor-id="S"', 'sensor-id="NOPE"')
+
+WARNING_XML = CLEAN_XML.replace(
+    "</sensors>",
+    '<sensor id="UNUSED" type="DISKSCAN"><group-by>'
+    '<group granularity="task" reduction-operation="MAX"/>'
+    "</group-by></sensor></sensors>",
+)
+
+
+@pytest.fixture()
+def clean_spec(tmp_path):
+    p = tmp_path / "clean.xml"
+    p.write_text(CLEAN_XML, encoding="utf-8")
+    return p
+
+
+@pytest.fixture()
+def defect_spec(tmp_path):
+    p = tmp_path / "defect.xml"
+    p.write_text(DEFECT_XML, encoding="utf-8")
+    return p
+
+
+def test_clean_spec_exits_zero(clean_spec, capsys):
+    assert main([str(clean_spec)]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_defect_spec_exits_one(defect_spec, capsys):
+    assert main([str(defect_spec)]) == 1
+    out = capsys.readouterr().out
+    assert "DY101" in out
+    assert defect_spec.as_posix() in out
+
+
+def test_warning_only_spec_exits_zero_by_default(tmp_path, capsys):
+    p = tmp_path / "warn.xml"
+    p.write_text(WARNING_XML, encoding="utf-8")
+    assert main([str(p)]) == 0
+    assert "DY108" in capsys.readouterr().out
+
+
+def test_fail_on_warning(tmp_path, capsys):
+    p = tmp_path / "warn.xml"
+    p.write_text(WARNING_XML, encoding="utf-8")
+    assert main([str(p), "--fail-on", "warning"]) == 1
+
+
+def test_multiple_specs_aggregate(clean_spec, defect_spec, capsys):
+    assert main([str(clean_spec), str(defect_spec)]) == 1
+    assert "DY101" in capsys.readouterr().out
+
+
+def test_json_output(defect_spec, capsys):
+    assert main([str(defect_spec), "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["summary"]["error"] >= 1
+    assert any(d["code"] == "DY101" for d in doc["diagnostics"])
+
+
+def test_sarif_output(defect_spec, capsys):
+    assert main([str(defect_spec), "--format", "sarif"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    assert any(r["ruleId"] == "DY101" for r in doc["runs"][0]["results"])
+
+
+def test_output_file(defect_spec, tmp_path, capsys):
+    out = tmp_path / "report.sarif"
+    assert main([str(defect_spec), "--format", "sarif", "--output", str(out)]) == 1
+    assert capsys.readouterr().out == ""
+    assert json.loads(out.read_text())["version"] == "2.1.0"
+
+
+def test_machine_enables_resource_checks(tmp_path, capsys):
+    xml = CLEAN_XML.replace("<action>STOP</action>", "<action>ADDCPU</action>").replace(
+        "</act-on-tasks>",
+        "</act-on-tasks><action-params>"
+        '<param key="adjust-by" value="100000"/></action-params>',
+    )
+    p = tmp_path / "big.xml"
+    p.write_text(xml, encoding="utf-8")
+    assert main([str(p)]) == 0  # no machine model, nothing to check against
+    assert main([str(p), "--machine", "summit"]) == 1
+    assert "DY203" in capsys.readouterr().out
+
+
+def test_malformed_xml_reports_dy100(tmp_path, capsys):
+    p = tmp_path / "broken.xml"
+    p.write_text("<dyflow><monitor>", encoding="utf-8")
+    assert main([str(p)]) == 1
+    assert "DY100" in capsys.readouterr().out
+
+
+def test_self_mode_passes_on_repo(capsys):
+    assert main(["--self"]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_self_mode_sarif_on_repo(capsys):
+    assert main(["--self", "--format", "sarif"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    assert doc["runs"][0]["results"] == []
+
+
+def test_self_mode_custom_root(tmp_path, capsys):
+    bad = tmp_path / "core"
+    bad.mkdir()
+    (bad / "mod.py").write_text("import random\n", encoding="utf-8")
+    assert main(["--self", "--root", str(tmp_path)]) == 1
+    assert "DY502" in capsys.readouterr().out
+
+
+def test_no_arguments_is_usage_error(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main([])
+    assert exc.value.code == 2
+
+
+def test_self_with_specs_is_usage_error(clean_spec):
+    with pytest.raises(SystemExit) as exc:
+        main(["--self", str(clean_spec)])
+    assert exc.value.code == 2
+
+
+def test_missing_file_is_usage_error(tmp_path):
+    with pytest.raises(SystemExit) as exc:
+        main([str(tmp_path / "absent.xml")])
+    assert exc.value.code == 2

@@ -1,0 +1,225 @@
+"""SARIF 2.1.0 output: schema validity, determinism, and content checks
+for renderers across both engines, plus the JSON and text formats."""
+
+from __future__ import annotations
+
+import json
+
+import jsonschema
+import pytest
+
+from repro.lint import (
+    CODES,
+    Severity,
+    lint_xml_text,
+    make,
+    render,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from repro.errors import LintError
+
+# A structural subset of the SARIF 2.1.0 schema covering everything the
+# renderer emits.  additionalProperties stays open (SARIF is extensible)
+# but every property we rely on is pinned to its spec-mandated shape.
+SARIF_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "message", "level"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {"type": "integer", "minimum": 0},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {"text": {"type": "string"}},
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": ["uri"],
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            }
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                            "logicalLocations": {
+                                                "type": "array",
+                                                "items": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "fullyQualifiedName": {
+                                                            "type": "string"
+                                                        }
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+BAD_XML = (
+    "<dyflow><monitor><sensors></sensors><monitor-tasks>"
+    '<monitor-task name="A" workflowId="W">'
+    '<use-sensor sensor-id="NOPE" info="x"/></monitor-task>'
+    "</monitor-tasks></monitor></dyflow>"
+)
+
+
+@pytest.fixture()
+def mixed_diags():
+    return [
+        make("DY101", "dangling sensor", xml_path="monitor/monitor-tasks"),
+        make("DY301", "shadowed", xml_path="decision/policies/policy[@id='P']"),
+        make("DY501", "wall clock", file="src/repro/core/decision.py", line=12),
+    ]
+
+
+def test_sarif_is_schema_valid(mixed_diags):
+    doc = json.loads(render_sarif(mixed_diags))
+    jsonschema.validate(doc, SARIF_SCHEMA)
+
+
+def test_sarif_of_spec_lint_is_schema_valid():
+    diags = lint_xml_text(BAD_XML, filename="bad.xml")
+    assert diags
+    jsonschema.validate(json.loads(render_sarif(diags)), SARIF_SCHEMA)
+
+
+def test_sarif_empty_run_is_schema_valid():
+    jsonschema.validate(json.loads(render_sarif([])), SARIF_SCHEMA)
+
+
+def test_sarif_carries_full_rule_catalog(mixed_diags):
+    doc = json.loads(render_sarif(mixed_diags))
+    rules = doc["runs"][0]["tool"]["driver"]["rules"]
+    assert [r["id"] for r in rules] == sorted(CODES)
+    by_id = {r["id"]: r for r in rules}
+    assert by_id["DY501"]["properties"]["engine"] == "self"
+    assert by_id["DY101"]["properties"]["engine"] == "spec"
+
+
+def test_sarif_rule_index_consistent(mixed_diags):
+    doc = json.loads(render_sarif(mixed_diags))
+    run = doc["runs"][0]
+    rules = run["tool"]["driver"]["rules"]
+    for result in run["results"]:
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+
+def test_sarif_level_mapping(mixed_diags):
+    mixed_diags.append(make("DY108", "info-ish", xml_path="x", severity=Severity.INFO))
+    doc = json.loads(render_sarif(mixed_diags))
+    levels = {r["ruleId"]: r["level"] for r in doc["runs"][0]["results"]}
+    assert levels["DY101"] == "error"
+    assert levels["DY301"] == "warning"
+    assert levels["DY108"] == "note"
+
+
+def test_sarif_locations(mixed_diags):
+    doc = json.loads(render_sarif(mixed_diags))
+    results = {r["ruleId"]: r for r in doc["runs"][0]["results"]}
+    physical = results["DY501"]["locations"][0]["physicalLocation"]
+    assert physical["artifactLocation"]["uri"] == "src/repro/core/decision.py"
+    assert physical["region"]["startLine"] == 12
+    logical = results["DY101"]["locations"][0]["logicalLocations"][0]
+    assert logical["fullyQualifiedName"] == "monitor/monitor-tasks"
+
+
+def test_renderers_are_deterministic(mixed_diags):
+    shuffled = list(reversed(mixed_diags))
+    for fn in (render_text, render_json, render_sarif):
+        assert fn(mixed_diags) == fn(shuffled)
+
+
+def test_json_format(mixed_diags):
+    doc = json.loads(render_json(mixed_diags))
+    assert doc["schema"] == "dyflow-lint-report/1"
+    assert doc["summary"] == {"error": 2, "warning": 1, "info": 0}
+    assert len(doc["diagnostics"]) == 3
+    # errors first, then the warning
+    assert [d["severity"] for d in doc["diagnostics"]] == [
+        "error", "error", "warning",
+    ]
+
+
+def test_text_format(mixed_diags):
+    text = render_text(mixed_diags)
+    assert "src/repro/core/decision.py:12: error DY501: wall clock" in text
+    assert text.endswith("3 finding(s): 2 error(s), 1 warning(s), 0 info\n")
+    assert render_text([]) == "no findings\n"
+
+
+def test_render_dispatch(mixed_diags):
+    assert render(mixed_diags, "text") == render_text(mixed_diags)
+    assert render(mixed_diags, "json") == render_json(mixed_diags)
+    assert render(mixed_diags, "sarif") == render_sarif(mixed_diags)
+    with pytest.raises(LintError):
+        render(mixed_diags, "xml")

@@ -1,0 +1,269 @@
+"""Determinism self-lint: DY5xx corpus over synthetic source files, the
+suppression syntax, and the proof that the repo passes its own checks."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import CODES, run_selflint
+from repro.lint.selflint import lint_file, package_root
+
+
+def lint_source(tmp_path: Path, source: str, rel: str = "core/mod.py") -> list:
+    path = tmp_path / Path(rel).name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_file(path, rel)
+
+
+def codes_of(diags: list) -> set[str]:
+    return {d.code for d in diags}
+
+
+# --------------------------------------------------------------------------- #
+# DY501: wall clock in deterministic paths
+# --------------------------------------------------------------------------- #
+class TestWallClock:
+    def test_time_time_triggers(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            import time
+
+            def now():
+                return time.time()
+        """)
+        assert codes_of(diags) == {"DY501"}
+        assert diags[0].location.line == 5
+
+    def test_aliased_import_triggers(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            import time as _t
+
+            def now():
+                return _t.perf_counter()
+        """)
+        assert codes_of(diags) == {"DY501"}
+
+    def test_from_import_triggers(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            from time import monotonic
+
+            def now():
+                return monotonic()
+        """)
+        assert codes_of(diags) == {"DY501"}
+
+    def test_datetime_now_triggers(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            from datetime import datetime
+
+            def today():
+                return datetime.now()
+        """)
+        assert codes_of(diags) == {"DY501"}
+
+    def test_sleep_is_clean(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            import time
+
+            def nap():
+                time.sleep(1)
+        """)
+        assert diags == []
+
+    def test_telemetry_path_exempt(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            import time
+
+            def now():
+                return time.time()
+        """, rel="telemetry/clock.py")
+        assert diags == []
+
+    def test_threaded_runtime_exempt(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            import time
+
+            def now():
+                return time.perf_counter()
+        """, rel="runtime/threaded.py")
+        assert diags == []
+
+    def test_suppression_comment(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            import time
+
+            def now():
+                return time.time()  # lint: ignore[DY501] -- latency shim
+        """)
+        assert diags == []
+
+    def test_suppression_is_code_specific(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            import time
+
+            def now():
+                return time.time()  # lint: ignore[DY502]
+        """)
+        assert codes_of(diags) == {"DY501"}
+
+
+# --------------------------------------------------------------------------- #
+# DY502: global/unseeded random
+# --------------------------------------------------------------------------- #
+class TestGlobalRandom:
+    def test_import_random_triggers(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            import random
+
+            def roll():
+                return random.random()
+        """)
+        assert "DY502" in codes_of(diags)
+
+    def test_from_random_triggers(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            from random import choice
+        """)
+        assert codes_of(diags) == {"DY502"}
+
+    def test_rng_module_exempt(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            import random
+        """, rel="sim/rng.py")
+        assert diags == []
+
+    def test_numpy_generator_is_clean(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            import numpy as np
+
+            def make(seed):
+                return np.random.default_rng(seed)
+        """)
+        assert diags == []
+
+
+# --------------------------------------------------------------------------- #
+# DY503: set iteration
+# --------------------------------------------------------------------------- #
+class TestSetIteration:
+    def test_for_over_set_call_triggers(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            def emit(xs):
+                for x in set(xs):
+                    print(x)
+        """)
+        assert codes_of(diags) == {"DY503"}
+
+    def test_for_over_set_literal_triggers(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            def emit():
+                for x in {1, 2, 3}:
+                    print(x)
+        """)
+        assert codes_of(diags) == {"DY503"}
+
+    def test_comprehension_over_set_triggers(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            def emit(xs):
+                return [x for x in set(xs)]
+        """)
+        assert codes_of(diags) == {"DY503"}
+
+    def test_sorted_set_is_clean(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            def emit(xs):
+                for x in sorted(set(xs)):
+                    print(x)
+        """)
+        assert diags == []
+
+    def test_membership_test_is_clean(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            def has(x, xs):
+                return x in set(xs)
+        """)
+        assert diags == []
+
+
+# --------------------------------------------------------------------------- #
+# DY504: mutable module state in stage modules
+# --------------------------------------------------------------------------- #
+class TestStageModuleState:
+    def test_module_dict_in_stage_triggers(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            CACHE = {}
+
+            def get(k):
+                return CACHE.get(k)
+        """, rel="core/decision.py")
+        assert codes_of(diags) == {"DY504"}
+
+    def test_module_list_in_stage_triggers(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            PENDING = []
+        """, rel="core/actuation.py")
+        assert codes_of(diags) == {"DY504"}
+
+    def test_immutable_constant_is_clean(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            LEVELS = ("low", "high")
+            LIMIT = 5
+        """, rel="core/monitor.py")
+        assert diags == []
+
+    def test_dunder_all_is_clean(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            __all__ = ["f"]
+
+            def f():
+                return 1
+        """, rel="core/arbitration.py")
+        assert diags == []
+
+    def test_non_stage_module_exempt(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            CACHE = {}
+        """, rel="util/cache.py")
+        assert diags == []
+
+
+# --------------------------------------------------------------------------- #
+# the repo passes its own checks
+# --------------------------------------------------------------------------- #
+def test_repo_passes_selflint():
+    diags = run_selflint()
+    assert diags == [], "\n".join(d.format() for d in diags)
+
+
+def test_selflint_is_deterministic():
+    first = [d.format() for d in run_selflint()]
+    second = [d.format() for d in run_selflint()]
+    assert first == second
+
+
+def test_package_root_is_repro():
+    assert package_root().name == "repro"
+    assert (package_root() / "lint" / "selflint.py").exists()
+
+
+def test_self_codes_all_exercised():
+    covered = {"DY501", "DY502", "DY503", "DY504"}
+    assert covered == {c for c, info in CODES.items() if info.engine == "self"}
+
+
+@pytest.mark.parametrize("code", ["DY501", "DY502", "DY503", "DY504"])
+def test_locations_are_file_line(tmp_path, code):
+    source = {
+        "DY501": "import time\nx = time.time()\n",
+        "DY502": "import random\n",
+        "DY503": "for x in {1}:\n    pass\n",
+        "DY504": "STATE = {}\n",
+    }[code]
+    rel = "core/decision.py" if code == "DY504" else "core/mod.py"
+    diags = lint_source(tmp_path, source, rel=rel)
+    hit = [d for d in diags if d.code == code]
+    assert hit, diags
+    assert hit[0].location.file == f"src/repro/{rel}"
+    assert hit[0].location.line is not None

@@ -1,6 +1,5 @@
 """Launcher-level retry/backoff: budgets, timing, deliberate-kill rules."""
 
-import pytest
 
 from repro.resilience import ResilienceSpec, RetryPolicy
 from repro.sim.rng import RngRegistry

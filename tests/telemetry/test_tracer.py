@@ -148,7 +148,7 @@ def test_jsonl_log_flush_to_file(tmp_path):
         pass
     tracer.flush()
     tracer.flush()  # second flush appends nothing new
-    lines = [l for l in open(path, encoding="utf-8").read().splitlines() if l]
+    lines = [ln for ln in open(path, encoding="utf-8").read().splitlines() if ln]
     assert len(lines) == 1
     assert '"kind":"span"' in lines[0]
 

@@ -1,6 +1,5 @@
 """Tests for JSON envelopes and out-of-order filtering."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

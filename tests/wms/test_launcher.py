@@ -3,7 +3,7 @@
 import pytest
 
 from repro.apps import ConstantModel, IterativeApp
-from repro.cluster import Allocation, ResourceSet, summit
+from repro.cluster import Allocation, summit
 from repro.errors import LaunchError
 from repro.sim import SimEngine
 from repro.wms import CouplingType, DependencySpec, Savanna, TaskSpec, TaskState, WorkflowSpec

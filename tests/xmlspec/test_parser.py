@@ -220,3 +220,55 @@ class TestScenarioXml:
         spec = parse_dyflow_xml(LAMMPS_XML)
         assert spec.policies["RESTART_ON_FAILURE"].threshold == 128.0
         assert spec.sensors["STATUS"].source_type == "ERRORSTATUS"
+
+
+class TestStrictMode:
+    """``strict=True`` rejects rule task references that name nothing the
+    document monitors, acts on, assesses, or declares as a dependency —
+    the latent defect the default (lenient) mode silently accepts."""
+
+    UNMONITORED_RULE = """
+    <dyflow>
+      <monitor>
+        <sensors>
+          <sensor id="S" type="ADIOS2">
+            <group-by><group granularity="task" reduction-operation="MAX"/></group-by>
+          </sensor>
+        </sensors>
+        <monitor-tasks>
+          <monitor-task name="Sim" workflowId="W">
+            <use-sensor sensor-id="S" info="x"/>
+          </monitor-task>
+        </monitor-tasks>
+      </monitor>
+      <arbitration><rules><rule-for workflowId="W">
+        <task-priority name="Ghost" priority="3"/>
+      </rule-for></rules></arbitration>
+    </dyflow>"""
+
+    def test_default_mode_accepts_unmonitored_rule_task(self):
+        spec = parse_dyflow_xml(self.UNMONITORED_RULE)
+        assert spec.rules["W"].task_priorities == {"Ghost": 3}
+
+    def test_strict_mode_rejects_unmonitored_rule_task(self):
+        with pytest.raises(XmlSpecError, match="Ghost"):
+            parse_dyflow_xml(self.UNMONITORED_RULE, strict=True)
+
+    def test_strict_mode_accepts_monitored_rule_task(self):
+        xml = self.UNMONITORED_RULE.replace('name="Ghost"', 'name="Sim"')
+        spec = parse_dyflow_xml(xml, strict=True)
+        assert spec.rules["W"].task_priorities == {"Sim": 3}
+
+    def test_strict_mode_accepts_dependency_endpoint(self):
+        xml = self.UNMONITORED_RULE.replace(
+            '<task-priority name="Ghost" priority="3"/>',
+            '<task-priority name="Ana" priority="3"/>'
+            '<task-dep name="Ana" parent="Sim" type="TIGHT"/>',
+        )
+        spec = parse_dyflow_xml(xml, strict=True)
+        assert spec.rules["W"].task_priorities == {"Ana": 3}
+
+    def test_paper_documents_pass_strict_mode(self):
+        from repro.experiments import GRAY_SCOTT_XML, LAMMPS_XML, XGC_XML
+        for xml in (XGC_XML, GRAY_SCOTT_XML, LAMMPS_XML):
+            parse_dyflow_xml(xml, strict=True)

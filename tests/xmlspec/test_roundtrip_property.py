@@ -52,7 +52,9 @@ positive = st.floats(min_value=0.01, max_value=1e5, allow_nan=False)
 
 @st.composite
 def resilience_specs(draw):
-    maybe = lambda strat: draw(st.one_of(st.none(), strat))
+    def maybe(strat):
+        return draw(st.one_of(st.none(), strat))
+
     return ResilienceSpec(
         retry=maybe(st.builds(
             RetryPolicy,
@@ -267,8 +269,10 @@ class TestFixedPoint:
         assert back.policies == spec.policies
         # apply-policy elements are regrouped under per-workflow
         # <apply-on> blocks on write, so compare as a multiset.
-        app_key = lambda a: (a.workflow_id, a.policy_id, a.act_on_tasks, a.assess_task,
-                             tuple(sorted(a.action_params.items(), key=repr)))
+        def app_key(a):
+            return (a.workflow_id, a.policy_id, a.act_on_tasks, a.assess_task,
+                    tuple(sorted(a.action_params.items(), key=repr)))
+
         assert sorted(map(app_key, back.applications), key=repr) == \
             sorted(map(app_key, spec.applications), key=repr)
         assert back.rules == spec.rules
@@ -278,7 +282,10 @@ class TestFixedPoint:
         assert back.observability == spec.observability
         # monitor-tasks are regrouped by (task, workflow, source) on
         # write; with unique tasks the binding set is order-stable.
-        key = lambda m: (m.task, m.sensor_id, m.info_source, m.info, tuple(sorted(m.params.items(), key=repr)))
+        def key(m):
+            return (m.task, m.sensor_id, m.info_source, m.info,
+                    tuple(sorted(m.params.items(), key=repr)))
+
         assert sorted(map(key, back.monitor_tasks), key=repr) == \
             sorted(map(key, spec.monitor_tasks), key=repr)
 

@@ -1,12 +1,11 @@
 """Round-trip property: parse(write(spec)) == spec."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import ActionType
 from repro.core.policy import PolicyApplication, PolicySpec
-from repro.core.sensors import GroupBySpec, JoinSpec, SensorSpec
+from repro.core.sensors import GroupBySpec, SensorSpec
 from repro.wms.spec import CouplingType, DependencySpec
 from repro.xmlspec import DyflowSpec, RuleSpec, MonitorTaskSpec, parse_dyflow_xml, write_dyflow_xml
 
