@@ -1,0 +1,149 @@
+"""Fabric fault sweep: Monitor-transport loss vs delivery and staleness.
+
+Sweeps the fabric's per-copy drop probability (with duplication and
+reordering riding along, plus one timed partition window at the heavier
+loss rates) over the Gray-Scott scenario.  The figures of merit are the
+delivery ledger — sent / retried / shed / duplicate-suppressed — and
+the p95 ingest staleness the Decision stage plans on: loss costs
+retransmit traffic and data age, but the ack/retransmit layer keeps the
+control loop fed and the workflow finishing at every swept rate.
+
+Runs as a pytest benchmark (``pytest benchmarks/bench_fabric_faults.py``)
+or standalone (``python benchmarks/bench_fabric_faults.py [--smoke]``);
+both write ``BENCH_fabric_faults.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.experiments import run_gray_scott_experiment
+from repro.journal import scenario_fingerprint
+
+try:
+    from benchmarks.conftest import emit, write_bench
+except ModuleNotFoundError:  # standalone: python benchmarks/bench_fabric_faults.py
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    from benchmarks.conftest import emit, write_bench
+
+SEED = 7
+# (drop probability, partition windows "start:duration;...")
+SWEEP = [0.0, 0.05, 0.10, 0.20]
+PARTITION_FROM = 0.10  # rates >= this also get a 30 s partition window
+PARTITION = (600.0, 30.0)
+
+
+def chaos_xml(drop: float) -> str:
+    windows = ""
+    if drop >= PARTITION_FROM:
+        windows = (
+            f'<partition start="{PARTITION[0]!r}" duration="{PARTITION[1]!r}"/>'
+        )
+    return (
+        "<resilience><network "
+        'latency="0.2" jitter="0.1" '
+        f'drop-prob="{drop!r}" dup-prob="0.05" reorder-prob="0.05" '
+        'ack-timeout="2.0" max-retransmits="5" '
+        'ingress-capacity="64" drain-per-tick="32" '
+        'stale-after="20.0" degrade-after="3" recover-after="3">'
+        f"{windows}</network></resilience>"
+    )
+
+
+def run_point(drop: float, seed: int = SEED) -> dict:
+    result = run_gray_scott_experiment(xml_extra=chaos_xml(drop), seed=seed)
+    fab = result.meta["fabric"]
+    links, server = fab["links"], fab["server"]
+    return {
+        "drop_prob": drop,
+        "partition": drop >= PARTITION_FROM,
+        "makespan": result.makespan,
+        "sent": links["sent"],
+        # Unique envelopes the Decision stage actually saw: receive()
+        # calls minus the retransmit/dup copies the dedup filter caught.
+        "delivered": server["received"] - server["duplicates"],
+        "dropped": links["dropped"] + links["partition_dropped"],
+        "retried": links["retransmits"],
+        "gave_up": links["gave_up"],
+        "shed": server["shed_sensor"] + server["shed_health"],
+        "duplicates_suppressed": server["duplicates"],
+        "degraded_entered": fab["degraded_entered"],
+        "staleness_p95": fab["staleness_p95"],
+        "fingerprint": scenario_fingerprint(result),
+    }
+
+
+def run_sweep(rates=SWEEP) -> list[dict]:
+    return [run_point(d) for d in rates]
+
+
+def report(rows: list[dict], smoke: bool = False) -> dict:
+    lines = [
+        f"{'drop':>6} {'part':>5} {'sent':>6} {'deliv':>6} {'retry':>6} "
+        f"{'shed':>5} {'dup':>4} {'p95 stale':>10} {'makespan':>9}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['drop_prob']:>6.2f} {str(r['partition']):>5} {r['sent']:>6} "
+            f"{r['delivered']:>6} {r['retried']:>6} {r['shed']:>5} "
+            f"{r['duplicates_suppressed']:>4} {r['staleness_p95']:>10.2f} "
+            f"{r['makespan']:>9.0f}"
+        )
+    emit("Fabric fault sweep — delivery vs loss rate", lines)
+    return write_bench(
+        "fabric_faults",
+        {"machine": "summit", "seed": SEED, "smoke": smoke,
+         "drop_sweep": [r["drop_prob"] for r in rows],
+         "partition": {"start": PARTITION[0], "duration": PARTITION[1],
+                       "from_drop": PARTITION_FROM}},
+        {"sweep": [{k: v for k, v in r.items() if k != "fingerprint"}
+                   for r in rows]},
+    )
+
+
+def check(rows: list[dict]) -> None:
+    clean = rows[0]
+    assert clean["drop_prob"] == 0.0
+    assert clean["retried"] == 0 and clean["dropped"] == 0
+    for r in rows:
+        # The workflow finishes under every swept loss rate.
+        assert r["makespan"] > 0
+    lossy = [r for r in rows if r["drop_prob"] > 0]
+    if lossy:
+        # Loss costs retransmit traffic and data age.
+        assert all(r["retried"] > 0 for r in lossy)
+        assert lossy[-1]["staleness_p95"] >= clean["staleness_p95"]
+
+
+def test_fabric_fault_sweep(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    check(rows)
+    benchmark.extra_info["sweep"] = [
+        {"drop_prob": r["drop_prob"], "delivered": r["delivered"],
+         "retried": r["retried"], "staleness_p95": round(r["staleness_p95"], 3)}
+        for r in rows
+    ]
+    report(rows)
+
+
+def test_fabric_sweep_is_deterministic(benchmark):
+    a, b = benchmark.pedantic(
+        lambda: (run_point(0.10), run_point(0.10)), rounds=1, iterations=1
+    )
+    emit("Fabric fault sweep — fixed-seed replay",
+         [f"run 1: {a['fingerprint']}", f"run 2: {b['fingerprint']}"])
+    assert a == b
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    rates = [0.0, 0.10] if smoke else SWEEP
+    rows = run_sweep(rates)
+    check(rows)
+    report(rows, smoke=smoke)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -60,6 +60,14 @@ from repro.core import (
     SuggestedAction,
 )
 from repro.errors import ReproError
+from repro.fabric import (
+    BoundedShedQueue,
+    DegradedModeController,
+    FabricLink,
+    LinkOverride,
+    NetworkSpec,
+    PartitionWindow,
+)
 from repro.experiments import (
     GRAY_SCOTT_XML,
     LAMMPS_XML,
@@ -199,6 +207,13 @@ __all__ = [
     "CheckpointSpec",
     "FaultModelSpec",
     "ChaosEngine",
+    # monitor fabric
+    "NetworkSpec",
+    "PartitionWindow",
+    "LinkOverride",
+    "FabricLink",
+    "DegradedModeController",
+    "BoundedShedQueue",
     # crash recovery
     "Journal",
     "JournalSpec",

@@ -10,12 +10,17 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.core.actions import SuggestedAction
+from repro.core.actions import ActionType, SuggestedAction
 from repro.core.events import MetricUpdate
 from repro.core.policy import PolicyApplication, PolicyRuntime, PolicySpec
 from repro.errors import PolicyError
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.util.jsonmsg import Envelope, SequenceTracker
+
+# Actions that survive degraded mode: failure recovery must proceed even
+# on stale data, but performance tuning (resizing, variant switches,
+# reconfiguration) on old pace numbers just thrashes the allocation.
+ESSENTIAL_ACTIONS = frozenset({ActionType.STOP, ActionType.START, ActionType.RESTART})
 
 
 class DecisionStage:
@@ -27,6 +32,10 @@ class DecisionStage:
         self._seq = SequenceTracker()
         self.updates_seen = 0
         self.updates_matched = 0
+        # Staleness-aware degraded mode (set by the fabric's
+        # DegradedModeController through the driver).
+        self.degraded = False
+        self.suggestions_gated = 0
         self.tracer: Tracer = NULL_TRACER
 
     def set_tracer(self, tracer: Tracer) -> None:
@@ -82,6 +91,28 @@ class DecisionStage:
                     hist.observe(max(0.0, now - s.trigger_time))
         return suggestions
 
+    def set_degraded(self, active: bool) -> None:
+        """Toggle degraded mode (monitor data stale — see repro.fabric)."""
+        self.degraded = bool(active)
+
+    def gate(self, suggestions: list[SuggestedAction]) -> list[SuggestedAction]:
+        """Apply degraded-mode gating to one tick's suggestion batch.
+
+        Called by the live driver *after* :meth:`tick`, never during WAL
+        replay: gating filters only the emitted batch and touches no
+        policy-runtime state, so replayed ticks stay bit-identical
+        regardless of the historical degraded flag.
+        """
+        if not self.degraded or not suggestions:
+            return suggestions
+        kept = [s for s in suggestions if s.action in ESSENTIAL_ACTIONS]
+        gated = len(suggestions) - len(kept)
+        if gated:
+            self.suggestions_gated += gated
+            if self.tracer.enabled:
+                self.tracer.metrics.counter("decision.suggestions_gated").inc(gated)
+        return kept
+
     def tick_envelope(self, now: float) -> Envelope | None:
         """Like :meth:`tick` but packaged as the single JSON message the
         Decision module sends to Arbitration."""
@@ -131,6 +162,8 @@ class DecisionStage:
             "seq": self._seq.state_dict(),
             "updates_seen": self.updates_seen,
             "updates_matched": self.updates_matched,
+            "degraded": self.degraded,
+            "suggestions_gated": self.suggestions_gated,
             "runtimes": [rt.state_dict() for rt in self._runtimes],
         }
 
@@ -146,5 +179,7 @@ class DecisionStage:
         self._seq.load_state_dict(state["seq"])
         self.updates_seen = int(state["updates_seen"])
         self.updates_matched = int(state["updates_matched"])
+        self.degraded = bool(state.get("degraded", False))
+        self.suggestions_gated = int(state.get("suggestions_gated", 0))
         for rt, rt_state in zip(self._runtimes, runtimes):
             rt.load_state_dict(rt_state)

@@ -14,15 +14,24 @@ envelopes over real queues.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.cluster.machine import MachinePerf
 from repro.core.events import MetricUpdate
 from repro.core.sensors.base import SensorInstance
 from repro.errors import SensorError
+from repro.telemetry.metrics import LatencyHistogram
 from repro.telemetry.tracer import NULL_TRACER, Tracer
-from repro.util.jsonmsg import Envelope, OutOfOrderFilter, SequenceTracker
+from repro.util.jsonmsg import DedupFilter, Envelope, OutOfOrderFilter, SequenceTracker
+
+if TYPE_CHECKING:
+    from repro.fabric.spec import NetworkSpec
+
+# The observability health engine's pseudo-task name (kept in sync with
+# repro.observability.health.HEALTH_TASK; importing it would cycle).
+_HEALTH_TASK = "__dyflow__"
 
 
 @dataclass
@@ -157,7 +166,7 @@ class MonitorServer:
         on_updates: Callable[[list[MetricUpdate]], None] | None = None,
         record_history: bool = False,
     ) -> None:
-        self._filter = OutOfOrderFilter()
+        self._filter: OutOfOrderFilter | DedupFilter = OutOfOrderFilter()
         self._on_updates = on_updates
         self.received = 0
         self.forwarded = 0
@@ -168,9 +177,94 @@ class MonitorServer:
         self.last_seen: dict[str, float] = {}
         self.tracer: Tracer = NULL_TRACER
         self._clock: Callable[[], float] | None = None
+        # Fabric mode (configure_fabric): bounded ingress queue with
+        # priority-aware shedding, seq-based dedup, ingest staleness.
+        self._network: "NetworkSpec | None" = None
+        self._ingress: deque[Envelope] = deque()
+        self.offered = 0
+        self.shed_sensor = 0
+        self.shed_health = 0
+        self.ingest_staleness = LatencyHistogram("monitor.ingest.staleness")
 
     def set_sink(self, on_updates: Callable[[list[MetricUpdate]], None]) -> None:
         self._on_updates = on_updates
+
+    # -- fabric mode ---------------------------------------------------------------
+    def configure_fabric(self, network: "NetworkSpec") -> None:
+        """Put the server behind a :class:`~repro.fabric.link.FabricLink`.
+
+        Swaps the out-of-order filter for seq-based dedup (retransmitted
+        and reordered envelopes are *expected*, only true duplicates
+        drop) and arms the bounded ingress queue.  Call before any
+        envelope arrives — the filters' histories are not migrated.
+        """
+        if self._filter.accepted or self._filter.dropped:
+            raise SensorError("configure_fabric must run before the first envelope")
+        self._network = network
+        self._filter = DedupFilter()
+
+    @property
+    def fabric_enabled(self) -> bool:
+        return self._network is not None
+
+    @property
+    def duplicates(self) -> int:
+        """Envelopes rejected as already-delivered (fabric dedup mode)."""
+        return self._filter.duplicates if isinstance(self._filter, DedupFilter) else 0
+
+    @property
+    def ingress_depth(self) -> int:
+        return len(self._ingress)
+
+    @staticmethod
+    def _is_health(env: Envelope) -> bool:
+        updates = env.payload.get("updates", [])
+        return bool(updates) and all(u.get("task") == _HEALTH_TASK for u in updates)
+
+    def offer(self, env: Envelope) -> bool:
+        """Fabric ingress admission; True means queued (and worth acking).
+
+        When the queue is full the oldest SENSOR envelope is shed first
+        (freshness beats completeness for pace data); an arriving SENSOR
+        envelope finding a queue full of HEALTH updates is itself
+        rejected — unacked, so the client's retransmit timer becomes the
+        backpressure signal.
+        """
+        if self._network is None:
+            raise SensorError("offer() requires configure_fabric()")
+        self.offered += 1
+        cap = self._network.ingress_capacity
+        if cap and len(self._ingress) >= cap:
+            victim = next((e for e in self._ingress if not self._is_health(e)), None)
+            if victim is not None:
+                self._ingress.remove(victim)
+                self.shed_sensor += 1
+            elif self._is_health(env):
+                self._ingress.popleft()
+                self.shed_health += 1
+            else:
+                self.shed_sensor += 1
+                if self.tracer.enabled:
+                    self.tracer.metrics.counter("monitor.envelopes_shed").inc()
+                return False
+            if self.tracer.enabled:
+                self.tracer.metrics.counter("monitor.envelopes_shed").inc()
+        self._ingress.append(env)
+        return True
+
+    def take_ingress(self) -> list[Envelope]:
+        """Pop this tick's drain batch (bounded by ``drain_per_tick``)."""
+        if self._network is None:
+            return []
+        budget = self._network.drain_per_tick
+        n = len(self._ingress) if budget == 0 else min(budget, len(self._ingress))
+        return [self._ingress.popleft() for _ in range(n)]
+
+    def note_staleness(self, age: float) -> None:
+        """Record one envelope's ingest staleness (now - envelope.time)."""
+        self.ingest_staleness.observe(age)
+        if self.tracer.enabled:
+            self.tracer.metrics.histogram("monitor.ingest.staleness").observe(age)
 
     def set_tracer(self, tracer: Tracer, clock: Callable[[], float] | None = None) -> None:
         """Attach a tracer; *clock* (runtime time) enables ingest-latency metrics."""
@@ -220,21 +314,49 @@ class MonitorServer:
 
         The server cannot know which sensors a task feeds, so it resets
         every sender epoch — strictly safe: it only widens what the
-        filter will accept going forward.
+        filter will accept going forward.  In fabric mode the dedup
+        filter keeps its memory instead: Monitor clients survive task
+        restarts and never renumber, and forgetting seen seqs would
+        re-admit retransmitted copies as fresh data (double delivery).
         """
-        for sender in list(self._filter._highest):
-            self._filter.reset(sender)
+        if self.fabric_enabled:
+            return
+        self._filter.reset_all()
 
     # -- crash recovery ------------------------------------------------------
+    def fabric_state_dict(self) -> dict:
+        """The ingress-side state the tick barrier journals in fabric mode.
+
+        The queue itself is journaled here (not rebuilt from ``obs``
+        records: those are appended at *drain*, so offered-but-undrained
+        envelopes exist only in this snapshot).  The ingest-staleness
+        histogram is telemetry, not state — it is not journaled.
+        """
+        return {
+            "queue": [e.to_json() for e in self._ingress],
+            "offered": self.offered,
+            "shed_sensor": self.shed_sensor,
+            "shed_health": self.shed_health,
+        }
+
+    def load_fabric_state(self, state: dict) -> None:
+        self._ingress = deque(Envelope.from_json(s) for s in state["queue"])
+        self.offered = int(state["offered"])
+        self.shed_sensor = int(state["shed_sensor"])
+        self.shed_health = int(state["shed_health"])
+
     def state_dict(self) -> dict:
         """Full server state; history included only when recorded."""
-        return {
+        state = {
             "filter": self._filter.state_dict(),
             "received": self.received,
             "forwarded": self.forwarded,
             "last_seen": dict(self.last_seen),
             "history": [u.to_dict() for u in self.history] if self.record_history else [],
         }
+        if self.fabric_enabled:
+            state["fabric"] = self.fabric_state_dict()
+        return state
 
     def load_state_dict(self, state: dict) -> None:
         self._filter.load_state_dict(state["filter"])
@@ -242,3 +364,5 @@ class MonitorServer:
         self.forwarded = int(state["forwarded"])
         self.last_seen = {k: float(v) for k, v in state["last_seen"].items()}
         self.history = [MetricUpdate.from_dict(d) for d in state.get("history", [])]
+        if self.fabric_enabled and state.get("fabric") is not None:
+            self.load_fabric_state(state["fabric"])

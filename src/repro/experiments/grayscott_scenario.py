@@ -264,6 +264,25 @@ def run_gray_scott_experiment(
     makespan = execute_scenario(engine, launcher, orch, max_time=4 * limit, stop_when=gs_done)
     if orch_box:
         orch = orch_box[0]
+    fabric_meta = None
+    if orch is not None and getattr(orch, "network", None) is not None:
+        link_counters: dict[str, int] = {}
+        for link in orch.links.values():
+            for name in link._COUNTERS:
+                link_counters[name] = link_counters.get(name, 0) + getattr(link, name)
+        fabric_meta = {
+            "links": link_counters,
+            "server": {
+                "offered": orch.server.offered,
+                "received": orch.server.received,
+                "duplicates": orch.server.duplicates,
+                "shed_sensor": orch.server.shed_sensor,
+                "shed_health": orch.server.shed_health,
+            },
+            "degraded_entered": orch.degrade.entered,
+            "degraded_exited": orch.degrade.exited,
+            "staleness_p95": orch.server.ingest_staleness.p95,
+        }
     return ScenarioResult(
         name="gray-scott",
         machine=machine,
@@ -281,5 +300,6 @@ def run_gray_scott_experiment(
             "config": config,
             "crashes": list(crashes),
             "health_alerts": list(orch.health.alerts) if orch is not None and orch.health is not None else [],
+            "fabric": fabric_meta,
         },
     )

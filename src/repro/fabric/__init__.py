@@ -1,0 +1,41 @@
+"""Monitor fabric: the lossy-network transport model and its defenses.
+
+The paper's Monitor stage crosses the machine interconnect; this package
+makes that crossing a first-class, faultable transport:
+
+* :mod:`repro.fabric.spec` — :class:`NetworkSpec`, the XML-configurable
+  fault model (latency/jitter, drop, duplicate, reorder, partition
+  windows) plus reliability, backpressure and staleness knobs.
+* :mod:`repro.fabric.link` — :class:`FabricLink`, the per-client
+  transport state machine: ack/retransmit with exponential backoff, a
+  bounded send buffer, and a circuit breaker, all on named RNG streams.
+* :mod:`repro.fabric.degraded` — :class:`DegradedModeController`,
+  staleness-driven degraded planning with HealthAlert transitions.
+* :mod:`repro.fabric.queueing` — :class:`BoundedShedQueue`, the bounded
+  oldest-first-shed queue used by the threaded driver.
+
+See ``docs/fabric.md`` for the protocol and semantics.
+"""
+
+from repro.fabric.degraded import DegradedModeController
+from repro.fabric.link import FabricLink, fabric_streams
+from repro.fabric.queueing import BoundedShedQueue
+from repro.fabric.spec import (
+    HEALTH_TASK,
+    LinkOverride,
+    LinkProfile,
+    NetworkSpec,
+    PartitionWindow,
+)
+
+__all__ = [
+    "BoundedShedQueue",
+    "DegradedModeController",
+    "FabricLink",
+    "HEALTH_TASK",
+    "LinkOverride",
+    "LinkProfile",
+    "NetworkSpec",
+    "PartitionWindow",
+    "fabric_streams",
+]

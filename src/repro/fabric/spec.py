@@ -1,0 +1,210 @@
+"""Network transport model configuration (XML ``<resilience><network>``).
+
+The Monitor stage is a client/server fabric crossing the machine
+interconnect (paper §3/Fig. 2).  :class:`NetworkSpec` describes that
+transport: a deterministic fault model (latency/jitter, drop, duplicate,
+reorder, timed partition windows), the client-side reliability layer
+(ack/retransmit with exponential backoff, bounded send buffer, circuit
+breaker), the server-side backpressure knobs (bounded ingress queue,
+priority-aware shedding, per-tick drain budget), and the staleness
+thresholds that drive the Decision stage's degraded mode.
+
+Per-link overrides (:class:`LinkOverride`) let individual Monitor
+clients see different fault profiles — e.g. one client on a congested
+switch — while :class:`PartitionWindow` models timed network splits that
+silently eat traffic in both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import ResilienceError
+
+# The observability health engine publishes its pseudo-task updates
+# under this task name (repro.observability.health.HEALTH_TASK); the
+# ingress queue sheds ordinary SENSOR samples before these.
+HEALTH_TASK = "__dyflow__"
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A timed network split: traffic on the affected link(s) is dropped.
+
+    ``link`` limits the window to one Monitor client's link; ``None``
+    partitions every link (the launch node loses the interconnect).
+    """
+
+    start: float
+    duration: float
+    link: str | None = None
+
+    def validate(self) -> None:
+        if self.start < 0:
+            raise ResilienceError(f"partition start must be >= 0, got {self.start}")
+        if self.duration <= 0:
+            raise ResilienceError(f"partition duration must be > 0, got {self.duration}")
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.start + self.duration
+
+
+@dataclass(frozen=True)
+class LinkOverride:
+    """Per-client overrides of the default fault profile (``None`` = inherit)."""
+
+    client: str
+    latency: float | None = None
+    jitter: float | None = None
+    drop_prob: float | None = None
+    dup_prob: float | None = None
+    reorder_prob: float | None = None
+    reorder_delay: float | None = None
+
+    def validate(self) -> None:
+        if not self.client:
+            raise ResilienceError("link override needs a client id")
+        for name in ("latency", "jitter", "reorder_delay"):
+            v = getattr(self, name)
+            if v is not None and v < 0:
+                raise ResilienceError(f"link {self.client!r}: {name} must be >= 0, got {v}")
+        for name in ("drop_prob", "dup_prob", "reorder_prob"):
+            v = getattr(self, name)
+            if v is not None and not 0.0 <= v < 1.0:
+                raise ResilienceError(f"link {self.client!r}: {name} must be in [0, 1), got {v}")
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """The resolved fault profile one :class:`FabricLink` runs with."""
+
+    latency: float
+    jitter: float
+    drop_prob: float
+    dup_prob: float
+    reorder_prob: float
+    reorder_delay: float
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """The complete Monitor-fabric transport model.
+
+    Fault model (per link, overridable via ``links``):
+        latency/jitter: transit delay is ``latency + U*jitter``;
+        drop_prob/dup_prob/reorder_prob: per-copy Bernoulli events;
+        reorder_delay: extra delay ``reorder_delay*(1+U)`` a reordered
+        copy suffers, letting later envelopes overtake it.
+
+    Reliability (client side):
+        ack_timeout: base retransmit timeout; attempt *k* waits
+        ``min(ack_timeout * retransmit_factor**k, retransmit_max)``
+        scaled by ``1 + U*retransmit_jitter``;
+        max_retransmits: retransmit budget per envelope (0 = fire and
+        forget: no send buffer, no acks);
+        send_buffer: unacked-envelope cap; the oldest entry is evicted
+        when full;
+        breaker_failures: consecutive give-ups that open the circuit
+        breaker (0 disables); while open for ``breaker_reset`` seconds
+        new sends are shed at the client.
+
+    Backpressure (server side):
+        ingress_capacity: bounded ingress queue (0 = unbounded);
+        drain_per_tick: envelopes processed per orchestrator tick
+        (0 = drain everything).
+
+    Staleness / degraded mode:
+        stale_after: per-task data age (vs ``MonitorServer.last_seen``)
+        past which a tick counts as stale (0 disables degraded mode);
+        degrade_after/recover_after: consecutive stale/fresh ticks to
+        enter/leave degraded mode.
+    """
+
+    enabled: bool = True
+    latency: float = 0.0
+    jitter: float = 0.0
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    reorder_prob: float = 0.0
+    reorder_delay: float = 0.5
+    ack_timeout: float = 2.0
+    ack_drop_prob: float = 0.0
+    max_retransmits: int = 5
+    retransmit_factor: float = 2.0
+    retransmit_max: float = 30.0
+    retransmit_jitter: float = 0.25
+    send_buffer: int = 256
+    breaker_failures: int = 0
+    breaker_reset: float = 60.0
+    ingress_capacity: int = 0
+    drain_per_tick: int = 0
+    stale_after: float = 0.0
+    degrade_after: int = 3
+    recover_after: int = 3
+    partitions: tuple[PartitionWindow, ...] = ()
+    links: tuple[LinkOverride, ...] = ()
+
+    def validate(self) -> None:
+        for name in ("latency", "jitter", "reorder_delay"):
+            if getattr(self, name) < 0:
+                raise ResilienceError(f"network {name} must be >= 0")
+        for name in ("drop_prob", "dup_prob", "reorder_prob", "ack_drop_prob"):
+            if not 0.0 <= getattr(self, name) < 1.0:
+                raise ResilienceError(
+                    f"network {name} must be in [0, 1), got {getattr(self, name)}"
+                )
+        if self.ack_timeout <= 0:
+            raise ResilienceError(f"ack_timeout must be > 0, got {self.ack_timeout}")
+        if self.max_retransmits < 0:
+            raise ResilienceError(f"max_retransmits must be >= 0, got {self.max_retransmits}")
+        if self.retransmit_factor < 1.0:
+            raise ResilienceError(
+                f"retransmit_factor must be >= 1, got {self.retransmit_factor}"
+            )
+        if self.retransmit_max <= 0:
+            raise ResilienceError(f"retransmit_max must be > 0, got {self.retransmit_max}")
+        if not 0.0 <= self.retransmit_jitter <= 1.0:
+            raise ResilienceError(
+                f"retransmit_jitter must be in [0, 1], got {self.retransmit_jitter}"
+            )
+        if self.send_buffer < 1:
+            raise ResilienceError(f"send_buffer must be >= 1, got {self.send_buffer}")
+        if self.breaker_failures < 0:
+            raise ResilienceError(f"breaker_failures must be >= 0, got {self.breaker_failures}")
+        if self.breaker_reset <= 0:
+            raise ResilienceError(f"breaker_reset must be > 0, got {self.breaker_reset}")
+        if self.ingress_capacity < 0 or self.drain_per_tick < 0:
+            raise ResilienceError("ingress_capacity and drain_per_tick must be >= 0")
+        if self.stale_after < 0:
+            raise ResilienceError(f"stale_after must be >= 0, got {self.stale_after}")
+        if self.degrade_after < 1 or self.recover_after < 1:
+            raise ResilienceError("degrade_after and recover_after must be >= 1")
+        seen: set[str] = set()
+        for lo in self.links:
+            lo.validate()
+            if lo.client in seen:
+                raise ResilienceError(f"duplicate link override for client {lo.client!r}")
+            seen.add(lo.client)
+        for w in self.partitions:
+            w.validate()
+
+    def profile_for(self, link_id: str) -> LinkProfile:
+        """Resolve the fault profile of one client's link (overrides applied)."""
+        override = next((lo for lo in self.links if lo.client == link_id), None)
+        values = {}
+        for f in fields(LinkProfile):
+            v = getattr(override, f.name) if override is not None else None
+            values[f.name] = getattr(self, f.name) if v is None else v
+        return LinkProfile(**values)
+
+    def partition_active(self, now: float, link_id: str | None = None) -> bool:
+        """True when *now* lies inside a window covering *link_id*.
+
+        ``link_id=None`` asks whether *any* partition is active.
+        """
+        for w in self.partitions:
+            if not w.active(now):
+                continue
+            if w.link is None or link_id is None or w.link == link_id:
+                return True
+        return False

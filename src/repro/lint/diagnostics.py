@@ -131,6 +131,10 @@ CODES: dict[str, CodeInfo] = {
         _spec("DY405", "telemetry sample fraction out of range"),
         _spec("DY406", "quarantine cooldown shorter than its window", Severity.WARNING),
         _spec("DY407", "resilience configuration out of range"),
+        _spec("DY408", "network drops messages but the retransmit budget is zero",
+              Severity.WARNING),
+        _spec("DY409", "partition window outlasts the watchdog heartbeat timeout",
+              Severity.WARNING),
         # -- determinism self-lint (DY5xx) ----------------------------------
         _self("DY501", "wall-clock call in a deterministic core path"),
         _self("DY502", "global or unseeded RNG outside repro.sim.rng"),

@@ -652,6 +652,32 @@ def _check_parameter_ranges(spec: DyflowSpec) -> list[Diagnostic]:
                 "their failures still count",
                 xml_path="resilience/quarantine",
             ))
+        net = res.network
+        if net is not None and net.enabled and net.max_retransmits == 0:
+            # Effective drop rate per link: the base profile or any override.
+            lossy = net.drop_prob > 0 or any(
+                lo.drop_prob is not None and lo.drop_prob > 0 for lo in net.links
+            )
+            if lossy:
+                out.append(make(
+                    "DY408",
+                    "network drop-prob is nonzero but max-retransmits is 0 "
+                    "(fire-and-forget); dropped Monitor envelopes are lost "
+                    "for good and never retransmitted",
+                    xml_path="resilience/network",
+                ))
+        if net is not None and net.enabled and res.watchdog is not None:
+            timeout = res.watchdog.heartbeat_timeout
+            for i, w in enumerate(net.partitions):
+                if w.duration > timeout > 0:
+                    out.append(make(
+                        "DY409",
+                        f"partition window of {w.duration}s outlasts the "
+                        f"watchdog heartbeat timeout ({timeout}s); healthy "
+                        "tasks behind the partition will be declared hung "
+                        "and killed",
+                        xml_path=f"resilience/network/partition[{i}]",
+                    ))
     if spec.journal is not None:
         out += _validate_part(spec.journal, "DY403", "journal")
     if spec.telemetry is not None:

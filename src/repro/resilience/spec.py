@@ -13,10 +13,14 @@ resilience API.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ResilienceError
+
+if TYPE_CHECKING:  # imported lazily to keep repro.resilience import-light
+    from repro.fabric.spec import NetworkSpec
 
 
 @dataclass(frozen=True)
@@ -197,7 +201,10 @@ class FaultModelSpec:
 class ResilienceSpec:
     """The complete resilience configuration (XML ``<resilience>``).
 
-    Every component is optional; ``None`` disables it.
+    Every component is optional; ``None`` disables it.  ``network`` is
+    the Monitor-fabric transport model (:mod:`repro.fabric`): lossy-link
+    faults, ack/retransmit reliability, server backpressure and the
+    staleness thresholds behind degraded planning.
     """
 
     retry: RetryPolicy | None = None
@@ -205,8 +212,12 @@ class ResilienceSpec:
     quarantine: QuarantineSpec | None = None
     checkpoint: CheckpointSpec | None = None
     faults: FaultModelSpec | None = None
+    network: "NetworkSpec | None" = None
 
     def validate(self) -> None:
-        for part in (self.retry, self.watchdog, self.quarantine, self.checkpoint, self.faults):
+        for part in (
+            self.retry, self.watchdog, self.quarantine,
+            self.checkpoint, self.faults, self.network,
+        ):
             if part is not None:
                 part.validate()

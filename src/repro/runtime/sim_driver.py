@@ -30,6 +30,7 @@ from repro.core.rules import ArbitrationRules
 from repro.core.sensors.base import SensorInstance, SensorSpec
 from repro.core.sensors.sources import make_source
 from repro.errors import DyflowError, JournalError
+from repro.fabric import DegradedModeController, FabricLink
 from repro.observability import (
     HealthEngine,
     ObservabilitySpec,
@@ -120,6 +121,23 @@ class DyflowOrchestrator:
         if spec is not None and spec.faults is not None and spec.faults.any_enabled:
             self.chaos = ChaosEngine(launcher, spec.faults)
             self.chaos.orchestrator = self
+        # Monitor fabric: each client's envelopes cross a FabricLink
+        # (lossy transport + ack/retransmit reliability), land in the
+        # server's bounded ingress queue, and are drained at the tick;
+        # ingest staleness drives the Decision stage's degraded mode.
+        self.network = spec.network if spec is not None else None
+        if self.network is not None and not self.network.enabled:
+            self.network = None
+        self.links: dict[str, FabricLink] = {}
+        self.degrade: DegradedModeController | None = None
+        if self.network is not None:
+            self.network.validate()
+            for c in self.clients:
+                self.links[c.client_id] = FabricLink(
+                    c.client_id, self.network, launcher.rng, tracer=tracer
+                )
+            self.server.configure_fabric(self.network)
+            self.degrade = DegradedModeController(self.network)
         # Crash-recovery machinery.  `journal` may be a JournalSpec (the
         # journal is opened at start()) or an already-open Journal.
         self._journal = None
@@ -141,8 +159,11 @@ class DyflowOrchestrator:
         self._tick_event = None
         self._barriers = 0
         self._delivery_ids = itertools.count()
-        # did -> (deliver-at, envelope, SimEvent): envelopes in transit.
-        self._inflight_deliveries: dict[int, tuple[float, Envelope, object]] = {}
+        # did -> (deliver-at, envelope, SimEvent, kind, link-id): data and
+        # ack copies in transit ("data" to the server, "ack" back to a link).
+        self._inflight_deliveries: dict[
+            int, tuple[float, Envelope, object, str, str | None]
+        ] = {}
 
     # -- bootstrap configuration ---------------------------------------------------
     def add_sensor(self, spec: SensorSpec) -> None:
@@ -313,15 +334,33 @@ class DyflowOrchestrator:
             span_ctx.__enter__()
         # Monitor: run sensors, deliver envelopes after their read lag.
         # The chaos engine may drop envelopes on the way (lossy
-        # client->server transport); the server's out-of-order filter
-        # absorbs the resulting sequence gaps.
+        # client->server transport); with a fabric configured each
+        # envelope additionally crosses its client's FabricLink (drop /
+        # dup / reorder / partition faults, ack-based retransmits).
         for client in self.clients:
+            link = self.links.get(client.client_id)
             for lag, env in client.collect(now):
                 if self.chaos is not None and self.chaos.drop_envelope(env):
                     continue
-                self._register_delivery(now + lag, env)
-        # Decision: evaluate due policies on data delivered so far.
-        suggestions = self.decision.tick(now)
+                if link is None:
+                    self._register_delivery(now + lag, env)
+                else:
+                    for at, copy in link.send(env, now, lag=lag):
+                        self._register_delivery(at, copy, kind="data", link=link.link_id)
+            if link is not None:
+                for at, copy in link.poll(now):
+                    self._register_delivery(at, copy, kind="data", link=link.link_id)
+        if self.network is not None:
+            self._drain_ingress(now)
+        if self.degrade is not None:
+            for alert in self.degrade.tick(now, self.server.last_seen):
+                if self.health is not None:
+                    self.health.alerts.append(alert)
+                self.tracer.point("health.alert", "health", **alert.to_dict())
+            self.decision.set_degraded(self.degrade.degraded)
+        # Decision: evaluate due policies on data delivered so far;
+        # degraded mode gates non-essential suggestions afterwards.
+        suggestions = self.decision.gate(self.decision.tick(now))
         # Arbitration: build a plan unless gated.
         plan = self.arbitration.arbitrate(suggestions, now)
         if span_ctx is not None:
@@ -354,19 +393,49 @@ class DyflowOrchestrator:
             self._crash()
 
     # -- envelope transit --------------------------------------------------------------
-    def _register_delivery(self, at: float, env: Envelope, seq: int | None = None) -> None:
+    def _register_delivery(
+        self,
+        at: float,
+        env: Envelope,
+        seq: int | None = None,
+        kind: str = "data",
+        link: str | None = None,
+    ) -> None:
         did = next(self._delivery_ids)
         ev = self.engine.call_at(at, lambda: self._deliver(did), name="delivery", seq=seq)
-        self._inflight_deliveries[did] = (at, env, ev)
+        self._inflight_deliveries[did] = (at, env, ev, kind, link)
 
     def _deliver(self, did: int) -> None:
         entry = self._inflight_deliveries.pop(did, None)
         if entry is None:
             return
-        _at, env, _ev = entry
-        if self._journal is not None and not self._journal.closed:
-            self._journal.append("obs", env=env.to_json())
-        self.server.receive(env)
+        _at, env, _ev, kind, link_id = entry
+        link = self.links.get(link_id) if link_id is not None else None
+        if kind == "ack":
+            if link is not None:
+                link.on_ack(env.sender, env.seq, self.engine.now)
+            return
+        if self.network is None:
+            if self._journal is not None and not self._journal.closed:
+                self._journal.append("obs", env=env.to_json())
+            self.server.receive(env)
+            return
+        # Fabric mode: admit into the bounded ingress queue; the tick
+        # drains it.  Only admitted envelopes are acked — a shed one
+        # stays unacked and rides the client's retransmit timer, which
+        # is the backpressure signal.  The journal records the envelope
+        # at drain time, so replay (receive only) needs no queue.
+        if self.server.offer(env) and link is not None:
+            ack_at = link.plan_ack(env, self.engine.now)
+            if ack_at is not None:
+                self._register_delivery(ack_at, env, kind="ack", link=link_id)
+
+    def _drain_ingress(self, now: float) -> None:
+        for env in self.server.take_ingress():
+            if self._journal is not None and not self._journal.closed:
+                self._journal.append("obs", env=env.to_json())
+            self.server.note_staleness(max(0.0, now - env.time))
+            self.server.receive(env)
 
     # -- journaling --------------------------------------------------------------------
     def _journal_barrier(self, now: float) -> None:
@@ -380,11 +449,17 @@ class DyflowOrchestrator:
             "watchdog": self.watchdog.state_dict() if self.watchdog is not None else None,
             "chaos": self.chaos.state_dict() if self.chaos is not None else None,
             "inflight": [
-                {"at": at, "seq": ev.heap_seq, "env": env.to_json()}
-                for at, env, ev in self._inflight_deliveries.values()
+                {"at": at, "seq": ev.heap_seq, "env": env.to_json(),
+                 "kind": kind, "link": link}
+                for at, env, ev, kind, link in self._inflight_deliveries.values()
             ],
             "next_tick": {"at": tick_ev.heap_time, "seq": tick_ev.heap_seq},
             "health": self.health.state_dict() if self.health is not None else None,
+            "fabric": {
+                "links": {lid: ln.state_dict() for lid, ln in self.links.items()},
+                "server": self.server.fabric_state_dict(),
+                "degraded": self.degrade.state_dict(),
+            } if self.network is not None else None,
         }
         self._journal.append("barrier", t=now, state=state)
         every = self._journal.spec.snapshot_every
@@ -444,7 +519,7 @@ class DyflowOrchestrator:
         if self._tick_event is not None:
             self._tick_event.cancel()
             self._tick_event = None
-        for _at, _env, ev in self._inflight_deliveries.values():
+        for _at, _env, ev, _kind, _link in self._inflight_deliveries.values():
             ev.cancel()
         self._inflight_deliveries = {}
         if self.watchdog is not None:
@@ -538,6 +613,18 @@ class DyflowOrchestrator:
             self.chaos.orchestrator = self
         if self.health is not None and b.get("health") is not None:
             self.health.load_state_dict(b["health"])
+        if self.network is not None and b.get("fabric") is not None:
+            fb = b["fabric"]
+            for lid, lstate in fb["links"].items():
+                link = self.links.get(lid)
+                if link is None:
+                    raise JournalError(
+                        f"journaled fabric link {lid!r} is not configured — drift"
+                    )
+                link.load_state_dict(lstate)
+            self.server.load_fabric_state(fb["server"])
+            self.degrade.load_state_dict(fb["degraded"])
+            self.decision.set_degraded(self.degrade.degraded)
 
         # Take over the journal (claims the next fencing epoch) and keep
         # the snapshot cadence aligned with the uninterrupted run.
@@ -557,7 +644,8 @@ class DyflowOrchestrator:
         self._inflight_deliveries = {}
         for item in b.get("inflight", []):
             self._register_delivery(
-                float(item["at"]), Envelope.from_json(item["env"]), seq=item.get("seq")
+                float(item["at"]), Envelope.from_json(item["env"]), seq=item.get("seq"),
+                kind=item.get("kind", "data"), link=item.get("link"),
             )
         nt = b["next_tick"]
         self._tick_event = self.engine.call_at(

@@ -31,6 +31,7 @@ from repro.core.sensors.base import SensorInstance, SensorSpec
 from repro.core.sensors.sources import make_source
 from repro.cluster.machine import MachinePerf
 from repro.errors import DyflowError
+from repro.fabric import BoundedShedQueue, DegradedModeController, FabricLink
 from repro.observability import (
     HealthEngine,
     ObservabilitySpec,
@@ -159,6 +160,7 @@ class ThreadedDyflow:
         observability: ObservabilitySpec | None = None,
         journal=None,
         preflight: str = "off",
+        queue_capacity: int = 64,
     ) -> None:
         from repro.lint.preflight import check_mode
 
@@ -179,7 +181,10 @@ class ThreadedDyflow:
         self._instances: dict[str, _LiveInstance] = {}
         self._incarnations: dict[str, int] = {}
         self._sensors: dict[str, SensorSpec] = {}
-        self._queue: "queue.Queue" = queue.Queue()
+        # Bounded Decision -> Arbitration hand-off: when Arbitration
+        # falls behind, the *oldest* suggestion batch is shed (newer
+        # batches supersede it) instead of growing memory without bound.
+        self._queue = BoundedShedQueue(queue_capacity)
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._t0 = time.perf_counter()
@@ -213,6 +218,24 @@ class ThreadedDyflow:
         self.retry_policy = resilience.retry if resilience is not None else None
         self.watchdog_spec = resilience.watchdog if resilience is not None else None
         self._rng = rng if rng is not None else RngRegistry(0)
+        # Monitor fabric on wall-clock time: the same FabricLink state
+        # machine the simulated driver uses, pumped by the monitor loop
+        # (transit copies wait in a pending list until their delivery
+        # time passes).  No determinism promise, like the rest of this
+        # driver.
+        self.network = resilience.network if resilience is not None else None
+        if self.network is not None and not self.network.enabled:
+            self.network = None
+        self.link: FabricLink | None = None
+        self.degrade: DegradedModeController | None = None
+        self._transit: list[tuple[float, Any]] = []   # (deliver_at, envelope)
+        self._acks: list[tuple[float, Any]] = []      # (deliver_at, envelope)
+        if self.network is not None:
+            self.link = FabricLink(
+                self.client.client_id, self.network, self._rng, tracer=self.tracer
+            )
+            self.server.configure_fabric(self.network)
+            self.degrade = DegradedModeController(self.network)
         self._retries_used: dict[str, int] = {}
         self.retry_exhausted: set[str] = set()
         self.retries: list[tuple[float, str, int]] = []       # (time, task, attempt)
@@ -492,6 +515,11 @@ class ThreadedDyflow:
             inst = self._instances.get(name)
             return inst.nworkers if inst else 0
 
+    @property
+    def suggestions_shed(self) -> int:
+        """Suggestion batches dropped by the bounded Decision->Arbitration queue."""
+        return self._queue.shed
+
     def _health_aggregates(self) -> dict[str, float]:
         with self._state_lock:
             running = len(self._instances)
@@ -508,17 +536,60 @@ class ThreadedDyflow:
             with self.tracer.span("monitor.collect", "monitor"):
                 with self.hub_lock:
                     envelopes = self.client.collect(self.now())
-                for _lag, envelope in envelopes:
-                    self.server.receive(envelope)  # thread-safe: decision.ingest is list ops
+                if self.link is None:
+                    for _lag, envelope in envelopes:
+                        self.server.receive(envelope)  # thread-safe: decision.ingest is list ops
+                else:
+                    self._pump_fabric(envelopes)
             if self.health is not None:
                 # Evaluate on the monitor thread so the health feed is
                 # only ever touched by the thread that also polls it.
                 self.health.tick(self.now())
             time.sleep(self.poll_interval)
 
+    def _pump_fabric(self, envelopes) -> None:
+        """One wall-clock pump of the lossy Monitor fabric.
+
+        The link state machine hands back (deliver_at, envelope) copies;
+        they wait in pending lists until their delivery time passes —
+        the wall-clock analogue of the simulated driver's event queue.
+        """
+        link = self.link
+        assert link is not None
+        now = self.now()
+        for lag, envelope in envelopes:
+            self._transit.extend(link.send(envelope, now, lag=lag))
+        for at, env in link.poll(now):
+            self._transit.append((at, env))
+        # Acks whose transit delay elapsed complete the retransmit cycle.
+        due_acks = [(at, env) for at, env in self._acks if at <= now]
+        self._acks = [(at, env) for at, env in self._acks if at > now]
+        for _at, env in sorted(due_acks, key=lambda p: (p[0], p[1].sender, p[1].seq)):
+            link.on_ack(env.sender, env.seq, now)
+        # Deliver due data copies into the server's bounded ingress.
+        due = [(at, env) for at, env in self._transit if at <= now]
+        self._transit = [(at, env) for at, env in self._transit if at > now]
+        for at, env in sorted(due, key=lambda p: (p[0], p[1].sender, p[1].seq)):
+            if self.server.offer(env):
+                ack_at = link.plan_ack(env, now)
+                if ack_at is not None:
+                    self._acks.append((ack_at, env))
+        # Drain the ingress queue (budgeted) into the real receive path.
+        for env in self.server.take_ingress():
+            self.server.note_staleness(max(0.0, now - env.time))
+            self.server.receive(env)
+        # Staleness-aware degraded planning.
+        if self.degrade is not None:
+            for alert in self.degrade.tick(now, self.server.last_seen):
+                if self.health is not None:
+                    self.health.alerts.append(alert)
+                if self.tracer.enabled:
+                    self.tracer.point("health.alert", "health", **alert.to_dict())
+            self.decision.set_degraded(self.degrade.degraded)
+
     def _decision_loop(self) -> None:
         while not self._stop.is_set():
-            suggestions = self.decision.tick(self.now())
+            suggestions = self.decision.gate(self.decision.tick(self.now()))
             if suggestions:
                 self._queue.put(suggestions)
             time.sleep(self.poll_interval)

@@ -3,7 +3,7 @@
 from repro.util.deprecation import reset_warned, warn_once
 from repro.util.ids import IdGenerator
 from repro.util.stats import RunningStats, SlidingWindow
-from repro.util.jsonmsg import Envelope, OutOfOrderFilter, SequenceTracker
+from repro.util.jsonmsg import DedupFilter, Envelope, OutOfOrderFilter, SequenceTracker
 from repro.util.validation import (
     check_in,
     check_nonneg,
@@ -17,6 +17,7 @@ __all__ = [
     "reset_warned",
     "RunningStats",
     "SlidingWindow",
+    "DedupFilter",
     "Envelope",
     "OutOfOrderFilter",
     "SequenceTracker",

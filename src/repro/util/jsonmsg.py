@@ -126,6 +126,15 @@ class OutOfOrderFilter:
         """Forget the sequence history of *sender* (sender restarted)."""
         self._highest.pop(sender, None)
 
+    def senders(self) -> tuple[str, ...]:
+        """Every sender with recorded sequence history, insertion-ordered."""
+        return tuple(self._highest)
+
+    def reset_all(self) -> None:
+        """Forget every sender's epoch; the drop/accept counters persist."""
+        for sender in self.senders():
+            self.reset(sender)
+
     def state_dict(self) -> dict[str, Any]:
         return {
             "highest": dict(self._highest),
@@ -135,5 +144,81 @@ class OutOfOrderFilter:
 
     def load_state_dict(self, state: dict[str, Any]) -> None:
         self._highest = {k: int(v) for k, v in state["highest"].items()}
+        self._dropped = int(state["dropped"])
+        self._accepted = int(state["accepted"])
+
+
+class DedupFilter:
+    """Exactly-once admission over a retransmitting, reordering transport.
+
+    Unlike :class:`OutOfOrderFilter` — which rejects any regression and
+    therefore also rejects retransmitted copies of envelopes that never
+    arrived — this filter accepts each (sender, seq) exactly once, in
+    any order.  Per sender it keeps a contiguous *floor* (every seq at
+    or below it was seen) plus the sparse set of seqs seen above it; the
+    floor advances as gaps fill in, so with acks/retransmits keeping
+    loss bounded the set stays tiny.  Same interface as
+    :class:`OutOfOrderFilter` so :class:`~repro.core.monitor.MonitorServer`
+    can host either.
+    """
+
+    def __init__(self) -> None:
+        self._floor: dict[str, int] = {}
+        self._seen: dict[str, set[int]] = {}
+        self._dropped = 0
+        self._accepted = 0
+
+    @property
+    def dropped(self) -> int:
+        """Number of messages rejected so far (all of them duplicates)."""
+        return self._dropped
+
+    @property
+    def duplicates(self) -> int:
+        """Alias of :attr:`dropped`: every rejection is a duplicate."""
+        return self._dropped
+
+    @property
+    def accepted(self) -> int:
+        return self._accepted
+
+    def accept(self, env: Envelope) -> bool:
+        """Return True the first time (sender, seq) is seen; else drop."""
+        floor = self._floor.get(env.sender, -1)
+        seen = self._seen.setdefault(env.sender, set())
+        if env.seq <= floor or env.seq in seen:
+            self._dropped += 1
+            return False
+        seen.add(env.seq)
+        while floor + 1 in seen:
+            floor += 1
+            seen.discard(floor)
+        self._floor[env.sender] = floor
+        self._accepted += 1
+        return True
+
+    def reset(self, sender: str) -> None:
+        """Forget *sender*'s history (the sender renumbered from zero)."""
+        self._floor.pop(sender, None)
+        self._seen.pop(sender, None)
+
+    def senders(self) -> tuple[str, ...]:
+        return tuple(self._floor)
+
+    def reset_all(self) -> None:
+        for sender in self.senders():
+            self.reset(sender)
+
+    def state_dict(self) -> dict[str, Any]:
+        return {
+            "floor": dict(self._floor),
+            "seen": {k: sorted(v) for k, v in self._seen.items()},
+            "dropped": self._dropped,
+            "accepted": self._accepted,
+        }
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        self._floor = {k: int(v) for k, v in state["floor"].items()}
+        self._seen = {k: {int(s) for s in v} for k, v in state["seen"].items()}
         self._dropped = int(state["dropped"])
         self._accepted = int(state["accepted"])

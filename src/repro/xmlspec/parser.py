@@ -9,6 +9,7 @@ from repro.core.actions import ActionType
 from repro.core.policy import PolicyApplication, PolicySpec
 from repro.core.sensors.base import GroupBySpec, JoinSpec, SensorSpec
 from repro.errors import XmlSpecError
+from repro.fabric.spec import LinkOverride, NetworkSpec, PartitionWindow
 from repro.journal.spec import JournalSpec
 from repro.observability.spec import AnomalySpec, ObservabilitySpec, SloSpec
 from repro.resilience.spec import (
@@ -294,13 +295,85 @@ def _bool_attr(el: ET.Element, attr: str, default: bool) -> bool:
     raise XmlSpecError(f"<{el.tag}> attribute {attr!r}: not a boolean: {raw!r}")
 
 
+def _opt_float_attr(el: ET.Element, attr: str) -> float | None:
+    """Like :func:`_float_attr` but with no default: absent means ``None``."""
+    raw = el.get(attr)
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise XmlSpecError(f"<{el.tag}> attribute {attr!r}: not a number: {raw!r}") from None
+
+
+def _parse_network(el: ET.Element) -> NetworkSpec:
+    """Parse one ``<network>`` element (the Monitor-fabric transport model)."""
+    _check_attrs(el, {
+        "enabled", "latency", "jitter", "drop-prob", "dup-prob",
+        "reorder-prob", "reorder-delay", "ack-timeout", "ack-drop-prob",
+        "max-retransmits", "retransmit-factor", "retransmit-max",
+        "retransmit-jitter", "send-buffer", "breaker-failures",
+        "breaker-reset", "ingress-capacity", "drain-per-tick",
+        "stale-after", "degrade-after", "recover-after",
+    })
+    partitions: list[PartitionWindow] = []
+    links: list[LinkOverride] = []
+    for child in el:
+        if child.tag == "partition":
+            _check_attrs(child, {"start", "duration", "link"})
+            partitions.append(PartitionWindow(
+                start=_float_attr(child, "start", 0.0),
+                duration=_float_attr(child, "duration", 0.0),
+                link=child.get("link"),
+            ))
+        elif child.tag == "link":
+            _check_attrs(child, {"client", "latency", "jitter", "drop-prob",
+                                 "dup-prob", "reorder-prob", "reorder-delay"})
+            links.append(LinkOverride(
+                client=_require(child, "client"),
+                latency=_opt_float_attr(child, "latency"),
+                jitter=_opt_float_attr(child, "jitter"),
+                drop_prob=_opt_float_attr(child, "drop-prob"),
+                dup_prob=_opt_float_attr(child, "dup-prob"),
+                reorder_prob=_opt_float_attr(child, "reorder-prob"),
+                reorder_delay=_opt_float_attr(child, "reorder-delay"),
+            ))
+        else:
+            raise XmlSpecError(f"unexpected <network> child <{child.tag}>")
+    return NetworkSpec(
+        enabled=_bool_attr(el, "enabled", True),
+        latency=_float_attr(el, "latency", 0.0),
+        jitter=_float_attr(el, "jitter", 0.0),
+        drop_prob=_float_attr(el, "drop-prob", 0.0),
+        dup_prob=_float_attr(el, "dup-prob", 0.0),
+        reorder_prob=_float_attr(el, "reorder-prob", 0.0),
+        reorder_delay=_float_attr(el, "reorder-delay", 0.5),
+        ack_timeout=_float_attr(el, "ack-timeout", 2.0),
+        ack_drop_prob=_float_attr(el, "ack-drop-prob", 0.0),
+        max_retransmits=_int_attr(el, "max-retransmits", 5),
+        retransmit_factor=_float_attr(el, "retransmit-factor", 2.0),
+        retransmit_max=_float_attr(el, "retransmit-max", 30.0),
+        retransmit_jitter=_float_attr(el, "retransmit-jitter", 0.25),
+        send_buffer=_int_attr(el, "send-buffer", 256),
+        breaker_failures=_int_attr(el, "breaker-failures", 0),
+        breaker_reset=_float_attr(el, "breaker-reset", 60.0),
+        ingress_capacity=_int_attr(el, "ingress-capacity", 0),
+        drain_per_tick=_int_attr(el, "drain-per-tick", 0),
+        stale_after=_float_attr(el, "stale-after", 0.0),
+        degrade_after=_int_attr(el, "degrade-after", 3),
+        recover_after=_int_attr(el, "recover-after", 3),
+        partitions=tuple(partitions),
+        links=tuple(links),
+    )
+
+
 def _parse_resilience(section: ET.Element, *, validate: bool = True) -> ResilienceSpec:
     """Parse one ``<resilience>`` section (every child optional)."""
-    known = {"retry", "watchdog", "quarantine", "checkpoint", "faults"}
+    known = {"retry", "watchdog", "quarantine", "checkpoint", "faults", "network"}
     for child in section:
         if child.tag not in known:
             raise XmlSpecError(f"unexpected <resilience> child <{child.tag}>")
-    retry = watchdog = quarantine = checkpoint = faults = None
+    retry = watchdog = quarantine = checkpoint = faults = network = None
     el = section.find("retry")
     if el is not None:
         _check_attrs(el, {"max-retries", "backoff-base", "backoff-factor",
@@ -351,12 +424,16 @@ def _parse_resilience(section: ET.Element, *, validate: bool = True) -> Resilien
             msg_drop_prob=_float_attr(el, "msg-drop-prob", 0.0),
             stage_drop_prob=_float_attr(el, "stage-drop-prob", 0.0),
         )
+    el = section.find("network")
+    if el is not None:
+        network = _parse_network(el)
     return ResilienceSpec(
         retry=retry,
         watchdog=watchdog,
         quarantine=quarantine,
         checkpoint=checkpoint,
         faults=faults,
+        network=network,
     )
 
 

@@ -168,6 +168,50 @@ def _write_resilience(root: ET.Element, spec: DyflowSpec) -> None:
                 "stage-drop-prob": repr(res.faults.stage_drop_prob),
             },
         )
+    if res.network is not None:
+        net = res.network
+        net_el = ET.SubElement(
+            section, "network",
+            attrib={
+                "enabled": "true" if net.enabled else "false",
+                "latency": repr(net.latency),
+                "jitter": repr(net.jitter),
+                "drop-prob": repr(net.drop_prob),
+                "dup-prob": repr(net.dup_prob),
+                "reorder-prob": repr(net.reorder_prob),
+                "reorder-delay": repr(net.reorder_delay),
+                "ack-timeout": repr(net.ack_timeout),
+                "ack-drop-prob": repr(net.ack_drop_prob),
+                "max-retransmits": str(net.max_retransmits),
+                "retransmit-factor": repr(net.retransmit_factor),
+                "retransmit-max": repr(net.retransmit_max),
+                "retransmit-jitter": repr(net.retransmit_jitter),
+                "send-buffer": str(net.send_buffer),
+                "breaker-failures": str(net.breaker_failures),
+                "breaker-reset": repr(net.breaker_reset),
+                "ingress-capacity": str(net.ingress_capacity),
+                "drain-per-tick": str(net.drain_per_tick),
+                "stale-after": repr(net.stale_after),
+                "degrade-after": str(net.degrade_after),
+                "recover-after": str(net.recover_after),
+            },
+        )
+        for w in net.partitions:
+            attrib = {"start": repr(w.start), "duration": repr(w.duration)}
+            if w.link is not None:
+                attrib["link"] = w.link
+            ET.SubElement(net_el, "partition", attrib=attrib)
+        for lo in net.links:
+            attrib = {"client": lo.client}
+            for field, xml_name in (
+                ("latency", "latency"), ("jitter", "jitter"),
+                ("drop_prob", "drop-prob"), ("dup_prob", "dup-prob"),
+                ("reorder_prob", "reorder-prob"), ("reorder_delay", "reorder-delay"),
+            ):
+                value = getattr(lo, field)
+                if value is not None:
+                    attrib[xml_name] = repr(value)
+            ET.SubElement(net_el, "link", attrib=attrib)
 
 
 def _write_telemetry(root: ET.Element, spec: DyflowSpec) -> None:

@@ -1,0 +1,160 @@
+"""FabricLink unit tests: faults, reliability protocol, crash round-trip."""
+
+from repro.fabric import FabricLink, NetworkSpec, PartitionWindow, fabric_streams
+from repro.sim.rng import RngRegistry
+from repro.util import Envelope
+
+
+def env(seq: int, sender: str = "c0", time: float = 0.0) -> Envelope:
+    return Envelope(kind="sensor-update", sender=sender, seq=seq, time=time,
+                    payload={"updates": []})
+
+
+def link(**kw) -> FabricLink:
+    kw.setdefault("retransmit_jitter", 0.0)
+    return FabricLink("c0", NetworkSpec(**kw), RngRegistry(0))
+
+
+class TestFaults:
+    def test_clean_wire_delivers_at_latency(self):
+        lk = link(latency=1.5, max_retransmits=0)
+        out = lk.send(env(0), now=10.0, lag=0.5)
+        assert out == [(12.0, env(0))]
+        assert lk.sent == 1 and lk.transmitted == 1
+
+    def test_certain_drop_loses_the_copy(self):
+        lk = link(drop_prob=0.999999, max_retransmits=0)
+        assert lk.send(env(0), 0.0) == []
+        assert lk.dropped == 1
+
+    def test_certain_dup_delivers_twice(self):
+        lk = link(dup_prob=0.999999, max_retransmits=0)
+        out = lk.send(env(0), 0.0)
+        assert len(out) == 2 and all(e == env(0) for _, e in out)
+        assert lk.duplicated == 1
+
+    def test_reorder_adds_delay(self):
+        lk = link(latency=1.0, reorder_prob=0.999999, reorder_delay=5.0,
+                  max_retransmits=0)
+        (at, _), = lk.send(env(0), 0.0)
+        assert at >= 6.0  # latency + reorder_delay*(1+U)
+        assert lk.reordered == 1
+
+    def test_partition_eats_data_and_acks(self):
+        lk = link(partitions=(PartitionWindow(10.0, 5.0),))
+        assert lk.send(env(0), 10.0) == []
+        assert lk.partition_dropped == 1
+        assert lk.plan_ack(env(0), 12.0) is None
+        assert lk.ack_dropped == 1
+        # Outside the window traffic flows again.
+        assert lk.send(env(1), 20.0) != []
+
+    def test_per_link_partition_scoping(self):
+        spec = NetworkSpec(partitions=(PartitionWindow(0.0, 10.0, link="other"),))
+        lk = FabricLink("c0", spec, RngRegistry(0))
+        assert lk.send(env(0), 5.0) != []
+
+
+class TestReliability:
+    def test_ack_clears_buffer(self):
+        lk = link(ack_timeout=2.0, max_retransmits=3)
+        lk.send(env(0), 0.0)
+        assert lk.unacked == 1
+        assert lk.on_ack("c0", 0, 0.5)
+        assert lk.unacked == 0 and lk.acked == 1
+        assert not lk.on_ack("c0", 0, 0.6)  # duplicate ack is a no-op
+
+    def test_retransmit_backoff_schedule(self):
+        lk = link(ack_timeout=2.0, retransmit_factor=2.0, retransmit_max=100.0,
+                  max_retransmits=3)
+        lk.send(env(0), 0.0)
+        assert lk.poll(1.9) == []           # not yet due
+        out = lk.poll(2.0)                  # attempt 1 at RTO=2
+        assert len(out) == 1 and lk.retransmits == 1
+        assert lk.poll(3.0) == []           # next RTO is 2*2=4 from 2.0
+        assert len(lk.poll(6.0)) == 1       # attempt 2
+        assert len(lk.poll(14.0)) == 1      # attempt 3 (RTO 8)
+        out = lk.poll(30.0)                 # budget spent: abandoned
+        assert out == [] and lk.gave_up == 1 and lk.unacked == 0
+
+    def test_fire_and_forget_never_buffers(self):
+        lk = link(max_retransmits=0)
+        lk.send(env(0), 0.0)
+        assert lk.unacked == 0
+        assert lk.plan_ack(env(0), 0.0) is None
+
+    def test_send_buffer_evicts_oldest(self):
+        lk = link(send_buffer=2, max_retransmits=3)
+        for i in range(3):
+            lk.send(env(i), 0.0)
+        assert lk.unacked == 2 and lk.evicted == 1
+        assert not lk.on_ack("c0", 0, 1.0)  # seq 0 was the evictee
+
+    def test_ack_plan_clean_wire(self):
+        lk = link(latency=0.5, max_retransmits=3)
+        assert lk.plan_ack(env(0), 4.0) == 4.5
+
+    def test_certain_ack_loss(self):
+        lk = link(ack_drop_prob=0.999999, max_retransmits=3)
+        assert lk.plan_ack(env(0), 0.0) is None
+        assert lk.ack_dropped == 1
+
+
+class TestBreaker:
+    def mk(self):
+        return link(ack_timeout=1.0, max_retransmits=1,
+                    breaker_failures=2, breaker_reset=60.0)
+
+    def trip(self, lk):
+        # Two envelopes giving up back to back opens the breaker.
+        lk.send(env(0), 0.0)
+        lk.send(env(1), 0.0)
+        lk.poll(1.0)    # retransmit attempt 1 for both
+        lk.poll(10.0)   # both exhausted -> 2 consecutive give-ups
+
+    def test_trips_after_consecutive_giveups(self):
+        lk = self.mk()
+        self.trip(lk)
+        assert lk.breaker_trips == 1 and lk.breaker_open(10.1)
+        assert lk.send(env(2), 11.0) == [] and lk.breaker_shed == 1
+
+    def test_half_opens_after_reset(self):
+        lk = self.mk()
+        self.trip(lk)
+        assert not lk.breaker_open(70.1)
+        assert lk.send(env(2), 70.5) != []
+
+    def test_ack_resets_failure_streak(self):
+        lk = link(ack_timeout=1.0, max_retransmits=1, breaker_failures=2)
+        lk.send(env(0), 0.0)
+        lk.poll(1.0)
+        lk.poll(10.0)  # one give-up
+        lk.send(env(1), 10.0)
+        lk.on_ack("c0", 1, 10.5)  # success: streak back to zero
+        lk.send(env(2), 11.0)
+        lk.poll(12.0)
+        lk.poll(30.0)  # another give-up, but not consecutive
+        assert lk.breaker_trips == 0
+
+
+class TestStateDict:
+    def test_round_trip_mid_flight(self):
+        lk = link(ack_timeout=2.0, drop_prob=0.3, max_retransmits=3)
+        for i in range(4):
+            lk.send(env(i, time=float(i)), float(i))
+        lk.on_ack("c0", 1, 4.0)
+        state = lk.state_dict()
+
+        fresh = link(ack_timeout=2.0, drop_prob=0.3, max_retransmits=3)
+        fresh.load_state_dict(state)
+        assert fresh.unacked == lk.unacked
+        assert fresh.sent == lk.sent and fresh.acked == lk.acked
+        # The resumed link's future behavior matches the original's.
+        assert fresh.poll(50.0) == lk.poll(50.0)
+        assert fresh.state_dict() == lk.state_dict()
+
+    def test_streams_named_per_link(self):
+        assert fabric_streams("c7") == tuple(
+            f"fabric:c7:{s}" for s in ("net", "drop", "dup", "reorder",
+                                       "ackdrop", "backoff")
+        )

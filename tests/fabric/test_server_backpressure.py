@@ -1,0 +1,149 @@
+"""MonitorServer fabric mode: admission, priority shedding, dedup, state."""
+
+import pytest
+
+from repro.core import MonitorServer
+from repro.core.monitor import _HEALTH_TASK
+from repro.errors import SensorError
+from repro.fabric import NetworkSpec
+from repro.util import Envelope
+
+
+def update(task: str, value: float = 1.0, time: float = 0.0) -> dict:
+    return {"sensor_id": "S", "workflow_id": "W", "task": task,
+            "granularity": "task", "key": [task], "value": value,
+            "time": time, "step": -1, "var": "looptime"}
+
+
+def env(seq: int, task: str = "T", sender: str = "c0", time: float = 0.0) -> Envelope:
+    return Envelope(kind="sensor-update", sender=sender, seq=seq, time=time,
+                    payload={"updates": [update(task, time=time)]})
+
+
+def health_env(seq: int, time: float = 0.0) -> Envelope:
+    return env(seq, task=_HEALTH_TASK, time=time)
+
+
+def server(**net_kw) -> MonitorServer:
+    s = MonitorServer()
+    s.configure_fabric(NetworkSpec(**net_kw))
+    return s
+
+
+class TestAdmission:
+    def test_offer_requires_fabric(self):
+        with pytest.raises(SensorError):
+            MonitorServer().offer(env(0))
+
+    def test_configure_after_traffic_rejected(self):
+        s = MonitorServer()
+        s.receive(env(0))
+        with pytest.raises(SensorError):
+            s.configure_fabric(NetworkSpec())
+
+    def test_unbounded_by_default(self):
+        s = server(ingress_capacity=0)
+        for i in range(100):
+            assert s.offer(env(i))
+        assert s.ingress_depth == 100 and s.shed_sensor == 0
+
+    def test_full_queue_sheds_oldest_sensor(self):
+        s = server(ingress_capacity=2)
+        assert s.offer(env(0)) and s.offer(env(1)) and s.offer(env(2))
+        assert s.shed_sensor == 1 and s.ingress_depth == 2
+        drained = s.take_ingress()
+        assert [e.seq for e in drained] == [1, 2]  # seq 0 was shed
+
+    def test_health_survives_sensor_shed(self):
+        s = server(ingress_capacity=2)
+        s.offer(health_env(0))
+        s.offer(env(1))
+        assert s.offer(env(2))           # sheds the sensor env, not health
+        assert s.shed_sensor == 1 and s.shed_health == 0
+        assert [s._is_health(e) for e in s.take_ingress()] == [True, False]
+
+    def test_sensor_rejected_when_queue_all_health(self):
+        s = server(ingress_capacity=2)
+        s.offer(health_env(0))
+        s.offer(health_env(1))
+        assert not s.offer(env(2))       # rejected => no ack => retransmit later
+        assert s.shed_sensor == 1 and s.ingress_depth == 2
+
+    def test_health_displaces_oldest_health(self):
+        s = server(ingress_capacity=2)
+        s.offer(health_env(0))
+        s.offer(health_env(1))
+        assert s.offer(health_env(2))
+        assert s.shed_health == 1
+        assert [e.seq for e in s.take_ingress()] == [1, 2]
+
+
+class TestDrain:
+    def test_drain_budget(self):
+        s = server(drain_per_tick=2)
+        for i in range(5):
+            s.offer(env(i))
+        assert [e.seq for e in s.take_ingress()] == [0, 1]
+        assert [e.seq for e in s.take_ingress()] == [2, 3]
+        assert [e.seq for e in s.take_ingress()] == [4]
+
+    def test_zero_budget_drains_all(self):
+        s = server(drain_per_tick=0)
+        for i in range(5):
+            s.offer(env(i))
+        assert len(s.take_ingress()) == 5
+
+    def test_staleness_recorded(self):
+        s = server()
+        s.note_staleness(3.0)
+        s.note_staleness(5.0)
+        assert s.ingest_staleness.count == 2
+
+
+class TestDedup:
+    def test_duplicates_rejected_exactly_once(self):
+        s = server()
+        assert s.receive(env(0))
+        assert s.receive(env(1))
+        assert s.receive(env(0)) == []   # retransmit copy
+        assert s.receive(env(1)) == []
+        assert s.duplicates == 2
+
+    def test_reordering_and_gaps_accepted(self):
+        s = server()
+        for seq in (5, 2, 7, 0):
+            assert s.receive(env(seq))
+        assert s.receive(env(5)) == []
+        assert s.duplicates == 1
+
+    def test_restart_does_not_reset_dedup(self):
+        # Clients persist across task restarts and never renumber;
+        # resetting would re-admit retransmitted copies of old seqs.
+        s = server()
+        s.receive(env(3))
+        s.on_task_restart("T")
+        assert s.receive(env(3)) == []
+        assert s.duplicates == 1
+
+
+class TestFabricState:
+    def test_round_trip_with_queued_envelopes(self):
+        s = server(ingress_capacity=8)
+        s.receive(env(0))
+        s.offer(env(1, time=1.0))
+        s.offer(env(2, time=2.0))
+        s.note_staleness(1.5)
+        state = s.state_dict()
+
+        fresh = server(ingress_capacity=8)
+        fresh.load_state_dict(state)
+        assert fresh.offered == s.offered
+        assert [e.seq for e in fresh.take_ingress()] == [1, 2]
+        assert fresh.receive(env(0)) == []   # dedup state restored too
+        # The staleness histogram is telemetry, not state: not journaled.
+        assert fresh.ingest_staleness.count == 0
+
+    def test_non_fabric_state_has_no_fabric_key(self):
+        s = MonitorServer()
+        s.receive(env(0))
+        assert "fabric" not in s.state_dict()

@@ -1,0 +1,129 @@
+"""NetworkSpec validation, link-profile resolution, XML round-trip."""
+
+import pytest
+
+from repro.errors import ResilienceError, XmlSpecError
+from repro.fabric import HEALTH_TASK, LinkOverride, NetworkSpec, PartitionWindow
+from repro.xmlspec import parse_dyflow_xml, write_dyflow_xml
+
+
+def net_xml(body: str) -> str:
+    return f"<dyflow><resilience>{body}</resilience></dyflow>"
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        NetworkSpec().validate()
+
+    @pytest.mark.parametrize("kw", [
+        dict(latency=-1.0),
+        dict(drop_prob=1.0),
+        dict(dup_prob=-0.1),
+        dict(ack_timeout=0.0),
+        dict(max_retransmits=-1),
+        dict(retransmit_factor=0.5),
+        dict(retransmit_jitter=2.0),
+        dict(send_buffer=0),
+        dict(breaker_reset=0.0),
+        dict(ingress_capacity=-1),
+        dict(stale_after=-5.0),
+        dict(degrade_after=0),
+    ])
+    def test_out_of_range_rejected(self, kw):
+        with pytest.raises(ResilienceError):
+            NetworkSpec(**kw).validate()
+
+    def test_bad_partition_rejected(self):
+        with pytest.raises(ResilienceError):
+            NetworkSpec(partitions=(PartitionWindow(10.0, 0.0),)).validate()
+
+    def test_duplicate_link_override_rejected(self):
+        spec = NetworkSpec(links=(LinkOverride("c"), LinkOverride("c")))
+        with pytest.raises(ResilienceError):
+            spec.validate()
+
+    def test_bad_override_value_rejected(self):
+        with pytest.raises(ResilienceError):
+            NetworkSpec(links=(LinkOverride("c", drop_prob=1.5),)).validate()
+
+
+class TestProfileResolution:
+    def test_defaults_inherited(self):
+        spec = NetworkSpec(latency=2.0, drop_prob=0.1)
+        p = spec.profile_for("anyone")
+        assert p.latency == 2.0 and p.drop_prob == 0.1
+
+    def test_override_wins_only_for_set_fields(self):
+        spec = NetworkSpec(
+            latency=2.0, drop_prob=0.1,
+            links=(LinkOverride("c1", drop_prob=0.4),),
+        )
+        p1 = spec.profile_for("c1")
+        assert p1.drop_prob == 0.4 and p1.latency == 2.0
+        assert spec.profile_for("c2").drop_prob == 0.1
+
+
+class TestPartitionWindows:
+    def test_window_half_open(self):
+        w = PartitionWindow(10.0, 5.0)
+        assert not w.active(9.99) and w.active(10.0) and w.active(14.99)
+        assert not w.active(15.0)
+
+    def test_link_scoping(self):
+        spec = NetworkSpec(partitions=(PartitionWindow(0.0, 10.0, link="c1"),))
+        assert spec.partition_active(5.0, "c1")
+        assert not spec.partition_active(5.0, "c2")
+        # link_id=None asks "is any partition active".
+        assert spec.partition_active(5.0)
+
+    def test_global_window_hits_every_link(self):
+        spec = NetworkSpec(partitions=(PartitionWindow(0.0, 10.0),))
+        assert spec.partition_active(5.0, "c1") and spec.partition_active(5.0, "c2")
+
+
+class TestXml:
+    def test_parse_defaults(self):
+        spec = parse_dyflow_xml(net_xml("<network/>"))
+        assert spec.resilience.network == NetworkSpec()
+
+    def test_parse_full(self):
+        spec = parse_dyflow_xml(net_xml(
+            '<network drop-prob="0.1" max-retransmits="7" stale-after="20.0" '
+            'ingress-capacity="64" breaker-failures="3">'
+            '<partition start="600.0" duration="30.0" link="c9"/>'
+            '<link client="c9" latency="1.5" reorder-prob="0.2"/>'
+            "</network>"
+        ))
+        net = spec.resilience.network
+        assert net.drop_prob == 0.1 and net.max_retransmits == 7
+        assert net.partitions == (PartitionWindow(600.0, 30.0, link="c9"),)
+        assert net.links[0].latency == 1.5 and net.links[0].drop_prob is None
+
+    def test_round_trip(self):
+        spec = parse_dyflow_xml(net_xml(
+            '<network latency="0.25" jitter="0.1" drop-prob="0.1" dup-prob="0.05" '
+            'stale-after="20.0" degrade-after="2" recover-after="4">'
+            '<partition start="10.0" duration="30.0"/>'
+            '<link client="a" drop-prob="0.3"/></network>'
+        ))
+        assert parse_dyflow_xml(write_dyflow_xml(spec)).resilience.network \
+            == spec.resilience.network
+
+    def test_unknown_attr_rejected(self):
+        with pytest.raises(XmlSpecError):
+            parse_dyflow_xml(net_xml('<network latencey="1.0"/>'))
+
+    def test_unknown_child_rejected(self):
+        with pytest.raises(XmlSpecError):
+            parse_dyflow_xml(net_xml("<network><split/></network>"))
+
+    def test_link_requires_client(self):
+        with pytest.raises(XmlSpecError):
+            parse_dyflow_xml(net_xml('<network><link drop-prob="0.1"/></network>'))
+
+
+def test_health_task_matches_observability():
+    from repro.observability import HEALTH_TASK as OBS_HEALTH_TASK
+    from repro.core.monitor import _HEALTH_TASK
+
+    assert HEALTH_TASK == OBS_HEALTH_TASK == _HEALTH_TASK

@@ -461,6 +461,42 @@ CORPUS = {
             )
         ),
     ),
+    "DY408": dict(
+        loc="resilience/network",
+        trigger=lambda: codes_of(
+            CLEAN.replace(
+                "</dyflow>",
+                '<resilience><network drop-prob="0.1" max-retransmits="0"/>'
+                "</resilience></dyflow>",
+            )
+        ),
+        clean=lambda: codes_of(
+            CLEAN.replace(
+                "</dyflow>",
+                '<resilience><network drop-prob="0.1" max-retransmits="5"/>'
+                "</resilience></dyflow>",
+            )
+        ),
+    ),
+    "DY409": dict(
+        loc="resilience/network/partition[0]",
+        trigger=lambda: codes_of(
+            CLEAN.replace(
+                "</dyflow>",
+                '<resilience><watchdog heartbeat-timeout="120.0"/>'
+                '<network><partition start="10.0" duration="300.0"/></network>'
+                "</resilience></dyflow>",
+            )
+        ),
+        clean=lambda: codes_of(
+            CLEAN.replace(
+                "</dyflow>",
+                '<resilience><watchdog heartbeat-timeout="120.0"/>'
+                '<network><partition start="10.0" duration="60.0"/></network>'
+                "</resilience></dyflow>",
+            )
+        ),
+    ),
 }
 
 

@@ -3,7 +3,7 @@
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.util import Envelope, OutOfOrderFilter, SequenceTracker
+from repro.util import DedupFilter, Envelope, OutOfOrderFilter, SequenceTracker
 
 
 class TestEnvelope:
@@ -78,3 +78,123 @@ class TestOutOfOrderFilter:
         accepted = [s for s in seqs if f.accept(self._env("x", s))]
         assert all(b > a for a, b in zip(accepted, accepted[1:]))
         assert f.accepted + f.dropped == len(seqs)
+
+
+def _env(sender, seq):
+    return Envelope(kind="k", sender=sender, seq=seq, time=float(seq))
+
+
+class TestFilterPublicApi:
+    """senders()/reset_all(): the public surface MonitorServer uses on
+    task restart instead of poking the private epoch map."""
+
+    def test_senders_insertion_ordered(self):
+        f = OutOfOrderFilter()
+        for s, q in (("b", 0), ("a", 3), ("c", 1)):
+            f.accept(_env(s, q))
+        assert f.senders() == ("b", "a", "c")
+
+    def test_reset_all_opens_new_epochs_keeps_counters(self):
+        f = OutOfOrderFilter()
+        assert f.accept(_env("a", 5))
+        assert f.accept(_env("b", 9))
+        assert not f.accept(_env("a", 5))
+        f.reset_all()
+        assert f.senders() == ()
+        # New epoch numbering accepted for every sender...
+        assert f.accept(_env("a", 0)) and f.accept(_env("b", 0))
+        # ...while the lifetime counters persist across the reset.
+        assert f.accepted == 4 and f.dropped == 1
+
+    def test_state_dict_compatible_after_reset_all(self):
+        f = OutOfOrderFilter()
+        f.accept(_env("a", 2))
+        f.reset_all()
+        g = OutOfOrderFilter()
+        g.load_state_dict(f.state_dict())
+        assert g.senders() == () and g.accepted == 1
+
+
+class TestOutOfOrderFilterAdversarial:
+    """Exact accepted/dropped ledgers under hostile arrival orders."""
+
+    def test_duplicate_burst_exact_counts(self):
+        f = OutOfOrderFilter()
+        results = [f.accept(_env("a", s)) for s in (0, 0, 0, 1, 1, 2, 2, 2, 2)]
+        assert results == [True, False, False, True, False, True, False, False, False]
+        assert f.accepted == 3 and f.dropped == 6
+
+    def test_gap_then_late_arrival_dropped(self):
+        # The monotone filter trades late data for monotonicity: a
+        # delayed seq filling a gap is rejected.
+        f = OutOfOrderFilter()
+        assert f.accept(_env("a", 0))
+        assert f.accept(_env("a", 4))
+        assert not f.accept(_env("a", 2))
+        assert f.accepted == 2 and f.dropped == 1
+
+    def test_interleaved_senders_independent_ledgers(self):
+        f = OutOfOrderFilter()
+        seqs = [("a", 0), ("b", 5), ("a", 1), ("b", 5), ("a", 0), ("b", 6)]
+        results = [f.accept(_env(s, q)) for s, q in seqs]
+        assert results == [True, True, True, False, False, True]
+        assert f.accepted == 4 and f.dropped == 2
+
+    def test_epoch_reset_mid_stream(self):
+        f = OutOfOrderFilter()
+        f.accept(_env("a", 8))
+        f.reset("a")
+        assert f.accept(_env("a", 0))     # new epoch
+        assert not f.accept(_env("a", 0))  # stale within the new epoch
+        assert f.accepted == 2 and f.dropped == 1
+
+
+class TestDedupFilter:
+    def test_exactly_once_any_order(self):
+        f = DedupFilter()
+        order = [5, 2, 7, 0, 2, 5, 1, 7, 3]
+        results = [f.accept(_env("a", s)) for s in order]
+        assert results == [True, True, True, True, False, False, True, False, True]
+        assert f.accepted == 6 and f.dropped == 3 and f.duplicates == 3
+
+    def test_floor_compacts_as_gaps_fill(self):
+        f = DedupFilter()
+        for s in (0, 2, 3, 4):
+            f.accept(_env("a", s))
+        assert f._floor["a"] == 0 and f._seen["a"] == {2, 3, 4}
+        f.accept(_env("a", 1))  # the gap fills: everything compacts
+        assert f._floor["a"] == 4 and f._seen["a"] == set()
+        assert not f.accept(_env("a", 3))  # below the floor: duplicate
+
+    def test_interleaved_senders(self):
+        f = DedupFilter()
+        assert f.accept(_env("a", 0)) and f.accept(_env("b", 0))
+        assert not f.accept(_env("a", 0))
+        assert f.accept(_env("a", 1))
+        assert f.senders() == ("a", "b")
+
+    def test_reset_all_forgets_history(self):
+        f = DedupFilter()
+        f.accept(_env("a", 3))
+        f.reset_all()
+        assert f.accept(_env("a", 3))  # renumbered sender accepted again
+        assert f.accepted == 2
+
+    def test_state_round_trip_preserves_gap_set(self):
+        f = DedupFilter()
+        for s in (0, 5, 7):
+            f.accept(_env("a", s))
+        g = DedupFilter()
+        g.load_state_dict(f.state_dict())
+        assert not g.accept(_env("a", 5))   # sparse seen-set restored
+        assert g.accept(_env("a", 6))       # the gap is still open
+        assert not g.accept(_env("a", 0))   # floor restored
+
+    @given(st.lists(st.tuples(st.sampled_from("ab"), st.integers(0, 20)),
+                    min_size=1, max_size=80))
+    def test_each_pair_accepted_exactly_once(self, msgs):
+        f = DedupFilter()
+        accepted = [(s, q) for s, q in msgs if f.accept(_env(s, q))]
+        assert len(accepted) == len(set(accepted))      # never twice
+        assert set(accepted) == set(msgs)               # never lost
+        assert f.accepted + f.dropped == len(msgs)

@@ -2,7 +2,7 @@
 
 Extends the basic round-trip test with the elements it leaves out —
 sensor joins, monitor-task/use-sensor parameters, apply-policy
-action-params, ``<resilience>`` (all five children), ``<telemetry>``,
+action-params, ``<resilience>`` (all six children), ``<telemetry>``,
 ``<journal>`` and ``<observability>`` (SLOs, anomaly detectors,
 exports) — and checks the stronger *fixed-point* property: one
 write/parse cycle normalizes a spec, after which further cycles change
@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 from repro.core import ActionType
 from repro.core.policy import PolicyApplication, PolicySpec
 from repro.core.sensors import GroupBySpec, JoinSpec, SensorSpec
+from repro.fabric import LinkOverride, NetworkSpec, PartitionWindow
 from repro.resilience import (
     CheckpointSpec,
     FaultModelSpec,
@@ -48,6 +49,61 @@ params = st.dictionaries(names, param_values, max_size=3)
 granularities = st.sampled_from(["task", "node-task", "workflow", "node-workflow"])
 reductions = st.sampled_from(["MAX", "MIN", "AVG", "SUM", "MEDIAN", "FIRST", "LAST", "COUNT"])
 positive = st.floats(min_value=0.01, max_value=1e5, allow_nan=False)
+
+
+probs = st.floats(min_value=0.0, max_value=0.99, allow_nan=False)
+maybe_probs = st.one_of(st.none(), probs)
+maybe_positive = st.one_of(st.none(), positive)
+
+
+@st.composite
+def network_specs(draw):
+    clients = draw(st.lists(names, max_size=2, unique=True))
+    links = tuple(
+        LinkOverride(
+            client=c,
+            latency=draw(maybe_positive),
+            jitter=draw(maybe_positive),
+            drop_prob=draw(maybe_probs),
+            dup_prob=draw(maybe_probs),
+            reorder_prob=draw(maybe_probs),
+            reorder_delay=draw(maybe_positive),
+        )
+        for c in clients
+    )
+    partitions = tuple(
+        PartitionWindow(
+            start=draw(st.floats(min_value=0.0, max_value=1e5, allow_nan=False)),
+            duration=draw(positive),
+            link=draw(st.one_of(st.none(), names)),
+        )
+        for _ in range(draw(st.integers(0, 2)))
+    )
+    return NetworkSpec(
+        enabled=draw(st.booleans()),
+        latency=draw(st.one_of(st.just(0.0), positive)),
+        jitter=draw(st.one_of(st.just(0.0), positive)),
+        drop_prob=draw(probs),
+        dup_prob=draw(probs),
+        reorder_prob=draw(probs),
+        reorder_delay=draw(st.one_of(st.just(0.0), positive)),
+        ack_timeout=draw(positive),
+        ack_drop_prob=draw(probs),
+        max_retransmits=draw(st.integers(0, 10)),
+        retransmit_factor=draw(st.floats(min_value=1.0, max_value=8.0)),
+        retransmit_max=draw(positive),
+        retransmit_jitter=draw(st.floats(min_value=0.0, max_value=1.0)),
+        send_buffer=draw(st.integers(1, 4096)),
+        breaker_failures=draw(st.integers(0, 10)),
+        breaker_reset=draw(positive),
+        ingress_capacity=draw(st.integers(0, 4096)),
+        drain_per_tick=draw(st.integers(0, 256)),
+        stale_after=draw(st.one_of(st.just(0.0), positive)),
+        degrade_after=draw(st.integers(1, 10)),
+        recover_after=draw(st.integers(1, 10)),
+        partitions=partitions,
+        links=links,
+    )
 
 
 @st.composite
@@ -93,6 +149,7 @@ def resilience_specs(draw):
             stage_drop_prob=st.floats(min_value=0.0, max_value=0.99),
             orch_crash_mtbf=st.one_of(st.just(0.0), positive),
         )),
+        network=maybe(network_specs()),
     )
 
 
@@ -340,6 +397,15 @@ def test_full_document_with_all_elements_round_trips():
             faults=FaultModelSpec(node_mtbf=40_000.0, node_dist="weibull",
                                   weibull_shape=1.5, node_repair_time=600.0,
                                   msg_drop_prob=0.01),
+            network=NetworkSpec(
+                latency=0.2, jitter=0.1, drop_prob=0.1, dup_prob=0.05,
+                reorder_prob=0.05, ack_timeout=2.0, max_retransmits=5,
+                breaker_failures=3, ingress_capacity=128, drain_per_tick=32,
+                stale_after=20.0, degrade_after=3, recover_after=3,
+                partitions=(PartitionWindow(600.0, 30.0),
+                            PartitionWindow(900.0, 10.0, link="c1")),
+                links=(LinkOverride("c1", latency=1.0, drop_prob=0.3),),
+            ),
         ),
         telemetry=TelemetrySpec(enabled=True, sample=0.5,
                                 jsonl_path="run/events.jsonl",
