@@ -32,6 +32,7 @@ from repro.api import (
     PolicyApplication,
     PolicySpec,
     RngRegistry,
+    RuntimeOptions,
     Savanna,
     SensorSpec,
     SimEngine,
@@ -71,7 +72,8 @@ def build(seed: int = 1):
     )
     orch = DyflowOrchestrator(
         launcher, warmup=40.0, settle=40.0, record_history=True,
-        telemetry=TelemetrySpec(enabled=True), observability=observability,
+        options=RuntimeOptions(telemetry=TelemetrySpec(enabled=True),
+                               observability=observability),
     )
 
     # Application monitoring: the usual pace sensor on the analysis.

@@ -1,0 +1,19 @@
+"""``repro.api.fabric`` — the lossy Monitor-fabric transport model."""
+
+from repro.fabric import (
+    BoundedShedQueue,
+    DegradedModeController,
+    FabricLink,
+    LinkOverride,
+    NetworkSpec,
+    PartitionWindow,
+)
+
+__all__ = [
+    "NetworkSpec",
+    "PartitionWindow",
+    "LinkOverride",
+    "FabricLink",
+    "DegradedModeController",
+    "BoundedShedQueue",
+]

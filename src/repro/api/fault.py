@@ -1,0 +1,26 @@
+"""``repro.api.fault`` — resilience specs and fault injection.
+
+Retry/backoff, the node circuit breaker, checkpoint cadence, the
+heartbeat watchdog, and the chaos engine that drives the paper's
+failure experiments.
+"""
+
+from repro.resilience import (
+    ChaosEngine,
+    CheckpointSpec,
+    FaultModelSpec,
+    QuarantineSpec,
+    ResilienceSpec,
+    RetryPolicy,
+    WatchdogSpec,
+)
+
+__all__ = [
+    "ResilienceSpec",
+    "RetryPolicy",
+    "WatchdogSpec",
+    "QuarantineSpec",
+    "CheckpointSpec",
+    "FaultModelSpec",
+    "ChaosEngine",
+]

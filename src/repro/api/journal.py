@@ -1,0 +1,21 @@
+"""``repro.api.journal`` — crash-recovery journaling and fingerprints."""
+
+from repro.journal import (
+    AppliedOpsLedger,
+    Journal,
+    JournalSpec,
+    JournalState,
+    read_journal,
+    scenario_fingerprint,
+)
+from repro.wms import CampaignRunner
+
+__all__ = [
+    "Journal",
+    "JournalSpec",
+    "JournalState",
+    "AppliedOpsLedger",
+    "read_journal",
+    "scenario_fingerprint",
+    "CampaignRunner",
+]

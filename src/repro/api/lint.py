@@ -1,0 +1,25 @@
+"""``repro.api.lint`` — static verification, preflight, and SARIF."""
+
+from repro.lint import (
+    Diagnostic,
+    PreflightWarning,
+    Severity,
+    VerificationError,
+    lint_xml_text,
+    render_sarif,
+    run_preflight,
+    run_selflint,
+    verify_spec,
+)
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "PreflightWarning",
+    "VerificationError",
+    "verify_spec",
+    "lint_xml_text",
+    "run_selflint",
+    "run_preflight",
+    "render_sarif",
+]

@@ -1,0 +1,26 @@
+"""``repro.api.runtime`` — drivers, options, substrate, bootstrap.
+
+The namespaced view of everything needed to build and run an
+orchestrator: the simulated and threaded drivers, the consolidated
+:class:`RuntimeOptions` bundle, the event engine and rng substrate,
+and the XML entry points.
+"""
+
+from repro.runtime import DyflowOrchestrator, LiveTaskSpec, RuntimeOptions, ThreadedDyflow
+from repro.sim import RngRegistry, SimEngine
+from repro.wms import Savanna
+from repro.xmlspec import DyflowSpec, configure_orchestrator, parse_dyflow_xml, write_dyflow_xml
+
+__all__ = [
+    "DyflowOrchestrator",
+    "ThreadedDyflow",
+    "LiveTaskSpec",
+    "RuntimeOptions",
+    "SimEngine",
+    "RngRegistry",
+    "Savanna",
+    "DyflowSpec",
+    "configure_orchestrator",
+    "parse_dyflow_xml",
+    "write_dyflow_xml",
+]

@@ -1,0 +1,25 @@
+"""``repro.api.telemetry`` — tracing, metrics, and trace export."""
+
+from repro.telemetry import (
+    JsonlEventLog,
+    MetricsRegistry,
+    NullTracer,
+    TelemetrySpec,
+    Tracer,
+    TraceSpan,
+    build_tracer,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "TelemetrySpec",
+    "Tracer",
+    "NullTracer",
+    "TraceSpan",
+    "MetricsRegistry",
+    "JsonlEventLog",
+    "build_tracer",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

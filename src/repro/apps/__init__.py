@@ -23,6 +23,7 @@ from repro.apps.scaling import (
     PowerLawModel,
     RampModel,
     StepTimeModel,
+    VectorizedStepModel,
 )
 
 __all__ = [
@@ -35,4 +36,5 @@ __all__ = [
     "ConstantModel",
     "PowerLawModel",
     "RampModel",
+    "VectorizedStepModel",
 ]

@@ -69,6 +69,25 @@ class ResourceManager:
         self.allocation = allocation
         self.quarantine = quarantine
         self._assigned: dict[str, ResourceSet] = {}
+        # Incremental per-node totals mirroring _assigned, so
+        # assigned_total()/free() stay O(nodes) instead of unioning every
+        # owner's set (O(owners x nodes) per call made task launch
+        # quadratic at 10k tasks).
+        self._per_node: dict[str, int] = {}
+        #: Bumped on every assignment mutation; Arbitration keys its
+        #: placement-feasibility cache on it (plus node health and
+        #: quarantine state, which change outside this class).
+        self.version = 0
+
+    def _account(self, rs: ResourceSet, sign: int) -> None:
+        self.version += 1
+        per_node = self._per_node
+        for node_id, n in rs.as_dict().items():
+            c = per_node.get(node_id, 0) + sign * n
+            if c:
+                per_node[node_id] = c
+            else:
+                per_node.pop(node_id, None)
 
     # -- views ----------------------------------------------------------------
     def owners(self) -> list[str]:
@@ -79,10 +98,7 @@ class ResourceManager:
         return self._assigned.get(owner, ResourceSet.empty())
 
     def assigned_total(self) -> ResourceSet:
-        total = ResourceSet.empty()
-        for rs in self._assigned.values():
-            total = total.union(rs)
-        return total
+        return ResourceSet(self._per_node)
 
     def free(self) -> ResourceSet:
         """Unassigned cores on healthy nodes."""
@@ -149,6 +165,7 @@ class ResourceManager:
             raise AllocationError(f"owner {owner!r} already holds resources; use grow()")
         rs = self.plan_placement(ncores, per_node_limit, exclude_nodes)
         self._assigned[owner] = rs
+        self._account(rs, +1)
         return rs
 
     def assign_set(self, owner: str, rs: ResourceSet) -> ResourceSet:
@@ -158,6 +175,7 @@ class ResourceManager:
         if not self.free().contains(rs):
             raise AllocationError(f"resource set {rs!r} not free")
         self._assigned[owner] = rs
+        self._account(rs, +1)
         return rs
 
     def grow(
@@ -172,6 +190,7 @@ class ResourceManager:
             raise AllocationError(f"owner {owner!r} holds no resources; use assign()")
         added = self.plan_placement(ncores, per_node_limit, exclude_nodes)
         self._assigned[owner] = self._assigned[owner].union(added)
+        self._account(added, +1)
         return added
 
     def shrink(self, owner: str, ncores: int) -> ResourceSet:
@@ -204,6 +223,7 @@ class ResourceManager:
             self._assigned[owner] = new_rs
         else:
             del self._assigned[owner]
+        self._account(shed_rs, -1)
         return shed_rs
 
     def release(self, owner: str) -> ResourceSet:
@@ -211,11 +231,14 @@ class ResourceManager:
         rs = self._assigned.pop(owner, None)
         if rs is None:
             raise AllocationError(f"owner {owner!r} holds no resources")
+        self._account(rs, -1)
         return rs
 
     def release_if_held(self, owner: str) -> ResourceSet:
         """Like :meth:`release` but a no-op for unknown owners."""
-        return self._assigned.pop(owner, ResourceSet.empty())
+        rs = self._assigned.pop(owner, ResourceSet.empty())
+        self._account(rs, -1)
+        return rs
 
     # -- failure handling ----------------------------------------------------------
     def on_node_failure(self, node_id: str) -> list[str]:
@@ -227,13 +250,15 @@ class ResourceManager:
         """
         affected = []
         for owner, rs in list(self._assigned.items()):
-            if rs.cores_on(node_id) > 0:
+            lost = rs.cores_on(node_id)
+            if lost > 0:
                 affected.append(owner)
                 stripped = ResourceSet({k: v for k, v in rs.as_dict().items() if k != node_id})
                 if stripped:
                     self._assigned[owner] = stripped
                 else:
                     del self._assigned[owner]
+                self._account(ResourceSet({node_id: lost}), -1)
         return sorted(affected)
 
     # -- crash recovery ----------------------------------------------------------------
@@ -246,6 +271,10 @@ class ResourceManager:
             owner: ResourceSet({n: int(c) for n, c in cores.items()})
             for owner, cores in state.items()
         }
+        self._per_node = {}
+        self.version += 1  # even an empty snapshot invalidates feasibility memos
+        for rs in self._assigned.values():
+            self._account(rs, +1)
 
     # -- invariants ------------------------------------------------------------------
     def check_invariants(self) -> None:

@@ -49,10 +49,41 @@ class WaitingEntry:
     reason: str = ""
 
 
+class _FeasibilityCache:
+    """Negative placement-feasibility memo across plan builds.
+
+    A request shape ``(ncores, per_node_limit)`` that could not be placed
+    against the *live* resource state stays infeasible until that state
+    changes — so ticks that re-try a parked waiting queue against a full
+    machine skip the per-node scan entirely.  The epoch key captures
+    everything placement feasibility depends on: the resource manager's
+    assignment version, every node's health state, and the quarantine
+    set (time-based cooldowns expire outside any mutation hook).  Only
+    *pristine* shadows (no plan-local releases/takes yet) may consult or
+    feed the cache; once a plan mutates its scratch free-set the shapes
+    no longer describe the live machine.
+    """
+
+    def __init__(self) -> None:
+        self._epoch: tuple | None = None
+        self._infeasible: set[tuple[int, int | None]] = set()
+
+    def sync(self, epoch: tuple) -> None:
+        if epoch != self._epoch:
+            self._epoch = epoch
+            self._infeasible.clear()
+
+    def known_infeasible(self, ncores: int, per_node_limit: int | None) -> bool:
+        return (ncores, per_node_limit) in self._infeasible
+
+    def note_infeasible(self, ncores: int, per_node_limit: int | None) -> None:
+        self._infeasible.add((ncores, per_node_limit))
+
+
 class _Shadow:
     """Scratch resource bookkeeping while a plan is being built."""
 
-    def __init__(self, launcher: Savanna) -> None:
+    def __init__(self, launcher: Savanna, cache: _FeasibilityCache | None = None) -> None:
         self.launcher = launcher
         self.nodes = launcher.allocation.nodes
         self.free = launcher.rm.free()
@@ -60,25 +91,51 @@ class _Shadow:
             name: launcher.rm.assignment(name)
             for name in launcher.rm.owners()
         }
+        # Quarantined nodes are excluded exactly like unhealthy ones:
+        # Arbitration "ensures the exclusion of problematic resources".
+        # Constant within one plan build (simulated time does not advance),
+        # so hoisted out of place().
+        self.excluded = launcher.rm.excluded_nodes()
+        self.pristine = True
+        self.cache = cache
+        if cache is not None:
+            cache.sync((
+                launcher.rm.version,
+                tuple(n.state.value for n in self.nodes),
+                frozenset(self.excluded),
+            ))
 
     def holds(self, task: str) -> bool:
         return task in self.assigned
 
     def release(self, task: str) -> ResourceSet:
+        self.pristine = False
         rs = self.assigned.pop(task, ResourceSet.empty())
         healthy = {n.node_id for n in self.launcher.allocation.healthy_nodes()}
         self.free = self.free.union(rs.restrict_to(healthy))
         return rs
 
     def place(self, ncores: int, per_node_limit: int | None) -> ResourceSet:
-        # Quarantined nodes are excluded exactly like unhealthy ones:
-        # Arbitration "ensures the exclusion of problematic resources".
-        return place_cores(
-            self.free, self.nodes, ncores, per_node_limit,
-            exclude_nodes=self.launcher.rm.excluded_nodes(),
-        )
+        cache = self.cache
+        usable = cache is not None and self.pristine
+        if usable and cache.known_infeasible(ncores, per_node_limit):
+            raise AllocationError(
+                f"cannot place {ncores} cores"
+                f"{f' (limit {per_node_limit}/node)' if per_node_limit else ''}: "
+                "known infeasible against current resources"
+            )
+        try:
+            return place_cores(
+                self.free, self.nodes, ncores, per_node_limit,
+                exclude_nodes=self.excluded,
+            )
+        except AllocationError:
+            if usable:
+                cache.note_infeasible(ncores, per_node_limit)
+            raise
 
     def take(self, task: str, rs: ResourceSet) -> None:
+        self.pristine = False
         self.free = self.free.subtract(rs)
         self.assigned[task] = rs
 
@@ -106,6 +163,7 @@ class ArbitrationStage:
         self.graceful_stops = graceful_stops
         self.waiting: dict[str, WaitingEntry] = {}
         self.plans: list[ActionPlan] = []
+        self._feasibility = _FeasibilityCache()
         self.discarded_batches = 0
         self._ids = IdGenerator()
         self._gate_until: float | None = None
@@ -186,7 +244,7 @@ class ArbitrationStage:
             ops=[],
             trigger_time=min((s.trigger_time for s in filtered), default=now),
         )
-        shadow = _Shadow(self.launcher)
+        shadow = _Shadow(self.launcher, cache=self._feasibility)
         stop_targets: set[str] = set()   # tasks the plan stops (for good)
         start_targets: set[str] = set()  # tasks the plan (re)starts
 

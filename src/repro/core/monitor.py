@@ -131,6 +131,9 @@ class MonitorClient:
                 now,
                 {"updates": [u.to_dict() for u in ups]},
             )
+            # Cache the originals so an in-process server skips re-decoding
+            # the payload dicts (to_dict/from_dict round-trips exactly).
+            env.attach_decoded(tuple(ups))
             out.append((lags.get(sensor_id, self.perf.file_read_lag), env))
         return out
 
@@ -218,6 +221,9 @@ class MonitorServer:
 
     @staticmethod
     def _is_health(env: Envelope) -> bool:
+        cached = env.decoded()
+        if cached is not None:
+            return bool(cached) and all(u.task == _HEALTH_TASK for u in cached)
         updates = env.payload.get("updates", [])
         return bool(updates) and all(u.get("task") == _HEALTH_TASK for u in updates)
 
@@ -284,7 +290,14 @@ class MonitorServer:
             if self.tracer.enabled:
                 self.tracer.metrics.counter("monitor.envelopes_dropped").inc()
             return []
-        updates = [MetricUpdate.from_dict(d) for d in envelope.payload.get("updates", [])]
+        cached = envelope.decoded()
+        if cached is not None:
+            # In-process fast path: the client attached the original
+            # MetricUpdate objects at stamp time (bit-identical to
+            # re-decoding — to_dict/from_dict round-trips exactly).
+            updates = list(cached)
+        else:
+            updates = [MetricUpdate.from_dict(d) for d in envelope.payload.get("updates", [])]
         self.forwarded += len(updates)
         for u in updates:
             prev = self.last_seen.get(u.task)

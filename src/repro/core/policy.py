@@ -134,10 +134,19 @@ class PolicyRuntime:
         """Store a matching update; returns whether it matched."""
         if not self.matches(u):
             return False
+        self.accept(u)
+        return True
+
+    def accept(self, u: MetricUpdate) -> None:
+        """Store an update the caller has already routed to this runtime.
+
+        The Decision stage's routing index guarantees :meth:`matches`
+        holds, so the hot path skips re-checking the predicate.
+        """
         self._window.push(u.value)
         self._pending.append((u.value, u.time))
-        self._last_time = max(self._last_time, u.time)
-        return True
+        if u.time > self._last_time:
+            self._last_time = u.time
 
     # -- evaluation -----------------------------------------------------------
     def due(self, now: float) -> bool:

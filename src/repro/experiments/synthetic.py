@@ -1,0 +1,166 @@
+"""Synthetic large-scale scenario for core-kernel throughput benchmarks.
+
+Unlike the paper scenarios (a handful of tasks, science-driven
+policies), this scenario exists to stress the *kernel*: N independent
+iterative tasks, one shared PACE sensor, one per-task policy runtime —
+so every tick pushes O(N) profiler samples through sensor polling,
+envelope transport, MonitorServer ingest, Decision routing, and policy
+evaluation.  ``benchmarks/bench_core_throughput.py`` drives it at
+1k/5k/10k tasks and reports events/ticks/envelopes per wall-second.
+
+The workload is fully deterministic (no step noise, no rank jitter), so
+``scenario_fingerprint`` doubles as the bit-identity oracle for kernel
+optimizations: any change to event ordering, envelope batching, or
+policy routing shows up as a fingerprint change.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.apps import ConstantModel, IterativeApp
+from repro.cluster import BatchScheduler, summit
+from repro.core import GroupBySpec, PolicyApplication, PolicySpec, SensorSpec
+from repro.core.actions import ActionType
+from repro.experiments.results import ScenarioResult
+from repro.experiments.runner import execute_scenario
+from repro.sim import RngRegistry, SimEngine
+from repro.wms import Savanna, TaskSpec, WorkflowSpec
+
+WORKFLOW_ID = "SYNTH-WORKFLOW"
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Knobs of the synthetic throughput scenario."""
+
+    num_tasks: int = 1000
+    step_time: float = 5.0
+    total_steps: int = 8
+    poll_interval: float = 1.0
+    num_clients: int = 8
+    cores_per_node: int = 64
+    policy_frequency: float = 1.0
+    # GT threshold no sample ever crosses: the decision stage does full
+    # routing + evaluation work but the arbiter never builds a plan, so
+    # the measurement isolates the monitoring/decision data path.
+    policy_threshold: float = 1e9
+    seed: int = 0
+
+
+def _task_name(i: int) -> str:
+    return f"T{i:05d}"
+
+
+def build_synthetic_workflow(cfg: SyntheticConfig) -> WorkflowSpec:
+    tasks = [
+        TaskSpec(
+            _task_name(i),
+            lambda cfg=cfg: IterativeApp(
+                ConstantModel(cfg.step_time),
+                total_steps=cfg.total_steps,
+                publish_every=0,
+                output_every=0,
+                noise_cv=0.0,
+                rank_jitter=0.0,
+                profile_ranks=1,
+            ),
+            nprocs=1,
+        )
+        for i in range(cfg.num_tasks)
+    ]
+    return WorkflowSpec(WORKFLOW_ID, tasks, [])
+
+
+def build_synthetic_orchestrator(launcher: Savanna, cfg: SyntheticConfig, **kwargs):
+    """Wire the shared PACE sensor and one self-assessing policy per task.
+
+    Extra keyword arguments pass straight to the orchestrator (the bench
+    uses this for ``runtime_options``/fabric configuration).
+    """
+    from repro.runtime.sim_driver import DyflowOrchestrator
+
+    orch = DyflowOrchestrator(
+        launcher,
+        warmup=0.0,
+        settle=0.0,
+        poll_interval=cfg.poll_interval,
+        num_clients=cfg.num_clients,
+        record_history=False,
+        **kwargs,
+    )
+    orch.add_sensor(
+        SensorSpec("PACE", "TAUADIOS2", group_by=(GroupBySpec("task", "MAX"),))
+    )
+    orch.add_policy(
+        PolicySpec(
+            "WATCH_PACE",
+            sensor_id="PACE",
+            eval_op="GT",
+            threshold=cfg.policy_threshold,
+            action=ActionType.ADDCPU,
+            granularity="task",
+            history_window=1,
+            frequency=cfg.policy_frequency,
+        )
+    )
+    for i in range(cfg.num_tasks):
+        name = _task_name(i)
+        orch.monitor_task(name, "PACE", var="looptime", client=i % cfg.num_clients)
+        orch.apply_policy(
+            PolicyApplication(
+                "WATCH_PACE",
+                workflow_id=WORKFLOW_ID,
+                act_on_tasks=(name,),
+                assess_task=name,
+            )
+        )
+    return orch
+
+
+def run_synthetic_experiment(
+    num_tasks: int = 1000,
+    *,
+    config: SyntheticConfig | None = None,
+    max_time: float | None = None,
+    **orch_kwargs,
+) -> ScenarioResult:
+    """Run the synthetic scenario; counters land in ``result.meta``.
+
+    ``meta`` carries the raw throughput counters (engine events executed,
+    orchestrator ticks, envelopes received/updates seen) — wall-clock
+    normalization is the benchmark harness's job.
+    """
+    cfg = config or SyntheticConfig(num_tasks=num_tasks)
+    engine = SimEngine()
+    num_nodes = max(1, math.ceil(cfg.num_tasks / cfg.cores_per_node))
+    machine = summit(num_nodes, cores_per_node=cfg.cores_per_node)
+    scheduler = BatchScheduler(engine, machine)
+    if max_time is None:
+        max_time = cfg.step_time * (cfg.total_steps + 4) + 60.0
+    job = scheduler.submit(num_nodes, walltime_limit=max_time)
+    engine.run(until=0)
+    assert job.allocation is not None
+    workflow = build_synthetic_workflow(cfg)
+    launcher = Savanna(engine, workflow, job.allocation, rng=RngRegistry(cfg.seed))
+    orch = build_synthetic_orchestrator(launcher, cfg, **orch_kwargs)
+    makespan = execute_scenario(engine, launcher, orch, max_time=max_time)
+    return ScenarioResult(
+        name="synthetic",
+        machine="summit",
+        use_dyflow=True,
+        makespan=makespan,
+        trace=launcher.trace,
+        plans=orch.plans,
+        metric_history=orch.server.history,
+        launcher=launcher,
+        meta={
+            "num_tasks": cfg.num_tasks,
+            "events_executed": engine.events_executed,
+            "ticks": orch.ticks,
+            "envelopes": orch.server.received,
+            "updates_seen": orch.decision.updates_seen,
+            "updates_matched": orch.decision.updates_matched,
+        },
+    )

@@ -8,7 +8,8 @@
   numerical kernels on wall-clock time.
 """
 
+from repro.runtime.options import RuntimeOptions
 from repro.runtime.sim_driver import DyflowOrchestrator
 from repro.runtime.threaded import LiveTaskSpec, ThreadedDyflow
 
-__all__ = ["DyflowOrchestrator", "ThreadedDyflow", "LiveTaskSpec"]
+__all__ = ["DyflowOrchestrator", "RuntimeOptions", "ThreadedDyflow", "LiveTaskSpec"]

@@ -1,0 +1,104 @@
+"""Consolidated runtime configuration.
+
+Both drivers historically grew one keyword argument per subsystem —
+``telemetry=``, ``observability=``, ``journal=``, ``preflight=``,
+``resilience=`` — which made their signatures drift apart and forced
+every new cross-cutting switch through two constructors.  This module
+folds them into one frozen :class:`RuntimeOptions` value accepted by
+:class:`~repro.runtime.sim_driver.DyflowOrchestrator` and
+:class:`~repro.runtime.threaded.ThreadedDyflow` alike::
+
+    opts = RuntimeOptions(telemetry=TelemetrySpec(...), preflight="warn")
+    orch = DyflowOrchestrator(launcher, options=opts)
+
+The old per-subsystem kwargs keep working for one release via
+:func:`resolve_options` (warn-once :class:`DeprecationWarning` shims);
+passing both ``options=`` and a legacy kwarg is an error, not a merge.
+
+Tuning knobs that describe *how this particular run is driven* (warmup,
+settle, poll cadence, tracer injection, worker caps) are not part of
+RuntimeOptions — they stay ordinary constructor arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import DyflowError
+from repro.util.deprecation import warn_once
+
+if TYPE_CHECKING:
+    from repro.observability import ObservabilitySpec
+    from repro.resilience.spec import ResilienceSpec
+    from repro.telemetry import TelemetrySpec
+    from repro.xmlspec.model import DyflowSpec
+
+#: Sentinel distinguishing "kwarg not passed" from an explicit ``None``
+#: (legacy callers could legitimately pass ``telemetry=None``).
+_UNSET: Any = object()
+
+
+@dataclass(frozen=True)
+class RuntimeOptions:
+    """Cross-cutting subsystem switches shared by both drivers.
+
+    ``resilience`` is applied by the orchestrator through
+    ``launcher.configure_resilience`` (the launcher owns retry/quarantine
+    state); the threaded driver consumes it directly.  ``batch_deliveries``
+    only affects the simulated driver — the threaded driver has no
+    discrete-event delivery path to batch.
+    """
+
+    telemetry: "TelemetrySpec | None" = None
+    observability: "ObservabilitySpec | None" = None
+    journal: Any = None  # Journal | JournalSpec | None
+    preflight: str = "off"
+    resilience: "ResilienceSpec | None" = None
+    batch_deliveries: bool = True
+
+    @classmethod
+    def from_spec(cls, spec: "DyflowSpec") -> "RuntimeOptions":
+        """Lift the runtime-relevant sections of a parsed XML spec."""
+        return cls(
+            telemetry=spec.telemetry,
+            observability=spec.observability,
+            journal=spec.journal,
+            resilience=spec.resilience,
+        )
+
+    def override(self, **changes: Any) -> "RuntimeOptions":
+        """Copy with the given fields replaced (``dataclasses.replace``)."""
+        return replace(self, **changes)
+
+
+def resolve_options(
+    owner: str,
+    options: RuntimeOptions | None,
+    legacy: dict[str, Any],
+) -> RuntimeOptions:
+    """Fold deprecated per-subsystem kwargs into a RuntimeOptions.
+
+    *legacy* maps field name -> passed value or :data:`_UNSET`.  Every
+    field actually passed emits one DeprecationWarning per process
+    (keyed ``{owner}.{field}``).  Mixing ``options=`` with legacy kwargs
+    raises :class:`DyflowError` — silent merging would hide which value
+    won.
+    """
+    provided = {k: v for k, v in legacy.items() if v is not _UNSET}
+    for name in provided:
+        warn_once(
+            f"{owner}.{name}",
+            f"{owner}({name}=...) is deprecated; pass "
+            f"options=RuntimeOptions({name}=...) instead",
+        )
+    if options is not None:
+        if provided:
+            raise DyflowError(
+                f"{owner}: {sorted(provided)} passed both via options= and as "
+                "legacy keyword(s); put them in RuntimeOptions only"
+            )
+        return options
+    if provided:
+        return RuntimeOptions(**provided)
+    return RuntimeOptions()

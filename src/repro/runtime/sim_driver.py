@@ -39,7 +39,8 @@ from repro.observability import (
     write_report,
 )
 from repro.resilience import ChaosEngine, HeartbeatWatchdog
-from repro.telemetry import TelemetrySpec, build_tracer, write_chrome_trace
+from repro.runtime.options import _UNSET, RuntimeOptions, resolve_options
+from repro.telemetry import build_tracer, write_chrome_trace
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.util.jsonmsg import Envelope
 from repro.wms.launcher import Savanna
@@ -59,17 +60,36 @@ class DyflowOrchestrator:
         allow_victims: bool = True,
         record_history: bool = False,
         graceful_stops: bool = True,
-        telemetry: TelemetrySpec | None = None,
+        options: RuntimeOptions | None = None,
+        telemetry=_UNSET,
         tracer: Tracer | None = None,
-        observability: ObservabilitySpec | None = None,
-        journal=None,
+        observability=_UNSET,
+        journal=_UNSET,
         ignore_crash_requests: bool = False,
         on_crash: Callable[["DyflowOrchestrator"], None] | None = None,
-        preflight: str = "off",
+        preflight=_UNSET,
     ) -> None:
         from repro.lint.preflight import check_mode
 
-        self.preflight = check_mode(preflight)
+        # telemetry=/observability=/journal=/preflight= are deprecated
+        # shims (one release); new code passes options=RuntimeOptions(...).
+        opts = resolve_options(
+            "DyflowOrchestrator",
+            options,
+            {
+                "telemetry": telemetry,
+                "observability": observability,
+                "journal": journal,
+                "preflight": preflight,
+            },
+        )
+        self.options = opts
+        telemetry = opts.telemetry
+        observability = opts.observability
+        journal = opts.journal
+        if opts.resilience is not None:
+            launcher.configure_resilience(opts.resilience)
+        self.preflight = check_mode(opts.preflight)
         self.launcher = launcher
         self.engine = launcher.engine
         self.rules = rules if rules is not None else ArbitrationRules.from_workflow(launcher.workflow)
@@ -158,12 +178,23 @@ class DyflowOrchestrator:
         self._crash_requested = False
         self._tick_event = None
         self._barriers = 0
+        #: Control-loop iterations executed (throughput telemetry).
+        self.ticks = 0
         self._delivery_ids = itertools.count()
         # did -> (deliver-at, envelope, SimEvent, kind, link-id): data and
         # ack copies in transit ("data" to the server, "ack" back to a link).
         self._inflight_deliveries: dict[
             int, tuple[float, Envelope, object, str, str | None]
         ] = {}
+        #: Aggregate same-deliver-time envelopes registered within one
+        #: tick into a single engine event (members run consecutively in
+        #: registration order — exactly the order separate events with
+        #: consecutive seqs would have popped).  Opt-out knob for the
+        #: batched-vs-per-sample equivalence suite.
+        self.batch_deliveries = opts.batch_deliveries
+        # deliver-at -> (shared event, [dids]); non-None only while the
+        # tick's collect phase is registering deliveries.
+        self._batch_slots: dict[float, tuple[object, list[int]]] | None = None
 
     # -- bootstrap configuration ---------------------------------------------------
     def add_sensor(self, spec: SensorSpec) -> None:
@@ -329,6 +360,7 @@ class DyflowOrchestrator:
             return
         traced = self.tracer.enabled
         now = self.engine.now
+        self.ticks += 1
         span_ctx = self.tracer.span("loop.tick", "loop") if traced else None
         if span_ctx is not None:
             span_ctx.__enter__()
@@ -337,19 +369,23 @@ class DyflowOrchestrator:
         # client->server transport); with a fabric configured each
         # envelope additionally crosses its client's FabricLink (drop /
         # dup / reorder / partition faults, ack-based retransmits).
-        for client in self.clients:
-            link = self.links.get(client.client_id)
-            for lag, env in client.collect(now):
-                if self.chaos is not None and self.chaos.drop_envelope(env):
-                    continue
-                if link is None:
-                    self._register_delivery(now + lag, env)
-                else:
-                    for at, copy in link.send(env, now, lag=lag):
+        self._batch_slots = {} if self.batch_deliveries else None
+        try:
+            for client in self.clients:
+                link = self.links.get(client.client_id)
+                for lag, env in client.collect(now):
+                    if self.chaos is not None and self.chaos.drop_envelope(env):
+                        continue
+                    if link is None:
+                        self._register_delivery(now + lag, env)
+                    else:
+                        for at, copy in link.send(env, now, lag=lag):
+                            self._register_delivery(at, copy, kind="data", link=link.link_id)
+                if link is not None:
+                    for at, copy in link.poll(now):
                         self._register_delivery(at, copy, kind="data", link=link.link_id)
-            if link is not None:
-                for at, copy in link.poll(now):
-                    self._register_delivery(at, copy, kind="data", link=link.link_id)
+        finally:
+            self._batch_slots = None
         if self.network is not None:
             self._drain_ingress(now)
         if self.degrade is not None:
@@ -402,8 +438,26 @@ class DyflowOrchestrator:
         link: str | None = None,
     ) -> None:
         did = next(self._delivery_ids)
+        slots = self._batch_slots
+        if slots is not None and seq is None and kind == "data":
+            entry = slots.get(at)
+            if entry is None:
+                dids: list[int] = [did]
+                ev = self.engine.call_at(
+                    at, lambda: self._deliver_batch(dids), name="delivery"
+                )
+                slots[at] = (ev, dids)
+            else:
+                ev, dids = entry
+                dids.append(did)
+            self._inflight_deliveries[did] = (at, env, ev, kind, link)
+            return
         ev = self.engine.call_at(at, lambda: self._deliver(did), name="delivery", seq=seq)
         self._inflight_deliveries[did] = (at, env, ev, kind, link)
+
+    def _deliver_batch(self, dids: list[int]) -> None:
+        for did in dids:
+            self._deliver(did)
 
     def _deliver(self, did: int) -> None:
         entry = self._inflight_deliveries.pop(did, None)

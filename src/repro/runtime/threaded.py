@@ -39,11 +39,11 @@ from repro.observability import (
     write_openmetrics,
     write_report,
 )
-from repro.resilience.spec import ResilienceSpec
+from repro.runtime.options import _UNSET, RuntimeOptions, resolve_options
 from repro.sim.rng import RngRegistry
 from repro.staging.hub import DataHub
 from repro.staging.serialization import Sample
-from repro.telemetry import TelemetrySpec, build_tracer, write_chrome_trace
+from repro.telemetry import build_tracer, write_chrome_trace
 from repro.telemetry.tracer import Tracer
 
 
@@ -153,18 +153,38 @@ class ThreadedDyflow:
         warmup: float = 2.0,
         settle: float = 2.0,
         max_workers_total: int | None = None,
-        resilience: ResilienceSpec | None = None,
+        resilience=_UNSET,
         rng: RngRegistry | None = None,
-        telemetry: TelemetrySpec | None = None,
+        telemetry=_UNSET,
         tracer: Tracer | None = None,
-        observability: ObservabilitySpec | None = None,
-        journal=None,
-        preflight: str = "off",
+        observability=_UNSET,
+        journal=_UNSET,
+        preflight=_UNSET,
         queue_capacity: int = 64,
+        options: RuntimeOptions | None = None,
     ) -> None:
         from repro.lint.preflight import check_mode
 
-        self.preflight = check_mode(preflight)
+        # resilience=/telemetry=/observability=/journal=/preflight= are
+        # deprecated shims (one release); new code passes
+        # options=RuntimeOptions(...).
+        opts = resolve_options(
+            "ThreadedDyflow",
+            options,
+            {
+                "resilience": resilience,
+                "telemetry": telemetry,
+                "observability": observability,
+                "journal": journal,
+                "preflight": preflight,
+            },
+        )
+        self.options = opts
+        resilience = opts.resilience
+        telemetry = opts.telemetry
+        observability = opts.observability
+        journal = opts.journal
+        self.preflight = check_mode(opts.preflight)
         self.workflow_id = workflow_id
         self.specs = {t.name: t for t in tasks}
         if len(self.specs) != len(tasks):

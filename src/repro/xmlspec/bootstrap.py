@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.core.rules import ArbitrationRules
 from repro.errors import XmlSpecError
+from repro.runtime.options import RuntimeOptions
 from repro.runtime.sim_driver import DyflowOrchestrator
 from repro.telemetry.config import TelemetrySpec
 from repro.wms.launcher import Savanna
@@ -33,34 +34,49 @@ def configure_orchestrator(
     ignore_crash_requests: bool = False,
     on_crash=None,
     preflight: str = "off",
+    options: RuntimeOptions | None = None,
 ) -> DyflowOrchestrator:
     """Build a :class:`DyflowOrchestrator` for *launcher* from *spec*.
 
     Sensors, monitor-task bindings, policies, applications and rules are
     installed; the XML's rule dependencies are merged over the workflow's
-    own dependency declarations.  A ``<resilience>`` section configures
-    the launcher's recovery layer *before* the orchestrator is built, so
-    the orchestrator can wire the watchdog and the chaos engine; without
-    one, any programmatically installed resilience spec is left intact.
-    A ``<telemetry>`` section builds the run's tracer the same way; the
-    *telemetry* argument overrides whatever the XML carries.  Likewise a
-    ``<journal>`` element enables crash-recovery journaling unless the
-    *journal* argument overrides it, and an ``<observability>`` section
-    configures SLO/anomaly health monitoring and run-report exports
-    unless the *observability* argument overrides it; *tracer*,
-    *ignore_crash_requests*
-    and *on_crash* pass straight through to the orchestrator (used when
-    rebuilding one for :meth:`DyflowOrchestrator.resume_from`).
+    own dependency declarations.  Runtime configuration starts from
+    :meth:`RuntimeOptions.from_spec` — the XML's ``<resilience>``,
+    ``<telemetry>``, ``<journal>`` and ``<observability>`` sections — and
+    each convenience argument (*telemetry*, *journal*, *observability*,
+    *preflight*) overrides its section when given; pass an explicit
+    *options* to replace the spec-derived bundle wholesale (combining it
+    with the per-section arguments is an error).  These convenience
+    keywords remain first-class here — only the orchestrator constructors
+    deprecate them.  A spec/options resilience section configures the
+    launcher's recovery layer *before* the orchestrator is built, so the
+    orchestrator can wire the watchdog and the chaos engine; without one,
+    any programmatically installed resilience spec is left intact.
+    *tracer*, *ignore_crash_requests* and *on_crash* pass straight
+    through to the orchestrator (used when rebuilding one for
+    :meth:`DyflowOrchestrator.resume_from`).
     """
     workflow_id = launcher.workflow.workflow_id
-    if spec.resilience is not None:
-        launcher.configure_resilience(spec.resilience)
-    if telemetry is None:
-        telemetry = spec.telemetry
-    if journal is None:
-        journal = spec.journal
-    if observability is None:
-        observability = spec.observability
+    overrides = {
+        k: v
+        for k, v in (
+            ("telemetry", telemetry),
+            ("journal", journal),
+            ("observability", observability),
+        )
+        if v is not None
+    }
+    if preflight != "off":
+        overrides["preflight"] = preflight
+    if options is not None:
+        if overrides:
+            raise XmlSpecError(
+                f"configure_orchestrator: {sorted(overrides)} passed alongside "
+                "options=; fold them into the RuntimeOptions"
+            )
+        opts = options
+    else:
+        opts = RuntimeOptions.from_spec(spec).override(**overrides)
     rule = spec.rules.get(workflow_id)
     rules = ArbitrationRules.from_workflow(
         launcher.workflow,
@@ -83,13 +99,10 @@ def configure_orchestrator(
         allow_victims=allow_victims,
         record_history=record_history,
         graceful_stops=graceful_stops,
-        telemetry=telemetry,
+        options=opts,
         tracer=tracer,
-        observability=observability,
-        journal=journal,
         ignore_crash_requests=ignore_crash_requests,
         on_crash=on_crash,
-        preflight=preflight,
     )
     for sensor in spec.sensors.values():
         orch.add_sensor(sensor)

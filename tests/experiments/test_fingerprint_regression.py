@@ -1,0 +1,57 @@
+"""Committed scenario fingerprints: the bit-identity regression oracle.
+
+Every performance change to the discrete-event core (slot-indexed event
+heap, batched envelope delivery, the cached JSON codec, memoized
+placement feasibility, vectorized step models) is sold on one promise:
+*zero* observable behaviour change.  These hashes pin that promise to
+the repository.  ``scenario_fingerprint`` digests the full scenario
+trace — task events, plans, metric history — so a single reordered
+event, dropped envelope, or float that differs in its last bit changes
+the hash.
+
+If a test here fails, the change under review altered simulation
+behaviour.  That is only acceptable for an *intentional* semantic
+change (new feature, bug fix in the model); in that case regenerate the
+constants below and say so in the commit message.  A performance PR
+must never need to touch them.
+"""
+
+import pytest
+
+from repro.experiments.grayscott_scenario import run_gray_scott_experiment
+from repro.experiments.lammps_scenario import run_lammps_experiment
+from repro.experiments.xgc_scenario import run_xgc_experiment
+from repro.journal.resume import scenario_fingerprint
+
+CHAOS_XML = """
+  <resilience>
+    <network latency="0.2" jitter="0.1" drop-prob="0.10" dup-prob="0.05"
+             reorder-prob="0.05" ack-timeout="2.0" max-retransmits="5"
+             ingress-capacity="64" drain-per-tick="32"
+             stale-after="20.0" degrade-after="3" recover-after="3">
+      <partition start="600.0" duration="30.0"/>
+    </network>
+  </resilience>"""
+
+# Regenerate with:
+#   PYTHONPATH=src python -c "
+#   from tests.experiments.test_fingerprint_regression import *
+#   for name, run in SCENARIOS.items(): print(name, scenario_fingerprint(run()))"
+EXPECTED = {
+    "xgc": "b62635e327b28a08e30beb0d565bf975791f1322be57d09e1d90a17f8f786071",
+    "gray_scott": "cd686eeb1f267df778bc5e7e6448194f982659267f44d56a36c1215b27e9c7ef",
+    "lammps": "99dcceda543fc294100da991d9e68163ce15a8d65bad53456433e7e55372c8f1",
+    "fabric_faults": "13f01de06fbbfb12c7e13c8271f4074e4e3d50f14a19bc4bd6ad974517edaddf",
+}
+
+SCENARIOS = {
+    "xgc": lambda: run_xgc_experiment(seed=1),
+    "gray_scott": lambda: run_gray_scott_experiment(seed=1),
+    "lammps": lambda: run_lammps_experiment(seed=1),
+    "fabric_faults": lambda: run_gray_scott_experiment(seed=3, xml_extra=CHAOS_XML),
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_scenario_fingerprint_is_bit_identical(name):
+    assert scenario_fingerprint(SCENARIOS[name]()) == EXPECTED[name]

@@ -8,6 +8,7 @@ import pytest
 from repro.core import GroupBySpec, SensorSpec
 from repro.fabric import BoundedShedQueue, NetworkSpec
 from repro.resilience import ResilienceSpec
+from repro.runtime import RuntimeOptions
 from repro.runtime.threaded import LiveTaskSpec, ThreadedDyflow
 
 
@@ -43,7 +44,7 @@ class TestThreadedFabricWiring:
     def make_runner(self, network=None, **kw):
         resilience = ResilienceSpec(network=network) if network is not None else None
         defaults = dict(poll_interval=0.05, warmup=0.1, settle=0.1,
-                        resilience=resilience)
+                        options=RuntimeOptions(resilience=resilience))
         defaults.update(kw)
         return ThreadedDyflow(
             "LIVE",

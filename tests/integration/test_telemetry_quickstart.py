@@ -31,6 +31,7 @@ from repro.api import (
     WorkflowSpec,
     summit,
 )
+from repro.runtime import RuntimeOptions
 
 STAGES = ("monitor", "decision", "arbitration", "actuation")
 
@@ -49,7 +50,7 @@ def run_quickstart(telemetry=None, tracer=None, seed=1):
     )
     launcher = Savanna(engine, workflow, allocation, rng=RngRegistry(seed=seed))
     orch = DyflowOrchestrator(launcher, warmup=40.0, settle=40.0, record_history=True,
-                              telemetry=telemetry, tracer=tracer)
+                              options=RuntimeOptions(telemetry=telemetry), tracer=tracer)
     orch.add_sensor(SensorSpec("PACE", "TAUADIOS2", (GroupBySpec("task", "MAX"),)))
     orch.monitor_task("Analysis", "PACE", var="looptime")
     orch.add_policy(

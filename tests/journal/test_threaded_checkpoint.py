@@ -8,6 +8,7 @@ instead of recomputing from zero, and skips tasks that already finished.
 import time
 
 from repro.journal import JournalSpec, read_journal
+from repro.runtime import RuntimeOptions
 from repro.runtime.threaded import LiveTaskSpec, ThreadedDyflow
 
 TOTAL_STEPS = 40
@@ -19,7 +20,8 @@ def make_runner(steps_sink, journal=None):
         total_steps=TOTAL_STEPS,
     )
     return ThreadedDyflow(
-        "LIVE", [spec], poll_interval=0.05, warmup=0.2, settle=0.2, journal=journal
+        "LIVE", [spec], poll_interval=0.05, warmup=0.2, settle=0.2,
+        options=RuntimeOptions(journal=journal),
     )
 
 

@@ -20,7 +20,7 @@ from repro.errors import LintError, VerificationError
 from repro.experiments import run_gray_scott_experiment
 from repro.journal import scenario_fingerprint
 from repro.lint import PreflightWarning, spec_from_orchestrator, spec_from_threaded
-from repro.runtime import DyflowOrchestrator, LiveTaskSpec, ThreadedDyflow
+from repro.runtime import DyflowOrchestrator, LiveTaskSpec, RuntimeOptions, ThreadedDyflow
 from repro.sim import RngRegistry, SimEngine
 from repro.wms import CouplingType, DependencySpec, Savanna, TaskSpec, WorkflowSpec
 
@@ -59,7 +59,7 @@ def wire_defective(orch):
 class TestOrchestratorPreflight:
     def test_strict_rejects_defect_before_tick_zero(self):
         eng, sav = make_launcher()
-        orch = DyflowOrchestrator(sav, preflight="strict")
+        orch = DyflowOrchestrator(sav, options=RuntimeOptions(preflight="strict"))
         wire_defective(orch)
         with pytest.raises(VerificationError) as exc:
             orch.start()
@@ -70,7 +70,8 @@ class TestOrchestratorPreflight:
 
     def test_strict_accepts_clean_spec(self):
         eng, sav = make_launcher()
-        orch = DyflowOrchestrator(sav, warmup=40.0, settle=40.0, preflight="strict")
+        orch = DyflowOrchestrator(sav, warmup=40.0, settle=40.0,
+                                  options=RuntimeOptions(preflight="strict"))
         wire_clean(orch)
         sav.launch_workflow()
         orch.start(stop_when=sav.all_idle)
@@ -80,7 +81,7 @@ class TestOrchestratorPreflight:
 
     def test_warn_mode_reports_and_continues(self):
         eng, sav = make_launcher()
-        orch = DyflowOrchestrator(sav, preflight="warn")
+        orch = DyflowOrchestrator(sav, options=RuntimeOptions(preflight="warn"))
         wire_defective(orch)
         sav.launch_workflow()
         with pytest.warns(PreflightWarning, match="DY112"):
@@ -100,7 +101,7 @@ class TestOrchestratorPreflight:
     def test_unknown_mode_rejected_at_construction(self):
         _eng, sav = make_launcher()
         with pytest.raises(LintError):
-            DyflowOrchestrator(sav, preflight="paranoid")
+            DyflowOrchestrator(sav, options=RuntimeOptions(preflight="paranoid"))
 
     def test_spec_reconstruction(self):
         _eng, sav = make_launcher()
@@ -118,10 +119,9 @@ class TestThreadedPreflight:
     def tasks(self):
         return [LiveTaskSpec("T", lambda s, w: None, total_steps=2)]
 
-    def make_runner(self, **kw):
-        defaults = dict(poll_interval=0.05, warmup=0.2, settle=0.2)
-        defaults.update(kw)
-        return ThreadedDyflow("W", self.tasks(), **defaults)
+    def make_runner(self, preflight="off"):
+        return ThreadedDyflow("W", self.tasks(), poll_interval=0.05, warmup=0.2,
+                              settle=0.2, options=RuntimeOptions(preflight=preflight))
 
     def test_strict_rejects_defect_before_start(self):
         run = self.make_runner(preflight="strict")

@@ -3,6 +3,7 @@
 import time
 
 from repro.resilience import ResilienceSpec, RetryPolicy, WatchdogSpec
+from repro.runtime import RuntimeOptions
 from repro.runtime.threaded import LiveTaskSpec, ThreadedDyflow
 
 
@@ -15,7 +16,7 @@ def fast_retry(**kw):
 
 def make_runner(tasks, resilience):
     return ThreadedDyflow("LIVE", tasks, poll_interval=0.05, warmup=0.2,
-                          settle=0.2, resilience=resilience)
+                          settle=0.2, options=RuntimeOptions(resilience=resilience))
 
 
 def status_records(runner, name):

@@ -1,0 +1,181 @@
+"""RuntimeOptions: the consolidated runtime-configuration bundle.
+
+Covers the one-release deprecation contract for the legacy per-subsystem
+constructor kwargs: each emits exactly one DeprecationWarning per
+process, mixing them with ``options=`` is an error, and the shims
+produce the same configuration as the options path.
+"""
+
+import warnings
+
+import pytest
+
+from repro.apps import ConstantModel, IterativeApp
+from repro.cluster import Allocation, summit
+from repro.errors import DyflowError
+from repro.journal import JournalSpec
+from repro.observability import ObservabilitySpec
+from repro.resilience import ResilienceSpec, RetryPolicy
+from repro.runtime import DyflowOrchestrator, RuntimeOptions, ThreadedDyflow
+from repro.sim import RngRegistry, SimEngine
+from repro.telemetry import TelemetrySpec
+from repro.util.deprecation import reset_warned
+from repro.wms import Savanna, TaskSpec, WorkflowSpec
+from repro.xmlspec.model import DyflowSpec
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    reset_warned()
+    yield
+    reset_warned()
+
+
+def make_launcher():
+    eng = SimEngine()
+    m = summit(2)
+    alloc = Allocation("a0", m, m.nodes, walltime_limit=1e9)
+    wf = WorkflowSpec(
+        "W", [TaskSpec("T", lambda: IterativeApp(ConstantModel(5.0)), nprocs=4)], []
+    )
+    return eng, Savanna(eng, wf, alloc, rng=RngRegistry(1))
+
+
+class TestRuntimeOptions:
+    def test_defaults(self):
+        opts = RuntimeOptions()
+        assert opts.telemetry is None
+        assert opts.observability is None
+        assert opts.journal is None
+        assert opts.preflight == "off"
+        assert opts.resilience is None
+        assert opts.batch_deliveries is True
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            RuntimeOptions().preflight = "strict"
+
+    def test_override_copies(self):
+        base = RuntimeOptions()
+        changed = base.override(preflight="warn", batch_deliveries=False)
+        assert changed.preflight == "warn"
+        assert changed.batch_deliveries is False
+        assert base.preflight == "off"
+
+    def test_from_spec_lifts_runtime_sections(self):
+        spec = DyflowSpec(
+            telemetry=TelemetrySpec(enabled=True),
+            journal=JournalSpec(enabled=False),
+            observability=ObservabilitySpec(enabled=False),
+            resilience=ResilienceSpec(retry=RetryPolicy(max_retries=2)),
+        )
+        opts = RuntimeOptions.from_spec(spec)
+        assert opts.telemetry is spec.telemetry
+        assert opts.journal is spec.journal
+        assert opts.observability is spec.observability
+        assert opts.resilience is spec.resilience
+        assert opts.preflight == "off"
+
+
+class TestOrchestratorOptions:
+    def test_options_accepted_end_to_end(self):
+        eng, sav = make_launcher()
+        opts = RuntimeOptions(telemetry=TelemetrySpec(enabled=True), preflight="warn")
+        orch = DyflowOrchestrator(sav, options=opts)
+        assert orch.options is opts
+        assert orch.telemetry is opts.telemetry
+        assert orch.preflight == "warn"
+
+    def test_resilience_configures_launcher(self):
+        eng, sav = make_launcher()
+        spec = ResilienceSpec(retry=RetryPolicy(max_retries=2))
+        DyflowOrchestrator(sav, options=RuntimeOptions(resilience=spec))
+        assert sav.resilience is spec
+
+    def test_no_resilience_leaves_launcher_config_intact(self):
+        eng, sav = make_launcher()
+        spec = ResilienceSpec(retry=RetryPolicy(max_retries=2))
+        sav.configure_resilience(spec)
+        DyflowOrchestrator(sav, options=RuntimeOptions())
+        assert sav.resilience is spec
+
+    def test_batch_deliveries_knob(self):
+        eng, sav = make_launcher()
+        orch = DyflowOrchestrator(sav, options=RuntimeOptions(batch_deliveries=False))
+        assert orch.batch_deliveries is False
+
+    @pytest.mark.parametrize("kwarg,value", [
+        ("telemetry", None),
+        ("observability", None),
+        ("journal", None),
+        ("preflight", "off"),
+    ])
+    def test_legacy_kwarg_warns_exactly_once(self, kwarg, value):
+        eng, sav = make_launcher()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            DyflowOrchestrator(sav, **{kwarg: value})
+            DyflowOrchestrator(sav, **{kwarg: value})
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert kwarg in str(deprecations[0].message)
+        assert "RuntimeOptions" in str(deprecations[0].message)
+
+    def test_legacy_kwarg_value_still_lands(self):
+        eng, sav = make_launcher()
+        telemetry = TelemetrySpec(enabled=True)
+        with pytest.warns(DeprecationWarning, match="telemetry"):
+            orch = DyflowOrchestrator(sav, telemetry=telemetry)
+        assert orch.telemetry is telemetry
+        assert orch.options.telemetry is telemetry
+
+    def test_options_plus_legacy_kwarg_rejected(self):
+        eng, sav = make_launcher()
+        with pytest.warns(DeprecationWarning, match="preflight"):
+            with pytest.raises(DyflowError, match="preflight"):
+                DyflowOrchestrator(
+                    sav, options=RuntimeOptions(), preflight="strict"
+                )
+
+
+class TestThreadedOptions:
+    def test_options_accepted_end_to_end(self):
+        spec = ResilienceSpec(retry=RetryPolicy(max_retries=1))
+        opts = RuntimeOptions(resilience=spec, preflight="warn")
+        runner = ThreadedDyflow("WF", [], options=opts)
+        assert runner.options is opts
+        assert runner.resilience is spec
+        assert runner.preflight == "warn"
+
+    @pytest.mark.parametrize("kwarg,value", [
+        ("resilience", None),
+        ("telemetry", None),
+        ("observability", None),
+        ("journal", None),
+        ("preflight", "off"),
+    ])
+    def test_legacy_kwarg_warns_exactly_once(self, kwarg, value):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            ThreadedDyflow("WF", [], **{kwarg: value})
+            ThreadedDyflow("WF", [], **{kwarg: value})
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert kwarg in str(deprecations[0].message)
+
+    def test_options_plus_legacy_kwarg_rejected(self):
+        with pytest.warns(DeprecationWarning, match="journal"):
+            with pytest.raises(DyflowError, match="journal"):
+                ThreadedDyflow("WF", [], options=RuntimeOptions(), journal=None)
+
+    def test_warn_keys_are_per_runtime(self):
+        # DyflowOrchestrator.telemetry and ThreadedDyflow.telemetry are
+        # separate deprecation keys: migrating one runtime's callers
+        # must not silence the other's warning.
+        eng, sav = make_launcher()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            DyflowOrchestrator(sav, telemetry=None)
+            ThreadedDyflow("WF", [], telemetry=None)
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 2

@@ -1,8 +1,18 @@
-"""The repro.api facade: one import surface for scripts and examples."""
+"""The repro.api facade: one import surface for scripts and examples.
+
+Includes the API-surface snapshot: the flat surface below is a frozen
+contract — removing or renaming a name is a breaking change and must be
+deliberate (update the snapshot in the commit that documents the
+break).  The test fails on *any* drift, in either direction, so the
+diff always shows exactly what changed.
+"""
 
 import ast
 import importlib
+import os
 import pathlib
+import subprocess
+import sys
 
 import pytest
 
@@ -10,6 +20,211 @@ import repro
 from repro import api
 
 EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+#: The committed flat surface of ``repro.api``.
+API_SURFACE = [
+    "ANALYSIS_TASKS",
+    "ActionPlan",
+    "ActionType",
+    "Allocation",
+    "AmdahlModel",
+    "AnomalySpec",
+    "AppliedOpsLedger",
+    "BatchScheduler",
+    "BoundedShedQueue",
+    "Campaign",
+    "CampaignRunner",
+    "ChaosEngine",
+    "CheckpointSpec",
+    "ConstantModel",
+    "CouplingType",
+    "DegradedModeController",
+    "DependencySpec",
+    "Diagnostic",
+    "DyflowOrchestrator",
+    "DyflowSpec",
+    "FabricLink",
+    "FaultModelSpec",
+    "GRAY_SCOTT_XML",
+    "GrayScottSolver",
+    "GroupBySpec",
+    "HEALTH_TASK",
+    "HealthAlert",
+    "HealthEngine",
+    "IterativeApp",
+    "JoinSpec",
+    "Journal",
+    "JournalSpec",
+    "JournalState",
+    "JsonlEventLog",
+    "LAMMPS_XML",
+    "LinkOverride",
+    "LiveTaskSpec",
+    "MetricUpdate",
+    "MetricsRegistry",
+    "NetworkSpec",
+    "NullTracer",
+    "ObservabilitySpec",
+    "PartitionWindow",
+    "PolicyApplication",
+    "PolicySpec",
+    "PowerLawModel",
+    "PreflightWarning",
+    "QuarantineSpec",
+    "RampModel",
+    "ReproError",
+    "ResilienceSpec",
+    "RetryPolicy",
+    "RngRegistry",
+    "RuntimeOptions",
+    "Savanna",
+    "ScenarioResult",
+    "SensorSpec",
+    "Severity",
+    "SimEngine",
+    "SloSpec",
+    "SpanView",
+    "SuggestedAction",
+    "Sweep",
+    "TaskSpec",
+    "TaskState",
+    "TelemetrySpec",
+    "ThreadedDyflow",
+    "TraceSpan",
+    "Tracer",
+    "VectorizedStepModel",
+    "VerificationError",
+    "WatchdogSpec",
+    "WorkflowSpec",
+    "XGC_XML",
+    "bottlenecks",
+    "build_report",
+    "build_tracer",
+    "configure_orchestrator",
+    "critical_path",
+    "deepthought2",
+    "format_report",
+    "isosurface_cell_count",
+    "lint_xml_text",
+    "parse_dyflow_xml",
+    "parse_openmetrics",
+    "read_journal",
+    "render_gantt",
+    "render_markdown",
+    "render_openmetrics",
+    "render_sarif",
+    "report_from_jsonl",
+    "report_from_run",
+    "run_gray_scott_experiment",
+    "run_lammps_experiment",
+    "run_preflight",
+    "run_selflint",
+    "run_xgc_experiment",
+    "scenario_fingerprint",
+    "summit",
+    "to_chrome_trace",
+    "utilization_from_events",
+    "utilization_from_launcher",
+    "verify_spec",
+    "write_chrome_trace",
+    "write_dyflow_xml",
+    "write_openmetrics",
+    "write_report",
+]
+
+#: Sub-facade -> names it must expose, in order.
+SUBFACADES = {
+    "runtime": [
+        "DyflowOrchestrator", "ThreadedDyflow", "LiveTaskSpec",
+        "RuntimeOptions", "SimEngine", "RngRegistry", "Savanna",
+        "DyflowSpec", "configure_orchestrator", "parse_dyflow_xml",
+        "write_dyflow_xml",
+    ],
+    "telemetry": [
+        "TelemetrySpec", "Tracer", "NullTracer", "TraceSpan",
+        "MetricsRegistry", "JsonlEventLog", "build_tracer",
+        "to_chrome_trace", "write_chrome_trace",
+    ],
+    "fault": [
+        "ResilienceSpec", "RetryPolicy", "WatchdogSpec", "QuarantineSpec",
+        "CheckpointSpec", "FaultModelSpec", "ChaosEngine",
+    ],
+    "journal": [
+        "Journal", "JournalSpec", "JournalState", "AppliedOpsLedger",
+        "read_journal", "scenario_fingerprint", "CampaignRunner",
+    ],
+    "lint": [
+        "Diagnostic", "Severity", "PreflightWarning", "VerificationError",
+        "verify_spec", "lint_xml_text", "run_selflint", "run_preflight",
+        "render_sarif",
+    ],
+    "fabric": [
+        "NetworkSpec", "PartitionWindow", "LinkOverride", "FabricLink",
+        "DegradedModeController", "BoundedShedQueue",
+    ],
+}
+
+
+def test_surface_snapshot():
+    assert list(api.__all__) == API_SURFACE
+
+
+def test_dir_covers_surface_and_subfacades():
+    listing = set(dir(api))
+    assert set(API_SURFACE) <= listing
+    assert set(SUBFACADES) <= listing
+
+
+def test_unknown_name_raises_attribute_error():
+    with pytest.raises(AttributeError, match="definitely_not_an_api_name"):
+        api.definitely_not_an_api_name
+
+
+def test_subfacades_expose_documented_names():
+    for sub, names in SUBFACADES.items():
+        mod = getattr(api, sub)
+        assert list(mod.__all__) == names
+        for name in names:
+            assert getattr(mod, name) is not None, f"{sub}.{name}"
+
+
+def test_subfacade_names_are_flat_aliases():
+    # The sub-facades are views of the flat surface, not copies.
+    for sub, names in SUBFACADES.items():
+        mod = getattr(api, sub)
+        for name in names:
+            if name in api.__all__:
+                assert getattr(api, name) is getattr(mod, name), f"{sub}.{name}"
+
+
+def test_subfacades_importable_as_modules():
+    for sub in SUBFACADES:
+        mod = importlib.import_module(f"repro.api.{sub}")
+        assert mod is getattr(api, sub)
+
+
+def test_flat_resolution_is_lazy():
+    """``import repro.api`` must not pull in corners nobody touched.
+
+    ``repro/__init__`` eagerly wires the runtime, so much of the tree
+    loads regardless — but the experiments and lint packages are only
+    reachable through the facade and must load on first attribute
+    access, not at import.  Run in a subprocess for a clean module
+    graph.
+    """
+    src = pathlib.Path(repro.__file__).resolve().parent.parent
+    code = (
+        "import sys\n"
+        "import repro.api as api\n"
+        "for mod in ('repro.experiments', 'repro.lint'):\n"
+        "    assert mod not in sys.modules, f'{mod} loaded eagerly'\n"
+        "api.run_xgc_experiment, api.verify_spec\n"
+        "assert 'repro.experiments' in sys.modules\n"
+        "assert 'repro.lint' in sys.modules\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    subprocess.run([sys.executable, "-c", code], check=True, env=env)
 
 
 def test_all_names_resolve():
