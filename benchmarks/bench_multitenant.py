@@ -1,0 +1,243 @@
+"""Multi-tenant campaign service: throughput, containment, resume replay.
+
+Three tenants share one simulated machine through the campaign service:
+two healthy parameter grids (``bob``, ``carol``) and one crash-looping
+tenant (``alice``) whose workflow factory always raises.  The figures of
+merit are per-tenant throughput (cells completed per wall second of
+service time), the breaker's quarantine counts (containment), and the
+resume-replay ratio after a mid-campaign supervisor crash (every cell
+finished before the crash must replay from its tenant's WAL instead of
+re-executing).
+
+Two gates ride along: the bulkhead-isolation proof (``bob``'s scenario
+fingerprints are bit-identical solo vs next to the crash loop) and
+replay-verbatim (resumed results equal the pre-crash ones).
+
+Runs as a pytest benchmark (``pytest benchmarks/bench_multitenant.py``)
+or standalone (``python benchmarks/bench_multitenant.py [--smoke]``);
+both write ``BENCH_multitenant.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.apps import ConstantModel, IterativeApp
+from repro.campaign import (
+    CampaignService,
+    ExecutorSpec,
+    TenantCell,
+    TenantSpec,
+    TenantsSpec,
+)
+from repro.resilience import QuarantineSpec
+from repro.wms import TaskSpec, WorkflowSpec
+
+try:
+    from benchmarks.conftest import emit, write_bench
+except ModuleNotFoundError:  # standalone: python benchmarks/bench_multitenant.py
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    from benchmarks.conftest import emit, write_bench
+
+SEED = 7
+FULL_CELLS = {"alice": 6, "bob": 6, "carol": 4}
+SMOKE_CELLS = {"alice": 3, "bob": 3, "carol": 2}
+
+
+def wf_factory(n=2, steps=3):
+    return WorkflowSpec(
+        f"wf-{n}-{steps}",
+        [TaskSpec("T", IterativeApp(ConstantModel(1.0), total_steps=steps),
+                  nprocs=n)],
+    )
+
+
+def broken_factory(**_params):
+    raise RuntimeError("alice's workflow factory always crashes")
+
+
+def make_spec(tenants) -> TenantsSpec:
+    return TenantsSpec(
+        nodes=4, cores_per_node=8, tenants=tenants,
+        executor=ExecutorSpec(max_attempts=2, backoff_base=0.0, jitter=0.0),
+        breaker=QuarantineSpec(failures=4, window=100.0, cooldown=50.0),
+    )
+
+
+HEALTHY = {"bob": wf_factory, "carol": wf_factory}
+
+
+def submit_grid(svc: CampaignService, cells: dict[str, int]) -> None:
+    for tid, count in cells.items():
+        factory = HEALTHY.get(tid, broken_factory)
+        for i in range(count):
+            svc.submit(TenantCell(
+                tid, factory, params={"n": 2, "steps": 3 + (i % 3)},
+                nprocs=2, seed=SEED,
+            ))
+
+
+def make_service(cells: dict[str, int], journal_root: str | None,
+                 tenants=None) -> CampaignService:
+    spec = make_spec(tenants or (
+        TenantSpec("alice", quota_cores=8),
+        TenantSpec("bob", quota_cores=16),
+        TenantSpec("carol", quota_cores=16),
+    ))
+    svc = CampaignService(spec, journal_root=journal_root, rng_seed=SEED)
+    submit_grid(svc, cells)
+    return svc
+
+
+def fingerprints(records, tenant: str) -> dict[str, str]:
+    return {
+        r["cell_id"]: r["result"]["fingerprint"]
+        for r in records
+        if r["tenant"] == tenant and r["status"] == "completed"
+    }
+
+
+def run_campaign(cells: dict[str, int]) -> dict:
+    root = tempfile.mkdtemp(prefix="bench-multitenant-")
+    try:
+        # Phase 1: run until a mid-campaign supervisor crash.
+        crash_after = max(2, sum(cells.values()) // 2)
+        first = make_service(cells, root)
+        t0 = time.perf_counter()
+        before = first.run_pending(stop_after=crash_after)
+        pre_crash = first.tenant_summary()
+        # Phase 2: a fresh supervisor resumes over the same WAL root.
+        second = make_service(cells, root)
+        after = second.run_pending()
+        wall = time.perf_counter() - t0
+        # Drain anything parked behind a quarantine cooldown.
+        while second.admission.pending():
+            second.advance_time(second.breaker.spec.cooldown + 1.0)
+            if not second.run_pending():
+                break
+        replayed = [r for r in after if r["replayed"]]
+        done_before = {r["cell_id"]: r for r in before}
+        verbatim = all(
+            r["status"] == done_before[r["cell_id"]]["status"]
+            and r["result"] == done_before[r["cell_id"]]["result"]
+            for r in replayed
+            if r["cell_id"] in done_before
+        )
+        summary = second.tenant_summary()
+        shared_bob = fingerprints(before + after, "bob")
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    # Isolation proof: bob alone on the same machine shape, same cells.
+    solo = make_service(
+        {"bob": cells["bob"]}, None,
+        tenants=(TenantSpec("bob", quota_cores=16),),
+    )
+    solo_bob = fingerprints(solo.run_pending(), "bob")
+
+    tenants = {}
+    for tid, s in summary.items():
+        # Completed/poisoned counters already span the whole campaign
+        # (the resumed service replays them from the WAL); failures,
+        # breaker trips, and alerts are in-memory state, so the
+        # pre-crash supervisor's share is merged back in.
+        pre = pre_crash[tid]
+        done = s["completed"] + s["poisoned"]
+        tenants[tid] = {
+            "completed": s["completed"],
+            "failed": s["failed"] + pre["failed"],
+            "poisoned": s["poisoned"],
+            "queued": s["queued"],
+            "quarantine_trips": s["quarantine_trips"] + pre["quarantine_trips"],
+            "alerts": len(s["alerts"]) + len(pre["alerts"]),
+            "throughput_cells_per_s": round(done / wall, 2) if wall else 0.0,
+        }
+    executed = [r for r in after if not r["replayed"]]
+    return {
+        "tenants": tenants,
+        "resume": {
+            "crash_after": crash_after,
+            "replayed": len(replayed),
+            "executed_after_resume": len(executed),
+            "replay_ratio": round(len(replayed) / max(1, len(after)), 3),
+            "replay_verbatim": verbatim,
+        },
+        "isolation": {
+            "bob_cells": len(solo_bob),
+            "solo_equals_shared": bool(solo_bob) and solo_bob == shared_bob,
+        },
+        "wall_s": round(wall, 3),
+    }
+
+
+def report(result: dict, cells: dict[str, int], smoke: bool = False) -> dict:
+    lines = [f"{'tenant':>8} {'done':>5} {'fail':>5} {'poison':>6} "
+             f"{'trips':>5} {'alerts':>6} {'cells/s':>8}"]
+    for tid, t in sorted(result["tenants"].items()):
+        lines.append(
+            f"{tid:>8} {t['completed']:>5} {t['failed']:>5} {t['poisoned']:>6} "
+            f"{t['quarantine_trips']:>5} {t['alerts']:>6} "
+            f"{t['throughput_cells_per_s']:>8.2f}"
+        )
+    res = result["resume"]
+    lines.append(
+        f"resume: crashed after {res['crash_after']} cells, "
+        f"{res['replayed']} replayed ({res['replay_ratio']:.0%}), "
+        f"verbatim={res['replay_verbatim']}"
+    )
+    lines.append(
+        f"isolation: solo == shared fingerprints: "
+        f"{result['isolation']['solo_equals_shared']}"
+    )
+    emit("Multi-tenant campaign — containment and resume", lines)
+    return write_bench(
+        "multitenant",
+        {"machine": "4x8", "seed": SEED, "smoke": smoke, "cells": cells},
+        result,
+    )
+
+
+def check(result: dict) -> None:
+    # Containment: alice crash-loops and trips the breaker; her neighbors
+    # finish their entire grids regardless.
+    alice = result["tenants"]["alice"]
+    assert alice["completed"] == 0
+    assert alice["failed"] > 0
+    assert alice["quarantine_trips"] >= 1
+    assert alice["alerts"] >= 1
+    for tid in ("bob", "carol"):
+        t = result["tenants"][tid]
+        assert t["failed"] == 0 and t["poisoned"] == 0
+        assert t["completed"] > 0
+    # Crash recovery: everything finished pre-crash replays, verbatim.
+    assert result["resume"]["replayed"] == result["resume"]["crash_after"]
+    assert result["resume"]["replay_verbatim"]
+    # Bulkhead isolation: the crash loop never touched bob's results.
+    assert result["isolation"]["solo_equals_shared"]
+
+
+def test_multitenant_campaign(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_campaign(FULL_CELLS), rounds=1, iterations=1
+    )
+    check(result)
+    benchmark.extra_info["tenants"] = result["tenants"]
+    benchmark.extra_info["resume"] = result["resume"]
+    report(result, FULL_CELLS)
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    cells = SMOKE_CELLS if smoke else FULL_CELLS
+    result = run_campaign(cells)
+    report(result, cells, smoke=smoke)
+    check(result)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -16,7 +16,7 @@ examples under ``examples/`` import exclusively from this package.
 Besides the flat names, the surface is organised into **namespaced
 sub-facades** so related pieces can be imported as a group::
 
-    from repro.api import runtime, telemetry, fault, journal, lint, fabric
+    from repro.api import runtime, telemetry, fault, journal, lint, fabric, campaign
 
     orch = runtime.DyflowOrchestrator(launcher, options=runtime.RuntimeOptions())
     spec = fault.ResilienceSpec(retry=fault.RetryPolicy(max_retries=2))
@@ -28,6 +28,7 @@ sub-facades** so related pieces can be imported as a group::
 * ``repro.api.journal`` — crash-recovery journaling and fingerprints.
 * ``repro.api.lint`` — static verification, preflight, SARIF.
 * ``repro.api.fabric`` — the lossy Monitor-fabric transport model.
+* ``repro.api.campaign`` — the multi-tenant campaign service.
 
 Every flat name remains importable directly from ``repro.api`` (the
 sub-facades are views, not a migration), and resolution is lazy (PEP
@@ -42,7 +43,7 @@ import importlib
 
 #: Namespaced sub-facade modules, loaded on first attribute access.
 _SUBFACADES = frozenset(
-    {"runtime", "telemetry", "fault", "journal", "lint", "fabric"}
+    {"runtime", "telemetry", "fault", "journal", "lint", "fabric", "campaign"}
 )
 
 #: Flat name -> implementation module.  This table *is* the public
@@ -66,6 +67,14 @@ _FLAT = {
     "Campaign": "repro.wms",
     "CampaignRunner": "repro.wms",
     "Sweep": "repro.wms",
+    # multi-tenant campaign service
+    "TenantSpec": "repro.campaign",
+    "TenantsSpec": "repro.campaign",
+    "ExecutorSpec": "repro.campaign",
+    "CampaignService": "repro.campaign",
+    "TenantCell": "repro.campaign",
+    "SupervisedExecutor": "repro.campaign",
+    "statepoint_id": "repro.campaign",
     # applications
     "IterativeApp": "repro.apps",
     "AmdahlModel": "repro.apps",

@@ -1,0 +1,55 @@
+"""``repro.api.campaign`` — the multi-tenant campaign service.
+
+Bulkhead-isolated workflow tenants on a shared simulated machine: the
+admission controller and fair-share registry, per-tenant circuit
+breakers, the machine arbiter handing out core leases, the
+crash-supervised parallel executor, and signac-style statepoint ids.
+"""
+
+from repro.campaign import (
+    AdmissionController,
+    AdmissionResult,
+    CampaignService,
+    CellFailure,
+    CellOutcome,
+    ExecutorSpec,
+    Lease,
+    MachineArbiter,
+    SupervisedExecutor,
+    TenantBreaker,
+    TenantCell,
+    TenantRegistry,
+    TenantSpec,
+    TenantsSpec,
+    TenantState,
+    canonical_json,
+    run_cell_scenario,
+    statepoint_hash,
+    statepoint_id,
+)
+from repro.wms import Campaign, CampaignRunner, Sweep
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionResult",
+    "Campaign",
+    "CampaignRunner",
+    "CampaignService",
+    "CellFailure",
+    "CellOutcome",
+    "ExecutorSpec",
+    "Lease",
+    "MachineArbiter",
+    "SupervisedExecutor",
+    "Sweep",
+    "TenantBreaker",
+    "TenantCell",
+    "TenantRegistry",
+    "TenantSpec",
+    "TenantState",
+    "TenantsSpec",
+    "canonical_json",
+    "run_cell_scenario",
+    "statepoint_hash",
+    "statepoint_id",
+]

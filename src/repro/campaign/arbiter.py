@@ -1,0 +1,111 @@
+"""Machine-wide arbitration: tenants lease shared capacity in node chunks.
+
+The per-workflow :class:`~repro.core.arbitration.ArbitrationStage`
+arbitrates *within* one tenant's allocation; this arbiter sits one level
+up and decides how much of the shared machine each tenant may hold at
+once.  Capacity is leased in whole nodes (a cell's bulkhead partition is
+a fresh machine of exactly the leased nodes), and two policies gate
+every lease:
+
+* the **machine** — total nodes are finite; a lease that does not fit
+  is denied with ``"capacity"`` and the cell waits its turn;
+* the **tenant quota** — a tenant may not hold more than its
+  ``quota_cores`` across concurrent leases; a request past the quota is
+  denied with ``"quota"`` and does not victimize neighbors.
+
+All bookkeeping is plain integers over deterministically-ordered dicts,
+so grant order is a pure function of the request sequence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.campaign.spec import TenantSpec
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One tenant's hold on a slice of the shared machine."""
+
+    lease_id: int
+    tenant_id: str
+    cell_id: str
+    cores: int
+    nodes: int
+    cores_per_node: int
+
+
+class MachineArbiter:
+    """Node-granular capacity ledger for the shared campaign machine."""
+
+    def __init__(self, nodes: int, cores_per_node: int) -> None:
+        if nodes <= 0 or cores_per_node <= 0:
+            raise ReproError(
+                f"machine shape must be positive, got {nodes}x{cores_per_node}"
+            )
+        self.nodes = nodes
+        self.cores_per_node = cores_per_node
+        self.free_nodes = nodes
+        self._leases: dict[int, Lease] = {}
+        self._held_cores: dict[str, int] = {}
+        self._next_id = 0
+        self.grants = 0
+        self.denials: dict[str, int] = {"capacity": 0, "quota": 0}
+
+    def nodes_for(self, cores: int) -> int:
+        return max(1, math.ceil(cores / self.cores_per_node))
+
+    def held_cores(self, tenant_id: str) -> int:
+        """Cores *tenant_id* currently holds across its leases."""
+        return self._held_cores.get(tenant_id, 0)
+
+    def try_lease(
+        self, tenant: TenantSpec, cell_id: str, cores: int
+    ) -> tuple[Lease | None, str]:
+        """Lease *cores* (rounded up to nodes) or deny with a reason.
+
+        Returns ``(lease, "")`` on success, ``(None, reason)`` with
+        ``reason`` in ``{"quota", "capacity"}`` otherwise.
+        """
+        if cores <= 0:
+            raise ReproError(f"lease request must be positive, got {cores}")
+        quota = tenant.quota_cores
+        if quota and self.held_cores(tenant.tenant_id) + cores > quota:
+            self.denials["quota"] += 1
+            return None, "quota"
+        nodes = self.nodes_for(cores)
+        if nodes > self.free_nodes:
+            self.denials["capacity"] += 1
+            return None, "capacity"
+        self._next_id += 1
+        lease = Lease(
+            lease_id=self._next_id,
+            tenant_id=tenant.tenant_id,
+            cell_id=cell_id,
+            cores=cores,
+            nodes=nodes,
+            cores_per_node=self.cores_per_node,
+        )
+        self.free_nodes -= nodes
+        self._leases[lease.lease_id] = lease
+        self._held_cores[tenant.tenant_id] = (
+            self.held_cores(tenant.tenant_id) + cores
+        )
+        self.grants += 1
+        return lease, ""
+
+    def release(self, lease: Lease) -> None:
+        if self._leases.pop(lease.lease_id, None) is None:
+            raise ReproError(f"lease {lease.lease_id} is not active")
+        self.free_nodes += lease.nodes
+        held = self._held_cores[lease.tenant_id] - lease.cores
+        if held:
+            self._held_cores[lease.tenant_id] = held
+        else:
+            del self._held_cores[lease.tenant_id]
+
+    def active(self) -> list[Lease]:
+        return [self._leases[k] for k in sorted(self._leases)]

@@ -1,0 +1,164 @@
+"""Tenant registry and fair-share admission control.
+
+The registry is the campaign service's source of truth for who may
+submit work; the admission controller is the bulkhead's front door.
+Its invariants:
+
+* **Bounded queues** — each tenant's submit queue holds at most
+  ``max_queue`` cells.  A submission past the bound is rejected with a
+  *retry-after* hint proportional to the backlog; queues never grow
+  without limit no matter how fast a tenant submits.
+* **Quarantine-aware** — a tenant tripped by the
+  :class:`~repro.campaign.breaker.TenantBreaker` is rejected at the
+  door for the rest of its cooldown (the retry-after hint is the
+  remaining cooldown), so a crash-looping tenant cannot even queue new
+  blast radius.
+* **Weighted fair share** — when several tenants have queued work, the
+  dispatcher serves the tenant with the smallest served/weight ratio
+  (deterministic id tie-break), so a heavy submitter cannot starve a
+  light one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.campaign.breaker import TenantBreaker
+from repro.campaign.spec import TenantSpec
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class AdmissionResult:
+    """Outcome of one submit: accepted, or rejected with a retry hint."""
+
+    accepted: bool
+    tenant_id: str
+    reason: str = ""
+    retry_after: float = 0.0
+    queue_depth: int = 0
+
+
+@dataclass
+class TenantState:
+    """Runtime bookkeeping for one registered tenant."""
+
+    spec: TenantSpec
+    queue: deque = field(default_factory=deque)
+    submitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    poisoned: int = 0
+    leased_cores: int = 0
+    served: int = 0
+
+
+class TenantRegistry:
+    """Registered tenants, in a deterministic (insertion) order."""
+
+    def __init__(self) -> None:
+        self._tenants: dict[str, TenantState] = {}
+
+    def register(self, spec: TenantSpec) -> TenantState:
+        spec.validate()
+        if spec.tenant_id in self._tenants:
+            raise ReproError(f"tenant {spec.tenant_id!r} is already registered")
+        state = TenantState(spec=spec)
+        self._tenants[spec.tenant_id] = state
+        return state
+
+    def require(self, tenant_id: str) -> TenantState:
+        state = self._tenants.get(tenant_id)
+        if state is None:
+            raise ReproError(f"unknown tenant {tenant_id!r}")
+        return state
+
+    def ids(self) -> list[str]:
+        return list(self._tenants)
+
+    def states(self) -> list[TenantState]:
+        return list(self._tenants.values())
+
+    def __contains__(self, tenant_id: str) -> bool:
+        return tenant_id in self._tenants
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+
+class AdmissionController:
+    """Quota/backpressure gate + weighted fair-share dispatcher."""
+
+    def __init__(
+        self,
+        registry: TenantRegistry,
+        breaker: TenantBreaker | None = None,
+        retry_after_base: float = 1.0,
+    ) -> None:
+        self.registry = registry
+        self.breaker = breaker
+        #: Retry-after hint per queued cell already waiting ahead.
+        self.retry_after_base = retry_after_base
+
+    # -- the front door ----------------------------------------------------------
+    def submit(self, tenant_id: str, cell: Any, now: float = 0.0) -> AdmissionResult:
+        """Admit one cell into *tenant_id*'s queue, or reject with a hint."""
+        state = self.registry.require(tenant_id)
+        if self.breaker is not None and self.breaker.is_quarantined(tenant_id, now):
+            state.rejected += 1
+            return AdmissionResult(
+                accepted=False,
+                tenant_id=tenant_id,
+                reason="quarantined",
+                retry_after=self.breaker.cooldown_remaining(tenant_id, now),
+                queue_depth=len(state.queue),
+            )
+        if len(state.queue) >= state.spec.max_queue:
+            state.rejected += 1
+            return AdmissionResult(
+                accepted=False,
+                tenant_id=tenant_id,
+                reason="queue-full",
+                retry_after=self.retry_after_base * len(state.queue),
+                queue_depth=len(state.queue),
+            )
+        state.queue.append(cell)
+        state.submitted += 1
+        return AdmissionResult(
+            accepted=True, tenant_id=tenant_id, queue_depth=len(state.queue)
+        )
+
+    # -- fair-share dispatch -------------------------------------------------------
+    def next_tenant(self, now: float = 0.0) -> str | None:
+        """The tenant to serve next, or None when nothing is dispatchable.
+
+        Quarantined tenants keep their queues (parked, not dropped) but
+        are skipped until the breaker releases them.
+        """
+        best: tuple[float, str] | None = None
+        for tid, state in sorted(
+            ((s.spec.tenant_id, s) for s in self.registry.states())
+        ):
+            if not state.queue:
+                continue
+            if self.breaker is not None and self.breaker.is_quarantined(tid, now):
+                continue
+            ratio = state.served / state.spec.weight
+            if best is None or ratio < best[0]:
+                best = (ratio, tid)
+        return None if best is None else best[1]
+
+    def pop_cell(self, tenant_id: str) -> Any:
+        """Dequeue the tenant's oldest cell and charge one service turn."""
+        state = self.registry.require(tenant_id)
+        if not state.queue:
+            raise ReproError(f"tenant {tenant_id!r} has no queued cells")
+        state.served += 1
+        return state.queue.popleft()
+
+    def pending(self) -> int:
+        """Cells queued across all tenants (including quarantined ones)."""
+        return sum(len(s.queue) for s in self.registry.states())

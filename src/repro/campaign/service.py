@@ -1,0 +1,354 @@
+"""The multi-tenant campaign service: bulkhead-isolated workflows.
+
+Many tenants submit cells (parameterized workflow runs) into one shared
+simulated machine.  The design invariant is **bulkhead isolation** —
+nothing one tenant does can change what another tenant computes:
+
+* every cell runs on a *fresh* :class:`~repro.sim.engine.SimEngine`
+  over a machine partition of exactly the cores it leased from the
+  campaign-level :class:`~repro.campaign.arbiter.MachineArbiter`, so a
+  tenant's scenario fingerprint is a pure function of its own
+  ``(factory, params, seed, cores)`` — bit-identical whether it runs
+  solo or next to a crash-looping neighbor;
+* admission is quota- and queue-bounded (reject-with-retry-after, see
+  :mod:`repro.campaign.registry`), so a runaway submitter is throttled
+  at the door;
+* cell failures feed the per-tenant
+  :class:`~repro.campaign.breaker.TenantBreaker`; a crash-looping
+  tenant is quarantined for a cooldown instead of starving neighbors,
+  and a per-tenant SLO fires a :class:`~repro.observability.HealthAlert`
+  one failure *before* the breaker trips, so degradation is visible
+  before containment;
+* every tenant journals into its **own WAL directory** via
+  :mod:`repro.journal`; one tenant's crash/resume replays only that
+  tenant, and a supervisor crash mid-campaign resumes the grid with
+  completed cells replayed verbatim from the per-tenant ledgers.
+
+The service clock is *logical* (one tick per executed cell, plus
+explicit :meth:`advance_time`), so every decision — breaker windows,
+retry-after hints, fair-share order — replays deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+from repro.campaign.arbiter import Lease, MachineArbiter
+from repro.campaign.breaker import TenantBreaker
+from repro.campaign.executor import COMPLETED, SupervisedExecutor
+from repro.campaign.registry import AdmissionController, AdmissionResult, TenantRegistry
+from repro.campaign.spec import ExecutorSpec, TenantsSpec
+from repro.campaign.statepoint import statepoint_id
+from repro.errors import ReproError
+from repro.journal import Journal, JournalSpec, read_journal
+from repro.observability.slo import HealthAlert, SloEvaluator
+from repro.observability.spec import SloSpec
+from repro.resilience.spec import QuarantineSpec
+from repro.sim.rng import RngRegistry
+
+
+@dataclass(frozen=True)
+class TenantCell:
+    """One unit of tenant work: a parameterized workflow run.
+
+    ``factory(**params)`` builds the cell's
+    :class:`~repro.wms.spec.WorkflowSpec`; the cell id is derived from
+    the statepoint (params + seed + cores) unless given explicitly.
+    """
+
+    tenant_id: str
+    factory: Callable[..., Any]
+    params: dict[str, Any] = field(default_factory=dict)
+    nprocs: int = 1
+    seed: int = 0
+    max_time: float = 10_000.0
+    cell_id: str = ""
+
+    def resolved_id(self, index: int) -> str:
+        if self.cell_id:
+            return self.cell_id
+        return statepoint_id(
+            self.tenant_id, index, self.params, seed=self.seed, nprocs=self.nprocs
+        )
+
+
+def run_cell_scenario(cell: TenantCell, lease: Lease) -> dict[str, Any]:
+    """Default cell runner: the workflow alone on its bulkhead partition.
+
+    Builds a fresh engine + machine of exactly the leased nodes, runs
+    the cell's workflow without an orchestrator, and returns a JSON
+    summary carrying the scenario fingerprint (the bit-identity oracle
+    the isolation proof compares).
+    """
+    from repro.cluster import BatchScheduler, summit
+    from repro.experiments.results import ScenarioResult
+    from repro.experiments.runner import execute_scenario
+    from repro.journal.resume import scenario_fingerprint
+    from repro.sim.engine import SimEngine
+    from repro.wms import Savanna
+
+    engine = SimEngine()
+    machine = summit(lease.nodes, cores_per_node=lease.cores_per_node)
+    scheduler = BatchScheduler(engine, machine)
+    job = scheduler.submit(lease.nodes, walltime_limit=cell.max_time)
+    engine.run(until=0)
+    workflow = cell.factory(**cell.params)
+    launcher = Savanna(engine, workflow, job.allocation, rng=RngRegistry(cell.seed))
+    makespan = execute_scenario(engine, launcher, None, max_time=cell.max_time)
+    result = ScenarioResult(
+        name=workflow.workflow_id,
+        machine=f"partition-{lease.nodes}n",
+        use_dyflow=False,
+        makespan=makespan,
+        trace=launcher.trace,
+        launcher=launcher,
+    )
+    return {
+        "makespan": makespan,
+        "fingerprint": scenario_fingerprint(result),
+        "nodes": lease.nodes,
+        "cores": lease.cores,
+    }
+
+
+class CampaignService:
+    """Admit, arbitrate, supervise, and journal many tenants' cells."""
+
+    def __init__(
+        self,
+        spec: TenantsSpec,
+        journal_root: str | None = None,
+        run_cell: Callable[[TenantCell, Lease], dict] | None = None,
+        rng_seed: int = 0,
+    ) -> None:
+        spec.validate()
+        if spec.nodes <= 0 or spec.cores_per_node <= 0:
+            raise ReproError(
+                "CampaignService needs a concrete machine shape "
+                "(tenants nodes/cores-per-node)"
+            )
+        self.spec = spec
+        self.registry = TenantRegistry()
+        for t in spec.tenants:
+            self.registry.register(t)
+        self._now = 0.0
+        self.breaker = TenantBreaker(
+            spec.breaker if spec.breaker is not None else QuarantineSpec(),
+            clock=lambda: self._now,
+        )
+        self.admission = AdmissionController(self.registry, self.breaker)
+        self.arbiter = MachineArbiter(spec.nodes, spec.cores_per_node)
+        # The service supervises cells in-process (serial mode): cell
+        # factories are closures, which worker processes cannot receive.
+        # Process-parallel grids go through SupervisedExecutor directly
+        # with a picklable grid function (see benchmarks/bench_multitenant).
+        exec_spec = spec.executor if spec.executor is not None else ExecutorSpec()
+        self.executor = SupervisedExecutor(
+            replace(exec_spec, workers=0), rng=RngRegistry(rng_seed)
+        )
+        self.run_cell = run_cell if run_cell is not None else run_cell_scenario
+        self.journal_root = journal_root
+        self.results: list[dict[str, Any]] = []
+        self._submit_index: dict[str, int] = {}
+        # Per-tenant early-warning SLO: fires when the failure count
+        # within the breaker window reaches one short of the trip
+        # threshold — degraded is visible before quarantined.
+        warn_at = max(1, self.breaker.spec.failures - 1)
+        self._slo: dict[str, SloEvaluator] = {
+            tid: SloEvaluator(SloSpec(
+                metric=f"tenant.{tid}.failures", stat="count",
+                op="LT", threshold=float(warn_at), severity="warning",
+            ))
+            for tid in self.registry.ids()
+        }
+        self.alerts: dict[str, list[HealthAlert]] = {
+            tid: [] for tid in self.registry.ids()
+        }
+
+    # -- clock --------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_time(self, dt: float) -> None:
+        """Advance the logical clock (e.g. to let a cooldown elapse)."""
+        if dt < 0:
+            raise ReproError("time cannot go backwards")
+        self._now += dt
+
+    # -- submission ---------------------------------------------------------------
+    def submit(self, cell: TenantCell) -> AdmissionResult:
+        """Admit one cell (statepoint-id'd) through the tenant's gate."""
+        index = self._submit_index.get(cell.tenant_id, 0)
+        cell_id = cell.resolved_id(index)
+        result = self.admission.submit(
+            cell.tenant_id, (cell_id, cell), now=self._now
+        )
+        if result.accepted:
+            self._submit_index[cell.tenant_id] = index + 1
+        return result
+
+    # -- per-tenant journals --------------------------------------------------------
+    def _journal_spec(self, tenant_id: str) -> JournalSpec | None:
+        if self.journal_root is None:
+            return None
+        return JournalSpec(dir=os.path.join(self.journal_root, tenant_id))
+
+    def _load_completed(self, tenant_id: str) -> dict[str, dict]:
+        """Completed-cell ledger from the tenant's own WAL directory."""
+        spec = self._journal_spec(tenant_id)
+        if spec is None:
+            return {}
+        from repro.journal.wal import list_segment_indices
+
+        if not (os.path.isdir(spec.dir) and list_segment_indices(spec.dir)):
+            return {}
+        completed: dict[str, dict] = {}
+        for rec in read_journal(spec.dir).records:
+            if rec["kind"] == "cell-completed":
+                completed[rec["cell_id"]] = rec["result"]
+            elif rec["kind"] == "cell-poisoned":
+                completed[rec["cell_id"]] = {"__poisoned__": rec["failures"]}
+        return completed
+
+    def _open_journal(self, tenant_id: str) -> Journal | None:
+        spec = self._journal_spec(tenant_id)
+        if spec is None:
+            return None
+        from repro.journal.wal import list_segment_indices
+
+        if os.path.isdir(spec.dir) and list_segment_indices(spec.dir):
+            return Journal.reopen(spec.dir, spec=spec)
+        journal = Journal.open(spec)
+        journal.append("meta", tenant=tenant_id)
+        return journal
+
+    # -- the dispatch loop -----------------------------------------------------------
+    def run_pending(self, stop_after: int | None = None) -> list[dict[str, Any]]:
+        """Serve queued cells fair-share until drained (or *stop_after*).
+
+        ``stop_after`` caps cells *executed* this call (replayed ledger
+        hits do not count) — it models a supervisor crash mid-campaign,
+        exactly like :meth:`CampaignRunner.run`.  Cells of quarantined
+        tenants stay parked; the loop stops when nothing is
+        dispatchable.  Returns this call's cell records.
+        """
+        completed = {tid: self._load_completed(tid) for tid in self.registry.ids()}
+        journals: dict[str, Journal | None] = {}
+        executed = 0
+        batch: list[dict[str, Any]] = []
+        try:
+            while True:
+                tid = self.admission.next_tenant(self._now)
+                if tid is None:
+                    break
+                if stop_after is not None and executed >= stop_after:
+                    break
+                cell_id, cell = self.admission.pop_cell(tid)
+                state = self.registry.require(tid)
+                record = self._serve(
+                    tid, cell_id, cell, state, completed[tid], journals
+                )
+                batch.append(record)
+                self.results.append(record)
+                if not record["replayed"]:
+                    executed += 1
+                    self._now += 1.0
+        finally:
+            for journal in journals.values():
+                if journal is not None:
+                    journal.close()
+        return batch
+
+    def _serve(
+        self, tid, cell_id, cell, state, completed, journals
+    ) -> dict[str, Any]:
+        # Ledger replay: a completed (or poisoned) cell is never re-run.
+        if cell_id in completed:
+            prior = completed[cell_id]
+            if isinstance(prior, dict) and "__poisoned__" in prior:
+                state.poisoned += 1
+                return {
+                    "tenant": tid, "cell_id": cell_id, "status": "poisoned",
+                    "result": None, "replayed": True, "attempts": 0,
+                }
+            state.completed += 1
+            return {
+                "tenant": tid, "cell_id": cell_id, "status": "completed",
+                "result": prior, "replayed": True, "attempts": 0,
+            }
+        lease, deny = self.arbiter.try_lease(state.spec, cell_id, cell.nprocs)
+        if lease is None:
+            # One-cell-at-a-time service: a denial here is structural
+            # (request beyond quota or machine), not transient.
+            state.rejected += 1
+            return {
+                "tenant": tid, "cell_id": cell_id, "status": f"rejected-{deny}",
+                "result": None, "replayed": False, "attempts": 0,
+            }
+        if tid not in journals:
+            journals[tid] = self._open_journal(tid)
+        journal = journals[tid]
+        try:
+            if journal is not None:
+                journal.append("cell-started", cell_id=cell_id, params=cell.params)
+            [outcome] = self.executor.run(
+                [(cell_id, cell)], lambda c, lease=lease: self.run_cell(c, lease)
+            )
+        finally:
+            self.arbiter.release(lease)
+        for failure in outcome.failures:
+            self.breaker.record_failure(tid, self._now)
+            state.failed += 1
+        self._evaluate_health(tid)
+        if outcome.status == COMPLETED:
+            state.completed += 1
+            if journal is not None:
+                journal.append("cell-completed", cell_id=cell_id,
+                               result=outcome.result)
+                journal.sync()
+            return {
+                "tenant": tid, "cell_id": cell_id, "status": "completed",
+                "result": outcome.result, "replayed": False,
+                "attempts": outcome.attempts,
+            }
+        state.poisoned += 1
+        if journal is not None:
+            journal.append(
+                "cell-poisoned", cell_id=cell_id,
+                failures=[[f.attempt, f.kind, f.detail] for f in outcome.failures],
+            )
+            journal.sync()
+        return {
+            "tenant": tid, "cell_id": cell_id, "status": "poisoned",
+            "result": None, "replayed": False, "attempts": outcome.attempts,
+        }
+
+    # -- health --------------------------------------------------------------------
+    def _evaluate_health(self, tenant_id: str) -> None:
+        alert = self._slo[tenant_id].evaluate(
+            self._now, float(self.breaker.blamed(tenant_id))
+        )
+        if alert is not None:
+            self.alerts[tenant_id].append(alert)
+
+    # -- reporting -----------------------------------------------------------------
+    def tenant_summary(self) -> dict[str, dict[str, Any]]:
+        """Per-tenant counters for reports and benchmarks."""
+        out: dict[str, dict[str, Any]] = {}
+        for state in self.registry.states():
+            tid = state.spec.tenant_id
+            out[tid] = {
+                "submitted": state.submitted,
+                "rejected": state.rejected,
+                "completed": state.completed,
+                "failed": state.failed,
+                "poisoned": state.poisoned,
+                "queued": len(state.queue),
+                "quarantined": self.breaker.is_quarantined(tid, self._now),
+                "quarantine_trips": self.breaker.trips(tid),
+                "alerts": [a.to_dict() for a in self.alerts[tid]],
+            }
+        return out

@@ -1,0 +1,144 @@
+"""Campaign-service configuration: tenants, quotas, and the executor.
+
+The ``<tenants>`` XML section (see ``docs/xml-reference.md``) parses
+into :class:`TenantsSpec`; programmatic users build the dataclasses
+directly.  The section is deliberately self-contained: it carries the
+shared machine's shape (``nodes`` × ``cores-per-node``) alongside the
+per-tenant quotas, so a spec document can be statically verified
+(DY410/DY411) without a live machine object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.resilience.spec import QuarantineSpec
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's admission contract on the shared machine.
+
+    Args:
+        tenant_id: unique tenant name.
+        quota_cores: cap on cores the tenant may hold concurrently
+            (0 = no per-tenant cap; the machine still bounds everyone).
+        weight: fair-share weight — a tenant with weight 2 is served
+            twice as often as one with weight 1 when both have work.
+        max_queue: bound on the tenant's submit queue; submissions past
+            it are rejected with a retry-after hint (backpressure),
+            never buffered without limit.
+    """
+
+    tenant_id: str
+    quota_cores: int = 0
+    weight: float = 1.0
+    max_queue: int = 8
+
+    def validate(self) -> None:
+        if not self.tenant_id:
+            raise ReproError("tenant id must be non-empty")
+        if self.quota_cores < 0:
+            raise ReproError(
+                f"tenant {self.tenant_id!r} quota-cores must be >= 0, "
+                f"got {self.quota_cores}"
+            )
+        if self.weight <= 0:
+            raise ReproError(
+                f"tenant {self.tenant_id!r} weight must be > 0, got {self.weight}"
+            )
+        if self.max_queue <= 0:
+            raise ReproError(
+                f"tenant {self.tenant_id!r} max-queue must be > 0, got {self.max_queue}"
+            )
+
+
+@dataclass(frozen=True)
+class ExecutorSpec:
+    """Crash-supervised parallel executor knobs (PaPaS-style).
+
+    Args:
+        workers: worker-process slots; 0 runs cells serially in-process
+            (fully deterministic, no wall clock involved).
+        cell_timeout: wall-clock seconds one attempt may run before the
+            supervisor kills the worker (0 = no timeout).
+        max_attempts: attempts before a cell is declared *poisoned* and
+            quarantined; 1 means no retry budget.
+        backoff_base / backoff_factor / backoff_max: exponential retry
+            delay schedule, in seconds.
+        jitter: +/- fraction of the delay drawn from the cell's named
+            RNG stream (``campaign:retry:<cell>``) — deterministic.
+        kill_prob: worker-kill fault injection — probability per attempt
+            (drawn from ``campaign:chaos:<cell>``) that the worker is
+            SIGKILLed mid-cell.  Test/bench chaos only.
+    """
+
+    workers: int = 0
+    cell_timeout: float = 0.0
+    max_attempts: int = 3
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    jitter: float = 0.25
+    kill_prob: float = 0.0
+
+    def validate(self) -> None:
+        if self.workers < 0:
+            raise ReproError(f"executor workers must be >= 0, got {self.workers}")
+        if self.cell_timeout < 0:
+            raise ReproError(
+                f"executor cell-timeout must be >= 0, got {self.cell_timeout}"
+            )
+        if self.max_attempts < 1:
+            raise ReproError(
+                f"executor max-attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0 or self.backoff_factor < 1.0 or self.backoff_max < 0:
+            raise ReproError("executor backoff schedule out of range")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ReproError(f"executor jitter must be in [0, 1], got {self.jitter}")
+        if not 0.0 <= self.kill_prob < 1.0:
+            raise ReproError(
+                f"executor kill-prob must be in [0, 1), got {self.kill_prob}"
+            )
+
+
+@dataclass(frozen=True)
+class TenantsSpec:
+    """The whole ``<tenants>`` section: machine shape + tenant contracts.
+
+    Args:
+        nodes / cores_per_node: shape of the shared machine the tenants
+            compete for (0 = unspecified; static checks that need the
+            capacity are skipped).
+        tenants: the tenant contracts, in declaration order.
+        executor: optional :class:`ExecutorSpec` for the campaign grid.
+        breaker: optional per-tenant circuit breaker (the node-
+            quarantine parameters, applied to tenant ids).
+    """
+
+    nodes: int = 0
+    cores_per_node: int = 0
+    tenants: tuple[TenantSpec, ...] = field(default_factory=tuple)
+    executor: ExecutorSpec | None = None
+    breaker: QuarantineSpec | None = None
+
+    def validate(self) -> None:
+        if self.nodes < 0 or self.cores_per_node < 0:
+            raise ReproError("tenants machine shape must be >= 0")
+        seen: set[str] = set()
+        for t in self.tenants:
+            t.validate()
+            if t.tenant_id in seen:
+                raise ReproError(f"duplicate tenant id {t.tenant_id!r}")
+            seen.add(t.tenant_id)
+        if self.executor is not None:
+            self.executor.validate()
+        if self.breaker is not None:
+            self.breaker.validate()
+
+    @property
+    def capacity_cores(self) -> int:
+        """Total cores of the shared machine (0 when unspecified)."""
+        return self.nodes * self.cores_per_node

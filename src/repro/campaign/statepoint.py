@@ -1,0 +1,68 @@
+"""Signac-style statepoint hashing: content-addressed parameter points.
+
+A *statepoint* is the full parameter dict of one campaign cell.  Its
+hash is computed over a canonical JSON rendering (sorted keys, no
+whitespace ambiguity), so two cells share an id **iff** they share
+content — the signac convention.  Campaign run ids embed this hash,
+which is what makes a resumed or renamed campaign incapable of
+replaying the wrong cell's ledger entry: a cell whose parameters (or
+seed, or machine) changed hashes to a new id and simply misses the old
+completion record.
+
+Only JSON-representable parameter values participate; anything else is
+rendered through ``repr`` (deterministic for the plain values campaigns
+sweep).  Floats keep full ``repr`` precision via the JSON encoder.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+#: Hex digits of the content hash embedded in run ids.  Eight digits
+#: (32 bits) keeps ids readable; collisions within one campaign grid
+#: would need ~2^16 distinct points sharing a prefix.
+ID_HASH_LEN = 8
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce *value* to a JSON-encodable canonical form."""
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def canonical_json(params: Mapping[str, Any], **context: Any) -> str:
+    """The canonical JSON document a statepoint hash is computed over.
+
+    *context* entries (seed, machine, ...) are folded in under a
+    reserved ``__context__`` key so they can never collide with a swept
+    parameter name.
+    """
+    doc: dict[str, Any] = _canonical(params)
+    ctx = {k: _canonical(v) for k, v in sorted(context.items()) if v is not None}
+    if ctx:
+        doc = {"__context__": ctx, "params": doc}
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def statepoint_hash(params: Mapping[str, Any], **context: Any) -> str:
+    """Full SHA-256 hex digest of the canonical statepoint document."""
+    return hashlib.sha256(canonical_json(params, **context).encode("utf-8")).hexdigest()
+
+
+def statepoint_id(
+    name: str, index: int, params: Mapping[str, Any], **context: Any
+) -> str:
+    """A campaign run id: ``<name>.<index>-<hash8>``.
+
+    The ordinal keeps grid order human-readable; the hash suffix makes
+    the id content-addressed, so a ledger entry recorded under one id
+    can only ever be replayed by a cell with identical content.
+    """
+    return f"{name}.{index}-{statepoint_hash(params, **context)[:ID_HASH_LEN]}"

@@ -81,10 +81,24 @@ class _FeasibilityCache:
 
 
 class _Shadow:
-    """Scratch resource bookkeeping while a plan is being built."""
+    """Scratch resource bookkeeping while a plan is being built.
 
-    def __init__(self, launcher: Savanna, cache: _FeasibilityCache | None = None) -> None:
+    ``core_quota`` is the machine-wide tenancy cap (see
+    ``repro.campaign``): the total cores this workflow may hold at
+    once.  It is enforced inside :meth:`place`, so every acquire path —
+    fresh starts, waiting-queue drains, dependent restarts, packed
+    fallbacks — hits the same gate, and victimizing a same-workflow
+    task frees quota exactly like it frees cores.
+    """
+
+    def __init__(
+        self,
+        launcher: Savanna,
+        cache: _FeasibilityCache | None = None,
+        core_quota: int | None = None,
+    ) -> None:
         self.launcher = launcher
+        self.core_quota = core_quota
         self.nodes = launcher.allocation.nodes
         self.free = launcher.rm.free()
         self.assigned: dict[str, ResourceSet] = {
@@ -116,6 +130,13 @@ class _Shadow:
         return rs
 
     def place(self, ncores: int, per_node_limit: int | None) -> ResourceSet:
+        if self.core_quota is not None:
+            held = sum(rs.total_cores for rs in self.assigned.values())
+            if held + ncores > self.core_quota:
+                raise AllocationError(
+                    f"cannot place {ncores} cores: workflow holds {held} of "
+                    f"its {self.core_quota}-core tenancy quota"
+                )
         cache = self.cache
         usable = cache is not None and self.pristine
         if usable and cache.known_infeasible(ncores, per_node_limit):
@@ -151,12 +172,17 @@ class ArbitrationStage:
         settle: float = 120.0,
         allow_victims: bool = True,
         graceful_stops: bool = True,
+        core_quota: int | None = None,
     ) -> None:
         self.launcher = launcher
         self.rules = rules
         self.warmup = warmup
         self.settle = settle
         self.allow_victims = allow_victims
+        # Machine-wide tenancy policy (repro.campaign): cap on the total
+        # cores this workflow may hold across its tasks, so two tenants'
+        # arbiters can share one machine without either absorbing it.
+        self.core_quota = core_quota
         # graceful_stops=False lets tasks be killed without finishing the
         # current timestep — the paper notes response times "significantly
         # reduce" this way, at the cost of losing the in-flight step.
@@ -244,7 +270,9 @@ class ArbitrationStage:
             ops=[],
             trigger_time=min((s.trigger_time for s in filtered), default=now),
         )
-        shadow = _Shadow(self.launcher, cache=self._feasibility)
+        shadow = _Shadow(
+            self.launcher, cache=self._feasibility, core_quota=self.core_quota
+        )
         stop_targets: set[str] = set()   # tasks the plan stops (for good)
         start_targets: set[str] = set()  # tasks the plan (re)starts
 

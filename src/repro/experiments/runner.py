@@ -37,7 +37,24 @@ def execute_scenario(
         raise ReproError("scenario produced no finished task instances")
     still_active = [name for name, rec in launcher.records.items() if rec.is_active]
     if still_active:
+        # Per-task progress evidence, so a hung tenant can be diagnosed
+        # from the error alone instead of a trace dump: how many
+        # instances each task spawned, and when it last showed signs of
+        # life (heartbeat, else start, else launch).
+        details = []
+        for name in still_active:
+            rec = launcher.records[name]
+            instances = rec.all_instances()
+            progress = [
+                t
+                for inst in instances
+                for t in (inst.last_heartbeat, inst.start_time, inst.launch_time)
+                if t is not None
+            ]
+            last = f"last progress t={max(progress):g}" if progress else "no progress seen"
+            details.append(f"{name} ({len(instances)} instance(s), {last})")
         raise ReproError(
-            f"scenario hit the {max_time}s cap with tasks still active: {still_active}"
+            f"scenario hit the {max_time}s cap with tasks still active: "
+            + "; ".join(details)
         )
     return max(ends)

@@ -19,7 +19,10 @@ kinds split into three groups:
              ``op-completed`` (the idempotent-actuation ledger),
              ``task-checkpoint`` (threaded-runtime step progress, used
              to restart live mini-apps without redoing work), and the
-             campaign-level ``run-started`` / ``run-completed``.
+             the campaign-level ``run-started`` / ``run-completed`` /
+             ``run-failed`` / ``run-poisoned``, and the tenant-service
+             cell ledger (``cell-started`` / ``cell-completed`` /
+             ``cell-poisoned``).
 """
 
 from __future__ import annotations
@@ -39,6 +42,11 @@ RECORD_KINDS = (
     "crash",         # controller stopped at this barrier (orchestrator_crash)
     "run-started",   # campaign: one run began
     "run-completed", # campaign: one run finished (carries its result summary)
+    "run-failed",    # campaign: one run attempt raised (attempt counter)
+    "run-poisoned",  # campaign: run quarantined after repeated failures
+    "cell-started",  # tenant service: one cell began on its partition
+    "cell-completed",  # tenant service: cell finished (carries its result)
+    "cell-poisoned",   # tenant service: cell quarantined after max attempts
 )
 
 _KIND_SET = frozenset(RECORD_KINDS)

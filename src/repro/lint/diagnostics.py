@@ -135,6 +135,9 @@ CODES: dict[str, CodeInfo] = {
               Severity.WARNING),
         _spec("DY409", "partition window outlasts the watchdog heartbeat timeout",
               Severity.WARNING),
+        _spec("DY410", "tenant quota exceeds the shared machine's capacity"),
+        _spec("DY411", "executor injects worker kills but has no retry budget",
+              Severity.WARNING),
         # -- determinism self-lint (DY5xx) ----------------------------------
         _self("DY501", "wall-clock call in a deterministic core path"),
         _self("DY502", "global or unseeded RNG outside repro.sim.rng"),

@@ -158,6 +158,7 @@ def verify_spec(
     diags += _check_rule_cycles(spec)
     diags += _check_policy_interactions(spec)
     diags += _check_parameter_ranges(spec)
+    diags += _check_tenants(spec)
     return sort_diagnostics(diags)
 
 
@@ -695,6 +696,37 @@ def _check_parameter_ranges(spec: DyflowSpec) -> list[Diagnostic]:
                     xml_path=f"observability/anomaly[{i}]",
                     severity=Severity.WARNING,
                 ))
+    return out
+
+
+# -- DY41x: multi-tenant campaign service ------------------------------------ #
+def _check_tenants(spec: DyflowSpec) -> list[Diagnostic]:
+    ten = spec.tenants
+    if ten is None:
+        return []
+    out = _validate_part(ten, "DY407", "tenants")
+    capacity = ten.capacity_cores
+    if capacity > 0:
+        for i, t in enumerate(ten.tenants):
+            if t.quota_cores > capacity:
+                out.append(make(
+                    "DY410",
+                    f"tenant {t.tenant_id!r} quota-cores {t.quota_cores} "
+                    f"exceeds the shared machine's capacity of {capacity} "
+                    f"cores ({ten.nodes} nodes x {ten.cores_per_node}); the "
+                    "quota can never be filled and admission behaves as "
+                    "uncapped",
+                    xml_path=f"tenants/tenant[{i}]",
+                ))
+    ex = ten.executor
+    if ex is not None and ex.kill_prob > 0 and ex.max_attempts <= 1:
+        out.append(make(
+            "DY411",
+            f"executor injects worker kills (kill-prob {ex.kill_prob}) but "
+            f"max-attempts is {ex.max_attempts}; every killed cell is "
+            "immediately poisoned instead of retried",
+            xml_path="tenants/executor",
+        ))
     return out
 
 

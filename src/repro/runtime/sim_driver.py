@@ -60,6 +60,7 @@ class DyflowOrchestrator:
         allow_victims: bool = True,
         record_history: bool = False,
         graceful_stops: bool = True,
+        core_quota: int | None = None,
         options: RuntimeOptions | None = None,
         telemetry=_UNSET,
         tracer: Tracer | None = None,
@@ -108,6 +109,7 @@ class DyflowOrchestrator:
         self.arbitration = ArbitrationStage(
             launcher, self.rules, warmup=warmup, settle=settle,
             allow_victims=allow_victims, graceful_stops=graceful_stops,
+            core_quota=core_quota,
         )
         self.actuation = ActuationStage(launcher)
         self.server.set_tracer(tracer, clock=lambda: self.engine.now)

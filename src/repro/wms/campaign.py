@@ -13,6 +13,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
+from repro.campaign.statepoint import statepoint_id
 from repro.wms.spec import WorkflowSpec
 
 
@@ -40,12 +41,19 @@ class Campaign:
             workflow from a parameter point.
         sweeps: swept parameters; the grid is their cartesian product.
         fixed: parameters passed to every run unchanged.
+        seed: optional campaign seed, folded into every run id's
+            statepoint hash (runs with different seeds never share an
+            id, so they never replay each other's ledger entries).
+        machine: optional machine label, folded into the hash the same
+            way.
     """
 
     name: str
     factory: Callable[..., WorkflowSpec]
     sweeps: list[Sweep] = field(default_factory=list)
     fixed: dict[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+    machine: str | None = None
 
     def size(self) -> int:
         n = 1
@@ -64,10 +72,23 @@ class Campaign:
             params.update(zip(names, combo))
             yield params
 
+    def run_id(self, index: int, params: dict[str, Any]) -> str:
+        """The content-addressed id of one grid point.
+
+        ``<name>.<index>-<hash8>``: the signac-style statepoint hash of
+        (params, seed, machine) namespaces the ordinal, so a resumed or
+        renamed campaign can never replay the wrong cell's ledger entry
+        — a point whose content changed hashes to a fresh id and simply
+        misses the old completion record.
+        """
+        return statepoint_id(
+            self.name, index, params, seed=self.seed, machine=self.machine
+        )
+
     def runs(self) -> Iterator[tuple[str, dict[str, Any], WorkflowSpec]]:
         """(run_id, params, workflow) triples for the whole campaign."""
         for i, params in enumerate(self.points()):
-            yield f"{self.name}.{i}", params, self.factory(**params)
+            yield self.run_id(i, params), params, self.factory(**params)
 
 
 class CampaignRunner:
@@ -83,12 +104,20 @@ class CampaignRunner:
     crashed-but-still-writing predecessor errors out on its next sync
     instead of corrupting the ledger.
 
+    A run whose ``execute`` raises is retried immediately (up to
+    ``max_attempts`` total attempts, each failure journaled as
+    ``run-failed``); a run that fails every attempt is *poisoned* —
+    recorded in the ledger as ``run-poisoned`` and skipped, so one
+    deterministically-crashing cell cannot wedge the grid, and a
+    resumed runner skips it without re-executing anything.
+
     Args:
         campaign: the grid to execute.
         execute: ``f(run_id, params, workflow) -> dict`` running one
             point and returning a JSON-serializable result summary.
         journal: optional :class:`~repro.journal.JournalSpec`; without
             one the runner executes everything and remembers nothing.
+        max_attempts: attempts per run before it is poisoned.
     """
 
     def __init__(
@@ -96,10 +125,14 @@ class CampaignRunner:
         campaign: Campaign,
         execute: Callable[[str, dict[str, Any], WorkflowSpec], dict],
         journal=None,
+        max_attempts: int = 1,
     ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         self.campaign = campaign
         self.execute = execute
         self.journal_spec = journal if journal is not None and journal.enabled else None
+        self.max_attempts = max_attempts
         self.results: list[dict[str, Any]] = []
 
     def run(self, stop_after: int | None = None) -> list[dict[str, Any]]:
@@ -112,6 +145,7 @@ class CampaignRunner:
         """
         journal = None
         completed: dict[str, dict] = {}
+        poisoned: set[str] = set()
         if self.journal_spec is not None:
             import os
 
@@ -125,6 +159,8 @@ class CampaignRunner:
                 for rec in state.records:
                     if rec["kind"] == "run-completed":
                         completed[rec["run_id"]] = rec["result"]
+                    elif rec["kind"] == "run-poisoned":
+                        poisoned.add(rec["run_id"])
                 journal = Journal.reopen(
                     self.journal_spec.dir, spec=self.journal_spec
                 )
@@ -138,24 +174,55 @@ class CampaignRunner:
             for run_id, params, workflow in self.campaign.runs():
                 if run_id in completed:
                     self.results.append(
-                        {"run_id": run_id, "params": params,
+                        {"run_id": run_id, "params": params, "status": "completed",
                          "result": completed[run_id], "replayed": True}
+                    )
+                    continue
+                if run_id in poisoned:
+                    # Quarantined by a previous runner: never re-executed.
+                    self.results.append(
+                        {"run_id": run_id, "params": params, "status": "poisoned",
+                         "result": None, "replayed": True}
                     )
                     continue
                 if stop_after is not None and executed >= stop_after:
                     break
                 if journal is not None:
                     journal.append("run-started", run_id=run_id, params=params)
-                result = self.execute(run_id, params, workflow)
+                result, failures = self._attempt(journal, run_id, params, workflow)
+                executed += 1
+                if failures is not None:
+                    if journal is not None:
+                        journal.append("run-poisoned", run_id=run_id,
+                                       failures=failures)
+                        journal.sync()
+                    self.results.append(
+                        {"run_id": run_id, "params": params, "status": "poisoned",
+                         "result": None, "replayed": False}
+                    )
+                    continue
                 if journal is not None:
                     journal.append("run-completed", run_id=run_id, result=result)
                     journal.sync()
                 self.results.append(
-                    {"run_id": run_id, "params": params,
+                    {"run_id": run_id, "params": params, "status": "completed",
                      "result": result, "replayed": False}
                 )
-                executed += 1
         finally:
             if journal is not None:
                 journal.close()
         return self.results
+
+    def _attempt(self, journal, run_id, params, workflow):
+        """Run one point with retries; (result, None) or (None, failures)."""
+        failures: list[str] = []
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return self.execute(run_id, params, workflow), None
+            except Exception as err:  # noqa: BLE001 - a failed attempt is data
+                detail = f"{type(err).__name__}: {err}"
+                failures.append(detail)
+                if journal is not None:
+                    journal.append("run-failed", run_id=run_id,
+                                   attempt=attempt, error=detail)
+        return None, failures

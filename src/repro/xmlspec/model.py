@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.campaign.spec import TenantsSpec
 from repro.core.policy import PolicyApplication, PolicySpec
 from repro.core.sensors.base import SensorSpec
 from repro.errors import XmlSpecError
@@ -50,6 +51,7 @@ class DyflowSpec:
     telemetry: TelemetrySpec | None = None
     journal: JournalSpec | None = None
     observability: ObservabilitySpec | None = None
+    tenants: TenantsSpec | None = None
 
     def validate(self, strict: bool = False) -> None:
         """Cross-reference checks a schema cannot express.
@@ -68,6 +70,8 @@ class DyflowSpec:
             self.journal.validate()
         if self.observability is not None:
             self.observability.validate()
+        if self.tenants is not None:
+            self.tenants.validate()
         for mt in self.monitor_tasks:
             if mt.sensor_id not in self.sensors:
                 raise XmlSpecError(

@@ -5,6 +5,7 @@ from __future__ import annotations
 import xml.etree.ElementTree as ET
 from typing import Any
 
+from repro.campaign.spec import ExecutorSpec, TenantSpec, TenantsSpec
 from repro.core.actions import ActionType
 from repro.core.policy import PolicyApplication, PolicySpec
 from repro.core.sensors.base import GroupBySpec, JoinSpec, SensorSpec
@@ -46,7 +47,7 @@ def parse_dyflow_xml(
     spec = DyflowSpec()
     standalone = (
         "monitor", "decision", "arbitration", "resilience", "telemetry",
-        "journal", "observability",
+        "journal", "observability", "tenants",
     )
     sections = [root] if root.tag in standalone else list(root)
     if root.tag not in ("dyflow",) + standalone:
@@ -74,6 +75,10 @@ def parse_dyflow_xml(
             if spec.observability is not None:
                 raise XmlSpecError("duplicate <observability> section")
             spec.observability = _parse_observability(section, validate=validate)
+        elif section.tag == "tenants":
+            if spec.tenants is not None:
+                raise XmlSpecError("duplicate <tenants> section")
+            spec.tenants = _parse_tenants(section, validate=validate)
         else:
             raise XmlSpecError(f"unexpected section <{section.tag}>")
     if validate:
@@ -550,6 +555,64 @@ def _parse_observability(section: ET.Element, *, validate: bool = True) -> Obser
         top_n=_int_attr(section, "top-n", 5),
         slos=tuple(slos),
         anomalies=tuple(anomalies),
+    )
+    if validate:
+        spec.validate()
+    return spec
+
+
+# --------------------------------------------------------------------------- #
+# tenants section
+# --------------------------------------------------------------------------- #
+def _parse_tenants(section: ET.Element, *, validate: bool = True) -> TenantsSpec:
+    """Parse one ``<tenants>`` section (multi-tenant campaign service)."""
+    _check_attrs(section, {"nodes", "cores-per-node"})
+    known = {"tenant", "executor", "breaker"}
+    for child in section:
+        if child.tag not in known:
+            raise XmlSpecError(f"unexpected <tenants> child <{child.tag}>")
+    tenants: list[TenantSpec] = []
+    for el in section.findall("tenant"):
+        _check_attrs(el, {"id", "quota-cores", "weight", "max-queue"})
+        tenants.append(
+            TenantSpec(
+                tenant_id=_require(el, "id"),
+                quota_cores=_int_attr(el, "quota-cores", 0),
+                weight=_float_attr(el, "weight", 1.0),
+                max_queue=_int_attr(el, "max-queue", 8),
+            )
+        )
+    executor = None
+    el = section.find("executor")
+    if el is not None:
+        _check_attrs(el, {"workers", "cell-timeout", "max-attempts",
+                          "backoff-base", "backoff-factor", "backoff-max",
+                          "jitter", "kill-prob"})
+        executor = ExecutorSpec(
+            workers=_int_attr(el, "workers", 0),
+            cell_timeout=_float_attr(el, "cell-timeout", 0.0),
+            max_attempts=_int_attr(el, "max-attempts", 3),
+            backoff_base=_float_attr(el, "backoff-base", 0.5),
+            backoff_factor=_float_attr(el, "backoff-factor", 2.0),
+            backoff_max=_float_attr(el, "backoff-max", 30.0),
+            jitter=_float_attr(el, "jitter", 0.25),
+            kill_prob=_float_attr(el, "kill-prob", 0.0),
+        )
+    breaker = None
+    el = section.find("breaker")
+    if el is not None:
+        _check_attrs(el, {"failures", "window", "cooldown"})
+        breaker = QuarantineSpec(
+            failures=_int_attr(el, "failures", 3),
+            window=_float_attr(el, "window", 600.0),
+            cooldown=_float_attr(el, "cooldown", 1800.0),
+        )
+    spec = TenantsSpec(
+        nodes=_int_attr(section, "nodes", 0),
+        cores_per_node=_int_attr(section, "cores-per-node", 0),
+        tenants=tuple(tenants),
+        executor=executor,
+        breaker=breaker,
     )
     if validate:
         spec.validate()

@@ -18,6 +18,7 @@ def write_dyflow_xml(spec: DyflowSpec) -> str:
     _write_telemetry(root, spec)
     _write_journal(root, spec)
     _write_observability(root, spec)
+    _write_tenants(root, spec)
     raw = ET.tostring(root, encoding="unicode")
     return minidom.parseString(raw).toprettyxml(indent="  ")
 
@@ -296,3 +297,50 @@ def _write_journal(root: ET.Element, spec: DyflowSpec) -> None:
             "snapshot-every": str(jrn.snapshot_every),
         },
     )
+
+
+def _write_tenants(root: ET.Element, spec: DyflowSpec) -> None:
+    ten = spec.tenants
+    if ten is None:
+        return
+    section = ET.SubElement(
+        root, "tenants",
+        attrib={
+            "nodes": str(ten.nodes),
+            "cores-per-node": str(ten.cores_per_node),
+        },
+    )
+    for t in ten.tenants:
+        ET.SubElement(
+            section, "tenant",
+            attrib={
+                "id": t.tenant_id,
+                "quota-cores": str(t.quota_cores),
+                "weight": repr(t.weight),
+                "max-queue": str(t.max_queue),
+            },
+        )
+    if ten.executor is not None:
+        ex = ten.executor
+        ET.SubElement(
+            section, "executor",
+            attrib={
+                "workers": str(ex.workers),
+                "cell-timeout": repr(ex.cell_timeout),
+                "max-attempts": str(ex.max_attempts),
+                "backoff-base": repr(ex.backoff_base),
+                "backoff-factor": repr(ex.backoff_factor),
+                "backoff-max": repr(ex.backoff_max),
+                "jitter": repr(ex.jitter),
+                "kill-prob": repr(ex.kill_prob),
+            },
+        )
+    if ten.breaker is not None:
+        ET.SubElement(
+            section, "breaker",
+            attrib={
+                "failures": str(ten.breaker.failures),
+                "window": repr(ten.breaker.window),
+                "cooldown": repr(ten.breaker.cooldown),
+            },
+        )

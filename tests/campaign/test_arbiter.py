@@ -1,0 +1,97 @@
+"""The machine arbiter: node-granular leases under quota and capacity."""
+
+import pytest
+
+from repro.campaign import MachineArbiter, TenantSpec
+from repro.errors import ReproError
+
+
+def make_arbiter(nodes=4, cores_per_node=10):
+    return MachineArbiter(nodes, cores_per_node)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("shape", [(0, 10), (4, 0), (-1, 10)])
+    def test_degenerate_shapes_rejected(self, shape):
+        with pytest.raises(ReproError, match="machine shape"):
+            MachineArbiter(*shape)
+
+    def test_nodes_for_rounds_up(self):
+        arb = make_arbiter(cores_per_node=10)
+        assert arb.nodes_for(1) == 1
+        assert arb.nodes_for(10) == 1
+        assert arb.nodes_for(11) == 2
+        assert arb.nodes_for(0) == 1  # a lease is at least one node
+
+
+class TestLeasing:
+    def test_grant_and_release_restore_capacity(self):
+        arb = make_arbiter(nodes=4, cores_per_node=10)
+        tenant = TenantSpec("a")
+        lease, deny = arb.try_lease(tenant, "cell", 25)
+        assert deny == ""
+        assert (lease.nodes, lease.cores, lease.cores_per_node) == (3, 25, 10)
+        assert arb.free_nodes == 1
+        assert arb.held_cores("a") == 25
+        assert arb.active() == [lease]
+        arb.release(lease)
+        assert arb.free_nodes == 4
+        assert arb.held_cores("a") == 0
+        assert arb.active() == []
+
+    def test_capacity_denial(self):
+        arb = make_arbiter(nodes=2, cores_per_node=10)
+        tenant = TenantSpec("a")
+        held, _ = arb.try_lease(tenant, "c0", 20)
+        lease, deny = arb.try_lease(tenant, "c1", 1)
+        assert lease is None and deny == "capacity"
+        assert arb.denials["capacity"] == 1
+        arb.release(held)
+        lease, deny = arb.try_lease(tenant, "c1", 1)
+        assert lease is not None and deny == ""
+
+    def test_quota_denial_spans_concurrent_leases(self):
+        arb = make_arbiter(nodes=8, cores_per_node=10)
+        tenant = TenantSpec("a", quota_cores=15)
+        first, _ = arb.try_lease(tenant, "c0", 10)
+        lease, deny = arb.try_lease(tenant, "c1", 10)
+        assert lease is None and deny == "quota"
+        assert arb.denials["quota"] == 1
+        # Quota is charged in cores, not nodes: 5 more still fits.
+        lease, deny = arb.try_lease(tenant, "c1", 5)
+        assert lease is not None
+        arb.release(first)
+        arb.release(lease)
+
+    def test_zero_quota_means_unlimited(self):
+        arb = make_arbiter(nodes=8, cores_per_node=10)
+        tenant = TenantSpec("a", quota_cores=0)
+        lease, deny = arb.try_lease(tenant, "c0", 80)
+        assert lease is not None and deny == ""
+
+    def test_quota_denial_does_not_consume_capacity(self):
+        arb = make_arbiter(nodes=2, cores_per_node=10)
+        alice = TenantSpec("alice", quota_cores=5)
+        bob = TenantSpec("bob")
+        denied, deny = arb.try_lease(alice, "a0", 10)
+        assert denied is None and deny == "quota"
+        lease, deny = arb.try_lease(bob, "b0", 20)
+        assert lease is not None  # alice's denial cost bob nothing
+
+    def test_lease_ids_are_unique_and_ordered(self):
+        arb = make_arbiter()
+        tenant = TenantSpec("a")
+        leases = [arb.try_lease(tenant, f"c{i}", 1)[0] for i in range(3)]
+        assert [le.lease_id for le in leases] == [1, 2, 3]
+        assert arb.grants == 3
+
+    def test_nonpositive_request_is_an_error(self):
+        with pytest.raises(ReproError, match="must be positive"):
+            make_arbiter().try_lease(TenantSpec("a"), "c", 0)
+
+    def test_double_release_is_an_error(self):
+        arb = make_arbiter()
+        lease, _ = arb.try_lease(TenantSpec("a"), "c", 1)
+        arb.release(lease)
+        with pytest.raises(ReproError, match="not active"):
+            arb.release(lease)

@@ -1,0 +1,80 @@
+"""The per-tenant circuit breaker mirrors the node-quarantine semantics."""
+
+from repro.campaign import TenantBreaker
+from repro.resilience import QuarantineSpec
+
+
+def make_breaker(failures=3, window=100.0, cooldown=50.0, clock=lambda: 0.0):
+    return TenantBreaker(QuarantineSpec(failures, window, cooldown), clock)
+
+
+class TestTripping:
+    def test_trips_only_at_threshold(self):
+        b = make_breaker(failures=3)
+        assert b.record_failure("t", 0.0) is False
+        assert b.record_failure("t", 1.0) is False
+        assert b.record_failure("t", 2.0) is True
+        assert b.is_quarantined("t", 3.0)
+
+    def test_blame_is_per_tenant(self):
+        b = make_breaker(failures=2)
+        b.record_failure("a", 0.0)
+        b.record_failure("b", 0.0)
+        assert b.blamed("a") == 1
+        assert not b.is_quarantined("a", 1.0)
+        b.record_failure("a", 1.0)
+        assert b.is_quarantined("a", 2.0)
+        assert not b.is_quarantined("b", 2.0)
+        assert b.active(2.0) == {"a"}
+
+    def test_old_failures_age_out_of_the_window(self):
+        b = make_breaker(failures=2, window=10.0)
+        b.record_failure("t", 0.0)
+        assert b.record_failure("t", 11.0) is False  # first aged out
+        assert not b.is_quarantined("t", 11.0)
+
+
+class TestCooldown:
+    def test_released_after_cooldown(self):
+        b = make_breaker(failures=1, cooldown=50.0)
+        b.record_failure("t", 0.0)
+        assert b.is_quarantined("t", 49.0)
+        assert not b.is_quarantined("t", 50.5)
+
+    def test_cooldown_remaining_counts_down_to_zero(self):
+        b = make_breaker(failures=1, cooldown=50.0)
+        b.record_failure("t", 0.0)
+        assert b.cooldown_remaining("t", 10.0) == 40.0
+        assert b.cooldown_remaining("t", 60.0) == 0.0
+        assert b.cooldown_remaining("other", 10.0) == 0.0
+
+    def test_default_now_comes_from_the_clock(self):
+        t = {"now": 0.0}
+        b = make_breaker(failures=1, cooldown=50.0, clock=lambda: t["now"])
+        b.record_failure("t")
+        assert b.is_quarantined("t")
+        t["now"] = 60.0
+        assert not b.is_quarantined("t")
+
+
+class TestHistoryAndState:
+    def test_trips_counts_quarantine_events(self):
+        b = make_breaker(failures=1, cooldown=5.0)
+        b.record_failure("a", 0.0)
+        b.record_failure("b", 1.0)
+        assert not b.is_quarantined("a", 10.0)  # released
+        b.record_failure("a", 11.0)
+        assert b.trips() == 3
+        assert b.trips("a") == 2
+        assert b.trips("b") == 1
+        assert any(e.kind == "quarantined" for e in b.history)
+
+    def test_state_roundtrips_across_restart(self):
+        b = make_breaker(failures=2, cooldown=50.0)
+        b.record_failure("t", 0.0)
+        b.record_failure("t", 1.0)
+        fresh = make_breaker(failures=2, cooldown=50.0)
+        fresh.load_state_dict(b.state_dict())
+        assert fresh.is_quarantined("t", 10.0)
+        assert fresh.blamed("t") == 2
+        assert not fresh.is_quarantined("t", 52.0)

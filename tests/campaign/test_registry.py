@@ -1,0 +1,141 @@
+"""Tenant registry, bounded admission, and weighted fair-share dispatch."""
+
+import pytest
+
+from repro.campaign import (
+    AdmissionController,
+    TenantBreaker,
+    TenantRegistry,
+    TenantSpec,
+)
+from repro.errors import ReproError
+from repro.resilience import QuarantineSpec
+
+
+def make_controller(*specs, breaker=None):
+    reg = TenantRegistry()
+    for spec in specs:
+        reg.register(spec)
+    return AdmissionController(reg, breaker)
+
+
+class TestTenantRegistry:
+    def test_register_and_require(self):
+        reg = TenantRegistry()
+        state = reg.register(TenantSpec("a"))
+        assert reg.require("a") is state
+        assert "a" in reg
+        assert len(reg) == 1
+
+    def test_duplicate_registration_rejected(self):
+        reg = TenantRegistry()
+        reg.register(TenantSpec("a"))
+        with pytest.raises(ReproError, match="already registered"):
+            reg.register(TenantSpec("a"))
+
+    def test_unknown_tenant_rejected(self):
+        with pytest.raises(ReproError, match="unknown tenant"):
+            TenantRegistry().require("ghost")
+
+    def test_invalid_spec_rejected_at_the_door(self):
+        with pytest.raises(ReproError):
+            TenantRegistry().register(TenantSpec("a", weight=0.0))
+
+    def test_insertion_order_is_preserved(self):
+        reg = TenantRegistry()
+        for tid in ("zeta", "alpha", "mid"):
+            reg.register(TenantSpec(tid))
+        assert reg.ids() == ["zeta", "alpha", "mid"]
+
+
+class TestAdmission:
+    def test_accept_reports_queue_depth(self):
+        ctrl = make_controller(TenantSpec("a", max_queue=4))
+        first = ctrl.submit("a", "cell-0")
+        second = ctrl.submit("a", "cell-1")
+        assert first.accepted and first.queue_depth == 1
+        assert second.accepted and second.queue_depth == 2
+        assert ctrl.registry.require("a").submitted == 2
+
+    def test_full_queue_rejects_with_backlog_proportional_hint(self):
+        ctrl = make_controller(TenantSpec("a", max_queue=2))
+        assert ctrl.submit("a", 0).accepted
+        assert ctrl.submit("a", 1).accepted
+        result = ctrl.submit("a", 2)
+        assert not result.accepted
+        assert result.reason == "queue-full"
+        assert result.retry_after == pytest.approx(ctrl.retry_after_base * 2)
+        assert ctrl.registry.require("a").rejected == 1
+        # The queue never grows past the bound, no matter how fast.
+        for _ in range(10):
+            ctrl.submit("a", 99)
+        assert len(ctrl.registry.require("a").queue) == 2
+
+    def test_quarantined_tenant_rejected_with_cooldown_hint(self):
+        breaker = TenantBreaker(
+            QuarantineSpec(failures=1, window=100.0, cooldown=50.0), clock=lambda: 0.0
+        )
+        ctrl = make_controller(TenantSpec("a"), breaker=breaker)
+        breaker.record_failure("a", 0.0)
+        result = ctrl.submit("a", "cell", now=10.0)
+        assert not result.accepted
+        assert result.reason == "quarantined"
+        assert result.retry_after == pytest.approx(40.0)
+
+    def test_release_after_cooldown_admits_again(self):
+        breaker = TenantBreaker(
+            QuarantineSpec(failures=1, window=100.0, cooldown=50.0), clock=lambda: 0.0
+        )
+        ctrl = make_controller(TenantSpec("a"), breaker=breaker)
+        breaker.record_failure("a", 0.0)
+        assert not ctrl.submit("a", "cell", now=10.0).accepted
+        assert ctrl.submit("a", "cell", now=51.0).accepted
+
+
+class TestFairShare:
+    def test_empty_queues_dispatch_nothing(self):
+        ctrl = make_controller(TenantSpec("a"), TenantSpec("b"))
+        assert ctrl.next_tenant() is None
+        assert ctrl.pending() == 0
+
+    def test_equal_weights_alternate_with_id_tiebreak(self):
+        ctrl = make_controller(TenantSpec("a"), TenantSpec("b"))
+        for i in range(2):
+            ctrl.submit("a", f"a{i}")
+            ctrl.submit("b", f"b{i}")
+        order = []
+        while (tid := ctrl.next_tenant()) is not None:
+            order.append(ctrl.pop_cell(tid))
+        assert order == ["a0", "b0", "a1", "b1"]
+
+    def test_heavier_weight_is_served_more_often(self):
+        ctrl = make_controller(TenantSpec("a", weight=2.0), TenantSpec("b"))
+        for i in range(6):
+            ctrl.submit("a", f"a{i}")
+        for i in range(3):
+            ctrl.submit("b", f"b{i}")
+        order = []
+        while (tid := ctrl.next_tenant()) is not None:
+            order.append(tid)
+            ctrl.pop_cell(tid)
+        # a gets two turns for every one of b's.
+        assert order == ["a", "b", "a", "a", "b", "a", "a", "b", "a"]
+
+    def test_quarantined_tenant_parks_but_keeps_its_queue(self):
+        breaker = TenantBreaker(
+            QuarantineSpec(failures=1, window=100.0, cooldown=50.0), clock=lambda: 0.0
+        )
+        ctrl = make_controller(TenantSpec("a"), TenantSpec("b"), breaker=breaker)
+        ctrl.submit("a", "a0")
+        ctrl.submit("b", "b0")
+        breaker.record_failure("a", 0.0)
+        assert ctrl.next_tenant(now=1.0) == "b"
+        ctrl.pop_cell("b")
+        assert ctrl.next_tenant(now=1.0) is None  # a parked, not dropped
+        assert ctrl.pending() == 1
+        assert ctrl.next_tenant(now=51.0) == "a"  # cooldown elapsed
+
+    def test_pop_from_empty_queue_is_an_error(self):
+        ctrl = make_controller(TenantSpec("a"))
+        with pytest.raises(ReproError, match="no queued cells"):
+            ctrl.pop_cell("a")

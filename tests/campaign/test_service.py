@@ -1,0 +1,306 @@
+"""The campaign service end to end: admission, bulkheads, breakers, WALs.
+
+The isolation proof lives here: a tenant's results are bit-identical
+(by scenario fingerprint) whether it runs alone on the machine or next
+to a crash-looping neighbor, and a supervisor crash mid-campaign
+resumes with every completed cell replayed verbatim from its tenant's
+own WAL.
+"""
+
+import pytest
+
+from repro.apps import ConstantModel, IterativeApp
+from repro.campaign import (
+    CampaignService,
+    ExecutorSpec,
+    TenantCell,
+    TenantSpec,
+    TenantsSpec,
+)
+from repro.campaign.statepoint import statepoint_id
+from repro.errors import ReproError
+from repro.resilience import QuarantineSpec
+from repro.wms import TaskSpec, WorkflowSpec
+
+
+def wf_factory(n=2, steps=3):
+    return WorkflowSpec(
+        f"wf-{n}-{steps}",
+        [TaskSpec("T", IterativeApp(ConstantModel(1.0), total_steps=steps),
+                  nprocs=n)],
+    )
+
+
+def broken_factory(**_params):
+    raise RuntimeError("this tenant's workflow factory is broken")
+
+
+def fake_run(cell, lease):
+    """Cheap stand-in for run_cell_scenario in pure-logic tests."""
+    return {"params": dict(cell.params), "cores": lease.cores,
+            "nodes": lease.nodes}
+
+
+def failing_for_alice(cell, lease):
+    if cell.tenant_id == "alice":
+        raise RuntimeError("alice crash-loops")
+    return fake_run(cell, lease)
+
+
+def make_spec(*tenants, nodes=4, cores_per_node=4, executor=None, breaker=None):
+    return TenantsSpec(
+        nodes=nodes, cores_per_node=cores_per_node,
+        tenants=tenants or (TenantSpec("alice"), TenantSpec("bob")),
+        executor=executor, breaker=breaker,
+    )
+
+
+class TestConstruction:
+    def test_machine_shape_is_required(self):
+        with pytest.raises(ReproError, match="machine shape"):
+            CampaignService(TenantsSpec(tenants=(TenantSpec("a"),)))
+
+    def test_time_cannot_go_backwards(self):
+        svc = CampaignService(make_spec())
+        with pytest.raises(ReproError):
+            svc.advance_time(-1.0)
+
+
+class TestSubmission:
+    def test_cell_ids_are_statepoint_hashed(self):
+        svc = CampaignService(make_spec(), run_cell=fake_run)
+        svc.submit(TenantCell("bob", wf_factory, params={"n": 2}, nprocs=2))
+        svc.submit(TenantCell("bob", wf_factory, params={"n": 3}, nprocs=2))
+        records = svc.run_pending()
+        assert [r["cell_id"] for r in records] == [
+            statepoint_id("bob", 0, {"n": 2}, seed=0, nprocs=2),
+            statepoint_id("bob", 1, {"n": 3}, seed=0, nprocs=2),
+        ]
+
+    def test_queue_bound_rejects_with_retry_after(self):
+        svc = CampaignService(
+            make_spec(TenantSpec("alice", max_queue=2), TenantSpec("bob")),
+            run_cell=fake_run,
+        )
+        results = [
+            svc.submit(TenantCell("alice", wf_factory, params={"i": i}))
+            for i in range(3)
+        ]
+        assert [r.accepted for r in results] == [True, True, False]
+        assert results[2].reason == "queue-full"
+        assert results[2].retry_after > 0
+        # Rejected submissions do not consume statepoint indices.
+        assert svc.tenant_summary()["alice"]["submitted"] == 2
+
+    def test_unknown_tenant_rejected(self):
+        svc = CampaignService(make_spec(), run_cell=fake_run)
+        with pytest.raises(ReproError, match="unknown tenant"):
+            svc.submit(TenantCell("mallory", wf_factory))
+
+
+class TestDispatch:
+    def test_fair_share_interleaves_equal_weights(self):
+        svc = CampaignService(make_spec(), run_cell=fake_run)
+        for i in range(2):
+            svc.submit(TenantCell("alice", wf_factory, params={"i": i}))
+            svc.submit(TenantCell("bob", wf_factory, params={"i": i}))
+        records = svc.run_pending()
+        assert [r["tenant"] for r in records] == ["alice", "bob", "alice", "bob"]
+        assert all(r["status"] == "completed" for r in records)
+
+    def test_quota_overrun_is_rejected_structurally(self):
+        svc = CampaignService(
+            make_spec(TenantSpec("alice", quota_cores=2), TenantSpec("bob")),
+            run_cell=fake_run,
+        )
+        svc.submit(TenantCell("alice", wf_factory, nprocs=4))
+        [record] = svc.run_pending()
+        assert record["status"] == "rejected-quota"
+        assert svc.tenant_summary()["alice"]["rejected"] == 1
+
+    def test_request_beyond_the_machine_is_rejected(self):
+        svc = CampaignService(make_spec(), run_cell=fake_run)  # 4x4 = 16 cores
+        svc.submit(TenantCell("bob", wf_factory, nprocs=100))
+        [record] = svc.run_pending()
+        assert record["status"] == "rejected-capacity"
+
+    def test_stop_after_models_a_supervisor_crash(self):
+        svc = CampaignService(make_spec(), run_cell=fake_run)
+        for i in range(4):
+            svc.submit(TenantCell("bob", wf_factory, params={"i": i}))
+        first = svc.run_pending(stop_after=2)
+        assert len(first) == 2
+        rest = svc.run_pending()
+        assert len(rest) == 2
+        assert {r["cell_id"] for r in first}.isdisjoint(
+            r["cell_id"] for r in rest
+        )
+
+    def test_logical_clock_ticks_per_executed_cell(self):
+        svc = CampaignService(make_spec(), run_cell=fake_run)
+        for i in range(3):
+            svc.submit(TenantCell("bob", wf_factory, params={"i": i}))
+        svc.run_pending()
+        assert svc.now == 3.0
+
+
+class TestBreakerAndHealth:
+    def make_service(self, **kwargs):
+        return CampaignService(
+            make_spec(
+                TenantSpec("alice"), TenantSpec("bob"),
+                executor=ExecutorSpec(max_attempts=1, backoff_base=0.0,
+                                      jitter=0.0),
+                breaker=QuarantineSpec(failures=2, window=100.0, cooldown=10.0),
+            ),
+            run_cell=failing_for_alice,
+            **kwargs,
+        )
+
+    def test_degraded_is_visible_before_quarantined(self):
+        svc = self.make_service()
+        svc.submit(TenantCell("alice", broken_factory))
+        svc.run_pending()
+        summary = svc.tenant_summary()["alice"]
+        assert summary["failed"] == 1
+        assert summary["alerts"], "SLO alert must fire one failure before the trip"
+        assert not summary["quarantined"]
+        assert summary["quarantine_trips"] == 0
+
+    def test_crash_loop_trips_the_breaker_and_parks_the_queue(self):
+        svc = self.make_service()
+        for i in range(3):
+            svc.submit(TenantCell("alice", broken_factory, params={"i": i}))
+            svc.submit(TenantCell("bob", wf_factory, params={"i": i}))
+        records = svc.run_pending()
+        summary = svc.tenant_summary()
+        # Two alice failures trip the breaker; her third cell stays parked
+        # while every bob cell completes.
+        assert summary["alice"]["quarantine_trips"] == 1
+        assert summary["alice"]["quarantined"]
+        assert summary["alice"]["queued"] == 1
+        assert summary["bob"]["completed"] == 3
+        assert [r["status"] for r in records if r["tenant"] == "bob"] == [
+            "completed"] * 3
+
+    def test_cooldown_elapses_on_the_logical_clock(self):
+        svc = self.make_service()
+        for i in range(3):
+            svc.submit(TenantCell("alice", broken_factory, params={"i": i}))
+        svc.run_pending()
+        assert svc.tenant_summary()["alice"]["queued"] == 1
+        svc.advance_time(11.0)  # past the 10s cooldown
+        records = svc.run_pending()
+        assert [r["tenant"] for r in records] == ["alice"]
+        assert svc.tenant_summary()["alice"]["queued"] == 0
+
+    def test_quarantined_tenant_rejected_at_the_door(self):
+        svc = self.make_service()
+        for i in range(2):
+            svc.submit(TenantCell("alice", broken_factory, params={"i": i}))
+        svc.run_pending()
+        result = svc.submit(TenantCell("alice", broken_factory, params={"i": 9}))
+        assert not result.accepted
+        assert result.reason == "quarantined"
+        assert result.retry_after > 0
+
+
+class TestBulkheadIsolation:
+    """The core invariant: neighbors cannot change what a tenant computes."""
+
+    BOB_CELLS = ({"n": 2, "steps": 3}, {"n": 2, "steps": 5}, {"n": 3, "steps": 4})
+
+    @staticmethod
+    def fingerprints(records, tenant):
+        return {
+            r["cell_id"]: r["result"]["fingerprint"]
+            for r in records
+            if r["tenant"] == tenant and r["status"] == "completed"
+        }
+
+    def test_fingerprints_identical_solo_vs_crashlooping_neighbor(self):
+        solo = CampaignService(make_spec(TenantSpec("bob")))
+        for params in self.BOB_CELLS:
+            solo.submit(TenantCell("bob", wf_factory, params=params, nprocs=2))
+        solo_fps = self.fingerprints(solo.run_pending(), "bob")
+
+        shared = CampaignService(
+            make_spec(
+                TenantSpec("alice"), TenantSpec("bob"),
+                executor=ExecutorSpec(max_attempts=2, backoff_base=0.0,
+                                      jitter=0.0),
+            )
+        )
+        for i, params in enumerate(self.BOB_CELLS):
+            shared.submit(TenantCell("alice", broken_factory, params={"i": i}))
+            shared.submit(TenantCell("bob", wf_factory, params=params, nprocs=2))
+        records = shared.run_pending()
+        shared_fps = self.fingerprints(records, "bob")
+
+        assert solo_fps, "bob must complete cells"
+        assert solo_fps == shared_fps
+        # And alice really was crash-looping the whole time.
+        assert all(
+            r["status"] == "poisoned" for r in records if r["tenant"] == "alice"
+        )
+
+
+class TestJournalResume:
+    """Per-tenant WALs: crash/resume replays only the journaled tenant."""
+
+    def make_service(self, root):
+        svc = CampaignService(
+            make_spec(
+                TenantSpec("alice"), TenantSpec("bob"),
+                executor=ExecutorSpec(max_attempts=2, backoff_base=0.0,
+                                      jitter=0.0),
+            ),
+            journal_root=str(root),
+        )
+        svc.submit(TenantCell("alice", broken_factory, params={"i": 0}))
+        for i in range(3):
+            svc.submit(TenantCell("bob", wf_factory,
+                                  params={"n": 2, "steps": 3 + i}, nprocs=2))
+        return svc
+
+    def test_supervisor_crash_resumes_with_verbatim_replay(self, tmp_path):
+        first = self.make_service(tmp_path)
+        before = first.run_pending(stop_after=3)
+        assert all(not r["replayed"] for r in before)
+        done = {r["cell_id"]: r for r in before}
+
+        # Supervisor "crash": a fresh service over the same WAL root.
+        second = self.make_service(tmp_path)
+        after = second.run_pending()
+        replayed = {r["cell_id"]: r for r in after if r["replayed"]}
+        fresh = [r for r in after if not r["replayed"]]
+        assert set(replayed) == set(done)
+        for cell_id, record in replayed.items():
+            assert record["status"] == done[cell_id]["status"]
+            assert record["result"] == done[cell_id]["result"]
+        # Exactly the remaining cell executes; nothing runs twice.
+        assert len(fresh) == 1
+
+    def test_poisoned_cells_replay_without_reexecution(self, tmp_path):
+        first = self.make_service(tmp_path)
+        records = first.run_pending()
+        poisoned = [r for r in records if r["status"] == "poisoned"]
+        assert len(poisoned) == 1 and not poisoned[0]["replayed"]
+
+        second = self.make_service(tmp_path)
+        again = second.run_pending()
+        replay = {r["cell_id"]: r for r in again}
+        assert replay[poisoned[0]["cell_id"]]["status"] == "poisoned"
+        assert all(r["replayed"] for r in again)
+
+    def test_each_tenant_owns_its_wal_directory(self, tmp_path):
+        svc = self.make_service(tmp_path)
+        svc.run_pending()
+        assert (tmp_path / "alice").is_dir()
+        assert (tmp_path / "bob").is_dir()
+
+    def test_without_journal_root_nothing_is_written(self, tmp_path):
+        svc = CampaignService(make_spec(), run_cell=fake_run)
+        svc.submit(TenantCell("bob", wf_factory))
+        svc.run_pending()
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,78 @@
+"""Validation of the campaign-service spec dataclasses."""
+
+import pytest
+
+from repro.campaign import ExecutorSpec, TenantSpec, TenantsSpec
+from repro.errors import ReproError
+from repro.resilience import QuarantineSpec
+
+
+class TestTenantSpec:
+    def test_defaults_valid(self):
+        TenantSpec("t").validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tenant_id": ""},
+            {"tenant_id": "t", "quota_cores": -1},
+            {"tenant_id": "t", "weight": 0.0},
+            {"tenant_id": "t", "weight": -2.0},
+            {"tenant_id": "t", "max_queue": 0},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ReproError):
+            TenantSpec(**kwargs).validate()
+
+
+class TestExecutorSpec:
+    def test_defaults_valid(self):
+        ExecutorSpec().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": -1},
+            {"cell_timeout": -0.5},
+            {"max_attempts": 0},
+            {"backoff_base": -1.0},
+            {"backoff_factor": 0.5},
+            {"backoff_max": -1.0},
+            {"jitter": 1.5},
+            {"kill_prob": 1.0},
+            {"kill_prob": -0.1},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ReproError):
+            ExecutorSpec(**kwargs).validate()
+
+
+class TestTenantsSpec:
+    def test_full_spec_valid(self):
+        TenantsSpec(
+            nodes=2,
+            cores_per_node=20,
+            tenants=(TenantSpec("a"), TenantSpec("b")),
+            executor=ExecutorSpec(),
+            breaker=QuarantineSpec(),
+        ).validate()
+
+    def test_duplicate_tenant_ids_rejected(self):
+        with pytest.raises(ReproError, match="duplicate tenant"):
+            TenantsSpec(tenants=(TenantSpec("a"), TenantSpec("a"))).validate()
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ReproError):
+            TenantsSpec(nodes=-1).validate()
+
+    def test_child_validation_propagates(self):
+        with pytest.raises(ReproError):
+            TenantsSpec(tenants=(TenantSpec("a", weight=0.0),)).validate()
+        with pytest.raises(ReproError):
+            TenantsSpec(executor=ExecutorSpec(max_attempts=0)).validate()
+
+    def test_capacity_cores(self):
+        assert TenantsSpec(nodes=3, cores_per_node=20).capacity_cores == 60
+        assert TenantsSpec().capacity_cores == 0

@@ -1,0 +1,83 @@
+"""Signac-style statepoint ids: content-addressed, canonical, stable."""
+
+import pytest
+
+from repro.campaign.statepoint import (
+    ID_HASH_LEN,
+    canonical_json,
+    statepoint_hash,
+    statepoint_id,
+)
+
+
+class TestCanonicalJson:
+    def test_key_order_does_not_matter(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json({"b": 2, "a": 1})
+
+    def test_compact_separators(self):
+        assert canonical_json({"a": 1}) == '{"a":1}'
+
+    def test_tuples_and_lists_coincide(self):
+        assert canonical_json({"v": (1, 2)}) == canonical_json({"v": [1, 2]})
+
+    def test_nested_mappings_sorted(self):
+        a = canonical_json({"outer": {"y": 1, "x": 2}})
+        b = canonical_json({"outer": {"x": 2, "y": 1}})
+        assert a == b
+
+    def test_context_folds_under_reserved_key(self):
+        plain = canonical_json({"n": 4})
+        seeded = canonical_json({"n": 4}, seed=7)
+        assert plain != seeded
+        assert "__context__" in seeded
+
+    def test_none_context_values_are_dropped(self):
+        assert canonical_json({"n": 4}, seed=None) == canonical_json({"n": 4})
+
+    def test_unjsonable_values_fall_back_to_repr(self):
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        assert "<odd>" in canonical_json({"v": Odd()})
+
+
+class TestStatepointHash:
+    def test_deterministic(self):
+        assert statepoint_hash({"n": 4}) == statepoint_hash({"n": 4})
+
+    def test_sensitive_to_params(self):
+        assert statepoint_hash({"n": 4}) != statepoint_hash({"n": 5})
+
+    def test_sensitive_to_context(self):
+        assert statepoint_hash({"n": 4}) != statepoint_hash({"n": 4}, seed=1)
+
+    def test_full_sha256_hex(self):
+        h = statepoint_hash({})
+        assert len(h) == 64
+        int(h, 16)  # hex or raise
+
+
+class TestStatepointId:
+    def test_format(self):
+        rid = statepoint_id("camp", 3, {"n": 4})
+        name, rest = rid.split(".", 1)
+        index, digest = rest.split("-", 1)
+        assert (name, index) == ("camp", "3")
+        assert len(digest) == ID_HASH_LEN
+
+    def test_prefix_is_the_full_hash_prefix(self):
+        rid = statepoint_id("c", 0, {"n": 4}, seed=2)
+        assert rid.endswith(statepoint_hash({"n": 4}, seed=2)[:ID_HASH_LEN])
+
+    def test_same_params_different_index_share_suffix(self):
+        a = statepoint_id("c", 0, {"n": 4})
+        b = statepoint_id("c", 1, {"n": 4})
+        assert a.split("-")[-1] == b.split("-")[-1]
+        assert a != b
+
+    @pytest.mark.parametrize("kwargs", [{"seed": 9}, {"machine": "summit"}])
+    def test_context_changes_the_id(self, kwargs):
+        assert statepoint_id("c", 0, {"n": 4}) != statepoint_id(
+            "c", 0, {"n": 4}, **kwargs
+        )

@@ -25,6 +25,7 @@ def make_world(
     policy_priorities=None,
     warmup=0.0,
     settle=0.0,
+    core_quota=None,
 ):
     """A running workflow on one node; tasks run long unless stopped."""
     eng = SimEngine()
@@ -40,7 +41,9 @@ def make_world(
     rules = ArbitrationRules.from_workflow(
         wf, task_priorities=priorities or {}, policy_priorities=policy_priorities or {}
     )
-    arb = ArbitrationStage(sav, rules, warmup=warmup, settle=settle)
+    arb = ArbitrationStage(
+        sav, rules, warmup=warmup, settle=settle, core_quota=core_quota
+    )
     arb.begin(0.0)
     sav.launch_workflow()
     eng.run(until=5.0)  # everyone running
@@ -309,3 +312,55 @@ class TestWaitingQueue:
         ops = plan.ordered_ops()
         assert (ops[0].op, ops[0].task) == ("stop_task", "A")
         assert (ops[1].op, ops[1].task) == ("start_task", "B")
+
+
+class TestTenancyQuota:
+    """core_quota: the machine has room, but the tenant's lease does not."""
+
+    def test_start_beyond_quota_parks(self):
+        # A holds 10 of the node's 42 cores; quota 15 blocks a second
+        # 10-core start even though the machine itself has room.
+        eng, sav, arb = make_world(
+            tasks=(("A", 10, True), ("B", 10, False)), core_quota=15
+        )
+        assert arb.arbitrate([suggestion(action=ActionType.START, target="B")], now=5.0) is None
+        assert "B" in arb.waiting
+
+    def test_start_within_quota_proceeds(self):
+        eng, sav, arb = make_world(
+            tasks=(("A", 10, True), ("B", 10, False)), core_quota=20
+        )
+        plan = arb.arbitrate([suggestion(action=ActionType.START, target="B")], now=5.0)
+        assert plan is not None
+        assert [o.task for o in plan.ordered_ops() if o.op == "start_task"] == ["B"]
+
+    def test_growth_beyond_quota_discarded(self):
+        eng, sav, arb = make_world(tasks=(("A", 10, True),), core_quota=15)
+        plan = arb.arbitrate([suggestion(target="A", params={"adjust-by": 10})], now=5.0)
+        assert plan is None  # growth is discarded, not queued
+        assert "A" not in arb.waiting
+
+    def test_growth_within_quota_proceeds(self):
+        eng, sav, arb = make_world(tasks=(("A", 10, True),), core_quota=25)
+        plan = arb.arbitrate([suggestion(target="A", params={"adjust-by": 10})], now=5.0)
+        assert plan is not None
+        assert plan.reassignment["A"].total_cores == 20
+
+    def test_no_quota_means_no_gate(self):
+        eng, sav, arb = make_world(tasks=(("A", 10, True), ("B", 10, False)))
+        plan = arb.arbitrate([suggestion(action=ActionType.START, target="B")], now=5.0)
+        assert plan is not None
+
+    def test_waiting_task_drains_once_quota_frees(self):
+        # B parks behind the quota; stopping A frees A's 10 held cores
+        # and the next batch drains B from the waiting queue.
+        eng, sav, arb = make_world(
+            tasks=(("A", 10, True), ("B", 10, False)), core_quota=15
+        )
+        assert arb.arbitrate([suggestion(action=ActionType.START, target="B")], now=5.0) is None
+        plan = arb.arbitrate([suggestion(action=ActionType.STOP, target="A")], now=6.0)
+        assert plan is not None
+        ops = plan.ordered_ops()
+        assert [o.op for o in ops] == ["stop_task", "start_task"]
+        assert [o.task for o in ops] == ["A", "B"]
+        assert "B" not in arb.waiting

@@ -1,0 +1,59 @@
+"""The max_time cap error must carry per-task progress evidence."""
+
+import pytest
+
+from repro.apps import ConstantModel, IterativeApp
+from repro.cluster import Allocation, summit
+from repro.errors import ReproError
+from repro.experiments.runner import execute_scenario
+from repro.sim import SimEngine
+from repro.wms import Savanna, TaskSpec, WorkflowSpec
+
+
+def test_timeout_error_names_hung_tasks_with_progress(tmp_path):
+    eng = SimEngine()
+    m = summit(4)
+    alloc = Allocation("a0", m, m.nodes, walltime_limit=1e9)
+    tasks = [
+        TaskSpec("fast", lambda: IterativeApp(ConstantModel(1.0), total_steps=1),
+                 nprocs=2),
+        TaskSpec("hung", lambda: IterativeApp(ConstantModel(5.0), total_steps=1000),
+                 nprocs=2),
+    ]
+    sav = Savanna(eng, WorkflowSpec("W", tasks, []), alloc)
+    with pytest.raises(ReproError) as exc:
+        execute_scenario(eng, sav, None, max_time=20.0)
+    msg = str(exc.value)
+    # The cap and the culprit are both in the message...
+    assert "hit the 20.0s cap" in msg
+    assert "hung (1 instance(s), last progress t=" in msg
+    # ...and the finished task is not blamed.
+    assert "fast" not in msg
+
+
+def test_timeout_error_counts_every_incarnation(tmp_path):
+    from repro.resilience import ResilienceSpec, RetryPolicy
+
+    eng = SimEngine()
+    m = summit(4)
+    alloc = Allocation("a0", m, m.nodes, walltime_limit=1e9)
+    tasks = [
+        TaskSpec("fast", lambda: IterativeApp(ConstantModel(1.0), total_steps=1),
+                 nprocs=2),
+        TaskSpec("hung", lambda: IterativeApp(ConstantModel(5.0), total_steps=1000),
+                 nprocs=2, procs_per_node=1),
+    ]
+    sav = Savanna(eng, WorkflowSpec("W", tasks, []), alloc)
+    sav.configure_resilience(ResilienceSpec(retry=RetryPolicy(max_retries=3)))
+
+    def chaos():
+        yield eng.timeout(8.0)
+        m.nodes[1].fail()
+        sav.handle_node_failure(m.nodes[1].node_id)
+
+    eng.process(chaos())
+    with pytest.raises(ReproError) as exc:
+        execute_scenario(eng, sav, None, max_time=30.0)
+    # The killed-and-retried task reports both incarnations, so the error
+    # distinguishes "hung since launch" from "restarting in a loop".
+    assert "hung (2 instance(s), last progress t=" in str(exc.value)

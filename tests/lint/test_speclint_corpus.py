@@ -478,6 +478,48 @@ CORPUS = {
             )
         ),
     ),
+    "DY410": dict(
+        loc="tenants/tenant[1]",
+        trigger=lambda: codes_of(
+            CLEAN.replace(
+                "</dyflow>",
+                '<tenants nodes="2" cores-per-node="20">'
+                '<tenant id="alice" quota-cores="40"/>'
+                '<tenant id="bob" quota-cores="41"/>'
+                "</tenants></dyflow>",
+            )
+        ),
+        clean=lambda: codes_of(
+            CLEAN.replace(
+                "</dyflow>",
+                '<tenants nodes="2" cores-per-node="20">'
+                '<tenant id="alice" quota-cores="40"/>'
+                '<tenant id="bob" quota-cores="20"/>'
+                "</tenants></dyflow>",
+            )
+        ),
+    ),
+    "DY411": dict(
+        loc="tenants/executor",
+        trigger=lambda: codes_of(
+            CLEAN.replace(
+                "</dyflow>",
+                '<tenants nodes="2" cores-per-node="20">'
+                '<tenant id="alice"/>'
+                '<executor kill-prob="0.2" max-attempts="1"/>'
+                "</tenants></dyflow>",
+            )
+        ),
+        clean=lambda: codes_of(
+            CLEAN.replace(
+                "</dyflow>",
+                '<tenants nodes="2" cores-per-node="20">'
+                '<tenant id="alice"/>'
+                '<executor kill-prob="0.2" max-attempts="3"/>'
+                "</tenants></dyflow>",
+            )
+        ),
+    ),
     "DY409": dict(
         loc="resilience/network/partition[0]",
         trigger=lambda: codes_of(

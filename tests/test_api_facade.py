@@ -34,6 +34,7 @@ API_SURFACE = [
     "BoundedShedQueue",
     "Campaign",
     "CampaignRunner",
+    "CampaignService",
     "ChaosEngine",
     "CheckpointSpec",
     "ConstantModel",
@@ -43,6 +44,7 @@ API_SURFACE = [
     "Diagnostic",
     "DyflowOrchestrator",
     "DyflowSpec",
+    "ExecutorSpec",
     "FabricLink",
     "FaultModelSpec",
     "GRAY_SCOTT_XML",
@@ -85,10 +87,14 @@ API_SURFACE = [
     "SloSpec",
     "SpanView",
     "SuggestedAction",
+    "SupervisedExecutor",
     "Sweep",
     "TaskSpec",
     "TaskState",
     "TelemetrySpec",
+    "TenantCell",
+    "TenantSpec",
+    "TenantsSpec",
     "ThreadedDyflow",
     "TraceSpan",
     "Tracer",
@@ -121,6 +127,7 @@ API_SURFACE = [
     "run_selflint",
     "run_xgc_experiment",
     "scenario_fingerprint",
+    "statepoint_id",
     "summit",
     "to_chrome_trace",
     "utilization_from_events",
@@ -161,6 +168,14 @@ SUBFACADES = {
     "fabric": [
         "NetworkSpec", "PartitionWindow", "LinkOverride", "FabricLink",
         "DegradedModeController", "BoundedShedQueue",
+    ],
+    "campaign": [
+        "AdmissionController", "AdmissionResult", "Campaign",
+        "CampaignRunner", "CampaignService", "CellFailure", "CellOutcome",
+        "ExecutorSpec", "Lease", "MachineArbiter", "SupervisedExecutor",
+        "Sweep", "TenantBreaker", "TenantCell", "TenantRegistry",
+        "TenantSpec", "TenantState", "TenantsSpec", "canonical_json",
+        "run_cell_scenario", "statepoint_hash", "statepoint_id",
     ],
 }
 

@@ -1,8 +1,11 @@
 """Tests for Cheetah-like campaign composition."""
 
+import re
+
 import pytest
 
 from repro.apps import ConstantModel, IterativeApp
+from repro.campaign.statepoint import statepoint_id
 from repro.wms import Campaign, Sweep, TaskSpec, WorkflowSpec
 
 
@@ -29,7 +32,7 @@ class TestCampaign:
         runs = list(c.runs())
         assert len(runs) == 1
         run_id, params, wf = runs[0]
-        assert run_id == "c.0"
+        assert run_id == statepoint_id("c", 0, {"nprocs": 8})
         assert params == {"nprocs": 8}
         assert wf.task("T").nprocs == 8
 
@@ -51,9 +54,30 @@ class TestCampaign:
         assert params == {"label": "gs", "nprocs": 2}
         assert "gs" in wf.workflow_id
 
-    def test_run_ids_sequential(self):
+    def test_run_ids_are_statepoint_hashed(self):
         c = Campaign("c", factory, sweeps=[Sweep("nprocs", [1, 2, 3])])
-        assert [r[0] for r in c.runs()] == ["c.0", "c.1", "c.2"]
+        ids = [r[0] for r in c.runs()]
+        # Ordinal prefix keeps grid order readable; the suffix is the
+        # statepoint content hash.
+        assert all(re.fullmatch(rf"c\.{i}-[0-9a-f]{{8}}", rid)
+                   for i, rid in enumerate(ids))
+        assert len(set(ids)) == 3
+        assert ids == [r[0] for r in c.runs()]  # stable across iterations
+
+    def test_run_ids_namespace_seed_and_machine(self):
+        base = Campaign("c", factory, sweeps=[Sweep("nprocs", [2])])
+        seeded = Campaign("c", factory, sweeps=[Sweep("nprocs", [2])], seed=7)
+        machined = Campaign("c", factory, sweeps=[Sweep("nprocs", [2])],
+                            machine="summit")
+        ids = {next(iter(c.runs()))[0] for c in (base, seeded, machined)}
+        # Same params, different content → three distinct ids: a renamed
+        # or reseeded campaign can never replay the wrong ledger entry.
+        assert len(ids) == 3
+
+    def test_run_ids_content_addressed(self):
+        a = Campaign("c", factory, sweeps=[Sweep("nprocs", [2, 4])])
+        b = Campaign("c", factory, sweeps=[Sweep("nprocs", [2, 4])])
+        assert [r[0] for r in a.runs()] == [r[0] for r in b.runs()]
 
     def test_deterministic_order(self):
         c = Campaign("c", factory, sweeps=[Sweep("nprocs", [4, 2]), Sweep("steps", [7, 3])])

@@ -12,6 +12,7 @@ nothing.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.campaign.spec import ExecutorSpec, TenantSpec, TenantsSpec
 from repro.core import ActionType
 from repro.core.policy import PolicyApplication, PolicySpec
 from repro.core.sensors import GroupBySpec, JoinSpec, SensorSpec
@@ -220,6 +221,44 @@ def observability_specs(draw):
 
 
 @st.composite
+def tenants_specs(draw):
+    ids = draw(st.lists(names, max_size=3, unique=True))
+    tenants = tuple(
+        TenantSpec(
+            tenant_id=tid,
+            quota_cores=draw(st.integers(0, 10_000)),
+            weight=draw(st.floats(min_value=0.1, max_value=10.0)),
+            max_queue=draw(st.integers(1, 64)),
+        )
+        for tid in ids
+    )
+    executor = draw(st.one_of(st.none(), st.builds(
+        ExecutorSpec,
+        workers=st.integers(0, 16),
+        cell_timeout=st.one_of(st.just(0.0), positive),
+        max_attempts=st.integers(1, 8),
+        backoff_base=positive,
+        backoff_factor=st.floats(min_value=1.0, max_value=8.0),
+        backoff_max=positive,
+        jitter=st.floats(min_value=0.0, max_value=1.0),
+        kill_prob=st.floats(min_value=0.0, max_value=0.99),
+    )))
+    breaker = draw(st.one_of(st.none(), st.builds(
+        QuarantineSpec,
+        failures=st.integers(1, 10),
+        window=positive,
+        cooldown=positive,
+    )))
+    return TenantsSpec(
+        nodes=draw(st.integers(0, 512)),
+        cores_per_node=draw(st.integers(0, 128)),
+        tenants=tenants,
+        executor=executor,
+        breaker=breaker,
+    )
+
+
+@st.composite
 def sensor_specs(draw, sensor_id, all_ids):
     grans = draw(st.lists(granularities, min_size=1, max_size=4, unique=True))
     group_by = tuple(GroupBySpec(g, draw(reductions)) for g in grans)
@@ -304,6 +343,7 @@ def dyflow_specs(draw):
         telemetry=draw(st.one_of(st.none(), telemetry_specs)),
         journal=draw(st.one_of(st.none(), journal_specs)),
         observability=draw(st.one_of(st.none(), observability_specs())),
+        tenants=draw(st.one_of(st.none(), tenants_specs())),
     )
 
 
@@ -337,6 +377,7 @@ class TestFixedPoint:
         assert back.telemetry == spec.telemetry
         assert back.journal == spec.journal
         assert back.observability == spec.observability
+        assert back.tenants == spec.tenants
         # monitor-tasks are regrouped by (task, workflow, source) on
         # write; with unique tasks the binding set is order-stable.
         def key(m):
@@ -429,6 +470,17 @@ def test_full_document_with_all_elements_round_trips():
                             window=30, z=4.0, alpha=0.2, min_points=6,
                             severity="critical"),
             ),
+        ),
+        tenants=TenantsSpec(
+            nodes=8, cores_per_node=42,
+            tenants=(
+                TenantSpec("alice", quota_cores=168, weight=2.0, max_queue=16),
+                TenantSpec("bob", quota_cores=84, weight=1.0, max_queue=8),
+            ),
+            executor=ExecutorSpec(workers=4, cell_timeout=30.0, max_attempts=3,
+                                  backoff_base=0.5, backoff_factor=2.0,
+                                  backoff_max=30.0, jitter=0.25, kill_prob=0.1),
+            breaker=QuarantineSpec(failures=3, window=600.0, cooldown=1800.0),
         ),
     )
     xml1 = write_dyflow_xml(spec)
