@@ -155,6 +155,18 @@ _FLAT = {
     "report_from_jsonl": "repro.observability",
     "render_markdown": "repro.observability",
     "write_report": "repro.observability",
+    # fleet observability plane
+    "FleetSpec": "repro.observability",
+    "FleetHealthEngine": "repro.observability",
+    "WatchStream": "repro.observability",
+    "read_watch_stream": "repro.observability",
+    "render_labeled_openmetrics": "repro.observability",
+    "RunStore": "repro.observability",
+    "RunRecord": "repro.observability",
+    "load_record": "repro.observability",
+    # core profiler
+    "ProfileSpec": "repro.profiler",
+    "CoreProfiler": "repro.profiler",
     # canned experiments
     "run_xgc_experiment": "repro.experiments",
     "run_gray_scott_experiment": "repro.experiments",

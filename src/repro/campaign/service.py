@@ -31,6 +31,7 @@ retry-after hints, fair-share order — replays deterministically.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
@@ -43,10 +44,17 @@ from repro.campaign.spec import ExecutorSpec, TenantsSpec
 from repro.campaign.statepoint import statepoint_id
 from repro.errors import ReproError
 from repro.journal import Journal, JournalSpec, read_journal
+from repro.observability.fleet import FleetHealthEngine
 from repro.observability.slo import HealthAlert, SloEvaluator
-from repro.observability.spec import SloSpec
+from repro.observability.spec import ObservabilitySpec, SloSpec
+from repro.observability.watch import WatchStream
 from repro.resilience.spec import QuarantineSpec
 from repro.sim.rng import RngRegistry
+
+#: Subdirectory of the journal root holding campaign-level (not
+#: per-tenant) durable state: the fleet WAL, the watch stream, and
+#: flight-recorder dumps.
+FLEET_DIR = "__fleet__"
 
 
 @dataclass(frozen=True)
@@ -122,6 +130,7 @@ class CampaignService:
         journal_root: str | None = None,
         run_cell: Callable[[TenantCell, Lease], dict] | None = None,
         rng_seed: int = 0,
+        observability: ObservabilitySpec | None = None,
     ) -> None:
         spec.validate()
         if spec.nodes <= 0 or spec.cores_per_node <= 0:
@@ -166,6 +175,55 @@ class CampaignService:
         self.alerts: dict[str, list[HealthAlert]] = {
             tid: [] for tid in self.registry.ids()
         }
+        # Fleet observability plane (repro.observability.fleet / .watch):
+        # active only when the spec asks for it, so the disabled path
+        # costs a couple of None checks per cell.
+        self.observability = observability
+        fleet_spec = None
+        if (
+            observability is not None
+            and observability.enabled
+            and observability.fleet is not None
+            and observability.fleet.enabled
+        ):
+            observability.validate()
+            fleet_spec = observability.fleet
+        self.fleet: FleetHealthEngine | None = None
+        self._watch: WatchStream | None = None
+        self._fleet_journal_spec: JournalSpec | None = None
+        self._fleet_slo: dict[str, list[SloEvaluator]] = {}
+        self._resume_replay = False
+        if fleet_spec is not None:
+            self.fleet = FleetHealthEngine(fleet_spec)
+            watch_path = fleet_spec.watch_path
+            if journal_root is not None:
+                fleet_dir = os.path.join(journal_root, FLEET_DIR)
+                os.makedirs(fleet_dir, exist_ok=True)
+                if watch_path is None:
+                    watch_path = os.path.join(fleet_dir, "watch.jsonl")
+                self._fleet_journal_spec = JournalSpec(dir=os.path.join(fleet_dir, "wal"))
+            self._watch = WatchStream(watch_path)
+            # Tenant-scoped SLOs declared on the observability spec run
+            # against the tenant's fleet rollup registry.
+            known = set(self.registry.ids())
+            for slo in observability.slos:
+                if not slo.tenant:
+                    continue
+                if slo.tenant not in known:
+                    # The lint counterpart is DY412; at runtime this is a
+                    # hard error, not a silent no-op objective.
+                    raise ReproError(
+                        f"slo {slo.key!r} references unknown tenant {slo.tenant!r}"
+                    )
+                self._fleet_slo.setdefault(slo.tenant, []).append(SloEvaluator(slo))
+            # A watch stream reloaded with committed events means this
+            # service is resuming a crashed supervisor: until it executes
+            # a fresh cell (or the clock moves), submissions are replays
+            # of the pre-crash sequence, not live traffic.
+            self._resume_replay = bool(self._watch.read(0))
+            self._restore_fleet_barrier()
+            self._emit("campaign-open", "campaign-open",
+                       tenants=sorted(self.registry.ids()))
 
     # -- clock --------------------------------------------------------------------
     @property
@@ -177,17 +235,81 @@ class CampaignService:
         if dt < 0:
             raise ReproError("time cannot go backwards")
         self._now += dt
+        self._resume_replay = False
+
+    # -- watch stream ---------------------------------------------------------------
+    def _emit(self, kind: str, key: str, **payload: Any) -> bool:
+        """Append one watch event (idempotent by *key*); True if new."""
+        if self._watch is None:
+            return False
+        return self._watch.emit(kind, key, self._now, **payload)
+
+    def watch(self, since: int = 0) -> list[dict[str, Any]]:
+        """The typed, seekable event stream (admissions, leases, cells,
+        breaker/SLO transitions) from cursor *since*.
+
+        Requires the fleet plane
+        (``ObservabilitySpec(fleet=FleetSpec(...))``); with a journal
+        root the stream is durable JSONL at :attr:`watch_path` and stays
+        byte-identical across a supervisor crash/resume.
+        """
+        if self._watch is None:
+            raise ReproError(
+                "watch() needs the fleet observability plane "
+                "(pass observability=ObservabilitySpec(fleet=FleetSpec()))"
+            )
+        return self._watch.read(since)
+
+    @property
+    def watch_path(self) -> str | None:
+        return self._watch.path if self._watch is not None else None
 
     # -- submission ---------------------------------------------------------------
     def submit(self, cell: TenantCell) -> AdmissionResult:
         """Admit one cell (statepoint-id'd) through the tenant's gate."""
         index = self._submit_index.get(cell.tenant_id, 0)
         cell_id = cell.resolved_id(index)
+        if self._watch is not None and self._watch.seen(f"admit:{cell_id}"):
+            # Resume re-submission of a cell the pre-crash service already
+            # admitted: bypass the gate — a breaker restored from the fleet
+            # barrier may be quarantining the tenant *now*, but rejecting
+            # here would drop accepted work (parked cells, ledger replays)
+            # and fork the watch stream from the uninterrupted run.
+            state = self.admission.registry.require(cell.tenant_id)
+            state.queue.append((cell_id, cell))
+            state.submitted += 1
+            self._submit_index[cell.tenant_id] = index + 1
+            return AdmissionResult(
+                accepted=True, tenant_id=cell.tenant_id,
+                queue_depth=len(state.queue),
+            )
+        if self._watch is not None and self._resume_replay:
+            for reason in ("quarantined", "queue-full"):
+                if self._watch.seen(f"reject:{cell_id}:{reason}"):
+                    # The pre-crash service turned this submission away;
+                    # replay the same verdict without re-counting it.
+                    state = self.admission.registry.require(cell.tenant_id)
+                    return AdmissionResult(
+                        accepted=False, tenant_id=cell.tenant_id,
+                        reason=reason, retry_after=0.0,
+                        queue_depth=len(state.queue),
+                    )
         result = self.admission.submit(
             cell.tenant_id, (cell_id, cell), now=self._now
         )
         if result.accepted:
             self._submit_index[cell.tenant_id] = index + 1
+            self._emit("admit", f"admit:{cell_id}",
+                       tenant=cell.tenant_id, cell_id=cell_id)
+        else:
+            fresh = self._emit(
+                "reject", f"reject:{cell_id}:{result.reason}",
+                tenant=cell.tenant_id, cell_id=cell_id, reason=result.reason,
+            )
+            if fresh and self.fleet is not None:
+                # Gated on the dedup so a crash/resume's re-submissions
+                # do not double-count into the rollup.
+                self.fleet.record_rejection(cell.tenant_id)
         return result
 
     # -- per-tenant journals --------------------------------------------------------
@@ -225,6 +347,110 @@ class CampaignService:
         journal.append("meta", tenant=tenant_id)
         return journal
 
+    # -- fleet WAL ------------------------------------------------------------------
+    def _open_fleet_journal(self) -> Journal | None:
+        spec = self._fleet_journal_spec
+        if spec is None:
+            return None
+        from repro.journal.wal import list_segment_indices
+
+        if os.path.isdir(spec.dir) and list_segment_indices(spec.dir):
+            return Journal.reopen(spec.dir, spec=spec)
+        journal = Journal.open(spec)
+        journal.append("meta", scope="fleet")
+        return journal
+
+    def _fleet_state(self) -> dict[str, Any]:
+        assert self.fleet is not None
+        return {
+            "fleet": self.fleet.state_dict(),
+            "breaker": self.breaker.state_dict(),
+            "slo": {tid: self._slo[tid].state_dict() for tid in sorted(self._slo)},
+            "fleet_slo": {
+                ev.spec.key: ev.state_dict()
+                for tid in sorted(self._fleet_slo)
+                for ev in self._fleet_slo[tid]
+            },
+            "alerts": {
+                tid: [a.to_dict() for a in self.alerts[tid]]
+                for tid in sorted(self.alerts)
+            },
+        }
+
+    def _fleet_barrier(self, journal: Journal | None) -> None:
+        """Make the fleet plane durable after one executed cell.
+
+        The barrier carries everything the resumed service cannot
+        rebuild from the per-tenant ledgers alone — the logical clock,
+        breaker windows, SLO evaluator streaks, alert lists, and the
+        fleet rollup registries — so rollups and watch streams come back
+        bit-identical.
+        """
+        if journal is None:
+            return
+        journal.append("fleet-barrier", t=self._now, state=self._fleet_state())
+        journal.sync()
+        if self._watch is not None:
+            self._watch.sync()
+
+    def _restore_fleet_barrier(self) -> None:
+        spec = self._fleet_journal_spec
+        if spec is None:
+            return
+        from repro.journal.wal import list_segment_indices
+
+        if not (os.path.isdir(spec.dir) and list_segment_indices(spec.dir)):
+            return
+        barrier: dict[str, Any] | None = None
+        for rec in read_journal(spec.dir).records:
+            if rec["kind"] == "fleet-barrier":
+                barrier = rec
+        if barrier is None:
+            return
+        assert self.fleet is not None
+        state = barrier["state"]
+        self._now = float(barrier["t"])
+        self.fleet.load_state_dict(state["fleet"])
+        self.breaker.load_state_dict(state["breaker"])
+        for tid, ev_state in state.get("slo", {}).items():
+            if tid in self._slo:
+                self._slo[tid].load_state_dict(ev_state)
+        by_key = {
+            ev.spec.key: ev
+            for evs in self._fleet_slo.values()
+            for ev in evs
+        }
+        for key, ev_state in state.get("fleet_slo", {}).items():
+            if key in by_key:
+                by_key[key].load_state_dict(ev_state)
+        for tid, alerts in state.get("alerts", {}).items():
+            if tid in self.alerts:
+                self.alerts[tid] = [HealthAlert.from_dict(a) for a in alerts]
+
+    def _dump_flight_recorder(self, cell_id: str) -> str | None:
+        """Post-mortem for a poison quarantine: recent watch events +
+        the fleet rollup, bounded by ``fleet.flight_recorder``."""
+        if (
+            self.fleet is None
+            or self.fleet.spec.flight_recorder <= 0
+            or self.journal_root is None
+            or self._watch is None
+        ):
+            return None
+        window = max(0, self._watch.seq - self.fleet.spec.flight_recorder)
+        doc = {
+            "schema": "dyflow-flight-recorder/1",
+            "reason": f"poison:{cell_id}",
+            "events": self._watch.read(window),
+            "rollup": self.fleet.rollup(),
+        }
+        path = os.path.join(
+            self.journal_root, FLEET_DIR, f"flight-{cell_id}.json"
+        )
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        return path
+
     # -- the dispatch loop -----------------------------------------------------------
     def run_pending(self, stop_after: int | None = None) -> list[dict[str, Any]]:
         """Serve queued cells fair-share until drained (or *stop_after*).
@@ -237,6 +463,7 @@ class CampaignService:
         """
         completed = {tid: self._load_completed(tid) for tid in self.registry.ids()}
         journals: dict[str, Journal | None] = {}
+        fleet_journal = self._open_fleet_journal() if self.fleet is not None else None
         executed = 0
         batch: list[dict[str, Any]] = []
         try:
@@ -254,12 +481,21 @@ class CampaignService:
                 batch.append(record)
                 self.results.append(record)
                 if not record["replayed"]:
+                    self._resume_replay = False
                     executed += 1
                     self._now += 1.0
+                    self._fleet_barrier(fleet_journal)
         finally:
             for journal in journals.values():
                 if journal is not None:
                     journal.close()
+            if fleet_journal is not None:
+                fleet_journal.close()
+            if self.fleet is not None:
+                path = self.fleet.spec.openmetrics_path
+                if path is not None:
+                    with open(path, "w", encoding="utf-8") as fh:
+                        fh.write(self.fleet.render_openmetrics())
         return batch
 
     def _serve(
@@ -284,27 +520,53 @@ class CampaignService:
             # One-cell-at-a-time service: a denial here is structural
             # (request beyond quota or machine), not transient.
             state.rejected += 1
+            fresh = self._emit("lease-deny", f"lease-deny:{cell_id}",
+                               tenant=tid, cell_id=cell_id, reason=deny)
+            if fresh and self.fleet is not None:
+                self.fleet.record_rejection(tid)
             return {
                 "tenant": tid, "cell_id": cell_id, "status": f"rejected-{deny}",
                 "result": None, "replayed": False, "attempts": 0,
             }
+        self._emit("lease-grant", f"lease-grant:{cell_id}", tenant=tid,
+                   cell_id=cell_id, nodes=lease.nodes, cores=lease.cores)
         if tid not in journals:
             journals[tid] = self._open_journal(tid)
         journal = journals[tid]
         try:
             if journal is not None:
                 journal.append("cell-started", cell_id=cell_id, params=cell.params)
+            self._emit("cell-start", f"cell-start:{cell_id}",
+                       tenant=tid, cell_id=cell_id)
             [outcome] = self.executor.run(
                 [(cell_id, cell)], lambda c, lease=lease: self.run_cell(c, lease)
             )
         finally:
             self.arbiter.release(lease)
+        trips_before = self.breaker.trips(tid)
         for failure in outcome.failures:
             self.breaker.record_failure(tid, self._now)
             state.failed += 1
+            self._emit("cell-retry", f"cell-retry:{cell_id}:{failure.attempt}",
+                       tenant=tid, cell_id=cell_id, attempt=failure.attempt,
+                       fail_kind=failure.kind)
+        for trip in range(trips_before, self.breaker.trips(tid)):
+            fresh = self._emit("breaker-trip", f"breaker-trip:{tid}:{trip}",
+                               tenant=tid, trip=trip)
+            if fresh and self.fleet is not None:
+                self.fleet.record_trip(tid)
         self._evaluate_health(tid)
         if outcome.status == COMPLETED:
             state.completed += 1
+            if self.fleet is not None:
+                self.fleet.record_cell(
+                    tid, float(outcome.result.get("makespan", 0.0))
+                    if isinstance(outcome.result, dict) else 0.0,
+                    status="completed", failures=len(outcome.failures),
+                )
+            self._evaluate_fleet_slos(tid)
+            self._emit("cell-complete", f"cell-complete:{cell_id}",
+                       tenant=tid, cell_id=cell_id, attempts=outcome.attempts)
             if journal is not None:
                 journal.append("cell-completed", cell_id=cell_id,
                                result=outcome.result)
@@ -315,12 +577,19 @@ class CampaignService:
                 "attempts": outcome.attempts,
             }
         state.poisoned += 1
+        if self.fleet is not None:
+            self.fleet.record_cell(tid, 0.0, status="poisoned",
+                                   failures=len(outcome.failures))
+        self._evaluate_fleet_slos(tid)
+        self._emit("cell-poison", f"cell-poison:{cell_id}",
+                   tenant=tid, cell_id=cell_id, attempts=outcome.attempts)
         if journal is not None:
             journal.append(
                 "cell-poisoned", cell_id=cell_id,
                 failures=[[f.attempt, f.kind, f.detail] for f in outcome.failures],
             )
             journal.sync()
+        self._dump_flight_recorder(cell_id)
         return {
             "tenant": tid, "cell_id": cell_id, "status": "poisoned",
             "result": None, "replayed": False, "attempts": outcome.attempts,
@@ -332,14 +601,62 @@ class CampaignService:
             self._now, float(self.breaker.blamed(tenant_id))
         )
         if alert is not None:
+            ordinal = len(self.alerts[tenant_id])
             self.alerts[tenant_id].append(alert)
+            self._emit("alert", f"alert:{tenant_id}:{ordinal}",
+                       tenant=tenant_id, alert=alert.to_dict())
+            if self.fleet is not None:
+                self.fleet.ingest_alert(tenant_id, alert)
+
+    def _fleet_metric(self, tenant_id: str, metric: str, stat: str) -> float | None:
+        """Resolve one tenant-scoped SLO input from the fleet registry."""
+        assert self.fleet is not None
+        inst = self.fleet.registry(tenant_id).lookup(metric)
+        if inst is None:
+            return None
+        if stat == "value":
+            return float(inst.value)
+        # The remaining stats are histogram-only; a counter/gauge under a
+        # histogram stat reads as "not yet observable" rather than erroring.
+        count = getattr(inst, "count", None)
+        if count is None:
+            return None
+        if stat == "count":
+            return float(count)
+        if count == 0:
+            return None
+        if stat in ("p50", "p95", "p99"):
+            return float(inst.percentile(float(stat[1:])))
+        return float(getattr(inst, stat))
+
+    def _evaluate_fleet_slos(self, tenant_id: str) -> None:
+        """Run the spec's tenant-scoped objectives after an executed cell."""
+        for evaluator in self._fleet_slo.get(tenant_id, ()):
+            slo = evaluator.spec
+            value = self._fleet_metric(tenant_id, slo.metric, slo.stat)
+            alert = evaluator.evaluate(self._now, value)
+            if alert is None:
+                continue
+            assert self.fleet is not None
+            ordinal = sum(
+                1 for a in self.fleet.alerts(tenant_id) if a.source == alert.source
+            )
+            self._emit(
+                "slo-transition", f"slo:{slo.key}:{alert.kind}:{ordinal}",
+                tenant=tenant_id, alert=alert.to_dict(),
+            )
+            self.fleet.ingest_alert(tenant_id, alert)
 
     # -- reporting -----------------------------------------------------------------
     def tenant_summary(self) -> dict[str, dict[str, Any]]:
-        """Per-tenant counters for reports and benchmarks."""
+        """Per-tenant counters for reports and benchmarks.
+
+        Deterministically ordered: tenant ids sorted, field order fixed —
+        two equivalent campaigns produce byte-identical JSON dumps.
+        """
         out: dict[str, dict[str, Any]] = {}
-        for state in self.registry.states():
-            tid = state.spec.tenant_id
+        for tid in sorted(self.registry.ids()):
+            state = self.registry.require(tid)
             out[tid] = {
                 "submitted": state.submitted,
                 "rejected": state.rejected,

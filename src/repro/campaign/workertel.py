@@ -1,0 +1,160 @@
+"""Worker-side telemetry capture for forked campaign cells.
+
+Cells executed by :class:`~repro.campaign.executor.SupervisedExecutor`
+with ``workers > 0`` run in forked child processes, so anything they
+record into an in-memory :class:`~repro.telemetry.metrics.MetricsRegistry`
+dies with the worker — the parent's registry is a *copy* the child
+mutates, and the mutations never travel back through the result pipe.
+
+This module closes that gap with a file-based handoff:
+
+* the cell function records into the ambient :func:`worker_registry`
+  (one fresh registry per attempt — :func:`reset_worker_registry` runs
+  at worker entry so the fork's inherited copy of parent telemetry is
+  never double-counted);
+* at worker exit the child flushes the registry to
+  ``<root>/<cell_id>.telemetry.jsonl`` — one JSON line per instrument —
+  written to a temp file and published with ``os.replace`` so readers
+  only ever see whole files;
+* the parent merges the flushed file into its own registry with
+  :func:`merge_worker_telemetry`, keyed by cell id (retries overwrite
+  the same file, so exactly the surviving attempt's telemetry merges).
+
+A worker SIGKILLed mid-flush can still leave a torn temp file behind,
+and a flush routed around ``os.replace`` (e.g. NFS relaxations) can
+expose a torn tail.  The merge therefore treats the first unparsable
+line as end-of-stream and merges only the committed prefix — torn
+telemetry degrades to partial telemetry, never to a corrupted parent
+registry (instrument lines are self-contained, so every committed line
+is mergeable on its own).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.telemetry.metrics import MetricsRegistry
+
+#: Filename suffix for per-cell worker telemetry flushes.
+_SUFFIX = ".telemetry.jsonl"
+
+_REGISTRY: MetricsRegistry | None = None
+
+
+def worker_registry() -> MetricsRegistry:
+    """The ambient registry a campaign cell records into.
+
+    Created on first use; cell functions call this instead of plumbing a
+    registry argument through the (picklable) payload.
+    """
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = MetricsRegistry()
+    return _REGISTRY
+
+
+def reset_worker_registry() -> None:
+    """Drop the ambient registry (worker entry / between serial attempts)."""
+    global _REGISTRY
+    _REGISTRY = None
+
+
+def peek_worker_registry() -> MetricsRegistry | None:
+    """The ambient registry if the cell touched it, else ``None``."""
+    return _REGISTRY
+
+
+def telemetry_path(root: str, cell_id: str) -> str:
+    """Where the flushed telemetry for *cell_id* lives under *root*."""
+    return os.path.join(root, f"{cell_id}{_SUFFIX}")
+
+
+def flush_worker_telemetry(root: str, cell_id: str) -> str | None:
+    """Write the ambient registry to its per-cell file; returns the path.
+
+    One JSON object per line, each line self-contained::
+
+        {"kind": "counter", "name": "cells.rows", "value": 3.0}
+        {"kind": "histogram", "name": "cell.step", "state": {...}}
+
+    The write lands in ``<path>.tmp`` first and is published atomically
+    with ``os.replace``.  Returns ``None`` (and writes nothing) when the
+    ambient registry was never touched — absent file means "this cell
+    recorded no telemetry", which the merge treats as a clean no-op.
+    """
+    if _REGISTRY is None:
+        return None
+    state = _REGISTRY.state_dict()
+    lines: list[str] = []
+    for name, value in state["counters"].items():
+        lines.append(json.dumps(
+            {"kind": "counter", "name": name, "value": value}, sort_keys=True
+        ))
+    for name, value in state["gauges"].items():
+        lines.append(json.dumps(
+            {"kind": "gauge", "name": name, "value": value}, sort_keys=True
+        ))
+    for name, hstate in state["histograms"].items():
+        lines.append(json.dumps(
+            {"kind": "histogram", "name": name, "state": hstate}, sort_keys=True
+        ))
+    path = telemetry_path(root, cell_id)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write("".join(line + "\n" for line in lines))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def read_worker_telemetry(path: str) -> dict[str, Any]:
+    """Parse a flushed file into a ``MetricsRegistry.merge_state`` dict.
+
+    Stops at the first unparsable or incomplete line (torn tail from a
+    worker killed mid-write) and returns whatever prefix committed.
+    """
+    state: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    try:
+        with open(path, encoding="utf-8") as fh:
+            raw_lines = fh.read().split("\n")
+    except FileNotFoundError:
+        return state
+    for raw in raw_lines:
+        if not raw:
+            continue
+        try:
+            rec = json.loads(raw)
+            kind = rec["kind"]
+            name = rec["name"]
+            if kind == "counter":
+                state["counters"][name] = float(rec["value"])
+            elif kind == "gauge":
+                state["gauges"][name] = float(rec["value"])
+            elif kind == "histogram":
+                state["histograms"][name] = rec["state"]
+            else:
+                break
+        except (ValueError, KeyError, TypeError):
+            # Torn tail: merge only the committed prefix.
+            break
+    return state
+
+
+def merge_worker_telemetry(
+    root: str, cell_id: str, target: MetricsRegistry
+) -> int:
+    """Merge *cell_id*'s flushed telemetry into *target*.
+
+    Returns the number of instruments merged (0 when the cell flushed
+    nothing, or its file is missing/empty/torn-at-line-one).
+    """
+    state = read_worker_telemetry(telemetry_path(root, cell_id))
+    merged = (
+        len(state["counters"]) + len(state["gauges"]) + len(state["histograms"])
+    )
+    if merged:
+        target.merge_state(state)
+    return merged

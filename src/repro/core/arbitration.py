@@ -67,6 +67,10 @@ class _FeasibilityCache:
     def __init__(self) -> None:
         self._epoch: tuple | None = None
         self._infeasible: set[tuple[int, int | None]] = set()
+        #: Memo effectiveness counters for the core profiler; they never
+        #: influence placement, so they are not journaled.
+        self.hits = 0
+        self.misses = 0
 
     def sync(self, epoch: tuple) -> None:
         if epoch != self._epoch:
@@ -74,7 +78,11 @@ class _FeasibilityCache:
             self._infeasible.clear()
 
     def known_infeasible(self, ncores: int, per_node_limit: int | None) -> bool:
-        return (ncores, per_node_limit) in self._infeasible
+        if (ncores, per_node_limit) in self._infeasible:
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
 
     def note_infeasible(self, ncores: int, per_node_limit: int | None) -> None:
         self._infeasible.add((ncores, per_node_limit))
@@ -213,6 +221,10 @@ class ArbitrationStage:
     @property
     def in_flight(self) -> ActionPlan | None:
         return self._in_flight
+
+    def memo_stats(self) -> dict[str, int]:
+        """Placement-memo effectiveness (consumed by the core profiler)."""
+        return {"hits": self._feasibility.hits, "misses": self._feasibility.misses}
 
     def gated(self, now: float) -> bool:
         """True while suggestions must be discarded (warmup/settle/in-flight)."""

@@ -47,6 +47,7 @@ RECORD_KINDS = (
     "cell-started",  # tenant service: one cell began on its partition
     "cell-completed",  # tenant service: cell finished (carries its result)
     "cell-poisoned",   # tenant service: cell quarantined after max attempts
+    "fleet-barrier",   # campaign fleet plane: clock + rollup/breaker/SLO state
 )
 
 _KIND_SET = frozenset(RECORD_KINDS)

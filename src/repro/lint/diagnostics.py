@@ -138,6 +138,7 @@ CODES: dict[str, CodeInfo] = {
         _spec("DY410", "tenant quota exceeds the shared machine's capacity"),
         _spec("DY411", "executor injects worker kills but has no retry budget",
               Severity.WARNING),
+        _spec("DY412", "observability SLO references an unknown tenant id"),
         # -- determinism self-lint (DY5xx) ----------------------------------
         _self("DY501", "wall-clock call in a deterministic core path"),
         _self("DY502", "global or unseeded RNG outside repro.sim.rng"),

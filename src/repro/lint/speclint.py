@@ -159,6 +159,7 @@ def verify_spec(
     diags += _check_policy_interactions(spec)
     diags += _check_parameter_ranges(spec)
     diags += _check_tenants(spec)
+    diags += _check_fleet_slos(spec)
     return sort_diagnostics(diags)
 
 
@@ -727,6 +728,31 @@ def _check_tenants(spec: DyflowSpec) -> list[Diagnostic]:
             "immediately poisoned instead of retried",
             xml_path="tenants/executor",
         ))
+    return out
+
+
+# -- DY412: tenant-scoped SLOs must name declared tenants --------------------- #
+def _check_fleet_slos(spec: DyflowSpec) -> list[Diagnostic]:
+    obs = spec.observability
+    if obs is None:
+        return []
+    known = (
+        {t.tenant_id for t in spec.tenants.tenants}
+        if spec.tenants is not None else set()
+    )
+    out: list[Diagnostic] = []
+    for i, slo in enumerate(obs.slos):
+        if slo.tenant and slo.tenant not in known:
+            hint = (
+                f"declared tenants: {', '.join(sorted(known))}"
+                if known else "no <tenants> section declares any tenant"
+            )
+            out.append(make(
+                "DY412",
+                f"SLO on {slo.metric!r} ({slo.stat}) references unknown "
+                f"tenant {slo.tenant!r}; the objective can never fire ({hint})",
+                xml_path=f"observability/slo[{i}]",
+            ))
     return out
 
 

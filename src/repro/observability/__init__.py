@@ -17,9 +17,12 @@ from repro.observability.analysis import (
     exclusive_times,
     slowest_spans,
 )
+from repro.observability.fleet import FleetHealthEngine
 from repro.observability.health import HEALTH_TASK, HealthEngine, HealthSensorSource
 from repro.observability.openmetrics import (
+    escape_label_value,
     parse_openmetrics,
+    render_labeled_openmetrics,
     render_openmetrics,
     sanitize_metric_name,
     write_openmetrics,
@@ -34,7 +37,9 @@ from repro.observability.report import (
 )
 from repro.observability.slo import EwmaDetector, HealthAlert, SloEvaluator
 from repro.observability.snapshot import MetricsSnapshotter
-from repro.observability.spec import AnomalySpec, ObservabilitySpec, SloSpec
+from repro.observability.spec import AnomalySpec, FleetSpec, ObservabilitySpec, SloSpec
+from repro.observability.store import RunRecord, RunStore, flatten_metrics, load_record
+from repro.observability.watch import EVENT_KINDS, WatchStream, read_watch_stream
 from repro.observability.utilization import (
     BusySegment,
     NodeUtilization,
@@ -49,6 +54,7 @@ __all__ = [
     "ObservabilitySpec",
     "SloSpec",
     "AnomalySpec",
+    "FleetSpec",
     # analysis
     "SpanView",
     "CriticalPath",
@@ -66,9 +72,21 @@ __all__ = [
     "utilization_from_events",
     # openmetrics
     "render_openmetrics",
+    "render_labeled_openmetrics",
     "write_openmetrics",
     "parse_openmetrics",
     "sanitize_metric_name",
+    "escape_label_value",
+    # fleet plane
+    "FleetHealthEngine",
+    "WatchStream",
+    "read_watch_stream",
+    "EVENT_KINDS",
+    # run store
+    "RunStore",
+    "RunRecord",
+    "load_record",
+    "flatten_metrics",
     # slo / health
     "HealthAlert",
     "SloEvaluator",

@@ -42,6 +42,33 @@ def sanitize_metric_name(name: str, prefix: str = "dyflow_") -> str:
     return prefix + cleaned
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value for the text exposition format.
+
+    The three escapes the spec defines: backslash, double-quote, and
+    line feed.  Everything else (including non-ASCII UTF-8) passes
+    through verbatim.
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+_UNESCAPE_RE = re.compile(r"\\(.)")
+_UNESCAPE_MAP = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+def _unescape_label_value(raw: str, where: str) -> str:
+    """Strict left-to-right unescape of a quoted label value."""
+
+    def repl(m: re.Match[str]) -> str:
+        ch = m.group(1)
+        out = _UNESCAPE_MAP.get(ch)
+        if out is None:
+            raise ObservabilityError(f"{where}: bad escape sequence '\\{ch}' in label value")
+        return out
+
+    return _UNESCAPE_RE.sub(repl, raw)
+
+
 def _fmt(value: float) -> str:
     """Deterministic number rendering (ints without the trailing ``.0``)."""
     value = float(value)
@@ -97,6 +124,79 @@ def write_openmetrics(path: str, registry: MetricsRegistry, prefix: str = "dyflo
     return path
 
 
+def render_labeled_openmetrics(
+    registries: dict[str, MetricsRegistry],
+    label: str = "tenant",
+    prefix: str = "dyflow_",
+) -> str:
+    """Merge per-key registries into labeled OpenMetrics families.
+
+    Same-named instruments across the *registries* mapping become one
+    family whose samples carry ``label="<key>"`` — the fleet rollup
+    export (one registry per tenant → tenant-labeled families).  Output
+    is deterministic: families sorted by name, then samples sorted by
+    label value, and label values escaped per the exposition format.
+    """
+    if not _LABEL_NAME_RE.match(label):
+        raise ObservabilityError(f"bad label name {label!r}")
+    counters: dict[str, list[tuple[str, Any]]] = {}
+    gauges: dict[str, list[tuple[str, Any]]] = {}
+    hists: dict[str, list[tuple[str, Any]]] = {}
+    for key in sorted(registries):
+        reg = registries[key]
+        for c in reg.counters():
+            counters.setdefault(c.name, []).append((key, c))
+        for g in reg.gauges():
+            gauges.setdefault(g.name, []).append((key, g))
+        for h in reg.histograms():
+            hists.setdefault(h.name, []).append((key, h))
+
+    lines: list[str] = []
+    for cname in sorted(counters):
+        name = sanitize_metric_name(cname, prefix)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"# HELP {name} Counter {cname}")
+        for key, c in counters[cname]:
+            tag = escape_label_value(key)
+            lines.append(f'{name}_total{{{label}="{tag}"}} {_fmt(c.value)}')
+    for gname in sorted(gauges):
+        name = sanitize_metric_name(gname, prefix)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"# HELP {name} Gauge {gname}")
+        for key, g in gauges[gname]:
+            tag = escape_label_value(key)
+            lines.append(f'{name}{{{label}="{tag}"}} {_fmt(g.value)}')
+    for hname in sorted(hists):
+        name = sanitize_metric_name(hname, prefix)
+        lines.append(f"# TYPE {name} histogram")
+        lines.append(f"# HELP {name} Histogram {hname}")
+        quantile_lines: list[str] = []
+        for key, h in hists[hname]:
+            tag = escape_label_value(key)
+            cumulative = 0
+            for bound, count in zip(h.bounds, h.counts):
+                cumulative += count
+                lines.append(
+                    f'{name}_bucket{{{label}="{tag}",le="{_fmt(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{name}_bucket{{{label}="{tag}",le="+Inf"}} {h.count}')
+            lines.append(f'{name}_count{{{label}="{tag}"}} {h.count}')
+            lines.append(f'{name}_sum{{{label}="{tag}"}} {_fmt(h.total)}')
+            if h.count > 0:
+                for q, _plabel in _QUANTILES:
+                    quantile_lines.append(
+                        f'{name}_quantile{{{label}="{tag}",quantile="{_fmt(q)}"}} '
+                        f"{_fmt(h.percentile(q * 100.0))}"
+                    )
+        if quantile_lines:
+            qname = f"{name}_quantile"
+            lines.append(f"# TYPE {qname} gauge")
+            lines.append(f"# HELP {qname} Interpolated quantiles of {hname}")
+            lines.extend(quantile_lines)
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
 def _parse_value(text: str, where: str) -> float:
     if text == "+Inf":
         return math.inf
@@ -126,7 +226,7 @@ def _parse_labels(text: str | None, where: str) -> dict[str, str]:
             raise ObservabilityError(f"{where}: bad label name {name!r}")
         if name in labels:
             raise ObservabilityError(f"{where}: duplicate label {name!r}")
-        labels[name] = raw.replace(r"\"", '"').replace(r"\n", "\n").replace("\\\\", "\\")
+        labels[name] = _unescape_label_value(raw, where)
         pos = m.end()
         if pos < len(text):
             if text[pos] != ",":
@@ -219,26 +319,35 @@ def parse_openmetrics(text: str) -> dict[str, dict[str, Any]]:
     return families
 
 
+def _series_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    """Identity of one histogram series: every label except ``le``."""
+    return tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+
+
 def _check_histogram(fname: str, family: dict[str, Any]) -> None:
     buckets = [s for s in family["samples"] if s["name"] == f"{fname}_bucket"]
     counts = [s for s in family["samples"] if s["name"] == f"{fname}_count"]
     if not buckets:
         raise ObservabilityError(f"histogram {fname!r} has no buckets")
-    bounds: list[float] = []
-    values: list[float] = []
+    # Labeled families (e.g. per-tenant) carry one bucket series per
+    # distinct non-`le` label set; each series must be independently
+    # sorted, cumulative, and +Inf-terminated.
+    series: dict[tuple[tuple[str, str], ...], tuple[list[float], list[float]]] = {}
     for s in buckets:
         le = s["labels"].get("le")
         if le is None:
             raise ObservabilityError(f"histogram {fname!r}: bucket without 'le' label")
+        bounds, values = series.setdefault(_series_key(s["labels"]), ([], []))
         bounds.append(_parse_value(le, f"histogram {fname!r} le"))
         values.append(s["value"])
-    if bounds != sorted(bounds):
-        raise ObservabilityError(f"histogram {fname!r}: bucket bounds not sorted")
-    if not math.isinf(bounds[-1]):
-        raise ObservabilityError(f"histogram {fname!r}: missing '+Inf' bucket")
-    if any(b > a for a, b in zip(values[1:], values)):
-        raise ObservabilityError(f"histogram {fname!r}: bucket counts not cumulative")
-    if counts and counts[0]["value"] != values[-1]:
-        raise ObservabilityError(
-            f"histogram {fname!r}: _count disagrees with '+Inf' bucket"
-        )
+    count_by_series = {_series_key(s["labels"]): s["value"] for s in counts}
+    for key, (bounds, values) in series.items():
+        where = f"histogram {fname!r}" + (f" {dict(key)!r}" if key else "")
+        if bounds != sorted(bounds):
+            raise ObservabilityError(f"{where}: bucket bounds not sorted")
+        if not math.isinf(bounds[-1]):
+            raise ObservabilityError(f"{where}: missing '+Inf' bucket")
+        if any(b > a for a, b in zip(values[1:], values)):
+            raise ObservabilityError(f"{where}: bucket counts not cumulative")
+        if key in count_by_series and count_by_series[key] != values[-1]:
+            raise ObservabilityError(f"{where}: _count disagrees with '+Inf' bucket")

@@ -43,6 +43,9 @@ class SloSpec:
         severity: alert severity when the objective is violated.
         fire_after: consecutive violating evaluations before firing.
         clear_after: consecutive healthy evaluations before clearing.
+        tenant: optional tenant scope — when set, the objective reads
+            the named tenant's registry under a campaign service (and
+            DY412 checks the id against the ``<tenants>`` declaration).
     """
 
     metric: str
@@ -52,11 +55,13 @@ class SloSpec:
     severity: str = "warning"
     fire_after: int = 1
     clear_after: int = 1
+    tenant: str = ""
 
     @property
     def key(self) -> str:
-        """Stable identity of the objective (``metric.stat``)."""
-        return f"{self.metric}.{self.stat}"
+        """Stable identity of the objective (``[tenant:]metric.stat``)."""
+        base = f"{self.metric}.{self.stat}"
+        return f"{self.tenant}:{base}" if self.tenant else base
 
     def validate(self) -> None:
         if not self.metric:
@@ -126,6 +131,39 @@ class AnomalySpec:
 
 
 @dataclass(frozen=True)
+class FleetSpec:
+    """Fleet-plane configuration for multi-tenant campaigns.
+
+    Consumed by :class:`~repro.observability.fleet.FleetHealthEngine`
+    and :meth:`~repro.campaign.service.CampaignService.watch`.
+
+    Attributes:
+        enabled: master switch for the fleet plane.
+        openmetrics_path: if set, fleet rollups are rendered there as
+            tenant-labeled OpenMetrics families at campaign finalize.
+        top_k: how many noisy tenants the rollup ranks.
+        watch_path: if set, the campaign's watch stream is mirrored to
+            this JSONL file (otherwise it lives under the journal root).
+        flight_recorder: ring-buffer capacity (events) for the crash /
+            poison-quarantine flight recorder; 0 disables it.
+    """
+
+    enabled: bool = True
+    openmetrics_path: str | None = None
+    top_k: int = 3
+    watch_path: str | None = None
+    flight_recorder: int = 256
+
+    def validate(self) -> None:
+        if self.top_k < 1:
+            raise ObservabilityError(f"fleet top_k must be >= 1, got {self.top_k}")
+        if self.flight_recorder < 0:
+            raise ObservabilityError(
+                f"fleet flight_recorder must be >= 0, got {self.flight_recorder}"
+            )
+
+
+@dataclass(frozen=True)
 class ObservabilitySpec:
     """What to analyze, watch, and export.
 
@@ -146,6 +184,8 @@ class ObservabilitySpec:
         top_n: how many bottleneck/slow-span rows reports carry.
         slos: declarative objectives evaluated every ``eval_every``.
         anomalies: EWMA/z-score detectors evaluated on the same cadence.
+        fleet: optional fleet-plane configuration (multi-tenant rollups,
+            watch stream, flight recorder); ``None`` means no fleet plane.
     """
 
     enabled: bool = True
@@ -158,6 +198,7 @@ class ObservabilitySpec:
     top_n: int = 5
     slos: tuple[SloSpec, ...] = field(default_factory=tuple)
     anomalies: tuple[AnomalySpec, ...] = field(default_factory=tuple)
+    fleet: FleetSpec | None = None
 
     def __post_init__(self) -> None:
         # Tolerate lists from programmatic callers; store tuples so the
@@ -179,3 +220,5 @@ class ObservabilitySpec:
             slo.validate()
         for det in self.anomalies:
             det.validate()
+        if self.fleet is not None:
+            self.fleet.validate()

@@ -1,0 +1,85 @@
+"""``top``-style console view over a campaign watch stream.
+
+Reads the JSONL event stream a :class:`~repro.campaign.service.
+CampaignService` emits (see :mod:`repro.observability.watch`) and
+renders a per-tenant status table plus the most recent events::
+
+    python -m repro.observability.top /path/to/watch.jsonl
+    python -m repro.observability.top /path/to/watch.jsonl --follow
+
+The default render is a pure function of the committed stream — same
+file, same bytes out — so tests and CI can assert on it.  ``--follow``
+re-reads the file on a polling interval for live campaigns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Any
+
+from repro.observability.watch import read_watch_stream
+
+#: Event kinds that advance the per-tenant counters, in display order.
+_COUNTED = ("admit", "reject", "cell-start", "cell-retry",
+            "cell-complete", "cell-poison", "breaker-trip", "alert")
+
+
+def summarize(events: list[dict[str, Any]]) -> dict[str, dict[str, int]]:
+    """Per-tenant event counts (sorted tenant ids, fixed column order)."""
+    tenants: dict[str, dict[str, int]] = {}
+    for event in events:
+        tenant = event.get("tenant")
+        if tenant is None or event["kind"] not in _COUNTED:
+            continue
+        row = tenants.setdefault(tenant, {kind: 0 for kind in _COUNTED})
+        row[event["kind"]] += 1
+    return {tid: tenants[tid] for tid in sorted(tenants)}
+
+
+def render(events: list[dict[str, Any]], tail: int = 8) -> str:
+    """The status table + event tail as one deterministic string."""
+    lines: list[str] = []
+    summary = summarize(events)
+    header = ["tenant"] + [k.replace("cell-", "") for k in _COUNTED]
+    widths = [max(10, len(h)) for h in header]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for tid, row in summary.items():
+        cells = [tid] + [str(row[k]) for k in _COUNTED]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    if not summary:
+        lines.append("(no tenant events)")
+    lines.append("")
+    lines.append(f"events: {len(events)}   recent:")
+    for event in events[-tail:]:
+        extra = {k: v for k, v in event.items()
+                 if k not in ("seq", "kind", "key", "time")}
+        detail = " ".join(f"{k}={extra[k]}" for k in sorted(extra))
+        lines.append(f"  [{event['seq']:>5}] t={event['time']:<10g} "
+                     f"{event['kind']:<14} {detail}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability.top",
+        description="Console status view over a campaign watch stream.",
+    )
+    parser.add_argument("stream", help="watch-stream JSONL file")
+    parser.add_argument("--tail", type=int, default=8,
+                        help="how many recent events to show")
+    parser.add_argument("--follow", action="store_true",
+                        help="re-render on an interval until interrupted")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="--follow polling interval in seconds")
+    args = parser.parse_args(argv)
+
+    while True:
+        print(render(read_watch_stream(args.stream), tail=args.tail), end="")
+        if not args.follow:
+            return 0
+        time.sleep(args.interval)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,7 @@ from repro.util.deprecation import warn_once
 
 if TYPE_CHECKING:
     from repro.observability import ObservabilitySpec
+    from repro.profiler.sampling import ProfileSpec
     from repro.resilience.spec import ResilienceSpec
     from repro.telemetry import TelemetrySpec
     from repro.xmlspec.model import DyflowSpec
@@ -47,7 +48,9 @@ class RuntimeOptions:
     ``launcher.configure_resilience`` (the launcher owns retry/quarantine
     state); the threaded driver consumes it directly.  ``batch_deliveries``
     only affects the simulated driver — the threaded driver has no
-    discrete-event delivery path to batch.
+    discrete-event delivery path to batch.  ``profile`` wires a
+    :class:`~repro.profiler.sampling.CoreProfiler` into the simulated
+    driver's tick loop (the threaded driver has no sim kernel to sample).
     """
 
     telemetry: "TelemetrySpec | None" = None
@@ -56,6 +59,7 @@ class RuntimeOptions:
     preflight: str = "off"
     resilience: "ResilienceSpec | None" = None
     batch_deliveries: bool = True
+    profile: "ProfileSpec | None" = None
 
     @classmethod
     def from_spec(cls, spec: "DyflowSpec") -> "RuntimeOptions":

@@ -38,6 +38,7 @@ from repro.observability import (
     write_openmetrics,
     write_report,
 )
+from repro.profiler.sampling import CoreProfiler
 from repro.resilience import ChaosEngine, HeartbeatWatchdog
 from repro.runtime.options import _UNSET, RuntimeOptions, resolve_options
 from repro.telemetry import build_tracer, write_chrome_trace
@@ -128,6 +129,12 @@ class DyflowOrchestrator:
                 workflow_id=launcher.workflow.workflow_id,
                 aggregates=self._health_aggregates,
             )
+        # Continuous core profiling: cadenced kernel samples + a bounded
+        # flight recorder dumped on crash (repro.profiler.sampling).
+        self.profiler: CoreProfiler | None = None
+        if opts.profile is not None and opts.profile.enabled:
+            self.profiler = CoreProfiler(opts.profile)
+            self.profiler.bind(engine=self.engine, arbitration=self.arbitration)
         self._sensors: dict[str, SensorSpec] = {}
         self._running = False
         self._stop_when: Callable[[], bool] | None = None
@@ -407,6 +414,8 @@ class DyflowOrchestrator:
         # streams before the barrier journals the engine's state.
         if self.health is not None:
             self.health.tick(now)
+        if self.profiler is not None:
+            self.profiler.maybe_sample(now)
         if plan is not None:
             if self._journal is not None:
                 self._journal.append("plan", plan=plan.to_dict())
@@ -511,6 +520,7 @@ class DyflowOrchestrator:
             ],
             "next_tick": {"at": tick_ev.heap_time, "seq": tick_ev.heap_seq},
             "health": self.health.state_dict() if self.health is not None else None,
+            "profiler": self.profiler.state_dict() if self.profiler is not None else None,
             "fabric": {
                 "links": {lid: ln.state_dict() for lid, ln in self.links.items()},
                 "server": self.server.fabric_state_dict(),
@@ -571,6 +581,9 @@ class DyflowOrchestrator:
         self.crashed = True
         self._journal.append("crash", t=now)
         self._close_journal()
+        if self.profiler is not None:
+            self.profiler.record(now, "crash")
+            self.profiler.dump(reason="crash")
         self.launcher.trace.point(now, "orchestrator-crash", category="journal")
         if self._tick_event is not None:
             self._tick_event.cancel()
@@ -669,6 +682,8 @@ class DyflowOrchestrator:
             self.chaos.orchestrator = self
         if self.health is not None and b.get("health") is not None:
             self.health.load_state_dict(b["health"])
+        if self.profiler is not None and b.get("profiler") is not None:
+            self.profiler.load_state_dict(b["profiler"])
         if self.network is not None and b.get("fabric") is not None:
             fb = b["fabric"]
             for lid, lstate in fb["links"].items():

@@ -35,6 +35,36 @@ _UPDATE_TOKENS = tuple(
 _UPDATE_KEYSET = frozenset(_UPDATE_FIELDS)
 
 
+class _CodecStats:
+    """Envelope-codec cache effectiveness counters.
+
+    Purely observational (the core profiler samples them); they never
+    influence encoding, so resetting them is always safe.
+    """
+
+    __slots__ = ("encode_hits", "encode_misses")
+
+    def __init__(self) -> None:
+        self.encode_hits = 0
+        self.encode_misses = 0
+
+
+_CODEC_STATS = _CodecStats()
+
+
+def codec_stats() -> dict[str, int]:
+    """Current envelope-codec cache counters (hits = memoized to_json)."""
+    return {
+        "encode_hits": _CODEC_STATS.encode_hits,
+        "encode_misses": _CODEC_STATS.encode_misses,
+    }
+
+
+def reset_codec_stats() -> None:
+    _CODEC_STATS.encode_hits = 0
+    _CODEC_STATS.encode_misses = 0
+
+
 def _scalar(value: Any) -> str:
     """Canonical JSON for one scalar/primitive (matches json.dumps)."""
     if isinstance(value, str):
@@ -110,7 +140,9 @@ class Envelope:
         """
         cached = getattr(self, "_json_cache", None)
         if cached is not None:
+            _CODEC_STATS.encode_hits += 1
             return cached
+        _CODEC_STATS.encode_misses += 1
         text = self._encode()
         object.__setattr__(self, "_json_cache", text)
         return text

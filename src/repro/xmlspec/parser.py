@@ -12,7 +12,7 @@ from repro.core.sensors.base import GroupBySpec, JoinSpec, SensorSpec
 from repro.errors import XmlSpecError
 from repro.fabric.spec import LinkOverride, NetworkSpec, PartitionWindow
 from repro.journal.spec import JournalSpec
-from repro.observability.spec import AnomalySpec, ObservabilitySpec, SloSpec
+from repro.observability.spec import AnomalySpec, FleetSpec, ObservabilitySpec, SloSpec
 from repro.resilience.spec import (
     CheckpointSpec,
     FaultModelSpec,
@@ -498,7 +498,7 @@ def _parse_journal(section: ET.Element, *, validate: bool = True) -> JournalSpec
 def _parse_observability(section: ET.Element, *, validate: bool = True) -> ObservabilitySpec:
     """Parse one ``<observability>`` section (SLOs, snapshots, exports)."""
     _check_attrs(section, {"enabled", "eval-every", "snapshot-every", "analysis", "top-n"})
-    known = {"openmetrics", "report", "slo", "anomaly"}
+    known = {"openmetrics", "report", "slo", "anomaly", "fleet"}
     for child in section:
         if child.tag not in known:
             raise XmlSpecError(f"unexpected <observability> child <{child.tag}>")
@@ -514,10 +514,22 @@ def _parse_observability(section: ET.Element, *, validate: bool = True) -> Obser
         report_json_path = el.get("json-path")
         if report_path is None and report_json_path is None:
             raise XmlSpecError("<report> needs a path and/or json-path")
+    fleet = None
+    el = section.find("fleet")
+    if el is not None:
+        _check_attrs(el, {"enabled", "openmetrics-path", "top-k", "watch-path",
+                          "flight-recorder"})
+        fleet = FleetSpec(
+            enabled=_bool_attr(el, "enabled", True),
+            openmetrics_path=el.get("openmetrics-path"),
+            top_k=_int_attr(el, "top-k", 3),
+            watch_path=el.get("watch-path"),
+            flight_recorder=_int_attr(el, "flight-recorder", 256),
+        )
     slos = []
     for el in section.findall("slo"):
         _check_attrs(el, {"metric", "stat", "op", "threshold", "severity",
-                          "fire-after", "clear-after"})
+                          "fire-after", "clear-after", "tenant"})
         slos.append(
             SloSpec(
                 metric=_require(el, "metric"),
@@ -527,6 +539,7 @@ def _parse_observability(section: ET.Element, *, validate: bool = True) -> Obser
                 severity=el.get("severity", "warning"),
                 fire_after=_int_attr(el, "fire-after", 1),
                 clear_after=_int_attr(el, "clear-after", 1),
+                tenant=el.get("tenant", ""),
             )
         )
     anomalies = []
@@ -555,6 +568,7 @@ def _parse_observability(section: ET.Element, *, validate: bool = True) -> Obser
         top_n=_int_attr(section, "top-n", 5),
         slos=tuple(slos),
         anomalies=tuple(anomalies),
+        fleet=fleet,
     )
     if validate:
         spec.validate()

@@ -255,19 +255,30 @@ def _write_observability(root: ET.Element, spec: DyflowSpec) -> None:
         if obs.report_json_path is not None:
             attrib["json-path"] = obs.report_json_path
         ET.SubElement(section, "report", attrib=attrib)
+    if obs.fleet is not None:
+        attrib = {
+            "enabled": "true" if obs.fleet.enabled else "false",
+            "top-k": str(obs.fleet.top_k),
+            "flight-recorder": str(obs.fleet.flight_recorder),
+        }
+        if obs.fleet.openmetrics_path is not None:
+            attrib["openmetrics-path"] = obs.fleet.openmetrics_path
+        if obs.fleet.watch_path is not None:
+            attrib["watch-path"] = obs.fleet.watch_path
+        ET.SubElement(section, "fleet", attrib=attrib)
     for slo in obs.slos:
-        ET.SubElement(
-            section, "slo",
-            attrib={
-                "metric": slo.metric,
-                "stat": slo.stat,
-                "op": slo.op,
-                "threshold": repr(slo.threshold),
-                "severity": slo.severity,
-                "fire-after": str(slo.fire_after),
-                "clear-after": str(slo.clear_after),
-            },
-        )
+        attrib = {
+            "metric": slo.metric,
+            "stat": slo.stat,
+            "op": slo.op,
+            "threshold": repr(slo.threshold),
+            "severity": slo.severity,
+            "fire-after": str(slo.fire_after),
+            "clear-after": str(slo.clear_after),
+        }
+        if slo.tenant:
+            attrib["tenant"] = slo.tenant
+        ET.SubElement(section, "slo", attrib=attrib)
     for an in obs.anomalies:
         ET.SubElement(
             section, "anomaly",

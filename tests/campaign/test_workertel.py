@@ -1,0 +1,170 @@
+"""Worker-side telemetry handoff: flush, torn-tail merge, executor wiring.
+
+Forked campaign cells record into the ambient :func:`worker_registry`;
+the child flushes it to a per-cell JSONL file before reporting, and the
+supervisor merges the flush into ``worker_metrics`` at the cell's
+terminal outcome.  The torn-merge contract: a worker killed mid-flush
+leaves at most a torn tail, and the merge folds in only the committed
+prefix — never a corrupted parent registry.
+"""
+
+import json
+
+from repro.campaign import ExecutorSpec, SupervisedExecutor
+from repro.campaign.executor import COMPLETED, POISONED
+from repro.campaign.workertel import (
+    flush_worker_telemetry,
+    merge_worker_telemetry,
+    read_worker_telemetry,
+    reset_worker_registry,
+    telemetry_path,
+    worker_registry,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _record_and_double(payload):
+    reg = worker_registry()
+    reg.counter("cells.seen").inc()
+    reg.gauge("cell.payload").set(float(payload))
+    reg.histogram("cell.work").observe(float(payload))
+    return payload * 2
+
+
+def _record_then_boom(payload):
+    worker_registry().counter("attempts.made").inc()
+    raise RuntimeError(f"boom {payload}")
+
+
+def serial_spec(**kwargs):
+    defaults = dict(workers=0, backoff_base=0.0, jitter=0.0)
+    defaults.update(kwargs)
+    return ExecutorSpec(**defaults)
+
+
+class TestFlushAndRead:
+    def setup_method(self):
+        reset_worker_registry()
+
+    def teardown_method(self):
+        reset_worker_registry()
+
+    def test_flush_read_roundtrip(self, tmp_path):
+        _record_and_double(3)
+        path = flush_worker_telemetry(str(tmp_path), "cell-a")
+        assert path == telemetry_path(str(tmp_path), "cell-a")
+        state = read_worker_telemetry(path)
+        assert state["counters"] == {"cells.seen": 1.0}
+        assert state["gauges"] == {"cell.payload": 3.0}
+        assert state["histograms"]["cell.work"]["count"] == 1
+
+    def test_untouched_registry_flushes_nothing(self, tmp_path):
+        assert flush_worker_telemetry(str(tmp_path), "cell-a") is None
+        assert not list(tmp_path.iterdir())
+
+    def test_missing_file_merges_as_noop(self, tmp_path):
+        target = MetricsRegistry()
+        assert merge_worker_telemetry(str(tmp_path), "ghost", target) == 0
+        assert target.state_dict() == MetricsRegistry().state_dict()
+
+    def test_torn_tail_merges_only_the_committed_prefix(self, tmp_path):
+        """A worker SIGKILLed mid-write leaves a torn last line; the
+        merge treats it as end-of-stream."""
+        committed = [
+            json.dumps({"kind": "counter", "name": "rows", "value": 7.0}),
+            json.dumps({"kind": "gauge", "name": "depth", "value": 2.0}),
+        ]
+        torn = json.dumps(
+            {"kind": "counter", "name": "lost", "value": 9.0}
+        )[:-8]  # truncated mid-object
+        path = telemetry_path(str(tmp_path), "cell-a")
+        with open(path, "w") as fh:
+            fh.write("\n".join(committed + [torn]))
+        target = MetricsRegistry()
+        assert merge_worker_telemetry(str(tmp_path), "cell-a", target) == 2
+        assert target.counter("rows").value == 7.0
+        assert target.gauge("depth").value == 2.0
+        assert target.lookup("lost") is None
+
+    def test_torn_at_line_one_merges_nothing(self, tmp_path):
+        path = telemetry_path(str(tmp_path), "cell-a")
+        with open(path, "w") as fh:
+            fh.write('{"kind": "cou')
+        target = MetricsRegistry()
+        assert merge_worker_telemetry(str(tmp_path), "cell-a", target) == 0
+
+    def test_unknown_instrument_kind_stops_the_merge(self, tmp_path):
+        path = telemetry_path(str(tmp_path), "cell-a")
+        with open(path, "w") as fh:
+            fh.write(
+                json.dumps({"kind": "counter", "name": "ok", "value": 1.0})
+                + "\n"
+                + json.dumps({"kind": "summary", "name": "new", "value": 1.0})
+                + "\n"
+                + json.dumps({"kind": "counter", "name": "after", "value": 1.0})
+            )
+        target = MetricsRegistry()
+        merge_worker_telemetry(str(tmp_path), "cell-a", target)
+        assert target.counter("ok").value == 1.0
+        assert target.lookup("after") is None
+
+
+class TestSerialExecutorMerge:
+    def test_cell_telemetry_lands_in_worker_metrics(self):
+        ex = SupervisedExecutor(serial_spec())
+        outs = ex.run([("a", 1), ("b", 2)], _record_and_double)
+        assert all(o.status == COMPLETED for o in outs)
+        assert ex.worker_metrics.counter("cells.seen").value == 2.0
+        assert ex.worker_metrics.histogram("cell.work").count == 2
+
+    def test_poisoned_cell_still_merges_its_last_attempt(self):
+        ex = SupervisedExecutor(serial_spec(max_attempts=3))
+        [out] = ex.run([("a", 1)], _record_then_boom)
+        assert out.status == POISONED and out.attempts == 3
+        # Each attempt gets a fresh ambient registry; only the last
+        # recording attempt's telemetry merges (not 3x).
+        assert ex.worker_metrics.counter("attempts.made").value == 1.0
+
+    def test_ambient_registry_is_reset_between_cells(self):
+        ex = SupervisedExecutor(serial_spec())
+        ex.run([("a", 1)], _record_and_double)
+        from repro.campaign.workertel import peek_worker_registry
+
+        assert peek_worker_registry() is None
+
+
+class TestForkedExecutorMerge:
+    """Satellite regression: telemetry recorded inside forked workers
+    used to die with the worker process; now it round-trips through the
+    per-cell flush files."""
+
+    def forked_spec(self, **kwargs):
+        defaults = dict(workers=2, max_attempts=2, backoff_base=0.0,
+                        jitter=0.0, cell_timeout=30.0)
+        defaults.update(kwargs)
+        return ExecutorSpec(**defaults)
+
+    def test_forked_worker_telemetry_reaches_the_parent(self, tmp_path):
+        ex = SupervisedExecutor(self.forked_spec(),
+                                telemetry_root=str(tmp_path))
+        outs = ex.run([("a", 1), ("b", 2), ("c", 3)], _record_and_double)
+        assert [o.result for o in outs] == [2, 4, 6]
+        # Flushed per cell id, merged into one parent-side registry.
+        assert ex.worker_metrics.counter("cells.seen").value == 3.0
+        assert ex.worker_metrics.histogram("cell.work").count == 3
+        for cid in ("a", "b", "c"):
+            assert (tmp_path / f"{cid}.telemetry.jsonl").is_file()
+
+    def test_poisoned_forked_cell_merges_one_attempt(self, tmp_path):
+        ex = SupervisedExecutor(self.forked_spec(),
+                                telemetry_root=str(tmp_path))
+        [out] = ex.run([("a", 1)], _record_then_boom)
+        assert out.status == POISONED and out.attempts == 2
+        # Retries overwrite the same flush file: last attempt wins.
+        assert ex.worker_metrics.counter("attempts.made").value == 1.0
+
+    def test_without_a_root_forked_telemetry_is_dropped(self, tmp_path):
+        ex = SupervisedExecutor(self.forked_spec())
+        [out] = ex.run([("a", 1)], _record_and_double)
+        assert out.status == COMPLETED
+        assert ex.worker_metrics.lookup("cells.seen") is None

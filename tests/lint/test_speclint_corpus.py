@@ -520,6 +520,29 @@ CORPUS = {
             )
         ),
     ),
+    "DY412": dict(
+        loc="observability/slo[0]",
+        trigger=lambda: codes_of(
+            CLEAN.replace(
+                "</dyflow>",
+                '<observability><slo metric="fleet.cell.latency" stat="p95" '
+                'op="LT" threshold="120.0" tenant="mallory"/></observability>'
+                '<tenants nodes="2" cores-per-node="20">'
+                '<tenant id="alice"/>'
+                "</tenants></dyflow>",
+            )
+        ),
+        clean=lambda: codes_of(
+            CLEAN.replace(
+                "</dyflow>",
+                '<observability><slo metric="fleet.cell.latency" stat="p95" '
+                'op="LT" threshold="120.0" tenant="alice"/></observability>'
+                '<tenants nodes="2" cores-per-node="20">'
+                '<tenant id="alice"/>'
+                "</tenants></dyflow>",
+            )
+        ),
+    ),
     "DY409": dict(
         loc="resilience/network/partition[0]",
         trigger=lambda: codes_of(

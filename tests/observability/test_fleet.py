@@ -1,0 +1,90 @@
+"""FleetHealthEngine: deterministic cross-tenant rollups and export."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import parse_openmetrics
+from repro.observability.fleet import FleetHealthEngine
+from repro.observability.slo import HealthAlert
+from repro.observability.spec import FleetSpec
+
+
+def busy_fleet() -> FleetHealthEngine:
+    eng = FleetHealthEngine(FleetSpec(top_k=2))
+    for latency in (1.0, 2.0, 4.0):
+        eng.record_cell("alice", latency)
+    eng.record_cell("bob", 10.0, failures=2)
+    eng.record_cell("bob", 0.0, status="poisoned")
+    eng.record_rejection("bob")
+    eng.record_trip("bob")
+    eng.ingest_alert("bob", HealthAlert(
+        time=3.0, source="slo:x", kind="firing", severity="warning",
+        value=9.0, threshold=5.0, message="x too high",
+    ))
+    eng.record_cell("carol", 1.5)
+    return eng
+
+
+class TestRollup:
+    def test_rollup_orders_tenants_and_counts(self):
+        roll = busy_fleet().rollup()
+        assert list(roll["tenants"]) == ["alice", "bob", "carol"]
+        bob = roll["tenants"]["bob"]
+        assert bob["completed"] == 1.0
+        assert bob["poisoned"] == 1.0
+        assert bob["failures"] == 2.0
+        assert bob["rejected"] == 1.0
+        assert bob["trips"] == 1.0
+        assert bob["alerts_firing"] == 1.0
+        assert len(bob["alerts"]) == 1
+
+    def test_latency_percentiles_per_tenant(self):
+        roll = busy_fleet().rollup()
+        lat = roll["tenants"]["alice"]["latency"]
+        assert lat["count"] == 3
+        assert 0.0 < lat["p50"] <= lat["p95"]
+
+    def test_noisy_ranking_is_topk_and_deterministic(self):
+        eng = busy_fleet()
+        noisy = eng.noisy_tenants()
+        assert len(noisy) == 2  # spec.top_k
+        assert noisy[0][0] == "bob"  # poisoned+trip+failures+alert+reject
+        # Quiet tenants tie at zero; id order breaks the tie.
+        assert [t for t, _ in eng.noisy_tenants(k=3)] == ["bob", "alice", "carol"]
+
+    def test_unknown_cell_status_rejected(self):
+        with pytest.raises(ObservabilityError, match="unknown cell status"):
+            FleetHealthEngine().record_cell("a", 1.0, status="vanished")
+
+
+class TestExport:
+    def test_openmetrics_is_tenant_labeled_and_parseable(self):
+        text = busy_fleet().render_openmetrics()
+        families = parse_openmetrics(text)
+        assert 'tenant="alice"' in text and 'tenant="bob"' in text
+        counts = {
+            s["labels"]["tenant"]: s["value"]
+            for s in families["dyflow_fleet_cell_completed"]["samples"]
+        }
+        assert counts == {"alice": 3.0, "bob": 1.0, "carol": 1.0}
+
+    def test_render_is_deterministic(self):
+        assert busy_fleet().render_openmetrics() == busy_fleet().render_openmetrics()
+
+
+class TestPersistence:
+    def test_state_roundtrip_is_lossless(self):
+        eng = busy_fleet()
+        restored = FleetHealthEngine(FleetSpec(top_k=2))
+        restored.load_state_dict(eng.state_dict())
+        assert restored.rollup() == eng.rollup()
+        assert restored.render_openmetrics() == eng.render_openmetrics()
+        assert restored.state_dict() == eng.state_dict()
+
+    def test_restored_engine_keeps_accumulating(self):
+        eng = busy_fleet()
+        restored = FleetHealthEngine(FleetSpec(top_k=2))
+        restored.load_state_dict(eng.state_dict())
+        restored.record_cell("alice", 8.0)
+        eng.record_cell("alice", 8.0)
+        assert restored.rollup() == eng.rollup()

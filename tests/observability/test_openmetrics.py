@@ -6,7 +6,9 @@ import pytest
 
 from repro.errors import ObservabilityError
 from repro.observability.openmetrics import (
+    escape_label_value,
     parse_openmetrics,
+    render_labeled_openmetrics,
     render_openmetrics,
     sanitize_metric_name,
     write_openmetrics,
@@ -152,3 +154,77 @@ class TestStrictParser:
         text = "# TYPE dyflow_x gauge\ndyflow_x +Inf\n# EOF\n"
         value = parse_openmetrics(text)["dyflow_x"]["samples"][0]["value"]
         assert math.isinf(value)
+
+
+class TestLabeledFamilies:
+    """render_labeled_openmetrics + the strict parser, round-tripped."""
+
+    def fleet_registries(self):
+        regs = {}
+        for tenant, n in (("alice", 2), ("bob", 5)):
+            reg = MetricsRegistry()
+            reg.counter("cells.done").inc(n)
+            reg.gauge("queue.depth").set(n / 2)
+            for i in range(n):
+                reg.histogram("cell.latency").observe(0.5 + i)
+            regs[tenant] = reg
+        return regs
+
+    def test_counter_and_gauge_samples_carry_the_label(self):
+        text = render_labeled_openmetrics(self.fleet_registries())
+        families = parse_openmetrics(text)
+        done = {
+            s["labels"]["tenant"]: s["value"]
+            for s in families["dyflow_cells_done"]["samples"]
+        }
+        assert done == {"alice": 2.0, "bob": 5.0}
+        assert families["dyflow_cells_done"]["type"] == "counter"
+
+    def test_histogram_buckets_validate_per_label_series(self):
+        # Each tenant's le-buckets are independently cumulative; the
+        # strict parser must group by the non-le labels, not concatenate.
+        text = render_labeled_openmetrics(self.fleet_registries())
+        families = parse_openmetrics(text)
+        counts = {
+            s["labels"]["tenant"]: s["value"]
+            for s in families["dyflow_cell_latency"]["samples"]
+            if s["name"] == "dyflow_cell_latency_count"
+        }
+        assert counts == {"alice": 2.0, "bob": 5.0}
+
+    def test_label_escaping_roundtrips(self):
+        # Tenant ids with every escapable character: backslash, quote,
+        # newline, and a non-ASCII codepoint (UTF-8 passes through raw).
+        hostile = ['back\\slash', 'quo"te', 'new\nline', 'ünïcødé-μ']
+        regs = {}
+        for i, tenant in enumerate(hostile):
+            reg = MetricsRegistry()
+            reg.counter("c").inc(i + 1)
+            regs[tenant] = reg
+        text = render_labeled_openmetrics(regs)
+        families = parse_openmetrics(text)
+        seen = {
+            s["labels"]["tenant"]: s["value"]
+            for s in families["dyflow_c"]["samples"]
+        }
+        assert seen == {t: float(i + 1) for i, t in enumerate(hostile)}
+
+    def test_escape_unescape_are_inverse(self):
+        tricky = 'a\\nb'  # escaped: a\\nb -> must NOT decode as backslash+newline
+        rendered = escape_label_value(tricky)
+        assert rendered == 'a\\\\nb'
+        regs = {tricky: MetricsRegistry()}
+        regs[tricky].counter("c").inc()
+        families = parse_openmetrics(render_labeled_openmetrics(regs))
+        [sample] = families["dyflow_c"]["samples"]
+        assert sample["labels"]["tenant"] == tricky
+
+    def test_unknown_escape_sequence_rejected(self):
+        text = '# TYPE dyflow_c counter\ndyflow_c_total{t="a\\qb"} 1\n# EOF\n'
+        with pytest.raises(ObservabilityError, match="bad escape"):
+            parse_openmetrics(text)
+
+    def test_render_is_deterministic_across_dict_order(self):
+        regs = self.fleet_registries()
+        shuffled = {k: regs[k] for k in reversed(list(regs))}
+        assert render_labeled_openmetrics(regs) == render_labeled_openmetrics(shuffled)

@@ -1,0 +1,153 @@
+"""RunStore: signac-style indexing and queries over committed run JSON.
+
+The regression-query acceptance test runs over the two committed
+``BENCH_*.json`` fixtures in ``tests/observability/data`` — real
+artifacts of the uniform ``{"name", "config", "metrics"}`` schema every
+benchmark emits.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability.store import (
+    RunStore,
+    flatten_metrics,
+    load_record,
+    main,
+)
+
+DATA = pathlib.Path(__file__).parent / "data"
+REPO = pathlib.Path(__file__).parent.parent.parent
+
+
+def seeded_store() -> RunStore:
+    store = RunStore()
+    assert store.index(str(DATA)) == 2
+    return store
+
+
+class TestFlatten:
+    def test_nested_numeric_leaves_become_dotted_keys(self):
+        flat = flatten_metrics({"a": {"b": 1, "c": {"d": 2.5}}, "e": 3})
+        assert flat == {"a.b": 1.0, "a.c.d": 2.5, "e": 3.0}
+
+    def test_bools_and_strings_are_skipped(self):
+        assert flatten_metrics({"ok": True, "note": "hi", "x": 1}) == {"x": 1.0}
+
+
+class TestIndexing:
+    def test_bench_files_classify_and_get_statepoint_ids(self):
+        store = seeded_store()
+        records = store.records()
+        assert [r.name for r in records] == ["fleet_candidate", "fleet_seed"]
+        for r in records:
+            assert r.kind == "bench"
+            name, _, digest = r.record_id.rpartition("-")
+            assert name == r.name and len(digest) == 8
+
+    def test_record_id_is_content_addressed(self, tmp_path):
+        # Same name + config => same id regardless of where the file is.
+        doc = json.loads((DATA / "BENCH_fleet_seed.json").read_text())
+        copy = tmp_path / "elsewhere.json"
+        copy.write_text(json.dumps(doc))
+        original = load_record(str(DATA / "BENCH_fleet_seed.json"))
+        relocated = load_record(str(copy))
+        assert original.record_id == relocated.record_id
+
+    def test_non_run_json_is_skipped(self, tmp_path):
+        (tmp_path / "noise.json").write_text('{"hello": "world"}')
+        (tmp_path / "broken.json").write_text("{")
+        store = RunStore()
+        assert store.index(str(tmp_path)) == 0
+
+    def test_run_report_documents_index_too(self, tmp_path):
+        report = {
+            "schema": "dyflow-run-report/1",
+            "meta": {"workflow": "gray-scott", "machine": "summit"},
+            "metrics": {"plan.response": {"p95": 41.0}},
+        }
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(report))
+        record = load_record(str(path))
+        assert record.kind == "report"
+        assert record.name == "gray-scott"
+        assert record.metrics["metrics.plan.response.p95"] == 41.0
+
+    def test_repo_benchmarks_dir_indexes_committed_bench(self):
+        store = RunStore()
+        count = store.index(str(REPO / "benchmarks"))
+        assert count >= 1  # BENCH_core_throughput.json is committed
+        assert any(r.name == "core_throughput" for r in store.records())
+
+
+class TestQueries:
+    def test_query_compares_flattened_metrics(self):
+        store = seeded_store()
+        slow = store.query("metrics.cell_latency.p95", "GT", 10.0)
+        assert [r.name for r in slow] == ["fleet_candidate"]
+        with pytest.raises(ObservabilityError, match="op must be one of"):
+            store.query("metrics.cell_latency.p95", "~=", 1.0)
+
+    def test_metric_keys_are_the_union(self):
+        keys = seeded_store().metric_keys()
+        assert "metrics.cell_latency.p95" in keys
+        assert "metrics.cells_per_sec" in keys
+
+    def test_p95_regression_over_committed_bench_files(self):
+        """Acceptance: the store answers a p95-regression query over the
+        two committed BENCH fixtures."""
+        store = seeded_store()
+        rows = store.regressions("metrics.cell_latency.p95",
+                                 tolerance_pct=5.0)
+        [row] = rows
+        assert row["record_id"].startswith("fleet_candidate-")
+        assert row["baseline"].startswith("fleet_seed-")
+        assert row["value"] == 12.6 and row["baseline_value"] == 9.4
+        assert row["delta_pct"] == pytest.approx(34.04, abs=0.01)
+        # Inside tolerance -> no regression reported.
+        assert store.regressions("metrics.cell_latency.p95",
+                                 tolerance_pct=50.0) == []
+
+    def test_lower_is_worse_direction_flips_the_baseline(self):
+        store = seeded_store()
+        rows = store.regressions("metrics.cells_per_sec",
+                                 direction="lower-is-worse")
+        [row] = rows
+        assert row["record_id"].startswith("fleet_candidate-")
+        assert row["delta_pct"] > 0
+
+    def test_explicit_baseline_record(self):
+        store = seeded_store()
+        seed_id = next(r.record_id for r in store.records()
+                       if r.name == "fleet_seed")
+        rows = store.regressions("metrics.cell_latency.p95",
+                                 baseline=seed_id)
+        assert len(rows) == 1
+        with pytest.raises(ObservabilityError, match="no run record"):
+            store.regressions("metrics.cell_latency.p95", baseline="nope")
+
+
+class TestCli:
+    def test_list_and_keys(self, capsys):
+        assert main([str(DATA), "--list", "--json"]) == 0
+        listed = json.loads(capsys.readouterr().out)
+        assert [r["name"] for r in listed] == ["fleet_candidate", "fleet_seed"]
+        assert main([str(DATA), "--keys", "--json"]) == 0
+        keys = json.loads(capsys.readouterr().out)
+        assert "metrics.cell_latency.p95" in keys
+
+    def test_query_cli(self, capsys):
+        assert main([str(DATA), "--query", "metrics.cell_latency.p95",
+                     "GT", "10", "--json"]) == 0
+        hits = json.loads(capsys.readouterr().out)
+        assert len(hits) == 1 and hits[0]["value"] == 12.6
+
+    def test_regressions_cli(self, capsys):
+        assert main([str(DATA), "--regressions", "metrics.cell_latency.p95",
+                     "--tolerance", "5", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1
+        assert rows[0]["record_id"].startswith("fleet_candidate-")

@@ -1,0 +1,57 @@
+"""The ``top``-style console view: deterministic render over a stream."""
+
+from repro.observability.top import main, render, summarize
+from repro.observability.watch import WatchStream
+
+
+def seeded_stream(path) -> str:
+    ws = WatchStream(str(path))
+    ws.emit("campaign-open", "campaign-open", 0.0, tenants=["alice", "bob"])
+    ws.emit("admit", "admit:c1", 0.0, tenant="alice", cell_id="c1")
+    ws.emit("admit", "admit:c2", 0.0, tenant="bob", cell_id="c2")
+    ws.emit("cell-start", "cell-start:c1", 0.0, tenant="alice", cell_id="c1")
+    ws.emit("cell-complete", "cell-complete:c1", 1.0, tenant="alice",
+            cell_id="c1", attempts=1)
+    ws.emit("cell-retry", "cell-retry:c2:1", 1.0, tenant="bob",
+            cell_id="c2", attempt=1, fail_kind="error")
+    ws.emit("cell-poison", "cell-poison:c2", 2.0, tenant="bob",
+            cell_id="c2", attempts=2)
+    return str(path)
+
+
+class TestSummarize:
+    def test_counts_per_tenant_sorted(self, tmp_path):
+        from repro.observability.watch import read_watch_stream
+
+        events = read_watch_stream(seeded_stream(tmp_path / "w.jsonl"))
+        summary = summarize(events)
+        assert list(summary) == ["alice", "bob"]
+        assert summary["alice"]["cell-complete"] == 1
+        assert summary["bob"]["cell-poison"] == 1
+        assert summary["bob"]["cell-retry"] == 1
+
+    def test_untenanted_events_are_skipped(self):
+        assert summarize([{"kind": "campaign-open", "seq": 0}]) == {}
+
+
+class TestRender:
+    def test_render_is_a_pure_function_of_the_stream(self, tmp_path):
+        from repro.observability.watch import read_watch_stream
+
+        path = seeded_stream(tmp_path / "w.jsonl")
+        events = read_watch_stream(path)
+        assert render(events) == render(events)
+        assert "alice" in render(events) and "poison" in render(events)
+
+    def test_empty_stream_renders_placeholder(self):
+        assert "(no tenant events)" in render([])
+
+
+class TestCli:
+    def test_main_renders_the_table(self, tmp_path, capsys):
+        path = seeded_stream(tmp_path / "w.jsonl")
+        assert main([path, "--tail", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "tenant" in out and "events: 7" in out
+        # The tail is bounded to the 3 most recent events.
+        assert out.count("[") == 3

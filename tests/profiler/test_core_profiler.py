@@ -1,0 +1,195 @@
+"""The sampling core profiler: cadence, flight-recorder ring, deltas.
+
+Unit-level behaviour runs against tiny fake engine/arbitration sources;
+the integration test wires a :class:`CoreProfiler` through
+``RuntimeOptions(profile=...)`` into a synthetic scenario and proves the
+profiler is an observer — the scenario fingerprint is bit-identical with
+profiling on and off.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.profiler import CoreProfiler, ProfileSpec
+
+
+class FakeEngine:
+    def __init__(self):
+        self.events_executed = 0
+        self._slots = 2
+        self._events = 5
+
+    def pending_slots(self):
+        return self._slots
+
+    def pending_events(self):
+        return self._events
+
+
+class FakeArbitration:
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+
+    def memo_stats(self):
+        return {"hits": self.hits, "misses": self.misses}
+
+
+def enabled_spec(**kwargs):
+    defaults = dict(enabled=True, sample_every=5.0, ring=256)
+    defaults.update(kwargs)
+    return ProfileSpec(**defaults)
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(TelemetryError, match="sample_every"):
+            CoreProfiler(ProfileSpec(sample_every=0.0))
+        with pytest.raises(TelemetryError, match="ring"):
+            CoreProfiler(ProfileSpec(ring=0))
+
+    def test_disabled_is_a_noop(self):
+        prof = CoreProfiler(ProfileSpec(enabled=False))
+        assert prof.maybe_sample(100.0) is None
+        assert prof.samples_taken == 0 and prof.ring() == []
+
+
+class TestCadence:
+    def test_samples_on_the_cadence_only(self):
+        prof = CoreProfiler(enabled_spec(sample_every=5.0))
+        assert prof.maybe_sample(0.0) is not None
+        assert prof.maybe_sample(3.0) is None
+        assert prof.maybe_sample(5.0) is not None
+        assert prof.samples_taken == 2
+
+    def test_cadence_catches_up_after_a_gap(self):
+        prof = CoreProfiler(enabled_spec(sample_every=5.0))
+        prof.maybe_sample(0.0)
+        # One long tick past several due points yields ONE sample, and
+        # the schedule re-anchors ahead of "now" (no burst of backfills).
+        assert prof.maybe_sample(27.0) is not None
+        assert prof.maybe_sample(28.0) is None
+        assert prof.maybe_sample(30.0) is not None
+
+
+class TestSampling:
+    def test_deltas_against_bound_baselines(self):
+        engine, arb = FakeEngine(), FakeArbitration()
+        engine.events_executed = 10
+        prof = CoreProfiler(enabled_spec())
+        prof.bind(engine=engine, arbitration=arb)
+        engine.events_executed = 25
+        arb.hits, arb.misses = 3, 1
+        sample = prof.sample(1.0)
+        assert sample["events"] == 15
+        assert sample["memo_hit_rate"] == pytest.approx(0.75)
+        assert sample["pending_slots"] == 2
+        assert sample["pending_events"] == 5
+
+    def test_counter_restart_reanchors_instead_of_going_negative(self):
+        engine = FakeEngine()
+        engine.events_executed = 100
+        prof = CoreProfiler(enabled_spec())
+        prof.bind(engine=engine)
+        # Fresh process after resume: the cumulative source restarted.
+        engine.events_executed = 4
+        sample = prof.sample(1.0)
+        assert sample["events"] == 0
+
+    def test_ring_is_bounded_oldest_first(self):
+        prof = CoreProfiler(enabled_spec(ring=3))
+        for t in range(5):
+            prof.sample(float(t))
+        ring = prof.ring()
+        assert [s["time"] for s in ring] == [2.0, 3.0, 4.0]
+        assert prof.samples_taken == 5
+
+    def test_markers_land_in_the_ring(self):
+        prof = CoreProfiler(enabled_spec())
+        prof.sample(0.0)
+        prof.record(1.0, "crash", detail="boom")
+        assert prof.ring()[-1] == {"time": 1.0, "marker": "crash",
+                                   "detail": "boom"}
+
+
+class TestDumpAndState:
+    def test_dump_writes_the_flight_recorder(self, tmp_path):
+        path = tmp_path / "flight.json"
+        prof = CoreProfiler(enabled_spec(dump_path=str(path)))
+        prof.sample(0.0)
+        prof.record(1.0, "crash")
+        assert prof.dump(reason="crash") == str(path)
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "dyflow-flight-recorder/1"
+        assert doc["reason"] == "crash"
+        assert doc["samples_taken"] == 1 and len(doc["ring"]) == 2
+
+    def test_dump_without_a_path_is_skipped(self):
+        assert CoreProfiler(enabled_spec()).dump() is None
+
+    def test_state_roundtrip(self):
+        prof = CoreProfiler(enabled_spec(sample_every=5.0))
+        prof.maybe_sample(0.0)
+        prof.record(1.0, "poison")
+        restored = CoreProfiler(enabled_spec(sample_every=5.0))
+        restored.load_state_dict(prof.state_dict())
+        assert restored.ring() == prof.ring()
+        assert restored.samples_taken == prof.samples_taken
+        # The cadence continues where it left off, not from zero.
+        assert restored.maybe_sample(3.0) is None
+        assert restored.maybe_sample(5.0) is not None
+
+
+class TestRuntimeWiring:
+    """RuntimeOptions(profile=...) wires the profiler into the tick loop
+    without perturbing the simulation."""
+
+    def run_scenario(self, options):
+        from repro.cluster import BatchScheduler, summit
+        from repro.experiments.results import ScenarioResult
+        from repro.experiments.runner import execute_scenario
+        from repro.experiments.synthetic import (
+            SyntheticConfig,
+            build_synthetic_orchestrator,
+            build_synthetic_workflow,
+        )
+        from repro.journal import scenario_fingerprint
+        from repro.sim import RngRegistry, SimEngine
+        from repro.wms import Savanna
+
+        cfg = SyntheticConfig(num_tasks=8, total_steps=3, num_clients=2, seed=3)
+        engine = SimEngine()
+        num_nodes = max(1, math.ceil(cfg.num_tasks / cfg.cores_per_node))
+        machine = summit(num_nodes, cores_per_node=cfg.cores_per_node)
+        scheduler = BatchScheduler(engine, machine)
+        max_time = cfg.step_time * (cfg.total_steps + 4) + 60.0
+        job = scheduler.submit(num_nodes, walltime_limit=max_time)
+        engine.run(until=0)
+        workflow = build_synthetic_workflow(cfg)
+        launcher = Savanna(engine, workflow, job.allocation,
+                           rng=RngRegistry(cfg.seed))
+        orch = build_synthetic_orchestrator(launcher, cfg, options=options)
+        makespan = execute_scenario(engine, launcher, orch, max_time=max_time)
+        result = ScenarioResult(
+            name="synthetic", machine="summit", use_dyflow=True,
+            makespan=makespan, trace=launcher.trace, plans=orch.plans,
+            metric_history=orch.server.history, launcher=launcher,
+        )
+        return orch, scenario_fingerprint(result)
+
+    def test_profiler_samples_and_stays_invisible(self):
+        from repro.runtime import RuntimeOptions
+
+        off_orch, off_fp = self.run_scenario(RuntimeOptions())
+        on_orch, on_fp = self.run_scenario(RuntimeOptions(
+            profile=ProfileSpec(enabled=True, sample_every=1.0, ring=64)
+        ))
+        assert off_orch.profiler is None
+        assert on_orch.profiler is not None
+        assert on_orch.profiler.samples_taken > 0
+        assert any("events" in s for s in on_orch.profiler.ring())
+        # The observer effect is zero: bit-identical fingerprints.
+        assert on_fp == off_fp

@@ -38,6 +38,7 @@ API_SURFACE = [
     "ChaosEngine",
     "CheckpointSpec",
     "ConstantModel",
+    "CoreProfiler",
     "CouplingType",
     "DegradedModeController",
     "DependencySpec",
@@ -47,6 +48,8 @@ API_SURFACE = [
     "ExecutorSpec",
     "FabricLink",
     "FaultModelSpec",
+    "FleetHealthEngine",
+    "FleetSpec",
     "GRAY_SCOTT_XML",
     "GrayScottSolver",
     "GroupBySpec",
@@ -72,12 +75,15 @@ API_SURFACE = [
     "PolicySpec",
     "PowerLawModel",
     "PreflightWarning",
+    "ProfileSpec",
     "QuarantineSpec",
     "RampModel",
     "ReproError",
     "ResilienceSpec",
     "RetryPolicy",
     "RngRegistry",
+    "RunRecord",
+    "RunStore",
     "RuntimeOptions",
     "Savanna",
     "ScenarioResult",
@@ -100,6 +106,7 @@ API_SURFACE = [
     "Tracer",
     "VectorizedStepModel",
     "VerificationError",
+    "WatchStream",
     "WatchdogSpec",
     "WorkflowSpec",
     "XGC_XML",
@@ -112,10 +119,13 @@ API_SURFACE = [
     "format_report",
     "isosurface_cell_count",
     "lint_xml_text",
+    "load_record",
     "parse_dyflow_xml",
     "parse_openmetrics",
     "read_journal",
+    "read_watch_stream",
     "render_gantt",
+    "render_labeled_openmetrics",
     "render_markdown",
     "render_openmetrics",
     "render_sarif",

@@ -26,7 +26,7 @@ from repro.resilience import (
     WatchdogSpec,
 )
 from repro.journal import JournalSpec
-from repro.observability import AnomalySpec, ObservabilitySpec, SloSpec
+from repro.observability import AnomalySpec, FleetSpec, ObservabilitySpec, SloSpec
 from repro.telemetry import TelemetrySpec
 from repro.wms.spec import CouplingType, DependencySpec
 from repro.xmlspec import (
@@ -190,6 +190,7 @@ def observability_specs(draw):
             severity=draw(severities),
             fire_after=draw(st.integers(1, 5)),
             clear_after=draw(st.integers(1, 5)),
+            tenant=draw(st.one_of(st.just(""), names)),
         )
         for metric, stat in slo_keys
     )
@@ -206,6 +207,14 @@ def observability_specs(draw):
     )
     report_path = draw(st.one_of(st.none(), safe_text))
     report_json_path = draw(st.one_of(st.none(), safe_text))
+    fleet = draw(st.one_of(st.none(), st.builds(
+        FleetSpec,
+        enabled=st.booleans(),
+        openmetrics_path=st.one_of(st.none(), safe_text),
+        top_k=st.integers(1, 10),
+        watch_path=st.one_of(st.none(), safe_text),
+        flight_recorder=st.integers(0, 1024),
+    )))
     return ObservabilitySpec(
         enabled=draw(st.booleans()),
         eval_every=draw(positive),
@@ -217,6 +226,7 @@ def observability_specs(draw):
         top_n=draw(st.integers(1, 20)),
         slos=slos,
         anomalies=anomalies,
+        fleet=fleet,
     )
 
 
@@ -464,6 +474,8 @@ def test_full_document_with_all_elements_round_trips():
                         fire_after=2, clear_after=3),
                 SloSpec(metric="cluster.utilization", stat="value", op="GE",
                         threshold=0.5, severity="info"),
+                SloSpec(metric="fleet.cell.latency", stat="p95", op="LT",
+                        threshold=120.0, severity="warning", tenant="alice"),
             ),
             anomalies=(
                 AnomalySpec(metric="stage.monitor.latency", stat="p95",
