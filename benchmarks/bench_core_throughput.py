@@ -17,7 +17,8 @@ CLI usage (what CI runs)::
 calibration-normalized ticks/sec against a committed artifact (each
 run divides by its own bare-engine event rate, so machine speed
 cancels out).  Without ``--check`` the run just writes the artifact
-(``$BENCH_OUTPUT_DIR``, default CWD).
+(``$BENCH_OUTPUT_DIR``, default ``benchmarks/`` — the canonical
+artifact location).
 
 Reading the JSON: one row per scenario size under ``metrics.sizes``;
 ``ticks_per_sec`` is the headline number (control-loop iterations per

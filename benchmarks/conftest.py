@@ -5,9 +5,14 @@ measured series/rows are printed (run pytest with ``-s`` to see them)
 and attached to the benchmark's ``extra_info`` so the JSON output
 carries the paper-vs-measured comparison.  Each bench also writes a
 machine-readable ``BENCH_<name>.json`` artifact via :func:`write_bench`
-(into ``$BENCH_OUTPUT_DIR``, default the current directory) with the
-uniform schema ``{"name", "config", "metrics": {...}}`` so CI and the
-comparison scripts can collect every result the same way.
+with the uniform schema ``{"name", "config", "metrics": {...}}`` so CI
+and the comparison scripts can collect every result the same way.
+
+``benchmarks/`` (this directory) is the **one canonical location** for
+those artifacts — it is where the committed baselines live, what
+``RunStore`` indexes, and what CI gates against.  ``write_bench``
+defaults there regardless of the invoking working directory; set
+``$BENCH_OUTPUT_DIR`` to redirect (e.g. to a scratch dir in CI).
 """
 
 from __future__ import annotations
@@ -35,7 +40,9 @@ def write_bench(
     printed as a single ``BENCH {...}`` line for log scraping.
     """
     payload = {"name": name, "config": dict(config), "metrics": dict(metrics)}
-    out_dir = os.environ.get("BENCH_OUTPUT_DIR", ".")
+    out_dir = os.environ.get(
+        "BENCH_OUTPUT_DIR", os.path.dirname(os.path.abspath(__file__))
+    )
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, f"BENCH_{name}.json")
     with open(path, "w", encoding="utf-8") as fh:

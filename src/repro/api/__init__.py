@@ -183,8 +183,10 @@ _FLAT = {
     "Severity": "repro.lint",
     "PreflightWarning": "repro.lint",
     "VerificationError": "repro.lint",
+    "analyze_dataflow": "repro.lint",
     "verify_spec": "repro.lint",
     "lint_xml_text": "repro.lint",
+    "fix_xml_text": "repro.lint",
     "run_selflint": "repro.lint",
     "run_preflight": "repro.lint",
     "render_sarif": "repro.lint",

@@ -1,10 +1,17 @@
-"""``repro.api.lint`` — static verification, preflight, and SARIF."""
+"""``repro.api.lint`` — static verification, auto-fix, preflight, SARIF."""
 
 from repro.lint import (
+    FIXABLE_CODES,
     Diagnostic,
+    FixHint,
+    FixResult,
     PreflightWarning,
     Severity,
     VerificationError,
+    WitnessEvent,
+    analyze_dataflow,
+    fix_spec,
+    fix_xml_text,
     lint_xml_text,
     render_sarif,
     run_preflight,
@@ -15,10 +22,17 @@ from repro.lint import (
 __all__ = [
     "Diagnostic",
     "Severity",
+    "WitnessEvent",
+    "FixHint",
+    "FixResult",
+    "FIXABLE_CODES",
     "PreflightWarning",
     "VerificationError",
+    "analyze_dataflow",
     "verify_spec",
     "lint_xml_text",
+    "fix_spec",
+    "fix_xml_text",
     "run_selflint",
     "run_preflight",
     "render_sarif",

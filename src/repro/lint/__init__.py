@@ -9,7 +9,15 @@ Two engines share one typed-diagnostic core:
 * :func:`run_selflint` AST-checks the repro source tree for the
   determinism invariants the journal and observability subsystems rely
   on (no wall-clock in core paths, named RNG streams only, no
-  set-iteration hazards, no mutable stage-module state).
+  set-iteration hazards, no mutable stage-module state) and for the
+  fork/thread-safety hazards of the campaign layer (shared class
+  state, inherited file handles, pre-reseed RNG draws, wall-clock in
+  fork workers, blocking I/O on the tick path).
+
+The spec verifier includes a flow-sensitive abstract-interpretation
+pass (:func:`analyze_dataflow`) whose findings carry event-sequence
+witnesses, and the mechanical subset of findings is auto-repairable
+via :func:`fix_xml_text` / ``python -m repro.lint --fix``.
 
 Findings are :class:`Diagnostic` values with stable ``DY###`` codes and
 deterministic ordering, renderable as text, JSON, or SARIF 2.1.0 (see
@@ -19,16 +27,20 @@ runtimes run the spec verifier before tick zero when constructed with
 """
 
 from repro.errors import LintError, VerificationError
+from repro.lint.dataflow import analyze_dataflow
 from repro.lint.diagnostics import (
     CODES,
     CodeInfo,
     Diagnostic,
+    FixHint,
     Severity,
     SourceLocation,
+    WitnessEvent,
     make,
     max_severity,
     sort_diagnostics,
 )
+from repro.lint.fixes import FIXABLE_CODES, FixResult, fix_spec, fix_xml_text
 from repro.lint.preflight import (
     PREFLIGHT_MODES,
     PreflightWarning,
@@ -44,13 +56,20 @@ __all__ = [
     "CODES",
     "CodeInfo",
     "Diagnostic",
+    "FIXABLE_CODES",
     "FORMATS",
+    "FixHint",
+    "FixResult",
     "LintError",
     "PREFLIGHT_MODES",
     "PreflightWarning",
     "Severity",
     "SourceLocation",
     "VerificationError",
+    "WitnessEvent",
+    "analyze_dataflow",
+    "fix_spec",
+    "fix_xml_text",
     "lint_xml_text",
     "make",
     "max_severity",

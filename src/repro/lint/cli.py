@@ -8,8 +8,14 @@ Self mode lints the repro source tree for determinism violations::
 
     python -m repro.lint --self --format sarif
 
+Fix mode repairs the mechanical subset in place and reports the rest::
+
+    python -m repro.lint --fix my_spec.xml
+
 Exit codes: 0 — no findings at or above ``--fail-on`` (default:
 ``error``); 1 — findings at or above the threshold; 2 — usage error.
+With ``--fix``, repaired findings do not count toward the exit code —
+only what remains after fixing does.
 """
 
 from __future__ import annotations
@@ -75,6 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply safe auto-fixes to the spec files in place "
+        "(dead-construct elimination, subsumed-policy removal, "
+        "parameter clamping); repaired findings are reported but do "
+        "not affect the exit code",
+    )
+    parser.add_argument(
         "--fail-on",
         choices=("error", "warning", "info"),
         default="error",
@@ -89,6 +103,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.self_mode and args.specs:
         parser.error("--self takes no SPEC.xml arguments")
+    if args.self_mode and args.fix:
+        parser.error("--fix applies to XML specs, not --self")
     if not args.self_mode and not args.specs:
         parser.error("nothing to lint: pass SPEC.xml files or --self")
 
@@ -103,7 +119,20 @@ def main(argv: list[str] | None = None) -> int:
                 text = path.read_text(encoding="utf-8")
             except OSError as err:
                 parser.error(f"cannot read {spec_path}: {err}")
-            diags += lint_xml_text(text, machine=machine, filename=path.as_posix())
+            if args.fix:
+                from repro.lint.fixes import fix_xml_text
+
+                result = fix_xml_text(
+                    text, machine=machine, filename=path.as_posix()
+                )
+                if result.changed:
+                    path.write_text(result.text, encoding="utf-8")
+                diags += result.fixed
+                diags += result.remaining
+            else:
+                diags += lint_xml_text(
+                    text, machine=machine, filename=path.as_posix()
+                )
         diags = sort_diagnostics(diags)
 
     report = render(diags, args.format)
@@ -113,4 +142,4 @@ def main(argv: list[str] | None = None) -> int:
         sys.stdout.write(report)
 
     floor = Severity(args.fail_on)
-    return 1 if any(d.severity >= floor for d in diags) else 0
+    return 1 if any(d.severity >= floor for d in diags if d.fix is None) else 0

@@ -6,12 +6,19 @@ source location (an XML path into the spec document or a ``file:line``
 pair), and a message.  Diagnostics order deterministically so repeated
 runs over the same input produce byte-identical reports in every output
 format (text, JSON, SARIF).
+
+Flow-sensitive findings additionally carry a **witness**: the ordered
+event sequence of the abstract execution that triggers the defect (see
+:mod:`repro.lint.dataflow`).  Fixable findings carry structured
+``data`` key/value facts the auto-fix engine consumes
+(:mod:`repro.lint.fixes`) and, once a fix is planned, a
+:class:`FixHint` that renders as a SARIF ``fixes`` object.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.errors import LintError
 
@@ -76,6 +83,54 @@ class SourceLocation:
 
 
 @dataclass(frozen=True)
+class WitnessEvent:
+    """One step of the abstract execution that demonstrates a finding.
+
+    Dataflow diagnostics (DY205/DY304/DY413, see
+    :mod:`repro.lint.dataflow`) attach an ordered tuple of these so the
+    report shows *how* the defect is reached, not just that it exists.
+    """
+
+    step: int
+    event: str
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        out: dict = {"step": self.step, "event": self.event}
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+    def format(self) -> str:
+        tail = f" ({self.detail})" if self.detail else ""
+        return f"[{self.step}] {self.event}{tail}"
+
+
+@dataclass(frozen=True)
+class FixHint:
+    """A safe mechanical fix for one diagnostic.
+
+    *description* says what the fix does; *replacement* is the full
+    fixed document text (the SARIF renderer emits it as a
+    whole-artifact replacement so code-scanning UIs can apply it);
+    *span* is the character length of the original document, i.e. the
+    deleted region the replacement substitutes.
+    """
+
+    description: str
+    replacement: str | None = None
+    span: int | None = None
+
+    def to_dict(self) -> dict:
+        out: dict = {"description": self.description}
+        if self.replacement is not None:
+            out["replacement"] = self.replacement
+        if self.span is not None:
+            out["span"] = self.span
+        return out
+
+
+@dataclass(frozen=True)
 class CodeInfo:
     """Registry entry for one stable diagnostic code."""
 
@@ -119,10 +174,14 @@ CODES: dict[str, CodeInfo] = {
         _spec("DY202", "gang placement can never be satisfied"),
         _spec("DY203", "resource adjustment can never fit the machine"),
         _spec("DY204", "arbitration rule dependencies form a cycle"),
+        _spec("DY205", "placement feasible initially but an adjustment sequence "
+              "oversubscribes the machine", Severity.WARNING),
         # -- rule interaction (DY3xx) --------------------------------------
         _spec("DY301", "policy is shadowed by a subsuming policy", Severity.WARNING),
         _spec("DY302", "policies can co-fire with contradictory actions"),
         _spec("DY303", "policy condition is unsatisfiable"),
+        _spec("DY304", "policy is unreachable under the dominating threshold "
+              "order", Severity.WARNING),
         # -- parameter ranges (DY4xx) --------------------------------------
         _spec("DY401", "retry backoff cap is below the backoff base", Severity.WARNING),
         _spec("DY402", "watchdog poll exceeds the heartbeat timeout", Severity.WARNING),
@@ -139,11 +198,21 @@ CODES: dict[str, CodeInfo] = {
         _spec("DY411", "executor injects worker kills but has no retry budget",
               Severity.WARNING),
         _spec("DY412", "observability SLO references an unknown tenant id"),
+        _spec("DY413", "tenant quotas jointly unsatisfiable under fair-share "
+              "admission", Severity.WARNING),
         # -- determinism self-lint (DY5xx) ----------------------------------
         _self("DY501", "wall-clock call in a deterministic core path"),
         _self("DY502", "global or unseeded RNG outside repro.sim.rng"),
         _self("DY503", "iteration over a set: order is not deterministic"),
         _self("DY504", "mutable module-level state in a stage module"),
+        # -- concurrency self-lint (fork/thread safety) ---------------------
+        _self("DY505", "mutable class-level state shared across threads"),
+        _self("DY506", "module-level file handle inherited by forked workers"),
+        _self("DY507", "RNG drawn in a fork-worker entry before the per-cell "
+              "reseed"),
+        _self("DY508", "wall-clock read inside a fork-worker entry"),
+        _self("DY509", "blocking I/O inside the sim tick path"),
+        _self("DY510", "suppression comment suppresses nothing", Severity.WARNING),
     )
 }
 
@@ -153,13 +222,19 @@ class Diagnostic:
     """One immutable finding.
 
     Sorting is total and deterministic: severity (errors first), then
-    code, then location, then message.
+    code, then location, then message.  *witness* is the ordered
+    abstract-execution trace for flow-sensitive findings; *data* holds
+    structured facts the auto-fix engine consumes; *fix* is attached by
+    the fix planner when a safe mechanical fix exists.
     """
 
     code: str
     message: str
     severity: Severity
     location: SourceLocation = field(default_factory=SourceLocation)
+    witness: tuple[WitnessEvent, ...] = ()
+    data: tuple[tuple[str, str], ...] = ()
+    fix: FixHint | None = None
 
     def __post_init__(self) -> None:
         if self.code not in CODES:
@@ -169,6 +244,16 @@ class Diagnostic:
     def title(self) -> str:
         return CODES[self.code].title
 
+    def datum(self, key: str) -> str | None:
+        """The value of one structured fact, or None."""
+        for k, v in self.data:
+            if k == key:
+                return v
+        return None
+
+    def with_fix(self, hint: FixHint) -> "Diagnostic":
+        return replace(self, fix=hint)
+
     def sort_key(self) -> tuple:
         return (-self.severity.rank, self.code, str(self.location), self.message)
 
@@ -177,12 +262,19 @@ class Diagnostic:
         return f"{self.location}: {self.severity.value} {self.code}: {self.message}"
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "code": self.code,
             "severity": self.severity.value,
             "message": self.message,
             "location": self.location.to_dict(),
         }
+        if self.witness:
+            out["witness"] = [w.to_dict() for w in self.witness]
+        if self.data:
+            out["data"] = {k: v for k, v in self.data}
+        if self.fix is not None:
+            out["fix"] = self.fix.to_dict()
+        return out
 
 
 def make(
@@ -193,6 +285,8 @@ def make(
     file: str | None = None,
     line: int | None = None,
     severity: Severity | None = None,
+    witness: tuple[WitnessEvent, ...] = (),
+    data: tuple[tuple[str, str], ...] = (),
 ) -> Diagnostic:
     """Build a diagnostic for a registered code (default severity unless
     overridden)."""
@@ -204,6 +298,8 @@ def make(
         message=message,
         severity=severity if severity is not None else info.default_severity,
         location=SourceLocation(xml_path=xml_path, file=file, line=line),
+        witness=tuple(witness),
+        data=tuple(data),
     )
 
 

@@ -15,7 +15,10 @@ Both :class:`~repro.runtime.sim_driver.DyflowOrchestrator` and
 
 Verification is pure analysis over already-configured state — it draws
 no RNG stream and reads no clock — so enabling it never changes the
-behavior (or the scenario fingerprint) of a spec that passes.
+behavior (or the scenario fingerprint) of a spec that passes.  Because
+it delegates to :func:`~repro.lint.speclint.verify_spec`, the
+flow-sensitive dataflow diagnostics (DY205/DY304/DY413, with witnesses)
+surface through preflight as well when a machine/workflow is attached.
 """
 
 from __future__ import annotations

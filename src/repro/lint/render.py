@@ -36,12 +36,24 @@ def render_text(diags: list[Diagnostic]) -> str:
     diags = sort_diagnostics(diags)
     if not diags:
         return "no findings\n"
-    lines = [d.format() for d in diags]
+    lines: list[str] = []
+    fixed = 0
+    for d in diags:
+        line = d.format()
+        if d.fix is not None:
+            line += f" [fixed: {d.fix.description}]"
+            fixed += 1
+        lines.append(line)
+        for w in d.witness:
+            lines.append(f"    witness {w.format()}")
     counts = summarize(diags)
-    lines.append(
+    summary = (
         f"{len(diags)} finding(s): {counts['error']} error(s), "
         f"{counts['warning']} warning(s), {counts['info']} info"
     )
+    if fixed:
+        summary += f"; {fixed} fixed"
+    lines.append(summary)
     return "\n".join(lines) + "\n"
 
 
@@ -90,16 +102,45 @@ def render_sarif(diags: list[Diagnostic]) -> str:
         }
         for code in rule_ids
     ]
-    results = [
-        {
+    results = []
+    for d in diags:
+        result: dict = {
             "ruleId": d.code,
             "ruleIndex": rule_index[d.code],
             "level": _SARIF_LEVEL[d.severity],
             "message": {"text": d.message},
             "locations": [_sarif_location(d)],
         }
-        for d in diags
-    ]
+        if d.witness:
+            result["properties"] = {
+                "witness": [w.format() for w in d.witness]
+            }
+        if d.fix is not None and d.fix.replacement is not None:
+            deleted: dict = {"charOffset": 0}
+            if d.fix.span is not None:
+                deleted["charLength"] = d.fix.span
+            result["fixes"] = [
+                {
+                    "description": {"text": d.fix.description},
+                    "artifactChanges": [
+                        {
+                            "artifactLocation": {
+                                "uri": d.location.file or "<spec>",
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "replacements": [
+                                {
+                                    "deletedRegion": deleted,
+                                    "insertedContent": {
+                                        "text": d.fix.replacement
+                                    },
+                                }
+                            ],
+                        }
+                    ],
+                }
+            ]
+        results.append(result)
     doc = {
         "$schema": SARIF_SCHEMA,
         "version": SARIF_VERSION,

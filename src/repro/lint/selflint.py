@@ -18,9 +18,30 @@ DY504  no mutable module-level state in the four stage modules
        (monitor/decision/arbitration/actuation) — stage state must live
        on instances so it is journaled and resumable.
 
-A finding on a line carrying ``# lint: ignore[DY501]`` (one or more
-comma-separated codes) is suppressed; this is the escape hatch for the
-telemetry shims the checks cannot prove safe.
+The campaign layer's fork-based executor and the threaded runtime add a
+concurrency surface the determinism checks cannot see, covered by five
+further codes:
+
+DY505  no mutable class-level state in a module that imports
+       ``threading`` — class attributes are shared across every
+       instance and therefore every thread, unsynchronized.
+DY506  no module-level ``open(...)`` in a module that imports
+       ``multiprocessing`` — a fork inherits the file handle and two
+       processes then share one file position.
+DY507  no RNG draw in a fork-worker entry function before the
+       per-cell reseed — the child would replay the parent's stream.
+DY508  no wall-clock read inside a fork-worker entry function — child
+       telemetry must carry deterministic times, and the file-level
+       DY501 exemption for the supervisor does not extend to the child.
+DY509  no blocking I/O (``open``/``input``/``time.sleep``/
+       ``subprocess``) in the sim tick path: the ``sim/`` package and
+       the four stage modules.
+
+A finding on a line carrying a ``lint: ignore[<code>]`` comment (one
+or more comma-separated codes) is suppressed; this is the escape hatch
+for the telemetry shims the checks cannot prove safe.  A suppression
+that suppresses nothing is itself reported (DY510), so stale
+suppressions cannot hide regressions.
 """
 
 from __future__ import annotations
@@ -49,6 +70,25 @@ STAGE_MODULES = (
 #: The one module allowed to touch stdlib ``random`` (it does not today,
 #: but the named-stream factory is the only place that ever could).
 RNG_MODULE = "sim/rng.py"
+
+#: The sim tick path (DY509 scope): the discrete-event core plus the
+#: four control-loop stages it drives every tick.  Blocking I/O here
+#: stalls every workflow sharing the engine.
+SIM_TICK_SCOPE = ("sim/",) + STAGE_MODULES
+
+#: Attribute/function names that draw from an RNG stream (DY507).
+_RNG_DRAW_FNS = frozenset(
+    {
+        "random", "randint", "randrange", "uniform", "gauss", "normalvariate",
+        "expovariate", "weibullvariate", "betavariate", "choice", "choices",
+        "shuffle", "sample",
+    }
+)
+
+#: Call-name substrings that mark the per-cell reseed point in a
+#: fork-worker entry (DY507): everything drawn after one of these runs
+#: comes from the child's own named streams.
+_RESEED_MARKERS = ("reseed", "reset_worker")
 
 _WALLCLOCK_TIME_FNS = frozenset(
     {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
@@ -81,23 +121,33 @@ class _ImportNames:
         self.datetime_classes: set[str] = set()
         self.time_fns: set[str] = set()
         self.random_lines: list[int] = []
+        self.sleep_fns: set[str] = set()
+        self.subprocess_modules: set[str] = set()
+        self.imported_modules: set[str] = set()
 
     def visit(self, tree: ast.AST) -> None:
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     local = alias.asname or alias.name.split(".")[0]
+                    self.imported_modules.add(alias.name.split(".")[0])
                     if alias.name == "time":
                         self.time_modules.add(local)
                     elif alias.name == "datetime":
                         self.datetime_modules.add(local)
+                    elif alias.name == "subprocess":
+                        self.subprocess_modules.add(local)
                     elif alias.name == "random" or alias.name.startswith("random."):
                         self.random_lines.append(node.lineno)
             elif isinstance(node, ast.ImportFrom):
+                if node.module is not None:
+                    self.imported_modules.add(node.module.split(".")[0])
                 if node.module == "time":
                     for alias in node.names:
                         if alias.name in _WALLCLOCK_TIME_FNS:
                             self.time_fns.add(alias.asname or alias.name)
+                        elif alias.name == "sleep":
+                            self.sleep_fns.add(alias.asname or alias.name)
                 elif node.module == "datetime":
                     for alias in node.names:
                         if alias.name == "datetime":
@@ -190,6 +240,125 @@ def _check_module_state(tree: ast.Module) -> list[tuple[int, str]]:
     return hits
 
 
+# -- DY505-DY509: concurrency surface ---------------------------------------- #
+def _check_class_state(tree: ast.Module) -> list[tuple[int, str, str]]:
+    """Mutable class-level assignments: ``(line, class, attribute)``."""
+    hits: list[tuple[int, str, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id.startswith("__") and target.id.endswith("__"):
+                    continue  # __slots__ and friends
+                if _is_mutable_value(value):
+                    hits.append((stmt.lineno, node.name, target.id))
+    return hits
+
+
+def _check_fork_handles(tree: ast.Module) -> list[tuple[int, str]]:
+    """Module-level ``NAME = open(...)``: ``(line, name)``."""
+    hits: list[tuple[int, str]] = []
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "open"
+        ):
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    hits.append((node.lineno, target.id))
+    return hits
+
+
+def _worker_entries(tree: ast.Module) -> list[ast.FunctionDef]:
+    """Functions handed to ``Process(target=...)`` — fork-child entries."""
+    targets: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        name = fn.attr if isinstance(fn, ast.Attribute) else (
+            fn.id if isinstance(fn, ast.Name) else None
+        )
+        if name != "Process":
+            continue
+        for kw in node.keywords:
+            if kw.arg == "target" and isinstance(kw.value, ast.Name):
+                targets.add(kw.value.id)
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.FunctionDef) and node.name in targets
+    ]
+
+
+def _call_name(node: ast.Call) -> str | None:
+    fn = node.func
+    if isinstance(fn, ast.Name):
+        return fn.id
+    if isinstance(fn, ast.Attribute):
+        return fn.attr
+    return None
+
+
+def _check_worker_rng(entry: ast.FunctionDef) -> list[tuple[int, str]]:
+    """RNG draws before the per-cell reseed inside a worker entry."""
+    calls = sorted(
+        (n for n in ast.walk(entry) if isinstance(n, ast.Call)),
+        key=lambda n: (n.lineno, n.col_offset),
+    )
+    reseed_line: int | None = None
+    for call in calls:
+        name = _call_name(call) or ""
+        if any(marker in name for marker in _RESEED_MARKERS):
+            reseed_line = call.lineno
+            break
+    hits: list[tuple[int, str]] = []
+    for call in calls:
+        name = _call_name(call)
+        if name in _RNG_DRAW_FNS and (
+            reseed_line is None or call.lineno < reseed_line
+        ):
+            hits.append((call.lineno, f"{name}()"))
+    return hits
+
+
+def _check_tick_io(tree: ast.Module, names: _ImportNames) -> list[tuple[int, str]]:
+    """Blocking-I/O calls: ``open``/``input``/``time.sleep``/``subprocess``."""
+    hits: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        if isinstance(fn, ast.Name):
+            if fn.id in ("open", "input"):
+                hits.append((node.lineno, f"{fn.id}()"))
+            elif fn.id in names.sleep_fns:
+                hits.append((node.lineno, "time.sleep()"))
+        elif isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name):
+            base = fn.value.id
+            if base in names.time_modules and fn.attr == "sleep":
+                hits.append((node.lineno, "time.sleep()"))
+            elif base in names.subprocess_modules:
+                hits.append((node.lineno, f"subprocess.{fn.attr}()"))
+    return hits
+
+
 def lint_file(path: Path, rel: str) -> list[Diagnostic]:
     """Lint one source file; *rel* is its ``/``-separated path relative
     to the package root, used for scoping and reporting."""
@@ -205,10 +374,14 @@ def lint_file(path: Path, rel: str) -> list[Diagnostic]:
             line=err.lineno or 1,
         )]
     suppress = _suppressions(source)
+    consumed: set[tuple[int, str]] = set()
     report = f"src/repro/{rel}"
 
     def keep(code: str, line: int) -> bool:
-        return code not in suppress.get(line, ())
+        if code in suppress.get(line, ()):
+            consumed.add((line, code))
+            return False
+        return True
 
     out: list[Diagnostic] = []
     names = _ImportNames()
@@ -250,6 +423,72 @@ def lint_file(path: Path, rel: str) -> list[Diagnostic]:
                     "DY504",
                     f"module-level mutable {name!r} in a stage module; stage "
                     "state must live on instances so the journal captures it",
+                    file=report,
+                    line=line,
+                ))
+    if "threading" in names.imported_modules:
+        for line, cls, attr in _check_class_state(tree):
+            if keep("DY505", line):
+                out.append(make(
+                    "DY505",
+                    f"mutable class-level {attr!r} on {cls!r} in a "
+                    "threading module is shared across every instance and "
+                    "thread unsynchronized; move it into __init__",
+                    file=report,
+                    line=line,
+                ))
+    if "multiprocessing" in names.imported_modules:
+        for line, name in _check_fork_handles(tree):
+            if keep("DY506", line):
+                out.append(make(
+                    "DY506",
+                    f"module-level file handle {name!r} is inherited by "
+                    "forked workers; parent and child would share one file "
+                    "position — open inside the worker instead",
+                    file=report,
+                    line=line,
+                ))
+        for entry in _worker_entries(tree):
+            for line, what in _check_worker_rng(entry):
+                if keep("DY507", line):
+                    out.append(make(
+                        "DY507",
+                        f"{what} in fork-worker entry {entry.name!r} before "
+                        "the per-cell reseed replays the parent's RNG "
+                        "stream in every child",
+                        file=report,
+                        line=line,
+                    ))
+            for line, what in _check_wallclock(entry, names):
+                if keep("DY508", line):
+                    out.append(make(
+                        "DY508",
+                        f"{what} in fork-worker entry {entry.name!r}; child "
+                        "telemetry must carry deterministic times — the "
+                        "supervisor's wall-clock exemption does not extend "
+                        "to the child",
+                        file=report,
+                        line=line,
+                    ))
+    if rel.startswith(SIM_TICK_SCOPE):
+        for line, what in _check_tick_io(tree, names):
+            if keep("DY509", line):
+                out.append(make(
+                    "DY509",
+                    f"{what} blocks the sim tick path; every workflow "
+                    "sharing the engine stalls behind it — move the I/O "
+                    "off-tick or behind a buffered writer",
+                    file=report,
+                    line=line,
+                ))
+    for line in sorted(suppress):
+        for code in sorted(suppress[line]):
+            if (line, code) not in consumed:
+                out.append(make(
+                    "DY510",
+                    f"suppression ignore[{code}] suppresses nothing; "
+                    "remove the stale comment so it cannot hide a future "
+                    "regression",
                     file=report,
                     line=line,
                 ))

@@ -20,7 +20,7 @@ names) enables the DY110/DY111 cross-checks and sharpens DY106.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable
 
 from repro.core.actions import ActionType, actions_conflict
@@ -160,6 +160,11 @@ def verify_spec(
     diags += _check_parameter_ranges(spec)
     diags += _check_tenants(spec)
     diags += _check_fleet_slos(spec)
+    # Imported here: dataflow imports our interval math at module level,
+    # so the top-level import must stay one-directional.
+    from repro.lint.dataflow import analyze_dataflow
+
+    diags += analyze_dataflow(spec, machine=machine, workflow=workflow)
     return sort_diagnostics(diags)
 
 
@@ -287,6 +292,7 @@ def _check_usage(spec: DyflowSpec) -> list[Diagnostic]:
                 f"sensor {sid!r} is bound to no monitor-task and assessed "
                 "by no policy",
                 xml_path=_sensor_path(sid),
+                data=(("sensor_id", sid),),
             ))
     applied = {app.policy_id for app in spec.applications}
     for pid in spec.policies:
@@ -295,6 +301,7 @@ def _check_usage(spec: DyflowSpec) -> list[Diagnostic]:
                 "DY109",
                 f"policy {pid!r} is defined but never applied",
                 xml_path=_policy_path(pid),
+                data=(("policy_id", pid),),
             ))
     for workflow_id, task in unmonitored_rule_tasks(spec):
         out.append(make(
@@ -367,7 +374,7 @@ def _check_bindings(spec: DyflowSpec) -> list[Diagnostic]:
     health = _health_sensors(spec)
     bound: set[tuple[str, str]] = {(mt.sensor_id, mt.task) for mt in spec.monitor_tasks}
     bound_sensors = {mt.sensor_id for mt in spec.monitor_tasks}
-    for app in spec.applications:
+    for idx, app in enumerate(spec.applications):
         policy = spec.policies.get(app.policy_id)
         if policy is None or policy.sensor_id not in spec.sensors:
             continue  # DY103/DY102 already covers it
@@ -382,6 +389,7 @@ def _check_bindings(spec: DyflowSpec) -> list[Diagnostic]:
                     "but no monitor-task binds that sensor to that task — "
                     "the policy can never fire",
                     xml_path=_apply_path(app),
+                    data=(("app_index", str(idx)), ("policy_id", app.policy_id)),
                 ))
         elif policy.sensor_id not in bound_sensors:
             out.append(make(
@@ -390,6 +398,7 @@ def _check_bindings(spec: DyflowSpec) -> list[Diagnostic]:
                 f"{policy.sensor_id!r}, which no monitor-task binds — "
                 "the policy can never fire",
                 xml_path=_apply_path(app),
+                data=(("app_index", str(idx)), ("policy_id", app.policy_id)),
             ))
     return out
 
@@ -588,6 +597,10 @@ def _subsumption(app_a, pol_a, app_b, pol_b, ia, ib, shared) -> list[Diagnostic]
         f"{shared} — whenever it fires, the wider policy fires the same "
         f"{outer.action.value} too",
         xml_path=_policy_path(inner.policy_id),
+        data=(
+            ("policy_id", inner.policy_id),
+            ("subsumed_by", outer.policy_id),
+        ),
     )]
 
 
@@ -635,6 +648,7 @@ def _check_parameter_ranges(spec: DyflowSpec) -> list[Diagnostic]:
                 f"retry backoff-max {retry.backoff_max} is below backoff-base "
                 f"{retry.backoff_base}; every delay is clamped to the cap",
                 xml_path="resilience/retry",
+                data=(("backoff_base", repr(retry.backoff_base)),),
             ))
         wd = res.watchdog
         if wd is not None and wd.poll > wd.heartbeat_timeout > 0:
@@ -782,10 +796,8 @@ def lint_xml_text(
     diags = verify_spec(spec, machine=machine, workflow=workflow)
     if filename is not None:
         diags = [
-            Diagnostic(
-                code=d.code,
-                message=d.message,
-                severity=d.severity,
+            replace(
+                d,
                 location=type(d.location)(
                     xml_path=d.location.xml_path, file=filename, line=d.location.line
                 ),

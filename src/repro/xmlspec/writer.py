@@ -24,6 +24,8 @@ def write_dyflow_xml(spec: DyflowSpec) -> str:
 
 
 def _write_monitor(root: ET.Element, spec: DyflowSpec) -> None:
+    if not spec.sensors and not spec.monitor_tasks:
+        return  # a fix pass may have emptied the section; omit it
     monitor = ET.SubElement(root, "monitor")
     sensors = ET.SubElement(monitor, "sensors")
     for sensor in spec.sensors.values():
@@ -61,6 +63,8 @@ def _write_monitor(root: ET.Element, spec: DyflowSpec) -> None:
 
 
 def _write_decision(root: ET.Element, spec: DyflowSpec) -> None:
+    if not spec.policies and not spec.applications:
+        return
     decision = ET.SubElement(root, "decision")
     policies = ET.SubElement(decision, "policies")
     for p in spec.policies.values():
@@ -92,6 +96,8 @@ def _write_decision(root: ET.Element, spec: DyflowSpec) -> None:
 
 
 def _write_arbitration(root: ET.Element, spec: DyflowSpec) -> None:
+    if not spec.rules:
+        return
     arbitration = ET.SubElement(root, "arbitration")
     rules = ET.SubElement(arbitration, "rules")
     for rule in spec.rules.values():

@@ -140,6 +140,54 @@ def test_self_mode_custom_root(tmp_path, capsys):
     assert "DY502" in capsys.readouterr().out
 
 
+def test_fix_repairs_in_place_and_exits_zero(tmp_path, capsys):
+    p = tmp_path / "warn.xml"
+    p.write_text(WARNING_XML, encoding="utf-8")
+    assert main([str(p), "--fix", "--fail-on", "warning"]) == 0
+    out = capsys.readouterr().out
+    assert "[fixed:" in out
+    assert "DY108" in out
+    # The file was rewritten; a plain re-lint is now clean.
+    assert main([str(p), "--fail-on", "warning"]) == 0
+
+
+def test_fix_leaves_clean_files_untouched(clean_spec, capsys):
+    before = clean_spec.read_bytes()
+    assert main([str(clean_spec), "--fix"]) == 0
+    assert clean_spec.read_bytes() == before
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_fix_counts_only_unfixed_findings(tmp_path, capsys):
+    # An unfixable error alongside a fixable warning: exit reflects
+    # only what remains after fixing.
+    xml = WARNING_XML.replace('sensor-id="S"', 'sensor-id="NOPE"')
+    p = tmp_path / "mixed.xml"
+    p.write_text(xml, encoding="utf-8")
+    assert main([str(p), "--fix"]) == 1
+    assert "DY101" in capsys.readouterr().out
+
+
+def test_fix_demo_spec_converges_in_one_invocation(tmp_path, capsys):
+    import pathlib
+
+    demo = (
+        pathlib.Path(__file__).parent.parent.parent
+        / "examples" / "specs" / "dirty_lint_demo.xml"
+    )
+    p = tmp_path / "demo.xml"
+    p.write_text(demo.read_text(encoding="utf-8"), encoding="utf-8")
+    assert main([str(p), "--fix", "--fail-on", "warning"]) == 0
+    assert main([str(p), "--fail-on", "warning"]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_fix_with_self_is_usage_error():
+    with pytest.raises(SystemExit) as exc:
+        main(["--self", "--fix"])
+    assert exc.value.code == 2
+
+
 def test_no_arguments_is_usage_error(capsys):
     with pytest.raises(SystemExit) as exc:
         main([])

@@ -1,0 +1,193 @@
+"""The abstract-interpretation pass: witnesses, structured data, and the
+flow-sensitive conditions behind DY205/DY304/DY413."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cluster.machine import deepthought2
+from repro.lint import analyze_dataflow, render_json
+from repro.xmlspec.parser import parse_dyflow_xml
+
+from tests.lint.test_speclint_corpus import (
+    CLEAN,
+    apply_policy,
+    codes_of,
+    doc,
+    mt,
+    policy,
+    rule,
+    sensor,
+    tiny_workflow,
+)
+
+DT2 = deepthought2(num_nodes=1)  # 20 cores
+
+
+def addcpu_doc(adjust: int) -> str:
+    return doc(
+        sensors=sensor(), mts=mt(), policies=policy(action="ADDCPU"),
+        applies=apply_policy(params=(
+            f'<action-params><param key="adjust-by" value="{adjust}"/>'
+            "</action-params>"
+        )),
+    )
+
+
+DOMINATED = doc(
+    sensors=sensor(), mts=mt(),
+    policies=policy(pid="P", op="GT", thr="30", action="ADDCPU")
+    + policy(pid="Q", op="GT", thr="50", action="RMCPU"),
+    applies=apply_policy(pid="P") + apply_policy(pid="Q"),
+    arbitration=rule(
+        "<policy-priorities>"
+        '<policy-priority name="P" priority="0"/>'
+        '<policy-priority name="Q" priority="1"/>'
+        "</policy-priorities>"
+    ),
+)
+
+JOINT_QUOTAS = CLEAN.replace(
+    "</dyflow>",
+    '<tenants nodes="2" cores-per-node="20">'
+    '<tenant id="alice" quota-cores="30"/>'
+    '<tenant id="bob" quota-cores="30"/>'
+    "</tenants></dyflow>",
+)
+
+
+def one(xml: str, code: str, **kw):
+    diags = codes_of(xml, **kw)
+    assert list(diags.get(code, [])), f"{code} missing; got {sorted(diags)}"
+    assert len(diags[code]) == 1
+    return diags[code][0]
+
+
+# --------------------------------------------------------------------------- #
+# DY205: the adjustment timeline
+# --------------------------------------------------------------------------- #
+class TestAdjustmentTimeline:
+    WF = tiny_workflow(("A", 12, True), ("B", 4, True))
+
+    def test_witness_walks_initial_grant_oversubscription(self):
+        d = one(addcpu_doc(8), "DY205", machine=DT2, workflow=self.WF)
+        events = [w.event for w in d.witness]
+        assert events[0] == "initial placement"
+        assert "ADDCPU granted" in events
+        assert events[-1] == "oversubscribed"
+        assert [w.step for w in d.witness] == list(range(len(d.witness)))
+
+    def test_data_carries_the_core_counts(self):
+        d = one(addcpu_doc(8), "DY205", machine=DT2, workflow=self.WF)
+        assert d.datum("initial_cores") == "16"
+        assert d.datum("capacity_cores") == "20"
+        assert d.datum("peak_cores") == "24"
+
+    def test_fitting_adjustment_is_silent(self):
+        assert "DY205" not in codes_of(
+            addcpu_doc(4), machine=DT2, workflow=self.WF
+        )
+
+    def test_needs_a_machine(self):
+        assert "DY205" not in codes_of(addcpu_doc(8), workflow=self.WF)
+
+    def test_tick_zero_overflow_left_to_dy201(self):
+        over = tiny_workflow(("A", 30, True))
+        diags = codes_of(addcpu_doc(8), machine=DT2, workflow=over)
+        assert "DY201" in diags and "DY205" not in diags
+
+    def test_analyze_dataflow_direct(self):
+        spec = parse_dyflow_xml(addcpu_doc(8))
+        diags = analyze_dataflow(spec, machine=DT2, workflow=self.WF)
+        assert [d.code for d in diags] == ["DY205"]
+
+
+# --------------------------------------------------------------------------- #
+# DY304: priority domination
+# --------------------------------------------------------------------------- #
+class TestPriorityDomination:
+    def test_witness_is_the_five_step_defeat(self):
+        d = one(DOMINATED, "DY304")
+        assert [w.event for w in d.witness] == [
+            "metric sample",
+            "both policies fire",
+            "arbitration orders by priority",
+            "conflicting action deferred",
+            "generalizes",
+        ]
+
+    def test_data_names_both_policies(self):
+        d = one(DOMINATED, "DY304")
+        assert d.datum("policy_id") == "Q"
+        assert d.datum("dominating_policy_id") == "P"
+        assert "policy[@id='Q']" in str(d.location)
+
+    def test_unranked_pair_is_dy302_not_dy304(self):
+        diags = codes_of(DOMINATED.replace(
+            '<policy-priority name="P" priority="0"/>'
+            '<policy-priority name="Q" priority="1"/>',
+            '<policy-priority name="P" priority="0"/>',
+        ))
+        assert "DY304" not in diags
+        assert "DY302" in diags
+
+    def test_history_window_decouples(self):
+        windowed = DOMINATED.replace(
+            '<policy id="Q">',
+            '<policy id="Q"><history window="5" operation="AVG"/>',
+        )
+        assert "DY304" not in codes_of(windowed)
+
+    def test_slower_outer_frequency_is_silent(self):
+        # The wide policy evaluates less often: the narrow one can win a
+        # Decision batch alone, so it is not unreachable.
+        lazy = DOMINATED.replace(
+            '<frequency seconds="5"/></policy><policy id="Q">',
+            '<frequency seconds="60"/></policy><policy id="Q">',
+            1,
+        )
+        assert "DY304" not in codes_of(lazy)
+
+
+# --------------------------------------------------------------------------- #
+# DY413: joint quota satisfiability
+# --------------------------------------------------------------------------- #
+class TestJointQuotas:
+    def test_witness_accumulates_tenant_demand(self):
+        d = one(JOINT_QUOTAS, "DY413")
+        events = [w.event for w in d.witness]
+        assert events[0] == "shared machine"
+        assert events.count("tenant saturates quota") == 2
+        assert events[-1] == "joint demand exceeds capacity"
+
+    def test_data_carries_joint_and_capacity(self):
+        d = one(JOINT_QUOTAS, "DY413")
+        assert d.datum("joint_quota_cores") == "60"
+        assert d.datum("capacity_cores") == "40"
+
+    def test_uncapped_tenants_do_not_count(self):
+        xml = JOINT_QUOTAS.replace('quota-cores="30"/>', "/>", 1)
+        assert "DY413" not in codes_of(xml)
+
+    def test_over_capacity_quota_left_to_dy410(self):
+        xml = JOINT_QUOTAS.replace('quota-cores="30"', 'quota-cores="99"', 1)
+        diags = codes_of(xml)
+        assert "DY410" in diags and "DY413" not in diags
+
+
+# --------------------------------------------------------------------------- #
+# witness serialization
+# --------------------------------------------------------------------------- #
+def test_witness_round_trips_through_json():
+    d = one(JOINT_QUOTAS, "DY413")
+    blob = json.loads(render_json([d]))
+    wit = blob["diagnostics"][0]["witness"]
+    assert [w["event"] for w in wit] == [e.event for e in d.witness]
+    assert blob["diagnostics"][0]["data"]["capacity_cores"] == "40"
+
+
+def test_witness_steps_format_deterministically():
+    d = one(DOMINATED, "DY304")
+    lines = [w.format() for w in d.witness]
+    assert lines[0].startswith("[0] metric sample")
+    assert lines == [w.format() for w in one(DOMINATED, "DY304").witness]

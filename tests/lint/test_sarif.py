@@ -217,6 +217,69 @@ def test_text_format(mixed_diags):
     assert render_text([]) == "no findings\n"
 
 
+def test_sarif_fixes_objects(tmp_path):
+    from repro.lint import fix_xml_text
+    from tests.lint.test_speclint_corpus import (
+        apply_policy, doc, mt, policy, sensor,
+    )
+
+    xml = doc(sensors=sensor() + sensor("DEAD"), mts=mt(),
+              policies=policy(), applies=apply_policy())
+    result = fix_xml_text(xml, filename="demo.xml")
+    assert result.changed
+    doc = json.loads(render_sarif(list(result.fixed) + list(result.remaining)))
+    jsonschema.validate(doc, SARIF_SCHEMA)
+    fixed = [r for r in doc["runs"][0]["results"] if "fixes" in r]
+    assert fixed
+    fix = fixed[0]["fixes"][0]
+    assert fix["description"]["text"]
+    change = fix["artifactChanges"][0]
+    assert change["artifactLocation"] == {
+        "uri": "demo.xml", "uriBaseId": "SRCROOT",
+    }
+    repl = change["replacements"][0]
+    assert repl["deletedRegion"] == {"charOffset": 0, "charLength": len(xml)}
+    assert repl["insertedContent"]["text"] == result.text
+
+
+def test_sarif_and_text_carry_witness():
+    from repro.cluster.machine import deepthought2
+    from repro.wms.spec import TaskSpec, WorkflowSpec
+
+    xml = BAD_XML.replace('sensor-id="NOPE"', 'sensor-id="S"').replace(
+        "<sensors></sensors>",
+        '<sensors><sensor id="S" type="DISKSCAN"><group-by>'
+        '<group granularity="task" reduction-operation="MAX"/>'
+        "</group-by></sensor></sensors>",
+    ).replace(
+        "</monitor></dyflow>",
+        "</monitor><decision><policies>"
+        '<policy id="P"><eval operation="GT" threshold="5"/>'
+        '<sensors-to-use><use-sensor id="S" granularity="task"/>'
+        "</sensors-to-use><action>ADDCPU</action>"
+        '<frequency seconds="5"/></policy></policies>'
+        '<apply-on workflowId="W">'
+        '<apply-policy policyId="P" assess-task="A">'
+        "<act-on-tasks> A </act-on-tasks><action-params>"
+        '<param key="adjust-by" value="8"/></action-params>'
+        "</apply-policy></apply-on></decision></dyflow>",
+    )
+    wf = WorkflowSpec(
+        workflow_id="W",
+        tasks=[TaskSpec(name="A", app=None, nprocs=16, autostart=True)],
+    )
+    diags = lint_xml_text(xml, machine=deepthought2(num_nodes=1), workflow=wf)
+    dy205 = [d for d in diags if d.code == "DY205"]
+    assert dy205 and dy205[0].witness
+    sarif = json.loads(render_sarif(diags))
+    results = [r for r in sarif["runs"][0]["results"] if r["ruleId"] == "DY205"]
+    steps = results[0]["properties"]["witness"]
+    assert steps == [w.format() for w in dy205[0].witness]
+    text = render_text(diags)
+    assert "witness" in text
+    assert "oversubscribed" in text
+
+
 def test_render_dispatch(mixed_diags):
     assert render(mixed_diags, "text") == render_text(mixed_diags)
     assert render(mixed_diags, "json") == render_json(mixed_diags)

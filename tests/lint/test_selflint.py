@@ -100,13 +100,15 @@ class TestWallClock:
         assert diags == []
 
     def test_suppression_is_code_specific(self, tmp_path):
+        # The DY502 suppression neither hides the DY501 finding nor
+        # consumes itself, so it is additionally reported stale (DY510).
         diags = lint_source(tmp_path, """
             import time
 
             def now():
                 return time.time()  # lint: ignore[DY502]
         """)
-        assert codes_of(diags) == {"DY501"}
+        assert codes_of(diags) == {"DY501", "DY510"}
 
 
 # --------------------------------------------------------------------------- #
@@ -230,6 +232,261 @@ class TestStageModuleState:
 
 
 # --------------------------------------------------------------------------- #
+# DY505: mutable class-level state in threading modules
+# --------------------------------------------------------------------------- #
+class TestThreadedClassState:
+    def test_class_dict_triggers(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            import threading
+
+            class Pool:
+                registry = {}
+        """)
+        assert codes_of(diags) == {"DY505"}
+        assert "registry" in diags[0].message
+
+    def test_class_list_factory_triggers(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            import threading
+
+            class Queue:
+                pending: list = list()
+        """)
+        assert codes_of(diags) == {"DY505"}
+
+    def test_instance_state_is_clean(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            import threading
+
+            class Pool:
+                def __init__(self):
+                    self.registry = {}
+        """)
+        assert diags == []
+
+    def test_immutable_class_attr_is_clean(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            import threading
+
+            class Pool:
+                LEVELS = ("low", "high")
+                LIMIT = 4
+        """)
+        assert diags == []
+
+    def test_dunder_slots_is_clean(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            import threading
+
+            class Pool:
+                __slots__ = ["a", "b"]
+        """)
+        assert diags == []
+
+    def test_no_threading_import_exempt(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            class Pool:
+                registry = {}
+        """)
+        assert diags == []
+
+
+# --------------------------------------------------------------------------- #
+# DY506: module-level file handles in fork modules
+# --------------------------------------------------------------------------- #
+class TestForkFileHandles:
+    def test_module_open_triggers(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            import multiprocessing
+
+            LOG = open("campaign.log", "a")
+        """)
+        assert codes_of(diags) == {"DY506"}
+        assert "LOG" in diags[0].message
+
+    def test_open_inside_function_is_clean(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            import multiprocessing
+
+            def dump(path, text):
+                with open(path, "w") as fh:
+                    fh.write(text)
+        """)
+        assert diags == []
+
+    def test_no_multiprocessing_import_exempt(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            LOG = open("campaign.log", "a")
+        """)
+        assert diags == []
+
+
+# --------------------------------------------------------------------------- #
+# DY507: RNG draws before the per-cell reseed in fork-worker entries
+# --------------------------------------------------------------------------- #
+def worker_module(body: str) -> str:
+    """A module that spawns ``_worker`` as a fork-child, plus *body*."""
+    return (
+        """
+        import multiprocessing
+
+        def spawn(rng):
+            p = multiprocessing.Process(target=_worker, args=(rng,))
+            p.start()
+        """
+        + body
+    )
+
+
+class TestWorkerRng:
+    def test_draw_before_reseed_triggers(self, tmp_path):
+        diags = lint_source(tmp_path, worker_module("""
+        def _worker(rng):
+            jitter = rng.uniform(0.0, 1.0)
+            rng.reseed("cell-0")
+        """))
+        assert codes_of(diags) == {"DY507"}
+        assert "_worker" in diags[0].message
+
+    def test_draw_with_no_reseed_triggers(self, tmp_path):
+        diags = lint_source(tmp_path, worker_module("""
+        def _worker(rng):
+            return rng.choice([1, 2, 3])
+        """))
+        assert codes_of(diags) == {"DY507"}
+
+    def test_draw_after_reseed_is_clean(self, tmp_path):
+        diags = lint_source(tmp_path, worker_module("""
+        def _worker(rng):
+            rng.reseed("cell-0")
+            return rng.uniform(0.0, 1.0)
+        """))
+        assert diags == []
+
+    def test_non_worker_function_exempt(self, tmp_path):
+        diags = lint_source(tmp_path, worker_module("""
+        def _worker(rng):
+            rng.reseed("cell-0")
+
+        def helper(rng):
+            return rng.uniform(0.0, 1.0)
+        """))
+        assert diags == []
+
+
+# --------------------------------------------------------------------------- #
+# DY508: wall clock inside fork-worker entries
+# --------------------------------------------------------------------------- #
+class TestWorkerWallclock:
+    def test_clock_in_worker_triggers_despite_file_exemption(self, tmp_path):
+        # campaign/executor.py is DY501-exempt (the supervisor times out
+        # real processes) — the exemption must not leak into the child.
+        diags = lint_source(tmp_path, """
+            import multiprocessing
+            import time
+
+            def _worker():
+                return time.time()
+
+            def spawn():
+                multiprocessing.Process(target=_worker).start()
+        """, rel="campaign/executor.py")
+        assert codes_of(diags) == {"DY508"}
+
+    def test_clock_in_supervisor_stays_exempt(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            import multiprocessing
+            import time
+
+            def _worker():
+                return 0
+
+            def supervise():
+                deadline = time.monotonic() + 5.0
+                multiprocessing.Process(target=_worker).start()
+        """, rel="campaign/executor.py")
+        assert diags == []
+
+
+# --------------------------------------------------------------------------- #
+# DY509: blocking I/O on the sim tick path
+# --------------------------------------------------------------------------- #
+class TestTickPathIo:
+    def test_open_in_sim_triggers(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            def tick(state):
+                with open("trace.log", "a") as fh:
+                    fh.write(repr(state))
+        """, rel="sim/engine.py")
+        assert codes_of(diags) == {"DY509"}
+
+    def test_sleep_in_stage_triggers(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            import time
+
+            def settle():
+                time.sleep(0.1)
+        """, rel="core/decision.py")
+        assert codes_of(diags) == {"DY509"}
+
+    def test_subprocess_in_sim_triggers(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            import subprocess
+
+            def probe():
+                subprocess.run(["hostname"])
+        """, rel="sim/engine.py")
+        assert codes_of(diags) == {"DY509"}
+
+    def test_open_off_tick_path_is_clean(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            def dump(state):
+                with open("trace.log", "a") as fh:
+                    fh.write(repr(state))
+        """, rel="journal/store.py")
+        assert diags == []
+
+
+# --------------------------------------------------------------------------- #
+# DY510: stale suppressions
+# --------------------------------------------------------------------------- #
+class TestStaleSuppression:
+    def test_unconsumed_suppression_triggers(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            x = 1  # lint: ignore[DY501]
+        """)
+        assert codes_of(diags) == {"DY510"}
+        assert "DY501" in diags[0].message
+
+    def test_consumed_suppression_is_clean(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            import time
+
+            def now():
+                return time.time()  # lint: ignore[DY501]
+        """)
+        assert diags == []
+
+    def test_partially_consumed_list_flags_the_stale_code(self, tmp_path):
+        diags = lint_source(tmp_path, """
+            import time
+
+            def now():
+                return time.time()  # lint: ignore[DY501, DY503]
+        """)
+        assert codes_of(diags) == {"DY510"}
+        assert "DY503" in diags[0].message
+
+    def test_dy510_itself_is_suppressible_only_by_real_findings(self, tmp_path):
+        # Two stale comments produce two independent findings.
+        diags = lint_source(tmp_path, """
+            x = 1  # lint: ignore[DY501]
+            y = 2  # lint: ignore[DY502]
+        """)
+        assert [d.code for d in diags] == ["DY510", "DY510"]
+
+
+# --------------------------------------------------------------------------- #
 # the repo passes its own checks
 # --------------------------------------------------------------------------- #
 def test_repo_passes_selflint():
@@ -249,19 +506,40 @@ def test_package_root_is_repro():
 
 
 def test_self_codes_all_exercised():
-    covered = {"DY501", "DY502", "DY503", "DY504"}
+    covered = {
+        "DY501", "DY502", "DY503", "DY504", "DY505",
+        "DY506", "DY507", "DY508", "DY509", "DY510",
+    }
     assert covered == {c for c, info in CODES.items() if info.engine == "self"}
 
 
-@pytest.mark.parametrize("code", ["DY501", "DY502", "DY503", "DY504"])
+LOCATION_SOURCES = {
+    "DY501": ("core/mod.py", "import time\nx = time.time()\n"),
+    "DY502": ("core/mod.py", "import random\n"),
+    "DY503": ("core/mod.py", "for x in {1}:\n    pass\n"),
+    "DY504": ("core/decision.py", "STATE = {}\n"),
+    "DY505": ("core/mod.py", "import threading\nclass C:\n    s = {}\n"),
+    "DY506": ("core/mod.py", "import multiprocessing\nF = open('x')\n"),
+    "DY507": (
+        "core/mod.py",
+        "import multiprocessing\n"
+        "def w(r):\n    r.uniform(0, 1)\n"
+        "multiprocessing.Process(target=w)\n",
+    ),
+    "DY508": (
+        "campaign/executor.py",
+        "import multiprocessing\nimport time\n"
+        "def w():\n    time.time()\n"
+        "multiprocessing.Process(target=w)\n",
+    ),
+    "DY509": ("sim/engine.py", "def t():\n    open('x')\n"),
+    "DY510": ("core/mod.py", "x = 1  # lint: ignore[DY502]\n"),
+}
+
+
+@pytest.mark.parametrize("code", sorted(LOCATION_SOURCES))
 def test_locations_are_file_line(tmp_path, code):
-    source = {
-        "DY501": "import time\nx = time.time()\n",
-        "DY502": "import random\n",
-        "DY503": "for x in {1}:\n    pass\n",
-        "DY504": "STATE = {}\n",
-    }[code]
-    rel = "core/decision.py" if code == "DY504" else "core/mod.py"
+    rel, source = LOCATION_SOURCES[code]
     diags = lint_source(tmp_path, source, rel=rel)
     hit = [d for d in diags if d.code == code]
     assert hit, diags

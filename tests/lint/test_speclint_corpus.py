@@ -300,6 +300,27 @@ CORPUS = {
             machine=DT2_ONE_NODE,
         ),
     ),
+    "DY205": dict(
+        loc="dyflow",
+        trigger=lambda: codes_of(
+            doc(sensors=sensor(), mts=mt(), policies=policy(action="ADDCPU"),
+                applies=apply_policy(params=(
+                    '<action-params><param key="adjust-by" value="8"/>'
+                    "</action-params>"
+                ))),
+            machine=DT2_ONE_NODE,
+            workflow=tiny_workflow(("A", 12, True), ("B", 4, True)),
+        ),
+        clean=lambda: codes_of(
+            doc(sensors=sensor(), mts=mt(), policies=policy(action="ADDCPU"),
+                applies=apply_policy(params=(
+                    '<action-params><param key="adjust-by" value="4"/>'
+                    "</action-params>"
+                ))),
+            machine=DT2_ONE_NODE,
+            workflow=tiny_workflow(("A", 12, True), ("B", 4, True)),
+        ),
+    ),
     "DY204": dict(
         loc="rule-for[@workflowId='W']",
         trigger=lambda: codes_of(
@@ -359,6 +380,35 @@ CORPUS = {
                 applies=apply_policy())
         ),
         clean=lambda: codes_of(CLEAN),
+    ),
+    "DY304": dict(
+        loc="policy[@id='Q']",
+        trigger=lambda: codes_of(
+            doc(sensors=sensor(), mts=mt(),
+                policies=policy(pid="P", op="GT", thr="30", action="ADDCPU")
+                + policy(pid="Q", op="GT", thr="50", action="RMCPU"),
+                applies=apply_policy(pid="P") + apply_policy(pid="Q"),
+                arbitration=rule(
+                    "<policy-priorities>"
+                    '<policy-priority name="P" priority="0"/>'
+                    '<policy-priority name="Q" priority="1"/>'
+                    "</policy-priorities>"
+                ))
+        ),
+        # Priorities reversed: the narrow policy outranks the wide one,
+        # so its action survives arbitration whenever both fire.
+        clean=lambda: codes_of(
+            doc(sensors=sensor(), mts=mt(),
+                policies=policy(pid="P", op="GT", thr="30", action="ADDCPU")
+                + policy(pid="Q", op="GT", thr="50", action="RMCPU"),
+                applies=apply_policy(pid="P") + apply_policy(pid="Q"),
+                arbitration=rule(
+                    "<policy-priorities>"
+                    '<policy-priority name="P" priority="1"/>'
+                    '<policy-priority name="Q" priority="0"/>'
+                    "</policy-priorities>"
+                ))
+        ),
     ),
     "DY401": dict(
         loc="resilience/retry",
@@ -539,6 +589,27 @@ CORPUS = {
                 'op="LT" threshold="120.0" tenant="alice"/></observability>'
                 '<tenants nodes="2" cores-per-node="20">'
                 '<tenant id="alice"/>'
+                "</tenants></dyflow>",
+            )
+        ),
+    ),
+    "DY413": dict(
+        loc="tenants",
+        trigger=lambda: codes_of(
+            CLEAN.replace(
+                "</dyflow>",
+                '<tenants nodes="2" cores-per-node="20">'
+                '<tenant id="alice" quota-cores="30"/>'
+                '<tenant id="bob" quota-cores="30"/>'
+                "</tenants></dyflow>",
+            )
+        ),
+        clean=lambda: codes_of(
+            CLEAN.replace(
+                "</dyflow>",
+                '<tenants nodes="2" cores-per-node="20">'
+                '<tenant id="alice" quota-cores="20"/>'
+                '<tenant id="bob" quota-cores="20"/>'
                 "</tenants></dyflow>",
             )
         ),

@@ -110,12 +110,14 @@ API_SURFACE = [
     "WatchdogSpec",
     "WorkflowSpec",
     "XGC_XML",
+    "analyze_dataflow",
     "bottlenecks",
     "build_report",
     "build_tracer",
     "configure_orchestrator",
     "critical_path",
     "deepthought2",
+    "fix_xml_text",
     "format_report",
     "isosurface_cell_count",
     "lint_xml_text",
@@ -171,9 +173,10 @@ SUBFACADES = {
         "read_journal", "scenario_fingerprint", "CampaignRunner",
     ],
     "lint": [
-        "Diagnostic", "Severity", "PreflightWarning", "VerificationError",
-        "verify_spec", "lint_xml_text", "run_selflint", "run_preflight",
-        "render_sarif",
+        "Diagnostic", "Severity", "WitnessEvent", "FixHint", "FixResult",
+        "FIXABLE_CODES", "PreflightWarning", "VerificationError",
+        "analyze_dataflow", "verify_spec", "lint_xml_text", "fix_spec",
+        "fix_xml_text", "run_selflint", "run_preflight", "render_sarif",
     ],
     "fabric": [
         "NetworkSpec", "PartitionWindow", "LinkOverride", "FabricLink",
